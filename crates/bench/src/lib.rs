@@ -1,0 +1,51 @@
+//! # vlpp-bench — benchmark harness support
+//!
+//! The Criterion benches in `benches/` regenerate every table and figure
+//! of the paper (`benches/tables.rs`, `benches/figures.rs`) and measure
+//! the predictors' raw throughput (`benches/micro.rs`). This library
+//! holds the shared setup so every bench sees identical workloads.
+//!
+//! Run them all with `cargo bench --workspace`; each experiment bench
+//! prints the regenerated rows once before timing, so the bench log
+//! doubles as an experiment record.
+
+#![warn(missing_docs)]
+
+use vlpp_sim::{Scale, Workloads};
+use vlpp_synth::{suite, InputSet};
+use vlpp_trace::Trace;
+
+/// The scale Criterion experiment benches run at. Larger divisor =
+/// faster iterations; 512 leaves every benchmark at the 50 K-conditional
+/// floor (plenty to exercise the full code path — the `vlpp` CLI is the
+/// tool for paper-scale numbers).
+pub const BENCH_SCALE_DIVISOR: u64 = 512;
+
+/// A [`Workloads`] context at the bench scale.
+pub fn bench_workloads() -> Workloads {
+    Workloads::new(Scale::new(BENCH_SCALE_DIVISOR))
+}
+
+/// A fixed mid-size trace for micro-benchmarks (gcc test input,
+/// 200 K records).
+pub fn micro_trace() -> Trace {
+    let spec = suite::benchmark("gcc").expect("gcc is in the suite");
+    spec.build_program().execute(InputSet::Test, 200_000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn micro_trace_is_stable_and_nonempty() {
+        let t = micro_trace();
+        assert_eq!(t.len(), 200_000);
+        assert_eq!(t, micro_trace());
+    }
+
+    #[test]
+    fn bench_workloads_scale() {
+        assert_eq!(bench_workloads().scale().divisor(), BENCH_SCALE_DIVISOR);
+    }
+}

@@ -1,0 +1,280 @@
+//! The path hash functions `HF_1 … HF_N` (paper §3.3) and their O(1)
+//! incremental evaluation (paper §4.1).
+//!
+//! `HF_X` combines the `X` most recent compressed targets into a `k`-bit
+//! index: target `T_i` is rotated left by `i − 1` bits (so the *order* of
+//! targets is encoded, not just their set) and all rotated targets are
+//! XORed together.
+//!
+//! Evaluating each hash from scratch costs O(X) XORs; the paper's §4.1
+//! observes that `I_X(t+1) = rot1(I_{X−1}(t)) XOR newtarget`, so keeping a
+//! register with the previous value of `I_{X−1}` evaluates every hash
+//! with a single rotate-XOR per inserted target. [`IncrementalHashers`]
+//! implements that scheme (and the tests prove it equal to the direct
+//! evaluation).
+
+use vlpp_trace::Addr;
+
+use crate::thb::Thb;
+
+/// Rotates a `k`-bit value left by `amount` within `k` bits.
+#[inline]
+fn rotl(value: u64, amount: u32, k: u32) -> u64 {
+    let amount = amount % k;
+    if amount == 0 {
+        return value;
+    }
+    if k == 64 {
+        return value.rotate_left(amount);
+    }
+    let mask = (1u64 << k) - 1;
+    ((value << amount) | (value >> (k - amount))) & mask
+}
+
+/// Directly evaluates `HF_len(PATH_len)` from the THB contents:
+/// `XOR_{i=1..len} rotl(T_i, i−1)`.
+///
+/// This is the specification; predictors use [`IncrementalHashers`] which
+/// computes the same value in O(1) per retired branch.
+///
+/// # Panics
+///
+/// Panics if `len` is 0 or exceeds the THB capacity.
+///
+/// # Example
+///
+/// ```
+/// use vlpp_core::{hash_path, Thb};
+/// use vlpp_trace::Addr;
+///
+/// let mut thb = Thb::new(4, 8);
+/// thb.push(Addr::new(0x3 << 2)); // T2 after next push
+/// thb.push(Addr::new(0x5 << 2)); // T1
+/// // HF_2 = rotl(T1, 0) ^ rotl(T2, 1) = 0x5 ^ 0x6 = 0x3
+/// assert_eq!(hash_path(&thb, 2), 0x3);
+/// ```
+pub fn hash_path(thb: &Thb, len: usize) -> u64 {
+    let k = thb.k();
+    thb.path(len).enumerate().fold(0u64, |acc, (i, target)| acc ^ rotl(target, i as u32, k))
+}
+
+/// The §4.1 partial-sum registers: maintains the current value of every
+/// hash function `HF_1 … HF_n` with one rotate-XOR per hash per inserted
+/// target.
+///
+/// Register `X` holds `I_X`, the index `HF_X` would produce for the
+/// current THB contents. When a new target arrives,
+/// `I_X ← rotl(I_{X−1}, 1) XOR target` for `X = n..1` (computed high to
+/// low so each update reads the *previous* value of its neighbor).
+///
+/// # Example
+///
+/// ```
+/// use vlpp_core::{hash_path, IncrementalHashers, Thb};
+/// use vlpp_trace::Addr;
+///
+/// let mut thb = Thb::new(8, 10);
+/// let mut inc = IncrementalHashers::new(8, 10);
+/// for raw in [0x123, 0x456, 0x789] {
+///     let t = Addr::new(raw << 2);
+///     thb.push(t);
+///     inc.push(t);
+/// }
+/// assert_eq!(inc.index(5), hash_path(&thb, 5));
+/// ```
+#[derive(Debug, Clone)]
+pub struct IncrementalHashers {
+    /// `indices[x-1]` = current `I_x`.
+    indices: Vec<u64>,
+    k: u32,
+}
+
+impl IncrementalHashers {
+    /// Creates registers for hash functions `HF_1 … HF_count` producing
+    /// `k`-bit indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is 0 or `k` is not in `1..=64`.
+    pub fn new(count: usize, k: u32) -> Self {
+        assert!(count >= 1, "need at least one hash function");
+        assert!(k >= 1 && k <= 64, "index width must be in 1..=64, got {k}");
+        IncrementalHashers { indices: vec![0; count], k }
+    }
+
+    /// Updates every register for a newly inserted target address
+    /// (compressed to `k` bits, like the THB entry it mirrors).
+    pub fn push(&mut self, target: Addr) {
+        let t = target.low_bits(self.k);
+        // I_X(t+1) = rotl(I_{X-1}(t), 1) ^ t ; I_0 is the empty hash, 0.
+        for x in (1..self.indices.len()).rev() {
+            self.indices[x] = rotl(self.indices[x - 1], 1, self.k) ^ t;
+        }
+        self.indices[0] = t;
+    }
+
+    /// The current index `I_x` produced by `HF_x` (`x` is 1-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is 0 or exceeds the number of hash functions.
+    #[inline]
+    pub fn index(&self, x: usize) -> u64 {
+        assert!(x >= 1 && x <= self.indices.len(), "hash number must be in 1..=count, got {x}");
+        self.indices[x - 1]
+    }
+
+    /// All current indices, `I_1` first.
+    pub fn indices(&self) -> &[u64] {
+        &self.indices
+    }
+
+    /// The number of hash functions maintained.
+    pub fn count(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// The index width in bits.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// Resets all registers to the empty-history state.
+    pub fn clear(&mut self) {
+        self.indices.fill(0);
+    }
+
+    /// Restores registers from a snapshot taken with
+    /// [`snapshot`](Self::snapshot).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot was taken from a differently-configured
+    /// hasher.
+    pub fn restore(&mut self, snapshot: &[u64]) {
+        assert_eq!(snapshot.len(), self.indices.len(), "snapshot size mismatch");
+        self.indices.copy_from_slice(snapshot);
+    }
+
+    /// Captures the register state (used by the §6 history stack).
+    pub fn snapshot(&self) -> Vec<u64> {
+        self.indices.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A simple deterministic pseudo-random sequence for tests.
+    fn pseudo_targets(n: usize) -> Vec<Addr> {
+        let mut x: u64 = 0x243f_6a88_85a3_08d3;
+        (0..n)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                Addr::new((x >> 11) << 2)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn direct_hash_of_single_target_is_target() {
+        let mut thb = Thb::new(4, 12);
+        thb.push(Addr::new(0xabc << 2));
+        assert_eq!(hash_path(&thb, 1), 0xabc);
+    }
+
+    #[test]
+    fn direct_hash_encodes_order() {
+        let (a, b) = (Addr::new(0x11 << 2), Addr::new(0x22 << 2));
+        let mut ab = Thb::new(4, 8);
+        ab.push(a);
+        ab.push(b);
+        let mut ba = Thb::new(4, 8);
+        ba.push(b);
+        ba.push(a);
+        assert_ne!(hash_path(&ab, 2), hash_path(&ba, 2));
+    }
+
+    #[test]
+    fn incremental_matches_direct_for_all_lengths() {
+        let cap = 32;
+        let k = 14;
+        let mut thb = Thb::new(cap, k);
+        let mut inc = IncrementalHashers::new(cap, k);
+        for target in pseudo_targets(300) {
+            thb.push(target);
+            inc.push(target);
+            for len in 1..=cap {
+                assert_eq!(
+                    inc.index(len),
+                    hash_path(&thb, len),
+                    "mismatch at length {len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_matches_direct_during_warmup() {
+        // Fewer targets than hash length: missing slots are zero in both.
+        let mut thb = Thb::new(8, 10);
+        let mut inc = IncrementalHashers::new(8, 10);
+        for target in pseudo_targets(5) {
+            thb.push(target);
+            inc.push(target);
+        }
+        for len in 1..=8 {
+            assert_eq!(inc.index(len), hash_path(&thb, len));
+        }
+    }
+
+    #[test]
+    fn incremental_matches_direct_at_k_64() {
+        let mut thb = Thb::new(8, 64);
+        let mut inc = IncrementalHashers::new(8, 64);
+        for target in pseudo_targets(50) {
+            thb.push(target);
+            inc.push(target);
+            assert_eq!(inc.index(8), hash_path(&thb, 8));
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips() {
+        let mut inc = IncrementalHashers::new(8, 10);
+        for target in pseudo_targets(20) {
+            inc.push(target);
+        }
+        let saved = inc.snapshot();
+        let at_save: Vec<u64> = inc.indices().to_vec();
+        for target in pseudo_targets(7) {
+            inc.push(target);
+        }
+        inc.restore(&saved);
+        assert_eq!(inc.indices(), &at_save[..]);
+    }
+
+    #[test]
+    fn clear_resets_to_empty_state() {
+        let mut inc = IncrementalHashers::new(4, 10);
+        inc.push(Addr::new(0x40));
+        inc.clear();
+        assert!(inc.indices().iter().all(|&i| i == 0));
+    }
+
+    #[test]
+    fn indices_stay_within_k_bits() {
+        let mut inc = IncrementalHashers::new(16, 9);
+        for target in pseudo_targets(100) {
+            inc.push(target);
+            assert!(inc.indices().iter().all(|&i| i < (1 << 9)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "hash number")]
+    fn index_rejects_zero() {
+        IncrementalHashers::new(4, 8).index(0);
+    }
+}

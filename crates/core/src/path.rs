@@ -1,0 +1,574 @@
+//! The path predictors themselves: [`PathConditional`] and
+//! [`PathIndirect`] (paper §3.1, Figures 1 and 2).
+//!
+//! Both share [`PathConfig`] (first-level structure) and a selection
+//! source: a static [`HashAssignment`] (profile- or compiler-provided,
+//! §3.5) or a [`DynamicSelector`] (hardware-only, §3.4). A fixed
+//! assignment yields the paper's *fixed length path* predictor; a
+//! profiled assignment yields the *variable length path* predictor.
+
+use vlpp_predict::{BranchObserver, Budget, ConditionalPredictor, IndirectPredictor};
+use vlpp_trace::{Addr, BranchKind, BranchRecord};
+
+use crate::hash::IncrementalHashers;
+use crate::select::{DynamicSelector, HashAssignment};
+use crate::stack::HistoryStack;
+use crate::table::{CounterTable, TargetTable};
+use crate::thb::Thb;
+use crate::MAX_PATH_LENGTH;
+
+/// Structural parameters of a path predictor: everything except the
+/// second-level table contents and the hash selection.
+///
+/// # Example
+///
+/// ```
+/// use vlpp_core::PathConfig;
+///
+/// let c = PathConfig::conditional_for_bytes(16 * 1024);
+/// assert_eq!(c.index_bits, 16);
+/// assert_eq!(c.thb_capacity, 32);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathConfig {
+    /// Width `k` of the predictor-table index and of each compressed
+    /// target in the THB.
+    pub index_bits: u32,
+    /// THB capacity `N` (the paper uses 32).
+    pub thb_capacity: usize,
+    /// Whether return targets enter the THB (§3.2 ablation; the paper's
+    /// experiments leave them out).
+    pub store_returns: bool,
+    /// Depth of the §6 call/return history stack, or `None` to disable
+    /// (the paper's experiments disable it; it is future work there).
+    pub history_stack_depth: Option<usize>,
+}
+
+impl PathConfig {
+    /// A configuration with the paper's defaults (32-entry THB, no
+    /// returns, no history stack) and the given index width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index_bits` is 0 or greater than 28.
+    pub fn new(index_bits: u32) -> Self {
+        assert!(
+            index_bits >= 1 && index_bits <= 28,
+            "index width must be in 1..=28, got {index_bits}"
+        );
+        PathConfig {
+            index_bits,
+            thb_capacity: MAX_PATH_LENGTH,
+            store_returns: false,
+            history_stack_depth: None,
+        }
+    }
+
+    /// A conditional-predictor configuration for a table of `bytes`
+    /// bytes (2-bit counter entries).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is not a power of two or is out of range.
+    pub fn conditional_for_bytes(bytes: u64) -> Self {
+        PathConfig::new(Budget::from_bytes(bytes).cond_index_bits())
+    }
+
+    /// An indirect-predictor configuration for a table of `bytes` bytes
+    /// (4-byte target entries).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is not a power of two or is out of range.
+    pub fn indirect_for_bytes(bytes: u64) -> Self {
+        PathConfig::new(Budget::from_bytes(bytes).ind_index_bits())
+    }
+
+    /// Returns the configuration with return targets recorded.
+    pub fn with_returns(mut self) -> Self {
+        self.store_returns = true;
+        self
+    }
+
+    /// Returns the configuration with a call/return history stack of the
+    /// given depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is 0.
+    pub fn with_history_stack(mut self, depth: usize) -> Self {
+        assert!(depth >= 1, "history stack depth must be at least 1");
+        self.history_stack_depth = Some(depth);
+        self
+    }
+}
+
+/// The hash-selection source shared by both predictor variants.
+#[derive(Debug, Clone)]
+enum Selection {
+    Static(HashAssignment),
+    Dynamic(DynamicSelector),
+}
+
+/// First-level history plus hash evaluation: the part of the predictor
+/// shared between the conditional and indirect variants.
+#[derive(Debug, Clone)]
+struct PathCore {
+    thb: Thb,
+    hashers: IncrementalHashers,
+    selection: Selection,
+    stack: Option<HistoryStack>,
+}
+
+impl PathCore {
+    fn new(config: &PathConfig, selection: Selection) -> Self {
+        let thb = if config.store_returns {
+            Thb::with_returns(config.thb_capacity, config.index_bits)
+        } else {
+            Thb::new(config.thb_capacity, config.index_bits)
+        };
+        PathCore {
+            thb,
+            hashers: IncrementalHashers::new(config.thb_capacity, config.index_bits),
+            selection,
+            stack: config.history_stack_depth.map(HistoryStack::new),
+        }
+    }
+
+    /// The hash number selected for `pc`, clamped to the THB capacity.
+    #[inline]
+    fn hash_number(&self, pc: Addr) -> usize {
+        let n = match &self.selection {
+            Selection::Static(assignment) => assignment.get(pc),
+            Selection::Dynamic(selector) => selector.select(pc),
+        } as usize;
+        n.min(self.thb.capacity())
+    }
+
+    /// The table index for `pc` under the current history.
+    #[inline]
+    fn index(&self, pc: Addr) -> u64 {
+        self.hashers.index(self.hash_number(pc))
+    }
+
+    /// The index produced by a specific hash number (used by dynamic
+    /// selection training).
+    #[inline]
+    fn index_for(&self, n: u8) -> u64 {
+        self.hashers.index((n as usize).min(self.thb.capacity()))
+    }
+
+    fn observe(&mut self, record: &BranchRecord) {
+        // §6 history stack: snapshot at calls, restore at returns.
+        if let Some(stack) = &mut self.stack {
+            match record.kind() {
+                BranchKind::Call => stack.push(self.hashers.snapshot()),
+                BranchKind::Return => {
+                    if let Some(snapshot) = stack.pop() {
+                        self.hashers.restore(&snapshot);
+                        // The THB mirror is only diagnostic; clearing it
+                        // keeps it consistent with "history replaced".
+                        self.thb.clear();
+                    }
+                }
+                _ => {}
+            }
+        }
+        // Keep the hash registers in lockstep with the THB's §3.2 policy.
+        let store = record.enters_thb()
+            || (self.thb.stores_returns() && record.kind() == BranchKind::Return);
+        if store {
+            self.thb.push(record.target());
+            self.hashers.push(record.target());
+        }
+    }
+}
+
+/// A path-based conditional-branch predictor (paper Figure 1 with a
+/// counter table).
+///
+/// With a [`HashAssignment::fixed`] selection this is the paper's **fixed
+/// length path** predictor; with a profiled assignment it is the
+/// **variable length path** predictor; with [`new_dynamic`] it is the
+/// §3.4 hardware-selected variant.
+///
+/// [`new_dynamic`]: Self::new_dynamic
+///
+/// # Example
+///
+/// ```
+/// use vlpp_core::{HashAssignment, PathConditional, PathConfig};
+/// use vlpp_predict::{BranchObserver, ConditionalPredictor};
+/// use vlpp_trace::{Addr, BranchRecord};
+///
+/// let mut p = PathConditional::new(
+///     PathConfig::conditional_for_bytes(1024),
+///     HashAssignment::fixed(6),
+/// );
+/// let pc = Addr::new(0x1000);
+/// let _ = p.predict(pc);
+/// p.train(pc, true);
+/// p.observe(&BranchRecord::conditional(pc, Addr::new(0x2000), true));
+/// ```
+#[derive(Debug, Clone)]
+pub struct PathConditional {
+    core: PathCore,
+    table: CounterTable,
+}
+
+impl PathConditional {
+    /// Creates a predictor with a static (compiler/profile) hash
+    /// assignment.
+    pub fn new(config: PathConfig, assignment: HashAssignment) -> Self {
+        PathConditional {
+            table: CounterTable::new(config.index_bits),
+            core: PathCore::new(&config, Selection::Static(assignment)),
+        }
+    }
+
+    /// Creates a predictor with hardware-dynamic hash selection over the
+    /// given candidate hash numbers, with `2^selector_set_bits` selector
+    /// sets.
+    ///
+    /// Note the structural handicap the `ablate-select` experiment
+    /// quantifies: all candidates score their accuracy against the one
+    /// *shared* table, but only the currently selected candidate's index
+    /// is ever trained, so unselected candidates are judged on stale
+    /// entries and the selector tends to lock in early — §3.4 describes
+    /// the idea without resolving this; profiling (the paper's choice)
+    /// sidesteps it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `candidates` is empty or contains hash numbers outside
+    /// `1..=32`.
+    pub fn new_dynamic(config: PathConfig, candidates: &[u8], selector_set_bits: u32) -> Self {
+        PathConditional {
+            table: CounterTable::new(config.index_bits),
+            core: PathCore::new(
+                &config,
+                Selection::Dynamic(DynamicSelector::new(candidates, selector_set_bits)),
+            ),
+        }
+    }
+
+    /// The hash number the predictor would use for `pc` right now.
+    pub fn selected_hash(&self, pc: Addr) -> usize {
+        self.core.hash_number(pc)
+    }
+
+    /// The second-level table size in bytes.
+    pub fn table_bytes(&self) -> u64 {
+        self.table.bytes()
+    }
+}
+
+impl BranchObserver for PathConditional {
+    fn observe(&mut self, record: &BranchRecord) {
+        self.core.observe(record);
+    }
+}
+
+impl ConditionalPredictor for PathConditional {
+    fn predict(&mut self, pc: Addr) -> bool {
+        self.table.predict(self.core.index(pc))
+    }
+
+    fn train(&mut self, pc: Addr, taken: bool) {
+        // Dynamic selection trains the per-candidate accuracy counters by
+        // checking what each candidate would have predicted.
+        if let Selection::Dynamic(selector) = &self.core.selection {
+            let verdicts: Vec<(usize, bool)> = selector
+                .candidates()
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| (i, self.table.predict(self.core.index_for(c)) == taken))
+                .collect();
+            if let Selection::Dynamic(selector) = &mut self.core.selection {
+                for (i, correct) in verdicts {
+                    selector.reward(pc, i, correct);
+                }
+            }
+        }
+        self.table.train(self.core.index(pc), taken);
+    }
+
+    fn name(&self) -> String {
+        match &self.core.selection {
+            Selection::Static(a) if a.is_fixed() => "fixed length path".into(),
+            Selection::Static(_) => "variable length path".into(),
+            Selection::Dynamic(_) => "dynamic path".into(),
+        }
+    }
+}
+
+/// A path-based indirect-branch predictor (paper Figure 1 with a table of
+/// target registers).
+///
+/// # Example
+///
+/// ```
+/// use vlpp_core::{HashAssignment, PathConfig, PathIndirect};
+/// use vlpp_predict::IndirectPredictor;
+/// use vlpp_trace::Addr;
+///
+/// let mut p = PathIndirect::new(
+///     PathConfig::indirect_for_bytes(2048),
+///     HashAssignment::fixed(21),
+/// );
+/// let pc = Addr::new(0x1000);
+/// assert_eq!(p.predict(pc), Addr::NULL); // cold table
+/// p.train(pc, Addr::new(0x9000));
+/// assert_eq!(p.predict(pc), Addr::new(0x9000));
+/// ```
+#[derive(Debug, Clone)]
+pub struct PathIndirect {
+    core: PathCore,
+    table: TargetTable,
+}
+
+impl PathIndirect {
+    /// Creates a predictor with a static (compiler/profile) hash
+    /// assignment.
+    pub fn new(config: PathConfig, assignment: HashAssignment) -> Self {
+        PathIndirect {
+            table: TargetTable::new(config.index_bits),
+            core: PathCore::new(&config, Selection::Static(assignment)),
+        }
+    }
+
+    /// Creates a predictor with hardware-dynamic hash selection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `candidates` is empty or contains hash numbers outside
+    /// `1..=32`.
+    pub fn new_dynamic(config: PathConfig, candidates: &[u8], selector_set_bits: u32) -> Self {
+        PathIndirect {
+            table: TargetTable::new(config.index_bits),
+            core: PathCore::new(
+                &config,
+                Selection::Dynamic(DynamicSelector::new(candidates, selector_set_bits)),
+            ),
+        }
+    }
+
+    /// The hash number the predictor would use for `pc` right now.
+    pub fn selected_hash(&self, pc: Addr) -> usize {
+        self.core.hash_number(pc)
+    }
+
+    /// The second-level table size in bytes.
+    pub fn table_bytes(&self) -> u64 {
+        self.table.bytes()
+    }
+}
+
+impl BranchObserver for PathIndirect {
+    fn observe(&mut self, record: &BranchRecord) {
+        self.core.observe(record);
+    }
+}
+
+impl IndirectPredictor for PathIndirect {
+    fn predict(&mut self, pc: Addr) -> Addr {
+        self.table.predict(self.core.index(pc), pc)
+    }
+
+    fn train(&mut self, pc: Addr, target: Addr) {
+        if let Selection::Dynamic(selector) = &self.core.selection {
+            let verdicts: Vec<(usize, bool)> = selector
+                .candidates()
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| (i, self.table.predict(self.core.index_for(c), pc) == target))
+                .collect();
+            if let Selection::Dynamic(selector) = &mut self.core.selection {
+                for (i, correct) in verdicts {
+                    selector.reward(pc, i, correct);
+                }
+            }
+        }
+        self.table.train(self.core.index(pc), target);
+    }
+
+    fn name(&self) -> String {
+        match &self.core.selection {
+            Selection::Static(a) if a.is_fixed() => "fixed length path".into(),
+            Selection::Static(_) => "variable length path".into(),
+            Selection::Dynamic(_) => "dynamic path".into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cond(pc: u64, target: u64, taken: bool) -> BranchRecord {
+        BranchRecord::conditional(Addr::new(pc), Addr::new(target), taken)
+    }
+
+    #[test]
+    fn config_budget_constructors() {
+        assert_eq!(PathConfig::conditional_for_bytes(4096).index_bits, 14);
+        assert_eq!(PathConfig::indirect_for_bytes(512).index_bits, 7);
+    }
+
+    #[test]
+    fn names_distinguish_fixed_and_variable() {
+        let config = PathConfig::new(8);
+        let fixed = PathConditional::new(config.clone(), HashAssignment::fixed(4));
+        assert_eq!(fixed.name(), "fixed length path");
+        let mut a = HashAssignment::fixed(4);
+        a.assign(Addr::new(0x10), 2);
+        let variable = PathConditional::new(config.clone(), a);
+        assert_eq!(variable.name(), "variable length path");
+        let dynamic = PathConditional::new_dynamic(config, &[1, 2, 4], 6);
+        assert_eq!(dynamic.name(), "dynamic path");
+    }
+
+    #[test]
+    fn conditional_learns_a_path_determined_branch() {
+        // Branch at 0x9000 is taken iff the previous branch's target was
+        // block A. A path predictor with length >= 1 nails this.
+        let config = PathConfig::new(10);
+        let mut p = PathConditional::new(config, HashAssignment::fixed(1));
+        let block_a = Addr::new(0x100 << 2);
+        let block_b = Addr::new(0x200 << 2);
+        let mut correct = 0;
+        let mut x: u32 = 5;
+        for i in 0..2000 {
+            x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+            let go_a = (x >> 16) & 1 == 1;
+            let lead_target = if go_a { block_a } else { block_b };
+            p.observe(&cond(0x50, lead_target.raw(), true));
+            let pc = Addr::new(0x9000);
+            let prediction = p.predict(pc);
+            p.train(pc, go_a);
+            p.observe(&cond(0x9000, 0x9100, go_a));
+            if prediction == go_a && i >= 200 {
+                correct += 1;
+            }
+        }
+        assert!(correct as f64 / 1800.0 > 0.95, "path length 1 should suffice, got {correct}");
+    }
+
+    #[test]
+    fn indirect_learns_path_determined_targets() {
+        let config = PathConfig::new(8);
+        let mut p = PathIndirect::new(config, HashAssignment::fixed(1));
+        let (ta, tb) = (Addr::new(0x4000), Addr::new(0x8000));
+        // Lead targets must stay distinguishable after 8-bit word
+        // compression.
+        let block_a = Addr::new(0x11 << 2);
+        let block_b = Addr::new(0x22 << 2);
+        let mut correct = 0;
+        let mut x: u32 = 77;
+        for i in 0..2000 {
+            x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+            let go_a = (x >> 16) & 1 == 1;
+            p.observe(&cond(0x50, if go_a { block_a } else { block_b }.raw(), true));
+            let pc = Addr::new(0x9000);
+            let actual = if go_a { ta } else { tb };
+            if p.predict(pc) == actual && i >= 200 {
+                correct += 1;
+            }
+            p.train(pc, actual);
+            p.observe(&BranchRecord::indirect(pc, actual));
+        }
+        assert!(correct as f64 / 1800.0 > 0.95, "got {correct}");
+    }
+
+    #[test]
+    fn variable_assignment_uses_different_indices_per_branch() {
+        let config = PathConfig::new(12);
+        let mut a = HashAssignment::fixed(8);
+        a.assign(Addr::new(0x10), 1);
+        a.assign(Addr::new(0x20), 32);
+        let p = PathConditional::new(config, a);
+        assert_eq!(p.selected_hash(Addr::new(0x10)), 1);
+        assert_eq!(p.selected_hash(Addr::new(0x20)), 32);
+        assert_eq!(p.selected_hash(Addr::new(0x999)), 8);
+    }
+
+    #[test]
+    fn hash_number_clamps_to_thb_capacity() {
+        let mut config = PathConfig::new(8);
+        config.thb_capacity = 4;
+        let p = PathConditional::new(config, HashAssignment::fixed(32));
+        assert_eq!(p.selected_hash(Addr::new(0)), 4);
+    }
+
+    #[test]
+    fn history_stack_restores_caller_path() {
+        let config = PathConfig::new(10).with_history_stack(8);
+        let mut p = PathConditional::new(config, HashAssignment::fixed(4));
+        // Build caller history.
+        for i in 0..4u64 {
+            p.observe(&cond(0x100 + 4 * i, (0x500 + i) << 2, true));
+        }
+        let caller_index = p.core.index(Addr::new(0x9000));
+        // Call; the callee pollutes history.
+        p.observe(&BranchRecord::call(Addr::new(0x200), Addr::new(0x4000)));
+        for i in 0..6u64 {
+            p.observe(&cond(0x4000 + 4 * i, (0x900 + i) << 2, true));
+        }
+        assert_ne!(p.core.index(Addr::new(0x9000)), caller_index);
+        // Return restores the caller's history.
+        p.observe(&BranchRecord::ret(Addr::new(0x4100), Addr::new(0x204)));
+        assert_eq!(p.core.index(Addr::new(0x9000)), caller_index);
+    }
+
+    #[test]
+    fn without_stack_callee_history_persists() {
+        let config = PathConfig::new(10);
+        let mut p = PathConditional::new(config, HashAssignment::fixed(4));
+        for i in 0..4u64 {
+            p.observe(&cond(0x100 + 4 * i, (0x500 + i) << 2, true));
+        }
+        let caller_index = p.core.index(Addr::new(0x9000));
+        p.observe(&BranchRecord::call(Addr::new(0x200), Addr::new(0x4000)));
+        for i in 0..6u64 {
+            p.observe(&cond(0x4000 + 4 * i, (0x900 + i) << 2, true));
+        }
+        p.observe(&BranchRecord::ret(Addr::new(0x4100), Addr::new(0x204)));
+        assert_ne!(p.core.index(Addr::new(0x9000)), caller_index);
+    }
+
+    #[test]
+    fn dynamic_selection_converges_to_useful_length() {
+        // Outcome depends on the path 2 back; HF_1 can't see it, HF_2 can.
+        let config = PathConfig::new(10);
+        let mut p = PathConditional::new_dynamic(config, &[1, 2], 4);
+        let pc = Addr::new(0x9000);
+        let mut x: u32 = 3;
+        let mut correct = 0;
+        for i in 0..4000 {
+            x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+            let hidden = (x >> 16) & 1 == 1;
+            // Branch 2 back encodes `hidden` in its target.
+            p.observe(&cond(0x50, if hidden { 0x100 << 2 } else { 0x200 << 2 }, true));
+            // Branch 1 back is uncorrelated noise with a 50/50 target.
+            let noise = (x >> 18) & 1 == 1;
+            p.observe(&cond(0x60, if noise { 0x300 << 2 } else { 0x400 << 2 }, true));
+            let prediction = p.predict(pc);
+            p.train(pc, hidden);
+            p.observe(&cond(pc.raw(), 0x9100, hidden));
+            if prediction == hidden && i >= 1000 {
+                correct += 1;
+            }
+        }
+        assert!(
+            correct as f64 / 3000.0 > 0.9,
+            "dynamic selector should discover HF_2, got {correct}/3000"
+        );
+        assert_eq!(p.selected_hash(pc), 2);
+    }
+
+    #[test]
+    fn indirect_cold_predicts_null() {
+        let mut p = PathIndirect::new(PathConfig::new(8), HashAssignment::fixed(3));
+        assert_eq!(p.predict(Addr::new(0x10)), Addr::NULL);
+    }
+}

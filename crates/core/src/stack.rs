@@ -1,0 +1,106 @@
+//! The call/return history stack (paper §6, after Jacobson et al.):
+//! save path history at a call, restore it at the matching return, so
+//! post-return predictions see the caller's path instead of the callee's.
+
+/// A bounded stack of first-level-history snapshots.
+///
+/// On overflow the *oldest* snapshot is dropped (a circular hardware
+/// stack); a return with an empty stack is a no-op, leaving the current
+/// history in place — both behaviors mirror how a real implementation
+/// degrades on deep recursion or longjmp-style control flow.
+///
+/// # Example
+///
+/// ```
+/// use vlpp_core::HistoryStack;
+///
+/// let mut s = HistoryStack::new(4);
+/// s.push(vec![1, 2, 3]);
+/// assert_eq!(s.pop(), Some(vec![1, 2, 3]));
+/// assert_eq!(s.pop(), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HistoryStack {
+    snapshots: Vec<Vec<u64>>,
+    depth: usize,
+}
+
+impl HistoryStack {
+    /// Creates a stack holding up to `depth` snapshots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is 0.
+    pub fn new(depth: usize) -> Self {
+        assert!(depth >= 1, "history stack depth must be at least 1");
+        HistoryStack { snapshots: Vec::with_capacity(depth), depth }
+    }
+
+    /// Pushes a snapshot, dropping the oldest if the stack is full.
+    pub fn push(&mut self, snapshot: Vec<u64>) {
+        if self.snapshots.len() == self.depth {
+            self.snapshots.remove(0);
+        }
+        self.snapshots.push(snapshot);
+    }
+
+    /// Pops the most recent snapshot, or `None` if the stack is empty.
+    pub fn pop(&mut self) -> Option<Vec<u64>> {
+        self.snapshots.pop()
+    }
+
+    /// Current number of snapshots.
+    pub fn len(&self) -> usize {
+        self.snapshots.len()
+    }
+
+    /// Whether the stack is empty.
+    pub fn is_empty(&self) -> bool {
+        self.snapshots.is_empty()
+    }
+
+    /// The maximum number of snapshots.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_order() {
+        let mut s = HistoryStack::new(4);
+        s.push(vec![1]);
+        s.push(vec![2]);
+        assert_eq!(s.pop(), Some(vec![2]));
+        assert_eq!(s.pop(), Some(vec![1]));
+        assert_eq!(s.pop(), None);
+    }
+
+    #[test]
+    fn overflow_drops_oldest() {
+        let mut s = HistoryStack::new(2);
+        s.push(vec![1]);
+        s.push(vec![2]);
+        s.push(vec![3]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.pop(), Some(vec![3]));
+        assert_eq!(s.pop(), Some(vec![2]));
+        assert_eq!(s.pop(), None, "the oldest snapshot was dropped");
+    }
+
+    #[test]
+    fn underflow_is_none() {
+        let mut s = HistoryStack::new(1);
+        assert!(s.is_empty());
+        assert_eq!(s.pop(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "depth")]
+    fn rejects_zero_depth() {
+        HistoryStack::new(0);
+    }
+}

@@ -1,0 +1,198 @@
+//! Second-level predictor tables (paper §3.1): 2-bit counters for
+//! conditional branches, target registers for indirect branches.
+
+use vlpp_predict::Counter2;
+use vlpp_trace::Addr;
+
+/// A table of 2-bit saturating counters indexed by a path hash.
+///
+/// # Example
+///
+/// ```
+/// use vlpp_core::CounterTable;
+///
+/// let mut t = CounterTable::new(10);
+/// assert!(!t.predict(5));
+/// t.train(5, true);
+/// t.train(5, true);
+/// assert!(t.predict(5));
+/// ```
+#[derive(Debug, Clone)]
+pub struct CounterTable {
+    counters: Vec<Counter2>,
+    mask: u64,
+}
+
+impl CounterTable {
+    /// Creates a `2^index_bits`-entry counter table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index_bits` is 0 or greater than 28.
+    pub fn new(index_bits: u32) -> Self {
+        assert!(
+            index_bits >= 1 && index_bits <= 28,
+            "index width must be in 1..=28, got {index_bits}"
+        );
+        CounterTable {
+            counters: vec![Counter2::default(); 1 << index_bits],
+            mask: (1u64 << index_bits) - 1,
+        }
+    }
+
+    /// Predicts the direction stored at `index` (taken when the counter
+    /// is ≥ 2). Out-of-range index bits are masked off.
+    #[inline]
+    pub fn predict(&self, index: u64) -> bool {
+        self.counters[(index & self.mask) as usize].predict_taken()
+    }
+
+    /// Updates the counter at `index` with a resolved direction.
+    #[inline]
+    pub fn train(&mut self, index: u64, taken: bool) {
+        self.counters[(index & self.mask) as usize].update(taken);
+    }
+
+    /// The number of entries.
+    pub fn entries(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// The table size in bytes under the 2-bits-per-entry accounting.
+    pub fn bytes(&self) -> u64 {
+        self.counters.len() as u64 / 4
+    }
+}
+
+/// A table of target-address registers indexed by a path hash.
+///
+/// Each entry stores the low 32 bits of the last target written to it
+/// (paper footnote 1); predictions splice those bits under the high half
+/// of the predicted branch's own address.
+///
+/// # Example
+///
+/// ```
+/// use vlpp_core::TargetTable;
+/// use vlpp_trace::Addr;
+///
+/// let mut t = TargetTable::new(9);
+/// assert_eq!(t.predict(3, Addr::new(0x1000)), Addr::NULL);
+/// t.train(3, Addr::new(0x2000));
+/// assert_eq!(t.predict(3, Addr::new(0x1000)), Addr::new(0x2000));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TargetTable {
+    low32: Vec<u32>,
+    valid: Vec<bool>,
+    mask: u64,
+}
+
+impl TargetTable {
+    /// Creates a `2^index_bits`-entry target table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index_bits` is 0 or greater than 26.
+    pub fn new(index_bits: u32) -> Self {
+        assert!(
+            index_bits >= 1 && index_bits <= 26,
+            "index width must be in 1..=26, got {index_bits}"
+        );
+        TargetTable {
+            low32: vec![0; 1 << index_bits],
+            valid: vec![false; 1 << index_bits],
+            mask: (1u64 << index_bits) - 1,
+        }
+    }
+
+    /// Predicts the target stored at `index`, splicing the stored low 32
+    /// bits under `pc`'s high 32. Returns [`Addr::NULL`] for a
+    /// never-written entry.
+    #[inline]
+    pub fn predict(&self, index: u64, pc: Addr) -> Addr {
+        let i = (index & self.mask) as usize;
+        if self.valid[i] {
+            pc.with_low32(self.low32[i])
+        } else {
+            Addr::NULL
+        }
+    }
+
+    /// Writes the resolved `target` into the entry at `index`.
+    #[inline]
+    pub fn train(&mut self, index: u64, target: Addr) {
+        let i = (index & self.mask) as usize;
+        self.low32[i] = target.low32();
+        self.valid[i] = true;
+    }
+
+    /// The number of entries.
+    pub fn entries(&self) -> usize {
+        self.low32.len()
+    }
+
+    /// The table size in bytes under the 4-bytes-per-entry accounting.
+    pub fn bytes(&self) -> u64 {
+        self.low32.len() as u64 * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_table_defaults_not_taken() {
+        let t = CounterTable::new(6);
+        assert!((0..64).all(|i| !t.predict(i)));
+    }
+
+    #[test]
+    fn counter_table_masks_index() {
+        let mut t = CounterTable::new(4);
+        t.train(0x13, true);
+        t.train(0x13, true);
+        assert!(t.predict(0x3), "index 0x13 aliases to 0x3 in a 4-bit table");
+    }
+
+    #[test]
+    fn counter_table_budget_accounting() {
+        // 2^14 counters = 4 KB.
+        assert_eq!(CounterTable::new(14).bytes(), 4096);
+    }
+
+    #[test]
+    fn target_table_budget_accounting() {
+        // 2^9 targets = 2 KB.
+        assert_eq!(TargetTable::new(9).bytes(), 2048);
+    }
+
+    #[test]
+    fn target_table_splices_high_bits_from_pc() {
+        let mut t = TargetTable::new(4);
+        t.train(1, Addr::new(0xbbbb_0000_0000_2000));
+        let predicted = t.predict(1, Addr::new(0xaaaa_0000_0000_1000));
+        assert_eq!(predicted, Addr::new(0xaaaa_0000_0000_2000));
+    }
+
+    #[test]
+    fn target_table_overwrites_on_alias() {
+        let mut t = TargetTable::new(4);
+        t.train(2, Addr::new(0x100));
+        t.train(2 + 16, Addr::new(0x200)); // same masked index
+        assert_eq!(t.predict(2, Addr::new(0)), Addr::new(0x200));
+    }
+
+    #[test]
+    #[should_panic(expected = "index width")]
+    fn counter_table_rejects_zero_bits() {
+        CounterTable::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "index width")]
+    fn target_table_rejects_oversize() {
+        TargetTable::new(27);
+    }
+}

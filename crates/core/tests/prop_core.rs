@@ -1,0 +1,159 @@
+//! Property tests for the core predictor machinery.
+
+use proptest::prelude::*;
+use vlpp_core::{
+    hash_path, HashAssignment, IncrementalHashers, PathConditional, PathConfig, ProfileBuilder,
+    ProfileConfig, Thb,
+};
+use vlpp_predict::{BranchObserver, ConditionalPredictor};
+use vlpp_trace::{Addr, BranchRecord, Trace};
+
+proptest! {
+    /// The §4.1 partial-sum registers compute exactly the §3.3 hashes,
+    /// for every index width, THB capacity, path length, and target
+    /// stream.
+    #[test]
+    fn incremental_hashers_equal_direct_evaluation(
+        k in 1u32..=24,
+        capacity in 1usize..=32,
+        targets in prop::collection::vec(any::<u64>(), 1..120),
+    ) {
+        let mut thb = Thb::new(capacity, k);
+        let mut inc = IncrementalHashers::new(capacity, k);
+        for &raw in &targets {
+            let t = Addr::new(raw);
+            thb.push(t);
+            inc.push(t);
+            for len in 1..=capacity {
+                prop_assert_eq!(inc.index(len), hash_path(&thb, len), "len {}", len);
+            }
+        }
+    }
+
+    /// Hash indices always fit in k bits.
+    #[test]
+    fn hash_indices_fit_index_width(
+        k in 1u32..=30,
+        targets in prop::collection::vec(any::<u64>(), 1..60),
+    ) {
+        let mut inc = IncrementalHashers::new(8, k);
+        for &raw in &targets {
+            inc.push(Addr::new(raw));
+            for &index in inc.indices() {
+                if k < 64 {
+                    prop_assert!(index < (1u64 << k));
+                }
+            }
+        }
+    }
+
+    /// The THB is a faithful sliding window: after any push sequence,
+    /// T_1..T_len are the most recent pushes, newest first, compressed.
+    #[test]
+    fn thb_is_a_sliding_window(
+        capacity in 1usize..=32,
+        k in 1u32..=32,
+        targets in prop::collection::vec(any::<u64>(), 0..80),
+    ) {
+        let mut thb = Thb::new(capacity, k);
+        for &raw in &targets {
+            thb.push(Addr::new(raw));
+        }
+        let expected: Vec<u64> = targets
+            .iter()
+            .rev()
+            .take(capacity)
+            .map(|&raw| Addr::new(raw).low_bits(k))
+            .collect();
+        let got: Vec<u64> = thb.path(capacity).collect();
+        for (i, want) in expected.iter().enumerate() {
+            prop_assert_eq!(got[i], *want, "slot {}", i);
+        }
+        for slot in expected.len()..capacity {
+            prop_assert_eq!(got[slot], 0, "empty slot {}", slot);
+        }
+    }
+
+    /// Assignments store and retrieve arbitrary pc -> hash mappings.
+    #[test]
+    fn hash_assignment_is_a_map(
+        default in 1u8..=32,
+        entries in prop::collection::hash_map(any::<u64>(), 1u8..=32, 0..50),
+    ) {
+        let mut assignment = HashAssignment::fixed(default);
+        for (&pc, &n) in &entries {
+            assignment.assign(Addr::new(pc), n);
+        }
+        for (&pc, &n) in &entries {
+            prop_assert_eq!(assignment.get(Addr::new(pc)), n);
+        }
+        prop_assert_eq!(assignment.assigned_count(), entries.len());
+        let histogram = assignment.length_histogram();
+        prop_assert_eq!(histogram.iter().sum::<usize>(), entries.len());
+    }
+
+    /// A predictor is a deterministic state machine: the same trace
+    /// produces the same prediction sequence.
+    #[test]
+    fn path_predictor_is_deterministic(
+        seed in any::<u64>(),
+        length in 1u8..=16,
+    ) {
+        let trace = random_trace(seed, 400);
+        let run = || {
+            let mut p = PathConditional::new(PathConfig::new(10), HashAssignment::fixed(length));
+            let mut outcomes = Vec::new();
+            for r in trace.iter() {
+                if r.is_conditional() {
+                    outcomes.push(p.predict(r.pc()));
+                    p.train(r.pc(), r.taken());
+                }
+                p.observe(r);
+            }
+            outcomes
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Profiling only assigns hash numbers from the configured set, and
+    /// only to branches that actually appear in the trace.
+    #[test]
+    fn profiling_respects_hash_set(seed in any::<u64>()) {
+        let trace = random_trace(seed, 600);
+        let hash_set = vec![2u8, 5, 9];
+        let config = ProfileConfig::new(PathConfig::new(8))
+            .with_hash_set(hash_set.clone())
+            .with_iterations(2);
+        let report = ProfileBuilder::new(config).profile_conditional(&trace);
+        prop_assert!(hash_set.contains(&report.default_hash));
+        for (pc, n) in report.assignment.iter() {
+            prop_assert!(hash_set.contains(&n), "branch {pc} got hash {n}");
+            prop_assert!(
+                trace.conditionals().any(|r| r.pc() == pc),
+                "assigned branch {pc} not in trace"
+            );
+        }
+        prop_assert_eq!(report.step1.len(), hash_set.len());
+    }
+}
+
+/// A deterministic pseudo-random mixed trace.
+fn random_trace(seed: u64, n: usize) -> Trace {
+    let mut x = seed | 1;
+    let mut step = move || {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x
+    };
+    let mut trace = Trace::new();
+    for _ in 0..n {
+        let r = step();
+        let pc = Addr::new(((r >> 8) & 0xff) << 2 | 0x1000);
+        let target = Addr::new(((r >> 16) & 0xff) << 2 | 0x2000);
+        match r % 5 {
+            0 | 1 | 2 => trace.push(BranchRecord::conditional(pc, target, r & 1 == 0)),
+            3 => trace.push(BranchRecord::indirect(pc, target)),
+            _ => trace.push(BranchRecord::unconditional(pc, target)),
+        }
+    }
+    trace
+}

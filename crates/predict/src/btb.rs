@@ -1,0 +1,123 @@
+//! A BTB-style last-target predictor for indirect branches.
+
+use vlpp_trace::{Addr, BranchRecord};
+
+use crate::{BranchObserver, IndirectPredictor};
+
+/// A last-target predictor: a tagless table indexed by the branch address
+/// alone, each entry holding the branch's most recent target.
+///
+/// This models the branch-target-buffer scheme that history-based target
+/// caches were shown to dramatically improve on (Chang, Hao, Patt §2); it
+/// is the floor for indirect prediction, exact for monomorphic call sites
+/// and hopeless for polymorphic ones.
+///
+/// # Example
+///
+/// ```
+/// use vlpp_predict::{IndirectPredictor, LastTargetBtb};
+/// use vlpp_trace::Addr;
+///
+/// let mut p = LastTargetBtb::new(9);
+/// let pc = Addr::new(0x5000);
+/// p.train(pc, Addr::new(0x6000));
+/// assert_eq!(p.predict(pc), Addr::new(0x6000));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LastTargetBtb {
+    low32: Vec<u32>,
+    valid: Vec<bool>,
+    mask: u64,
+}
+
+impl LastTargetBtb {
+    /// Creates a last-target table with `2^index_bits` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index_bits` is 0 or greater than 26.
+    pub fn new(index_bits: u32) -> Self {
+        assert!(
+            index_bits >= 1 && index_bits <= 26,
+            "index width must be in 1..=26, got {index_bits}"
+        );
+        LastTargetBtb {
+            low32: vec![0; 1 << index_bits],
+            valid: vec![false; 1 << index_bits],
+            mask: (1u64 << index_bits) - 1,
+        }
+    }
+
+    #[inline]
+    fn index(&self, pc: Addr) -> usize {
+        (pc.word() & self.mask) as usize
+    }
+
+    /// The number of table entries.
+    pub fn entries(&self) -> usize {
+        self.low32.len()
+    }
+}
+
+impl BranchObserver for LastTargetBtb {
+    fn observe(&mut self, _: &BranchRecord) {}
+}
+
+impl IndirectPredictor for LastTargetBtb {
+    fn predict(&mut self, pc: Addr) -> Addr {
+        let index = self.index(pc);
+        if self.valid[index] {
+            pc.with_low32(self.low32[index])
+        } else {
+            Addr::NULL
+        }
+    }
+
+    fn train(&mut self, pc: Addr, target: Addr) {
+        let index = self.index(pc);
+        self.low32[index] = target.low32();
+        self.valid[index] = true;
+    }
+
+    fn name(&self) -> String {
+        "last-target".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_is_null() {
+        assert_eq!(LastTargetBtb::new(8).predict(Addr::new(0x44)), Addr::NULL);
+    }
+
+    #[test]
+    fn perfect_on_monomorphic_site() {
+        let mut p = LastTargetBtb::new(8);
+        let pc = Addr::new(0x80);
+        let t = Addr::new(0x9000);
+        p.train(pc, t);
+        for _ in 0..10 {
+            assert_eq!(p.predict(pc), t);
+            p.train(pc, t);
+        }
+    }
+
+    #[test]
+    fn hopeless_on_alternating_site() {
+        let mut p = LastTargetBtb::new(8);
+        let pc = Addr::new(0x80);
+        let (a, b) = (Addr::new(0x1000), Addr::new(0x2000));
+        let mut correct = 0;
+        for i in 0..100 {
+            let t = if i % 2 == 0 { a } else { b };
+            if p.predict(pc) == t {
+                correct += 1;
+            }
+            p.train(pc, t);
+        }
+        assert_eq!(correct, 0, "strict alternation defeats last-target completely");
+    }
+}

@@ -1,0 +1,165 @@
+//! Hardware-budget accounting: bytes → table index widths.
+//!
+//! The paper compares predictors "given a 4K byte hardware budget" etc.
+//! This module fixes the accounting used throughout the workspace:
+//!
+//! * conditional predictor tables hold 2-bit saturating counters, so a
+//!   `B`-byte table has `4·B` entries;
+//! * indirect predictor tables hold 4-byte target registers (footnote 1 of
+//!   the paper: only the low 32 bits of the 64-bit Alpha target are
+//!   stored), so a `B`-byte table has `B / 4` entries.
+//!
+//! First-level structures (history registers, the THB, partial-sum
+//! registers, the HFNT) are not charged against the budget, matching the
+//! paper's comparisons at equal second-level table size.
+
+use std::fmt;
+
+/// A hardware budget for a predictor's second-level table, in bytes.
+///
+/// # Example
+///
+/// ```
+/// use vlpp_predict::Budget;
+///
+/// let b = Budget::from_kib(4);
+/// assert_eq!(b.bytes(), 4096);
+/// assert_eq!(b.cond_index_bits(), 14); // 16 Ki two-bit counters
+/// assert_eq!(b.ind_index_bits(), 10);  // 1 Ki four-byte targets
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Budget {
+    bytes: u64,
+}
+
+impl Budget {
+    /// Creates a budget of `bytes` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is not a power of two or is smaller than 4
+    /// (the smallest table either accounting supports).
+    pub fn from_bytes(bytes: u64) -> Self {
+        assert!(bytes >= 4, "budget must be at least 4 bytes, got {bytes}");
+        assert!(bytes.is_power_of_two(), "budget must be a power of two, got {bytes}");
+        Budget { bytes }
+    }
+
+    /// Creates a budget of `kib` KiB.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`from_bytes`](Self::from_bytes).
+    pub fn from_kib(kib: u64) -> Self {
+        Budget::from_bytes(kib * 1024)
+    }
+
+    /// The budget in bytes.
+    pub fn bytes(self) -> u64 {
+        self.bytes
+    }
+
+    /// The budget in KiB, as a float (0.5 for 512 bytes).
+    pub fn kib(self) -> f64 {
+        self.bytes as f64 / 1024.0
+    }
+
+    /// Index width for a conditional-predictor table of this size
+    /// (2-bit counter entries).
+    pub fn cond_index_bits(self) -> u32 {
+        (self.bytes * 4).trailing_zeros()
+    }
+
+    /// Number of entries in a conditional-predictor table of this size.
+    pub fn cond_entries(self) -> usize {
+        1usize << self.cond_index_bits()
+    }
+
+    /// Index width for an indirect-predictor table of this size
+    /// (4-byte target entries).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the budget is smaller than 8 bytes (a 1-entry table has
+    /// index width 0, which no indexed predictor supports).
+    pub fn ind_index_bits(self) -> u32 {
+        let bits = (self.bytes / 4).trailing_zeros();
+        assert!(bits >= 1, "indirect budget of {} bytes is below the 8-byte minimum", self.bytes);
+        bits
+    }
+
+    /// Number of entries in an indirect-predictor table of this size.
+    pub fn ind_entries(self) -> usize {
+        1usize << self.ind_index_bits()
+    }
+}
+
+impl fmt::Display for Budget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.bytes % 1024 == 0 {
+            write!(f, "{}KB", self.bytes / 1024)
+        } else {
+            write!(f, "{}B", self.bytes)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_conditional_sizes() {
+        // Table 2 / Figure 9 sizes: 1K..256K bytes.
+        assert_eq!(Budget::from_kib(1).cond_index_bits(), 12);
+        assert_eq!(Budget::from_kib(4).cond_index_bits(), 14);
+        assert_eq!(Budget::from_kib(16).cond_index_bits(), 16);
+        assert_eq!(Budget::from_kib(64).cond_index_bits(), 18);
+        assert_eq!(Budget::from_kib(256).cond_index_bits(), 20);
+    }
+
+    #[test]
+    fn paper_indirect_sizes() {
+        // Table 2 / Figure 10 sizes: 0.5K..32K bytes.
+        assert_eq!(Budget::from_bytes(512).ind_index_bits(), 7);
+        assert_eq!(Budget::from_kib(2).ind_index_bits(), 9);
+        assert_eq!(Budget::from_kib(8).ind_index_bits(), 11);
+        assert_eq!(Budget::from_kib(32).ind_index_bits(), 13);
+    }
+
+    #[test]
+    fn entries_match_bits() {
+        let b = Budget::from_kib(2);
+        assert_eq!(b.cond_entries(), 1 << b.cond_index_bits());
+        assert_eq!(b.ind_entries(), 1 << b.ind_index_bits());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Budget::from_bytes(512).to_string(), "512B");
+        assert_eq!(Budget::from_kib(16).to_string(), "16KB");
+    }
+
+    #[test]
+    fn kib_fractional() {
+        assert_eq!(Budget::from_bytes(512).kib(), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        Budget::from_bytes(3000);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 4 bytes")]
+    fn rejects_tiny() {
+        Budget::from_bytes(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "8-byte minimum")]
+    fn rejects_indirect_below_minimum() {
+        Budget::from_bytes(4).ind_index_bits();
+    }
+}

@@ -1,0 +1,128 @@
+//! Two-bit saturating up/down counters.
+
+use std::fmt;
+
+/// A 2-bit saturating up/down counter, the paper's predictor-table entry
+/// for conditional branches (§3.1): incremented on taken, decremented on
+/// not-taken, predicts taken when the value is ≥ 2.
+///
+/// # Example
+///
+/// ```
+/// use vlpp_predict::Counter2;
+///
+/// let mut c = Counter2::default(); // weakly not-taken
+/// assert!(!c.predict_taken());
+/// c.update(true);
+/// c.update(true);
+/// assert!(c.predict_taken());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Counter2(u8);
+
+impl Counter2 {
+    /// Strongly not-taken (0).
+    pub const STRONG_NOT_TAKEN: Counter2 = Counter2(0);
+    /// Weakly not-taken (1) — the default initial state.
+    pub const WEAK_NOT_TAKEN: Counter2 = Counter2(1);
+    /// Weakly taken (2).
+    pub const WEAK_TAKEN: Counter2 = Counter2(2);
+    /// Strongly taken (3).
+    pub const STRONG_TAKEN: Counter2 = Counter2(3);
+
+    /// Creates a counter with an explicit initial value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is greater than 3.
+    pub fn new(value: u8) -> Self {
+        assert!(value <= 3, "2-bit counter value must be in 0..=3, got {value}");
+        Counter2(value)
+    }
+
+    /// The raw counter value in `0..=3`.
+    pub fn value(self) -> u8 {
+        self.0
+    }
+
+    /// Predicts taken when the counter is ≥ 2, as in the paper.
+    #[inline]
+    pub fn predict_taken(self) -> bool {
+        self.0 >= 2
+    }
+
+    /// Saturating update: increment on taken, decrement on not-taken.
+    #[inline]
+    pub fn update(&mut self, taken: bool) {
+        if taken {
+            if self.0 < 3 {
+                self.0 += 1;
+            }
+        } else if self.0 > 0 {
+            self.0 -= 1;
+        }
+    }
+}
+
+impl Default for Counter2 {
+    /// Weakly not-taken, a conventional neutral initialization.
+    fn default() -> Self {
+        Counter2::WEAK_NOT_TAKEN
+    }
+}
+
+impl fmt::Display for Counter2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self.0 {
+            0 => "strong-not-taken",
+            1 => "weak-not-taken",
+            2 => "weak-taken",
+            _ => "strong-taken",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saturates_at_both_ends() {
+        let mut c = Counter2::STRONG_TAKEN;
+        c.update(true);
+        assert_eq!(c, Counter2::STRONG_TAKEN);
+        let mut c = Counter2::STRONG_NOT_TAKEN;
+        c.update(false);
+        assert_eq!(c, Counter2::STRONG_NOT_TAKEN);
+    }
+
+    #[test]
+    fn threshold_is_two() {
+        assert!(!Counter2::new(0).predict_taken());
+        assert!(!Counter2::new(1).predict_taken());
+        assert!(Counter2::new(2).predict_taken());
+        assert!(Counter2::new(3).predict_taken());
+    }
+
+    #[test]
+    fn hysteresis_requires_two_flips() {
+        let mut c = Counter2::STRONG_TAKEN;
+        c.update(false);
+        assert!(c.predict_taken(), "one not-taken must not flip a strong counter");
+        c.update(false);
+        assert!(!c.predict_taken());
+    }
+
+    #[test]
+    #[should_panic(expected = "0..=3")]
+    fn rejects_out_of_range() {
+        Counter2::new(4);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Counter2::new(0).to_string(), "strong-not-taken");
+        assert_eq!(Counter2::new(3).to_string(), "strong-taken");
+    }
+}

@@ -1,0 +1,216 @@
+//! Dynamic History-Length Fitting (Juan, Sanjeevan, Navarro; ISCA 1998)
+//! — the hardware-adaptive cousin of variable length path prediction the
+//! paper's §2 discusses: "at regular intervals, the hardware selected
+//! the number of history bits to be used for making predictions".
+//!
+//! Where the variable length path predictor varies history *per branch*
+//! using profile information, DHLF varies one *global* history length
+//! over time. Implementing it lets the workspace compare the two forms
+//! of adaptivity directly.
+
+use vlpp_trace::{Addr, BranchKind, BranchRecord};
+
+use crate::{BranchObserver, ConditionalPredictor, Counter2, OutcomeHistory};
+
+/// A gshare-style predictor whose global history length is re-selected
+/// by the hardware at fixed intervals.
+///
+/// During each interval the predictor counts its mispredictions. At the
+/// interval boundary it hill-climbs: if the current length did worse
+/// than the previous interval, it reverses direction; otherwise it keeps
+/// stepping the same way. All predictions in an interval use the length
+/// chosen at its start (as in the original proposal).
+///
+/// # Example
+///
+/// ```
+/// use vlpp_predict::{ConditionalPredictor, Dhlf};
+/// use vlpp_trace::Addr;
+///
+/// let mut p = Dhlf::new(14, 4096);
+/// let _ = p.predict(Addr::new(0x40));
+/// p.train(Addr::new(0x40), true);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dhlf {
+    history: OutcomeHistory,
+    table: Vec<Counter2>,
+    index_bits: u32,
+    /// Current history length in bits (0..=index_bits).
+    length: u32,
+    interval: u64,
+    /// Mispredictions and predictions in the current interval.
+    interval_misses: u64,
+    interval_predictions: u64,
+    /// Miss rate of the previous interval, for the hill climb.
+    previous_rate: f64,
+    /// Current step direction: +1 or -1.
+    direction: i32,
+}
+
+impl Dhlf {
+    /// Creates a DHLF predictor with a `2^index_bits`-entry table,
+    /// re-fitting the history length every `interval` predictions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index_bits` is 0 or greater than 28, or `interval` is
+    /// zero.
+    pub fn new(index_bits: u32, interval: u64) -> Self {
+        assert!(
+            index_bits >= 1 && index_bits <= 28,
+            "index width must be in 1..=28, got {index_bits}"
+        );
+        assert!(interval >= 1, "refit interval must be positive");
+        Dhlf {
+            history: OutcomeHistory::new(index_bits),
+            table: vec![Counter2::default(); 1 << index_bits],
+            index_bits,
+            length: index_bits / 2,
+            interval,
+            interval_misses: 0,
+            interval_predictions: 0,
+            previous_rate: f64::INFINITY,
+            direction: 1,
+        }
+    }
+
+    /// The history length currently in use, in bits.
+    pub fn current_length(&self) -> u32 {
+        self.length
+    }
+
+    #[inline]
+    fn index(&self, pc: Addr) -> usize {
+        let mask = (1u64 << self.index_bits) - 1;
+        let history = if self.length == 0 {
+            0
+        } else {
+            self.history.bits() & ((1u64 << self.length) - 1)
+        };
+        ((history ^ pc.word()) & mask) as usize
+    }
+
+    fn maybe_refit(&mut self) {
+        if self.interval_predictions < self.interval {
+            return;
+        }
+        let rate = self.interval_misses as f64 / self.interval_predictions as f64;
+        if rate > self.previous_rate {
+            self.direction = -self.direction;
+        }
+        self.previous_rate = rate;
+        let next = self.length as i64 + self.direction as i64;
+        self.length = next.clamp(0, self.index_bits as i64) as u32;
+        self.interval_misses = 0;
+        self.interval_predictions = 0;
+    }
+}
+
+impl BranchObserver for Dhlf {
+    fn observe(&mut self, record: &BranchRecord) {
+        if record.kind() == BranchKind::Conditional {
+            self.history.push(record.taken());
+        }
+    }
+}
+
+impl ConditionalPredictor for Dhlf {
+    fn predict(&mut self, pc: Addr) -> bool {
+        self.table[self.index(pc)].predict_taken()
+    }
+
+    fn train(&mut self, pc: Addr, taken: bool) {
+        let index = self.index(pc);
+        let correct = self.table[index].predict_taken() == taken;
+        self.table[index].update(taken);
+        self.interval_predictions += 1;
+        if !correct {
+            self.interval_misses += 1;
+        }
+        self.maybe_refit();
+    }
+
+    fn name(&self) -> String {
+        "dhlf".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive(p: &mut Dhlf, pc: u64, taken: bool) -> bool {
+        let pc = Addr::new(pc);
+        let prediction = p.predict(pc);
+        p.train(pc, taken);
+        p.observe(&BranchRecord::conditional(pc, Addr::new(pc.raw() + 4), taken));
+        prediction
+    }
+
+    #[test]
+    fn length_stays_in_bounds() {
+        let mut p = Dhlf::new(8, 16);
+        let mut x: u32 = 3;
+        for _ in 0..5000 {
+            x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+            drive(&mut p, 0x1000 + ((x >> 8) & 0xfc) as u64, (x >> 16) & 1 == 1);
+            assert!(p.current_length() <= 8);
+        }
+    }
+
+    #[test]
+    fn length_adapts_over_time() {
+        let mut p = Dhlf::new(10, 64);
+        let start = p.current_length();
+        let mut x: u32 = 9;
+        let mut lengths = std::collections::HashSet::new();
+        for _ in 0..20_000 {
+            x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+            drive(&mut p, 0x1000, (x >> 16) & 1 == 1);
+            lengths.insert(p.current_length());
+        }
+        assert!(lengths.len() > 1, "length never moved from {start}");
+    }
+
+    #[test]
+    fn learns_biased_branches() {
+        let mut p = Dhlf::new(10, 128);
+        let mut correct = 0;
+        for i in 0..2000u32 {
+            if drive(&mut p, 0x4000, true) && i >= 200 {
+                correct += 1;
+            }
+        }
+        assert!(correct as f64 / 1800.0 > 0.97, "got {correct}/1800");
+    }
+
+    #[test]
+    fn learns_history_patterns_like_gshare() {
+        let mut p = Dhlf::new(10, 256);
+        let mut correct = 0;
+        for i in 0..6000u32 {
+            let taken = i % 3 != 2; // period-3 pattern
+            if drive(&mut p, 0x4000, taken) == taken && i >= 2000 {
+                correct += 1;
+            }
+        }
+        assert!(correct as f64 / 4000.0 > 0.85, "got {correct}/4000");
+    }
+
+    #[test]
+    fn zero_length_degenerates_to_bimodal_indexing() {
+        let mut p = Dhlf::new(8, 1_000_000);
+        p.length = 0;
+        // With no history, two different histories give the same index.
+        let i1 = p.index(Addr::new(0x40));
+        p.observe(&BranchRecord::conditional(Addr::new(0), Addr::new(4), true));
+        assert_eq!(p.index(Addr::new(0x40)), i1);
+    }
+
+    #[test]
+    #[should_panic(expected = "refit interval")]
+    fn rejects_zero_interval() {
+        Dhlf::new(8, 0);
+    }
+}

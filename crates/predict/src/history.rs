@@ -1,0 +1,225 @@
+//! First-level history registers: outcome (pattern) history and Nair-style
+//! path registers.
+
+use std::fmt;
+
+use vlpp_trace::Addr;
+
+/// A global outcome-history shift register ("pattern history" in the
+/// paper's vocabulary, after Young & Smith): the taken/not-taken outcomes
+/// of the most recent conditional branches, newest in the low bit.
+///
+/// # Example
+///
+/// ```
+/// use vlpp_predict::OutcomeHistory;
+///
+/// let mut h = OutcomeHistory::new(4);
+/// h.push(true);
+/// h.push(false);
+/// h.push(true);
+/// assert_eq!(h.bits(), 0b101);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutcomeHistory {
+    bits: u64,
+    width: u32,
+}
+
+impl OutcomeHistory {
+    /// Creates an all-zero history of `width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or greater than 64.
+    pub fn new(width: u32) -> Self {
+        assert!(width >= 1 && width <= 64, "history width must be in 1..=64, got {width}");
+        OutcomeHistory { bits: 0, width }
+    }
+
+    /// Shifts in one outcome (newest in the low bit).
+    #[inline]
+    pub fn push(&mut self, taken: bool) {
+        self.bits = (self.bits << 1) | taken as u64;
+        if self.width < 64 {
+            self.bits &= (1u64 << self.width) - 1;
+        }
+    }
+
+    /// The current history bits.
+    #[inline]
+    pub fn bits(&self) -> u64 {
+        self.bits
+    }
+
+    /// The register width in bits.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Clears the history to all zeros.
+    pub fn clear(&mut self) {
+        self.bits = 0;
+    }
+}
+
+impl fmt::Display for OutcomeHistory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:0width$b}", self.bits, width = self.width as usize)
+    }
+}
+
+/// A Nair-style path register: instead of outcomes, `q` low bits of each
+/// recent branch *target address* are shifted in. This "has the advantage
+/// of being able to represent the path, albeit imperfectly" (§2).
+///
+/// The Chang–Hao–Patt path-based target cache uses this register as its
+/// first level.
+///
+/// # Example
+///
+/// ```
+/// use vlpp_predict::PathRegister;
+/// use vlpp_trace::Addr;
+///
+/// let mut p = PathRegister::new(12, 4); // 12-bit register, 4 bits per target
+/// p.push(Addr::new(0xab << 2));
+/// p.push(Addr::new(0xcd << 2));
+/// assert_eq!(p.bits(), 0xbd); // low 4 bits of each word address
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathRegister {
+    bits: u64,
+    width: u32,
+    per_target: u32,
+}
+
+impl PathRegister {
+    /// Creates an all-zero path register of `width` bits that shifts in
+    /// `per_target` bits of each target's word address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or greater than 64, or if `per_target` is 0
+    /// or greater than `width`.
+    pub fn new(width: u32, per_target: u32) -> Self {
+        assert!(width >= 1 && width <= 64, "register width must be in 1..=64, got {width}");
+        assert!(
+            per_target >= 1 && per_target <= width,
+            "bits per target must be in 1..=width, got {per_target}"
+        );
+        PathRegister { bits: 0, width, per_target }
+    }
+
+    /// Shifts in the low `per_target` bits of `target`'s word address.
+    #[inline]
+    pub fn push(&mut self, target: Addr) {
+        let piece = target.low_bits(self.per_target);
+        self.bits = (self.bits << self.per_target) | piece;
+        if self.width < 64 {
+            self.bits &= (1u64 << self.width) - 1;
+        }
+    }
+
+    /// The current register contents.
+    #[inline]
+    pub fn bits(&self) -> u64 {
+        self.bits
+    }
+
+    /// The register width in bits.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// The number of bits contributed by each target.
+    pub fn per_target(&self) -> u32 {
+        self.per_target
+    }
+
+    /// How many most-recent targets the register can represent fully.
+    pub fn depth(&self) -> u32 {
+        self.width / self.per_target
+    }
+
+    /// Clears the register to all zeros.
+    pub fn clear(&mut self) {
+        self.bits = 0;
+    }
+}
+
+impl fmt::Display for PathRegister {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:0width$b}", self.bits, width = self.width as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_history_shifts_and_masks() {
+        let mut h = OutcomeHistory::new(3);
+        for _ in 0..5 {
+            h.push(true);
+        }
+        assert_eq!(h.bits(), 0b111);
+        h.push(false);
+        assert_eq!(h.bits(), 0b110);
+    }
+
+    #[test]
+    fn outcome_history_full_width() {
+        let mut h = OutcomeHistory::new(64);
+        h.push(true);
+        assert_eq!(h.bits(), 1);
+    }
+
+    #[test]
+    fn outcome_history_clear() {
+        let mut h = OutcomeHistory::new(8);
+        h.push(true);
+        h.clear();
+        assert_eq!(h.bits(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "history width")]
+    fn outcome_history_rejects_zero_width() {
+        OutcomeHistory::new(0);
+    }
+
+    #[test]
+    fn path_register_keeps_newest_targets() {
+        let mut p = PathRegister::new(8, 4);
+        p.push(Addr::new(0x1 << 2));
+        p.push(Addr::new(0x2 << 2));
+        p.push(Addr::new(0x3 << 2));
+        // Only the two most recent 4-bit pieces fit.
+        assert_eq!(p.bits(), 0x23);
+        assert_eq!(p.depth(), 2);
+    }
+
+    #[test]
+    fn path_register_uses_word_address() {
+        let mut p = PathRegister::new(8, 8);
+        p.push(Addr::new(0x104)); // word 0x41
+        assert_eq!(p.bits(), 0x41);
+    }
+
+    #[test]
+    #[should_panic(expected = "bits per target")]
+    fn path_register_rejects_oversized_piece() {
+        PathRegister::new(8, 9);
+    }
+
+    #[test]
+    fn displays_are_fixed_width_binary() {
+        let mut h = OutcomeHistory::new(4);
+        h.push(true);
+        assert_eq!(h.to_string(), "0001");
+        let p = PathRegister::new(6, 3);
+        assert_eq!(p.to_string(), "000000");
+    }
+}

@@ -1,0 +1,187 @@
+//! McFarling-style hybrid predictor: two component predictors and a
+//! chooser table (paper §2: "McFarling also introduced the concept of
+//! hybrid branch predictors").
+
+use vlpp_trace::{Addr, BranchRecord};
+
+use crate::{BranchObserver, ConditionalPredictor, Counter2};
+
+/// A two-component hybrid: a chooser table of 2-bit counters, indexed by
+/// the branch address, picks which component's prediction to use; the
+/// chooser trains toward the component that was correct (and moves only
+/// when exactly one of the two was right).
+///
+/// # Example
+///
+/// ```
+/// use vlpp_predict::{Bimodal, ConditionalPredictor, Gshare, Hybrid};
+/// use vlpp_trace::Addr;
+///
+/// let mut p = Hybrid::new(Gshare::new(12), Bimodal::new(12), 10);
+/// let _ = p.predict(Addr::new(0x40));
+/// p.train(Addr::new(0x40), true);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Hybrid<A, B> {
+    first: A,
+    second: B,
+    /// Chooser counters: ≥ 2 selects `first`.
+    chooser: Vec<Counter2>,
+    mask: u64,
+}
+
+impl<A: ConditionalPredictor, B: ConditionalPredictor> Hybrid<A, B> {
+    /// Creates a hybrid of two components with a `2^chooser_bits`-entry
+    /// chooser.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chooser_bits` is 0 or greater than 24.
+    pub fn new(first: A, second: B, chooser_bits: u32) -> Self {
+        assert!(
+            chooser_bits >= 1 && chooser_bits <= 24,
+            "chooser index width must be in 1..=24, got {chooser_bits}"
+        );
+        Hybrid {
+            first,
+            second,
+            chooser: vec![Counter2::WEAK_TAKEN; 1 << chooser_bits],
+            mask: (1u64 << chooser_bits) - 1,
+        }
+    }
+
+    #[inline]
+    fn chooser_index(&self, pc: Addr) -> usize {
+        (pc.word() & self.mask) as usize
+    }
+
+    /// Which component the chooser currently selects for `pc`
+    /// (`true` = the first component).
+    pub fn selects_first(&self, pc: Addr) -> bool {
+        self.chooser[self.chooser_index(pc)].predict_taken()
+    }
+}
+
+impl<A: ConditionalPredictor, B: ConditionalPredictor> BranchObserver for Hybrid<A, B> {
+    fn observe(&mut self, record: &BranchRecord) {
+        self.first.observe(record);
+        self.second.observe(record);
+    }
+}
+
+impl<A: ConditionalPredictor, B: ConditionalPredictor> ConditionalPredictor for Hybrid<A, B> {
+    fn predict(&mut self, pc: Addr) -> bool {
+        if self.selects_first(pc) {
+            self.first.predict(pc)
+        } else {
+            self.second.predict(pc)
+        }
+    }
+
+    fn train(&mut self, pc: Addr, taken: bool) {
+        let first_correct = self.first.predict(pc) == taken;
+        let second_correct = self.second.predict(pc) == taken;
+        if first_correct != second_correct {
+            let index = self.chooser_index(pc);
+            self.chooser[index].update(first_correct);
+        }
+        self.first.train(pc, taken);
+        self.second.train(pc, taken);
+    }
+
+    fn name(&self) -> String {
+        format!("hybrid({}/{})", self.first.name(), self.second.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Bimodal, Gshare};
+
+    fn drive<P: ConditionalPredictor + ?Sized>(p: &mut P, pc: u64, taken: bool) -> bool {
+        let pc = Addr::new(pc);
+        let prediction = p.predict(pc);
+        p.train(pc, taken);
+        p.observe(&BranchRecord::conditional(pc, Addr::new(pc.raw() + 4), taken));
+        prediction
+    }
+
+    #[test]
+    fn name_names_both_components() {
+        let p = Hybrid::new(Gshare::new(8), Bimodal::new(8), 8);
+        assert_eq!(p.name(), "hybrid(gshare/bimodal)");
+    }
+
+    #[test]
+    fn chooser_migrates_to_the_better_component() {
+        // Alternating branch: gshare learns it, bimodal cannot.
+        let mut p = Hybrid::new(Gshare::new(10), Bimodal::new(10), 8);
+        let mut correct = 0;
+        for i in 0..600u32 {
+            let taken = i % 2 == 0;
+            if drive(&mut p, 0x4000, taken) == taken && i >= 100 {
+                correct += 1;
+            }
+        }
+        assert!(correct as f64 / 500.0 > 0.95, "hybrid should track gshare: {correct}/500");
+        assert!(p.selects_first(Addr::new(0x4000)), "chooser should have picked gshare");
+    }
+
+    #[test]
+    fn chooser_can_pick_the_second_component() {
+        // A strongly biased branch amid heavy aliasing noise: bimodal's
+        // PC-indexed counter is stabler than gshare's history-indexed
+        // one. Drive noise branches through gshare's history only.
+        let mut p = Hybrid::new(Gshare::new(4), Bimodal::new(10), 8);
+        let mut x: u32 = 1;
+        for _ in 0..2000 {
+            x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+            drive(&mut p, 0x8000 + ((x >> 12) & 0xfc) as u64, (x >> 20) & 1 == 1);
+            drive(&mut p, 0x4000, true);
+        }
+        let mut correct = 0;
+        for _ in 0..200 {
+            x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+            drive(&mut p, 0x8000 + ((x >> 12) & 0xfc) as u64, (x >> 20) & 1 == 1);
+            if drive(&mut p, 0x4000, true) {
+                correct += 1;
+            }
+        }
+        assert!(correct > 190, "hybrid should be near-perfect on the biased branch: {correct}/200");
+    }
+
+    #[test]
+    fn hybrid_is_never_much_worse_than_its_best_component() {
+        let mut x: u32 = 7;
+        let mut records = Vec::new();
+        for i in 0..3000u32 {
+            x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+            let pc = 0x1000 + ((x >> 10) & 0x1f0) as u64;
+            records.push((pc, (x >> 20) & 3 != 0 || i % 2 == 0));
+        }
+        let run = |p: &mut dyn ConditionalPredictor| {
+            let mut misses = 0;
+            for &(pc, taken) in &records {
+                if drive(p, pc, taken) != taken {
+                    misses += 1;
+                }
+            }
+            misses
+        };
+        let gshare_misses = run(&mut Gshare::new(10));
+        let bimodal_misses = run(&mut Bimodal::new(10));
+        let hybrid_misses = run(&mut Hybrid::new(Gshare::new(10), Bimodal::new(10), 8));
+        let best = gshare_misses.min(bimodal_misses);
+        assert!(
+            hybrid_misses <= best + records.len() / 10,
+            "hybrid {hybrid_misses} vs best component {best}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "chooser index width")]
+    fn rejects_zero_chooser() {
+        Hybrid::new(Gshare::new(4), Bimodal::new(4), 0);
+    }
+}

@@ -1,0 +1,301 @@
+//! Chang–Hao–Patt "tagless" target caches for indirect branches.
+//!
+//! The baselines from P.-Y. Chang, E. Hao, Y. N. Patt, *Predicting
+//! indirect jumps using a target cache*, ISCA 1997 — the paper's
+//! comparison points for indirect branches. Both are a table of target
+//! addresses ("tagless": no tags, aliasing allowed) indexed by first-level
+//! history XORed with the branch address. They differ in the first level:
+//!
+//! * **pattern** variant — a global register of recent conditional branch
+//!   *outcomes*;
+//! * **path** variant — a global register of address bits from recent
+//!   branch *targets* (a Nair-style [`PathRegister`]).
+
+use vlpp_trace::{Addr, BranchKind, BranchRecord};
+
+use crate::{BranchObserver, IndirectPredictor, OutcomeHistory, PathRegister};
+
+/// Stored targets are 32 bits; the upper half of a prediction comes from
+/// the branch's own address (paper footnote 1).
+#[derive(Debug, Clone, Copy, Default)]
+struct Entry {
+    low32: u32,
+    valid: bool,
+}
+
+#[derive(Debug, Clone)]
+struct TargetTable {
+    entries: Vec<Entry>,
+    mask: u64,
+}
+
+impl TargetTable {
+    fn new(index_bits: u32) -> Self {
+        assert!(
+            index_bits >= 1 && index_bits <= 26,
+            "index width must be in 1..=26, got {index_bits}"
+        );
+        TargetTable { entries: vec![Entry::default(); 1 << index_bits], mask: (1u64 << index_bits) - 1 }
+    }
+
+    #[inline]
+    fn index(&self, history: u64, pc: Addr) -> usize {
+        ((history ^ pc.word()) & self.mask) as usize
+    }
+
+    #[inline]
+    fn predict(&self, index: usize, pc: Addr) -> Addr {
+        let entry = self.entries[index];
+        if entry.valid {
+            pc.with_low32(entry.low32)
+        } else {
+            Addr::NULL
+        }
+    }
+
+    #[inline]
+    fn train(&mut self, index: usize, target: Addr) {
+        self.entries[index] = Entry { low32: target.low32(), valid: true };
+    }
+}
+
+/// The pattern-based tagless target cache: indexed by global conditional
+/// outcome history XOR branch address.
+///
+/// # Example
+///
+/// ```
+/// use vlpp_predict::{IndirectPredictor, PatternTargetCache};
+/// use vlpp_trace::Addr;
+///
+/// let mut p = PatternTargetCache::new(9); // 512 entries = 2 KB
+/// let pc = Addr::new(0x5000);
+/// assert_eq!(p.predict(pc), Addr::NULL); // cold
+/// p.train(pc, Addr::new(0x6000));
+/// assert_eq!(p.predict(pc), Addr::new(0x6000));
+/// ```
+#[derive(Debug, Clone)]
+pub struct PatternTargetCache {
+    history: OutcomeHistory,
+    table: TargetTable,
+}
+
+impl PatternTargetCache {
+    /// Creates a pattern-based target cache with `2^index_bits` entries
+    /// and an `index_bits`-wide outcome history.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index_bits` is 0 or greater than 26.
+    pub fn new(index_bits: u32) -> Self {
+        PatternTargetCache {
+            history: OutcomeHistory::new(index_bits),
+            table: TargetTable::new(index_bits),
+        }
+    }
+
+    /// The number of target-table entries.
+    pub fn entries(&self) -> usize {
+        self.table.entries.len()
+    }
+}
+
+impl BranchObserver for PatternTargetCache {
+    fn observe(&mut self, record: &BranchRecord) {
+        if record.kind() == BranchKind::Conditional {
+            self.history.push(record.taken());
+        }
+    }
+}
+
+impl IndirectPredictor for PatternTargetCache {
+    fn predict(&mut self, pc: Addr) -> Addr {
+        let index = self.table.index(self.history.bits(), pc);
+        self.table.predict(index, pc)
+    }
+
+    fn train(&mut self, pc: Addr, target: Addr) {
+        let index = self.table.index(self.history.bits(), pc);
+        self.table.train(index, target);
+    }
+
+    fn name(&self) -> String {
+        "pattern (Chang, Hao, and Patt)".into()
+    }
+}
+
+/// The path-based tagless target cache: indexed by a global register of
+/// target-address pieces XOR branch address.
+///
+/// The register records `per_target` low bits of the target of every
+/// conditional and indirect branch (the same population the paper's THB
+/// records), holding `index_bits / per_target` targets — a *fixed*,
+/// imperfect path encoding, which is exactly what the variable-length
+/// path predictor improves on.
+///
+/// # Example
+///
+/// ```
+/// use vlpp_predict::{IndirectPredictor, PathTargetCache};
+/// use vlpp_trace::Addr;
+///
+/// let mut p = PathTargetCache::new(9, 3); // 512 entries, 3 bits/target
+/// let pc = Addr::new(0x5000);
+/// p.train(pc, Addr::new(0x6000));
+/// assert_eq!(p.predict(pc), Addr::new(0x6000));
+/// ```
+#[derive(Debug, Clone)]
+pub struct PathTargetCache {
+    path: PathRegister,
+    table: TargetTable,
+}
+
+impl PathTargetCache {
+    /// Creates a path-based target cache with `2^index_bits` entries and
+    /// `per_target` bits of each recent target in the path register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index_bits` is 0 or greater than 26, or `per_target` is
+    /// 0 or greater than `index_bits`.
+    pub fn new(index_bits: u32, per_target: u32) -> Self {
+        PathTargetCache {
+            path: PathRegister::new(index_bits, per_target),
+            table: TargetTable::new(index_bits),
+        }
+    }
+
+    /// The number of target-table entries.
+    pub fn entries(&self) -> usize {
+        self.table.entries.len()
+    }
+
+    /// How many targets the path register represents.
+    pub fn depth(&self) -> u32 {
+        self.path.depth()
+    }
+}
+
+impl BranchObserver for PathTargetCache {
+    fn observe(&mut self, record: &BranchRecord) {
+        if record.enters_thb() {
+            self.path.push(record.target());
+        }
+    }
+}
+
+impl IndirectPredictor for PathTargetCache {
+    fn predict(&mut self, pc: Addr) -> Addr {
+        let index = self.table.index(self.path.bits(), pc);
+        self.table.predict(index, pc)
+    }
+
+    fn train(&mut self, pc: Addr, target: Addr) {
+        let index = self.table.index(self.path.bits(), pc);
+        self.table.train(index, target);
+    }
+
+    fn name(&self) -> String {
+        "path (Chang, Hao, and Patt)".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_tables_predict_null() {
+        assert_eq!(PatternTargetCache::new(8).predict(Addr::new(0x10)), Addr::NULL);
+        assert_eq!(PathTargetCache::new(8, 2).predict(Addr::new(0x10)), Addr::NULL);
+    }
+
+    /// Pushes a full 8-outcome sequence, completely determining the
+    /// 8-bit history register.
+    fn set_outcome_context(p: &mut PatternTargetCache, outcomes: [bool; 8]) {
+        for taken in outcomes {
+            p.observe(&BranchRecord::conditional(Addr::new(0x10), Addr::new(0x20), taken));
+        }
+    }
+
+    #[test]
+    fn pattern_cache_separates_targets_by_history() {
+        let mut p = PatternTargetCache::new(8);
+        let pc = Addr::new(0x1000);
+        let (ta, tb) = (Addr::new(0x2000), Addr::new(0x3000));
+        let ctx_a = [true, false, true, true, false, false, true, true];
+        let ctx_b = [false, false, true, false, true, true, false, false];
+
+        set_outcome_context(&mut p, ctx_a);
+        p.train(pc, ta);
+        set_outcome_context(&mut p, ctx_b);
+        p.train(pc, tb);
+
+        set_outcome_context(&mut p, ctx_a);
+        assert_eq!(p.predict(pc), ta);
+        set_outcome_context(&mut p, ctx_b);
+        assert_eq!(p.predict(pc), tb);
+    }
+
+    /// Pushes two targets, completely determining the 8-bit, 4-bits-per-
+    /// target path register.
+    fn set_path_context(p: &mut PathTargetCache, t1: u64, t2: u64) {
+        p.observe(&BranchRecord::indirect(Addr::new(0x10), Addr::new(t1 << 2)));
+        p.observe(&BranchRecord::indirect(Addr::new(0x10), Addr::new(t2 << 2)));
+    }
+
+    #[test]
+    fn path_cache_separates_targets_by_path() {
+        let mut p = PathTargetCache::new(8, 4);
+        let pc = Addr::new(0x1000);
+        let (ta, tb) = (Addr::new(0x2000), Addr::new(0x3000));
+
+        set_path_context(&mut p, 0x5, 0x6);
+        p.train(pc, ta);
+        set_path_context(&mut p, 0x9, 0xa);
+        p.train(pc, tb);
+
+        set_path_context(&mut p, 0x5, 0x6);
+        assert_eq!(p.predict(pc), ta);
+        set_path_context(&mut p, 0x9, 0xa);
+        assert_eq!(p.predict(pc), tb);
+    }
+
+    #[test]
+    fn stored_target_is_32_bits() {
+        // A target that differs from the PC in the high 32 bits gets its
+        // high half from the PC (paper footnote 1).
+        let mut p = PatternTargetCache::new(8);
+        let pc = Addr::new(0xaaaa_0000_0000_1000);
+        let target = Addr::new(0xbbbb_0000_0000_2000);
+        p.train(pc, target);
+        assert_eq!(p.predict(pc), Addr::new(0xaaaa_0000_0000_2000));
+    }
+
+    #[test]
+    fn path_register_ignores_calls_and_returns() {
+        let mut p = PathTargetCache::new(8, 4);
+        p.observe(&BranchRecord::call(Addr::new(0x10), Addr::new(0xff << 2)));
+        p.observe(&BranchRecord::ret(Addr::new(0x10), Addr::new(0xee << 2)));
+        p.observe(&BranchRecord::unconditional(Addr::new(0x10), Addr::new(0xdd << 2)));
+        assert_eq!(p.path.bits(), 0);
+    }
+
+    #[test]
+    fn tagless_aliasing_overwrites() {
+        // Same history, two PCs mapping to the same entry: the second
+        // train evicts the first (no tags).
+        let mut p = PatternTargetCache::new(4);
+        let a = Addr::new(0x3 << 2);
+        let b = Addr::new((0x3 + 16) << 2);
+        p.train(a, Addr::new(0x100));
+        p.train(b, Addr::new(0x200));
+        assert_eq!(p.predict(a), Addr::new(0x200));
+    }
+
+    #[test]
+    fn names_match_paper_labels() {
+        assert!(PatternTargetCache::new(4).name().contains("pattern"));
+        assert!(PathTargetCache::new(4, 2).name().contains("path"));
+    }
+}

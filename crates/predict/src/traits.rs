@@ -1,0 +1,125 @@
+//! Predictor traits and the simulation protocol.
+
+use vlpp_trace::{Addr, BranchRecord};
+
+/// A component that watches the retired branch stream.
+///
+/// Global history structures — outcome shift registers, path registers,
+/// Target History Buffers — must advance on branches the predictor does
+/// not itself predict (e.g. a conditional predictor's path history still
+/// records indirect-branch targets). The simulation runner therefore calls
+/// [`observe`](Self::observe) once for *every* retired control transfer,
+/// after any `predict`/`train` pair for that branch.
+pub trait BranchObserver {
+    /// Notifies the component that `record` retired.
+    fn observe(&mut self, record: &BranchRecord);
+}
+
+/// A conditional-branch direction predictor.
+///
+/// The trace-driven protocol for each retired conditional branch is:
+///
+/// 1. [`predict`](Self::predict) with the branch PC,
+/// 2. [`train`](Self::train) with the resolved direction,
+/// 3. [`observe`](BranchObserver::observe) with the full record
+///    (also called for non-conditional branches).
+///
+/// `predict` takes `&mut self` because some predictors record prediction
+/// metadata (e.g. which hash function produced the used index) that
+/// `train` consumes.
+pub trait ConditionalPredictor: BranchObserver {
+    /// Predicts the direction of the branch at `pc`: `true` = taken.
+    fn predict(&mut self, pc: Addr) -> bool;
+
+    /// Trains the predictor with the resolved direction of the branch at
+    /// `pc`.
+    fn train(&mut self, pc: Addr, taken: bool);
+
+    /// A short human-readable name ("gshare", "vlp", …) used in reports.
+    fn name(&self) -> String;
+}
+
+/// An indirect-branch target predictor.
+///
+/// Returns are *not* presented to these predictors (the paper excludes
+/// them; a return address stack handles them in a real front end).
+/// The protocol mirrors [`ConditionalPredictor`].
+pub trait IndirectPredictor: BranchObserver {
+    /// Predicts the target of the indirect branch at `pc`.
+    ///
+    /// A predictor with no information for `pc` returns [`Addr::NULL`],
+    /// which the runner scores as a misprediction (unless the true target
+    /// happens to be null, which generated workloads never produce).
+    fn predict(&mut self, pc: Addr) -> Addr;
+
+    /// Trains the predictor with the resolved target of the indirect
+    /// branch at `pc`.
+    fn train(&mut self, pc: Addr, target: Addr);
+
+    /// A short human-readable name used in reports.
+    fn name(&self) -> String;
+}
+
+impl<T: BranchObserver + ?Sized> BranchObserver for Box<T> {
+    fn observe(&mut self, record: &BranchRecord) {
+        (**self).observe(record)
+    }
+}
+
+impl<T: ConditionalPredictor + ?Sized> ConditionalPredictor for Box<T> {
+    fn predict(&mut self, pc: Addr) -> bool {
+        (**self).predict(pc)
+    }
+
+    fn train(&mut self, pc: Addr, taken: bool) {
+        (**self).train(pc, taken)
+    }
+
+    fn name(&self) -> String {
+        (**self).name()
+    }
+}
+
+impl<T: IndirectPredictor + ?Sized> IndirectPredictor for Box<T> {
+    fn predict(&mut self, pc: Addr) -> Addr {
+        (**self).predict(pc)
+    }
+
+    fn train(&mut self, pc: Addr, target: Addr) {
+        (**self).train(pc, target)
+    }
+
+    fn name(&self) -> String {
+        (**self).name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct AlwaysTaken;
+
+    impl BranchObserver for AlwaysTaken {
+        fn observe(&mut self, _: &BranchRecord) {}
+    }
+
+    impl ConditionalPredictor for AlwaysTaken {
+        fn predict(&mut self, _: Addr) -> bool {
+            true
+        }
+        fn train(&mut self, _: Addr, _: bool) {}
+        fn name(&self) -> String {
+            "always-taken".into()
+        }
+    }
+
+    #[test]
+    fn trait_objects_work_through_box() {
+        let mut p: Box<dyn ConditionalPredictor> = Box::new(AlwaysTaken);
+        assert!(p.predict(Addr::new(0)));
+        p.train(Addr::new(0), false);
+        p.observe(&BranchRecord::conditional(Addr::new(0), Addr::new(4), false));
+        assert_eq!(p.name(), "always-taken");
+    }
+}

@@ -1,0 +1,253 @@
+//! Yeh–Patt two-level adaptive predictors: GAs and PAs.
+
+use vlpp_trace::{Addr, BranchKind, BranchRecord};
+
+use crate::{BranchObserver, ConditionalPredictor, Counter2, OutcomeHistory};
+
+/// The GAs two-level predictor: one **G**lobal outcome-history register;
+/// the branch **A**ddress selects one of several Pattern History Tables
+/// (**s**ets); the history value selects the counter within the PHT.
+///
+/// With `pht_select_bits = 0` this is GAg; gshare improves on GAs by
+/// XOR-folding history and address into a single table instead.
+///
+/// # Example
+///
+/// ```
+/// use vlpp_predict::{ConditionalPredictor, Gas};
+/// use vlpp_trace::Addr;
+///
+/// // 10 bits of history, 4 PHTs: 2^12 counters total (1 KB).
+/// let mut p = Gas::new(10, 2);
+/// let _ = p.predict(Addr::new(0x40));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Gas {
+    history: OutcomeHistory,
+    table: Vec<Counter2>,
+    history_bits: u32,
+    pht_select_bits: u32,
+}
+
+impl Gas {
+    /// Creates a GAs predictor with `history_bits` of global history and
+    /// `2^pht_select_bits` pattern history tables.
+    ///
+    /// Total counters: `2^(history_bits + pht_select_bits)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `history_bits` is 0, or the total index width exceeds 28.
+    pub fn new(history_bits: u32, pht_select_bits: u32) -> Self {
+        assert!(history_bits >= 1, "history width must be at least 1");
+        let total = history_bits + pht_select_bits;
+        assert!(total <= 28, "total index width must be <= 28, got {total}");
+        Gas {
+            history: OutcomeHistory::new(history_bits),
+            table: vec![Counter2::default(); 1 << total],
+            history_bits,
+            pht_select_bits,
+        }
+    }
+
+    #[inline]
+    fn index(&self, pc: Addr) -> usize {
+        let pht = if self.pht_select_bits == 0 { 0 } else { pc.low_bits(self.pht_select_bits) };
+        ((pht << self.history_bits) | self.history.bits()) as usize
+    }
+
+    /// The number of counter-table entries across all PHTs.
+    pub fn entries(&self) -> usize {
+        self.table.len()
+    }
+}
+
+impl BranchObserver for Gas {
+    fn observe(&mut self, record: &BranchRecord) {
+        if record.kind() == BranchKind::Conditional {
+            self.history.push(record.taken());
+        }
+    }
+}
+
+impl ConditionalPredictor for Gas {
+    fn predict(&mut self, pc: Addr) -> bool {
+        self.table[self.index(pc)].predict_taken()
+    }
+
+    fn train(&mut self, pc: Addr, taken: bool) {
+        let index = self.index(pc);
+        self.table[index].update(taken);
+    }
+
+    fn name(&self) -> String {
+        "gas".into()
+    }
+}
+
+/// The PAs two-level predictor: a **P**er-address branch-history table
+/// records each branch's own recent outcomes; the branch address selects
+/// the PHT set.
+///
+/// # Example
+///
+/// ```
+/// use vlpp_predict::{ConditionalPredictor, Pas};
+/// use vlpp_trace::Addr;
+///
+/// // 1 Ki-entry BHT of 8-bit local histories, 4 PHTs.
+/// let mut p = Pas::new(8, 10, 2);
+/// let _ = p.predict(Addr::new(0x40));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Pas {
+    bht: Vec<u64>,
+    table: Vec<Counter2>,
+    history_bits: u32,
+    bht_index_bits: u32,
+    pht_select_bits: u32,
+}
+
+impl Pas {
+    /// Creates a PAs predictor.
+    ///
+    /// * `history_bits` — width of each per-branch history register;
+    /// * `bht_index_bits` — the branch-history table has
+    ///   `2^bht_index_bits` entries, indexed by the branch address;
+    /// * `pht_select_bits` — `2^pht_select_bits` PHTs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `history_bits` is 0 or greater than 64, if
+    /// `bht_index_bits` exceeds 24, or if the total PHT index width
+    /// exceeds 28.
+    pub fn new(history_bits: u32, bht_index_bits: u32, pht_select_bits: u32) -> Self {
+        assert!(history_bits >= 1 && history_bits <= 64, "history width must be in 1..=64");
+        assert!(bht_index_bits <= 24, "BHT index width must be <= 24");
+        let total = history_bits + pht_select_bits;
+        assert!(total <= 28, "total PHT index width must be <= 28, got {total}");
+        Pas {
+            bht: vec![0; 1 << bht_index_bits],
+            table: vec![Counter2::default(); 1 << total],
+            history_bits,
+            bht_index_bits,
+            pht_select_bits,
+        }
+    }
+
+    #[inline]
+    fn bht_index(&self, pc: Addr) -> usize {
+        pc.low_bits(self.bht_index_bits) as usize
+    }
+
+    #[inline]
+    fn index(&self, pc: Addr) -> usize {
+        let history = self.bht[self.bht_index(pc)];
+        let pht = if self.pht_select_bits == 0 { 0 } else { pc.low_bits(self.pht_select_bits) };
+        ((pht << self.history_bits) | history) as usize
+    }
+
+    /// The number of counter-table entries across all PHTs.
+    pub fn entries(&self) -> usize {
+        self.table.len()
+    }
+}
+
+impl BranchObserver for Pas {
+    fn observe(&mut self, record: &BranchRecord) {
+        if record.kind() == BranchKind::Conditional {
+            let index = self.bht_index(record.pc());
+            let mask =
+                if self.history_bits == 64 { u64::MAX } else { (1u64 << self.history_bits) - 1 };
+            self.bht[index] = ((self.bht[index] << 1) | record.taken() as u64) & mask;
+        }
+    }
+}
+
+impl ConditionalPredictor for Pas {
+    fn predict(&mut self, pc: Addr) -> bool {
+        self.table[self.index(pc)].predict_taken()
+    }
+
+    fn train(&mut self, pc: Addr, taken: bool) {
+        let index = self.index(pc);
+        self.table[index].update(taken);
+    }
+
+    fn name(&self) -> String {
+        "pas".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive<P: ConditionalPredictor>(p: &mut P, pc: u64, taken: bool) -> bool {
+        let pc = Addr::new(pc);
+        let prediction = p.predict(pc);
+        p.train(pc, taken);
+        p.observe(&BranchRecord::conditional(pc, Addr::new(pc.raw() + 4), taken));
+        prediction
+    }
+
+    #[test]
+    fn gas_learns_global_correlation() {
+        let mut p = Gas::new(8, 2);
+        let mut correct = 0;
+        let mut x: u32 = 7;
+        for i in 0..2000 {
+            x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+            let a = (x >> 16) & 1 == 1;
+            drive(&mut p, 0x1000, a);
+            if drive(&mut p, 0x2000, a) == a && i >= 200 {
+                correct += 1;
+            }
+        }
+        assert!(correct as f64 / 1800.0 > 0.95, "GAs should learn correlation, got {correct}");
+    }
+
+    #[test]
+    fn pas_learns_local_period() {
+        // Period-3 pattern T,T,N repeated: local history nails it, and a
+        // *global* register polluted by another noisy branch does not.
+        let mut p = Pas::new(8, 8, 0);
+        let mut correct = 0;
+        let mut x: u32 = 99;
+        for i in 0..3000u32 {
+            x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+            drive(&mut p, 0x9000, (x >> 13) & 1 == 1); // noise branch
+            let taken = i % 3 != 2;
+            if drive(&mut p, 0x1000, taken) == taken && i >= 300 {
+                correct += 1;
+            }
+        }
+        assert!(correct as f64 / 2700.0 > 0.95, "PAs should learn local period, got {correct}");
+    }
+
+    #[test]
+    fn gas_entries_scale_with_both_widths() {
+        assert_eq!(Gas::new(10, 2).entries(), 4096);
+        assert_eq!(Gas::new(12, 0).entries(), 4096);
+    }
+
+    #[test]
+    fn pas_histories_are_private() {
+        let mut p = Pas::new(4, 8, 0);
+        p.observe(&BranchRecord::conditional(Addr::new(0x4), Addr::new(0x8), true));
+        assert_eq!(p.bht[1], 1); // word address 1
+        assert_eq!(p.bht[2], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "total index width")]
+    fn gas_rejects_oversized() {
+        Gas::new(20, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "total PHT index width")]
+    fn pas_rejects_oversized() {
+        Pas::new(20, 8, 10);
+    }
+}

@@ -1,0 +1,140 @@
+//! Property tests for the baseline predictors.
+
+use proptest::prelude::*;
+use vlpp_predict::{
+    Bimodal, BranchObserver, Budget, ConditionalPredictor, Counter2, Gas, Gshare,
+    IndirectPredictor, LastTargetBtb, OutcomeHistory, Pas, PathRegister, PathTargetCache,
+    PatternTargetCache,
+};
+use vlpp_trace::{Addr, BranchRecord};
+
+proptest! {
+    /// A 2-bit counter never leaves 0..=3 and flips prediction only
+    /// after crossing the threshold.
+    #[test]
+    fn counter_stays_in_range(updates in prop::collection::vec(any::<bool>(), 0..200)) {
+        let mut c = Counter2::default();
+        for taken in updates {
+            c.update(taken);
+            prop_assert!(c.value() <= 3);
+            prop_assert_eq!(c.predict_taken(), c.value() >= 2);
+        }
+    }
+
+    /// An outcome history register always equals the last `width`
+    /// outcomes packed newest-in-low-bit.
+    #[test]
+    fn outcome_history_matches_reference(
+        width in 1u32..=63,
+        outcomes in prop::collection::vec(any::<bool>(), 0..100),
+    ) {
+        let mut h = OutcomeHistory::new(width);
+        let mut reference: u64 = 0;
+        for taken in outcomes {
+            h.push(taken);
+            reference = ((reference << 1) | taken as u64) & ((1u64 << width) - 1);
+            prop_assert_eq!(h.bits(), reference);
+        }
+    }
+
+    /// A path register equals the concatenation of the last pieces.
+    #[test]
+    fn path_register_matches_reference(
+        per in 1u32..=8,
+        depth_units in 1u32..=6,
+        targets in prop::collection::vec(any::<u64>(), 0..60),
+    ) {
+        let width = per * depth_units;
+        let mut p = PathRegister::new(width, per);
+        let mut reference: u64 = 0;
+        let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        for &raw in &targets {
+            let t = Addr::new(raw);
+            p.push(t);
+            reference = ((reference << per) | t.low_bits(per)) & mask;
+            prop_assert_eq!(p.bits(), reference);
+        }
+    }
+
+    /// Budget accounting: entries × entry size = bytes.
+    #[test]
+    fn budget_accounting_is_consistent(shift in 3u32..=20) {
+        let bytes = 1u64 << shift;
+        let b = Budget::from_bytes(bytes);
+        prop_assert_eq!(b.cond_entries() as u64 / 4, bytes);
+        prop_assert_eq!(b.ind_entries() as u64 * 4, bytes);
+    }
+
+    /// All conditional predictors are deterministic state machines and
+    /// produce exactly one prediction per conditional branch.
+    #[test]
+    fn conditional_predictors_are_deterministic(seed in any::<u64>()) {
+        let records = random_records(seed, 300);
+        fn drive<P: ConditionalPredictor>(mut p: P, records: &[BranchRecord]) -> Vec<bool> {
+            let mut out = Vec::new();
+            for r in records {
+                if r.is_conditional() {
+                    out.push(p.predict(r.pc()));
+                    p.train(r.pc(), r.taken());
+                }
+                p.observe(r);
+            }
+            out
+        }
+        prop_assert_eq!(drive(Gshare::new(10), &records), drive(Gshare::new(10), &records));
+        prop_assert_eq!(drive(Bimodal::new(10), &records), drive(Bimodal::new(10), &records));
+        prop_assert_eq!(drive(Gas::new(8, 2), &records), drive(Gas::new(8, 2), &records));
+        prop_assert_eq!(drive(Pas::new(6, 8, 2), &records), drive(Pas::new(6, 8, 2), &records));
+    }
+
+    /// Indirect predictors: after training on (pc, target) with frozen
+    /// history, the next prediction at the same pc returns that target.
+    #[test]
+    fn indirect_predictors_recall_last_train(pc in any::<u64>(), target in 1u64..u64::MAX) {
+        let pc = Addr::new(pc);
+        let target = Addr::new(target);
+        let expected = pc.with_low32(target.low32());
+
+        let mut p = PatternTargetCache::new(10);
+        p.train(pc, target);
+        prop_assert_eq!(p.predict(pc), expected);
+
+        let mut p = PathTargetCache::new(10, 2);
+        p.train(pc, target);
+        prop_assert_eq!(p.predict(pc), expected);
+
+        let mut p = LastTargetBtb::new(10);
+        p.train(pc, target);
+        prop_assert_eq!(p.predict(pc), expected);
+    }
+
+    /// History updates never affect a bimodal predictor (no first-level
+    /// history), while they can change gshare's index.
+    #[test]
+    fn bimodal_ignores_history(seed in any::<u64>()) {
+        let records = random_records(seed, 100);
+        let pc = Addr::new(0x4000);
+        let mut with = Bimodal::new(10);
+        let mut without = Bimodal::new(10);
+        for r in &records {
+            with.observe(r);
+        }
+        prop_assert_eq!(with.predict(pc), without.predict(pc));
+    }
+}
+
+fn random_records(seed: u64, n: usize) -> Vec<BranchRecord> {
+    let mut x = seed | 1;
+    (0..n)
+        .map(|_| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let pc = Addr::new(((x >> 8) & 0x3ff) << 2);
+            let target = Addr::new(((x >> 20) & 0x3ff) << 2);
+            if x % 4 == 0 {
+                BranchRecord::indirect(pc, target)
+            } else {
+                BranchRecord::conditional(pc, target, x & 1 == 0)
+            }
+        })
+        .collect()
+}

@@ -1,0 +1,254 @@
+//! `vlpp` — run any of the paper's experiments from the command line.
+//!
+//! ```text
+//! vlpp <experiment> [--scale N] [--json]
+//!
+//! experiments:
+//!   table1 table2 table3 fig5 fig6 fig7 fig8 fig9 fig10 headline hfnt
+//!   ablate-hashes ablate-select ablate-returns ablate-candidates
+//!   ablate-interference ablate-stack
+//!   all        (every table and figure, in order)
+//! ```
+
+use std::process::ExitCode;
+
+use vlpp_sim::paper;
+use vlpp_sim::report::TextTable;
+use vlpp_sim::{Scale, Workloads};
+
+const USAGE: &str = "\
+usage: vlpp <experiment> [--scale N] [--json]
+
+experiments:
+  table1     Table 1: benchmark summary
+  table2     Table 2: best fixed path length per table size
+  table3     Table 3: indirect misprediction, 8 benchmarks, 2KB
+  fig5       Figure 5: conditional @16KB, SPEC
+  fig6       Figure 6: conditional @16KB, non-SPEC
+  fig7       Figure 7: indirect @2KB, SPEC
+  fig8       Figure 8: indirect @2KB, non-SPEC
+  fig9       Figure 9: gcc conditional sweep (1KB-256KB)
+  fig10      Figure 10: gcc indirect sweep (0.5KB-32KB)
+  headline   the abstract's gcc numbers (4KB cond, 512B ind)
+  hfnt       section 4.3 HFNT re-prediction cost
+  analyze    section 5.3 analysis: miss rates by behavior class (gcc)
+  lengths    profiled path-length histogram (gcc)
+  ras        return address stack accuracy (all benchmarks)
+  frontend   fetch cycles/branch for four front-end configurations
+  related-cond | related-ind   every related-work predictor on gcc
+  ablate-hashes | ablate-select | ablate-returns | ablate-candidates |
+  ablate-interference | ablate-stack
+  all        every table and figure, in order
+
+options:
+  --scale N  divide the paper's dynamic branch counts by N (default 16;
+             also via VLPP_SCALE)
+  --json     emit JSON instead of text tables
+";
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut experiment: Option<String> = None;
+    let mut scale = Scale::from_env();
+    let mut json = false;
+
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let value = match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                    Some(v) if v >= 1 => v,
+                    _ => {
+                        eprintln!("--scale needs a positive integer");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                scale = Scale::new(value);
+            }
+            "--json" => json = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if experiment.is_none() => experiment = Some(other.to_string()),
+            other => {
+                eprintln!("unexpected argument `{other}`\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let Some(experiment) = experiment else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+
+    let workloads = Workloads::new(scale);
+    eprintln!("# scale: 1/{} of paper dynamic counts", scale.divisor());
+
+    let ids: Vec<&str> = if experiment == "all" {
+        vec![
+            "table1", "table2", "fig5", "fig6", "fig7", "fig8", "table3", "fig9", "fig10",
+            "headline", "hfnt",
+        ]
+    } else {
+        vec![experiment.as_str()]
+    };
+
+    for id in ids {
+        match run_one(id, &workloads, json) {
+            Ok(output) => {
+                println!("== {id} ==");
+                println!("{output}");
+            }
+            Err(message) => {
+                eprintln!("{message}\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn run_one(id: &str, workloads: &Workloads, json: bool) -> Result<String, String> {
+    fn emit<T: serde::Serialize>(data: &T, table: TextTable, json: bool) -> String {
+        if json {
+            serde_json::to_string_pretty(data).expect("experiment data serializes")
+        } else {
+            table.render()
+        }
+    }
+
+    Ok(match id {
+        "table1" => {
+            let rows = paper::table1(workloads);
+            emit(&rows, paper::Table1Row::render(&rows), json)
+        }
+        "table2" => {
+            let data = paper::table2(workloads);
+            emit(&data, data.render(), json)
+        }
+        "table3" => {
+            let rows = paper::table3(workloads);
+            emit(&rows, paper::render_table3(&rows), json)
+        }
+        "fig5" => {
+            let rows = paper::figure5(workloads);
+            let mut output = emit(&rows, paper::CondRow::render(&rows), json);
+            if !json {
+                output.push_str(&format!(
+                    "mean VLP reduction vs gshare: {:.1}%\n",
+                    100.0 * paper::CondRow::mean_reduction_vs_gshare(&rows)
+                ));
+            }
+            output
+        }
+        "fig6" => {
+            let rows = paper::figure6(workloads);
+            let mut output = emit(&rows, paper::CondRow::render(&rows), json);
+            if !json {
+                output.push_str(&format!(
+                    "mean VLP reduction vs gshare: {:.1}%\n",
+                    100.0 * paper::CondRow::mean_reduction_vs_gshare(&rows)
+                ));
+            }
+            output
+        }
+        "fig7" => {
+            let rows = paper::figure7(workloads);
+            emit(&rows, paper::IndRow::render(&rows), json)
+        }
+        "fig8" => {
+            let rows = paper::figure8(workloads);
+            emit(&rows, paper::IndRow::render(&rows), json)
+        }
+        "fig9" => {
+            let points = paper::figure9(workloads);
+            let mut output = emit(&points, paper::GccCondPoint::render(&points), json);
+            if !json {
+                let mut chart = vlpp_sim::report::AsciiChart::new(
+                    points.iter().map(|p| vlpp_predict::Budget::from_bytes(p.bytes).to_string()).collect(),
+                );
+                chart.series('g', "gshare", points.iter().map(|p| p.gshare).collect());
+                chart.series('f', "fixed length path", points.iter().map(|p| p.fixed).collect());
+                chart.series('t', "fixed (tuned)", points.iter().map(|p| p.fixed_tuned).collect());
+                chart.series('v', "variable length path", points.iter().map(|p| p.variable).collect());
+                output.push('\n');
+                output.push_str(&chart.render(14));
+            }
+            output
+        }
+        "fig10" => {
+            let points = paper::figure10(workloads);
+            let mut output = emit(&points, paper::GccIndPoint::render(&points), json);
+            if !json {
+                let mut chart = vlpp_sim::report::AsciiChart::new(
+                    points.iter().map(|p| vlpp_predict::Budget::from_bytes(p.bytes).to_string()).collect(),
+                );
+                chart.series('p', "path (CHP)", points.iter().map(|p| p.path).collect());
+                chart.series('n', "pattern (CHP)", points.iter().map(|p| p.pattern).collect());
+                chart.series('f', "fixed length path", points.iter().map(|p| p.fixed).collect());
+                chart.series('v', "variable length path", points.iter().map(|p| p.variable).collect());
+                output.push('\n');
+                output.push_str(&chart.render(14));
+            }
+            output
+        }
+        "headline" => {
+            let data = paper::headline(workloads);
+            emit(&data, data.render(), json)
+        }
+        "hfnt" => {
+            let rows = paper::hfnt_experiment(workloads);
+            emit(&rows, paper::HfntRow::render(&rows), json)
+        }
+        "analyze" => {
+            let rows = paper::analyze_gcc(workloads);
+            emit(&rows, paper::AnalysisRow::render(&rows), json)
+        }
+        "lengths" => {
+            let data = paper::length_histogram(workloads, "gcc");
+            emit(&data, data.render(), json)
+        }
+        "ras" => {
+            let rows = paper::ras_experiment(workloads);
+            emit(&rows, paper::RasRow::render(&rows), json)
+        }
+        "frontend" => {
+            let rows = paper::frontend_experiment(workloads);
+            emit(&rows, paper::FrontendRow::render(&rows), json)
+        }
+        "related-cond" => {
+            let rows = paper::related_conditional(workloads);
+            emit(&rows, paper::RelatedRow::render(&rows), json)
+        }
+        "related-ind" => {
+            let rows = paper::related_indirect(workloads);
+            emit(&rows, paper::RelatedRow::render(&rows), json)
+        }
+        "ablate-hashes" => {
+            let rows = paper::ablate_subset_hashes(workloads);
+            emit(&rows, paper::AblationRow::render(&rows), json)
+        }
+        "ablate-select" => {
+            let rows = paper::ablate_dynamic_select(workloads);
+            emit(&rows, paper::AblationRow::render(&rows), json)
+        }
+        "ablate-returns" => {
+            let rows = paper::ablate_returns(workloads);
+            emit(&rows, paper::AblationRow::render(&rows), json)
+        }
+        "ablate-candidates" => {
+            let rows = paper::ablate_candidates(workloads);
+            emit(&rows, paper::AblationRow::render(&rows), json)
+        }
+        "ablate-interference" => {
+            let rows = paper::ablate_interference(workloads);
+            emit(&rows, paper::AblationRow::render(&rows), json)
+        }
+        "ablate-stack" => {
+            let rows = paper::ablate_history_stack(workloads);
+            emit(&rows, paper::AblationRow::render(&rows), json)
+        }
+        other => return Err(format!("unknown experiment `{other}`")),
+    })
+}

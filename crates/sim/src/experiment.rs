@@ -1,0 +1,237 @@
+//! Experiment context: workload scaling, trace construction, and cached
+//! cross-benchmark artifacts (profile reports, best fixed lengths).
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use vlpp_core::{PathConfig, ProfileBuilder, ProfileConfig, ProfileReport};
+use vlpp_synth::{suite, BenchmarkSpec, InputSet};
+use vlpp_trace::Trace;
+
+/// Workload scale: the paper's dynamic branch counts divided by
+/// `divisor`. 1 reproduces full paper-size runs; the default 16 keeps a
+/// full experiment under a minute while leaving hundreds of thousands to
+/// millions of branches per benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale {
+    divisor: u64,
+}
+
+impl Scale {
+    /// The default scale (divisor 16).
+    pub const DEFAULT: Scale = Scale { divisor: 16 };
+
+    /// A scale dividing the paper's dynamic counts by `divisor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    pub fn new(divisor: u64) -> Self {
+        assert!(divisor >= 1, "scale divisor must be at least 1");
+        Scale { divisor }
+    }
+
+    /// Reads `VLPP_SCALE` from the environment, falling back to the
+    /// default.
+    pub fn from_env() -> Self {
+        std::env::var("VLPP_SCALE")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .map(Scale::new)
+            .unwrap_or(Scale::DEFAULT)
+    }
+
+    /// The divisor.
+    pub fn divisor(&self) -> u64 {
+        self.divisor
+    }
+
+    /// The scaled dynamic conditional-branch count for a benchmark,
+    /// floored at 50 000 so tiny scales still produce meaningful rates.
+    pub fn dynamic_conditionals(&self, spec: &BenchmarkSpec) -> u64 {
+        (spec.default_dynamic_conditional / self.divisor).max(50_000)
+    }
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Scale::DEFAULT
+    }
+}
+
+/// Which branch population an artifact belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Kind {
+    /// Conditional branches.
+    Conditional,
+    /// Indirect branches.
+    Indirect,
+}
+
+/// The experiment context: builds traces on demand (they are too large
+/// to cache) and memoizes the small expensive artifacts — per-benchmark
+/// profile reports and the cross-benchmark best fixed path lengths of
+/// Table 2.
+#[derive(Debug)]
+pub struct Workloads {
+    scale: Scale,
+    profiles: Mutex<HashMap<(String, Kind, u32), Arc<ProfileReport>>>,
+    fixed_lengths: Mutex<HashMap<(Kind, u32), u8>>,
+}
+
+impl Workloads {
+    /// Creates a context at the given scale.
+    pub fn new(scale: Scale) -> Self {
+        Workloads {
+            scale,
+            profiles: Mutex::new(HashMap::new()),
+            fixed_lengths: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The context's scale.
+    pub fn scale(&self) -> Scale {
+        self.scale
+    }
+
+    /// The measurement (test-input) trace for a benchmark.
+    pub fn test_trace(&self, spec: &BenchmarkSpec) -> Trace {
+        let program = spec.build_program();
+        program.execute_conditionals(InputSet::Test, self.scale.dynamic_conditionals(spec))
+    }
+
+    /// The profiling-input trace for a benchmark.
+    pub fn profile_trace(&self, spec: &BenchmarkSpec) -> Trace {
+        let program = spec.build_program();
+        program.execute_conditionals(InputSet::Profile, self.scale.dynamic_conditionals(spec))
+    }
+
+    /// The §3.5 profile report for a benchmark's conditional branches at
+    /// a given predictor-table index width. Memoized.
+    pub fn profile_conditional(&self, spec: &BenchmarkSpec, index_bits: u32) -> Arc<ProfileReport> {
+        self.profile(spec, Kind::Conditional, index_bits)
+    }
+
+    /// The §3.5 profile report for a benchmark's indirect branches.
+    /// Memoized.
+    pub fn profile_indirect(&self, spec: &BenchmarkSpec, index_bits: u32) -> Arc<ProfileReport> {
+        self.profile(spec, Kind::Indirect, index_bits)
+    }
+
+    fn profile(&self, spec: &BenchmarkSpec, kind: Kind, index_bits: u32) -> Arc<ProfileReport> {
+        let key = (spec.name.clone(), kind, index_bits);
+        if let Some(report) = self.profiles.lock().expect("profile cache").get(&key) {
+            return Arc::clone(report);
+        }
+        let trace = self.profile_trace(spec);
+        let builder = ProfileBuilder::new(ProfileConfig::new(PathConfig::new(index_bits)));
+        let report = Arc::new(match kind {
+            Kind::Conditional => builder.profile_conditional(&trace),
+            Kind::Indirect => builder.profile_indirect(&trace),
+        });
+        self.profiles.lock().expect("profile cache").insert(key, Arc::clone(&report));
+        report
+    }
+
+    /// The benchmark-averaged best fixed path length for conditional
+    /// predictors of the given index width — the paper's Table 2
+    /// methodology: "the length for which the average misprediction rate
+    /// for all the benchmarks was the lowest", measured on the *profile*
+    /// inputs. Memoized.
+    pub fn best_fixed_conditional_length(&self, index_bits: u32) -> u8 {
+        self.best_fixed_length(Kind::Conditional, index_bits)
+    }
+
+    /// As [`best_fixed_conditional_length`], for indirect predictors.
+    ///
+    /// [`best_fixed_conditional_length`]: Self::best_fixed_conditional_length
+    pub fn best_fixed_indirect_length(&self, index_bits: u32) -> u8 {
+        self.best_fixed_length(Kind::Indirect, index_bits)
+    }
+
+    fn best_fixed_length(&self, kind: Kind, index_bits: u32) -> u8 {
+        if let Some(&length) =
+            self.fixed_lengths.lock().expect("length cache").get(&(kind, index_bits))
+        {
+            return length;
+        }
+        // Average the per-length miss rates over all 16 benchmarks.
+        // Step 1 of the profiling heuristic *is* a sweep of every fixed
+        // length, so one iteration-free profile per benchmark suffices —
+        // and the benchmarks are independent, so they run on worker
+        // threads.
+        let reports: Vec<_> = std::thread::scope(|scope| {
+            let handles: Vec<_> = suite::all_benchmarks()
+                .into_iter()
+                .map(|spec| {
+                    scope.spawn(move || {
+                        let trace = self.profile_trace(&spec);
+                        let config =
+                            ProfileConfig::new(PathConfig::new(index_bits)).with_iterations(0);
+                        let builder = ProfileBuilder::new(config);
+                        match kind {
+                            Kind::Conditional => builder.profile_conditional(&trace),
+                            Kind::Indirect => builder.profile_indirect(&trace),
+                        }
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("profile worker panicked")).collect()
+        });
+        let mut sums = [0.0f64; vlpp_core::MAX_PATH_LENGTH];
+        let mut lengths: Vec<u8> = Vec::new();
+        for report in &reports {
+            if lengths.is_empty() {
+                lengths = report.step1.iter().map(|s| s.hash).collect();
+            }
+            for (i, stat) in report.step1.iter().enumerate() {
+                sums[i] += stat.miss_rate();
+            }
+        }
+        let best_index = (0..lengths.len())
+            .min_by(|&a, &b| sums[a].partial_cmp(&sums[b]).expect("finite rates"))
+            .expect("at least one length");
+        let length = lengths[best_index];
+        self.fixed_lengths.lock().expect("length cache").insert((kind, index_bits), length);
+        length
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_divides_and_floors() {
+        let spec = suite::benchmark("gcc").unwrap();
+        assert_eq!(Scale::new(16).dynamic_conditionals(&spec), 27_600_000 / 16);
+        assert_eq!(Scale::new(1_000_000).dynamic_conditionals(&spec), 50_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "divisor")]
+    fn scale_rejects_zero() {
+        Scale::new(0);
+    }
+
+    #[test]
+    fn traces_differ_between_inputs() {
+        let w = Workloads::new(Scale::new(1_000_000));
+        let spec = suite::benchmark("compress").unwrap();
+        let test = w.test_trace(&spec);
+        let profile = w.profile_trace(&spec);
+        assert_ne!(test, profile);
+        assert_eq!(test.conditionals().count(), 50_000);
+    }
+
+    #[test]
+    fn profile_reports_are_memoized() {
+        let w = Workloads::new(Scale::new(1_000_000));
+        let spec = suite::benchmark("compress").unwrap();
+        let a = w.profile_conditional(&spec, 10);
+        let b = w.profile_conditional(&spec, 10);
+        assert!(Arc::ptr_eq(&a, &b));
+        let c = w.profile_conditional(&spec, 12);
+        assert!(!Arc::ptr_eq(&a, &c));
+    }
+}

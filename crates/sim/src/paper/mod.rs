@@ -1,0 +1,61 @@
+//! The paper's evaluation (§5), one function per table and figure, plus
+//! the ablations DESIGN.md calls out.
+//!
+//! Every function takes a [`Workloads`] context so expensive artifacts
+//! (profile reports, Table-2 fixed lengths) are shared across
+//! experiments run in the same process. Each returns plain data plus a
+//! [`TextTable`] rendering; the CLI (`vlpp`) and the Criterion benches
+//! both go through these functions, so the numbers in EXPERIMENTS.md,
+//! the bench output, and ad-hoc CLI runs are always the same
+//! computation.
+//!
+//! [`Workloads`]: crate::Workloads
+//! [`TextTable`]: crate::report::TextTable
+
+mod ablation;
+mod analysis;
+mod comparisons;
+mod cycles;
+mod gcc;
+mod pipeline;
+mod related;
+mod tables;
+
+#[cfg(test)]
+mod tests;
+
+pub use ablation::{
+    ablate_candidates, ablate_dynamic_select, ablate_history_stack, ablate_interference,
+    ablate_returns, ablate_subset_hashes, AblationRow,
+};
+pub use comparisons::{
+    conditional_comparison, figure5, figure6, figure7, figure8, CondRow, IndRow,
+    indirect_comparison,
+};
+pub use gcc::{figure10, figure9, headline, GccCondPoint, GccIndPoint, Headline};
+pub use analysis::{
+    analyze_gcc, length_histogram, ras_experiment, AnalysisRow, BehaviorClass, LengthHistogram,
+    RasRow,
+};
+pub use cycles::{frontend_experiment, FrontendRow};
+pub use pipeline::{hfnt_experiment, HfntRow};
+pub use related::{related_conditional, related_indirect, RelatedRow};
+pub use tables::{render_table3, table1, table2, table3, Table1Row, Table2Data};
+
+/// Conditional predictor-table sizes of Figure 9 / Table 2, in bytes.
+pub const COND_SIZES: [u64; 5] =
+    [1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10];
+
+/// Indirect predictor-table sizes of Figure 10 / Table 2, in bytes.
+pub const IND_SIZES: [u64; 4] = [512, 2 << 10, 8 << 10, 32 << 10];
+
+/// The predictor-table size used by Figures 5–6 (16 KB).
+pub const FIG5_COND_BYTES: u64 = 16 << 10;
+
+/// The predictor-table size used by Figures 7–8 and Table 3 (2 KB).
+pub const FIG7_IND_BYTES: u64 = 2 << 10;
+
+/// Bits-per-target used by the Chang–Hao–Patt path-based target cache
+/// baseline (its register then covers `index_bits / 3` recent targets,
+/// the shallow fixed depth that the paper's deep-path predictors beat).
+pub const BASELINE_PATH_BITS_PER_TARGET: u32 = 3;

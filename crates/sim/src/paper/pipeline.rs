@@ -1,0 +1,76 @@
+//! The §4.3 HFNT pipelining experiment: how often the Hash Function
+//! Number Table mispredicts the hash number, forcing a re-prediction
+//! (an extra front-end cycle, not a branch misprediction).
+//!
+//! The paper describes the structure but does not plot its cost; this
+//! experiment supplies the measurement.
+
+use serde::Serialize;
+use vlpp_core::Hfnt;
+use vlpp_predict::Budget;
+use vlpp_synth::suite;
+
+use crate::experiment::Workloads;
+use crate::report::{percent, TextTable};
+
+/// HFNT set-index width used by the experiment (1 Ki entries).
+pub const HFNT_SET_BITS: u32 = 10;
+
+/// Per-benchmark HFNT behavior.
+#[derive(Debug, Clone, Serialize)]
+pub struct HfntRow {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// HFNT lookups (dynamic conditional branches).
+    pub lookups: u64,
+    /// Lookups whose hash number had to be corrected.
+    pub mismatches: u64,
+    /// Mismatch (re-prediction) rate in [0, 1].
+    pub rate: f64,
+}
+
+/// Runs the HFNT model over every benchmark using each benchmark's
+/// profiled 16 KB conditional hash assignment.
+pub fn hfnt_experiment(workloads: &Workloads) -> Vec<HfntRow> {
+    let index_bits = Budget::from_bytes(super::FIG5_COND_BYTES).cond_index_bits();
+    let names = suite::all_names();
+    super::comparisons::run_parallel(&names, |name| {
+        let spec = suite::benchmark(name).expect("suite name");
+        let report = workloads.profile_conditional(&spec, index_bits);
+        let mut hfnt = Hfnt::new(HFNT_SET_BITS, report.default_hash);
+        let test = workloads.test_trace(&spec);
+        for record in test.conditionals() {
+            let actual = report.assignment.get(record.pc());
+            hfnt.lookup(record.pc());
+            hfnt.resolve(record.pc(), actual);
+        }
+        let stats = hfnt.stats();
+        HfntRow {
+            benchmark: spec.name.clone(),
+            lookups: stats.lookups,
+            mismatches: stats.mismatches,
+            rate: stats.mismatch_rate(),
+        }
+    })
+}
+
+impl HfntRow {
+    /// Renders the HFNT experiment as a text table.
+    pub fn render(rows: &[HfntRow]) -> TextTable {
+        let mut table = TextTable::new(vec![
+            "benchmark".into(),
+            "lookups".into(),
+            "re-predictions".into(),
+            "rate".into(),
+        ]);
+        for row in rows {
+            table.row(vec![
+                row.benchmark.clone(),
+                row.lookups.to_string(),
+                row.mismatches.to_string(),
+                percent(row.rate),
+            ]);
+        }
+        table
+    }
+}

@@ -1,0 +1,262 @@
+//! Smoke and invariant tests for the paper experiments, run at a tiny
+//! scale (the 50 K conditional floor) so the suite stays fast. The
+//! full-scale orderings are asserted by the root integration tests and
+//! recorded in EXPERIMENTS.md.
+
+use super::*;
+use crate::experiment::{Scale, Workloads};
+
+/// A very small scale: every benchmark hits the 50 K conditional floor.
+fn tiny() -> Workloads {
+    Workloads::new(Scale::new(1_000_000))
+}
+
+#[test]
+fn table1_covers_all_benchmarks_with_sane_counts() {
+    let rows = table1(&tiny());
+    assert_eq!(rows.len(), 16);
+    for row in &rows {
+        assert!(row.conditional_dynamic >= 50_000, "{}", row.benchmark);
+        assert!(row.conditional_static <= 14_419);
+        assert!(row.conditional_static >= 1);
+        assert!(row.indirect_static <= 504);
+    }
+    // The high-indirect benchmarks must executed indirects far more
+    // often than compress/pgp.
+    let ratio = |name: &str| {
+        let r = rows.iter().find(|r| r.benchmark == name).unwrap();
+        r.conditional_dynamic as f64 / r.indirect_dynamic.max(1) as f64
+    };
+    assert!(ratio("perl") < 100.0);
+    assert!(ratio("li") < 150.0);
+    assert!(ratio("compress") > 1_000.0);
+    assert!(ratio("pgp") > 1_000.0);
+}
+
+#[test]
+fn table1_renders_all_rows() {
+    let rows = table1(&tiny());
+    let rendered = Table1Row::render(&rows).render();
+    for name in vlpp_synth::suite::all_names() {
+        assert!(rendered.contains(name), "{name} missing from Table 1");
+    }
+}
+
+#[test]
+fn conditional_comparison_rates_are_valid_and_vlp_wins_on_average() {
+    let workloads = tiny();
+    // Two benchmarks keep the test fast; full sweeps run in integration.
+    let rows = conditional_comparison(&workloads, &["compress", "li"], FIG5_COND_BYTES);
+    assert_eq!(rows.len(), 2);
+    for row in &rows {
+        for rate in [row.gshare, row.fixed, row.variable] {
+            assert!((0.0..=1.0).contains(&rate), "{}: rate {rate}", row.benchmark);
+        }
+        assert!(row.gshare > 0.0, "a real workload always mispredicts sometimes");
+    }
+    let mean_vlp: f64 = rows.iter().map(|r| r.variable).sum::<f64>() / rows.len() as f64;
+    let mean_gshare: f64 = rows.iter().map(|r| r.gshare).sum::<f64>() / rows.len() as f64;
+    assert!(
+        mean_vlp < mean_gshare,
+        "VLP ({mean_vlp:.4}) must beat gshare ({mean_gshare:.4}) on average"
+    );
+}
+
+#[test]
+fn indirect_comparison_rates_are_valid() {
+    let workloads = tiny();
+    let rows = indirect_comparison(&workloads, &["li", "perl"], FIG7_IND_BYTES);
+    for row in &rows {
+        for rate in [row.path, row.pattern, row.fixed, row.variable] {
+            assert!((0.0..=1.0).contains(&rate), "{}: rate {rate}", row.benchmark);
+        }
+        assert!(
+            row.variable <= row.best_competing() + 0.05,
+            "{}: VLP ({:.3}) should not lose to the best baseline ({:.3})",
+            row.benchmark,
+            row.variable,
+            row.best_competing()
+        );
+    }
+}
+
+#[test]
+fn table2_lengths_are_in_range_and_sizes_match() {
+    let data = table2(&tiny());
+    assert_eq!(data.conditional.len(), COND_SIZES.len());
+    assert_eq!(data.indirect.len(), IND_SIZES.len());
+    for &(bytes, length) in data.conditional.iter().chain(data.indirect.iter()) {
+        assert!(bytes.is_power_of_two());
+        assert!((1..=32).contains(&length), "length {length} for {bytes} bytes");
+    }
+}
+
+#[test]
+fn headline_is_internally_consistent() {
+    let data = headline(&tiny());
+    assert!(data.vlp_cond_4kb < data.gshare_cond_4kb, "VLP must beat gshare on gcc");
+    assert!(
+        data.vlp_ind_512b < data.best_competing_ind_512b,
+        "VLP must beat the target caches on gcc"
+    );
+    let rendered = data.render().render();
+    assert!(rendered.contains("4.3%"), "paper reference column present");
+}
+
+#[test]
+fn hfnt_rows_cover_suite_and_rates_are_small() {
+    let rows = hfnt_experiment(&tiny());
+    assert_eq!(rows.len(), 16);
+    for row in &rows {
+        assert!(row.lookups > 0);
+        assert!(row.mismatches <= row.lookups);
+        // Hash numbers are a per-branch constant, so after warmup only
+        // aliasing misses remain — which can be sizable for benchmarks
+        // whose static footprint dwarfs the 1 Ki-entry HFNT (vortex,
+        // gcc), but never majority.
+        assert!(row.rate < 0.50, "{}: HFNT re-prediction rate {}", row.benchmark, row.rate);
+    }
+}
+
+#[test]
+fn ablation_tables_have_expected_variants() {
+    let workloads = tiny();
+    let rows = ablate_interference(&workloads);
+    assert_eq!(rows.len(), 3);
+    for row in &rows {
+        assert!((0.0..=1.0).contains(&row.rate));
+    }
+    let rows = ablate_returns(&workloads);
+    assert_eq!(rows.len(), 2);
+    // The paper: accuracy "does not strongly depend" on returns.
+    assert!(
+        (rows[0].rate - rows[1].rate).abs() < 0.05,
+        "returns should not matter much: {} vs {}",
+        rows[0].rate,
+        rows[1].rate
+    );
+}
+
+#[test]
+fn analysis_covers_classes_and_vlp_wins_where_it_should() {
+    let rows = analyze_gcc(&tiny());
+    assert!(rows.len() >= 4, "most behavior classes should appear, got {}", rows.len());
+    let total: u64 = rows.iter().map(|r| r.dynamic).sum();
+    assert!(total >= 50_000);
+    for row in &rows {
+        for rate in [row.gshare, row.fixed, row.variable] {
+            assert!((0.0..=1.0).contains(&rate), "{}: {rate}", row.class);
+        }
+    }
+    // §5.3: on the short-path class, per-branch length selection is a
+    // clear win over gshare.
+    let short = rows.iter().find(|r| r.class.contains("1-3")).expect("short-path class");
+    assert!(
+        short.variable < short.gshare,
+        "VLP ({}) should beat gshare ({}) on short-path branches",
+        short.variable,
+        short.gshare
+    );
+}
+
+#[test]
+fn related_conditional_places_vlp_at_or_near_the_top() {
+    let rows = related_conditional(&tiny());
+    assert!(rows.len() >= 8);
+    let vlp = rows.iter().find(|r| r.predictor == "variable length path").expect("VLP row");
+    let better = rows.iter().filter(|r| r.rate < vlp.rate - 0.005).count();
+    assert!(
+        better <= 1,
+        "at most one related predictor may beat VLP meaningfully, got {better}"
+    );
+    let bimodal = rows.iter().find(|r| r.predictor == "bimodal").expect("bimodal row");
+    assert!(vlp.rate < bimodal.rate, "VLP must beat bimodal");
+}
+
+#[test]
+fn related_indirect_places_vlp_at_the_top() {
+    let rows = related_indirect(&tiny());
+    assert!(rows.len() >= 6);
+    let vlp = rows.iter().find(|r| r.predictor == "variable length path").expect("VLP row");
+    for row in &rows {
+        assert!(
+            vlp.rate <= row.rate + 0.02,
+            "VLP ({:.3}) should not lose to {} ({:.3})",
+            vlp.rate,
+            row.predictor,
+            row.rate
+        );
+    }
+}
+
+#[test]
+fn ras_is_essentially_perfect_on_the_suite() {
+    // The substrate's call depth never exceeds the executor bound, so a
+    // 16-entry RAS should hit nearly always — which is exactly why the
+    // paper can exclude returns from its indirect predictors.
+    let rows = ras_experiment(&tiny());
+    assert_eq!(rows.len(), 16);
+    for row in &rows {
+        assert!(row.returns > 0, "{} executed no returns", row.benchmark);
+        assert!(
+            row.hit_rate > 0.95,
+            "{}: RAS hit rate {}",
+            row.benchmark,
+            row.hit_rate
+        );
+    }
+}
+
+#[test]
+fn length_histogram_reflects_profiled_branches() {
+    let workloads = tiny();
+    let data = length_histogram(&workloads, "perl");
+    let assigned: usize = data.histogram.iter().sum();
+    assert!(assigned > 0);
+    assert!((1..=32).contains(&data.default_hash));
+    // The histogram must spread over more than one length — the whole
+    // point of per-branch selection.
+    let used = data.histogram.iter().filter(|&&c| c > 0).count();
+    assert!(used > 3, "expected diverse lengths, got {used} distinct");
+}
+
+#[test]
+fn frontend_vlp_costs_fewest_cycles_even_with_hfnt_bubbles() {
+    let rows = frontend_experiment(&tiny());
+    assert_eq!(rows.len(), 16); // 4 benchmarks x 4 configurations
+    for benchmark in ["gcc", "li", "perl", "go"] {
+        let of = |config: &str| {
+            rows.iter()
+                .find(|r| r.benchmark == benchmark && r.configuration.starts_with(config))
+                .unwrap_or_else(|| panic!("{benchmark}/{config} missing"))
+                .cost
+                .cycles_per_branch()
+        };
+        let baseline = of("gshare + last-target");
+        let vlp = of("variable length path");
+        assert!(
+            vlp < baseline,
+            "{benchmark}: VLP front end ({vlp:.3}) should beat gshare+BTB ({baseline:.3})"
+        );
+    }
+    // The VLP rows are the only ones charged HFNT bubbles.
+    for row in &rows {
+        if row.configuration.contains("HFNT") {
+            assert!(row.cost.repredictions > 0);
+        } else {
+            assert_eq!(row.cost.repredictions, 0);
+        }
+    }
+}
+
+#[test]
+fn subset_hashes_degrade_gracefully() {
+    let rows = ablate_subset_hashes(&tiny());
+    assert_eq!(rows.len(), 4);
+    let all32 = rows[0].rate;
+    let single = rows[3].rate;
+    assert!(
+        single >= all32 - 0.01,
+        "a single hash function ({single:.4}) cannot beat all 32 ({all32:.4})"
+    );
+}

@@ -1,0 +1,304 @@
+//! Branch behavior models: what decides each synthetic branch.
+//!
+//! Real branch behavior, as the paper's §5.3 analysis (citing Evers et
+//! al.) describes it, falls into classes: loop back-edges, strongly
+//! biased branches, branches *correlated with a bounded amount of recent
+//! path*, and data-dependent (effectively random) branches. Each static
+//! site in a generated program carries one of these models; the
+//! correlation lengths vary per site, which is exactly the structure the
+//! variable length path predictor exploits.
+
+use crate::rng::{mix, SplitMix64};
+
+/// What decides a conditional branch site's direction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CondBehavior {
+    /// A loop back-edge: taken `trip − 1` consecutive times, then not
+    /// taken once (the exit), repeating.
+    Loop {
+        /// The loop trip count (≥ 2).
+        trip: u32,
+    },
+    /// Independent of history: taken with probability
+    /// `taken_milli / 1000` each execution. Models both strongly biased
+    /// branches (`taken_milli` near 0 or 1000) and data-dependent coin
+    /// flips (`taken_milli` near 500).
+    Biased {
+        /// Taken probability in thousandths.
+        taken_milli: u32,
+    },
+    /// Determined by the last `length` executed path targets: the
+    /// direction is a fixed pseudo-random boolean function (keyed by
+    /// `key`) of that path, with a `noise_milli / 1000` chance of being
+    /// flipped (modeling the data-dependent residue real branches have).
+    ///
+    /// A path predictor with history ≥ `length` can learn this branch
+    /// down to the noise floor; shorter histories see aliased contexts.
+    PathCorrelated {
+        /// How many recent path targets determine the outcome (1..=32).
+        length: u8,
+        /// Per-site key making each site's function distinct.
+        key: u64,
+        /// Flip probability in thousandths.
+        noise_milli: u32,
+    },
+}
+
+impl CondBehavior {
+    /// Evaluates the direction for the current execution.
+    ///
+    /// * `path` — the executor's shadow path history, newest first
+    ///   (full-width word addresses of recent conditional/indirect
+    ///   targets);
+    /// * `loop_counter` — per-site persistent counter for [`Loop`]
+    ///   sites (ignored by other variants);
+    /// * `rng` — the run's noise stream.
+    ///
+    /// [`Loop`]: CondBehavior::Loop
+    pub fn decide(&self, path: &[u64], loop_counter: &mut u32, rng: &mut SplitMix64) -> bool {
+        match *self {
+            CondBehavior::Loop { trip } => {
+                *loop_counter += 1;
+                if *loop_counter >= trip {
+                    *loop_counter = 0;
+                    false
+                } else {
+                    true
+                }
+            }
+            CondBehavior::Biased { taken_milli } => rng.chance_milli(taken_milli),
+            CondBehavior::PathCorrelated { length, key, noise_milli } => {
+                let clean = path_function(path, length, key) & 1 == 1;
+                if noise_milli > 0 && rng.chance_milli(noise_milli) {
+                    !clean
+                } else {
+                    clean
+                }
+            }
+        }
+    }
+
+    /// The path-correlation length this site needs, if any.
+    pub fn correlation_length(&self) -> Option<u8> {
+        match self {
+            CondBehavior::PathCorrelated { length, .. } => Some(*length),
+            _ => None,
+        }
+    }
+}
+
+/// What decides an indirect branch site's target (an index into the
+/// site's target list).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IndBehavior {
+    /// Determined by the last `length` path targets, with noise: models
+    /// interpreter dispatch and virtual calls whose receiver correlates
+    /// with recent control flow.
+    PathCorrelated {
+        /// How many recent path targets determine the target (1..=32).
+        length: u8,
+        /// Per-site key.
+        key: u64,
+        /// Probability (in thousandths) of picking a uniformly random
+        /// target instead.
+        noise_milli: u32,
+    },
+    /// Uniformly random over the site's targets: a data-dependent jump
+    /// no history-based predictor can learn beyond the arity bias.
+    Random,
+    /// Deterministic cycling through the targets in order — classic
+    /// round-robin dispatch, perfectly predictable from one step of
+    /// self-history.
+    RoundRobin,
+}
+
+impl IndBehavior {
+    /// Evaluates the target index (in `0..arity`) for this execution.
+    ///
+    /// `counter` is the site's persistent execution counter (used by
+    /// [`RoundRobin`](IndBehavior::RoundRobin); ignored otherwise).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arity` is 0.
+    pub fn decide(
+        &self,
+        path: &[u64],
+        arity: usize,
+        counter: &mut u32,
+        rng: &mut SplitMix64,
+    ) -> usize {
+        assert!(arity > 0, "indirect site must have at least one target");
+        match *self {
+            IndBehavior::PathCorrelated { length, key, noise_milli } => {
+                if noise_milli > 0 && rng.chance_milli(noise_milli) {
+                    rng.below(arity as u64) as usize
+                } else {
+                    (path_function(path, length, key) % arity as u64) as usize
+                }
+            }
+            IndBehavior::Random => rng.below(arity as u64) as usize,
+            IndBehavior::RoundRobin => {
+                let pick = (*counter as usize) % arity;
+                *counter = counter.wrapping_add(1);
+                pick
+            }
+        }
+    }
+
+    /// The path-correlation length this site needs, if any.
+    pub fn correlation_length(&self) -> Option<u8> {
+        match self {
+            IndBehavior::PathCorrelated { length, .. } => Some(*length),
+            IndBehavior::Random | IndBehavior::RoundRobin => None,
+        }
+    }
+}
+
+/// The deterministic "program logic" behind path-correlated sites: an
+/// order-sensitive digest of the newest `length` path entries, mixed with
+/// the site key. Only the *true executed path* goes in — the predictors
+/// never see this function, they must learn it from behavior.
+fn path_function(path: &[u64], length: u8, key: u64) -> u64 {
+    let mut digest = key;
+    for &target in path.iter().take(length as usize) {
+        digest = mix(digest.rotate_left(7) ^ target);
+    }
+    mix(digest)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loop_behavior_exits_every_trip() {
+        let b = CondBehavior::Loop { trip: 4 };
+        let mut rng = SplitMix64::new(0);
+        let mut counter = 0;
+        let outcomes: Vec<bool> = (0..8).map(|_| b.decide(&[], &mut counter, &mut rng)).collect();
+        assert_eq!(outcomes, vec![true, true, true, false, true, true, true, false]);
+    }
+
+    #[test]
+    fn biased_behavior_matches_probability() {
+        let b = CondBehavior::Biased { taken_milli: 900 };
+        let mut rng = SplitMix64::new(1);
+        let mut counter = 0;
+        let taken = (0..10_000).filter(|_| b.decide(&[], &mut counter, &mut rng)).count();
+        assert!((8700..9300).contains(&taken), "got {taken} taken of 10000");
+    }
+
+    #[test]
+    fn path_correlated_is_deterministic_given_path() {
+        let b = CondBehavior::PathCorrelated { length: 3, key: 42, noise_milli: 0 };
+        let mut rng = SplitMix64::new(2);
+        let mut counter = 0;
+        let path = [0x10u64, 0x20, 0x30, 0x40];
+        let first = b.decide(&path, &mut counter, &mut rng);
+        for _ in 0..10 {
+            assert_eq!(b.decide(&path, &mut counter, &mut rng), first);
+        }
+    }
+
+    #[test]
+    fn path_correlated_ignores_entries_beyond_length() {
+        let b = CondBehavior::PathCorrelated { length: 2, key: 9, noise_milli: 0 };
+        let mut rng = SplitMix64::new(3);
+        let mut counter = 0;
+        let a = b.decide(&[0x10, 0x20, 0x99], &mut counter, &mut rng);
+        let c = b.decide(&[0x10, 0x20, 0x77], &mut counter, &mut rng);
+        assert_eq!(a, c, "entry 3 is beyond the correlation length");
+    }
+
+    #[test]
+    fn path_correlated_depends_on_entries_within_length() {
+        let b = CondBehavior::PathCorrelated { length: 8, key: 9, noise_milli: 0 };
+        let mut rng = SplitMix64::new(4);
+        let mut counter = 0;
+        // Over many random paths the outcome must vary (the function is
+        // not constant).
+        let mut seen = [false; 2];
+        let mut path_rng = SplitMix64::new(5);
+        for _ in 0..64 {
+            let path: Vec<u64> = (0..8).map(|_| path_rng.below(1 << 20)).collect();
+            seen[b.decide(&path, &mut counter, &mut rng) as usize] = true;
+        }
+        assert_eq!(seen, [true, true]);
+    }
+
+    #[test]
+    fn path_function_is_order_sensitive() {
+        assert_ne!(path_function(&[1, 2], 2, 0), path_function(&[2, 1], 2, 0));
+    }
+
+    #[test]
+    fn noise_flips_at_expected_rate() {
+        let clean = CondBehavior::PathCorrelated { length: 1, key: 7, noise_milli: 0 };
+        let noisy = CondBehavior::PathCorrelated { length: 1, key: 7, noise_milli: 200 };
+        let path = [0x123u64];
+        let mut counter = 0;
+        let mut rng_clean = SplitMix64::new(6);
+        let baseline = clean.decide(&path, &mut counter, &mut rng_clean);
+        let mut rng = SplitMix64::new(6);
+        let flips =
+            (0..10_000).filter(|_| noisy.decide(&path, &mut counter, &mut rng) != baseline).count();
+        assert!((1600..2400).contains(&flips), "got {flips} flips of 10000");
+    }
+
+    #[test]
+    fn indirect_path_correlated_is_deterministic() {
+        let b = IndBehavior::PathCorrelated { length: 2, key: 1, noise_milli: 0 };
+        let mut rng = SplitMix64::new(7);
+        let mut counter = 0;
+        let path = [0x5u64, 0x6];
+        let first = b.decide(&path, 5, &mut counter, &mut rng);
+        assert!(first < 5);
+        for _ in 0..10 {
+            assert_eq!(b.decide(&path, 5, &mut counter, &mut rng), first);
+        }
+    }
+
+    #[test]
+    fn indirect_random_covers_all_targets() {
+        let b = IndBehavior::Random;
+        let mut rng = SplitMix64::new(8);
+        let mut counter = 0;
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[b.decide(&[], 4, &mut counter, &mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn correlation_length_accessors() {
+        assert_eq!(CondBehavior::Loop { trip: 3 }.correlation_length(), None);
+        assert_eq!(
+            CondBehavior::PathCorrelated { length: 5, key: 0, noise_milli: 0 }.correlation_length(),
+            Some(5)
+        );
+        assert_eq!(IndBehavior::Random.correlation_length(), None);
+        assert_eq!(IndBehavior::RoundRobin.correlation_length(), None);
+        assert_eq!(
+            IndBehavior::PathCorrelated { length: 9, key: 0, noise_milli: 0 }.correlation_length(),
+            Some(9)
+        );
+    }
+
+    #[test]
+    fn round_robin_cycles_deterministically() {
+        let b = IndBehavior::RoundRobin;
+        let mut rng = SplitMix64::new(9);
+        let mut counter = 0;
+        let picks: Vec<usize> = (0..7).map(|_| b.decide(&[], 3, &mut counter, &mut rng)).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one target")]
+    fn indirect_rejects_zero_arity() {
+        let mut counter = 0;
+        IndBehavior::Random.decide(&[], 0, &mut counter, &mut SplitMix64::new(0));
+    }
+}

@@ -1,0 +1,386 @@
+//! Executes a synthetic [`Program`], emitting the branch trace a real
+//! instrumented binary would produce.
+//!
+//! The executor is the stand-in for "run the Alpha binary under ATOM":
+//! it walks the CFG, decides each branch with its behavior model, and
+//! emits one [`BranchRecord`] per control transfer. The *shadow path
+//! history* — the true, full-width sequence of recent conditional and
+//! indirect targets — feeds the path-correlated behaviors; predictors
+//! never see it and must learn it from the record stream.
+
+use std::collections::{HashMap, VecDeque};
+
+use vlpp_trace::{BranchRecord, Trace};
+
+use crate::cfg::{BlockId, FuncId, Program, Terminator};
+use crate::rng::SplitMix64;
+
+/// Which input the program runs on. The paper profiles on one input set
+/// and tests on another; here the program (the "binary") is fixed and
+/// the input set changes the run RNG stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InputSet {
+    /// The profiling input (used to build hash assignments).
+    Profile,
+    /// The measurement input (all reported numbers).
+    Test,
+}
+
+impl InputSet {
+    fn salt(self) -> u64 {
+        match self {
+            InputSet::Profile => 0x5052_4f46_494c_4531,
+            InputSet::Test => 0x5445_5354_494e_5055,
+        }
+    }
+}
+
+/// Bounds on a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecutionLimits {
+    /// Maximum call-stack depth; deeper calls are elided (executed as a
+    /// jump past the call), modeling a stack-depth-bounded workload.
+    pub max_stack_depth: usize,
+}
+
+impl Default for ExecutionLimits {
+    fn default() -> Self {
+        ExecutionLimits { max_stack_depth: 64 }
+    }
+}
+
+/// How many recent targets the shadow path history keeps (matches the
+/// paper's 32-entry THB; behaviors may correlate on up to this much
+/// path).
+const SHADOW_PATH_DEPTH: usize = 32;
+
+/// A running execution of a [`Program`]; yields one [`BranchRecord`] per
+/// control transfer, forever (synthetic programs restart at the entry
+/// when the driver returns). Bound it with [`Iterator::take`] or use
+/// [`Program::execute`].
+///
+/// # Example
+///
+/// ```
+/// use vlpp_synth::{suite, Executor, ExecutionLimits, InputSet};
+///
+/// let program = suite::benchmark("compress").unwrap().build_program();
+/// let records: Vec<_> = Executor::new(&program, InputSet::Test, ExecutionLimits::default())
+///     .take(1000)
+///     .collect();
+/// assert_eq!(records.len(), 1000);
+/// ```
+#[derive(Debug)]
+pub struct Executor<'a> {
+    program: &'a Program,
+    rng: SplitMix64,
+    /// Newest-first full-width word addresses of recent cond/ind targets.
+    shadow_path: VecDeque<u64>,
+    /// Per-site loop counters, keyed by branch pc.
+    loop_counters: HashMap<u64, u32>,
+    /// Return continuations.
+    stack: Vec<(FuncId, BlockId)>,
+    function: FuncId,
+    block: BlockId,
+    limits: ExecutionLimits,
+}
+
+impl<'a> Executor<'a> {
+    /// Starts an execution of `program` on the given input set.
+    pub fn new(program: &'a Program, input: InputSet, limits: ExecutionLimits) -> Self {
+        Executor {
+            program,
+            rng: SplitMix64::new(program.run_seed() ^ input.salt()),
+            shadow_path: VecDeque::with_capacity(SHADOW_PATH_DEPTH),
+            loop_counters: HashMap::new(),
+            stack: Vec::new(),
+            function: program.entry(),
+            block: BlockId(0),
+            limits,
+        }
+    }
+
+    fn push_shadow(&mut self, target_word: u64) {
+        if self.shadow_path.len() == SHADOW_PATH_DEPTH {
+            self.shadow_path.pop_back();
+        }
+        self.shadow_path.push_front(target_word);
+    }
+
+    /// The current shadow path as a slice-friendly Vec (newest first).
+    fn shadow(&self) -> Vec<u64> {
+        self.shadow_path.iter().copied().collect()
+    }
+}
+
+impl Iterator for Executor<'_> {
+    type Item = BranchRecord;
+
+    fn next(&mut self) -> Option<BranchRecord> {
+        let block = self.program.block(self.function, self.block).clone();
+        let pc = block.branch_pc;
+        let record = match &block.terminator {
+            Terminator::Cond { behavior, taken, fall } => {
+                let path = self.shadow();
+                let counter = self.loop_counters.entry(pc.raw()).or_insert(0);
+                let outcome = behavior.decide(&path, counter, &mut self.rng);
+                let destination = if outcome { *taken } else { *fall };
+                let target = self.program.block(self.function, destination).start;
+                self.block = destination;
+                self.push_shadow(target.word());
+                BranchRecord::conditional(pc, target, outcome)
+            }
+            Terminator::Switch { behavior, targets } => {
+                let path = self.shadow();
+                let counter = self.loop_counters.entry(pc.raw()).or_insert(0);
+                let pick = behavior.decide(&path, targets.len(), counter, &mut self.rng);
+                let destination = targets[pick];
+                let target = self.program.block(self.function, destination).start;
+                self.block = destination;
+                self.push_shadow(target.word());
+                BranchRecord::indirect(pc, target)
+            }
+            Terminator::Jump { to } => {
+                let target = self.program.block(self.function, *to).start;
+                self.block = *to;
+                BranchRecord::unconditional(pc, target)
+            }
+            Terminator::Call { callee, ret_to } => {
+                if self.stack.len() >= self.limits.max_stack_depth {
+                    // Stack-bounded elision: skip the call.
+                    let target = self.program.block(self.function, *ret_to).start;
+                    self.block = *ret_to;
+                    BranchRecord::unconditional(pc, target)
+                } else {
+                    self.stack.push((self.function, *ret_to));
+                    let target = self.program.block(*callee, BlockId(0)).start;
+                    self.function = *callee;
+                    self.block = BlockId(0);
+                    BranchRecord::call(pc, target)
+                }
+            }
+            Terminator::Return => {
+                if let Some((function, block)) = self.stack.pop() {
+                    let target = self.program.block(function, block).start;
+                    self.function = function;
+                    self.block = block;
+                    BranchRecord::ret(pc, target)
+                } else {
+                    // Driver returned: restart the program (the
+                    // synthetic equivalent of the top-level event loop).
+                    let entry = self.program.entry();
+                    let target = self.program.block(entry, BlockId(0)).start;
+                    self.function = entry;
+                    self.block = BlockId(0);
+                    BranchRecord::unconditional(pc, target)
+                }
+            }
+        };
+        Some(record)
+    }
+}
+
+impl Program {
+    /// Runs the program on `input`, collecting `records` branch records
+    /// into a [`Trace`].
+    pub fn execute(&self, input: InputSet, records: usize) -> Trace {
+        Executor::new(self, input, ExecutionLimits::default()).take(records).collect()
+    }
+
+    /// Runs until `conditionals` conditional-branch records have been
+    /// emitted (the paper sizes workloads by dynamic conditional count).
+    pub fn execute_conditionals(&self, input: InputSet, conditionals: u64) -> Trace {
+        let mut trace = Trace::new();
+        let mut seen = 0u64;
+        for record in Executor::new(self, input, ExecutionLimits::default()) {
+            if record.is_conditional() {
+                seen += 1;
+            }
+            trace.push(record);
+            if seen >= conditionals {
+                break;
+            }
+        }
+        trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behavior::{CondBehavior, IndBehavior};
+    use crate::cfg::{Block, Function, Terminator};
+    use vlpp_trace::BranchKind;
+
+    fn block(f: FuncId, b: usize, terminator: Terminator) -> Block {
+        Block {
+            start: Function::block_start(f, BlockId(b)),
+            branch_pc: Function::block_branch_pc(f, BlockId(b)),
+            terminator,
+        }
+    }
+
+    /// entry: call f1; jump back. f1: loop(3) over a switch; return.
+    fn looping_program() -> Program {
+        let f0 = FuncId(0);
+        let f1 = FuncId(1);
+        Program::new(
+            "loop-test",
+            vec![
+                Function {
+                    id: f0,
+                    blocks: vec![
+                        block(f0, 0, Terminator::Call { callee: f1, ret_to: BlockId(1) }),
+                        block(f0, 1, Terminator::Jump { to: BlockId(0) }),
+                    ],
+                },
+                Function {
+                    id: f1,
+                    blocks: vec![
+                        block(
+                            f1,
+                            0,
+                            Terminator::Switch {
+                                behavior: IndBehavior::Random,
+                                targets: vec![BlockId(1), BlockId(2)],
+                            },
+                        ),
+                        block(
+                            f1,
+                            1,
+                            Terminator::Cond {
+                                behavior: CondBehavior::Loop { trip: 3 },
+                                taken: BlockId(0),
+                                fall: BlockId(2),
+                            },
+                        ),
+                        block(f1, 2, Terminator::Return),
+                    ],
+                },
+            ],
+            f0,
+            7,
+        )
+    }
+
+    #[test]
+    fn emits_all_kinds() {
+        let program = looping_program();
+        let trace = program.execute(InputSet::Test, 200);
+        assert!(trace.count_kind(BranchKind::Conditional) > 0);
+        assert!(trace.count_kind(BranchKind::Indirect) > 0);
+        assert!(trace.count_kind(BranchKind::Call) > 0);
+        assert!(trace.count_kind(BranchKind::Return) > 0);
+        assert!(trace.count_kind(BranchKind::Unconditional) > 0);
+    }
+
+    #[test]
+    fn execution_is_deterministic_per_input_set() {
+        let program = looping_program();
+        let a = program.execute(InputSet::Test, 500);
+        let b = program.execute(InputSet::Test, 500);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn input_sets_differ() {
+        let program = looping_program();
+        let a = program.execute(InputSet::Test, 500);
+        let b = program.execute(InputSet::Profile, 500);
+        assert_ne!(a, b, "profile and test inputs must drive different paths");
+    }
+
+    #[test]
+    fn loop_trip_count_is_respected() {
+        let program = looping_program();
+        let trace = program.execute(InputSet::Test, 300);
+        // The loop branch is taken exactly 2 of every 3 executions.
+        let outcomes: Vec<bool> =
+            trace.conditionals().map(|r| r.taken()).collect();
+        let taken = outcomes.iter().filter(|&&t| t).count();
+        let ratio = taken as f64 / outcomes.len() as f64;
+        assert!((ratio - 2.0 / 3.0).abs() < 0.05, "ratio {ratio}");
+    }
+
+    #[test]
+    fn control_flow_is_coherent() {
+        // Every record's target is a valid block start, and consecutive
+        // records chain: a record's pc belongs to the block reached by
+        // the previous record.
+        let program = looping_program();
+        let trace = program.execute(InputSet::Test, 400);
+        let mut expected_block_start: Option<u64> = None;
+        for record in trace.iter() {
+            if let Some(start) = expected_block_start {
+                // The branch pc sits at the end of the 64-byte slot the
+                // (jittered) block start falls in.
+                let slot_base = start & !(crate::cfg::BLOCK_STRIDE - 1);
+                assert_eq!(record.pc().raw(), slot_base + crate::cfg::BLOCK_STRIDE - 4);
+            }
+            expected_block_start = Some(record.target().raw());
+        }
+    }
+
+    #[test]
+    fn returns_match_calls() {
+        let program = looping_program();
+        let trace = program.execute(InputSet::Test, 400);
+        let mut depth = 0i64;
+        for record in trace.iter() {
+            match record.kind() {
+                BranchKind::Call => depth += 1,
+                BranchKind::Return => {
+                    depth -= 1;
+                    assert!(depth >= 0, "return without a call");
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn execute_conditionals_counts_correctly() {
+        let program = looping_program();
+        let trace = program.execute_conditionals(InputSet::Test, 50);
+        assert_eq!(trace.conditionals().count(), 50);
+        assert!(trace.records().last().unwrap().is_conditional());
+    }
+
+    #[test]
+    fn stack_depth_is_bounded() {
+        // A chain of functions each calling the next would exceed a tiny
+        // stack bound; the executor elides instead of overflowing.
+        let mut functions = Vec::new();
+        let n = 10;
+        for i in 0..n {
+            let f = FuncId(i);
+            let body = if i + 1 < n {
+                vec![
+                    block(f, 0, Terminator::Call { callee: FuncId(i + 1), ret_to: BlockId(1) }),
+                    block(f, 1, Terminator::Return),
+                ]
+            } else {
+                vec![block(f, 0, Terminator::Return)]
+            };
+            functions.push(Function { id: f, blocks: body });
+        }
+        let program = Program::new("deep", functions, FuncId(0), 1);
+        let records: Vec<_> =
+            Executor::new(&program, InputSet::Test, ExecutionLimits { max_stack_depth: 3 })
+                .take(100)
+                .collect();
+        let max_depth = records
+            .iter()
+            .scan(0i64, |depth, r| {
+                match r.kind() {
+                    BranchKind::Call => *depth += 1,
+                    BranchKind::Return => *depth -= 1,
+                    _ => {}
+                }
+                Some(*depth)
+            })
+            .max()
+            .unwrap();
+        assert!(max_depth <= 3, "depth {max_depth} exceeded the bound");
+    }
+}

@@ -1,0 +1,532 @@
+//! Program synthesis: turns a [`BenchmarkSpec`] into a [`Program`].
+//!
+//! ## Shape of a generated program
+//!
+//! * **Function 0** is the *driver*: an endless dispatch loop whose
+//!   switch (one of the benchmark's static indirect sites) picks the next
+//!   worker function to call, with hot workers appearing more often in
+//!   its target list. This is the synthetic analogue of an interpreter or
+//!   event loop and makes inter-invocation paths flow through the THB.
+//! * **Workers** are DAG-ordered functions (a worker only calls
+//!   higher-numbered workers, bounding call depth) whose bodies are
+//!   linear block sequences with forward branches, local loop back-edges,
+//!   switches, calls, and a final return.
+//!
+//! Static branch counts are exact by construction: the spec's
+//! `static_conditional` conditional sites and `static_indirect` switch
+//! sites (one of which is the driver's dispatch switch) are distributed
+//! across workers — indirect sites biased toward *hot* workers with the
+//! `indirect_hot_bias` exponent, which is how the generator controls the
+//! benchmark's dynamic indirect-branch frequency (cf. Table 1's spread
+//! between go's 192:1 and perl's 9:1 conditional:indirect ratios).
+
+use crate::behavior::{CondBehavior, IndBehavior};
+use crate::cfg::{Block, BlockId, FuncId, Function, Program, Terminator, MAX_BLOCKS_PER_FUNCTION};
+use crate::rng::SplitMix64;
+use crate::spec::{BehaviorMix, BenchmarkSpec};
+
+/// Length-bucket boundaries for path-correlated sites: 1–3, 4–8, 9–16,
+/// 17–28 targets of history.
+const LENGTH_BUCKETS: [(u8, u8); 4] = [(1, 3), (4, 8), (9, 16), (17, 28)];
+
+/// Generates the program for `spec`. Deterministic in the spec.
+///
+/// # Panics
+///
+/// Panics if `spec.static_conditional` is zero.
+pub fn generate(spec: &BenchmarkSpec) -> Program {
+    assert!(spec.static_conditional >= 1, "a benchmark needs at least one conditional site");
+    let mut rng = SplitMix64::new(spec.seed ^ 0x9e3779b97f4a7c15);
+    let mix = &spec.mix;
+
+    // --- Partition sites across workers -------------------------------
+    let avg_sites =
+        ((mix.blocks_per_function.0 + mix.blocks_per_function.1) / 2).max(4) as usize;
+    let workers = spec.static_conditional.div_ceil(avg_sites).max(1);
+    let cond_per_worker = split_evenly(spec.static_conditional, workers, &mut rng);
+
+    // Zipf-ish hotness over workers; the driver samples callees from it.
+    let hotness: Vec<f64> = (0..workers).map(|i| 1.0 / (i as f64 + 1.5).powf(1.1)).collect();
+
+    // Indirect sites: one for the driver (if any), the rest placed in
+    // workers sampled by hotness^bias.
+    let driver_has_switch = mix.driver_switch && spec.static_indirect >= 1;
+    let mut ind_per_worker = vec![0usize; workers];
+    if spec.static_indirect > 1 || (!driver_has_switch && spec.static_indirect > 0) {
+        let remaining = spec.static_indirect - driver_has_switch as usize;
+        let weights: Vec<f64> =
+            hotness.iter().map(|w| w.powf(mix.indirect_hot_bias)).collect();
+        // Leave room for the Return block and call/jump decoration under
+        // the per-function layout limit.
+        let room =
+            |w: usize, ind: &[usize]| cond_per_worker[w] + ind[w] + 8 < MAX_BLOCKS_PER_FUNCTION;
+        for _ in 0..remaining {
+            let mut w = rng.weighted(&weights);
+            if !room(w, &ind_per_worker) {
+                // Hot worker is full: fall back to the next worker with
+                // space (there always is one, since total sites per
+                // worker average well under the limit).
+                w = (0..workers)
+                    .map(|i| (w + i) % workers)
+                    .find(|&i| room(i, &ind_per_worker))
+                    .expect("some worker has room for an indirect site");
+            }
+            ind_per_worker[w] += 1;
+        }
+    }
+
+    // --- Build workers (functions 1..=workers) -------------------------
+    let mut functions = Vec::with_capacity(workers + 1);
+    functions.push(Function { id: FuncId(0), blocks: Vec::new() }); // placeholder driver
+    for w in 0..workers {
+        let id = FuncId(w + 1);
+        let can_call = w + 1 < workers; // callees must be higher-numbered
+        let blocks = build_worker(
+            id,
+            cond_per_worker[w],
+            ind_per_worker[w],
+            can_call,
+            workers,
+            mix,
+            &mut rng,
+        );
+        functions.push(Function { id, blocks });
+    }
+
+    // --- Build the driver ----------------------------------------------
+    functions[0] = build_driver(workers, &hotness, driver_has_switch, mix, &mut rng);
+
+    Program::new(spec.name.clone(), functions, FuncId(0), spec.seed)
+}
+
+/// Splits `total` into `parts` chunks, each ≥ 1 where possible, with
+/// mild randomness.
+fn split_evenly(total: usize, parts: usize, rng: &mut SplitMix64) -> Vec<usize> {
+    let base = total / parts;
+    let mut chunks = vec![base; parts];
+    let mut remainder = total - base * parts;
+    while remainder > 0 {
+        let i = rng.below(parts as u64) as usize;
+        chunks[i] += 1;
+        remainder -= 1;
+    }
+    chunks
+}
+
+/// Builds one worker function body with exactly `conds` conditional and
+/// `switches` indirect sites.
+fn build_worker(
+    id: FuncId,
+    conds: usize,
+    switches: usize,
+    can_call: bool,
+    workers: usize,
+    mix: &BehaviorMix,
+    rng: &mut SplitMix64,
+) -> Vec<Block> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Marker {
+        Cond,
+        Switch,
+        Call,
+        Jump,
+    }
+
+    let sites = conds + switches;
+    let mut markers = Vec::with_capacity(sites + sites / 4 + 1);
+    markers.extend(std::iter::repeat(Marker::Cond).take(conds));
+    markers.extend(std::iter::repeat(Marker::Switch).take(switches));
+    if can_call {
+        let calls = ((sites as f64 * mix.call_frac).round() as usize).min(8);
+        markers.extend(std::iter::repeat(Marker::Call).take(calls));
+    }
+    let jumps = ((sites as f64 * mix.jump_frac).round() as usize).min(8);
+    markers.extend(std::iter::repeat(Marker::Jump).take(jumps));
+
+    // Cap at the layout limit, dropping decoration first (sites are
+    // never dropped: the partitioner keeps per-worker site counts small).
+    while markers.len() + 1 > MAX_BLOCKS_PER_FUNCTION {
+        let drop_at = markers
+            .iter()
+            .rposition(|m| matches!(m, Marker::Call | Marker::Jump))
+            .unwrap_or_else(|| {
+                panic!("worker {} was assigned {} sites, over the layout limit", id.0, sites)
+            });
+        markers.remove(drop_at);
+    }
+    shuffle(&mut markers, rng);
+
+    // Gating (ind_gate_milli > 0): arrange a Cond marker directly before
+    // each Switch so it can serve as the switch's skip-gate. A switch
+    // whose predecessor slot cannot be made a Cond (adjacent switches,
+    // or no spare conds) is simply left ungated.
+    let mut gate_positions: Vec<usize> = Vec::new();
+    if mix.ind_gate_milli > 0 {
+        for s in 1..markers.len() {
+            if markers[s] != Marker::Switch || gate_positions.contains(&(s - 1)) {
+                continue;
+            }
+            if markers[s - 1] != Marker::Cond {
+                // Swap a free Cond into position s-1 — but never move a
+                // Switch (that would invalidate earlier gates).
+                if markers[s - 1] == Marker::Switch {
+                    continue;
+                }
+                match (0..markers.len())
+                    .find(|&c| markers[c] == Marker::Cond && !gate_positions.contains(&c))
+                {
+                    Some(c) => markers.swap(c, s - 1),
+                    None => continue,
+                }
+            }
+            gate_positions.push(s - 1);
+        }
+    }
+
+    let last = markers.len(); // index of the Return block
+    // A gated switch must be reachable only through its gate, or the
+    // gate has no effect; every other branch avoids targeting it.
+    let protected: Vec<usize> = gate_positions.iter().map(|&g| g + 1).collect();
+    // Forward targets stay within a small window, as in real code; this
+    // keeps every block reachable with high probability (a branch can
+    // only skip a few blocks) and makes hot-function switch placement
+    // actually execute.
+    let forward = |rng: &mut SplitMix64, i: usize, window: u64| {
+        let pick = |rng: &mut SplitMix64| {
+            rng.range(i as u64 + 1, (i as u64 + window).min(last as u64)) as usize
+        };
+        for _ in 0..8 {
+            let t = pick(rng);
+            if !protected.contains(&t) {
+                return BlockId(t);
+            }
+        }
+        // Dense protection in the window: take the first unprotected
+        // block at or after i+1 (the Return block never is).
+        BlockId((i + 1..=last).find(|t| !protected.contains(t)).unwrap_or(last))
+    };
+    let mut blocks = Vec::with_capacity(last + 1);
+    for (i, marker) in markers.iter().enumerate() {
+        let terminator = match marker {
+            Marker::Cond if gate_positions.contains(&i) => {
+                // A switch gate: jump past the switch at i+1 with the
+                // configured probability, fall into it otherwise.
+                Terminator::Cond {
+                    behavior: CondBehavior::Biased { taken_milli: mix.ind_gate_milli },
+                    taken: BlockId(i + 2),
+                    fall: BlockId(i + 1),
+                }
+            }
+            Marker::Cond => {
+                let behavior = sample_cond_behavior(mix, rng);
+                let taken = if matches!(behavior, CondBehavior::Loop { .. }) {
+                    // Tight loop back-edge (body of 1–2 blocks): keeps
+                    // the multiplicative cost of nested loops bounded so
+                    // a worker invocation stays on the order of 10²
+                    // branches, as the dispatch-loop structure assumes.
+                    let t = rng.range(i.saturating_sub(1) as u64, i as u64) as usize;
+                    BlockId(if protected.contains(&t) { i } else { t })
+                } else {
+                    // Short forward branch (loop-free except via
+                    // trip-bounded back-edges).
+                    forward(rng, i, 4)
+                };
+                Terminator::Cond { behavior, taken, fall: BlockId(i + 1) }
+            }
+            Marker::Switch => {
+                let arity = rng.range(mix.arity.0 as u64, mix.arity.1 as u64) as usize;
+                let targets = (0..arity).map(|_| forward(rng, i, 7)).collect();
+                Terminator::Switch { behavior: sample_ind_behavior(mix, rng), targets }
+            }
+            Marker::Call => {
+                let callee = FuncId(rng.range(id.0 as u64 + 1, workers as u64) as usize);
+                Terminator::Call { callee, ret_to: BlockId(i + 1) }
+            }
+            Marker::Jump => Terminator::Jump { to: forward(rng, i, 3) },
+        };
+        blocks.push(make_block(id, i, terminator));
+    }
+    blocks.push(make_block(id, last, Terminator::Return));
+    // Call convention: the return lands at `call pc + 4`, so the block a
+    // call returns to must start exactly at its slot base (no jitter).
+    for i in 0..blocks.len() {
+        if let Terminator::Call { ret_to, .. } = blocks[i].terminator {
+            unjitter(&mut blocks[ret_to.0]);
+        }
+    }
+    blocks
+}
+
+/// Strips the intra-slot jitter from a block's start address, aligning
+/// it to its 64-byte slot base (used for call-return targets, which the
+/// ISA defines as `call pc + 4` = the next slot base).
+fn unjitter(block: &mut Block) {
+    block.start = vlpp_trace::Addr::new(block.start.raw() & !(crate::cfg::BLOCK_STRIDE - 1));
+}
+
+/// Builds the driver: dispatch switch (or call chain) over hot workers.
+fn build_driver(
+    workers: usize,
+    hotness: &[f64],
+    with_switch: bool,
+    mix: &BehaviorMix,
+    rng: &mut SplitMix64,
+) -> Function {
+    let id = FuncId(0);
+    let mut blocks;
+    if with_switch {
+        // Block 0: dispatch switch over call blocks; each call block is
+        // followed by its return-landing jump block (back to the
+        // switch), preserving the `return = call pc + 4` convention.
+        let slots = workers.clamp(2, 28);
+        blocks = Vec::with_capacity(1 + 2 * slots);
+        let targets = (0..slots).map(|s| BlockId(1 + 2 * s)).collect();
+        blocks.push(make_block(
+            id,
+            0,
+            Terminator::Switch {
+                behavior: IndBehavior::PathCorrelated {
+                    // Short correlation keeps dispatch contexts
+                    // repeating across invocations, as an interpreter's
+                    // do; the noise knob sets the data-dependent residue.
+                    length: 3,
+                    key: rng.next_u64(),
+                    noise_milli: mix.driver_noise_milli,
+                },
+                targets,
+            },
+        ));
+        for s in 0..slots {
+            let callee = FuncId(rng.weighted(hotness) + 1);
+            blocks.push(make_block(
+                id,
+                1 + 2 * s,
+                Terminator::Call { callee, ret_to: BlockId(2 + 2 * s) },
+            ));
+            blocks.push(make_block(id, 2 + 2 * s, Terminator::Jump { to: BlockId(0) }));
+        }
+    } else {
+        // No indirect budget: a static round-robin call chain.
+        let slots = workers.clamp(2, 40);
+        blocks = Vec::with_capacity(slots + 1);
+        for slot in 0..slots {
+            let callee = FuncId(rng.weighted(hotness) + 1);
+            blocks.push(make_block(
+                id,
+                slot,
+                Terminator::Call { callee, ret_to: BlockId(slot + 1) },
+            ));
+        }
+        blocks.push(make_block(id, slots, Terminator::Jump { to: BlockId(0) }));
+    }
+    // Return-landing blocks start exactly at their slot base.
+    for i in 0..blocks.len() {
+        if let Terminator::Call { ret_to, .. } = blocks[i].terminator {
+            unjitter(&mut blocks[ret_to.0]);
+        }
+    }
+    Function { id, blocks }
+}
+
+fn make_block(f: FuncId, index: usize, terminator: Terminator) -> Block {
+    Block {
+        start: Function::block_start(f, BlockId(index)),
+        branch_pc: Function::block_branch_pc(f, BlockId(index)),
+        terminator,
+    }
+}
+
+fn sample_cond_behavior(mix: &BehaviorMix, rng: &mut SplitMix64) -> CondBehavior {
+    match rng.weighted(&[
+        mix.loop_weight,
+        mix.biased_weight,
+        mix.correlated_weight,
+        mix.random_weight,
+    ]) {
+        0 => CondBehavior::Loop { trip: rng.range(2, 10) as u32 },
+        1 => {
+            let taken_milli = if rng.chance_milli(500) {
+                rng.range(850, 985) as u32
+            } else {
+                rng.range(15, 150) as u32
+            };
+            CondBehavior::Biased { taken_milli }
+        }
+        2 => {
+            let (low, high) = LENGTH_BUCKETS[rng.weighted(&mix.cond_length_weights)];
+            CondBehavior::PathCorrelated {
+                length: rng.range(low as u64, high as u64) as u8,
+                key: rng.next_u64(),
+                noise_milli: rng.range(0, mix.cond_noise_milli_max as u64) as u32,
+            }
+        }
+        _ => CondBehavior::Biased { taken_milli: 500 },
+    }
+}
+
+fn sample_ind_behavior(mix: &BehaviorMix, rng: &mut SplitMix64) -> IndBehavior {
+    if rng.unit_f64() < mix.ind_correlated_frac {
+        let (low, high) = LENGTH_BUCKETS[rng.weighted(&mix.ind_length_weights)];
+        IndBehavior::PathCorrelated {
+            length: rng.range(low as u64, high as u64) as u8,
+            key: rng.next_u64(),
+            noise_milli: rng.range(0, mix.ind_noise_milli_max as u64) as u32,
+        }
+    } else {
+        IndBehavior::Random
+    }
+}
+
+/// Fisher–Yates shuffle driven by the generator RNG.
+fn shuffle<T>(items: &mut [T], rng: &mut SplitMix64) {
+    for i in (1..items.len()).rev() {
+        let j = rng.below(i as u64 + 1) as usize;
+        items.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::InputSet;
+    use vlpp_trace::stats::TraceStats;
+
+    fn spec(conds: usize, inds: usize, seed: u64) -> BenchmarkSpec {
+        BenchmarkSpec {
+            name: format!("test-{conds}-{inds}"),
+            seed,
+            static_conditional: conds,
+            static_indirect: inds,
+            default_dynamic_conditional: 10_000,
+            mix: BehaviorMix::default(),
+        }
+    }
+
+    #[test]
+    fn static_counts_are_exact() {
+        for &(c, i) in &[(1usize, 0usize), (10, 1), (371, 3), (1536, 21), (5476, 104)] {
+            let program = spec(c, i, 42).build_program();
+            assert_eq!(program.static_conditional(), c, "cond count for ({c},{i})");
+            assert_eq!(program.static_indirect(), i, "ind count for ({c},{i})");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(spec(200, 5, 7).build_program(), spec(200, 5, 7).build_program());
+    }
+
+    #[test]
+    fn different_seeds_give_different_programs() {
+        assert_ne!(spec(200, 5, 7).build_program(), spec(200, 5, 8).build_program());
+    }
+
+    #[test]
+    fn generated_programs_execute_and_cover_sites() {
+        let program = spec(300, 8, 3).build_program();
+        let trace = program.execute(InputSet::Test, 200_000);
+        let stats = TraceStats::from_trace(&trace);
+        // A majority of static sites should be exercised in 200 K records.
+        assert!(
+            stats.conditional.static_ as usize > 150,
+            "only {} of 300 conditional sites executed",
+            stats.conditional.static_
+        );
+        assert!(stats.indirect.dynamic > 0);
+        assert!(stats.conditional.dynamic > 50_000);
+    }
+
+    #[test]
+    fn taken_rate_is_realistic() {
+        // Real integer code takes roughly 55-75% of conditional branches.
+        let program = spec(500, 10, 11).build_program();
+        let trace = program.execute(InputSet::Test, 200_000);
+        let stats = TraceStats::from_trace(&trace);
+        assert!(
+            (0.35..0.85).contains(&stats.taken_rate),
+            "taken rate {} is implausible",
+            stats.taken_rate
+        );
+    }
+
+    fn cond_ind_ratio(s: &BenchmarkSpec) -> f64 {
+        let t = s.build_program().execute(InputSet::Test, 300_000);
+        let stats = TraceStats::from_trace(&t);
+        stats.conditional.dynamic as f64 / stats.indirect.dynamic.max(1) as f64
+    }
+
+    #[test]
+    fn cold_placement_lowers_indirect_frequency() {
+        // Placement bias is not monotone at the hot extreme (all
+        // switches saturate one worker), but pushing sites into cold
+        // functions reliably starves them.
+        let mut warm = spec(2000, 40, 5);
+        warm.mix.indirect_hot_bias = 1.0;
+        warm.mix.driver_switch = false;
+        let mut cold = spec(2000, 40, 5);
+        cold.mix.indirect_hot_bias = -3.0;
+        cold.mix.driver_switch = false;
+        let warm_ratio = cond_ind_ratio(&warm);
+        let cold_ratio = cond_ind_ratio(&cold);
+        assert!(
+            cold_ratio > 1.3 * warm_ratio,
+            "cold placement should raise the cond:ind ratio ({warm_ratio:.1} vs {cold_ratio:.1})"
+        );
+    }
+
+    #[test]
+    fn gates_starve_indirect_sites() {
+        let mut open = spec(2000, 40, 5);
+        open.mix.driver_switch = false;
+        let mut gated = spec(2000, 40, 5);
+        gated.mix.driver_switch = false;
+        gated.mix.ind_gate_milli = 950;
+        let open_ratio = cond_ind_ratio(&open);
+        let gated_ratio = cond_ind_ratio(&gated);
+        assert!(
+            gated_ratio > 5.0 * open_ratio,
+            "a 95% gate should starve switches ({open_ratio:.1} vs {gated_ratio:.1})"
+        );
+    }
+
+    #[test]
+    fn zero_indirect_benchmarks_generate() {
+        let program = spec(50, 0, 9).build_program();
+        assert_eq!(program.static_indirect(), 0);
+        let trace = program.execute(InputSet::Test, 10_000);
+        assert!(trace.conditionals().count() > 1_000);
+    }
+
+    #[test]
+    fn single_conditional_generates() {
+        let program = spec(1, 1, 13).build_program();
+        assert_eq!(program.static_conditional(), 1);
+        let trace = program.execute(InputSet::Test, 5_000);
+        assert!(trace.conditionals().count() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one conditional")]
+    fn zero_conditionals_rejected() {
+        spec(0, 1, 1).build_program();
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = SplitMix64::new(1);
+        let mut items: Vec<u32> = (0..100).collect();
+        shuffle(&mut items, &mut rng);
+        let mut sorted = items.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(items, (0..100).collect::<Vec<_>>(), "overwhelmingly unlikely");
+    }
+
+    #[test]
+    fn split_evenly_sums_and_spreads() {
+        let mut rng = SplitMix64::new(2);
+        let chunks = split_evenly(103, 10, &mut rng);
+        assert_eq!(chunks.iter().sum::<usize>(), 103);
+        assert!(chunks.iter().all(|&c| c >= 10));
+    }
+}

@@ -1,0 +1,237 @@
+//! Hand-crafted micro-workloads with *known* optimal prediction
+//! behavior, used as validation fixtures: if a predictor's result on a
+//! micro-workload deviates from the analytically expected value, the
+//! predictor (or the substrate) is wrong — no statistics required.
+//!
+//! Each constructor documents what the ideal predictor achieves and
+//! which predictor families can reach it.
+
+use crate::behavior::{CondBehavior, IndBehavior};
+use crate::cfg::{Block, BlockId, FuncId, Function, Program, Terminator};
+
+fn block(f: FuncId, b: usize, terminator: Terminator) -> Block {
+    Block {
+        start: Function::block_start(f, BlockId(b)),
+        branch_pc: Function::block_branch_pc(f, BlockId(b)),
+        terminator,
+    }
+}
+
+/// A single counted loop: one back-edge taken `trip − 1` times then not
+/// taken, forever.
+///
+/// * Any 2-bit-counter scheme converges to ≈ `1/trip` misses (the exit).
+/// * A history scheme with ≥ `trip` bits/targets of history predicts the
+///   exit too: ≈ 0 misses after warmup.
+pub fn counted_loop(trip: u32) -> Program {
+    let f = FuncId(0);
+    Program::new(
+        format!("micro-loop-{trip}"),
+        vec![Function {
+            id: f,
+            blocks: vec![
+                block(
+                    f,
+                    0,
+                    Terminator::Cond {
+                        behavior: CondBehavior::Loop { trip },
+                        taken: BlockId(0),
+                        fall: BlockId(1),
+                    },
+                ),
+                block(f, 1, Terminator::Jump { to: BlockId(0) }),
+            ],
+        }],
+        f,
+        0x100b + trip as u64,
+    )
+}
+
+/// A diamond-plus-ladder whose final branch is a pure function of a
+/// coin-flip branch `gap` path entries earlier.
+///
+/// The source's outcome is *encoded in its target* (a real diamond:
+/// taken and fall-through lead to different blocks), then constant
+/// fillers push the source to path depth `gap`. The sink is perfectly
+/// predictable with >= `gap` targets of path history and degenerates
+/// toward a coin flip with fewer.
+///
+/// # Panics
+///
+/// Panics if `gap` is not in `2..=24`.
+pub fn correlated_ladder(gap: u8) -> Program {
+    assert!((2..=24).contains(&gap), "gap must be in 2..=24, got {gap}");
+    // The sink's boolean function must actually distinguish the two
+    // possible paths (a random key has a 50% chance of mapping both to
+    // the same parity, making the sink constant); search for a key that
+    // does. A handful of candidates always suffices.
+    for key_salt in 0..64u64 {
+        let program = ladder_with_key(gap, 0xc022 + gap as u64 + key_salt * 0x9e37);
+        let trace = program.execute(crate::executor::InputSet::Test, 600);
+        let sink_pc = Function::block_branch_pc(FuncId(0), BlockId(gap as usize + 1));
+        let mut seen = [false; 2];
+        for record in trace.conditionals().filter(|r| r.pc() == sink_pc) {
+            seen[record.taken() as usize] = true;
+        }
+        if seen[0] && seen[1] {
+            return program;
+        }
+    }
+    unreachable!("no distinguishing key among 64 candidates (p < 2^-64)")
+}
+
+fn ladder_with_key(gap: u8, key: u64) -> Program {
+    let f = FuncId(0);
+    let gap = gap as usize;
+    let mut blocks = Vec::new();
+    // Block 0: the source coin flip; its two successors differ, so the
+    // outcome enters the path as a target address.
+    blocks.push(block(
+        f,
+        0,
+        Terminator::Cond {
+            behavior: CondBehavior::Biased { taken_milli: 500 },
+            taken: BlockId(1),
+            fall: BlockId(2),
+        },
+    ));
+    // Blocks 1 and 2: the diamond arms, re-merging at block 3. Both are
+    // always-taken conditionals so the merge adds one (constant) path
+    // entry on either arm.
+    for arm in [1usize, 2] {
+        blocks.push(block(
+            f,
+            arm,
+            Terminator::Cond {
+                behavior: CondBehavior::Biased { taken_milli: 1000 },
+                taken: BlockId(3),
+                fall: BlockId(3),
+            },
+        ));
+    }
+    // Blocks 3..=gap: constant linear fillers (gap - 2 of them).
+    for i in 3..=gap {
+        blocks.push(block(
+            f,
+            i,
+            Terminator::Cond {
+                behavior: CondBehavior::Biased { taken_milli: 1000 },
+                taken: BlockId(i + 1),
+                fall: BlockId(i + 1),
+            },
+        ));
+    }
+    // Block gap+1: the sink - a pure function of the last `gap` path
+    // targets, the oldest of which is the source's outcome.
+    blocks.push(block(
+        f,
+        gap + 1,
+        Terminator::Cond {
+            behavior: CondBehavior::PathCorrelated { length: gap as u8, key, noise_milli: 0 },
+            taken: BlockId(gap + 2),
+            fall: BlockId(gap + 2),
+        },
+    ));
+    blocks.push(block(f, gap + 2, Terminator::Jump { to: BlockId(0) }));
+    Program::new(format!("micro-ladder-{gap}"), blocks_into(f, blocks), f, key)
+}
+
+/// A two-way dispatch whose target strictly alternates: a last-target
+/// BTB gets 0 % right, any 1-deep self-history or path scheme ≈ 100 %.
+pub fn alternating_dispatch() -> Program {
+    let f = FuncId(0);
+    let blocks = vec![
+        block(
+            f,
+            0,
+            Terminator::Switch {
+                // Strict alternation: round-robin over two targets.
+                behavior: IndBehavior::RoundRobin,
+                targets: vec![BlockId(1), BlockId(2)],
+            },
+        ),
+        block(f, 1, Terminator::Jump { to: BlockId(0) }),
+        block(f, 2, Terminator::Jump { to: BlockId(0) }),
+    ];
+    Program::new("micro-dispatch", blocks_into(f, blocks), f, 0xd15b)
+}
+
+/// A pure coin-flip branch: *no* predictor beats 50 % (plus counter
+/// hysteresis losses). The floor fixture.
+pub fn coin_flip() -> Program {
+    let f = FuncId(0);
+    let blocks = vec![
+        block(
+            f,
+            0,
+            Terminator::Cond {
+                behavior: CondBehavior::Biased { taken_milli: 500 },
+                taken: BlockId(1),
+                fall: BlockId(1),
+            },
+        ),
+        block(f, 1, Terminator::Jump { to: BlockId(0) }),
+    ];
+    Program::new("micro-coin", blocks_into(f, blocks), f, 0xc014)
+}
+
+fn blocks_into(f: FuncId, blocks: Vec<Block>) -> Vec<Function> {
+    vec![Function { id: f, blocks }]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::InputSet;
+
+    #[test]
+    fn counted_loop_has_exact_exit_rate() {
+        let program = counted_loop(5);
+        let trace = program.execute(InputSet::Test, 10_000);
+        let conds: Vec<bool> = trace.conditionals().map(|r| r.taken()).collect();
+        let not_taken = conds.iter().filter(|&&t| !t).count();
+        let rate = not_taken as f64 / conds.len() as f64;
+        assert!((rate - 0.2).abs() < 0.01, "exit rate {rate} for trip 5");
+    }
+
+    #[test]
+    fn ladder_source_is_fair_and_sink_is_deterministic() {
+        let program = correlated_ladder(4);
+        let trace = program.execute(InputSet::Test, 40_000);
+        // Branch at block 0 is a fair coin; block 4's branch is a pure
+        // function of the path.
+        let source_pc = Function::block_branch_pc(FuncId(0), BlockId(0));
+        let outcomes: Vec<bool> = trace
+            .conditionals()
+            .filter(|r| r.pc() == source_pc)
+            .map(|r| r.taken())
+            .collect();
+        let taken = outcomes.iter().filter(|&&t| t).count() as f64 / outcomes.len() as f64;
+        assert!((taken - 0.5).abs() < 0.05, "source taken rate {taken}");
+    }
+
+    #[test]
+    fn dispatch_targets_both_appear() {
+        let program = alternating_dispatch();
+        let trace = program.execute(InputSet::Test, 5_000);
+        let mut targets: Vec<u64> = trace.indirects().map(|r| r.target().raw()).collect();
+        targets.sort_unstable();
+        targets.dedup();
+        assert_eq!(targets.len(), 2, "both dispatch targets must occur");
+    }
+
+    #[test]
+    fn micro_programs_validate() {
+        for program in
+            [counted_loop(3), correlated_ladder(2), alternating_dispatch(), coin_flip()]
+        {
+            assert!(program.validate().is_ok(), "{}", program.name());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "gap")]
+    fn ladder_rejects_zero_gap() {
+        correlated_ladder(1);
+    }
+}

@@ -1,0 +1,222 @@
+//! A small deterministic PRNG.
+//!
+//! Workload generation must be bit-reproducible across platforms and
+//! library versions — the experiment tables in EXPERIMENTS.md are only
+//! comparable if every run sees the same traces — so this crate carries
+//! its own SplitMix64 instead of depending on an external RNG crate.
+
+/// SplitMix64 (Steele, Lea, Flood 2014): a tiny, high-quality, seedable
+/// 64-bit generator. Statistically strong enough for workload synthesis
+/// (not for cryptography).
+///
+/// # Example
+///
+/// ```
+/// use vlpp_synth::SplitMix64;
+///
+/// let mut a = SplitMix64::new(42);
+/// let mut b = SplitMix64::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64()); // deterministic
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// A generator whose stream is independent of this one (useful for
+    /// giving each site its own noise stream).
+    pub fn fork(&mut self, salt: u64) -> SplitMix64 {
+        SplitMix64::new(self.next_u64() ^ mix(salt))
+    }
+
+    /// The next 64 uniformly distributed bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        mix(self.state)
+    }
+
+    /// A uniform value in `0..bound`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is 0.
+    #[inline]
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        // Multiply-shift bounded sampling (Lemire); bias is < 2^-32 for
+        // the small bounds used here.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// A uniform value in `low..=high`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `low > high`.
+    #[inline]
+    pub fn range(&mut self, low: u64, high: u64) -> u64 {
+        assert!(low <= high, "empty range {low}..={high}");
+        low + self.below(high - low + 1)
+    }
+
+    /// `true` with probability `milli / 1000`.
+    #[inline]
+    pub fn chance_milli(&mut self, milli: u32) -> bool {
+        self.below(1000) < milli as u64
+    }
+
+    /// A uniform float in `[0, 1)`.
+    #[inline]
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Samples an index from non-negative weights (linear scan; the
+    /// weight vectors here are small).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or sums to zero.
+    pub fn weighted(&mut self, weights: &[f64]) -> usize {
+        assert!(!weights.is_empty(), "weights must not be empty");
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights must not sum to zero");
+        let mut draw = self.unit_f64() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            draw -= w;
+            if draw < 0.0 {
+                return i;
+            }
+        }
+        weights.len() - 1
+    }
+}
+
+/// The SplitMix64 output mixing function — also used standalone as the
+/// deterministic "opaque program logic" behind path-correlated branch
+/// behaviors.
+#[inline]
+pub fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut rng = SplitMix64::new(3);
+        for _ in 0..10_000 {
+            assert!(rng.below(7) < 7);
+        }
+    }
+
+    #[test]
+    fn below_is_roughly_uniform() {
+        let mut rng = SplitMix64::new(4);
+        let mut counts = [0u32; 8];
+        for _ in 0..80_000 {
+            counts[rng.below(8) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((8500..11500).contains(&c), "bucket count {c} far from uniform");
+        }
+    }
+
+    #[test]
+    fn range_inclusive() {
+        let mut rng = SplitMix64::new(5);
+        let mut seen_low = false;
+        let mut seen_high = false;
+        for _ in 0..10_000 {
+            let v = rng.range(3, 5);
+            assert!((3..=5).contains(&v));
+            seen_low |= v == 3;
+            seen_high |= v == 5;
+        }
+        assert!(seen_low && seen_high);
+    }
+
+    #[test]
+    fn chance_milli_extremes() {
+        let mut rng = SplitMix64::new(6);
+        assert!((0..1000).all(|_| !rng.chance_milli(0)));
+        assert!((0..1000).all(|_| rng.chance_milli(1000)));
+    }
+
+    #[test]
+    fn chance_milli_is_calibrated() {
+        let mut rng = SplitMix64::new(8);
+        let hits = (0..100_000).filter(|_| rng.chance_milli(250)).count();
+        assert!((23_000..27_000).contains(&hits), "got {hits} hits for p=0.25");
+    }
+
+    #[test]
+    fn unit_f64_in_range() {
+        let mut rng = SplitMix64::new(9);
+        for _ in 0..10_000 {
+            let v = rng.unit_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn weighted_respects_weights() {
+        let mut rng = SplitMix64::new(10);
+        let mut counts = [0u32; 3];
+        for _ in 0..30_000 {
+            counts[rng.weighted(&[1.0, 2.0, 7.0])] += 1;
+        }
+        assert!(counts[2] > counts[1] && counts[1] > counts[0]);
+        assert!((counts[2] as f64 / 30_000.0 - 0.7).abs() < 0.05);
+    }
+
+    #[test]
+    fn weighted_zero_weight_never_picked() {
+        let mut rng = SplitMix64::new(11);
+        for _ in 0..5_000 {
+            assert_ne!(rng.weighted(&[1.0, 0.0, 1.0]), 1);
+        }
+    }
+
+    #[test]
+    fn forked_streams_are_independent_of_order() {
+        let mut a = SplitMix64::new(12);
+        let mut fork = a.fork(99);
+        let from_fork: Vec<u64> = (0..5).map(|_| fork.next_u64()).collect();
+        let from_parent: Vec<u64> = (0..5).map(|_| a.next_u64()).collect();
+        assert_ne!(from_fork, from_parent);
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn below_rejects_zero() {
+        SplitMix64::new(0).below(0);
+    }
+}

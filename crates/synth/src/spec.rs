@@ -1,0 +1,149 @@
+//! Benchmark specifications: the knobs that shape a generated program.
+
+use crate::cfg::Program;
+use crate::generator;
+
+/// The behavior mixture of a generated program: what fractions of its
+//  branch sites follow which model, and how the correlation lengths are
+/// distributed. These are the knobs that make one benchmark "gcc-like"
+/// and another "compress-like".
+#[derive(Debug, Clone, PartialEq)]
+pub struct BehaviorMix {
+    /// Weight of loop back-edge conditionals.
+    pub loop_weight: f64,
+    /// Weight of strongly biased conditionals.
+    pub biased_weight: f64,
+    /// Weight of path-correlated conditionals.
+    pub correlated_weight: f64,
+    /// Weight of data-dependent (50/50) conditionals.
+    pub random_weight: f64,
+    /// Distribution of conditional correlation lengths over the buckets
+    /// 1–3, 4–8, 9–16, 17–28.
+    pub cond_length_weights: [f64; 4],
+    /// Maximum flip-noise (thousandths) on correlated conditionals; each
+    /// site draws uniformly from `0..=max`.
+    pub cond_noise_milli_max: u32,
+    /// Fraction of indirect sites that are path-correlated (the rest are
+    /// uniformly random over their targets).
+    pub ind_correlated_frac: f64,
+    /// Distribution of indirect correlation lengths over the buckets
+    /// 1–3, 4–8, 9–16, 17–28.
+    pub ind_length_weights: [f64; 4],
+    /// Maximum noise (thousandths) on correlated indirect sites.
+    pub ind_noise_milli_max: u32,
+    /// Inclusive range of indirect-site arities (number of targets).
+    pub arity: (usize, usize),
+    /// Blocks per generated function (inclusive range).
+    pub blocks_per_function: (usize, usize),
+    /// Fraction of blocks that call another function.
+    pub call_frac: f64,
+    /// Fraction of blocks that are unconditional jumps.
+    pub jump_frac: f64,
+    /// Exponent biasing indirect-site placement toward hot functions
+    /// (0 = uniform; larger = more concentrated, raising the dynamic
+    /// indirect frequency relative to its static share; negative =
+    /// pushed into cold functions).
+    pub indirect_hot_bias: f64,
+    /// Noise (thousandths) on the driver dispatch switch.
+    pub driver_noise_milli: u32,
+    /// Whether the driver dispatches through a switch (an indirect site
+    /// executed once per worker invocation). Benchmarks whose indirect
+    /// branches almost never execute (compress, pgp) use a static call
+    /// chain instead.
+    pub driver_switch: bool,
+    /// When non-zero, each worker switch is preceded by a *gate*: one of
+    /// the benchmark's (budgeted) conditional sites, biased to jump past
+    /// the switch with this probability in thousandths. This is how a
+    /// benchmark's dynamic indirect frequency is pushed far below its
+    /// static share (compress executes its 3 indirect sites 160 times in
+    /// 11.7 M branches).
+    pub ind_gate_milli: u32,
+}
+
+impl Default for BehaviorMix {
+    /// A general-purpose integer-code mixture (gcc-like).
+    fn default() -> Self {
+        BehaviorMix {
+            loop_weight: 0.20,
+            biased_weight: 0.30,
+            correlated_weight: 0.44,
+            random_weight: 0.06,
+            cond_length_weights: [0.40, 0.30, 0.20, 0.10],
+            cond_noise_milli_max: 60,
+            ind_correlated_frac: 0.80,
+            ind_length_weights: [0.55, 0.30, 0.12, 0.03],
+            ind_noise_milli_max: 60,
+            arity: (2, 8),
+            blocks_per_function: (8, 28),
+            call_frac: 0.06,
+            jump_frac: 0.08,
+            indirect_hot_bias: 1.0,
+            driver_noise_milli: 80,
+            driver_switch: true,
+            ind_gate_milli: 0,
+        }
+    }
+}
+
+/// The full specification of one synthetic benchmark.
+///
+/// # Example
+///
+/// ```
+/// use vlpp_synth::{BehaviorMix, BenchmarkSpec};
+///
+/// let spec = BenchmarkSpec {
+///     name: "demo".into(),
+///     seed: 1,
+///     static_conditional: 200,
+///     static_indirect: 5,
+///     default_dynamic_conditional: 10_000,
+///     mix: BehaviorMix::default(),
+/// };
+/// let program = spec.build_program();
+/// assert_eq!(program.static_conditional(), 200);
+/// assert_eq!(program.static_indirect(), 5);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchmarkSpec {
+    /// Benchmark name (as in the paper's Table 1).
+    pub name: String,
+    /// Generation seed (fixes the "binary").
+    pub seed: u64,
+    /// Number of static conditional branch sites (Table 1 column).
+    pub static_conditional: usize,
+    /// Number of static indirect branch sites (Table 1 column).
+    pub static_indirect: usize,
+    /// Dynamic conditional-branch count for a default-scale run (the
+    /// paper's dynamic column divided by the workspace scale factor).
+    pub default_dynamic_conditional: u64,
+    /// The behavior mixture.
+    pub mix: BehaviorMix,
+}
+
+impl BenchmarkSpec {
+    /// Generates the program ("compiles the binary") for this spec.
+    /// Deterministic in `seed` and the spec fields.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `static_conditional` is zero (a program with no
+    /// conditional branches cannot exercise the predictors).
+    pub fn build_program(&self) -> Program {
+        generator::generate(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_mix_weights_are_sane() {
+        let m = BehaviorMix::default();
+        let total = m.loop_weight + m.biased_weight + m.correlated_weight + m.random_weight;
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(m.arity.0 >= 2 && m.arity.0 <= m.arity.1);
+        assert!(m.blocks_per_function.0 >= 4);
+    }
+}

@@ -1,0 +1,346 @@
+//! The benchmark suite: synthetic models of the paper's 16 programs.
+//!
+//! Static branch counts come directly from the paper's Table 1.
+//! Dynamic counts are the paper's, stored at full scale; the simulation
+//! harness divides them by its scale factor. The per-benchmark behavior
+//! mixtures are hand-tuned so the *relative* difficulty of the
+//! benchmarks tracks the paper: go is hard for every conditional
+//! predictor, perl's branches are strongly path-correlated (the paper's
+//! biggest variable-length win, 68.6% fewer mispredictions), pgp is
+//! dominated by data-dependent branches (the smallest win, 7.4%),
+//! interpreter-like workloads (li, perl, python, groff, gs) execute
+//! indirect branches frequently, and compress/pgp essentially never do.
+
+use crate::spec::{BehaviorMix, BenchmarkSpec};
+
+/// Names of the eight SPECint95 benchmarks, in the paper's order.
+pub const SPEC_NAMES: [&str; 8] =
+    ["compress", "gcc", "go", "ijpeg", "li", "m88ksim", "perl", "vortex"];
+
+/// Names of the eight non-SPEC benchmarks, in the paper's order.
+pub const NON_SPEC_NAMES: [&str; 8] =
+    ["chess", "groff", "gs", "pgp", "plot", "python", "ss", "tex"];
+
+/// The eight benchmarks the paper marks as having frequent indirect
+/// branches (bold in Figures 7–8, detailed in Table 3).
+pub const HIGH_INDIRECT_NAMES: [&str; 8] =
+    ["m88ksim", "gcc", "li", "perl", "groff", "gs", "plot", "python"];
+
+/// All 16 benchmark names, SPEC first.
+pub fn all_names() -> Vec<&'static str> {
+    SPEC_NAMES.iter().chain(NON_SPEC_NAMES.iter()).copied().collect()
+}
+
+/// The spec for one benchmark by name, or `None` if unknown.
+pub fn benchmark(name: &str) -> Option<BenchmarkSpec> {
+    all_benchmarks().into_iter().find(|spec| spec.name == name)
+}
+
+/// Builds the full 16-benchmark suite.
+pub fn all_benchmarks() -> Vec<BenchmarkSpec> {
+    vec![
+        // --- SPECint95 -------------------------------------------------
+        // compress: tiny kernel, few branches, indirect branches execute
+        // 160 times in 11.7M — effectively never.
+        make("compress", 0xc0e5, 371, 3, 11_700_000, |m| {
+            m.loop_weight = 0.30;
+            m.biased_weight = 0.30;
+            m.correlated_weight = 0.30;
+            m.random_weight = 0.10;
+            m.cond_noise_milli_max = 90;
+            m.driver_switch = false;
+            m.indirect_hot_bias = -3.0;
+            m.ind_gate_milli = 996;
+        }),
+        // gcc: the paper's case study. Many static branches, moderate
+        // correlation at diverse lengths, frequent indirect branches.
+        make("gcc", 0x9cc1, 14_419, 192, 27_600_000, |m| {
+            m.correlated_weight = 0.46;
+            m.biased_weight = 0.28;
+            m.loop_weight = 0.18;
+            m.random_weight = 0.08;
+            m.cond_length_weights = [0.35, 0.30, 0.22, 0.13];
+            m.cond_noise_milli_max = 70;
+            m.ind_correlated_frac = 0.85;
+            m.ind_noise_milli_max = 120;
+            m.indirect_hot_bias = 3.0;
+        }),
+        // go: notoriously unpredictable position-evaluation branches.
+        make("go", 0x60,  4_770, 11, 17_600_000, |m| {
+            m.random_weight = 0.16;
+            m.biased_weight = 0.26;
+            m.correlated_weight = 0.42;
+            m.loop_weight = 0.16;
+            m.cond_noise_milli_max = 160;
+            m.cond_length_weights = [0.25, 0.30, 0.25, 0.20];
+            m.indirect_hot_bias = 0.5;
+        }),
+        // ijpeg: loop-dominated image kernels; indirect sites are many
+        // but rarely executed.
+        make("ijpeg", 0x13e6, 1_161, 134, 18_200_000, |m| {
+            m.loop_weight = 0.42;
+            m.biased_weight = 0.30;
+            m.correlated_weight = 0.24;
+            m.random_weight = 0.04;
+            m.cond_noise_milli_max = 50;
+            m.driver_switch = false;
+            m.indirect_hot_bias = 0.0;
+            m.ind_gate_milli = 850;
+        }),
+        // li: lisp interpreter — frequent, fairly predictable dispatch.
+        make("li", 0x11, 517, 11, 32_400_000, |m| {
+            m.correlated_weight = 0.50;
+            m.biased_weight = 0.26;
+            m.loop_weight = 0.18;
+            m.random_weight = 0.06;
+            m.ind_correlated_frac = 0.90;
+            m.ind_length_weights = [0.60, 0.30, 0.08, 0.02];
+            m.ind_noise_milli_max = 60;
+            m.indirect_hot_bias = 2.0;
+        }),
+        // m88ksim: simulator main loop, very regular.
+        make("m88ksim", 0x88, 1_095, 14, 92_600_000, |m| {
+            m.biased_weight = 0.40;
+            m.loop_weight = 0.24;
+            m.correlated_weight = 0.32;
+            m.random_weight = 0.04;
+            m.cond_noise_milli_max = 40;
+            m.ind_correlated_frac = 0.85;
+            m.ind_noise_milli_max = 100;
+            m.indirect_hot_bias = 1.0;
+        }),
+        // perl: the paper's biggest variable-length win (68.6% fewer
+        // conditional mispredictions) and near-perfect indirect
+        // prediction (0.49%): strong path correlation, little noise,
+        // widely varying correlation lengths.
+        make("perl", 0x9e71, 1_536, 21, 21_400_000, |m| {
+            m.correlated_weight = 0.62;
+            m.biased_weight = 0.20;
+            m.loop_weight = 0.14;
+            m.random_weight = 0.04;
+            m.cond_length_weights = [0.30, 0.28, 0.24, 0.18];
+            m.cond_noise_milli_max = 25;
+            m.ind_correlated_frac = 0.97;
+            m.ind_length_weights = [0.70, 0.25, 0.04, 0.01];
+            m.ind_noise_milli_max = 10;
+            m.indirect_hot_bias = 5.0;
+            m.blocks_per_function = (4, 10);
+        }),
+        // vortex: database transactions, highly biased branches.
+        make("vortex", 0x7e, 6_529, 33, 25_800_000, |m| {
+            m.biased_weight = 0.46;
+            m.correlated_weight = 0.36;
+            m.loop_weight = 0.14;
+            m.random_weight = 0.04;
+            m.cond_noise_milli_max = 30;
+            m.driver_switch = false;
+            m.indirect_hot_bias = 0.65;
+        }),
+        // --- non-SPEC ---------------------------------------------------
+        // chess: search-heavy, moderately hard.
+        make("chess", 0xc4e5, 1_736, 7, 52_400_000, |m| {
+            m.random_weight = 0.10;
+            m.correlated_weight = 0.44;
+            m.biased_weight = 0.28;
+            m.loop_weight = 0.18;
+            m.cond_noise_milli_max = 110;
+            m.driver_switch = false;
+            m.indirect_hot_bias = 2.0;
+        }),
+        // groff: C++ document formatter — virtual dispatch everywhere,
+        // with targets needing medium-length paths.
+        make("groff", 0x6f, 2_322, 172, 22_400_000, |m| {
+            m.correlated_weight = 0.50;
+            m.biased_weight = 0.26;
+            m.loop_weight = 0.18;
+            m.random_weight = 0.06;
+            m.ind_correlated_frac = 0.85;
+            m.ind_length_weights = [0.35, 0.40, 0.20, 0.05];
+            m.ind_noise_milli_max = 100;
+            m.indirect_hot_bias = 3.5;
+            m.blocks_per_function = (6, 14);
+        }),
+        // gs: PostScript interpreter, many static indirect sites.
+        make("gs", 0x65, 5_476, 504, 29_400_000, |m| {
+            m.correlated_weight = 0.46;
+            m.biased_weight = 0.28;
+            m.loop_weight = 0.18;
+            m.random_weight = 0.08;
+            m.ind_correlated_frac = 0.80;
+            m.ind_noise_milli_max = 120;
+            m.indirect_hot_bias = 1.75;
+            m.blocks_per_function = (6, 16);
+        }),
+        // pgp: crypto kernels — data-dependent branches that no history
+        // helps with (the paper's smallest variable-length win, 7.4%).
+        make("pgp", 0x969, 1_444, 5, 16_500_000, |m| {
+            m.random_weight = 0.30;
+            m.biased_weight = 0.44;
+            m.loop_weight = 0.20;
+            m.correlated_weight = 0.06;
+            m.cond_length_weights = [0.60, 0.25, 0.10, 0.05];
+            m.cond_noise_milli_max = 140;
+            m.driver_switch = false;
+            m.indirect_hot_bias = -3.0;
+            m.ind_gate_milli = 950;
+        }),
+        // plot: gnuplot — regular plotting loops, predictable dispatch.
+        make("plot", 0x970, 1_417, 43, 25_700_000, |m| {
+            m.loop_weight = 0.30;
+            m.biased_weight = 0.28;
+            m.correlated_weight = 0.38;
+            m.random_weight = 0.04;
+            m.ind_correlated_frac = 0.92;
+            m.ind_length_weights = [0.60, 0.30, 0.08, 0.02];
+            m.ind_noise_milli_max = 40;
+            m.indirect_hot_bias = 1.0;
+            m.blocks_per_function = (6, 16);
+        }),
+        // python: bytecode interpreter — frequent dispatch with a large
+        // hard-to-predict residue (the paper's worst VLP indirect rate,
+        // 29.1%).
+        make("python", 0x9711, 2_578, 168, 33_800_000, |m| {
+            m.correlated_weight = 0.46;
+            m.biased_weight = 0.28;
+            m.loop_weight = 0.18;
+            m.random_weight = 0.08;
+            m.ind_correlated_frac = 0.55;
+            m.ind_length_weights = [0.40, 0.35, 0.20, 0.05];
+            m.ind_noise_milli_max = 250;
+            m.arity = (4, 12);
+            m.indirect_hot_bias = 6.0;
+        }),
+        // ss: SimpleScalar — simulator main loop like m88ksim, but a
+        // bigger working set.
+        make("ss", 0x55, 1_997, 29, 22_300_000, |m| {
+            m.biased_weight = 0.36;
+            m.correlated_weight = 0.38;
+            m.loop_weight = 0.20;
+            m.random_weight = 0.06;
+            m.cond_noise_milli_max = 60;
+            m.driver_switch = false;
+            m.indirect_hot_bias = 0.5;
+        }),
+        // tex: document formatter, moderately regular.
+        make("tex", 0x7e4, 2_970, 42, 20_600_000, |m| {
+            m.biased_weight = 0.32;
+            m.correlated_weight = 0.40;
+            m.loop_weight = 0.22;
+            m.random_weight = 0.06;
+            m.cond_noise_milli_max = 70;
+            m.indirect_hot_bias = 2.0;
+            m.blocks_per_function = (6, 16);
+        }),
+    ]
+}
+
+fn make(
+    name: &str,
+    seed: u64,
+    static_conditional: usize,
+    static_indirect: usize,
+    paper_dynamic_conditional: u64,
+    tune: impl FnOnce(&mut BehaviorMix),
+) -> BenchmarkSpec {
+    let mut mix = BehaviorMix::default();
+    tune(&mut mix);
+    BenchmarkSpec {
+        name: name.into(),
+        seed,
+        static_conditional,
+        static_indirect,
+        default_dynamic_conditional: paper_dynamic_conditional,
+        mix,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::InputSet;
+    use vlpp_trace::stats::TraceStats;
+
+    #[test]
+    fn suite_has_sixteen_benchmarks() {
+        assert_eq!(all_benchmarks().len(), 16);
+        assert_eq!(all_names().len(), 16);
+    }
+
+    #[test]
+    fn names_are_unique_and_resolvable() {
+        let specs = all_benchmarks();
+        for name in all_names() {
+            assert!(benchmark(name).is_some(), "{name} missing");
+        }
+        let mut names: Vec<&str> = specs.iter().map(|s| s.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 16);
+        assert!(benchmark("nonesuch").is_none());
+    }
+
+    #[test]
+    fn static_counts_match_table_1() {
+        // Spot-check the Table 1 static columns.
+        let gcc = benchmark("gcc").unwrap();
+        assert_eq!((gcc.static_conditional, gcc.static_indirect), (14_419, 192));
+        let go = benchmark("go").unwrap();
+        assert_eq!((go.static_conditional, go.static_indirect), (4_770, 11));
+        let compress = benchmark("compress").unwrap();
+        assert_eq!((compress.static_conditional, compress.static_indirect), (371, 3));
+        let gs = benchmark("gs").unwrap();
+        assert_eq!((gs.static_conditional, gs.static_indirect), (5_476, 504));
+    }
+
+    #[test]
+    fn high_indirect_list_matches_table_3() {
+        assert_eq!(
+            HIGH_INDIRECT_NAMES,
+            ["m88ksim", "gcc", "li", "perl", "groff", "gs", "plot", "python"]
+        );
+        for name in HIGH_INDIRECT_NAMES {
+            assert!(benchmark(name).is_some());
+        }
+    }
+
+    #[test]
+    fn every_benchmark_generates_with_exact_static_counts() {
+        for spec in all_benchmarks() {
+            let program = spec.build_program();
+            assert_eq!(
+                program.static_conditional(),
+                spec.static_conditional,
+                "{} conditional",
+                spec.name
+            );
+            assert_eq!(
+                program.static_indirect(),
+                spec.static_indirect,
+                "{} indirect",
+                spec.name
+            );
+        }
+    }
+
+    #[test]
+    fn high_indirect_benchmarks_execute_indirects_frequently() {
+        for name in ["perl", "li"] {
+            let spec = benchmark(name).unwrap();
+            let trace = spec.build_program().execute(InputSet::Test, 150_000);
+            let stats = TraceStats::from_trace(&trace);
+            let ratio = stats.conditional.dynamic as f64 / stats.indirect.dynamic.max(1) as f64;
+            assert!(ratio < 60.0, "{name}: cond:ind ratio {ratio:.0} too high");
+        }
+    }
+
+    #[test]
+    fn compress_and_pgp_rarely_execute_indirects() {
+        for name in ["compress", "pgp"] {
+            let spec = benchmark(name).unwrap();
+            let trace = spec.build_program().execute(InputSet::Test, 150_000);
+            let stats = TraceStats::from_trace(&trace);
+            let ratio = stats.conditional.dynamic as f64 / stats.indirect.dynamic.max(1) as f64;
+            assert!(ratio > 300.0, "{name}: cond:ind ratio {ratio:.0} too low");
+        }
+    }
+}

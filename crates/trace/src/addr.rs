@@ -1,0 +1,279 @@
+//! Code addresses.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A code address (branch PC or branch target).
+///
+/// The paper works with 64-bit DEC Alpha addresses that are *compressed*
+/// before entering predictor structures: low-order bits index tables, and
+/// path hashes rotate `k`-bit truncations of target addresses. `Addr`
+/// carries those operations so that every predictor performs compression
+/// the same way.
+///
+/// Alpha instructions are 4-byte aligned; the synthetic workloads in
+/// `vlpp-synth` preserve that alignment, and [`Addr::word`] exposes the
+/// address shifted right by two so the always-zero alignment bits do not
+/// waste table index space (predictors index with `pc >> 2`, as real
+/// implementations do).
+///
+/// # Example
+///
+/// ```
+/// use vlpp_trace::Addr;
+///
+/// let a = Addr::new(0x1234_5678); // word address 0x048d_159e
+/// assert_eq!(a.low_bits(16), 0x159e);
+/// assert_eq!(a.rotate_left_k(4, 16), 0x59e1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Addr(u64);
+
+impl Addr {
+    /// The null address. Used as the fall-through target of a
+    /// not-taken conditional branch record when the fall-through is not
+    /// meaningful to the consumer.
+    pub const NULL: Addr = Addr(0);
+
+    /// Creates an address from its raw 64-bit value.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        Addr(raw)
+    }
+
+    /// Returns the raw 64-bit value.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the address in instruction-word units (`raw >> 2`).
+    ///
+    /// Alpha instructions are 4-byte aligned, so the low two bits carry no
+    /// information; predictors index tables with the word address.
+    #[inline]
+    pub const fn word(self) -> u64 {
+        self.0 >> 2
+    }
+
+    /// Returns the low `bits` bits of the *word* address.
+    ///
+    /// This is the compression step the paper applies before a target
+    /// address enters the Target History Buffer ("we compressed the target
+    /// addresses by simply discarding the higher order bits").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or greater than 64.
+    #[inline]
+    pub fn low_bits(self, bits: u32) -> u64 {
+        assert!(bits >= 1 && bits <= 64, "bit width must be in 1..=64, got {bits}");
+        if bits == 64 {
+            self.word()
+        } else {
+            self.word() & ((1u64 << bits) - 1)
+        }
+    }
+
+    /// Rotates the `k`-bit compression of this address left by `amount`
+    /// bits, within a `k`-bit word.
+    ///
+    /// This is the order-preserving transform of the paper's hash
+    /// functions (§3.3): target `T_i` is rotated by `i - 1` before being
+    /// XORed into the index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is 0 or greater than 64.
+    #[inline]
+    pub fn rotate_left_k(self, amount: u32, k: u32) -> u64 {
+        rotate_left_k(self.low_bits(k), amount, k)
+    }
+
+    /// Returns the address `offset` bytes after `self`, wrapping on
+    /// overflow.
+    #[inline]
+    pub const fn wrapping_add(self, offset: u64) -> Addr {
+        Addr(self.0.wrapping_add(offset))
+    }
+
+    /// Replaces the low 32 bits of this address with `low`.
+    ///
+    /// Models the paper's footnote 1: indirect predictor tables store only
+    /// the lower 32 bits of a 64-bit target; the upper 32 are taken from
+    /// the current fetch address.
+    #[inline]
+    pub const fn with_low32(self, low: u32) -> Addr {
+        Addr((self.0 & 0xffff_ffff_0000_0000) | low as u64)
+    }
+
+    /// Returns the low 32 bits of the raw address.
+    #[inline]
+    pub const fn low32(self) -> u32 {
+        self.0 as u32
+    }
+}
+
+/// Rotates a `k`-bit value left by `amount` within a `k`-bit word.
+///
+/// `value` must already fit in `k` bits. `amount` is reduced modulo `k`.
+///
+/// # Panics
+///
+/// Panics if `k` is 0 or greater than 64.
+#[inline]
+pub(crate) fn rotate_left_k(value: u64, amount: u32, k: u32) -> u64 {
+    assert!(k >= 1 && k <= 64, "rotation width must be in 1..=64, got {k}");
+    debug_assert!(k == 64 || value < (1u64 << k), "value {value:#x} does not fit in {k} bits");
+    let amount = amount % k;
+    if amount == 0 {
+        return value;
+    }
+    if k == 64 {
+        return value.rotate_left(amount);
+    }
+    let mask = (1u64 << k) - 1;
+    ((value << amount) | (value >> (k - amount))) & mask
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::UpperHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::Binary for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.0, f)
+    }
+}
+
+impl fmt::Octal for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Octal::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(raw: u64) -> Self {
+        Addr(raw)
+    }
+}
+
+impl From<Addr> for u64 {
+    fn from(addr: Addr) -> Self {
+        addr.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_and_raw_round_trip() {
+        assert_eq!(Addr::new(42).raw(), 42);
+        assert_eq!(Addr::new(u64::MAX).raw(), u64::MAX);
+    }
+
+    #[test]
+    fn word_discards_alignment_bits() {
+        assert_eq!(Addr::new(0x1000).word(), 0x400);
+        assert_eq!(Addr::new(0x1004).word(), 0x401);
+    }
+
+    #[test]
+    fn low_bits_masks_word_address() {
+        let a = Addr::new(0xdead_beef_0000_1230);
+        assert_eq!(a.low_bits(4), (0x1230u64 >> 2) & 0xf);
+        assert_eq!(a.low_bits(64), a.word());
+    }
+
+    #[test]
+    #[should_panic(expected = "bit width")]
+    fn low_bits_rejects_zero_width() {
+        Addr::new(1).low_bits(0);
+    }
+
+    #[test]
+    fn rotate_zero_is_identity() {
+        let a = Addr::new(0x12345678);
+        assert_eq!(a.rotate_left_k(0, 16), a.low_bits(16));
+    }
+
+    #[test]
+    fn rotate_wraps_high_bits_into_low() {
+        // word = 0b1000, k = 4, rotate by 1 -> 0b0001
+        let a = Addr::new(0b1000 << 2);
+        assert_eq!(a.rotate_left_k(1, 4), 0b0001);
+    }
+
+    #[test]
+    fn rotate_is_modular_in_amount() {
+        let a = Addr::new(0xabcd << 2);
+        for amt in 0..3 * 16 {
+            assert_eq!(a.rotate_left_k(amt, 16), a.rotate_left_k(amt % 16, 16));
+        }
+    }
+
+    #[test]
+    fn rotate_full_width() {
+        let v = 0x0123_4567_89ab_cdefu64;
+        let a = Addr::new(v << 2);
+        assert_eq!(a.rotate_left_k(8, 64), a.word().rotate_left(8));
+    }
+
+    #[test]
+    fn with_low32_splices() {
+        let a = Addr::new(0x1111_2222_3333_4444);
+        assert_eq!(a.with_low32(0xaaaa_bbbb).raw(), 0x1111_2222_aaaa_bbbb);
+    }
+
+    #[test]
+    fn display_is_hex() {
+        assert_eq!(Addr::new(0x1f).to_string(), "0x1f");
+        assert_eq!(format!("{:x}", Addr::new(255)), "ff");
+        assert_eq!(format!("{:b}", Addr::new(5)), "101");
+    }
+
+    #[test]
+    fn conversions() {
+        let a: Addr = 7u64.into();
+        let v: u64 = a.into();
+        assert_eq!(v, 7);
+    }
+
+    #[test]
+    fn rotate_preserves_bit_count() {
+        let v = 0b1011u64;
+        for amt in 0..8 {
+            assert_eq!(rotate_left_k(v, amt, 8).count_ones(), 3);
+        }
+    }
+
+    #[test]
+    fn rotation_distinguishes_order() {
+        // The motivating property from §3.3: XOR alone is order-blind,
+        // rotation restores order sensitivity.
+        let t1 = Addr::new(0x10 << 2);
+        let t2 = Addr::new(0x20 << 2);
+        let k = 8;
+        let ab = t1.rotate_left_k(0, k) ^ t2.rotate_left_k(1, k);
+        let ba = t2.rotate_left_k(0, k) ^ t1.rotate_left_k(1, k);
+        assert_ne!(ab, ba);
+    }
+}

@@ -1,0 +1,252 @@
+//! The compact binary trace format (version 2): branch records are
+//! highly local — consecutive pcs and targets differ by small deltas —
+//! so delta + LEB128 varint encoding shrinks traces by roughly 4–6×
+//! versus the fixed-width [`io`](crate::io) format. Workload caches and
+//! long trace archives use this format.
+//!
+//! ## Layout
+//!
+//! ```text
+//! magic   : 4 bytes = b"VLPC"
+//! version : u16 le = 2
+//! reserved: u16 le = 0
+//! count   : u64 le
+//! records : per record:
+//!     tag    : u8 — kind code (low 3 bits) | taken << 3
+//!     pc     : signed LEB128 delta from previous record's pc
+//!     target : signed LEB128 delta from this record's pc
+//! ```
+//!
+//! ## Example
+//!
+//! ```
+//! # use std::error::Error;
+//! # fn main() -> Result<(), Box<dyn Error>> {
+//! use vlpp_trace::{compact, Addr, BranchRecord, Trace};
+//!
+//! let mut trace = Trace::new();
+//! trace.push(BranchRecord::conditional(Addr::new(0x1000), Addr::new(0x1040), true));
+//! let mut buf = Vec::new();
+//! compact::write_compact(&trace, &mut buf)?;
+//! assert_eq!(compact::read_compact(&buf[..])?, trace);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::io::{Read, Write};
+
+use crate::{Addr, BranchKind, BranchRecord, Trace, TraceIoError};
+
+/// Magic bytes identifying a compact vlpp trace.
+pub const MAGIC: [u8; 4] = *b"VLPC";
+
+/// Compact format version.
+pub const VERSION: u16 = 2;
+
+/// Writes `trace` in the compact delta/varint format.
+///
+/// # Errors
+///
+/// Returns [`TraceIoError::Io`] if the underlying writer fails.
+pub fn write_compact<W: Write>(trace: &Trace, mut writer: W) -> Result<(), TraceIoError> {
+    writer.write_all(&MAGIC)?;
+    writer.write_all(&VERSION.to_le_bytes())?;
+    writer.write_all(&0u16.to_le_bytes())?;
+    writer.write_all(&(trace.len() as u64).to_le_bytes())?;
+    let mut buf = Vec::with_capacity(24);
+    let mut previous_pc: u64 = 0;
+    for record in trace.iter() {
+        buf.clear();
+        let tag = record.kind().code() | (record.taken() as u8) << 3;
+        buf.push(tag);
+        write_signed(&mut buf, record.pc().raw().wrapping_sub(previous_pc) as i64);
+        write_signed(&mut buf, record.target().raw().wrapping_sub(record.pc().raw()) as i64);
+        writer.write_all(&buf)?;
+        previous_pc = record.pc().raw();
+    }
+    writer.flush()?;
+    Ok(())
+}
+
+/// Reads a compact trace.
+///
+/// # Errors
+///
+/// Returns an error for bad magic, an unsupported version, a truncated
+/// stream, or an invalid kind code.
+pub fn read_compact<R: Read>(mut reader: R) -> Result<Trace, TraceIoError> {
+    let mut header = [0u8; 16];
+    read_exact_or(&mut reader, &mut header, 0)?;
+    if header[0..4] != MAGIC {
+        let mut found = [0u8; 4];
+        found.copy_from_slice(&header[0..4]);
+        return Err(TraceIoError::BadMagic { found });
+    }
+    let version = u16::from_le_bytes([header[4], header[5]]);
+    if version != VERSION {
+        return Err(TraceIoError::UnsupportedVersion { found: version });
+    }
+    let count = u64::from_le_bytes(header[8..16].try_into().expect("8-byte slice"));
+
+    let mut trace = Trace::with_capacity(usize::try_from(count).unwrap_or(0));
+    let mut previous_pc: u64 = 0;
+    for index in 0..count {
+        let tag = read_byte(&mut reader, index)?;
+        let kind = BranchKind::from_code(tag & 0x7)
+            .ok_or(TraceIoError::BadKind { code: tag & 0x7, index })?;
+        let taken = tag & 0x8 != 0;
+        let pc = previous_pc.wrapping_add(read_signed(&mut reader, index)? as u64);
+        let target = pc.wrapping_add(read_signed(&mut reader, index)? as u64);
+        trace.push(BranchRecord::new(Addr::new(pc), Addr::new(target), kind, taken));
+        previous_pc = pc;
+    }
+    Ok(trace)
+}
+
+/// Zigzag + LEB128 encoding of a signed value.
+fn write_signed(buf: &mut Vec<u8>, value: i64) {
+    let mut zigzag = ((value << 1) ^ (value >> 63)) as u64;
+    loop {
+        let byte = (zigzag & 0x7f) as u8;
+        zigzag >>= 7;
+        if zigzag == 0 {
+            buf.push(byte);
+            break;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+fn read_signed<R: Read>(reader: &mut R, index: u64) -> Result<i64, TraceIoError> {
+    let mut zigzag: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let byte = read_byte(reader, index)?;
+        zigzag |= ((byte & 0x7f) as u64) << shift;
+        if byte & 0x80 == 0 {
+            break;
+        }
+        shift += 7;
+        if shift >= 64 {
+            return Err(TraceIoError::Truncated { records_read: index });
+        }
+    }
+    Ok(((zigzag >> 1) as i64) ^ -((zigzag & 1) as i64))
+}
+
+fn read_byte<R: Read>(reader: &mut R, records_read: u64) -> Result<u8, TraceIoError> {
+    let mut byte = [0u8; 1];
+    read_exact_or(reader, &mut byte, records_read)?;
+    Ok(byte[0])
+}
+
+fn read_exact_or<R: Read>(
+    reader: &mut R,
+    buf: &mut [u8],
+    records_read: u64,
+) -> Result<(), TraceIoError> {
+    reader.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            TraceIoError::Truncated { records_read }
+        } else {
+            TraceIoError::Io(e)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        let mut t = Trace::new();
+        let mut pc = 0x12_0000u64;
+        for i in 0..50u64 {
+            let target = pc.wrapping_add(64 + (i % 7) * 4);
+            t.push(BranchRecord::conditional(Addr::new(pc), Addr::new(target), i % 3 != 0));
+            t.push(BranchRecord::indirect(Addr::new(target), Addr::new(pc ^ 0x4000)));
+            pc = target;
+        }
+        t.push(BranchRecord::ret(Addr::new(u64::MAX - 4), Addr::new(0)));
+        t
+    }
+
+    #[test]
+    fn round_trips() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_compact(&t, &mut buf).unwrap();
+        assert_eq!(read_compact(&buf[..]).unwrap(), t);
+    }
+
+    #[test]
+    fn round_trips_empty() {
+        let mut buf = Vec::new();
+        write_compact(&Trace::new(), &mut buf).unwrap();
+        assert_eq!(read_compact(&buf[..]).unwrap(), Trace::new());
+    }
+
+    #[test]
+    fn is_much_smaller_than_v1_for_local_traces() {
+        let t = sample();
+        let mut v1 = Vec::new();
+        crate::io::write_binary(&t, &mut v1).unwrap();
+        let mut v2 = Vec::new();
+        write_compact(&t, &mut v2).unwrap();
+        assert!(
+            v2.len() * 3 < v1.len(),
+            "compact ({}) should be at least 3x smaller than v1 ({})",
+            v2.len(),
+            v1.len()
+        );
+    }
+
+    #[test]
+    fn rejects_v1_magic() {
+        let mut v1 = Vec::new();
+        crate::io::write_binary(&sample(), &mut v1).unwrap();
+        assert!(matches!(read_compact(&v1[..]).unwrap_err(), TraceIoError::BadMagic { .. }));
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut buf = Vec::new();
+        write_compact(&Trace::new(), &mut buf).unwrap();
+        buf[4] = 9;
+        assert!(matches!(
+            read_compact(&buf[..]).unwrap_err(),
+            TraceIoError::UnsupportedVersion { found: 9 }
+        ));
+    }
+
+    #[test]
+    fn detects_truncation() {
+        let mut buf = Vec::new();
+        write_compact(&sample(), &mut buf).unwrap();
+        buf.truncate(buf.len() - 1);
+        assert!(matches!(read_compact(&buf[..]).unwrap_err(), TraceIoError::Truncated { .. }));
+    }
+
+    #[test]
+    fn detects_bad_kind() {
+        let mut buf = Vec::new();
+        let mut t = Trace::new();
+        t.push(BranchRecord::call(Addr::new(4), Addr::new(8)));
+        write_compact(&t, &mut buf).unwrap();
+        buf[16] = 0x7; // kind code 7 is invalid
+        assert!(matches!(
+            read_compact(&buf[..]).unwrap_err(),
+            TraceIoError::BadKind { code: 7, index: 0 }
+        ));
+    }
+
+    #[test]
+    fn signed_varint_round_trips_extremes() {
+        for value in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN, 0x7fff_ffff, -0x8000_0000] {
+            let mut buf = Vec::new();
+            write_signed(&mut buf, value);
+            let got = read_signed(&mut &buf[..], 0).unwrap();
+            assert_eq!(got, value, "value {value}");
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Error types for trace serialization.
+
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+/// An error produced while reading or writing a trace stream.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// The underlying reader or writer failed.
+    Io(io::Error),
+    /// The stream did not start with the expected magic bytes.
+    BadMagic {
+        /// The bytes that were found instead.
+        found: [u8; 4],
+    },
+    /// The stream declares a format version this library cannot read.
+    UnsupportedVersion {
+        /// The version found in the stream.
+        found: u16,
+    },
+    /// A record carried an unknown branch-kind code.
+    BadKind {
+        /// The unknown code.
+        code: u8,
+        /// Index of the offending record.
+        index: u64,
+    },
+    /// The stream ended in the middle of a record.
+    Truncated {
+        /// Number of complete records read before the truncation.
+        records_read: u64,
+    },
+}
+
+impl fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "i/o error: {e}"),
+            TraceIoError::BadMagic { found } => {
+                write!(f, "bad magic bytes {found:02x?}, not a vlpp trace")
+            }
+            TraceIoError::UnsupportedVersion { found } => {
+                write!(f, "unsupported trace format version {found}")
+            }
+            TraceIoError::BadKind { code, index } => {
+                write!(f, "unknown branch kind code {code} at record {index}")
+            }
+            TraceIoError::Truncated { records_read } => {
+                write!(f, "trace truncated after {records_read} records")
+            }
+        }
+    }
+}
+
+impl Error for TraceIoError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TraceIoError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceIoError {
+    fn from(e: io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+/// An error produced while parsing the text trace format.
+#[derive(Debug)]
+pub struct ParseTraceError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// Description of what was wrong with the line.
+    pub message: String,
+}
+
+impl fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseTraceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = TraceIoError::BadMagic { found: *b"nope" };
+        assert!(e.to_string().contains("bad magic"));
+        let e = TraceIoError::UnsupportedVersion { found: 99 };
+        assert!(e.to_string().contains("99"));
+        let e = TraceIoError::BadKind { code: 7, index: 3 };
+        assert!(e.to_string().contains('7'));
+        let e = TraceIoError::Truncated { records_read: 12 };
+        assert!(e.to_string().contains("12"));
+        let e = ParseTraceError { line: 4, message: "nope".into() };
+        assert!(e.to_string().starts_with("line 4"));
+    }
+
+    #[test]
+    fn io_error_converts_and_sources() {
+        let inner = io::Error::new(io::ErrorKind::Other, "boom");
+        let e: TraceIoError = inner.into();
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TraceIoError>();
+        assert_send_sync::<ParseTraceError>();
+    }
+}

@@ -1,0 +1,301 @@
+//! Trace serialization: a compact binary format and a line-oriented text
+//! format.
+//!
+//! The binary format is what the workspace uses to cache generated
+//! workloads between runs; the text format exists for debugging and for
+//! feeding hand-written traces into the simulators from tests.
+//!
+//! ## Binary layout (version 1)
+//!
+//! ```text
+//! magic   : 4 bytes  = b"VLPT"
+//! version : u16 le   = 1
+//! reserved: u16 le   = 0
+//! count   : u64 le   = number of records
+//! records : count * 18 bytes, each:
+//!     pc     : u64 le
+//!     target : u64 le
+//!     kind   : u8 (BranchKind code)
+//!     taken  : u8 (0 or 1)
+//! ```
+//!
+//! ## Text layout
+//!
+//! One record per line: `<kind> <pc-hex> <target-hex> <t|n>`, `#`-prefixed
+//! lines and blank lines are ignored.
+//!
+//! ## Example
+//!
+//! ```
+//! # use std::error::Error;
+//! # fn main() -> Result<(), Box<dyn Error>> {
+//! use vlpp_trace::{io as trace_io, Addr, BranchRecord, Trace};
+//!
+//! let mut trace = Trace::new();
+//! trace.push(BranchRecord::conditional(Addr::new(0x40), Addr::new(0x80), true));
+//!
+//! let mut buf = Vec::new();
+//! trace_io::write_binary(&trace, &mut buf)?;
+//! let back = trace_io::read_binary(&buf[..])?;
+//! assert_eq!(trace, back);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::io::{Read, Write};
+
+use crate::{Addr, BranchKind, BranchRecord, ParseTraceError, Trace, TraceIoError};
+
+/// Magic bytes identifying a binary vlpp trace.
+pub const MAGIC: [u8; 4] = *b"VLPT";
+
+/// Current binary format version.
+pub const VERSION: u16 = 1;
+
+const RECORD_BYTES: usize = 18;
+
+/// Writes `trace` to `writer` in the binary format.
+///
+/// Generic writers can be passed by value or as `&mut W`.
+///
+/// # Errors
+///
+/// Returns [`TraceIoError::Io`] if the underlying writer fails.
+pub fn write_binary<W: Write>(trace: &Trace, mut writer: W) -> Result<(), TraceIoError> {
+    writer.write_all(&MAGIC)?;
+    writer.write_all(&VERSION.to_le_bytes())?;
+    writer.write_all(&0u16.to_le_bytes())?;
+    writer.write_all(&(trace.len() as u64).to_le_bytes())?;
+    let mut buf = [0u8; RECORD_BYTES];
+    for record in trace.iter() {
+        encode_record(record, &mut buf);
+        writer.write_all(&buf)?;
+    }
+    writer.flush()?;
+    Ok(())
+}
+
+/// Reads a binary trace from `reader`.
+///
+/// Generic readers can be passed by value or as `&mut R`.
+///
+/// # Errors
+///
+/// Returns an error if the stream is not a vlpp trace ([`TraceIoError::BadMagic`]),
+/// declares an unknown version, is truncated, or contains an invalid
+/// branch-kind code.
+pub fn read_binary<R: Read>(mut reader: R) -> Result<Trace, TraceIoError> {
+    let mut header = [0u8; 16];
+    read_exact_or(&mut reader, &mut header, 0)?;
+    if header[0..4] != MAGIC {
+        let mut found = [0u8; 4];
+        found.copy_from_slice(&header[0..4]);
+        return Err(TraceIoError::BadMagic { found });
+    }
+    let version = u16::from_le_bytes([header[4], header[5]]);
+    if version != VERSION {
+        return Err(TraceIoError::UnsupportedVersion { found: version });
+    }
+    let count = u64::from_le_bytes(header[8..16].try_into().expect("8-byte slice"));
+
+    let mut trace = Trace::with_capacity(usize::try_from(count).unwrap_or(0));
+    let mut buf = [0u8; RECORD_BYTES];
+    for index in 0..count {
+        read_exact_or(&mut reader, &mut buf, index)?;
+        trace.push(decode_record(&buf, index)?);
+    }
+    Ok(trace)
+}
+
+/// Formats `trace` in the human-readable text format.
+pub fn write_text(trace: &Trace) -> String {
+    let mut out = String::with_capacity(trace.len() * 32);
+    out.push_str("# vlpp trace, one record per line: kind pc target t|n\n");
+    for record in trace.iter() {
+        out.push_str(&format!(
+            "{} {:x} {:x} {}\n",
+            record.kind().name(),
+            record.pc(),
+            record.target(),
+            if record.taken() { 't' } else { 'n' }
+        ));
+    }
+    out
+}
+
+/// Parses a trace from the text format.
+///
+/// # Errors
+///
+/// Returns [`ParseTraceError`] naming the first malformed line.
+pub fn read_text(text: &str) -> Result<Trace, ParseTraceError> {
+    let mut trace = Trace::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        trace.push(parse_line(line).map_err(|message| ParseTraceError {
+            line: lineno + 1,
+            message,
+        })?);
+    }
+    Ok(trace)
+}
+
+fn parse_line(line: &str) -> Result<BranchRecord, String> {
+    let mut parts = line.split_whitespace();
+    let kind = parts
+        .next()
+        .ok_or_else(|| "missing branch kind".to_string())
+        .and_then(|s| BranchKind::from_name(s).ok_or(format!("unknown branch kind `{s}`")))?;
+    let pc = parse_hex(parts.next().ok_or("missing pc")?)?;
+    let target = parse_hex(parts.next().ok_or("missing target")?)?;
+    let taken = match parts.next().ok_or("missing taken flag")? {
+        "t" => true,
+        "n" => false,
+        other => return Err(format!("taken flag must be `t` or `n`, got `{other}`")),
+    };
+    if let Some(extra) = parts.next() {
+        return Err(format!("unexpected trailing token `{extra}`"));
+    }
+    if !taken && kind != BranchKind::Conditional {
+        return Err(format!("{kind} branches are always taken"));
+    }
+    Ok(BranchRecord::new(Addr::new(pc), Addr::new(target), kind, taken))
+}
+
+fn parse_hex(s: &str) -> Result<u64, String> {
+    let s = s.strip_prefix("0x").unwrap_or(s);
+    u64::from_str_radix(s, 16).map_err(|e| format!("bad hex value `{s}`: {e}"))
+}
+
+fn encode_record(record: &BranchRecord, buf: &mut [u8; RECORD_BYTES]) {
+    buf[0..8].copy_from_slice(&record.pc().raw().to_le_bytes());
+    buf[8..16].copy_from_slice(&record.target().raw().to_le_bytes());
+    buf[16] = record.kind().code();
+    buf[17] = record.taken() as u8;
+}
+
+fn decode_record(buf: &[u8; RECORD_BYTES], index: u64) -> Result<BranchRecord, TraceIoError> {
+    let pc = u64::from_le_bytes(buf[0..8].try_into().expect("8-byte slice"));
+    let target = u64::from_le_bytes(buf[8..16].try_into().expect("8-byte slice"));
+    let kind = BranchKind::from_code(buf[16]).ok_or(TraceIoError::BadKind { code: buf[16], index })?;
+    Ok(BranchRecord::new(Addr::new(pc), Addr::new(target), kind, buf[17] != 0))
+}
+
+fn read_exact_or<R: Read>(reader: &mut R, buf: &mut [u8], records_read: u64) -> Result<(), TraceIoError> {
+    reader.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            TraceIoError::Truncated { records_read }
+        } else {
+            TraceIoError::Io(e)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        let mut t = Trace::new();
+        t.push(BranchRecord::conditional(Addr::new(0x1000), Addr::new(0x1044), true));
+        t.push(BranchRecord::conditional(Addr::new(0x1044), Addr::new(0x1048), false));
+        t.push(BranchRecord::indirect(Addr::new(0x1048), Addr::new(0x2000)));
+        t.push(BranchRecord::call(Addr::new(0x2000), Addr::new(0x3000)));
+        t.push(BranchRecord::ret(Addr::new(0x3010), Addr::new(0x2004)));
+        t.push(BranchRecord::unconditional(Addr::new(0x2004), Addr::new(0x1000)));
+        t
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_binary(&t, &mut buf).unwrap();
+        assert_eq!(read_binary(&buf[..]).unwrap(), t);
+    }
+
+    #[test]
+    fn binary_round_trip_empty() {
+        let t = Trace::new();
+        let mut buf = Vec::new();
+        write_binary(&t, &mut buf).unwrap();
+        assert_eq!(read_binary(&buf[..]).unwrap(), t);
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic() {
+        let err = read_binary(&b"NOPE0000000000000000"[..]).unwrap_err();
+        assert!(matches!(err, TraceIoError::BadMagic { .. }));
+    }
+
+    #[test]
+    fn binary_rejects_bad_version() {
+        let mut buf = Vec::new();
+        write_binary(&Trace::new(), &mut buf).unwrap();
+        buf[4] = 99;
+        let err = read_binary(&buf[..]).unwrap_err();
+        assert!(matches!(err, TraceIoError::UnsupportedVersion { found: 99 }));
+    }
+
+    #[test]
+    fn binary_detects_truncation() {
+        let mut buf = Vec::new();
+        write_binary(&sample(), &mut buf).unwrap();
+        buf.truncate(buf.len() - 5);
+        let err = read_binary(&buf[..]).unwrap_err();
+        assert!(matches!(err, TraceIoError::Truncated { records_read: 5 }));
+    }
+
+    #[test]
+    fn binary_detects_bad_kind() {
+        let mut buf = Vec::new();
+        write_binary(&sample(), &mut buf).unwrap();
+        buf[16 + 16] = 77; // kind byte of record 0
+        let err = read_binary(&buf[..]).unwrap_err();
+        assert!(matches!(err, TraceIoError::BadKind { code: 77, index: 0 }));
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let t = sample();
+        let text = write_text(&t);
+        assert_eq!(read_text(&text).unwrap(), t);
+    }
+
+    #[test]
+    fn text_skips_comments_and_blanks() {
+        let t = read_text("# hi\n\n  \ncond 10 20 t\n").unwrap();
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn text_reports_line_numbers() {
+        let err = read_text("cond 10 20 t\nbogus 1 2 t\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("bogus"));
+    }
+
+    #[test]
+    fn text_rejects_not_taken_indirect() {
+        let err = read_text("ind 10 20 n\n").unwrap_err();
+        assert!(err.message.contains("always taken"));
+    }
+
+    #[test]
+    fn text_rejects_malformed_fields() {
+        assert!(read_text("cond 10 20\n").is_err()); // missing flag
+        assert!(read_text("cond zz 20 t\n").is_err()); // bad hex
+        assert!(read_text("cond 10 20 t extra\n").is_err()); // trailing
+        assert!(read_text("cond 10 20 x\n").is_err()); // bad flag
+        assert!(read_text("cond\n").is_err()); // missing everything
+    }
+
+    #[test]
+    fn text_accepts_0x_prefix() {
+        let t = read_text("cond 0x10 0x20 t\n").unwrap();
+        assert_eq!(t.records()[0].pc(), Addr::new(0x10));
+    }
+}

@@ -1,0 +1,50 @@
+//! # vlpp-trace — branch trace substrate
+//!
+//! This crate provides the data model every other crate in the `vlpp`
+//! workspace is built on: a *branch trace*, i.e. the ordered sequence of
+//! control-transfer instructions a program executed, with their outcomes.
+//!
+//! The original paper (Stark, Evers, Patt, *Variable Length Path Branch
+//! Prediction*, ASPLOS 1998) obtained these traces by instrumenting DEC
+//! Alpha binaries with ATOM. This workspace instead produces them with the
+//! synthetic workload generator in `vlpp-synth`; either way, the predictors
+//! only ever see the types defined here.
+//!
+//! ## Contents
+//!
+//! * [`Addr`] — a newtype for code addresses with the bit-fiddling helpers
+//!   (truncation, rotation) path predictors need.
+//! * [`BranchKind`] / [`BranchRecord`] — one executed control transfer.
+//! * [`Trace`] — an in-memory sequence of records with filtered views.
+//! * [`io`] — fixed-width binary and text serialization of traces.
+//! * [`compact`] — the delta/varint compact format for archives.
+//! * [`stats`] — static/dynamic branch demographics (the paper's Table 1).
+//!
+//! ## Example
+//!
+//! ```
+//! use vlpp_trace::{Addr, BranchKind, BranchRecord, Trace};
+//!
+//! let mut trace = Trace::new();
+//! trace.push(BranchRecord::conditional(Addr::new(0x1000), Addr::new(0x1040), true));
+//! trace.push(BranchRecord::indirect(Addr::new(0x1040), Addr::new(0x2000)));
+//! assert_eq!(trace.len(), 2);
+//! assert_eq!(trace.iter().filter(|r| r.kind() == BranchKind::Conditional).count(), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod addr;
+mod branch;
+mod error;
+mod trace;
+
+pub mod compact;
+pub mod io;
+pub mod stats;
+
+pub use addr::Addr;
+pub use branch::{BranchKind, BranchRecord};
+pub use error::{ParseTraceError, TraceIoError};
+pub use trace::{Iter, Trace};

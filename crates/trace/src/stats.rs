@@ -1,0 +1,182 @@
+//! Trace demographics: static and dynamic branch counts.
+//!
+//! These are the numbers the paper reports in Table 1 (per-benchmark
+//! dynamic and static counts of conditional and indirect branches, with
+//! returns excluded from the indirect count).
+
+use std::collections::HashSet;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{BranchKind, Trace};
+
+/// Static/dynamic counts for one branch kind.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KindCounts {
+    /// Number of executed branches of this kind.
+    pub dynamic: u64,
+    /// Number of distinct branch PCs of this kind.
+    pub static_: u64,
+}
+
+impl fmt::Display for KindCounts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} dynamic / {} static", self.dynamic, self.static_)
+    }
+}
+
+/// Branch demographics of a trace, in the shape of the paper's Table 1.
+///
+/// # Example
+///
+/// ```
+/// use vlpp_trace::{stats::TraceStats, Addr, BranchRecord, Trace};
+///
+/// let mut trace = Trace::new();
+/// trace.push(BranchRecord::conditional(Addr::new(0x10), Addr::new(0x20), true));
+/// trace.push(BranchRecord::conditional(Addr::new(0x10), Addr::new(0x20), false));
+/// trace.push(BranchRecord::indirect(Addr::new(0x30), Addr::new(0x40)));
+///
+/// let stats = TraceStats::from_trace(&trace);
+/// assert_eq!(stats.conditional.dynamic, 2);
+/// assert_eq!(stats.conditional.static_, 1);
+/// assert_eq!(stats.indirect.dynamic, 1);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Conditional branch counts.
+    pub conditional: KindCounts,
+    /// Indirect branch counts (returns excluded, as in the paper).
+    pub indirect: KindCounts,
+    /// Unconditional direct jump counts.
+    pub unconditional: KindCounts,
+    /// Direct call counts.
+    pub call: KindCounts,
+    /// Return counts.
+    pub ret: KindCounts,
+    /// Total number of records.
+    pub total_dynamic: u64,
+    /// Fraction of conditional branches that were taken, in [0, 1].
+    /// Zero when the trace has no conditional branches.
+    pub taken_rate: f64,
+}
+
+impl TraceStats {
+    /// Computes the demographics of `trace` in one pass.
+    pub fn from_trace(trace: &Trace) -> Self {
+        let mut stats = TraceStats::default();
+        let mut seen: [HashSet<u64>; 5] = Default::default();
+        let mut taken = 0u64;
+        for record in trace.iter() {
+            let slot = record.kind().code() as usize;
+            seen[slot].insert(record.pc().raw());
+            let counts = stats.kind_mut(record.kind());
+            counts.dynamic += 1;
+            stats.total_dynamic += 1;
+            if record.kind() == BranchKind::Conditional && record.taken() {
+                taken += 1;
+            }
+        }
+        for kind in BranchKind::ALL {
+            stats.kind_mut(kind).static_ = seen[kind.code() as usize].len() as u64;
+        }
+        if stats.conditional.dynamic > 0 {
+            stats.taken_rate = taken as f64 / stats.conditional.dynamic as f64;
+        }
+        stats
+    }
+
+    /// The counts for one branch kind.
+    pub fn kind(&self, kind: BranchKind) -> KindCounts {
+        match kind {
+            BranchKind::Conditional => self.conditional,
+            BranchKind::Indirect => self.indirect,
+            BranchKind::Unconditional => self.unconditional,
+            BranchKind::Call => self.call,
+            BranchKind::Return => self.ret,
+        }
+    }
+
+    fn kind_mut(&mut self, kind: BranchKind) -> &mut KindCounts {
+        match kind {
+            BranchKind::Conditional => &mut self.conditional,
+            BranchKind::Indirect => &mut self.indirect,
+            BranchKind::Unconditional => &mut self.unconditional,
+            BranchKind::Call => &mut self.call,
+            BranchKind::Return => &mut self.ret,
+        }
+    }
+}
+
+impl fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "conditional: {}; indirect: {}; total {} records",
+            self.conditional, self.indirect, self.total_dynamic
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Addr, BranchRecord};
+
+    fn sample() -> Trace {
+        let mut t = Trace::new();
+        // Two static conditionals, three dynamic (2 taken, 1 not).
+        t.push(BranchRecord::conditional(Addr::new(0x10), Addr::new(0x20), true));
+        t.push(BranchRecord::conditional(Addr::new(0x10), Addr::new(0x14), false));
+        t.push(BranchRecord::conditional(Addr::new(0x18), Addr::new(0x28), true));
+        // One static indirect, two dynamic.
+        t.push(BranchRecord::indirect(Addr::new(0x30), Addr::new(0x100)));
+        t.push(BranchRecord::indirect(Addr::new(0x30), Addr::new(0x200)));
+        t.push(BranchRecord::call(Addr::new(0x40), Addr::new(0x300)));
+        t.push(BranchRecord::ret(Addr::new(0x310), Addr::new(0x44)));
+        t.push(BranchRecord::unconditional(Addr::new(0x44), Addr::new(0x10)));
+        t
+    }
+
+    #[test]
+    fn counts_match_sample() {
+        let s = TraceStats::from_trace(&sample());
+        assert_eq!(s.conditional, KindCounts { dynamic: 3, static_: 2 });
+        assert_eq!(s.indirect, KindCounts { dynamic: 2, static_: 1 });
+        assert_eq!(s.call, KindCounts { dynamic: 1, static_: 1 });
+        assert_eq!(s.ret, KindCounts { dynamic: 1, static_: 1 });
+        assert_eq!(s.unconditional, KindCounts { dynamic: 1, static_: 1 });
+        assert_eq!(s.total_dynamic, 8);
+    }
+
+    #[test]
+    fn taken_rate() {
+        let s = TraceStats::from_trace(&sample());
+        assert!((s.taken_rate - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace_is_all_zero() {
+        let s = TraceStats::from_trace(&Trace::new());
+        assert_eq!(s, TraceStats::default());
+        assert_eq!(s.taken_rate, 0.0);
+    }
+
+    #[test]
+    fn kind_accessor_agrees() {
+        let s = TraceStats::from_trace(&sample());
+        for kind in BranchKind::ALL {
+            let c = s.kind(kind);
+            assert!(c.dynamic >= c.static_);
+        }
+    }
+
+    #[test]
+    fn display_mentions_both_populations() {
+        let s = TraceStats::from_trace(&sample());
+        let text = s.to_string();
+        assert!(text.contains("conditional"));
+        assert!(text.contains("indirect"));
+    }
+}

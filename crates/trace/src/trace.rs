@@ -1,0 +1,226 @@
+//! In-memory trace container.
+
+use std::fmt;
+use std::slice;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{BranchKind, BranchRecord};
+
+/// An in-memory branch trace: the ordered sequence of control transfers a
+/// program executed.
+///
+/// `Trace` is a thin, append-only wrapper over `Vec<BranchRecord>` with
+/// convenience views for the two populations predictors care about
+/// (conditional and indirect branches).
+///
+/// # Example
+///
+/// ```
+/// use vlpp_trace::{Addr, BranchRecord, Trace};
+///
+/// let trace: Trace = (0..4)
+///     .map(|i| BranchRecord::conditional(Addr::new(0x1000 + 8 * i), Addr::new(0x2000), i % 2 == 0))
+///     .collect();
+/// assert_eq!(trace.len(), 4);
+/// assert_eq!(trace.conditionals().count(), 4);
+/// assert_eq!(trace.indirects().count(), 0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    records: Vec<BranchRecord>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Creates an empty trace with room for `capacity` records.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Trace { records: Vec::with_capacity(capacity) }
+    }
+
+    /// Appends a record.
+    #[inline]
+    pub fn push(&mut self, record: BranchRecord) {
+        self.records.push(record);
+    }
+
+    /// Number of records in the trace.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the trace contains no records.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The records as a slice.
+    #[inline]
+    pub fn records(&self) -> &[BranchRecord] {
+        &self.records
+    }
+
+    /// Iterates over all records.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter { inner: self.records.iter() }
+    }
+
+    /// Iterates over conditional branch records only.
+    pub fn conditionals(&self) -> impl Iterator<Item = &BranchRecord> {
+        self.records.iter().filter(|r| r.kind() == BranchKind::Conditional)
+    }
+
+    /// Iterates over indirect branch records only (excluding returns).
+    pub fn indirects(&self) -> impl Iterator<Item = &BranchRecord> {
+        self.records.iter().filter(|r| r.kind() == BranchKind::Indirect)
+    }
+
+    /// Counts records of a given kind.
+    pub fn count_kind(&self, kind: BranchKind) -> usize {
+        self.records.iter().filter(|r| r.kind() == kind).count()
+    }
+
+    /// Returns a new trace containing only the first `n` records.
+    ///
+    /// Useful for building reduced-scale experiments from a full trace.
+    pub fn truncated(&self, n: usize) -> Trace {
+        Trace { records: self.records[..n.min(self.records.len())].to_vec() }
+    }
+
+    /// Consumes the trace, returning the underlying record vector.
+    pub fn into_records(self) -> Vec<BranchRecord> {
+        self.records
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace of {} records", self.records.len())
+    }
+}
+
+impl FromIterator<BranchRecord> for Trace {
+    fn from_iter<I: IntoIterator<Item = BranchRecord>>(iter: I) -> Self {
+        Trace { records: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<BranchRecord> for Trace {
+    fn extend<I: IntoIterator<Item = BranchRecord>>(&mut self, iter: I) {
+        self.records.extend(iter);
+    }
+}
+
+impl From<Vec<BranchRecord>> for Trace {
+    fn from(records: Vec<BranchRecord>) -> Self {
+        Trace { records }
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a BranchRecord;
+    type IntoIter = Iter<'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl IntoIterator for Trace {
+    type Item = BranchRecord;
+    type IntoIter = std::vec::IntoIter<BranchRecord>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.records.into_iter()
+    }
+}
+
+/// Iterator over the records of a [`Trace`], created by [`Trace::iter`].
+#[derive(Debug, Clone)]
+pub struct Iter<'a> {
+    inner: slice::Iter<'a, BranchRecord>,
+}
+
+impl<'a> Iterator for Iter<'a> {
+    type Item = &'a BranchRecord;
+
+    #[inline]
+    fn next(&mut self) -> Option<Self::Item> {
+        self.inner.next()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+impl ExactSizeIterator for Iter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Addr;
+
+    fn sample() -> Trace {
+        let mut t = Trace::new();
+        t.push(BranchRecord::conditional(Addr::new(0x100), Addr::new(0x200), true));
+        t.push(BranchRecord::indirect(Addr::new(0x104), Addr::new(0x300)));
+        t.push(BranchRecord::call(Addr::new(0x108), Addr::new(0x400)));
+        t.push(BranchRecord::ret(Addr::new(0x40c), Addr::new(0x10c)));
+        t.push(BranchRecord::conditional(Addr::new(0x10c), Addr::new(0x110), false));
+        t
+    }
+
+    #[test]
+    fn len_and_empty() {
+        assert!(Trace::new().is_empty());
+        assert_eq!(sample().len(), 5);
+    }
+
+    #[test]
+    fn filtered_views() {
+        let t = sample();
+        assert_eq!(t.conditionals().count(), 2);
+        assert_eq!(t.indirects().count(), 1);
+        assert_eq!(t.count_kind(BranchKind::Call), 1);
+        assert_eq!(t.count_kind(BranchKind::Return), 1);
+    }
+
+    #[test]
+    fn truncated_limits_records() {
+        let t = sample();
+        assert_eq!(t.truncated(2).len(), 2);
+        assert_eq!(t.truncated(100).len(), 5);
+        assert_eq!(t.truncated(0).len(), 0);
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let records: Vec<_> = sample().into_records();
+        let t: Trace = records.iter().copied().collect();
+        assert_eq!(t.len(), 5);
+        let mut t2 = Trace::new();
+        t2.extend(records);
+        assert_eq!(t, t2);
+    }
+
+    #[test]
+    fn iterators_agree() {
+        let t = sample();
+        let by_ref: Vec<_> = (&t).into_iter().copied().collect();
+        let by_val: Vec<_> = t.clone().into_iter().collect();
+        assert_eq!(by_ref, by_val);
+        assert_eq!(t.iter().len(), 5);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert_eq!(Trace::new().to_string(), "trace of 0 records");
+    }
+}

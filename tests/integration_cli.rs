@@ -1,0 +1,75 @@
+//! End-to-end tests of the `vlpp` CLI binary: argument handling, text
+//! and JSON output, and error paths.
+
+use std::process::Command;
+
+fn vlpp() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_vlpp"))
+}
+
+#[test]
+fn help_lists_every_experiment() {
+    let output = vlpp().arg("--help").output().expect("binary runs");
+    assert!(output.status.success());
+    let text = String::from_utf8(output.stdout).expect("utf-8");
+    for id in [
+        "table1", "table2", "table3", "fig5", "fig9", "fig10", "headline", "hfnt", "analyze",
+        "lengths", "ras", "frontend", "related-cond", "ablate-hashes", "all",
+    ] {
+        assert!(text.contains(id), "--help must mention `{id}`");
+    }
+}
+
+#[test]
+fn headline_text_output_contains_paper_reference() {
+    let output = vlpp()
+        .args(["headline", "--scale", "1000000"])
+        .output()
+        .expect("binary runs");
+    assert!(output.status.success(), "stderr: {}", String::from_utf8_lossy(&output.stderr));
+    let text = String::from_utf8(output.stdout).expect("utf-8");
+    assert!(text.contains("== headline =="));
+    assert!(text.contains("4.3%"), "the paper column must be present:\n{text}");
+    assert!(text.contains("gshare"));
+}
+
+#[test]
+fn headline_json_output_parses_and_is_consistent() {
+    let output = vlpp()
+        .args(["headline", "--scale", "1000000", "--json"])
+        .output()
+        .expect("binary runs");
+    assert!(output.status.success());
+    let text = String::from_utf8(output.stdout).expect("utf-8");
+    let json_start = text.find('{').expect("JSON object in output");
+    let value: serde_json::Value =
+        serde_json::from_str(text[json_start..].trim()).expect("valid JSON");
+    let vlp = value["vlp_cond_4kb"].as_f64().expect("vlp rate");
+    let gshare = value["gshare_cond_4kb"].as_f64().expect("gshare rate");
+    assert!(vlp > 0.0 && vlp < 1.0);
+    assert!(vlp < gshare, "VLP must beat gshare in the emitted JSON");
+}
+
+#[test]
+fn unknown_experiment_fails_with_usage() {
+    let output = vlpp().arg("nonesuch").output().expect("binary runs");
+    assert!(!output.status.success());
+    let stderr = String::from_utf8(output.stderr).expect("utf-8");
+    assert!(stderr.contains("unknown experiment"));
+    assert!(stderr.contains("usage:"));
+}
+
+#[test]
+fn missing_experiment_prints_usage() {
+    let output = vlpp().output().expect("binary runs");
+    assert!(!output.status.success());
+    assert!(String::from_utf8_lossy(&output.stderr).contains("usage:"));
+}
+
+#[test]
+fn bad_scale_is_rejected() {
+    for bad in [&["headline", "--scale", "0"][..], &["headline", "--scale", "x"][..]] {
+        let output = vlpp().args(bad).output().expect("binary runs");
+        assert!(!output.status.success(), "args {bad:?} must fail");
+    }
+}

@@ -1,0 +1,106 @@
+//! Integration tests over the paper experiments: the qualitative shape
+//! of every table and figure must hold even at reduced scale.
+
+use vlpp_sim::paper;
+use vlpp_sim::{Scale, Workloads};
+
+fn workloads() -> Workloads {
+    // 50 K-conditional floor for every benchmark: fast but meaningful.
+    Workloads::new(Scale::new(1_000_000))
+}
+
+#[test]
+fn figure5_shape_vlp_beats_gshare_broadly() {
+    let rows = paper::figure5(&workloads());
+    assert_eq!(rows.len(), 8);
+    let wins = rows.iter().filter(|r| r.variable < r.gshare).count();
+    assert!(wins >= 7, "VLP should beat gshare on nearly all SPEC benchmarks, won {wins}/8");
+    let reduction = paper::CondRow::mean_reduction_vs_gshare(&rows);
+    assert!(
+        reduction > 0.10,
+        "mean reduction vs gshare should be substantial, got {:.1}%",
+        100.0 * reduction
+    );
+}
+
+#[test]
+fn figure6_shape_holds_on_non_spec() {
+    let rows = paper::figure6(&workloads());
+    assert_eq!(rows.len(), 8);
+    let wins = rows.iter().filter(|r| r.variable < r.gshare).count();
+    assert!(wins >= 7, "VLP should beat gshare on nearly all non-SPEC benchmarks, won {wins}/8");
+}
+
+#[test]
+fn table3_shape_deep_path_beats_target_caches() {
+    let rows = paper::table3(&workloads());
+    assert_eq!(rows.len(), 8);
+    // Paper: FLP is "significantly better than the pattern based
+    // predictor for 6 of the 8"; VLP beats the pattern cache on all 8
+    // and the best competing cache on nearly all.
+    let flp_wins = rows.iter().filter(|r| r.fixed < r.pattern).count();
+    let vlp_wins = rows.iter().filter(|r| r.variable < r.best_competing()).count();
+    assert!(flp_wins >= 6, "FLP should beat the pattern cache on most: {flp_wins}/8");
+    assert!(vlp_wins >= 7, "VLP should beat the caches on nearly all: {vlp_wins}/8");
+}
+
+#[test]
+fn figure9_shape_variable_wins_at_every_size() {
+    let points = paper::figure9(&workloads());
+    assert_eq!(points.len(), 5);
+    for p in &points {
+        assert!(
+            p.variable < p.gshare,
+            "{}B: VLP ({}) should beat gshare ({})",
+            p.bytes,
+            p.variable,
+            p.gshare
+        );
+        assert!(
+            p.variable <= p.fixed_tuned + 0.01,
+            "{}B: VLP should not lose to tuned FLP",
+            p.bytes
+        );
+    }
+    // Rates broadly fall with size for the path predictors.
+    let first = &points[0];
+    let last = &points[points.len() - 1];
+    assert!(last.variable <= first.variable + 0.01, "VLP should not get worse with size");
+}
+
+#[test]
+fn figure10_shape_path_predictors_dominate() {
+    let points = paper::figure10(&workloads());
+    assert_eq!(points.len(), 4);
+    for p in &points {
+        let best_cache = p.path.min(p.pattern);
+        assert!(
+            p.variable < best_cache,
+            "{}B: VLP ({}) should beat both caches ({})",
+            p.bytes,
+            p.variable,
+            best_cache
+        );
+    }
+}
+
+#[test]
+fn headline_direction_matches_abstract() {
+    let h = paper::headline(&workloads());
+    // The abstract's claims, directionally: VLP roughly halves gshare's
+    // conditional rate and clearly beats the best indirect competitor.
+    assert!(h.vlp_cond_4kb < 0.75 * h.gshare_cond_4kb);
+    assert!(h.vlp_ind_512b < h.best_competing_ind_512b);
+}
+
+#[test]
+fn table2_longer_tables_prefer_longer_paths() {
+    let data = paper::table2(&workloads());
+    // The paper's Table 2 trend: the best conditional path length grows
+    // (weakly) with table size — bigger tables can afford more context.
+    let lengths: Vec<u8> = data.conditional.iter().map(|&(_, l)| l).collect();
+    assert!(
+        lengths.last().unwrap() >= lengths.first().unwrap(),
+        "best length should not shrink with table size: {lengths:?}"
+    );
+}
