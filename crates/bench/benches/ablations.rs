@@ -1,47 +1,30 @@
 //! Regenerates the ablation and analysis experiments (DESIGN.md §5)
-//! under Criterion timing.
+//! under the in-tree timer harness.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use std::time::Duration;
 
 use vlpp_bench::bench_workloads;
+use vlpp_check::{bench, BenchConfig};
 use vlpp_sim::paper;
 
-fn bench_analyze(c: &mut Criterion) {
+fn main() {
+    let config = BenchConfig::quick();
     let workloads = bench_workloads();
+
     let rows = paper::analyze_gcc(&workloads);
     println!("\n== §5.3 analysis (scale 1/{}) ==", workloads.scale().divisor());
     println!("{}", paper::AnalysisRow::render(&rows).render());
+    bench("analyze/regenerate", config, || black_box(paper::analyze_gcc(&workloads)));
 
-    let mut group = c.benchmark_group("analyze");
-    group.sample_size(10).measurement_time(Duration::from_secs(20));
-    group.bench_function("regenerate", |b| b.iter(|| black_box(paper::analyze_gcc(&workloads))));
-    group.finish();
-}
-
-fn bench_related(c: &mut Criterion) {
-    let workloads = bench_workloads();
     let cond = paper::related_conditional(&workloads);
     println!("\n== related work, conditional (scale 1/{}) ==", workloads.scale().divisor());
     println!("{}", paper::RelatedRow::render(&cond).render());
     let ind = paper::related_indirect(&workloads);
     println!("== related work, indirect ==");
     println!("{}", paper::RelatedRow::render(&ind).render());
+    bench("related/conditional", config, || black_box(paper::related_conditional(&workloads)));
+    bench("related/indirect", config, || black_box(paper::related_indirect(&workloads)));
 
-    let mut group = c.benchmark_group("related");
-    group.sample_size(10).measurement_time(Duration::from_secs(20));
-    group.bench_function("conditional", |b| {
-        b.iter(|| black_box(paper::related_conditional(&workloads)))
-    });
-    group.bench_function("indirect", |b| {
-        b.iter(|| black_box(paper::related_indirect(&workloads)))
-    });
-    group.finish();
-}
-
-fn bench_ablations(c: &mut Criterion) {
-    let workloads = bench_workloads();
     for (name, rows) in [
         ("subset-hashes", paper::ablate_subset_hashes(&workloads)),
         ("dynamic-select", paper::ablate_dynamic_select(&workloads)),
@@ -53,14 +36,7 @@ fn bench_ablations(c: &mut Criterion) {
         println!("\n== ablation: {name} ==");
         println!("{}", paper::AblationRow::render(&rows).render());
     }
-
-    let mut group = c.benchmark_group("ablations");
-    group.sample_size(10).measurement_time(Duration::from_secs(20));
-    group.bench_function("interference", |b| {
-        b.iter(|| black_box(paper::ablate_interference(&workloads)))
+    bench("ablations/interference", config, || {
+        black_box(paper::ablate_interference(&workloads))
     });
-    group.finish();
 }
-
-criterion_group!(ablations, bench_analyze, bench_related, bench_ablations);
-criterion_main!(ablations);

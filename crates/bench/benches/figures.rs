@@ -1,16 +1,18 @@
 //! Regenerates the paper's Figures 5–10 and the abstract headline under
-//! Criterion timing. Each bench prints the regenerated series once, so
-//! the bench log records the reproduced data points.
+//! the in-tree timer harness. Each bench prints the regenerated series
+//! once, so the bench log records the reproduced data points, then emits
+//! one machine-readable `BENCH {json}` line per case.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use std::time::Duration;
 
 use vlpp_bench::bench_workloads;
+use vlpp_check::{bench, BenchConfig};
 use vlpp_sim::paper;
 
-fn bench_fig5(c: &mut Criterion) {
+fn main() {
+    let config = BenchConfig::quick();
     let workloads = bench_workloads();
+
     let rows = paper::figure5(&workloads);
     println!("\n== Figure 5 (scale 1/{}) ==", workloads.scale().divisor());
     println!("{}", paper::CondRow::render(&rows).render());
@@ -18,108 +20,40 @@ fn bench_fig5(c: &mut Criterion) {
         "mean VLP reduction vs gshare: {:.1}%",
         100.0 * paper::CondRow::mean_reduction_vs_gshare(&rows)
     );
+    bench("fig5/regenerate", config, || black_box(paper::figure5(&workloads)));
 
-    let mut group = c.benchmark_group("fig5");
-    group.sample_size(10).measurement_time(Duration::from_secs(30));
-    group.bench_function("regenerate", |b| b.iter(|| black_box(paper::figure5(&workloads))));
-    group.finish();
-}
-
-fn bench_fig6(c: &mut Criterion) {
-    let workloads = bench_workloads();
     let rows = paper::figure6(&workloads);
     println!("\n== Figure 6 (scale 1/{}) ==", workloads.scale().divisor());
     println!("{}", paper::CondRow::render(&rows).render());
+    bench("fig6/regenerate", config, || black_box(paper::figure6(&workloads)));
 
-    let mut group = c.benchmark_group("fig6");
-    group.sample_size(10).measurement_time(Duration::from_secs(30));
-    group.bench_function("regenerate", |b| b.iter(|| black_box(paper::figure6(&workloads))));
-    group.finish();
-}
-
-fn bench_fig7(c: &mut Criterion) {
-    let workloads = bench_workloads();
     let rows = paper::figure7(&workloads);
     println!("\n== Figure 7 (scale 1/{}) ==", workloads.scale().divisor());
     println!("{}", paper::IndRow::render(&rows).render());
+    bench("fig7/regenerate", config, || black_box(paper::figure7(&workloads)));
 
-    let mut group = c.benchmark_group("fig7");
-    group.sample_size(10).measurement_time(Duration::from_secs(30));
-    group.bench_function("regenerate", |b| b.iter(|| black_box(paper::figure7(&workloads))));
-    group.finish();
-}
-
-fn bench_fig8(c: &mut Criterion) {
-    let workloads = bench_workloads();
     let rows = paper::figure8(&workloads);
     println!("\n== Figure 8 (scale 1/{}) ==", workloads.scale().divisor());
     println!("{}", paper::IndRow::render(&rows).render());
+    bench("fig8/regenerate", config, || black_box(paper::figure8(&workloads)));
 
-    let mut group = c.benchmark_group("fig8");
-    group.sample_size(10).measurement_time(Duration::from_secs(30));
-    group.bench_function("regenerate", |b| b.iter(|| black_box(paper::figure8(&workloads))));
-    group.finish();
-}
-
-fn bench_fig9(c: &mut Criterion) {
-    let workloads = bench_workloads();
     let points = paper::figure9(&workloads);
     println!("\n== Figure 9 (scale 1/{}) ==", workloads.scale().divisor());
     println!("{}", paper::GccCondPoint::render(&points).render());
+    bench("fig9/regenerate", config, || black_box(paper::figure9(&workloads)));
 
-    let mut group = c.benchmark_group("fig9");
-    group.sample_size(10).measurement_time(Duration::from_secs(30));
-    group.bench_function("regenerate", |b| b.iter(|| black_box(paper::figure9(&workloads))));
-    group.finish();
-}
-
-fn bench_fig10(c: &mut Criterion) {
-    let workloads = bench_workloads();
     let points = paper::figure10(&workloads);
     println!("\n== Figure 10 (scale 1/{}) ==", workloads.scale().divisor());
     println!("{}", paper::GccIndPoint::render(&points).render());
+    bench("fig10/regenerate", config, || black_box(paper::figure10(&workloads)));
 
-    let mut group = c.benchmark_group("fig10");
-    group.sample_size(10).measurement_time(Duration::from_secs(30));
-    group.bench_function("regenerate", |b| b.iter(|| black_box(paper::figure10(&workloads))));
-    group.finish();
-}
-
-fn bench_headline(c: &mut Criterion) {
-    let workloads = bench_workloads();
     let data = paper::headline(&workloads);
     println!("\n== Headline (scale 1/{}) ==", workloads.scale().divisor());
     println!("{}", data.render().render());
+    bench("headline/regenerate", config, || black_box(paper::headline(&workloads)));
 
-    let mut group = c.benchmark_group("headline");
-    group.sample_size(10).measurement_time(Duration::from_secs(20));
-    group.bench_function("regenerate", |b| b.iter(|| black_box(paper::headline(&workloads))));
-    group.finish();
-}
-
-fn bench_hfnt(c: &mut Criterion) {
-    let workloads = bench_workloads();
     let rows = paper::hfnt_experiment(&workloads);
     println!("\n== HFNT experiment (scale 1/{}) ==", workloads.scale().divisor());
     println!("{}", paper::HfntRow::render(&rows).render());
-
-    let mut group = c.benchmark_group("hfnt");
-    group.sample_size(10).measurement_time(Duration::from_secs(20));
-    group.bench_function("regenerate", |b| {
-        b.iter(|| black_box(paper::hfnt_experiment(&workloads)))
-    });
-    group.finish();
+    bench("hfnt/regenerate", config, || black_box(paper::hfnt_experiment(&workloads)));
 }
-
-criterion_group!(
-    figures,
-    bench_fig5,
-    bench_fig6,
-    bench_fig7,
-    bench_fig8,
-    bench_fig9,
-    bench_fig10,
-    bench_headline,
-    bench_hfnt
-);
-criterion_main!(figures);

@@ -2,108 +2,77 @@
 //! §4.1 hash-evaluation schemes. These measure the simulator itself,
 //! complementing the experiment benches.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
 use vlpp_bench::micro_trace;
+use vlpp_check::{bench, BenchConfig};
 use vlpp_core::{hash_path, HashAssignment, IncrementalHashers, PathConditional, PathConfig, Thb};
 use vlpp_predict::{Bimodal, Gshare};
 use vlpp_sim::run_conditional;
 use vlpp_trace::Addr;
 
-fn bench_predictor_throughput(c: &mut Criterion) {
+fn main() {
+    let config = BenchConfig::from_env();
     let trace = micro_trace();
-    let records = trace.len() as u64;
+    println!("== predictor throughput ({} records/iteration) ==", trace.len());
 
-    let mut group = c.benchmark_group("predictor_throughput");
-    group.throughput(Throughput::Elements(records));
+    bench("micro/gshare_16kb", config, || {
+        let mut p = Gshare::new(16);
+        black_box(run_conditional(&mut p, &trace).mispredictions)
+    });
+    bench("micro/bimodal_16kb", config, || {
+        let mut p = Bimodal::new(16);
+        black_box(run_conditional(&mut p, &trace).mispredictions)
+    });
+    bench("micro/fixed_length_path_16kb", config, || {
+        let mut p = PathConditional::new(PathConfig::new(16), HashAssignment::fixed(12));
+        black_box(run_conditional(&mut p, &trace).mispredictions)
+    });
+    // A synthetic spread of per-branch lengths exercises the mux.
+    let mut assignment = HashAssignment::fixed(12);
+    for (i, record) in trace.conditionals().take(500).enumerate() {
+        assignment.assign(record.pc(), (i % 32 + 1) as u8);
+    }
+    bench("micro/variable_length_path_16kb", config, || {
+        let mut p = PathConditional::new(PathConfig::new(16), assignment.clone());
+        black_box(run_conditional(&mut p, &trace).mispredictions)
+    });
 
-    group.bench_function("gshare_16kb", |b| {
-        b.iter(|| {
-            let mut p = Gshare::new(16);
-            black_box(run_conditional(&mut p, &trace).mispredictions)
-        })
-    });
-    group.bench_function("bimodal_16kb", |b| {
-        b.iter(|| {
-            let mut p = Bimodal::new(16);
-            black_box(run_conditional(&mut p, &trace).mispredictions)
-        })
-    });
-    group.bench_function("fixed_length_path_16kb", |b| {
-        b.iter(|| {
-            let mut p = PathConditional::new(PathConfig::new(16), HashAssignment::fixed(12));
-            black_box(run_conditional(&mut p, &trace).mispredictions)
-        })
-    });
-    group.bench_function("variable_length_path_16kb", |b| {
-        // A synthetic spread of per-branch lengths exercises the mux.
-        let mut assignment = HashAssignment::fixed(12);
-        for (i, record) in trace.conditionals().take(500).enumerate() {
-            assignment.assign(record.pc(), (i % 32 + 1) as u8);
-        }
-        b.iter(|| {
-            let mut p = PathConditional::new(PathConfig::new(16), assignment.clone());
-            black_box(run_conditional(&mut p, &trace).mispredictions)
-        })
-    });
-    group.finish();
-}
-
-fn bench_hash_evaluation(c: &mut Criterion) {
     // §4.1: direct evaluation re-XORs the whole path per hash; the
     // partial-sum registers do one rotate-XOR per hash per branch. The
     // speedup here is the software echo of the paper's hardware-latency
     // argument.
     let targets: Vec<Addr> = (0..1024u64).map(|i| Addr::new(0x1000 + i * 52)).collect();
-
-    let mut group = c.benchmark_group("hash_evaluation");
-    group.throughput(Throughput::Elements(targets.len() as u64));
-
-    group.bench_function("direct_all_32", |b| {
-        b.iter(|| {
-            let mut thb = Thb::new(32, 16);
-            let mut acc = 0u64;
-            for &t in &targets {
-                thb.push(t);
-                for len in 1..=32 {
-                    acc ^= hash_path(&thb, len);
-                }
+    bench("micro/hash_direct_all_32", config, || {
+        let mut thb = Thb::new(32, 16);
+        let mut acc = 0u64;
+        for &t in &targets {
+            thb.push(t);
+            for len in 1..=32 {
+                acc ^= hash_path(&thb, len);
             }
-            black_box(acc)
-        })
+        }
+        black_box(acc)
     });
-    group.bench_function("incremental_all_32", |b| {
-        b.iter(|| {
-            let mut hashers = IncrementalHashers::new(32, 16);
-            let mut acc = 0u64;
-            for &t in &targets {
-                hashers.push(t);
-                for len in 1..=32 {
-                    acc ^= hashers.index(len);
-                }
+    bench("micro/hash_incremental_all_32", config, || {
+        let mut hashers = IncrementalHashers::new(32, 16);
+        let mut acc = 0u64;
+        for &t in &targets {
+            hashers.push(t);
+            for len in 1..=32 {
+                acc ^= hashers.index(len);
             }
-            black_box(acc)
-        })
+        }
+        black_box(acc)
     });
-    group.finish();
-}
 
-fn bench_workload_generation(c: &mut Criterion) {
     // Trace synthesis throughput: how fast the substrate emits records.
     let spec = vlpp_synth::suite::benchmark("gcc").expect("gcc");
     let program = spec.build_program();
-
-    let mut group = c.benchmark_group("workload_generation");
-    group.throughput(Throughput::Elements(100_000));
-    group.bench_function("execute_100k_records", |b| {
-        b.iter(|| black_box(program.execute(vlpp_synth::InputSet::Test, 100_000).len()))
+    bench("micro/execute_100k_records", config, || {
+        black_box(program.execute(vlpp_synth::InputSet::Test, 100_000).len())
     });
-    group.bench_function("generate_program", |b| {
-        b.iter(|| black_box(spec.build_program().static_conditional()))
+    bench("micro/generate_program", config, || {
+        black_box(spec.build_program().static_conditional())
     });
-    group.finish();
 }
-
-criterion_group!(micro, bench_predictor_throughput, bench_hash_evaluation, bench_workload_generation);
-criterion_main!(micro);

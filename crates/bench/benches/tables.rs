@@ -1,57 +1,32 @@
-//! Regenerates the paper's Tables 1–3 under Criterion timing. Each
-//! bench prints the regenerated table once (so the bench log records the
-//! data) and then times the full regeneration.
+//! Regenerates the paper's Tables 1–3 under the in-tree timer harness.
+//! Each bench prints the regenerated table once (so the bench log
+//! records the data) and then times the full regeneration, emitting one
+//! machine-readable `BENCH {json}` line per case.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use std::time::Duration;
 
 use vlpp_bench::bench_workloads;
+use vlpp_check::{bench, BenchConfig};
 use vlpp_sim::paper;
 
-fn bench_table1(c: &mut Criterion) {
+fn main() {
+    let config = BenchConfig::quick();
     let workloads = bench_workloads();
+
     let rows = paper::table1(&workloads);
     println!("\n== Table 1 (scale 1/{}) ==", workloads.scale().divisor());
     println!("{}", paper::Table1Row::render(&rows).render());
+    bench("table1/regenerate", config, || black_box(paper::table1(&workloads)));
 
-    let mut group = c.benchmark_group("table1");
-    group.sample_size(10).measurement_time(Duration::from_secs(20));
-    group.bench_function("regenerate", |b| {
-        b.iter(|| black_box(paper::table1(&workloads)));
-    });
-    group.finish();
-}
-
-fn bench_table2(c: &mut Criterion) {
-    let workloads = bench_workloads();
     let data = paper::table2(&workloads);
     println!("\n== Table 2 (scale 1/{}) ==", workloads.scale().divisor());
     println!("{}", data.render().render());
+    // The Workloads cache memoizes the sweep; regenerate from a fresh
+    // context to time the real computation.
+    bench("table2/regenerate", config, || black_box(paper::table2(&bench_workloads())));
 
-    let mut group = c.benchmark_group("table2");
-    group.sample_size(10).measurement_time(Duration::from_secs(30));
-    group.bench_function("regenerate", |b| {
-        // The Workloads cache memoizes the sweep; regenerate from a
-        // fresh context to time the real computation.
-        b.iter(|| black_box(paper::table2(&bench_workloads())));
-    });
-    group.finish();
-}
-
-fn bench_table3(c: &mut Criterion) {
-    let workloads = bench_workloads();
     let rows = paper::table3(&workloads);
     println!("\n== Table 3 (scale 1/{}) ==", workloads.scale().divisor());
     println!("{}", paper::render_table3(&rows).render());
-
-    let mut group = c.benchmark_group("table3");
-    group.sample_size(10).measurement_time(Duration::from_secs(30));
-    group.bench_function("regenerate", |b| {
-        b.iter(|| black_box(paper::table3(&workloads)));
-    });
-    group.finish();
+    bench("table3/regenerate", config, || black_box(paper::table3(&workloads)));
 }
-
-criterion_group!(tables, bench_table1, bench_table2, bench_table3);
-criterion_main!(tables);

@@ -1,13 +1,16 @@
 //! # vlpp-bench — benchmark harness support
 //!
-//! The Criterion benches in `benches/` regenerate every table and figure
-//! of the paper (`benches/tables.rs`, `benches/figures.rs`) and measure
-//! the predictors' raw throughput (`benches/micro.rs`). This library
-//! holds the shared setup so every bench sees identical workloads.
+//! The `harness = false` benches in `benches/` regenerate every table
+//! and figure of the paper (`benches/tables.rs`, `benches/figures.rs`)
+//! and measure the predictors' raw throughput (`benches/micro.rs`),
+//! timed by `vlpp_check::bench`. This library holds the shared setup so
+//! every bench sees identical workloads.
 //!
 //! Run them all with `cargo bench --workspace`; each experiment bench
 //! prints the regenerated rows once before timing, so the bench log
-//! doubles as an experiment record.
+//! doubles as an experiment record, and every timing is also emitted as
+//! a machine-readable `BENCH {json}` line. `VLPP_BENCH_WARMUP` /
+//! `VLPP_BENCH_ITERS` override the iteration counts.
 
 #![warn(missing_docs)]
 
@@ -15,7 +18,7 @@ use vlpp_sim::{Scale, Workloads};
 use vlpp_synth::{suite, InputSet};
 use vlpp_trace::Trace;
 
-/// The scale Criterion experiment benches run at. Larger divisor =
+/// The scale the experiment benches run at. Larger divisor =
 /// faster iterations; 512 leaves every benchmark at the 50 K-conditional
 /// floor (plenty to exercise the full code path — the `vlpp` CLI is the
 /// tool for paper-scale numbers).

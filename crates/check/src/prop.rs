@@ -1,0 +1,485 @@
+//! The deterministic property-testing harness.
+//!
+//! [`check`] runs a property over many generated cases. Each case draws
+//! its inputs from a [`Gen`] seeded from a per-case seed, so any failure
+//! is replayable from the printed seed alone. On failure the harness
+//! *shrinks* by bisecting the generator's value stream: draws past a
+//! prefix limit return minimal values (0 / `false` / range minimum), and
+//! the harness searches for the shortest prefix of "interesting"
+//! randomness that still fails — typically turning a 200-record trace
+//! counterexample into a handful of meaningful records followed by
+//! zeros.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use crate::rng::{mix, XorShift64};
+
+/// A property failure, produced by the `prop_assert*` macros.
+#[derive(Debug, Clone)]
+pub struct Failed {
+    message: String,
+}
+
+impl Failed {
+    /// Creates a failure with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        Failed { message: message.into() }
+    }
+
+    /// The failure message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+/// What a property returns: `Ok(())` or a [`Failed`] from a
+/// `prop_assert*` macro.
+pub type PropResult = Result<(), Failed>;
+
+/// Asserts a condition inside a property, returning a [`Failed`]
+/// (instead of panicking) so the harness can shrink and report the seed.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($arg:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::Failed::new(format!($($arg)+)));
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{}` == `{}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), left, right
+        );
+    }};
+    ($left:expr, $right:expr, $($arg:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{}` == `{}` ({})\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), format!($($arg)+), left, right
+        );
+    }};
+}
+
+/// Asserts two expressions are *not* equal inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{}` != `{}`\n  both: {:?}",
+            stringify!($left), stringify!($right), left
+        );
+    }};
+}
+
+/// The draw stream a property generates its inputs from.
+///
+/// Every drawing method consumes exactly one value from the underlying
+/// xorshift stream. During shrinking, draws past the prefix limit
+/// return the minimal value (0, `false`, the range minimum, an empty
+/// collection) instead of random bits.
+#[derive(Debug)]
+pub struct Gen {
+    rng: XorShift64,
+    draws: usize,
+    limit: usize,
+}
+
+impl Gen {
+    /// A generator over the full (unshrunk) stream for `seed`.
+    pub fn new(seed: u64) -> Self {
+        Gen::with_limit(seed, usize::MAX)
+    }
+
+    /// A generator whose draws past `limit` return minimal values —
+    /// the shrinking mechanism, exposed for replaying shrunk cases.
+    pub fn with_limit(seed: u64, limit: usize) -> Self {
+        Gen { rng: XorShift64::new(seed), draws: 0, limit }
+    }
+
+    /// Number of values drawn so far.
+    pub fn draws(&self) -> usize {
+        self.draws
+    }
+
+    #[inline]
+    fn next(&mut self) -> u64 {
+        self.draws += 1;
+        // Keep consuming the stream even past the limit so draw indices
+        // stay aligned between the full and shrunk runs.
+        let raw = self.rng.next_u64();
+        if self.draws > self.limit {
+            0
+        } else {
+            raw
+        }
+    }
+
+    /// A uniform `u64` (the `any::<u64>()` equivalent).
+    #[inline]
+    pub fn u64(&mut self) -> u64 {
+        self.next()
+    }
+
+    /// A uniform `bool`.
+    #[inline]
+    pub fn bool(&mut self) -> bool {
+        self.next() & 1 == 1
+    }
+
+    /// A uniform value in `0..bound`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is 0.
+    #[inline]
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        // Multiply-shift bounded sampling (Lemire), as in synth's RNG.
+        ((self.next() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// A uniform `u64` in `low..=high`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `low > high`.
+    #[inline]
+    pub fn range_u64(&mut self, low: u64, high: u64) -> u64 {
+        assert!(low <= high, "empty range {low}..={high}");
+        if low == 0 && high == u64::MAX {
+            return self.next();
+        }
+        low + self.below(high - low + 1)
+    }
+
+    /// A uniform `u32` in `low..=high`.
+    #[inline]
+    pub fn range_u32(&mut self, low: u32, high: u32) -> u32 {
+        self.range_u64(low as u64, high as u64) as u32
+    }
+
+    /// A uniform `u8` in `low..=high`.
+    #[inline]
+    pub fn range_u8(&mut self, low: u8, high: u8) -> u8 {
+        self.range_u64(low as u64, high as u64) as u8
+    }
+
+    /// A uniform `usize` in `low..=high`.
+    #[inline]
+    pub fn range_usize(&mut self, low: usize, high: usize) -> usize {
+        self.range_u64(low as u64, high as u64) as usize
+    }
+
+    /// A uniform `f64` in `[low, high)` (returns `low` when shrunk).
+    #[inline]
+    pub fn range_f64(&mut self, low: f64, high: f64) -> f64 {
+        assert!(low <= high, "empty range {low}..{high}");
+        let unit = (self.next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        low + unit * (high - low)
+    }
+
+    /// A uniform element of a non-empty slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty.
+    #[inline]
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "cannot choose from an empty slice");
+        &items[self.below(items.len() as u64) as usize]
+    }
+
+    /// A vector of `min..=max` elements, each produced by `element`
+    /// (the `prop::collection::vec` equivalent).
+    pub fn vec<T>(
+        &mut self,
+        min: usize,
+        max: usize,
+        mut element: impl FnMut(&mut Gen) -> T,
+    ) -> Vec<T> {
+        let len = self.range_usize(min, max);
+        (0..len).map(|_| element(self)).collect()
+    }
+}
+
+/// Configuration for a [`check`] run.
+#[derive(Debug, Clone, Copy)]
+pub struct CheckConfig {
+    /// Number of generated cases (default 128; `VLPP_CHECK_CASES`
+    /// overrides).
+    pub cases: u32,
+    /// Base seed for case generation (default fixed; `VLPP_CHECK_SEED`
+    /// overrides, and makes its value the seed of case 0 so a reported
+    /// failing seed replays first).
+    pub seed: u64,
+}
+
+impl CheckConfig {
+    /// The default base seed. Arbitrary but fixed: runs are
+    /// deterministic unless `VLPP_CHECK_SEED` says otherwise.
+    pub const DEFAULT_SEED: u64 = 0x5eed_1998_a5b1_05e5;
+
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        CheckConfig { cases, ..CheckConfig::default() }
+    }
+}
+
+impl Default for CheckConfig {
+    fn default() -> Self {
+        CheckConfig { cases: 128, seed: CheckConfig::DEFAULT_SEED }
+    }
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    let raw = std::env::var(name).ok()?;
+    let parsed = if let Some(hex) = raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16)
+    } else {
+        raw.parse()
+    };
+    match parsed {
+        Ok(v) => Some(v),
+        Err(_) => panic!("{name}={raw} is not a number"),
+    }
+}
+
+enum CaseOutcome {
+    Pass,
+    Fail { message: String, draws: usize },
+}
+
+fn run_case(prop: &mut dyn FnMut(&mut Gen) -> PropResult, seed: u64, limit: usize) -> CaseOutcome {
+    let mut gen = Gen::with_limit(seed, limit);
+    match catch_unwind(AssertUnwindSafe(|| prop(&mut gen))) {
+        Ok(Ok(())) => CaseOutcome::Pass,
+        Ok(Err(failed)) => {
+            CaseOutcome::Fail { message: failed.message, draws: gen.draws() }
+        }
+        Err(payload) => {
+            let message = if let Some(s) = payload.downcast_ref::<&str>() {
+                format!("panicked: {s}")
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                format!("panicked: {s}")
+            } else {
+                "panicked (non-string payload)".to_string()
+            };
+            CaseOutcome::Fail { message, draws: gen.draws() }
+        }
+    }
+}
+
+/// Runs `prop` over `config.cases` generated cases.
+///
+/// On the first failing case, bisects the value-stream prefix to a
+/// minimal shrunk reproduction, then panics with the failing seed, the
+/// shrunk prefix length, and both failure messages. Replay with
+/// `VLPP_CHECK_SEED=0x<seed>` (full case) plus `VLPP_CHECK_LIMIT=<n>`
+/// (shrunk case).
+pub fn check<F>(name: &str, config: CheckConfig, mut prop: F)
+where
+    F: FnMut(&mut Gen) -> PropResult,
+{
+    let base_seed = env_u64("VLPP_CHECK_SEED").unwrap_or(config.seed);
+    let cases = env_u64("VLPP_CHECK_CASES").map(|c| c as u32).unwrap_or(config.cases).max(1);
+    let forced_limit = env_u64("VLPP_CHECK_LIMIT").map(|l| l as usize);
+
+    for case in 0..cases {
+        // Case 0 uses the base seed itself so a reported seed, fed back
+        // through VLPP_CHECK_SEED, replays immediately.
+        let seed = if case == 0 { base_seed } else { mix(base_seed.wrapping_add(case as u64)) };
+        let limit = forced_limit.unwrap_or(usize::MAX);
+        let (message, draws) = match run_case(&mut prop, seed, limit) {
+            CaseOutcome::Pass => continue,
+            CaseOutcome::Fail { message, draws } => (message, draws),
+        };
+
+        // Shrink: find (a local minimum of) the shortest random prefix
+        // that still fails. Fixed iteration count: a bisection over
+        // [0, draws] takes at most ~64 probes.
+        let mut shrunk_limit = draws;
+        let mut shrunk_message = message.clone();
+        let (mut lo, mut hi) = (0usize, draws);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            match run_case(&mut prop, seed, mid) {
+                CaseOutcome::Fail { message, .. } => {
+                    shrunk_limit = mid;
+                    shrunk_message = message;
+                    hi = mid;
+                }
+                CaseOutcome::Pass => lo = mid + 1,
+            }
+        }
+
+        panic!(
+            "property `{name}` failed (case {case} of {cases}, {draws} draws)\n\
+             \x20 failure: {message}\n\
+             \x20 shrunk (prefix limit {shrunk_limit}): {shrunk_message}\n\
+             \x20 reproduce: VLPP_CHECK_SEED={seed:#x} [VLPP_CHECK_LIMIT={shrunk_limit}]"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut count = 0;
+        check("counts_cases", CheckConfig::with_cases(10), |g| {
+            count += 1;
+            let _ = g.u64();
+            Ok(())
+        });
+        assert_eq!(count, 10);
+    }
+
+    #[test]
+    fn draws_are_deterministic_per_seed() {
+        let mut a = Gen::new(99);
+        let mut b = Gen::new(99);
+        for _ in 0..50 {
+            assert_eq!(a.u64(), b.u64());
+        }
+        assert_eq!(a.draws(), 50);
+    }
+
+    #[test]
+    fn limited_gen_returns_minimal_values() {
+        let mut g = Gen::with_limit(7, 2);
+        let _ = g.u64();
+        let _ = g.u64();
+        assert_eq!(g.u64(), 0);
+        assert!(!g.bool());
+        assert_eq!(g.range_u64(5, 10), 5);
+        assert_eq!(g.range_f64(-3.0, 4.0), -3.0);
+        assert_eq!(g.vec(0, 8, |g| g.u64()), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn limited_gen_keeps_stream_alignment() {
+        // The prefix draws must match the unlimited run exactly.
+        let mut full = Gen::new(21);
+        let full_values: Vec<u64> = (0..6).map(|_| full.u64()).collect();
+        let mut limited = Gen::with_limit(21, 3);
+        let limited_values: Vec<u64> = (0..6).map(|_| limited.u64()).collect();
+        assert_eq!(&limited_values[..3], &full_values[..3]);
+        assert_eq!(&limited_values[3..], &[0, 0, 0]);
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut g = Gen::new(5);
+        for _ in 0..1000 {
+            let v = g.range_u64(3, 9);
+            assert!((3..=9).contains(&v));
+            let f = g.range_f64(-1.0, 1.0);
+            assert!((-1.0..1.0).contains(&f));
+            let c = *g.choose(&[1, 2, 3]);
+            assert!((1..=3).contains(&c));
+        }
+    }
+
+    #[test]
+    fn vec_respects_length_bounds() {
+        let mut g = Gen::new(6);
+        for _ in 0..200 {
+            let v = g.vec(2, 5, |g| g.bool());
+            assert!((2..=5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn failing_property_reports_seed_and_shrinks() {
+        let result = std::panic::catch_unwind(|| {
+            check("finds_big_values", CheckConfig::with_cases(50), |g| {
+                let v = g.vec(0, 20, |g| g.below(100));
+                prop_assert!(v.iter().all(|&x| x < 95), "saw {:?}", v);
+                Ok(())
+            });
+        });
+        let message = match result {
+            Err(payload) => *payload.downcast::<String>().expect("string panic"),
+            Ok(()) => panic!("property should have failed"),
+        };
+        assert!(message.contains("property `finds_big_values` failed"), "{message}");
+        assert!(message.contains("VLPP_CHECK_SEED=0x"), "{message}");
+        assert!(message.contains("shrunk"), "{message}");
+    }
+
+    #[test]
+    fn shrinking_finds_short_prefix() {
+        // The property fails whenever the 5th draw is odd; the shrunk
+        // prefix must keep at least those 5 draws but no more than the
+        // full stream. We capture the reported limit via the panic text.
+        let result = std::panic::catch_unwind(|| {
+            check("fifth_draw_odd", CheckConfig::with_cases(20), |g| {
+                let mut last = 0;
+                for _ in 0..5 {
+                    last = g.u64();
+                }
+                for _ in 0..200 {
+                    let _ = g.u64(); // irrelevant tail entropy
+                }
+                prop_assert!(last & 1 == 0, "fifth draw {last:#x} is odd");
+                Ok(())
+            });
+        });
+        let message = match result {
+            Err(payload) => *payload.downcast::<String>().expect("string panic"),
+            Ok(()) => panic!("property should have failed"),
+        };
+        let limit: usize = message
+            .split("VLPP_CHECK_LIMIT=")
+            .nth(1)
+            .and_then(|s| s.trim_end_matches(']').trim().parse().ok())
+            .unwrap_or_else(|| panic!("no limit in: {message}"));
+        assert!(limit <= 5, "tail entropy should shrink away, limit {limit}");
+    }
+
+    #[test]
+    fn panics_inside_properties_are_failures_too() {
+        let result = std::panic::catch_unwind(|| {
+            check("panics_are_caught", CheckConfig::with_cases(3), |g| {
+                let _ = g.u64();
+                assert!(false, "library invariant violated");
+                Ok(())
+            });
+        });
+        let message = match result {
+            Err(payload) => *payload.downcast::<String>().expect("string panic"),
+            Ok(()) => panic!("property should have failed"),
+        };
+        assert!(message.contains("panicked"), "{message}");
+        assert!(message.contains("library invariant violated"), "{message}");
+    }
+
+    #[test]
+    fn prop_assert_macros_build_messages() {
+        fn inner(x: u64) -> PropResult {
+            prop_assert_eq!(x, 3u64, "x came from {}", "a test");
+            prop_assert_ne!(x, 4u64);
+            prop_assert!(x > 0);
+            Ok(())
+        }
+        assert!(inner(3).is_ok());
+        let err = inner(5).unwrap_err();
+        assert!(err.message().contains("left: 5"), "{}", err.message());
+        assert!(err.message().contains("a test"));
+    }
+}

@@ -1,6 +1,8 @@
 //! Property tests for the core predictor machinery.
 
-use proptest::prelude::*;
+use std::collections::HashMap;
+
+use vlpp_check::{check, prop_assert, prop_assert_eq, CheckConfig};
 use vlpp_core::{
     hash_path, HashAssignment, IncrementalHashers, PathConditional, PathConfig, ProfileBuilder,
     ProfileConfig, Thb,
@@ -8,16 +10,14 @@ use vlpp_core::{
 use vlpp_predict::{BranchObserver, ConditionalPredictor};
 use vlpp_trace::{Addr, BranchRecord, Trace};
 
-proptest! {
-    /// The §4.1 partial-sum registers compute exactly the §3.3 hashes,
-    /// for every index width, THB capacity, path length, and target
-    /// stream.
-    #[test]
-    fn incremental_hashers_equal_direct_evaluation(
-        k in 1u32..=24,
-        capacity in 1usize..=32,
-        targets in prop::collection::vec(any::<u64>(), 1..120),
-    ) {
+/// The §4.1 partial-sum registers compute exactly the §3.3 hashes, for
+/// every index width, THB capacity, path length, and target stream.
+#[test]
+fn incremental_hashers_equal_direct_evaluation() {
+    check("incremental_hashers_equal_direct_evaluation", CheckConfig::default(), |g| {
+        let k = g.range_u32(1, 24);
+        let capacity = g.range_usize(1, 32);
+        let targets = g.vec(1, 120, |g| g.u64());
         let mut thb = Thb::new(capacity, k);
         let mut inc = IncrementalHashers::new(capacity, k);
         for &raw in &targets {
@@ -28,14 +28,16 @@ proptest! {
                 prop_assert_eq!(inc.index(len), hash_path(&thb, len), "len {}", len);
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Hash indices always fit in k bits.
-    #[test]
-    fn hash_indices_fit_index_width(
-        k in 1u32..=30,
-        targets in prop::collection::vec(any::<u64>(), 1..60),
-    ) {
+/// Hash indices always fit in k bits.
+#[test]
+fn hash_indices_fit_index_width() {
+    check("hash_indices_fit_index_width", CheckConfig::default(), |g| {
+        let k = g.range_u32(1, 30);
+        let targets = g.vec(1, 60, |g| g.u64());
         let mut inc = IncrementalHashers::new(8, k);
         for &raw in &targets {
             inc.push(Addr::new(raw));
@@ -45,16 +47,18 @@ proptest! {
                 }
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// The THB is a faithful sliding window: after any push sequence,
-    /// T_1..T_len are the most recent pushes, newest first, compressed.
-    #[test]
-    fn thb_is_a_sliding_window(
-        capacity in 1usize..=32,
-        k in 1u32..=32,
-        targets in prop::collection::vec(any::<u64>(), 0..80),
-    ) {
+/// The THB is a faithful sliding window: after any push sequence,
+/// T_1..T_len are the most recent pushes, newest first, compressed.
+#[test]
+fn thb_is_a_sliding_window() {
+    check("thb_is_a_sliding_window", CheckConfig::default(), |g| {
+        let capacity = g.range_usize(1, 32);
+        let k = g.range_u32(1, 32);
+        let targets = g.vec(0, 80, |g| g.u64());
         let mut thb = Thb::new(capacity, k);
         for &raw in &targets {
             thb.push(Addr::new(raw));
@@ -72,14 +76,17 @@ proptest! {
         for slot in expected.len()..capacity {
             prop_assert_eq!(got[slot], 0, "empty slot {}", slot);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Assignments store and retrieve arbitrary pc -> hash mappings.
-    #[test]
-    fn hash_assignment_is_a_map(
-        default in 1u8..=32,
-        entries in prop::collection::hash_map(any::<u64>(), 1u8..=32, 0..50),
-    ) {
+/// Assignments store and retrieve arbitrary pc -> hash mappings.
+#[test]
+fn hash_assignment_is_a_map() {
+    check("hash_assignment_is_a_map", CheckConfig::default(), |g| {
+        let default = g.range_u8(1, 32);
+        let entries: HashMap<u64, u8> =
+            g.vec(0, 50, |g| (g.u64(), g.range_u8(1, 32))).into_iter().collect();
         let mut assignment = HashAssignment::fixed(default);
         for (&pc, &n) in &entries {
             assignment.assign(Addr::new(pc), n);
@@ -90,16 +97,17 @@ proptest! {
         prop_assert_eq!(assignment.assigned_count(), entries.len());
         let histogram = assignment.length_histogram();
         prop_assert_eq!(histogram.iter().sum::<usize>(), entries.len());
-    }
+        Ok(())
+    });
+}
 
-    /// A predictor is a deterministic state machine: the same trace
-    /// produces the same prediction sequence.
-    #[test]
-    fn path_predictor_is_deterministic(
-        seed in any::<u64>(),
-        length in 1u8..=16,
-    ) {
-        let trace = random_trace(seed, 400);
+/// A predictor is a deterministic state machine: the same trace produces
+/// the same prediction sequence.
+#[test]
+fn path_predictor_is_deterministic() {
+    check("path_predictor_is_deterministic", CheckConfig::default(), |g| {
+        let trace = random_trace(g.u64(), 400);
+        let length = g.range_u8(1, 16);
         let run = || {
             let mut p = PathConditional::new(PathConfig::new(10), HashAssignment::fixed(length));
             let mut outcomes = Vec::new();
@@ -113,13 +121,16 @@ proptest! {
             outcomes
         };
         prop_assert_eq!(run(), run());
-    }
+        Ok(())
+    });
+}
 
-    /// Profiling only assigns hash numbers from the configured set, and
-    /// only to branches that actually appear in the trace.
-    #[test]
-    fn profiling_respects_hash_set(seed in any::<u64>()) {
-        let trace = random_trace(seed, 600);
+/// Profiling only assigns hash numbers from the configured set, and only
+/// to branches that actually appear in the trace.
+#[test]
+fn profiling_respects_hash_set() {
+    check("profiling_respects_hash_set", CheckConfig::default(), |g| {
+        let trace = random_trace(g.u64(), 600);
         let hash_set = vec![2u8, 5, 9];
         let config = ProfileConfig::new(PathConfig::new(8))
             .with_hash_set(hash_set.clone())
@@ -134,7 +145,8 @@ proptest! {
             );
         }
         prop_assert_eq!(report.step1.len(), hash_set.len());
-    }
+        Ok(())
+    });
 }
 
 /// A deterministic pseudo-random mixed trace.

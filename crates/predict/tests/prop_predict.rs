@@ -1,6 +1,6 @@
 //! Property tests for the baseline predictors.
 
-use proptest::prelude::*;
+use vlpp_check::{check, prop_assert, prop_assert_eq, CheckConfig};
 use vlpp_predict::{
     Bimodal, BranchObserver, Budget, ConditionalPredictor, Counter2, Gas, Gshare,
     IndirectPredictor, LastTargetBtb, OutcomeHistory, Pas, PathRegister, PathTargetCache,
@@ -8,26 +8,29 @@ use vlpp_predict::{
 };
 use vlpp_trace::{Addr, BranchRecord};
 
-proptest! {
-    /// A 2-bit counter never leaves 0..=3 and flips prediction only
-    /// after crossing the threshold.
-    #[test]
-    fn counter_stays_in_range(updates in prop::collection::vec(any::<bool>(), 0..200)) {
+/// A 2-bit counter never leaves 0..=3 and flips prediction only after
+/// crossing the threshold.
+#[test]
+fn counter_stays_in_range() {
+    check("counter_stays_in_range", CheckConfig::default(), |g| {
+        let updates = g.vec(0, 200, |g| g.bool());
         let mut c = Counter2::default();
         for taken in updates {
             c.update(taken);
             prop_assert!(c.value() <= 3);
             prop_assert_eq!(c.predict_taken(), c.value() >= 2);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// An outcome history register always equals the last `width`
-    /// outcomes packed newest-in-low-bit.
-    #[test]
-    fn outcome_history_matches_reference(
-        width in 1u32..=63,
-        outcomes in prop::collection::vec(any::<bool>(), 0..100),
-    ) {
+/// An outcome history register always equals the last `width` outcomes
+/// packed newest-in-low-bit.
+#[test]
+fn outcome_history_matches_reference() {
+    check("outcome_history_matches_reference", CheckConfig::default(), |g| {
+        let width = g.range_u32(1, 63);
+        let outcomes = g.vec(0, 100, |g| g.bool());
         let mut h = OutcomeHistory::new(width);
         let mut reference: u64 = 0;
         for taken in outcomes {
@@ -35,15 +38,17 @@ proptest! {
             reference = ((reference << 1) | taken as u64) & ((1u64 << width) - 1);
             prop_assert_eq!(h.bits(), reference);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// A path register equals the concatenation of the last pieces.
-    #[test]
-    fn path_register_matches_reference(
-        per in 1u32..=8,
-        depth_units in 1u32..=6,
-        targets in prop::collection::vec(any::<u64>(), 0..60),
-    ) {
+/// A path register equals the concatenation of the last pieces.
+#[test]
+fn path_register_matches_reference() {
+    check("path_register_matches_reference", CheckConfig::default(), |g| {
+        let per = g.range_u32(1, 8);
+        let depth_units = g.range_u32(1, 6);
+        let targets = g.vec(0, 60, |g| g.u64());
         let width = per * depth_units;
         let mut p = PathRegister::new(width, per);
         let mut reference: u64 = 0;
@@ -54,22 +59,29 @@ proptest! {
             reference = ((reference << per) | t.low_bits(per)) & mask;
             prop_assert_eq!(p.bits(), reference);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Budget accounting: entries × entry size = bytes.
-    #[test]
-    fn budget_accounting_is_consistent(shift in 3u32..=20) {
+/// Budget accounting: entries × entry size = bytes.
+#[test]
+fn budget_accounting_is_consistent() {
+    check("budget_accounting_is_consistent", CheckConfig::default(), |g| {
+        let shift = g.range_u32(3, 20);
         let bytes = 1u64 << shift;
         let b = Budget::from_bytes(bytes);
         prop_assert_eq!(b.cond_entries() as u64 / 4, bytes);
         prop_assert_eq!(b.ind_entries() as u64 * 4, bytes);
-    }
+        Ok(())
+    });
+}
 
-    /// All conditional predictors are deterministic state machines and
-    /// produce exactly one prediction per conditional branch.
-    #[test]
-    fn conditional_predictors_are_deterministic(seed in any::<u64>()) {
-        let records = random_records(seed, 300);
+/// All conditional predictors are deterministic state machines and
+/// produce exactly one prediction per conditional branch.
+#[test]
+fn conditional_predictors_are_deterministic() {
+    check("conditional_predictors_are_deterministic", CheckConfig::default(), |g| {
+        let records = random_records(g.u64(), 300);
         fn drive<P: ConditionalPredictor>(mut p: P, records: &[BranchRecord]) -> Vec<bool> {
             let mut out = Vec::new();
             for r in records {
@@ -85,14 +97,17 @@ proptest! {
         prop_assert_eq!(drive(Bimodal::new(10), &records), drive(Bimodal::new(10), &records));
         prop_assert_eq!(drive(Gas::new(8, 2), &records), drive(Gas::new(8, 2), &records));
         prop_assert_eq!(drive(Pas::new(6, 8, 2), &records), drive(Pas::new(6, 8, 2), &records));
-    }
+        Ok(())
+    });
+}
 
-    /// Indirect predictors: after training on (pc, target) with frozen
-    /// history, the next prediction at the same pc returns that target.
-    #[test]
-    fn indirect_predictors_recall_last_train(pc in any::<u64>(), target in 1u64..u64::MAX) {
-        let pc = Addr::new(pc);
-        let target = Addr::new(target);
+/// Indirect predictors: after training on (pc, target) with frozen
+/// history, the next prediction at the same pc returns that target.
+#[test]
+fn indirect_predictors_recall_last_train() {
+    check("indirect_predictors_recall_last_train", CheckConfig::default(), |g| {
+        let pc = Addr::new(g.u64());
+        let target = Addr::new(g.range_u64(1, u64::MAX - 1));
         let expected = pc.with_low32(target.low32());
 
         let mut p = PatternTargetCache::new(10);
@@ -106,13 +121,16 @@ proptest! {
         let mut p = LastTargetBtb::new(10);
         p.train(pc, target);
         prop_assert_eq!(p.predict(pc), expected);
-    }
+        Ok(())
+    });
+}
 
-    /// History updates never affect a bimodal predictor (no first-level
-    /// history), while they can change gshare's index.
-    #[test]
-    fn bimodal_ignores_history(seed in any::<u64>()) {
-        let records = random_records(seed, 100);
+/// History updates never affect a bimodal predictor (no first-level
+/// history), while they can change gshare's index.
+#[test]
+fn bimodal_ignores_history() {
+    check("bimodal_ignores_history", CheckConfig::default(), |g| {
+        let records = random_records(g.u64(), 100);
         let pc = Addr::new(0x4000);
         let mut with = Bimodal::new(10);
         let mut without = Bimodal::new(10);
@@ -120,7 +138,8 @@ proptest! {
             with.observe(r);
         }
         prop_assert_eq!(with.predict(pc), without.predict(pc));
-    }
+        Ok(())
+    });
 }
 
 fn random_records(seed: u64, n: usize) -> Vec<BranchRecord> {

@@ -110,9 +110,9 @@ fn main() -> ExitCode {
 }
 
 fn run_one(id: &str, workloads: &Workloads, json: bool) -> Result<String, String> {
-    fn emit<T: serde::Serialize>(data: &T, table: TextTable, json: bool) -> String {
+    fn emit<T: vlpp_trace::json::ToJson>(data: &T, table: TextTable, json: bool) -> String {
         if json {
-            serde_json::to_string_pretty(data).expect("experiment data serializes")
+            data.to_json_pretty()
         } else {
             table.render()
         }

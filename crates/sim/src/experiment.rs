@@ -59,6 +59,17 @@ impl Default for Scale {
     }
 }
 
+impl vlpp_trace::json::ToJson for Scale {
+    /// `{"divisor": n}` — recorded alongside experiment output so a
+    /// saved JSON report carries the scale it was produced at.
+    fn to_json(&self) -> vlpp_trace::json::JsonValue {
+        vlpp_trace::json::JsonValue::Object(vec![(
+            "divisor".to_string(),
+            vlpp_trace::json::JsonValue::UInt(self.divisor),
+        )])
+    }
+}
+
 /// Which branch population an artifact belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Kind {

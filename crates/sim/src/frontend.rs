@@ -17,7 +17,6 @@
 //! lets the `frontend` experiment rank predictors by cost rather than
 //! rate.
 
-use serde::Serialize;
 use vlpp_core::Hfnt;
 use vlpp_predict::{
     BranchObserver, ConditionalPredictor, IndirectPredictor, ReturnAddressStack,
@@ -25,13 +24,15 @@ use vlpp_predict::{
 use vlpp_trace::{BranchKind, Trace};
 
 /// Penalty parameters, in cycles.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Penalties {
     /// Full pipeline flush on a branch misprediction.
     pub mispredict: u64,
     /// Front-end bubble on an HFNT hash-number re-prediction.
     pub repredict: u64,
 }
+
+vlpp_trace::impl_to_json!(Penalties { mispredict, repredict });
 
 impl Default for Penalties {
     /// A deep late-1990s pipeline: 12-cycle flush, 1-cycle re-predict
@@ -42,7 +43,7 @@ impl Default for Penalties {
 }
 
 /// Cycle accounting for one front-end run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FrontendCost {
     /// Control transfers fetched.
     pub branches: u64,
@@ -57,6 +58,15 @@ pub struct FrontendCost {
     /// Total cycles charged.
     pub cycles: u64,
 }
+
+vlpp_trace::impl_to_json!(FrontendCost {
+    branches,
+    conditional_misses,
+    indirect_misses,
+    return_misses,
+    repredictions,
+    cycles,
+});
 
 impl FrontendCost {
     /// Cycles per branch — the model's bottom line.

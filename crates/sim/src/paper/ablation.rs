@@ -2,7 +2,6 @@
 //! gcc workload (the paper's case study) at 16 KB (conditional) / 2 KB
 //! (indirect).
 
-use serde::Serialize;
 use vlpp_core::{
     HashAssignment, PathConditional, PathConfig, PathIndirect, ProfileBuilder, ProfileConfig,
 };
@@ -14,13 +13,18 @@ use crate::report::{percent, TextTable};
 use crate::runner::{run_conditional, run_indirect};
 
 /// One ablation variant's outcome.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct AblationRow {
     /// Variant label.
     pub variant: String,
     /// Misprediction rate in [0, 1].
     pub rate: f64,
 }
+
+vlpp_trace::impl_to_json!(AblationRow {
+    variant,
+    rate,
+});
 
 impl AblationRow {
     /// Renders ablation rows.

@@ -19,7 +19,6 @@
 
 use std::collections::HashMap;
 
-use serde::Serialize;
 use vlpp_core::{HashAssignment, PathConditional, PathConfig};
 use vlpp_predict::{
     BranchObserver, Budget, ConditionalPredictor, Gshare, ReturnAddressStack,
@@ -31,7 +30,7 @@ use crate::experiment::Workloads;
 use crate::report::{percent, TextTable};
 
 /// Ground-truth behavior classes for conditional branches.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BehaviorClass {
     /// Loop back-edges.
     Loop,
@@ -81,7 +80,7 @@ impl BehaviorClass {
 }
 
 /// Per-class misprediction rates for the three §5.3 predictors.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct AnalysisRow {
     /// Behavior class label.
     pub class: String,
@@ -94,6 +93,14 @@ pub struct AnalysisRow {
     /// Variable length path rate.
     pub variable: f64,
 }
+
+vlpp_trace::impl_to_json!(AnalysisRow {
+    class,
+    dynamic,
+    gshare,
+    fixed,
+    variable,
+});
 
 impl AnalysisRow {
     /// Renders the analysis table.
@@ -194,7 +201,7 @@ pub fn analyze_gcc(workloads: &Workloads) -> Vec<AnalysisRow> {
 }
 
 /// Per-benchmark return-address-stack accuracy.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct RasRow {
     /// Benchmark name.
     pub benchmark: String,
@@ -203,6 +210,12 @@ pub struct RasRow {
     /// RAS hit rate in [0, 1].
     pub hit_rate: f64,
 }
+
+vlpp_trace::impl_to_json!(RasRow {
+    benchmark,
+    returns,
+    hit_rate,
+});
 
 impl RasRow {
     /// Renders the RAS experiment.
@@ -249,7 +262,7 @@ pub fn ras_experiment(workloads: &Workloads) -> Vec<RasRow> {
 
 /// The per-branch assignment's length distribution for a benchmark — the
 /// evidence behind §5.3's "discard unimportant path prefixes" claim.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct LengthHistogram {
     /// Benchmark name.
     pub benchmark: String,
@@ -258,6 +271,12 @@ pub struct LengthHistogram {
     /// The default hash number.
     pub default_hash: u8,
 }
+
+vlpp_trace::impl_to_json!(LengthHistogram {
+    benchmark,
+    histogram,
+    default_hash,
+});
 
 /// Computes the profiled length histogram for one benchmark at 16 KB.
 ///

@@ -1,7 +1,6 @@
 //! Figures 5–8: per-benchmark predictor comparisons at a fixed table
 //! size.
 
-use serde::Serialize;
 use vlpp_core::{HashAssignment, PathConditional, PathConfig, PathIndirect};
 use vlpp_predict::{Budget, Gshare, PathTargetCache, PatternTargetCache};
 use vlpp_synth::suite;
@@ -13,7 +12,7 @@ use crate::runner::{run_conditional, run_indirect};
 use super::{BASELINE_PATH_BITS_PER_TARGET, FIG5_COND_BYTES, FIG7_IND_BYTES};
 
 /// One benchmark's conditional misprediction rates (Figures 5–6).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct CondRow {
     /// Benchmark name.
     pub benchmark: String,
@@ -25,8 +24,15 @@ pub struct CondRow {
     pub variable: f64,
 }
 
+vlpp_trace::impl_to_json!(CondRow {
+    benchmark,
+    gshare,
+    fixed,
+    variable,
+});
+
 /// One benchmark's indirect misprediction rates (Figures 7–8, Table 3).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct IndRow {
     /// Benchmark name.
     pub benchmark: String,
@@ -39,6 +45,14 @@ pub struct IndRow {
     /// Variable length path predictor rate.
     pub variable: f64,
 }
+
+vlpp_trace::impl_to_json!(IndRow {
+    benchmark,
+    path,
+    pattern,
+    fixed,
+    variable,
+});
 
 /// Runs the Figure 5/6 comparison (gshare vs fixed vs variable length
 /// path) for the named benchmarks at `bytes` of predictor table.

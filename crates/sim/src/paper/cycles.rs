@@ -3,7 +3,6 @@
 //! thrown away"); this experiment converts each predictor configuration's
 //! accuracy — plus the §4.3 HFNT bubble — into fetch cycles per branch.
 
-use serde::Serialize;
 use vlpp_core::{HashAssignment, Hfnt, PathConditional, PathConfig, PathIndirect};
 use vlpp_predict::{Budget, Gshare, LastTargetBtb, PatternTargetCache};
 use vlpp_synth::suite;
@@ -13,7 +12,7 @@ use crate::frontend::{run_frontend, FrontendCost, Penalties};
 use crate::report::TextTable;
 
 /// One front-end configuration's cycle cost on a benchmark.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct FrontendRow {
     /// Benchmark name.
     pub benchmark: String,
@@ -22,6 +21,12 @@ pub struct FrontendRow {
     /// The cost breakdown.
     pub cost: FrontendCost,
 }
+
+vlpp_trace::impl_to_json!(FrontendRow {
+    benchmark,
+    configuration,
+    cost,
+});
 
 impl FrontendRow {
     /// Renders the experiment.

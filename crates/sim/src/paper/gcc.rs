@@ -1,7 +1,6 @@
 //! The gcc case study: Figures 9–10 (size sweeps) and the abstract's
 //! headline numbers.
 
-use serde::Serialize;
 use vlpp_core::{HashAssignment, PathConditional, PathConfig, PathIndirect};
 use vlpp_predict::{Budget, Gshare, PathTargetCache, PatternTargetCache};
 use vlpp_synth::suite;
@@ -13,7 +12,7 @@ use crate::runner::{run_conditional, run_indirect};
 use super::{BASELINE_PATH_BITS_PER_TARGET, COND_SIZES, IND_SIZES};
 
 /// One size point of Figure 9 (gcc, conditional).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct GccCondPoint {
     /// Predictor-table size in bytes.
     pub bytes: u64,
@@ -27,8 +26,16 @@ pub struct GccCondPoint {
     pub variable: f64,
 }
 
+vlpp_trace::impl_to_json!(GccCondPoint {
+    bytes,
+    gshare,
+    fixed,
+    fixed_tuned,
+    variable,
+});
+
 /// One size point of Figure 10 (gcc, indirect).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct GccIndPoint {
     /// Predictor-table size in bytes.
     pub bytes: u64,
@@ -43,6 +50,15 @@ pub struct GccIndPoint {
     /// Variable length path.
     pub variable: f64,
 }
+
+vlpp_trace::impl_to_json!(GccIndPoint {
+    bytes,
+    path,
+    pattern,
+    fixed,
+    fixed_tuned,
+    variable,
+});
 
 /// Figure 9: gcc conditional misprediction over 1 KB – 256 KB.
 pub fn figure9(workloads: &Workloads) -> Vec<GccCondPoint> {
@@ -171,7 +187,7 @@ impl GccIndPoint {
 }
 
 /// The abstract's headline comparison.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Headline {
     /// gcc conditional rate for the variable length path predictor at a
     /// 4 KB budget (paper: 4.3%).
@@ -185,6 +201,13 @@ pub struct Headline {
     /// (paper: 44.2%).
     pub best_competing_ind_512b: f64,
 }
+
+vlpp_trace::impl_to_json!(Headline {
+    vlp_cond_4kb,
+    gshare_cond_4kb,
+    vlp_ind_512b,
+    best_competing_ind_512b,
+});
 
 /// Reproduces the abstract's gcc numbers: conditional at 4 KB, indirect
 /// at 512 B.

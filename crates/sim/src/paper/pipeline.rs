@@ -5,7 +5,6 @@
 //! The paper describes the structure but does not plot its cost; this
 //! experiment supplies the measurement.
 
-use serde::Serialize;
 use vlpp_core::Hfnt;
 use vlpp_predict::Budget;
 use vlpp_synth::suite;
@@ -17,7 +16,7 @@ use crate::report::{percent, TextTable};
 pub const HFNT_SET_BITS: u32 = 10;
 
 /// Per-benchmark HFNT behavior.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct HfntRow {
     /// Benchmark name.
     pub benchmark: String,
@@ -28,6 +27,13 @@ pub struct HfntRow {
     /// Mismatch (re-prediction) rate in [0, 1].
     pub rate: f64,
 }
+
+vlpp_trace::impl_to_json!(HfntRow {
+    benchmark,
+    lookups,
+    mismatches,
+    rate,
+});
 
 /// Runs the HFNT model over every benchmark using each benchmark's
 /// profiled 16 KB conditional hash assignment.

@@ -6,7 +6,6 @@
 //! schemes (DHLF, elastic gshare), hybrids (McFarling, Driesen–Hölzle
 //! dual-length), and the per-address-vs-global path question.
 
-use serde::Serialize;
 use vlpp_core::{
     elastic, DualLengthPathIndirect, ElasticGshare, HashAssignment, PathConditional, PathConfig,
     PathIndirect,
@@ -24,13 +23,18 @@ use crate::runner::{run_conditional, run_indirect};
 use super::{BASELINE_PATH_BITS_PER_TARGET, FIG5_COND_BYTES, FIG7_IND_BYTES};
 
 /// One predictor's result in a related-work comparison.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct RelatedRow {
     /// Predictor label.
     pub predictor: String,
     /// Misprediction rate in [0, 1].
     pub rate: f64,
 }
+
+vlpp_trace::impl_to_json!(RelatedRow {
+    predictor,
+    rate,
+});
 
 impl RelatedRow {
     /// Renders the comparison, best rate last.

@@ -1,6 +1,5 @@
 //! Tables 1–3 of the paper.
 
-use serde::Serialize;
 use vlpp_predict::Budget;
 use vlpp_synth::{suite, InputSet};
 use vlpp_trace::stats::TraceStats;
@@ -12,7 +11,7 @@ use super::comparisons::{indirect_comparison, IndRow};
 use super::{COND_SIZES, FIG7_IND_BYTES, IND_SIZES};
 
 /// One row of Table 1: a benchmark's branch demographics.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table1Row {
     /// Benchmark name.
     pub benchmark: String,
@@ -25,6 +24,14 @@ pub struct Table1Row {
     /// Static indirect branch sites executed.
     pub indirect_static: u64,
 }
+
+vlpp_trace::impl_to_json!(Table1Row {
+    benchmark,
+    conditional_dynamic,
+    conditional_static,
+    indirect_dynamic,
+    indirect_static,
+});
 
 /// Table 1: benchmark summary — dynamic and static conditional/indirect
 /// branch counts on the test input, at the context's scale.
@@ -84,13 +91,18 @@ impl Table1Row {
 
 /// Table 2: the best fixed path length per predictor-table size,
 /// measured on the profile inputs and averaged over all 16 benchmarks.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table2Data {
     /// `(table size in bytes, best path length)` for conditional tables.
     pub conditional: Vec<(u64, u8)>,
     /// `(table size in bytes, best path length)` for indirect tables.
     pub indirect: Vec<(u64, u8)>,
 }
+
+vlpp_trace::impl_to_json!(Table2Data {
+    conditional,
+    indirect,
+});
 
 /// Computes Table 2 with the paper's methodology: for each size, the
 /// path length minimizing the benchmark-averaged misprediction rate on

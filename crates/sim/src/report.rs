@@ -96,6 +96,17 @@ impl TextTable {
     }
 }
 
+impl vlpp_trace::json::ToJson for TextTable {
+    /// `{"header": [...], "rows": [[...], ...]}` — the structural form
+    /// of the table, for tools that consume the text reports.
+    fn to_json(&self) -> vlpp_trace::json::JsonValue {
+        vlpp_trace::json::JsonValue::Object(vec![
+            ("header".to_string(), vlpp_trace::json::ToJson::to_json(&self.header)),
+            ("rows".to_string(), vlpp_trace::json::ToJson::to_json(&self.rows)),
+        ])
+    }
+}
+
 /// Formats a rate in `[0, 1]` as a percentage with two decimals, like
 /// the paper's tables.
 pub fn percent(rate: f64) -> String {

@@ -2,7 +2,6 @@
 
 use std::collections::HashMap;
 
-use serde::Serialize;
 use vlpp_predict::{ConditionalPredictor, IndirectPredictor};
 use vlpp_trace::{Addr, Trace};
 
@@ -20,15 +19,24 @@ use vlpp_trace::{Addr, Trace};
 /// assert_eq!(stats.mispredictions, 1);
 /// assert!((stats.miss_rate() - 0.5).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Default, Serialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunStats {
     /// Dynamic branches predicted.
     pub predictions: u64,
     /// Dynamic branches predicted incorrectly.
     pub mispredictions: u64,
-    /// Per-static-branch `(predictions, mispredictions)`.
-    #[serde(skip)]
+    /// Per-static-branch `(predictions, mispredictions)` — omitted from
+    /// the JSON form, which keeps only the totals.
     pub per_branch: HashMap<u64, (u64, u64)>,
+}
+
+impl vlpp_trace::json::ToJson for RunStats {
+    fn to_json(&self) -> vlpp_trace::json::JsonValue {
+        vlpp_trace::json::JsonValue::Object(vec![
+            ("predictions".to_string(), vlpp_trace::json::ToJson::to_json(&self.predictions)),
+            ("mispredictions".to_string(), vlpp_trace::json::ToJson::to_json(&self.mispredictions)),
+        ])
+    }
 }
 
 impl RunStats {

@@ -2,52 +2,54 @@
 //! structurally valid, meets its static-count contract, and executes
 //! coherently.
 
-use proptest::prelude::*;
+use vlpp_check::{check, prop_assert, prop_assert_eq, CheckConfig, Gen};
 use vlpp_synth::{BehaviorMix, BenchmarkSpec, ExecutionLimits, Executor, InputSet};
 use vlpp_trace::BranchKind;
 
-fn arb_spec() -> impl Strategy<Value = BenchmarkSpec> {
-    (
-        1usize..400,   // static conditional
-        0usize..30,    // static indirect
-        any::<u64>(),  // seed
-        0u32..1000,    // gate
-        -3.0f64..4.0,  // hot bias
-        any::<bool>(), // driver switch
-    )
-        .prop_map(|(conds, inds, seed, gate, bias, driver)| {
-            let mut mix = BehaviorMix::default();
-            mix.ind_gate_milli = gate;
-            mix.indirect_hot_bias = bias;
-            mix.driver_switch = driver;
-            BenchmarkSpec {
-                name: format!("prop-{seed:x}"),
-                seed,
-                static_conditional: conds,
-                static_indirect: inds,
-                default_dynamic_conditional: 10_000,
-                mix,
-            }
-        })
+fn arb_spec(g: &mut Gen) -> BenchmarkSpec {
+    let conds = g.range_usize(1, 399);
+    let inds = g.range_usize(0, 29);
+    let seed = g.u64();
+    let mut mix = BehaviorMix::default();
+    mix.ind_gate_milli = g.range_u32(0, 999);
+    mix.indirect_hot_bias = g.range_f64(-3.0, 4.0);
+    mix.driver_switch = g.bool();
+    BenchmarkSpec {
+        name: format!("prop-{seed:x}"),
+        seed,
+        static_conditional: conds,
+        static_indirect: inds,
+        default_dynamic_conditional: 10_000,
+        mix,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+// These exercise whole program builds per case, so run the proptest
+// suite's reduced case count (64).
+fn config() -> CheckConfig {
+    CheckConfig::with_cases(64)
+}
 
-    /// Static branch counts are exact for arbitrary specs, and the
-    /// program passes structural validation (checked inside `new`).
-    #[test]
-    fn generated_programs_honor_static_counts(spec in arb_spec()) {
+/// Static branch counts are exact for arbitrary specs, and the program
+/// passes structural validation (checked inside `new`).
+#[test]
+fn generated_programs_honor_static_counts() {
+    check("generated_programs_honor_static_counts", config(), |g| {
+        let spec = arb_spec(g);
         let program = spec.build_program();
         prop_assert_eq!(program.static_conditional(), spec.static_conditional);
         prop_assert_eq!(program.static_indirect(), spec.static_indirect);
         prop_assert!(program.validate().is_ok());
-    }
+        Ok(())
+    });
+}
 
-    /// Execution is an infinite, deterministic, control-coherent walk:
-    /// each branch's pc lies in the block its predecessor jumped to.
-    #[test]
-    fn execution_is_coherent(spec in arb_spec()) {
+/// Execution is an infinite, deterministic, control-coherent walk: each
+/// branch's pc lies in the block its predecessor jumped to.
+#[test]
+fn execution_is_coherent() {
+    check("execution_is_coherent", config(), |g| {
+        let spec = arb_spec(g);
         let program = spec.build_program();
         let records: Vec<_> =
             Executor::new(&program, InputSet::Test, ExecutionLimits::default())
@@ -62,14 +64,20 @@ proptest! {
             }
             previous_target = Some(record.target().raw());
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Returns never outnumber calls at any prefix of the stream.
-    #[test]
-    fn call_return_discipline(spec in arb_spec()) {
+/// Returns never outnumber calls at any prefix of the stream.
+#[test]
+fn call_return_discipline() {
+    check("call_return_discipline", config(), |g| {
+        let spec = arb_spec(g);
         let program = spec.build_program();
         let mut depth: i64 = 0;
-        for record in Executor::new(&program, InputSet::Test, ExecutionLimits::default()).take(3_000) {
+        for record in
+            Executor::new(&program, InputSet::Test, ExecutionLimits::default()).take(3_000)
+        {
             match record.kind() {
                 BranchKind::Call => depth += 1,
                 BranchKind::Return => {
@@ -79,25 +87,36 @@ proptest! {
                 _ => {}
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Not-taken conditionals fall through; everything else is taken.
-    #[test]
-    fn taken_flags_are_consistent(spec in arb_spec()) {
+/// Not-taken conditionals fall through; everything else is taken.
+#[test]
+fn taken_flags_are_consistent() {
+    check("taken_flags_are_consistent", config(), |g| {
+        let spec = arb_spec(g);
         let program = spec.build_program();
-        for record in Executor::new(&program, InputSet::Test, ExecutionLimits::default()).take(2_000) {
+        for record in
+            Executor::new(&program, InputSet::Test, ExecutionLimits::default()).take(2_000)
+        {
             if record.kind() != BranchKind::Conditional {
                 prop_assert!(record.taken());
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// The same spec always generates bit-identical programs and traces.
-    #[test]
-    fn generation_and_execution_are_deterministic(spec in arb_spec()) {
+/// The same spec always generates bit-identical programs and traces.
+#[test]
+fn generation_and_execution_are_deterministic() {
+    check("generation_and_execution_are_deterministic", config(), |g| {
+        let spec = arb_spec(g);
         let a = spec.build_program();
         let b = spec.build_program();
         prop_assert_eq!(&a, &b);
         prop_assert_eq!(a.execute(InputSet::Profile, 500), b.execute(InputSet::Profile, 500));
-    }
+        Ok(())
+    });
 }

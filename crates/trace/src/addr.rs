@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
+use crate::json::{JsonValue, ToJson};
 
 /// A code address (branch PC or branch target).
 ///
@@ -27,9 +27,15 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(a.low_bits(16), 0x159e);
 /// assert_eq!(a.rotate_left_k(4, 16), 0x59e1);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Addr(u64);
+
+impl ToJson for Addr {
+    /// Addresses serialize transparently as their raw 64-bit value.
+    fn to_json(&self) -> JsonValue {
+        JsonValue::UInt(self.0)
+    }
+}
 
 impl Addr {
     /// The null address. Used as the fall-through target of a

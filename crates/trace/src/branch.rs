@@ -2,8 +2,7 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
+use crate::json::{JsonValue, ToJson};
 use crate::Addr;
 
 /// The kind of a control-transfer instruction.
@@ -18,7 +17,7 @@ use crate::Addr;
 /// * the Target History Buffer (§3.2) records the targets of conditional
 ///   and indirect branches but *not* unconditional branches, calls, or
 ///   returns.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BranchKind {
     /// A conditional direct branch (taken or not taken).
     Conditional,
@@ -96,6 +95,13 @@ impl fmt::Display for BranchKind {
     }
 }
 
+impl ToJson for BranchKind {
+    /// Kinds serialize as their short text-format name (`"cond"`, …).
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Str(self.name().to_string())
+    }
+}
+
 /// One executed control-transfer instruction.
 ///
 /// A record carries the branch PC, its kind, whether it was taken, and the
@@ -112,12 +118,23 @@ impl fmt::Display for BranchKind {
 /// assert!(r.taken());
 /// assert_eq!(r.target(), Addr::new(0x4100));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct BranchRecord {
     pc: Addr,
     target: Addr,
     kind: BranchKind,
     taken: bool,
+}
+
+impl ToJson for BranchRecord {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            ("pc".to_string(), self.pc.to_json()),
+            ("target".to_string(), self.target.to_json()),
+            ("kind".to_string(), self.kind.to_json()),
+            ("taken".to_string(), JsonValue::Bool(self.taken)),
+        ])
+    }
 }
 
 impl BranchRecord {

@@ -19,6 +19,8 @@
 //! * [`io`] — fixed-width binary and text serialization of traces.
 //! * [`compact`] — the delta/varint compact format for archives.
 //! * [`stats`] — static/dynamic branch demographics (the paper's Table 1).
+//! * [`json`] — a minimal hand-rolled JSON emitter/parser so reports can
+//!   be machine-readable without any registry dependency.
 //!
 //! ## Example
 //!
@@ -42,6 +44,7 @@ mod trace;
 
 pub mod compact;
 pub mod io;
+pub mod json;
 pub mod stats;
 
 pub use addr::Addr;

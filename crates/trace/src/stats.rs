@@ -7,12 +7,11 @@
 use std::collections::HashSet;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
+use crate::json::{JsonValue, ToJson};
 use crate::{BranchKind, Trace};
 
 /// Static/dynamic counts for one branch kind.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct KindCounts {
     /// Number of executed branches of this kind.
     pub dynamic: u64,
@@ -23,6 +22,16 @@ pub struct KindCounts {
 impl fmt::Display for KindCounts {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{} dynamic / {} static", self.dynamic, self.static_)
+    }
+}
+
+impl ToJson for KindCounts {
+    /// Emitted as `{"dynamic": …, "static": …}` (no trailing underscore).
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            ("dynamic".to_string(), self.dynamic.to_json()),
+            ("static".to_string(), self.static_.to_json()),
+        ])
     }
 }
 
@@ -43,7 +52,7 @@ impl fmt::Display for KindCounts {
 /// assert_eq!(stats.conditional.static_, 1);
 /// assert_eq!(stats.indirect.dynamic, 1);
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct TraceStats {
     /// Conditional branch counts.
     pub conditional: KindCounts,
@@ -108,6 +117,16 @@ impl TraceStats {
         }
     }
 }
+
+crate::impl_to_json!(TraceStats {
+    conditional,
+    indirect,
+    unconditional,
+    call,
+    ret,
+    total_dynamic,
+    taken_rate,
+});
 
 impl fmt::Display for TraceStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {

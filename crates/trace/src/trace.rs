@@ -3,8 +3,7 @@
 use std::fmt;
 use std::slice;
 
-use serde::{Deserialize, Serialize};
-
+use crate::json::{JsonValue, ToJson};
 use crate::{BranchKind, BranchRecord};
 
 /// An in-memory branch trace: the ordered sequence of control transfers a
@@ -26,9 +25,16 @@ use crate::{BranchKind, BranchRecord};
 /// assert_eq!(trace.conditionals().count(), 4);
 /// assert_eq!(trace.indirects().count(), 0);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Trace {
     records: Vec<BranchRecord>,
+}
+
+impl ToJson for Trace {
+    /// A trace serializes as the array of its records.
+    fn to_json(&self) -> JsonValue {
+        self.records.to_json()
+    }
 }
 
 impl Trace {

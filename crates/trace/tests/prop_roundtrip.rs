@@ -1,90 +1,124 @@
 //! Property tests: serialization round trips and stats invariants.
 
-use proptest::prelude::*;
+use vlpp_check::{check, prop_assert, prop_assert_eq, CheckConfig, Gen};
 use vlpp_trace::io as trace_io;
 use vlpp_trace::stats::TraceStats;
 use vlpp_trace::{Addr, BranchKind, BranchRecord, Trace};
 
-fn arb_kind() -> impl Strategy<Value = BranchKind> {
-    prop_oneof![
-        Just(BranchKind::Conditional),
-        Just(BranchKind::Indirect),
-        Just(BranchKind::Unconditional),
-        Just(BranchKind::Call),
-        Just(BranchKind::Return),
-    ]
+fn arb_kind(g: &mut Gen) -> BranchKind {
+    *g.choose(&[
+        BranchKind::Conditional,
+        BranchKind::Indirect,
+        BranchKind::Unconditional,
+        BranchKind::Call,
+        BranchKind::Return,
+    ])
 }
 
-prop_compose! {
-    fn arb_record()(kind in arb_kind(), pc in any::<u64>(), target in any::<u64>(), taken in any::<bool>()) -> BranchRecord {
-        let taken = if kind == BranchKind::Conditional { taken } else { true };
-        BranchRecord::new(Addr::new(pc), Addr::new(target), kind, taken)
-    }
+fn arb_record(g: &mut Gen) -> BranchRecord {
+    let kind = arb_kind(g);
+    let pc = g.u64();
+    let target = g.u64();
+    let taken = if kind == BranchKind::Conditional { g.bool() } else { true };
+    BranchRecord::new(Addr::new(pc), Addr::new(target), kind, taken)
 }
 
-fn arb_trace(max: usize) -> impl Strategy<Value = Trace> {
-    prop::collection::vec(arb_record(), 0..max).prop_map(Trace::from)
+fn arb_trace(g: &mut Gen, max_len: usize) -> Trace {
+    Trace::from(g.vec(0, max_len, arb_record))
 }
 
-proptest! {
-    #[test]
-    fn binary_round_trips(trace in arb_trace(200)) {
+#[test]
+fn binary_round_trips() {
+    check("binary_round_trips", CheckConfig::default(), |g| {
+        let trace = arb_trace(g, 200);
         let mut buf = Vec::new();
         trace_io::write_binary(&trace, &mut buf).unwrap();
         prop_assert_eq!(trace_io::read_binary(&buf[..]).unwrap(), trace);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn compact_round_trips(trace in arb_trace(200)) {
+#[test]
+fn compact_round_trips() {
+    check("compact_round_trips", CheckConfig::default(), |g| {
+        let trace = arb_trace(g, 200);
         let mut buf = Vec::new();
         vlpp_trace::compact::write_compact(&trace, &mut buf).unwrap();
         prop_assert_eq!(vlpp_trace::compact::read_compact(&buf[..]).unwrap(), trace);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn text_round_trips(trace in arb_trace(100)) {
+#[test]
+fn text_round_trips() {
+    check("text_round_trips", CheckConfig::default(), |g| {
+        let trace = arb_trace(g, 100);
         let text = trace_io::write_text(&trace);
         prop_assert_eq!(trace_io::read_text(&text).unwrap(), trace);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn binary_size_is_header_plus_records(trace in arb_trace(100)) {
+#[test]
+fn binary_size_is_header_plus_records() {
+    check("binary_size_is_header_plus_records", CheckConfig::default(), |g| {
+        let trace = arb_trace(g, 100);
         let mut buf = Vec::new();
         trace_io::write_binary(&trace, &mut buf).unwrap();
         prop_assert_eq!(buf.len(), 16 + 18 * trace.len());
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn stats_dynamic_counts_sum_to_total(trace in arb_trace(300)) {
+#[test]
+fn stats_dynamic_counts_sum_to_total() {
+    check("stats_dynamic_counts_sum_to_total", CheckConfig::default(), |g| {
+        let trace = arb_trace(g, 300);
         let s = TraceStats::from_trace(&trace);
         let sum: u64 = BranchKind::ALL.iter().map(|&k| s.kind(k).dynamic).sum();
         prop_assert_eq!(sum, s.total_dynamic);
         prop_assert_eq!(s.total_dynamic, trace.len() as u64);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn stats_static_never_exceeds_dynamic(trace in arb_trace(300)) {
+#[test]
+fn stats_static_never_exceeds_dynamic() {
+    check("stats_static_never_exceeds_dynamic", CheckConfig::default(), |g| {
+        let trace = arb_trace(g, 300);
         let s = TraceStats::from_trace(&trace);
         for kind in BranchKind::ALL {
             prop_assert!(s.kind(kind).static_ <= s.kind(kind).dynamic);
         }
         prop_assert!(s.taken_rate >= 0.0 && s.taken_rate <= 1.0);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn truncated_is_prefix(trace in arb_trace(100), n in 0usize..150) {
+#[test]
+fn truncated_is_prefix() {
+    check("truncated_is_prefix", CheckConfig::default(), |g| {
+        let trace = arb_trace(g, 100);
+        let n = g.range_usize(0, 149);
         let t = trace.truncated(n);
         prop_assert_eq!(t.records(), &trace.records()[..n.min(trace.len())]);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn addr_rotation_is_invertible(raw in any::<u64>(), amount in 0u32..64, k in 1u32..=64) {
+#[test]
+fn addr_rotation_is_invertible() {
+    check("addr_rotation_is_invertible", CheckConfig::default(), |g| {
+        let raw = g.u64();
+        let amount = g.range_u32(0, 63);
+        let k = g.range_u32(1, 64);
         let a = Addr::new(raw);
         let rotated = a.rotate_left_k(amount, k);
         // Rotating back right by `amount` (i.e. left by k - amount % k) restores.
         let back = vlpp_rotate_right(rotated, amount % k, k);
         prop_assert_eq!(back, a.low_bits(k));
-    }
+        Ok(())
+    });
 }
 
 fn vlpp_rotate_right(value: u64, amount: u32, k: u32) -> u64 {

@@ -1,0 +1,43 @@
+#!/usr/bin/env sh
+# Tier-1 verification: the workspace must build and test fully offline,
+# with no registry (crates.io) dependencies anywhere in the tree.
+#
+# Run from the repository root (or anywhere inside it):
+#   scripts/verify.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+# 1. Hermeticity gate: every [*dependencies] entry in every Cargo.toml
+#    must be an in-tree `path` / `workspace = true` dependency. A line
+#    that names a version (`foo = "1.0"` or `version = "..."`) is a
+#    registry dependency and fails the build.
+status=0
+for manifest in Cargo.toml crates/*/Cargo.toml; do
+    offenders=$(awk '
+        /^\[.*dependencies/ { in_deps = 1; next }
+        /^\[/               { in_deps = 0 }
+        in_deps && NF && $0 !~ /^[[:space:]]*#/ {
+            if ($0 !~ /path[[:space:]]*=/ && $0 !~ /workspace[[:space:]]*=[[:space:]]*true/) {
+                print
+            }
+        }
+    ' "$manifest")
+    if [ -n "$offenders" ]; then
+        echo "error: registry dependency in $manifest:" >&2
+        echo "$offenders" | sed 's/^/    /' >&2
+        status=1
+    fi
+done
+if [ "$status" -ne 0 ]; then
+    echo "error: all dependencies must be in-tree path dependencies" >&2
+    exit 1
+fi
+echo "ok: no registry dependencies"
+
+# 2. Build and test with the registry disabled. `--offline` makes cargo
+#    fail loudly if anything tries to reach crates.io.
+cargo build --release --offline
+cargo test -q --offline
+
+echo "ok: offline build + tests passed"

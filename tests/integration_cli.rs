@@ -42,10 +42,9 @@ fn headline_json_output_parses_and_is_consistent() {
     assert!(output.status.success());
     let text = String::from_utf8(output.stdout).expect("utf-8");
     let json_start = text.find('{').expect("JSON object in output");
-    let value: serde_json::Value =
-        serde_json::from_str(text[json_start..].trim()).expect("valid JSON");
-    let vlp = value["vlp_cond_4kb"].as_f64().expect("vlp rate");
-    let gshare = value["gshare_cond_4kb"].as_f64().expect("gshare rate");
+    let value = vlpp_trace::json::JsonValue::parse(text[json_start..].trim()).expect("valid JSON");
+    let vlp = value.get("vlp_cond_4kb").and_then(|v| v.as_f64()).expect("vlp rate");
+    let gshare = value.get("gshare_cond_4kb").and_then(|v| v.as_f64()).expect("gshare rate");
     assert!(vlp > 0.0 && vlp < 1.0);
     assert!(vlp < gshare, "VLP must beat gshare in the emitted JSON");
 }
