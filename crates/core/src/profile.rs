@@ -27,12 +27,11 @@
 use std::collections::HashMap;
 
 use vlpp_predict::{BranchObserver, ConditionalPredictor, IndirectPredictor};
-use vlpp_trace::{Addr, BranchKind, BranchRecord, Trace};
+use vlpp_trace::{Addr, BranchKind, Trace};
 
 use crate::hash::IncrementalHashers;
 use crate::path::{PathConditional, PathConfig, PathIndirect};
 use crate::select::HashAssignment;
-use crate::table::{CounterTable, TargetTable};
 
 /// Parameters of the profiling heuristic.
 ///
@@ -80,16 +79,21 @@ impl ProfileConfig {
     /// # Panics
     ///
     /// Panics if `hash_set` is empty, unsorted, or contains numbers
-    /// outside `1..=32`.
+    /// outside `1..=path.thb_capacity`. Hash number `X` reads the `X`
+    /// most recent THB targets, so a number above the THB capacity has
+    /// no defined meaning — older versions silently clamped it to the
+    /// capacity during step 1, which made two "different" hash functions
+    /// score as the same predictor.
     pub fn with_hash_set(mut self, hash_set: Vec<u8>) -> Self {
         assert!(!hash_set.is_empty(), "hash set must not be empty");
         assert!(
             hash_set.windows(2).all(|w| w[0] < w[1]),
             "hash set must be strictly increasing"
         );
+        let capacity = self.path.thb_capacity;
         assert!(
-            hash_set.iter().all(|&h| h >= 1 && h as usize <= crate::MAX_PATH_LENGTH),
-            "hash numbers must be in 1..=32"
+            hash_set.iter().all(|&h| h >= 1 && h as usize <= capacity),
+            "hash numbers must be in 1..={capacity} (the THB capacity); got {hash_set:?}"
         );
         self.hash_set = hash_set;
         self
@@ -206,7 +210,20 @@ struct BranchTally {
 
 impl ProfileBuilder {
     /// Creates a builder with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.hash_set` is empty or names a hash number above
+    /// `config.path.thb_capacity` (possible by mutating the public
+    /// fields directly; [`ProfileConfig::with_hash_set`] already rejects
+    /// both).
     pub fn new(config: ProfileConfig) -> Self {
+        assert!(!config.hash_set.is_empty(), "hash set must not be empty");
+        let capacity = config.path.thb_capacity;
+        assert!(
+            config.hash_set.iter().all(|&h| h >= 1 && h as usize <= capacity),
+            "hash numbers must be in 1..={capacity} (the THB capacity)"
+        );
         ProfileBuilder { config }
     }
 
@@ -236,7 +253,19 @@ impl ProfileBuilder {
     }
 
     /// Step 1: one private-table fixed-length predictor per hash number,
-    /// all simulated in a single pass.
+    /// all simulated in a single *fused* pass.
+    ///
+    /// This is the hottest loop in the repo (32 predictors × every
+    /// dynamic branch), so instead of 32 separately-allocated
+    /// [`CounterTable`](crate::CounterTable)s /
+    /// [`TargetTable`](crate::TargetTable)s and a per-hash `match` on
+    /// the population, the per-hash state lives in one contiguous
+    /// `[hash × index]` array (hash `hi`'s table occupies
+    /// `hi·2^k .. (hi+1)·2^k`) and the population dispatch is hoisted
+    /// out of the per-record work entirely. Each `(hash, index)` cell
+    /// sees exactly the predict/train sequence the per-table version
+    /// gave it, so the results are bit-identical — a property test
+    /// checks the fused kernel against the per-table reference.
     fn step1(
         &self,
         trace: &Trace,
@@ -246,57 +275,87 @@ impl ProfileBuilder {
         let k = cfg.path.index_bits;
         let capacity = cfg.path.thb_capacity;
         let n_hashes = cfg.hash_set.len();
+        let table_len = 1usize << k;
+        // Register slot of each configured hash number (0-based).
+        let slots: Vec<usize> = cfg.hash_set.iter().map(|&hash| hash as usize - 1).collect();
 
         let mut hashers = IncrementalHashers::new(capacity, k);
         let mut tallies: HashMap<u64, BranchTally> = HashMap::new();
-        let mut totals: Vec<HashStat> =
-            cfg.hash_set.iter().map(|&hash| HashStat { hash, predictions: 0, correct: 0 }).collect();
 
-        let mut counter_tables: Vec<CounterTable> = Vec::new();
-        let mut target_tables: Vec<TargetTable> = Vec::new();
         match population {
             Population::Conditional => {
-                counter_tables = (0..n_hashes).map(|_| CounterTable::new(k)).collect();
-            }
-            Population::Indirect => {
-                target_tables = (0..n_hashes).map(|_| TargetTable::new(k)).collect();
-            }
-        }
-
-        for record in trace.iter() {
-            if population.relevant(record) {
-                let tally = tallies
-                    .entry(record.pc().raw())
-                    .or_insert_with(|| BranchTally { correct: vec![0; n_hashes], executed: 0 });
-                tally.executed += 1;
-                for (hi, &hash) in cfg.hash_set.iter().enumerate() {
-                    let index = hashers.index((hash as usize).min(capacity));
-                    let correct = match population {
-                        Population::Conditional => {
-                            let taken = record.taken();
-                            let table = &mut counter_tables[hi];
-                            let prediction = table.predict(index);
-                            table.train(index, taken);
-                            prediction == taken
+                let mut counters =
+                    vec![vlpp_predict::Counter2::default(); n_hashes * table_len];
+                for record in trace.iter() {
+                    if record.is_conditional() {
+                        let taken = record.taken();
+                        let tally = tallies.entry(record.pc().raw()).or_insert_with(|| {
+                            BranchTally { correct: vec![0; n_hashes], executed: 0 }
+                        });
+                        tally.executed += 1;
+                        let indices = hashers.indices();
+                        for (hi, &slot) in slots.iter().enumerate() {
+                            let cell = hi * table_len + indices[slot] as usize;
+                            let counter = &mut counters[cell];
+                            if counter.predict_taken() == taken {
+                                tally.correct[hi] += 1;
+                            }
+                            counter.update(taken);
                         }
-                        Population::Indirect => {
-                            let table = &mut target_tables[hi];
-                            let prediction = table.predict(index, record.pc());
-                            table.train(index, record.target());
-                            prediction == record.target()
-                        }
-                    };
-                    totals[hi].predictions += 1;
-                    if correct {
-                        totals[hi].correct += 1;
-                        tally.correct[hi] += 1;
+                    }
+                    if record.enters_thb()
+                        || (cfg.path.store_returns && record.kind() == BranchKind::Return)
+                    {
+                        hashers.push(record.target());
                     }
                 }
             }
-            if record.enters_thb()
-                || (cfg.path.store_returns && record.kind() == BranchKind::Return)
-            {
-                hashers.push(record.target());
+            Population::Indirect => {
+                let mut low32 = vec![0u32; n_hashes * table_len];
+                let mut valid = vec![false; n_hashes * table_len];
+                for record in trace.iter() {
+                    if record.is_indirect() {
+                        let pc = record.pc();
+                        let target = record.target();
+                        let tally = tallies.entry(pc.raw()).or_insert_with(|| {
+                            BranchTally { correct: vec![0; n_hashes], executed: 0 }
+                        });
+                        tally.executed += 1;
+                        let indices = hashers.indices();
+                        for (hi, &slot) in slots.iter().enumerate() {
+                            let cell = hi * table_len + indices[slot] as usize;
+                            let prediction = if valid[cell] {
+                                pc.with_low32(low32[cell])
+                            } else {
+                                Addr::NULL
+                            };
+                            if prediction == target {
+                                tally.correct[hi] += 1;
+                            }
+                            low32[cell] = target.low32();
+                            valid[cell] = true;
+                        }
+                    }
+                    if record.enters_thb()
+                        || (cfg.path.store_returns && record.kind() == BranchKind::Return)
+                    {
+                        hashers.push(record.target());
+                    }
+                }
+            }
+        }
+
+        // Per-hash totals follow from the tallies: every relevant record
+        // produced one prediction per hash.
+        let executed: u64 = tallies.values().map(|t| t.executed as u64).sum();
+        let mut totals: Vec<HashStat> = cfg
+            .hash_set
+            .iter()
+            .map(|&hash| HashStat { hash, predictions: executed, correct: 0 })
+            .collect();
+        for tally in tallies.values() {
+            for (hi, &correct) in tally.correct.iter().enumerate() {
+                totals[hi].correct += correct as u64;
             }
         }
         (tallies, totals)
@@ -423,18 +482,10 @@ enum Population {
     Indirect,
 }
 
-impl Population {
-    fn relevant(self, record: &BranchRecord) -> bool {
-        match self {
-            Population::Conditional => record.is_conditional(),
-            Population::Indirect => record.is_indirect(),
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use vlpp_trace::BranchRecord;
 
     /// A workload with two conditional branches: one determined by the
     /// immediately preceding target (needs length 1) and one determined
@@ -479,6 +530,26 @@ mod tests {
 
     fn config() -> ProfileConfig {
         ProfileConfig::new(PathConfig::new(10)).with_hash_set((1..=8).collect())
+    }
+
+    #[test]
+    #[should_panic(expected = "THB capacity")]
+    fn hash_set_above_thb_capacity_is_rejected() {
+        // The default THB holds 32 targets, so hash number 33 would read
+        // history that does not exist; it used to be silently clamped.
+        ProfileConfig::new(PathConfig::new(10)).with_hash_set(vec![4, 33]);
+    }
+
+    #[test]
+    #[should_panic(expected = "THB capacity")]
+    fn hash_set_zero_is_rejected() {
+        ProfileConfig::new(PathConfig::new(10)).with_hash_set(vec![0, 1]);
+    }
+
+    #[test]
+    fn hash_set_at_capacity_is_accepted() {
+        let config = ProfileConfig::new(PathConfig::new(10)).with_hash_set(vec![1, 32]);
+        assert_eq!(config.hash_set, vec![1, 32]);
     }
 
     #[test]

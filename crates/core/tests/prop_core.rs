@@ -4,11 +4,11 @@ use std::collections::HashMap;
 
 use vlpp_check::{check, prop_assert, prop_assert_eq, CheckConfig};
 use vlpp_core::{
-    hash_path, HashAssignment, IncrementalHashers, PathConditional, PathConfig, ProfileBuilder,
-    ProfileConfig, Thb,
+    hash_path, CounterTable, HashAssignment, IncrementalHashers, PathConditional, PathConfig,
+    ProfileBuilder, ProfileConfig, TargetTable, Thb,
 };
 use vlpp_predict::{BranchObserver, ConditionalPredictor};
-use vlpp_trace::{Addr, BranchRecord, Trace};
+use vlpp_trace::{Addr, BranchKind, BranchRecord, Trace};
 
 /// The §4.1 partial-sum registers compute exactly the §3.3 hashes, for
 /// every index width, THB capacity, path length, and target stream.
@@ -147,6 +147,91 @@ fn profiling_respects_hash_set() {
         prop_assert_eq!(report.step1.len(), hash_set.len());
         Ok(())
     });
+}
+
+/// The fused step-1 kernel (one contiguous `[hash × index]` array, the
+/// population dispatch hoisted out of the trace loop) produces exactly
+/// the per-hash totals of the straightforward implementation it
+/// replaced: one separately-allocated [`CounterTable`]/[`TargetTable`]
+/// per configured hash number.
+#[test]
+fn fused_step1_matches_per_table_reference() {
+    check("fused_step1_matches_per_table_reference", CheckConfig::default(), |g| {
+        let trace = random_trace(g.u64(), 500);
+        let mut path = PathConfig::new(g.range_u32(2, 10));
+        path.thb_capacity = g.range_usize(1, 16);
+        // A random non-empty strictly-increasing subset of the valid
+        // hash numbers 1..=thb_capacity.
+        let mut hash_set: Vec<u8> =
+            (1..=path.thb_capacity as u8).filter(|_| g.below(2) == 0).collect();
+        if hash_set.is_empty() {
+            hash_set.push(g.range_u8(1, path.thb_capacity as u8));
+        }
+        let config = ProfileConfig::new(path.clone())
+            .with_hash_set(hash_set.clone())
+            .with_iterations(0);
+
+        let cond = ProfileBuilder::new(config.clone()).profile_conditional(&trace);
+        let cond_ref = reference_step1(&path, &hash_set, &trace, true);
+        let ind = ProfileBuilder::new(config).profile_indirect(&trace);
+        let ind_ref = reference_step1(&path, &hash_set, &trace, false);
+        for (report, reference) in [(&cond, &cond_ref), (&ind, &ind_ref)] {
+            prop_assert_eq!(report.step1.len(), reference.len());
+            for (got, want) in report.step1.iter().zip(reference.iter()) {
+                prop_assert_eq!(got.hash, want.0, "hash number order");
+                prop_assert_eq!(got.predictions, want.1, "predictions for hash {}", want.0);
+                prop_assert_eq!(got.correct, want.2, "correct for hash {}", want.0);
+            }
+        }
+        Ok(())
+    });
+}
+
+/// The pre-fusion step-1 implementation, reconstructed from the public
+/// per-table API: one private [`CounterTable`] (conditional) or
+/// [`TargetTable`] (indirect) per hash number, each predicting and
+/// training at its own hash index on every relevant record. Returns
+/// `(hash, predictions, correct)` per configured hash number.
+fn reference_step1(
+    path: &PathConfig,
+    hash_set: &[u8],
+    trace: &Trace,
+    conditional: bool,
+) -> Vec<(u8, u64, u64)> {
+    let mut hashers = IncrementalHashers::new(path.thb_capacity, path.index_bits);
+    let mut counters: Vec<CounterTable> =
+        hash_set.iter().map(|_| CounterTable::new(path.index_bits)).collect();
+    let mut targets: Vec<TargetTable> =
+        hash_set.iter().map(|_| TargetTable::new(path.index_bits)).collect();
+    let mut stats: Vec<(u8, u64, u64)> = hash_set.iter().map(|&h| (h, 0, 0)).collect();
+    for record in trace.iter() {
+        if conditional && record.is_conditional() {
+            let taken = record.taken();
+            for (hi, &hash) in hash_set.iter().enumerate() {
+                let index = hashers.index(hash as usize);
+                stats[hi].1 += 1;
+                if counters[hi].predict(index) == taken {
+                    stats[hi].2 += 1;
+                }
+                counters[hi].train(index, taken);
+            }
+        } else if !conditional && record.is_indirect() {
+            for (hi, &hash) in hash_set.iter().enumerate() {
+                let index = hashers.index(hash as usize);
+                stats[hi].1 += 1;
+                if targets[hi].predict(index, record.pc()) == record.target() {
+                    stats[hi].2 += 1;
+                }
+                targets[hi].train(index, record.target());
+            }
+        }
+        if record.enters_thb()
+            || (path.store_returns && record.kind() == BranchKind::Return)
+        {
+            hashers.push(record.target());
+        }
+    }
+    stats
 }
 
 /// A deterministic pseudo-random mixed trace.

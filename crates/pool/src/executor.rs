@@ -1,0 +1,387 @@
+//! The bounded work-queue executor.
+//!
+//! A [`Pool`] of `threads` is `threads − 1` long-lived workers plus the
+//! thread that calls [`Pool::map`]: the caller pushes its batch onto the
+//! shared queue, then *helps* — it pops and runs tasks from its own
+//! batch until every slot is filled. Nested maps (a task calling
+//! [`Pool::map`] again) therefore cost zero extra threads: the nested
+//! caller just becomes a helper for its own sub-batch, and the total
+//! thread count stays at the configured bound at any nesting depth.
+//!
+//! Helpers only run tasks from their *own* batch. This keeps a blocked
+//! computation from re-entering itself: if a helper could steal
+//! arbitrary work, a task that initializes a [`Memo`](crate::Memo) key
+//! could steal another task that waits on that same key — on the same
+//! stack — and deadlock. Idle *workers* take any task from any batch,
+//! so cross-batch parallelism is still fully exploited.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+use crate::lock;
+
+/// A type-erased unit of work. Tasks are only `'static` from the queue's
+/// point of view; [`Pool::map`] guarantees every task it pushes has run
+/// to completion before it returns, so the borrows erased in
+/// [`Pool::map`] never dangle.
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// One queued task, tagged with the batch that owns it so helping
+/// callers can pick out their own work.
+struct QueuedTask {
+    batch: usize,
+    task: Task,
+}
+
+/// State shared between the workers and every mapping caller.
+struct Shared {
+    queue: Mutex<VecDeque<QueuedTask>>,
+    /// Signalled when tasks are pushed or the pool shuts down.
+    task_ready: Condvar,
+    /// Monotonic batch-id source.
+    next_batch: AtomicUsize,
+    shutdown: AtomicBool,
+}
+
+/// Completion tracking for one `map` call's batch of `n` tasks.
+struct BatchState<R> {
+    /// `slots[i]` receives item `i`'s result (or its panic payload).
+    slots: Vec<Option<std::thread::Result<R>>>,
+    remaining: usize,
+}
+
+struct Batch<R> {
+    state: Mutex<BatchState<R>>,
+    /// Signalled when `remaining` reaches zero.
+    done: Condvar,
+}
+
+/// A bounded work-queue executor with order-preserving parallel map,
+/// panic propagation, and thread-free nesting.
+///
+/// # Example
+///
+/// ```
+/// use vlpp_pool::Pool;
+///
+/// let pool = Pool::new(4);
+/// let squares = pool.map(vec![1u64, 2, 3], |n| n * n);
+/// assert_eq!(squares, vec![1, 4, 9]);
+/// // Nested maps reuse the same four threads.
+/// let nested = pool.map(vec![10u64, 20], |base| {
+///     pool.map(vec![1u64, 2], |off| base + off)
+/// });
+/// assert_eq!(nested, vec![vec![11, 12], vec![21, 22]]);
+/// ```
+pub struct Pool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    threads: usize,
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool").field("threads", &self.threads).finish()
+    }
+}
+
+impl Pool {
+    /// Creates a pool that runs at most `threads` tasks concurrently
+    /// (`threads − 1` worker threads plus the mapping caller).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads >= 1, "a pool needs at least one thread");
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            task_ready: Condvar::new(),
+            next_batch: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+        });
+        let workers = (0..threads - 1)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        Pool { shared, workers, threads }
+    }
+
+    /// The process-wide pool, sized by `VLPP_THREADS` (default: the
+    /// machine's available parallelism). An unparseable or zero value
+    /// warns on stderr and falls back to the default.
+    pub fn global() -> &'static Pool {
+        static GLOBAL: OnceLock<Pool> = OnceLock::new();
+        GLOBAL.get_or_init(|| Pool::new(threads_from_env()))
+    }
+
+    /// The configured concurrency bound (workers + mapping caller).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Applies `work` to every item, in parallel, returning results in
+    /// input order.
+    ///
+    /// The calling thread participates: it runs tasks from this batch
+    /// while waiting, so a single-threaded pool degrades to an ordinary
+    /// sequential map and nested calls never spawn or deadlock.
+    ///
+    /// # Panics
+    ///
+    /// If one or more tasks panic, the panic of the lowest-indexed
+    /// failing item is re-raised on the caller (after the whole batch
+    /// has finished, so no result slot is ever abandoned mid-write).
+    pub fn map<T, R, F>(&self, items: Vec<T>, work: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        let n = items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        if n == 1 || self.threads == 1 {
+            // Nothing to distribute: run inline, panics propagate as-is.
+            return items.into_iter().map(work).collect();
+        }
+
+        let batch_id = self.shared.next_batch.fetch_add(1, Ordering::Relaxed);
+        let batch: Batch<R> = Batch {
+            state: Mutex::new(BatchState {
+                slots: (0..n).map(|_| None).collect(),
+                remaining: n,
+            }),
+            done: Condvar::new(),
+        };
+
+        {
+            let work = &work;
+            let batch = &batch;
+            let mut queue = lock(&self.shared.queue);
+            for (i, item) in items.into_iter().enumerate() {
+                let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                    let result = catch_unwind(AssertUnwindSafe(|| work(item)));
+                    let mut state = lock(&batch.state);
+                    state.slots[i] = Some(result);
+                    state.remaining -= 1;
+                    if state.remaining == 0 {
+                        batch.done.notify_all();
+                    }
+                });
+                // SAFETY: erases the borrows of `work`, `batch`, and the
+                // moved `item` to 'static so the task can sit in the
+                // shared queue. The help loop below does not return
+                // until `remaining == 0`, i.e. until every one of these
+                // tasks has finished running, so no borrow outlives this
+                // call frame. Panics inside `work` are caught above and
+                // still decrement `remaining`.
+                let task: Task = unsafe { std::mem::transmute(task) };
+                queue.push_back(QueuedTask { batch: batch_id, task });
+            }
+            self.shared.task_ready.notify_all();
+        }
+
+        // Help: run this batch's tasks until all slots are filled. Tasks
+        // already claimed by workers finish over there; `done` wakes us.
+        loop {
+            let own_task = {
+                let mut queue = lock(&self.shared.queue);
+                queue
+                    .iter()
+                    .position(|qt| qt.batch == batch_id)
+                    .and_then(|at| queue.remove(at))
+            };
+            match own_task {
+                Some(qt) => (qt.task)(),
+                None => {
+                    let state = lock(&batch.state);
+                    if state.remaining == 0 {
+                        break;
+                    }
+                    drop(batch.done.wait(state).unwrap_or_else(|e| e.into_inner()));
+                }
+            }
+        }
+
+        let state = batch.state.into_inner().unwrap_or_else(|e| e.into_inner());
+        let mut results = Vec::with_capacity(n);
+        let mut first_panic = None;
+        for slot in state.slots {
+            match slot.expect("a completed batch has every slot filled") {
+                Ok(result) => results.push(result),
+                Err(payload) => {
+                    if first_panic.is_none() {
+                        first_panic = Some(payload);
+                    }
+                }
+            }
+        }
+        if let Some(payload) = first_panic {
+            resume_unwind(payload);
+        }
+        results
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.task_ready.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let task = {
+            let mut queue = lock(&shared.queue);
+            loop {
+                if let Some(qt) = queue.pop_front() {
+                    break Some(qt.task);
+                }
+                if shared.shutdown.load(Ordering::Acquire) {
+                    break None;
+                }
+                queue = shared.task_ready.wait(queue).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        match task {
+            Some(task) => task(),
+            None => return,
+        }
+    }
+}
+
+/// Parses a `VLPP_THREADS`-style value: a positive integer, or `None`
+/// for anything unusable.
+pub(crate) fn parse_threads(value: &str) -> Option<usize> {
+    value.trim().parse().ok().filter(|&n| n >= 1)
+}
+
+fn threads_from_env() -> usize {
+    let default = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    match std::env::var("VLPP_THREADS") {
+        Err(_) => default,
+        Ok(raw) => parse_threads(&raw).unwrap_or_else(|| {
+            eprintln!(
+                "warning: ignoring invalid VLPP_THREADS=`{raw}` \
+                 (expected an integer >= 1); using {default}"
+            );
+            default
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn map_preserves_order() {
+        let pool = Pool::new(4);
+        let doubled = pool.map((0u64..100).collect(), |n| n * 2);
+        assert_eq!(doubled, (0u64..100).map(|n| n * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_runs_every_item_exactly_once() {
+        let pool = Pool::new(3);
+        let counter = AtomicU32::new(0);
+        let results = pool.map((0..57).collect::<Vec<u32>>(), |_| {
+            counter.fetch_add(1, Ordering::Relaxed)
+        });
+        assert_eq!(results.len(), 57);
+        assert_eq!(counter.load(Ordering::Relaxed), 57);
+    }
+
+    #[test]
+    fn single_threaded_pool_is_a_sequential_map() {
+        let pool = Pool::new(1);
+        assert_eq!(pool.threads(), 1);
+        let order = std::sync::Mutex::new(Vec::new());
+        pool.map(vec![1, 2, 3], |n| order.lock().unwrap().push(n));
+        assert_eq!(*order.lock().unwrap(), vec![1, 2, 3], "threads=1 runs in input order");
+    }
+
+    #[test]
+    fn empty_and_singleton_maps_work() {
+        let pool = Pool::new(4);
+        assert_eq!(pool.map(Vec::<u32>::new(), |n| n), Vec::<u32>::new());
+        assert_eq!(pool.map(vec![7], |n| n + 1), vec![8]);
+    }
+
+    #[test]
+    fn nested_maps_complete_without_extra_threads() {
+        let pool = Pool::new(2);
+        let grids = pool.map(vec![0u64, 10, 20, 30], |base| {
+            pool.map(vec![1u64, 2, 3], |off| {
+                pool.map(vec![100u64], |deep| base + off + deep)[0]
+            })
+        });
+        assert_eq!(grids[3], vec![131, 132, 133]);
+        assert_eq!(grids.len(), 4);
+    }
+
+    #[test]
+    fn panic_propagates_with_lowest_index_payload() {
+        let pool = Pool::new(4);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.map((0..16).collect::<Vec<u32>>(), |n| {
+                if n % 2 == 1 {
+                    panic!("boom at {n}");
+                }
+                n
+            })
+        }));
+        let payload = result.expect_err("a panicking task must fail the map");
+        let message = payload.downcast_ref::<String>().expect("panic message");
+        assert_eq!(message, "boom at 1", "the lowest failing index wins");
+    }
+
+    #[test]
+    fn pool_survives_a_panicked_batch() {
+        let pool = Pool::new(2);
+        let _ = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.map(vec![0], |_| panic!("first batch dies"))
+        }));
+        assert_eq!(pool.map(vec![1, 2], |n| n * 3), vec![3, 6]);
+    }
+
+    #[test]
+    fn results_identical_across_thread_counts() {
+        let work = |n: u64| -> u64 {
+            // Deterministic but order-sensitive-looking work.
+            (0..n % 997).fold(n, |acc, i| acc.wrapping_mul(31).wrapping_add(i))
+        };
+        let items: Vec<u64> = (0..200).map(|i| i * 7919).collect();
+        let one = Pool::new(1).map(items.clone(), work);
+        let eight = Pool::new(8).map(items, work);
+        assert_eq!(one, eight);
+    }
+
+    #[test]
+    fn parse_threads_accepts_positive_integers_only() {
+        assert_eq!(parse_threads("4"), Some(4));
+        assert_eq!(parse_threads(" 16 "), Some(16));
+        assert_eq!(parse_threads("0"), None);
+        assert_eq!(parse_threads("-2"), None);
+        assert_eq!(parse_threads("eight"), None);
+        assert_eq!(parse_threads(""), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_thread_pool_is_rejected() {
+        Pool::new(0);
+    }
+}

@@ -1,0 +1,49 @@
+//! # vlpp-pool — bounded deterministic execution for the experiment engine
+//!
+//! The experiment engine is embarrassingly parallel at three levels
+//! (experiments, benchmarks within an experiment, profile sweeps within
+//! a benchmark), and before this crate each level spawned its own
+//! unbounded `std::thread::scope` workers: a comparison worker that
+//! called into the Table-2 machinery would spawn 16 more threads, and a
+//! full `vlpp all` run oversubscribed the machine by an order of
+//! magnitude. This crate provides the one shared execution layer they
+//! all sit on now:
+//!
+//! * [`Pool`] — a bounded work-queue executor. Worker count comes from
+//!   `VLPP_THREADS` (invalid values warn and fall back to
+//!   `available_parallelism`). [`Pool::map`] preserves input order,
+//!   propagates panics, and lets the calling thread *help* execute its
+//!   own batch, so nested maps reuse the same bounded thread set
+//!   instead of spawning — total threads never exceed the configured
+//!   count, at any nesting depth.
+//! * [`Memo`] — a compute-once-per-key concurrent memo table. Two
+//!   threads that miss on the same key no longer both run a minutes-long
+//!   computation with one result thrown away: the first computes, the
+//!   second blocks and shares the winner's `Arc`. Distinct keys still
+//!   compute in parallel.
+//!
+//! Determinism: a `map`'s results are placed by input index and memoized
+//! values are computed by pure functions of their key, so every
+//! experiment output is byte-identical at any `VLPP_THREADS` setting —
+//! the integration suite asserts exactly that.
+//!
+//! Like `vlpp-check`, this crate has zero dependencies (not even on the
+//! rest of the workspace) so the tree keeps building offline.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod executor;
+mod memo;
+
+pub use executor::Pool;
+pub use memo::Memo;
+
+use std::sync::{Mutex, MutexGuard};
+
+/// Locks a mutex, ignoring poisoning: every critical section in this
+/// crate is a handful of panic-free bookkeeping statements, and user
+/// panics are caught before they can poison anything.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}

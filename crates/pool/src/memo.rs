@@ -1,0 +1,151 @@
+//! Compute-once-per-key concurrent memoization.
+//!
+//! The experiment engine's caches (traces, profile reports, Table-2
+//! fixed lengths) used to be check-then-insert maps: two workers that
+//! missed on the same key both ran the computation and the loser's
+//! result was thrown away. [`Memo`] closes that race — each key gets a
+//! [`OnceLock`] cell, so exactly one caller computes while concurrent
+//! callers for the *same* key block and share the winner's `Arc`, and
+//! callers for *different* keys compute in parallel.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::lock;
+
+/// A concurrent, compute-once-per-key memo table.
+///
+/// Values are returned as [`Arc`]s so large artifacts (multi-million
+/// branch traces, profile reports) are shared rather than cloned.
+///
+/// The map lock is held only to look up the key's cell, never during
+/// computation, so distinct keys never serialize each other. A
+/// computation must not recursively request its own key (the same
+/// constraint as [`OnceLock::get_or_init`]); if it panics, the cell is
+/// left empty and the next caller retries.
+///
+/// # Example
+///
+/// ```
+/// use vlpp_pool::Memo;
+///
+/// let memo: Memo<u32, String> = Memo::new();
+/// let a = memo.get_or_compute(7, || "seven".to_string());
+/// let b = memo.get_or_compute(7, || unreachable!("computed once"));
+/// assert!(std::sync::Arc::ptr_eq(&a, &b));
+/// ```
+pub struct Memo<K, V> {
+    cells: Mutex<HashMap<K, Arc<OnceLock<Arc<V>>>>>,
+}
+
+impl<K, V> std::fmt::Debug for Memo<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Memo").field("keys", &lock(&self.cells).len()).finish()
+    }
+}
+
+impl<K: Eq + Hash + Clone, V> Memo<K, V> {
+    /// Creates an empty memo table.
+    pub fn new() -> Self {
+        Memo { cells: Mutex::new(HashMap::new()) }
+    }
+
+    /// Returns the memoized value for `key`, computing it with `compute`
+    /// on the first request. Concurrent requests for the same key block
+    /// until the one computation finishes and then share its result.
+    pub fn get_or_compute(&self, key: K, compute: impl FnOnce() -> V) -> Arc<V> {
+        let cell = {
+            let mut cells = lock(&self.cells);
+            Arc::clone(cells.entry(key).or_default())
+        };
+        Arc::clone(cell.get_or_init(|| Arc::new(compute())))
+    }
+
+    /// The memoized value for `key`, if it has finished computing.
+    pub fn get(&self, key: &K) -> Option<Arc<V>> {
+        let cell = Arc::clone(lock(&self.cells).get(key)?);
+        cell.get().map(Arc::clone)
+    }
+
+    /// Number of keys with a finished value.
+    pub fn len(&self) -> usize {
+        lock(&self.cells).values().filter(|cell| cell.get().is_some()).count()
+    }
+
+    /// Whether no value has been computed yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<K: Eq + Hash + Clone, V> Default for Memo<K, V> {
+    fn default() -> Self {
+        Memo::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::Barrier;
+
+    #[test]
+    fn computes_each_key_exactly_once_under_contention() {
+        let memo: Memo<u32, u32> = Memo::new();
+        let computations = AtomicU32::new(0);
+        let barrier = Barrier::new(8);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    barrier.wait();
+                    for key in 0..16 {
+                        let value = memo.get_or_compute(key, || {
+                            computations.fetch_add(1, Ordering::Relaxed);
+                            // Widen the race window.
+                            std::thread::sleep(std::time::Duration::from_millis(1));
+                            key * 10
+                        });
+                        assert_eq!(*value, key * 10);
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            computations.load(Ordering::Relaxed),
+            16,
+            "every concurrent miss on a key must share one computation"
+        );
+        assert_eq!(memo.len(), 16);
+    }
+
+    #[test]
+    fn same_key_returns_the_same_arc() {
+        let memo: Memo<&'static str, Vec<u8>> = Memo::new();
+        let first = memo.get_or_compute("k", || vec![1, 2, 3]);
+        let second = memo.get_or_compute("k", || panic!("must not recompute"));
+        assert!(Arc::ptr_eq(&first, &second));
+    }
+
+    #[test]
+    fn panicked_computation_leaves_the_key_retryable() {
+        let memo: Memo<u8, u8> = Memo::new();
+        let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            memo.get_or_compute(1, || panic!("first try dies"))
+        }));
+        assert!(attempt.is_err());
+        assert_eq!(memo.get(&1), None);
+        assert_eq!(*memo.get_or_compute(1, || 42), 42);
+    }
+
+    #[test]
+    fn get_reports_only_finished_values() {
+        let memo: Memo<u8, u8> = Memo::new();
+        assert!(memo.is_empty());
+        assert_eq!(memo.get(&3), None);
+        memo.get_or_compute(3, || 9);
+        assert_eq!(memo.get(&3).as_deref(), Some(&9));
+        assert!(!memo.is_empty());
+    }
+}

@@ -43,7 +43,13 @@ experiments:
 options:
   --scale N  divide the paper's dynamic branch counts by N (default 16;
              also via VLPP_SCALE)
-  --json     emit JSON instead of text tables
+  --json     emit JSON instead of text tables; `all --json` emits one
+             object keyed by experiment id
+
+environment:
+  VLPP_SCALE    default for --scale (invalid values warn and fall back)
+  VLPP_THREADS  worker-pool size (default: available parallelism; output
+                is byte-identical at any thread count)
 ";
 
 fn main() -> ExitCode {
@@ -85,7 +91,8 @@ fn main() -> ExitCode {
     let workloads = Workloads::new(scale);
     eprintln!("# scale: 1/{} of paper dynamic counts", scale.divisor());
 
-    let ids: Vec<&str> = if experiment == "all" {
+    let all = experiment == "all";
+    let ids: Vec<&str> = if all {
         vec![
             "table1", "table2", "fig5", "fig6", "fig7", "fig8", "table3", "fig9", "fig10",
             "headline", "hfnt",
@@ -94,11 +101,23 @@ fn main() -> ExitCode {
         vec![experiment.as_str()]
     };
 
-    for id in ids {
-        match run_one(id, &workloads, json) {
-            Ok(output) => {
-                println!("== {id} ==");
-                println!("{output}");
+    // Experiments are independent; run them on the shared pool. Results
+    // come back in submission order, so output is deterministic at any
+    // thread count.
+    let outputs = vlpp_pool::Pool::global().map(ids.clone(), |id| run_one(id, &workloads));
+
+    let mut object = Vec::new();
+    for (id, output) in ids.iter().zip(outputs) {
+        match output {
+            Ok(Output { json: tree, text }) => {
+                if json && all {
+                    object.push((id.to_string(), tree));
+                } else if json {
+                    println!("{}", tree.pretty());
+                } else {
+                    println!("== {id} ==");
+                    println!("{text}");
+                }
             }
             Err(message) => {
                 eprintln!("{message}\n{USAGE}");
@@ -106,148 +125,147 @@ fn main() -> ExitCode {
             }
         }
     }
+    if json && all {
+        // One JSON object keyed by experiment id — parseable as a whole,
+        // unlike the old headers-interleaved-with-objects stream.
+        println!("{}", vlpp_trace::json::JsonValue::Object(object).pretty());
+    }
     ExitCode::SUCCESS
 }
 
-fn run_one(id: &str, workloads: &Workloads, json: bool) -> Result<String, String> {
-    fn emit<T: vlpp_trace::json::ToJson>(data: &T, table: TextTable, json: bool) -> String {
-        if json {
-            data.to_json_pretty()
-        } else {
-            table.render()
-        }
+/// One experiment's result, rendered both ways; the caller picks.
+struct Output {
+    json: vlpp_trace::json::JsonValue,
+    text: String,
+}
+
+fn run_one(id: &str, workloads: &Workloads) -> Result<Output, String> {
+    fn emit<T: vlpp_trace::json::ToJson>(data: &T, table: TextTable) -> Output {
+        Output { json: data.to_json(), text: table.render() }
     }
 
     Ok(match id {
         "table1" => {
             let rows = paper::table1(workloads);
-            emit(&rows, paper::Table1Row::render(&rows), json)
+            emit(&rows, paper::Table1Row::render(&rows))
         }
         "table2" => {
             let data = paper::table2(workloads);
-            emit(&data, data.render(), json)
+            emit(&data, data.render())
         }
         "table3" => {
             let rows = paper::table3(workloads);
-            emit(&rows, paper::render_table3(&rows), json)
+            emit(&rows, paper::render_table3(&rows))
         }
         "fig5" => {
             let rows = paper::figure5(workloads);
-            let mut output = emit(&rows, paper::CondRow::render(&rows), json);
-            if !json {
-                output.push_str(&format!(
-                    "mean VLP reduction vs gshare: {:.1}%\n",
-                    100.0 * paper::CondRow::mean_reduction_vs_gshare(&rows)
-                ));
-            }
+            let mut output = emit(&rows, paper::CondRow::render(&rows));
+            output.text.push_str(&format!(
+                "mean VLP reduction vs gshare: {:.1}%\n",
+                100.0 * paper::CondRow::mean_reduction_vs_gshare(&rows)
+            ));
             output
         }
         "fig6" => {
             let rows = paper::figure6(workloads);
-            let mut output = emit(&rows, paper::CondRow::render(&rows), json);
-            if !json {
-                output.push_str(&format!(
-                    "mean VLP reduction vs gshare: {:.1}%\n",
-                    100.0 * paper::CondRow::mean_reduction_vs_gshare(&rows)
-                ));
-            }
+            let mut output = emit(&rows, paper::CondRow::render(&rows));
+            output.text.push_str(&format!(
+                "mean VLP reduction vs gshare: {:.1}%\n",
+                100.0 * paper::CondRow::mean_reduction_vs_gshare(&rows)
+            ));
             output
         }
         "fig7" => {
             let rows = paper::figure7(workloads);
-            emit(&rows, paper::IndRow::render(&rows), json)
+            emit(&rows, paper::IndRow::render(&rows))
         }
         "fig8" => {
             let rows = paper::figure8(workloads);
-            emit(&rows, paper::IndRow::render(&rows), json)
+            emit(&rows, paper::IndRow::render(&rows))
         }
         "fig9" => {
             let points = paper::figure9(workloads);
-            let mut output = emit(&points, paper::GccCondPoint::render(&points), json);
-            if !json {
-                let mut chart = vlpp_sim::report::AsciiChart::new(
-                    points.iter().map(|p| vlpp_predict::Budget::from_bytes(p.bytes).to_string()).collect(),
-                );
-                chart.series('g', "gshare", points.iter().map(|p| p.gshare).collect());
-                chart.series('f', "fixed length path", points.iter().map(|p| p.fixed).collect());
-                chart.series('t', "fixed (tuned)", points.iter().map(|p| p.fixed_tuned).collect());
-                chart.series('v', "variable length path", points.iter().map(|p| p.variable).collect());
-                output.push('\n');
-                output.push_str(&chart.render(14));
-            }
+            let mut output = emit(&points, paper::GccCondPoint::render(&points));
+            let mut chart = vlpp_sim::report::AsciiChart::new(
+                points.iter().map(|p| vlpp_predict::Budget::from_bytes(p.bytes).to_string()).collect(),
+            );
+            chart.series('g', "gshare", points.iter().map(|p| p.gshare).collect());
+            chart.series('f', "fixed length path", points.iter().map(|p| p.fixed).collect());
+            chart.series('t', "fixed (tuned)", points.iter().map(|p| p.fixed_tuned).collect());
+            chart.series('v', "variable length path", points.iter().map(|p| p.variable).collect());
+            output.text.push('\n');
+            output.text.push_str(&chart.render(14));
             output
         }
         "fig10" => {
             let points = paper::figure10(workloads);
-            let mut output = emit(&points, paper::GccIndPoint::render(&points), json);
-            if !json {
-                let mut chart = vlpp_sim::report::AsciiChart::new(
-                    points.iter().map(|p| vlpp_predict::Budget::from_bytes(p.bytes).to_string()).collect(),
-                );
-                chart.series('p', "path (CHP)", points.iter().map(|p| p.path).collect());
-                chart.series('n', "pattern (CHP)", points.iter().map(|p| p.pattern).collect());
-                chart.series('f', "fixed length path", points.iter().map(|p| p.fixed).collect());
-                chart.series('v', "variable length path", points.iter().map(|p| p.variable).collect());
-                output.push('\n');
-                output.push_str(&chart.render(14));
-            }
+            let mut output = emit(&points, paper::GccIndPoint::render(&points));
+            let mut chart = vlpp_sim::report::AsciiChart::new(
+                points.iter().map(|p| vlpp_predict::Budget::from_bytes(p.bytes).to_string()).collect(),
+            );
+            chart.series('p', "path (CHP)", points.iter().map(|p| p.path).collect());
+            chart.series('n', "pattern (CHP)", points.iter().map(|p| p.pattern).collect());
+            chart.series('f', "fixed length path", points.iter().map(|p| p.fixed).collect());
+            chart.series('v', "variable length path", points.iter().map(|p| p.variable).collect());
+            output.text.push('\n');
+            output.text.push_str(&chart.render(14));
             output
         }
         "headline" => {
             let data = paper::headline(workloads);
-            emit(&data, data.render(), json)
+            emit(&data, data.render())
         }
         "hfnt" => {
             let rows = paper::hfnt_experiment(workloads);
-            emit(&rows, paper::HfntRow::render(&rows), json)
+            emit(&rows, paper::HfntRow::render(&rows))
         }
         "analyze" => {
             let rows = paper::analyze_gcc(workloads);
-            emit(&rows, paper::AnalysisRow::render(&rows), json)
+            emit(&rows, paper::AnalysisRow::render(&rows))
         }
         "lengths" => {
             let data = paper::length_histogram(workloads, "gcc");
-            emit(&data, data.render(), json)
+            emit(&data, data.render())
         }
         "ras" => {
             let rows = paper::ras_experiment(workloads);
-            emit(&rows, paper::RasRow::render(&rows), json)
+            emit(&rows, paper::RasRow::render(&rows))
         }
         "frontend" => {
             let rows = paper::frontend_experiment(workloads);
-            emit(&rows, paper::FrontendRow::render(&rows), json)
+            emit(&rows, paper::FrontendRow::render(&rows))
         }
         "related-cond" => {
             let rows = paper::related_conditional(workloads);
-            emit(&rows, paper::RelatedRow::render(&rows), json)
+            emit(&rows, paper::RelatedRow::render(&rows))
         }
         "related-ind" => {
             let rows = paper::related_indirect(workloads);
-            emit(&rows, paper::RelatedRow::render(&rows), json)
+            emit(&rows, paper::RelatedRow::render(&rows))
         }
         "ablate-hashes" => {
             let rows = paper::ablate_subset_hashes(workloads);
-            emit(&rows, paper::AblationRow::render(&rows), json)
+            emit(&rows, paper::AblationRow::render(&rows))
         }
         "ablate-select" => {
             let rows = paper::ablate_dynamic_select(workloads);
-            emit(&rows, paper::AblationRow::render(&rows), json)
+            emit(&rows, paper::AblationRow::render(&rows))
         }
         "ablate-returns" => {
             let rows = paper::ablate_returns(workloads);
-            emit(&rows, paper::AblationRow::render(&rows), json)
+            emit(&rows, paper::AblationRow::render(&rows))
         }
         "ablate-candidates" => {
             let rows = paper::ablate_candidates(workloads);
-            emit(&rows, paper::AblationRow::render(&rows), json)
+            emit(&rows, paper::AblationRow::render(&rows))
         }
         "ablate-interference" => {
             let rows = paper::ablate_interference(workloads);
-            emit(&rows, paper::AblationRow::render(&rows), json)
+            emit(&rows, paper::AblationRow::render(&rows))
         }
         "ablate-stack" => {
             let rows = paper::ablate_history_stack(workloads);
-            emit(&rows, paper::AblationRow::render(&rows), json)
+            emit(&rows, paper::AblationRow::render(&rows))
         }
         other => return Err(format!("unknown experiment `{other}`")),
     })

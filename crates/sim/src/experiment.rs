@@ -1,10 +1,15 @@
 //! Experiment context: workload scaling, trace construction, and cached
-//! cross-benchmark artifacts (profile reports, best fixed lengths).
+//! cross-benchmark artifacts (traces, profile reports, best fixed
+//! lengths).
+//!
+//! All caches are [`Memo`]s — compute-once-per-key and safe under the
+//! worker pool: two experiments that race on the same benchmark share
+//! one computation instead of both paying for it.
 
-use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 use vlpp_core::{PathConfig, ProfileBuilder, ProfileConfig, ProfileReport};
+use vlpp_pool::{Memo, Pool};
 use vlpp_synth::{suite, BenchmarkSpec, InputSet};
 use vlpp_trace::Trace;
 
@@ -32,13 +37,25 @@ impl Scale {
     }
 
     /// Reads `VLPP_SCALE` from the environment, falling back to the
-    /// default.
+    /// default. An unset variable is silently the default; a set-but-
+    /// invalid value (zero, negative, not a number) warns on stderr and
+    /// falls back rather than panicking — `VLPP_SCALE=0 vlpp headline`
+    /// must run, not abort.
     pub fn from_env() -> Self {
-        std::env::var("VLPP_SCALE")
-            .ok()
-            .and_then(|s| s.parse().ok())
-            .map(Scale::new)
-            .unwrap_or(Scale::DEFAULT)
+        match std::env::var("VLPP_SCALE") {
+            Err(_) => Scale::DEFAULT,
+            Ok(raw) => match raw.trim().parse::<u64>() {
+                Ok(divisor) if divisor >= 1 => Scale::new(divisor),
+                _ => {
+                    eprintln!(
+                        "warning: ignoring invalid VLPP_SCALE=`{raw}` (expected an \
+                         integer >= 1); using the default 1/{}",
+                        Scale::DEFAULT.divisor()
+                    );
+                    Scale::DEFAULT
+                }
+            },
+        }
     }
 
     /// The divisor.
@@ -79,15 +96,20 @@ pub enum Kind {
     Indirect,
 }
 
-/// The experiment context: builds traces on demand (they are too large
-/// to cache) and memoizes the small expensive artifacts — per-benchmark
-/// profile reports and the cross-benchmark best fixed path lengths of
-/// Table 2.
+/// The experiment context: memoizes every expensive artifact — the
+/// multi-million-branch traces themselves (Arc-shared, built once per
+/// `(benchmark, input set)` instead of once per experiment), the
+/// per-benchmark profile reports, and the cross-benchmark best fixed
+/// path lengths of Table 2.
+///
+/// Every cache is compute-once-per-key: concurrent experiments that
+/// miss on the same key block on one computation and share its result.
 #[derive(Debug)]
 pub struct Workloads {
     scale: Scale,
-    profiles: Mutex<HashMap<(String, Kind, u32), Arc<ProfileReport>>>,
-    fixed_lengths: Mutex<HashMap<(Kind, u32), u8>>,
+    traces: Memo<(String, InputSet), Trace>,
+    profiles: Memo<(String, Kind, u32), ProfileReport>,
+    fixed_lengths: Memo<(Kind, u32), u8>,
 }
 
 impl Workloads {
@@ -95,8 +117,9 @@ impl Workloads {
     pub fn new(scale: Scale) -> Self {
         Workloads {
             scale,
-            profiles: Mutex::new(HashMap::new()),
-            fixed_lengths: Mutex::new(HashMap::new()),
+            traces: Memo::new(),
+            profiles: Memo::new(),
+            fixed_lengths: Memo::new(),
         }
     }
 
@@ -105,16 +128,21 @@ impl Workloads {
         self.scale
     }
 
-    /// The measurement (test-input) trace for a benchmark.
-    pub fn test_trace(&self, spec: &BenchmarkSpec) -> Trace {
-        let program = spec.build_program();
-        program.execute_conditionals(InputSet::Test, self.scale.dynamic_conditionals(spec))
+    /// The measurement (test-input) trace for a benchmark. Memoized.
+    pub fn test_trace(&self, spec: &BenchmarkSpec) -> Arc<Trace> {
+        self.trace(spec, InputSet::Test)
     }
 
-    /// The profiling-input trace for a benchmark.
-    pub fn profile_trace(&self, spec: &BenchmarkSpec) -> Trace {
-        let program = spec.build_program();
-        program.execute_conditionals(InputSet::Profile, self.scale.dynamic_conditionals(spec))
+    /// The profiling-input trace for a benchmark. Memoized.
+    pub fn profile_trace(&self, spec: &BenchmarkSpec) -> Arc<Trace> {
+        self.trace(spec, InputSet::Profile)
+    }
+
+    fn trace(&self, spec: &BenchmarkSpec, input: InputSet) -> Arc<Trace> {
+        self.traces.get_or_compute((spec.name.clone(), input), || {
+            let program = spec.build_program();
+            program.execute_conditionals(input, self.scale.dynamic_conditionals(spec))
+        })
     }
 
     /// The §3.5 profile report for a benchmark's conditional branches at
@@ -130,18 +158,14 @@ impl Workloads {
     }
 
     fn profile(&self, spec: &BenchmarkSpec, kind: Kind, index_bits: u32) -> Arc<ProfileReport> {
-        let key = (spec.name.clone(), kind, index_bits);
-        if let Some(report) = self.profiles.lock().expect("profile cache").get(&key) {
-            return Arc::clone(report);
-        }
-        let trace = self.profile_trace(spec);
-        let builder = ProfileBuilder::new(ProfileConfig::new(PathConfig::new(index_bits)));
-        let report = Arc::new(match kind {
-            Kind::Conditional => builder.profile_conditional(&trace),
-            Kind::Indirect => builder.profile_indirect(&trace),
-        });
-        self.profiles.lock().expect("profile cache").insert(key, Arc::clone(&report));
-        report
+        self.profiles.get_or_compute((spec.name.clone(), kind, index_bits), || {
+            let trace = self.profile_trace(spec);
+            let builder = ProfileBuilder::new(ProfileConfig::new(PathConfig::new(index_bits)));
+            match kind {
+                Kind::Conditional => builder.profile_conditional(&trace),
+                Kind::Indirect => builder.profile_indirect(&trace),
+            }
+        })
     }
 
     /// The benchmark-averaged best fixed path length for conditional
@@ -161,50 +185,36 @@ impl Workloads {
     }
 
     fn best_fixed_length(&self, kind: Kind, index_bits: u32) -> u8 {
-        if let Some(&length) =
-            self.fixed_lengths.lock().expect("length cache").get(&(kind, index_bits))
-        {
-            return length;
-        }
-        // Average the per-length miss rates over all 16 benchmarks.
-        // Step 1 of the profiling heuristic *is* a sweep of every fixed
-        // length, so one iteration-free profile per benchmark suffices —
-        // and the benchmarks are independent, so they run on worker
-        // threads.
-        let reports: Vec<_> = std::thread::scope(|scope| {
-            let handles: Vec<_> = suite::all_benchmarks()
-                .into_iter()
-                .map(|spec| {
-                    scope.spawn(move || {
-                        let trace = self.profile_trace(&spec);
-                        let config =
-                            ProfileConfig::new(PathConfig::new(index_bits)).with_iterations(0);
-                        let builder = ProfileBuilder::new(config);
-                        match kind {
-                            Kind::Conditional => builder.profile_conditional(&trace),
-                            Kind::Indirect => builder.profile_indirect(&trace),
-                        }
-                    })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("profile worker panicked")).collect()
-        });
-        let mut sums = [0.0f64; vlpp_core::MAX_PATH_LENGTH];
-        let mut lengths: Vec<u8> = Vec::new();
-        for report in &reports {
-            if lengths.is_empty() {
-                lengths = report.step1.iter().map(|s| s.hash).collect();
+        *self.fixed_lengths.get_or_compute((kind, index_bits), || {
+            // Average the per-length miss rates over all 16 benchmarks.
+            // Step 1 of the profiling heuristic *is* a sweep of every
+            // fixed length, so one iteration-free profile per benchmark
+            // suffices — and the benchmarks are independent, so they run
+            // on the shared worker pool.
+            let reports = Pool::global().map(suite::all_benchmarks(), |spec| {
+                let trace = self.profile_trace(&spec);
+                let config = ProfileConfig::new(PathConfig::new(index_bits)).with_iterations(0);
+                let builder = ProfileBuilder::new(config);
+                match kind {
+                    Kind::Conditional => builder.profile_conditional(&trace),
+                    Kind::Indirect => builder.profile_indirect(&trace),
+                }
+            });
+            let mut sums = [0.0f64; vlpp_core::MAX_PATH_LENGTH];
+            let mut lengths: Vec<u8> = Vec::new();
+            for report in &reports {
+                if lengths.is_empty() {
+                    lengths = report.step1.iter().map(|s| s.hash).collect();
+                }
+                for (i, stat) in report.step1.iter().enumerate() {
+                    sums[i] += stat.miss_rate();
+                }
             }
-            for (i, stat) in report.step1.iter().enumerate() {
-                sums[i] += stat.miss_rate();
-            }
-        }
-        let best_index = (0..lengths.len())
-            .min_by(|&a, &b| sums[a].partial_cmp(&sums[b]).expect("finite rates"))
-            .expect("at least one length");
-        let length = lengths[best_index];
-        self.fixed_lengths.lock().expect("length cache").insert((kind, index_bits), length);
-        length
+            let best_index = (0..lengths.len())
+                .min_by(|&a, &b| sums[a].partial_cmp(&sums[b]).expect("finite rates"))
+                .expect("at least one length");
+            lengths[best_index]
+        })
     }
 }
 

@@ -64,8 +64,8 @@ pub fn conditional_comparison(
     let budget = Budget::from_bytes(bytes);
     let index_bits = budget.cond_index_bits();
     let fixed_length = workloads.best_fixed_conditional_length(index_bits);
-    // Benchmarks are independent: run them on worker threads (the
-    // Workloads caches are Mutex-guarded).
+    // Benchmarks are independent: run them on the shared pool (the
+    // Workloads caches are compute-once-per-key).
     run_parallel(names, |name| {
         let spec = suite::benchmark(name).unwrap_or_else(|| panic!("unknown benchmark {name}"));
         let test = workloads.test_trace(&spec);
@@ -90,16 +90,12 @@ pub fn conditional_comparison(
     })
 }
 
-/// Maps `names` to rows on scoped worker threads, preserving order.
+/// Maps `names` to rows on the shared worker pool, preserving order.
 pub(super) fn run_parallel<R: Send>(
     names: &[&str],
     work: impl Fn(&str) -> R + Sync,
 ) -> Vec<R> {
-    std::thread::scope(|scope| {
-        let handles: Vec<_> =
-            names.iter().map(|&name| scope.spawn(|| work(name))).collect();
-        handles.into_iter().map(|h| h.join().expect("benchmark worker panicked")).collect()
-    })
+    vlpp_pool::Pool::global().map(names.to_vec(), |name| work(name))
 }
 
 /// Runs the Figure 7/8 comparison (path and pattern target caches vs

@@ -1,7 +1,7 @@
 //! Tables 1–3 of the paper.
 
 use vlpp_predict::Budget;
-use vlpp_synth::{suite, InputSet};
+use vlpp_synth::suite;
 use vlpp_trace::stats::TraceStats;
 
 use crate::experiment::Workloads;
@@ -40,29 +40,16 @@ vlpp_trace::impl_to_json!(Table1Row {
 /// (they match the paper exactly by construction); this table reports
 /// the *executed* statics, as the paper's instrumentation did.
 pub fn table1(workloads: &Workloads) -> Vec<Table1Row> {
-    let specs = suite::all_benchmarks();
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = specs
-            .into_iter()
-            .map(|spec| {
-                scope.spawn(move || {
-                    let program = spec.build_program();
-                    let trace = program.execute_conditionals(
-                        InputSet::Test,
-                        workloads.scale().dynamic_conditionals(&spec),
-                    );
-                    let stats = TraceStats::from_trace(&trace);
-                    Table1Row {
-                        benchmark: spec.name.clone(),
-                        conditional_dynamic: stats.conditional.dynamic,
-                        conditional_static: stats.conditional.static_,
-                        indirect_dynamic: stats.indirect.dynamic,
-                        indirect_static: stats.indirect.static_,
-                    }
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("table1 worker panicked")).collect()
+    vlpp_pool::Pool::global().map(suite::all_benchmarks(), |spec| {
+        let trace = workloads.test_trace(&spec);
+        let stats = TraceStats::from_trace(&trace);
+        Table1Row {
+            benchmark: spec.name.clone(),
+            conditional_dynamic: stats.conditional.dynamic,
+            conditional_static: stats.conditional.static_,
+            indirect_dynamic: stats.indirect.dynamic,
+            indirect_static: stats.indirect.static_,
+        }
     })
 }
 

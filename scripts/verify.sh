@@ -41,3 +41,24 @@ cargo build --release --offline
 cargo test -q --offline
 
 echo "ok: offline build + tests passed"
+
+# 3. Thread-count determinism: experiment output must be byte-identical
+#    whatever the worker-pool size (run at the scale floor to keep this
+#    fast).
+VLPP="./target/release/vlpp"
+VLPP_THREADS=1 "$VLPP" all --json --scale 1000000 >/tmp/vlpp_verify_t1.json 2>/dev/null
+VLPP_THREADS=8 "$VLPP" all --json --scale 1000000 >/tmp/vlpp_verify_t8.json 2>/dev/null
+if ! cmp -s /tmp/vlpp_verify_t1.json /tmp/vlpp_verify_t8.json; then
+    echo "error: vlpp all --json differs between VLPP_THREADS=1 and 8" >&2
+    exit 1
+fi
+rm -f /tmp/vlpp_verify_t1.json /tmp/vlpp_verify_t8.json
+echo "ok: output is byte-identical at 1 and 8 worker threads"
+
+# 4. Wall-clock of the full experiment suite at the default scale, as a
+#    machine-readable BENCH line (same shape as the vlpp-check timer).
+start=$(date +%s%N)
+"$VLPP" all >/dev/null 2>&1
+end=$(date +%s%N)
+elapsed=$((end - start))
+echo "BENCH {\"bench\":\"vlpp_all_default_scale\",\"iters\":1,\"median_ns\":$elapsed,\"mad_ns\":0,\"min_ns\":$elapsed,\"max_ns\":$elapsed}"

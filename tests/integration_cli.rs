@@ -4,7 +4,11 @@
 use std::process::Command;
 
 fn vlpp() -> Command {
-    Command::new(env!("CARGO_BIN_EXE_vlpp"))
+    let mut command = Command::new(env!("CARGO_BIN_EXE_vlpp"));
+    // Isolate from the ambient environment so the knobs under test have
+    // known values.
+    command.env_remove("VLPP_SCALE").env_remove("VLPP_THREADS");
+    command
 }
 
 #[test]
@@ -63,6 +67,94 @@ fn missing_experiment_prints_usage() {
     let output = vlpp().output().expect("binary runs");
     assert!(!output.status.success());
     assert!(String::from_utf8_lossy(&output.stderr).contains("usage:"));
+}
+
+#[test]
+fn invalid_vlpp_scale_env_warns_and_falls_back() {
+    // Regression test: `VLPP_SCALE=0` used to panic inside
+    // `Scale::from_env` before a single experiment ran. It must warn on
+    // stderr and keep going.
+    let output = vlpp()
+        .env("VLPP_SCALE", "0")
+        .args(["headline", "--scale", "1000000"])
+        .output()
+        .expect("binary runs");
+    assert!(
+        output.status.success(),
+        "VLPP_SCALE=0 must not abort the run; stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stderr = String::from_utf8(output.stderr).expect("utf-8");
+    assert!(stderr.contains("VLPP_SCALE"), "must warn about the bad value:\n{stderr}");
+    assert!(String::from_utf8_lossy(&output.stdout).contains("== headline =="));
+}
+
+#[test]
+fn valid_vlpp_scale_env_is_used_without_warning() {
+    let output = vlpp()
+        .env("VLPP_SCALE", "1000000")
+        .arg("headline")
+        .output()
+        .expect("binary runs");
+    assert!(output.status.success());
+    let stderr = String::from_utf8(output.stderr).expect("utf-8");
+    assert!(stderr.contains("# scale: 1/1000000"), "env scale must apply:\n{stderr}");
+    assert!(!stderr.contains("warning"), "a valid value must not warn:\n{stderr}");
+}
+
+#[test]
+fn json_output_is_byte_identical_across_thread_counts() {
+    let run = |threads: &str| {
+        let output = vlpp()
+            .env("VLPP_THREADS", threads)
+            .args(["fig5", "--json", "--scale", "1000000"])
+            .output()
+            .expect("binary runs");
+        assert!(
+            output.status.success(),
+            "VLPP_THREADS={threads} stderr: {}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        output.stdout
+    };
+    assert_eq!(
+        run("1"),
+        run("8"),
+        "stdout must not depend on the worker-pool size"
+    );
+}
+
+#[test]
+fn all_json_emits_one_object_keyed_by_experiment() {
+    let output = vlpp()
+        .args(["all", "--json", "--scale", "1000000"])
+        .output()
+        .expect("binary runs");
+    assert!(output.status.success(), "stderr: {}", String::from_utf8_lossy(&output.stderr));
+    let text = String::from_utf8(output.stdout).expect("utf-8");
+    assert!(!text.contains("== "), "JSON mode must not interleave text headers:\n{text}");
+    // The whole stdout is one parseable object, keyed by experiment id
+    // in run order.
+    let value = vlpp_trace::json::JsonValue::parse(text.trim()).expect("valid JSON");
+    let keys: Vec<&str> = value
+        .as_object()
+        .expect("one object")
+        .iter()
+        .map(|(k, _)| k.as_str())
+        .collect();
+    assert_eq!(
+        keys,
+        [
+            "table1", "table2", "fig5", "fig6", "fig7", "fig8", "table3", "fig9", "fig10",
+            "headline", "hfnt"
+        ]
+    );
+    let vlp = value
+        .get("headline")
+        .and_then(|h| h.get("vlp_cond_4kb"))
+        .and_then(|v| v.as_f64())
+        .expect("headline payload nests under its id");
+    assert!(vlp > 0.0 && vlp < 1.0);
 }
 
 #[test]

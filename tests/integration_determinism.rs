@@ -9,7 +9,7 @@ use vlpp_synth::suite;
 use vlpp_trace::Trace;
 
 /// A small-but-real workload: gcc at the 50 K-conditional scale floor.
-fn gcc_trace() -> Trace {
+fn gcc_trace() -> std::sync::Arc<Trace> {
     let spec = suite::benchmark("gcc").expect("gcc is in the suite");
     Workloads::new(Scale::new(1_000_000)).test_trace(&spec)
 }
