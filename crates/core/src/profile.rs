@@ -345,6 +345,10 @@ impl ProfileBuilder {
             }
         }
 
+        // `core.profile.step1_records`: trace records scanned by the
+        // fused step-1 kernel, process-wide (see OBSERVABILITY.md).
+        vlpp_metrics::counter("core.profile.step1_records").add(trace.len() as u64);
+
         // Per-hash totals follow from the tallies: every relevant record
         // produced one prediction per hash.
         let executed: u64 = tallies.values().map(|t| t.executed as u64).sum();
@@ -412,7 +416,12 @@ impl ProfileBuilder {
                 .collect()
         };
 
+        // `core.profile.step2_iterations`: refinement simulations run,
+        // process-wide (see OBSERVABILITY.md).
+        let iterations = vlpp_metrics::counter("core.profile.step2_iterations");
+
         for _ in 0..cfg.iterations {
+            iterations.incr();
             let chosen = choose(&misses);
             let mut assignment = HashAssignment::fixed(default_hash);
             for (&pc, &ci) in &chosen {

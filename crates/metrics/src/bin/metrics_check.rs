@@ -1,0 +1,74 @@
+//! `vlpp-metrics-check` — validates a `METRICS {json}` line on stdin.
+//!
+//! Reads stdin, finds the first line starting with `METRICS ` (a bare
+//! JSON object is also accepted), parses the payload with the in-tree
+//! JSON parser, and checks the snapshot shape: a non-empty object whose
+//! `*_ns` histogram fields carry `count`/`sum_ns`/`buckets`. Exits 0
+//! and prints a one-line summary on success; exits 1 with a diagnostic
+//! otherwise. Used by `scripts/verify.sh` as the `--metrics` smoke
+//! gate.
+
+use std::io::Read;
+use std::process::ExitCode;
+
+use vlpp_trace::json::JsonValue;
+
+fn fail(message: &str) -> ExitCode {
+    eprintln!("vlpp-metrics-check: {message}");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut input = String::new();
+    if let Err(error) = std::io::stdin().read_to_string(&mut input) {
+        return fail(&format!("cannot read stdin: {error}"));
+    }
+
+    let Some(payload) = input
+        .lines()
+        .find_map(|line| line.strip_prefix("METRICS "))
+        .or_else(|| input.lines().find(|line| line.trim_start().starts_with('{')))
+    else {
+        return fail("no `METRICS {json}` line (and no JSON object) found on stdin");
+    };
+
+    let snapshot = match JsonValue::parse(payload.trim()) {
+        Ok(value) => value,
+        Err(error) => return fail(&format!("METRICS payload is not valid JSON: {error}")),
+    };
+    let Some(fields) = snapshot.as_object() else {
+        return fail("METRICS payload must be a JSON object");
+    };
+    if fields.is_empty() {
+        return fail("METRICS payload is an empty object — nothing was registered");
+    }
+
+    let mut histograms = 0usize;
+    for (name, value) in fields {
+        if !name.ends_with("_ns") {
+            continue;
+        }
+        histograms += 1;
+        for key in ["count", "sum_ns", "mean_ns", "buckets"] {
+            if value.get(key).is_none() {
+                return fail(&format!("histogram `{name}` is missing field `{key}`"));
+            }
+        }
+        let count = value.get("count").and_then(JsonValue::as_u64).unwrap_or(0);
+        let bucket_total: u64 = value
+            .get("buckets")
+            .and_then(JsonValue::as_array)
+            .map(|buckets| {
+                buckets.iter().filter_map(|b| b.at(1).and_then(JsonValue::as_u64)).sum()
+            })
+            .unwrap_or(0);
+        if bucket_total != count {
+            return fail(&format!(
+                "histogram `{name}`: bucket counts sum to {bucket_total}, count says {count}"
+            ));
+        }
+    }
+
+    println!("ok: METRICS line parses ({} metrics, {histograms} histograms)", fields.len());
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,345 @@
+//! The four instrument types: [`Counter`], [`Gauge`], [`Histogram`],
+//! and the RAII [`Span`] timer.
+//!
+//! Every instrument is a handful of atomics — no locks, no allocation
+//! after construction — so instrumented hot paths (the worker pool's
+//! task loop, the step-1 profiling kernel) pay one or two relaxed
+//! atomic RMW operations per event. Instruments are shared as [`Arc`]s
+//! handed out by the [`Registry`](crate::Registry); updating them never
+//! touches the registry again.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A monotonically increasing event count.
+///
+/// # Example
+///
+/// ```
+/// use vlpp_metrics::Counter;
+///
+/// let hits = Counter::new();
+/// hits.incr();
+/// hits.add(2);
+/// assert_eq!(hits.get(), 3);
+/// ```
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n` (wrapping on `u64` overflow, like `fetch_add`).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current count.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A sampled level (queue depth, cache size) that also tracks its
+/// high-water mark.
+///
+/// # Example
+///
+/// ```
+/// use vlpp_metrics::Gauge;
+///
+/// let depth = Gauge::new();
+/// depth.record(7);
+/// depth.record(3);
+/// assert_eq!(depth.get(), 3);
+/// assert_eq!(depth.high_water(), 7);
+/// ```
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+    high_water: AtomicU64,
+}
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Records the current level, updating the high-water mark.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.value.store(value, Ordering::Relaxed);
+        self.high_water.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// The most recently recorded level.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// The largest level ever recorded.
+    pub fn high_water(&self) -> u64 {
+        self.high_water.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets: one per bit length of a `u64` value,
+/// plus bucket 0 for the value zero.
+pub const BUCKET_COUNT: usize = 65;
+
+/// The bucket a value lands in: 0 for 0, otherwise `floor(log2(v)) + 1`
+/// (the value's bit length). Bucket boundaries are powers of two, so
+/// they are monotone by construction — see [`bucket_bounds`].
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+/// The inclusive `(low, high)` value range of a bucket: `(0, 0)` for
+/// bucket 0, `(2^(i-1), 2^i - 1)` for bucket `i ≥ 1` (bucket 64 tops
+/// out at `u64::MAX`).
+///
+/// # Panics
+///
+/// Panics if `index >= BUCKET_COUNT`.
+pub fn bucket_bounds(index: usize) -> (u64, u64) {
+    assert!(index < BUCKET_COUNT, "bucket index {index} out of range");
+    if index == 0 {
+        (0, 0)
+    } else {
+        let low = 1u64 << (index - 1);
+        let high = if index == 64 { u64::MAX } else { (1u64 << index) - 1 };
+        (low, high)
+    }
+}
+
+/// A log-bucketed distribution of `u64` samples — by convention
+/// durations in nanoseconds (histogram names end in `_ns`).
+///
+/// Buckets are powers of two ([`bucket_index`] / [`bucket_bounds`]), so
+/// recording is branch-free and lock-free: one `leading_zeros` plus
+/// three relaxed atomic adds. The total `sum` wraps on `u64` overflow
+/// (never relevant for nanosecond timings).
+///
+/// # Example
+///
+/// ```
+/// use vlpp_metrics::{bucket_index, Histogram};
+///
+/// let h = Histogram::new();
+/// h.record(0);
+/// h.record(100);
+/// h.record(100);
+/// assert_eq!(h.count(), 3);
+/// assert_eq!(h.sum(), 200);
+/// assert_eq!(h.bucket_count(bucket_index(100)), 2);
+/// ```
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: (0..BUCKET_COUNT).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Total number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples (wrapping).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Mean sample, or 0.0 if nothing was recorded.
+    pub fn mean(&self) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / count as f64
+        }
+    }
+
+    /// Samples recorded into bucket `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= BUCKET_COUNT`.
+    pub fn bucket_count(&self, index: usize) -> u64 {
+        self.buckets[index].load(Ordering::Relaxed)
+    }
+
+    /// The non-empty buckets as `(bucket_low_bound, count)` pairs, in
+    /// increasing bound order — the compact form the registry snapshot
+    /// emits.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        (0..BUCKET_COUNT)
+            .filter_map(|i| {
+                let count = self.bucket_count(i);
+                (count > 0).then(|| (bucket_bounds(i).0, count))
+            })
+            .collect()
+    }
+
+    /// The inclusive upper bound of the highest non-empty bucket — a
+    /// cheap "max sample was at most this" indicator. `None` if empty.
+    pub fn max_bucket_bound(&self) -> Option<u64> {
+        (0..BUCKET_COUNT)
+            .rev()
+            .find(|&i| self.bucket_count(i) > 0)
+            .map(|i| bucket_bounds(i).1)
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+/// An RAII timer: measures from construction to drop and records the
+/// elapsed nanoseconds into a [`Histogram`].
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use vlpp_metrics::{Histogram, Span};
+///
+/// let phase = Arc::new(Histogram::new());
+/// {
+///     let _span = Span::enter(Arc::clone(&phase));
+///     // ... timed work ...
+/// }
+/// assert_eq!(phase.count(), 1);
+/// ```
+#[derive(Debug)]
+pub struct Span {
+    histogram: Arc<Histogram>,
+    start: Instant,
+}
+
+impl Span {
+    /// Starts timing; the elapsed nanoseconds are recorded into
+    /// `histogram` when the span drops.
+    pub fn enter(histogram: Arc<Histogram>) -> Self {
+        Span { histogram, start: Instant::now() }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let elapsed = self.start.elapsed().as_nanos();
+        self.histogram.record(u64::try_from(elapsed).unwrap_or(u64::MAX));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let c = Counter::new();
+        assert_eq!(c.get(), 0);
+        c.incr();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+    }
+
+    #[test]
+    fn gauge_tracks_level_and_high_water() {
+        let g = Gauge::new();
+        assert_eq!((g.get(), g.high_water()), (0, 0));
+        g.record(9);
+        g.record(2);
+        assert_eq!(g.get(), 2);
+        assert_eq!(g.high_water(), 9);
+    }
+
+    #[test]
+    fn bucket_index_matches_bit_length() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn bucket_bounds_are_monotone_and_adjacent() {
+        let mut previous_high = None;
+        for i in 0..BUCKET_COUNT {
+            let (low, high) = bucket_bounds(i);
+            assert!(low <= high, "bucket {i}");
+            if let Some(previous) = previous_high {
+                assert_eq!(low, previous + 1, "bucket {i} must start after bucket {}", i - 1);
+            }
+            previous_high = Some(high);
+        }
+        assert_eq!(previous_high, Some(u64::MAX), "buckets must cover the whole u64 range");
+    }
+
+    #[test]
+    fn histogram_counts_sums_and_buckets() {
+        let h = Histogram::new();
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.max_bucket_bound(), None);
+        for v in [0u64, 1, 5, 5, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1011);
+        assert!((h.mean() - 202.2).abs() < 1e-9);
+        assert_eq!(h.bucket_count(bucket_index(5)), 2);
+        let total: u64 = (0..BUCKET_COUNT).map(|i| h.bucket_count(i)).sum();
+        assert_eq!(total, 5);
+        // 1000 has bit length 10 → bucket 10, upper bound 1023.
+        assert_eq!(h.max_bucket_bound(), Some(1023));
+        assert_eq!(h.nonzero_buckets().len(), 4, "0, 1, 5·2, 1000 → four buckets");
+    }
+
+    #[test]
+    fn span_records_on_drop() {
+        let h = Arc::new(Histogram::new());
+        {
+            let _span = Span::enter(Arc::clone(&h));
+            std::hint::black_box(());
+        }
+        assert_eq!(h.count(), 1);
+    }
+}

@@ -1,0 +1,66 @@
+//! # vlpp-metrics — in-tree observability for the vlpp workspace
+//!
+//! The paper argues its predictor is practical because its cost model
+//! is visible (§4: O(1) incremental hash evaluation, one table, an
+//! HFNT). This crate makes the *reproduction's* cost model visible the
+//! same way: every layer of the stack reports into one process-wide
+//! [`Registry`] of lock-free instruments, and `vlpp <cmd> --metrics`
+//! snapshots it as a machine-readable record (see `OBSERVABILITY.md` at
+//! the repository root for the full metric catalog).
+//!
+//! Four instrument types cover everything the stack needs:
+//!
+//! * [`Counter`] — monotone event count (tasks run, memo hits,
+//!   profiled records);
+//! * [`Gauge`] — sampled level with a high-water mark (work-queue
+//!   depth);
+//! * [`Histogram`] — log-bucketed distribution, by convention of
+//!   nanosecond durations (names end `_ns`); buckets are powers of two
+//!   ([`bucket_index`] / [`bucket_bounds`]);
+//! * [`Span`] — RAII timer recording its elapsed nanoseconds into a
+//!   histogram on drop.
+//!
+//! All instruments are a few relaxed atomics — safe to update from the
+//! worker pool's hottest loops — and are shared `Arc`s handed out by
+//! get-or-register accessors, so instrumented code never needs setup:
+//!
+//! ```
+//! // Modules report with one line (process-wide registry):
+//! vlpp_metrics::counter("demo.lib.events").incr();
+//! let _span = vlpp_metrics::span("demo.lib.phase_ns"); // records on drop
+//! ```
+//!
+//! Snapshots go through `vlpp_trace::json::JsonValue` (the workspace's
+//! dependency-free JSON tree), with sorted keys:
+//!
+//! ```
+//! use vlpp_metrics::Registry;
+//!
+//! let registry = Registry::new();
+//! registry.counter("requests").add(2);
+//! assert_eq!(
+//!     registry.snapshot().to_string(),
+//!     r#"{"requests":2}"#
+//! );
+//! ```
+//!
+//! ## Determinism
+//!
+//! Metrics carry wall-clock timings and scheduling-dependent counts, so
+//! they are *never* mixed into experiment output: the CLI emits them on
+//! stderr (pretty table) and as a separate `METRICS {json}` stdout line
+//! that the determinism diff strips. `vlpp all --json` remains
+//! byte-identical at any `VLPP_THREADS` with or without `--metrics` —
+//! an integration test asserts exactly that.
+//!
+//! Like every crate in the workspace, this one depends only on in-tree
+//! crates (`vlpp-trace` for the JSON tree) and builds offline.
+
+#![deny(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod instruments;
+mod registry;
+
+pub use instruments::{bucket_bounds, bucket_index, Counter, Gauge, Histogram, Span, BUCKET_COUNT};
+pub use registry::{counter, gauge, histogram, span, Registry};

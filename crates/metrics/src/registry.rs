@@ -1,0 +1,348 @@
+//! The process-wide instrument registry and its snapshot/render forms.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use vlpp_trace::json::JsonValue;
+
+use crate::instruments::{Counter, Gauge, Histogram, Span};
+
+/// One registered instrument.
+enum Instrument {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Instrument {
+    fn kind(&self) -> &'static str {
+        match self {
+            Instrument::Counter(_) => "counter",
+            Instrument::Gauge(_) => "gauge",
+            Instrument::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A named collection of instruments that can be snapshotted as one
+/// JSON object.
+///
+/// Instrument accessors are *get-or-register*: the first call for a
+/// name creates the instrument, later calls return the same [`Arc`], so
+/// any module can say `vlpp_metrics::counter("pool.tasks.helped")` and
+/// land on the shared process-wide instance. Names are sorted
+/// (`BTreeMap`), so snapshot field order is deterministic for a given
+/// set of registered instruments.
+///
+/// Most code uses the process-wide [`Registry::global`] through the
+/// module-level shorthands [`counter`], [`gauge`], [`histogram`], and
+/// [`span`]; tests that need isolation create their own with
+/// [`Registry::new`].
+///
+/// # Example
+///
+/// ```
+/// use vlpp_metrics::Registry;
+///
+/// let registry = Registry::new();
+/// registry.counter("demo.events").add(3);
+/// registry.gauge("demo.depth").record(7);
+/// {
+///     let _span = registry.span("demo.phase_ns");
+/// }
+/// let snapshot = registry.snapshot();
+/// assert_eq!(snapshot.get("demo.events").and_then(|v| v.as_u64()), Some(3));
+/// let depth = snapshot.get("demo.depth").unwrap();
+/// assert_eq!(depth.get("high_water").and_then(|v| v.as_u64()), Some(7));
+/// let phase = snapshot.get("demo.phase_ns").unwrap();
+/// assert_eq!(phase.get("count").and_then(|v| v.as_u64()), Some(1));
+/// ```
+#[derive(Default)]
+pub struct Registry {
+    instruments: Mutex<BTreeMap<String, Instrument>>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry").field("instruments", &self.lock().len()).finish()
+    }
+}
+
+impl Registry {
+    /// Creates an empty registry (for tests; production code shares
+    /// [`Registry::global`]).
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The process-wide registry every instrumented crate reports into.
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::new)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Instrument>> {
+        // Registration bodies are panic-free bookkeeping; ignore poison.
+        self.instruments.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// The counter registered under `name`, creating it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different kind.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut instruments = self.lock();
+        match instruments
+            .entry(name.to_string())
+            .or_insert_with(|| Instrument::Counter(Arc::new(Counter::new())))
+        {
+            Instrument::Counter(counter) => Arc::clone(counter),
+            other => panic!("metric `{name}` is a {}, not a counter", other.kind()),
+        }
+    }
+
+    /// The gauge registered under `name`, creating it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different kind.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut instruments = self.lock();
+        match instruments
+            .entry(name.to_string())
+            .or_insert_with(|| Instrument::Gauge(Arc::new(Gauge::new())))
+        {
+            Instrument::Gauge(gauge) => Arc::clone(gauge),
+            other => panic!("metric `{name}` is a {}, not a gauge", other.kind()),
+        }
+    }
+
+    /// The histogram registered under `name`, creating it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different kind.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut instruments = self.lock();
+        match instruments
+            .entry(name.to_string())
+            .or_insert_with(|| Instrument::Histogram(Arc::new(Histogram::new())))
+        {
+            Instrument::Histogram(histogram) => Arc::clone(histogram),
+            other => panic!("metric `{name}` is a {}, not a histogram", other.kind()),
+        }
+    }
+
+    /// Starts an RAII timing span recording into the histogram `name`
+    /// (created on first use) when dropped.
+    pub fn span(&self, name: &str) -> Span {
+        Span::enter(self.histogram(name))
+    }
+
+    /// Number of registered instruments.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether nothing has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// One JSON object with a field per instrument, keys in sorted
+    /// order. Counters emit as integers; gauges as
+    /// `{"value","high_water"}`; histograms as
+    /// `{"count","sum_ns","mean_ns","buckets":[[bucket_low,count],…]}`.
+    pub fn snapshot(&self) -> JsonValue {
+        let instruments = self.lock();
+        let fields = instruments
+            .iter()
+            .map(|(name, instrument)| {
+                let value = match instrument {
+                    Instrument::Counter(c) => JsonValue::UInt(c.get()),
+                    Instrument::Gauge(g) => JsonValue::Object(vec![
+                        ("value".to_string(), JsonValue::UInt(g.get())),
+                        ("high_water".to_string(), JsonValue::UInt(g.high_water())),
+                    ]),
+                    Instrument::Histogram(h) => JsonValue::Object(vec![
+                        ("count".to_string(), JsonValue::UInt(h.count())),
+                        ("sum_ns".to_string(), JsonValue::UInt(h.sum())),
+                        ("mean_ns".to_string(), JsonValue::Float(h.mean())),
+                        (
+                            "buckets".to_string(),
+                            JsonValue::Array(
+                                h.nonzero_buckets()
+                                    .into_iter()
+                                    .map(|(low, count)| {
+                                        JsonValue::Array(vec![
+                                            JsonValue::UInt(low),
+                                            JsonValue::UInt(count),
+                                        ])
+                                    })
+                                    .collect(),
+                            ),
+                        ),
+                    ]),
+                };
+                (name.clone(), value)
+            })
+            .collect();
+        JsonValue::Object(fields)
+    }
+
+    /// A human-readable table (one line per instrument, sorted by
+    /// name) — what `vlpp <cmd> --metrics` prints to stderr.
+    pub fn render_table(&self) -> String {
+        let instruments = self.lock();
+        let width = instruments.keys().map(|name| name.len()).max().unwrap_or(6).max(6);
+        let mut out = String::new();
+        out.push_str(&format!("{:<width$}  value\n", "metric"));
+        for (name, instrument) in instruments.iter() {
+            let rendered = match instrument {
+                Instrument::Counter(c) => format!("{}", c.get()),
+                Instrument::Gauge(g) => {
+                    format!("value={} high_water={}", g.get(), g.high_water())
+                }
+                Instrument::Histogram(h) => {
+                    let max = h
+                        .max_bucket_bound()
+                        .map(|bound| format!(" max<={}", format_ns(bound)))
+                        .unwrap_or_default();
+                    format!(
+                        "count={} sum={} mean={}{max}",
+                        h.count(),
+                        format_ns(h.sum()),
+                        format_ns(h.mean() as u64),
+                    )
+                }
+            };
+            out.push_str(&format!("{name:<width$}  {rendered}\n"));
+        }
+        out
+    }
+}
+
+/// Renders a nanosecond quantity with a readable unit (`ns`, `us`,
+/// `ms`, `s`).
+fn format_ns(ns: u64) -> String {
+    match ns {
+        0..=999 => format!("{ns}ns"),
+        1_000..=999_999 => format!("{:.1}us", ns as f64 / 1e3),
+        1_000_000..=999_999_999 => format!("{:.1}ms", ns as f64 / 1e6),
+        _ => format!("{:.2}s", ns as f64 / 1e9),
+    }
+}
+
+/// The counter `name` in the process-wide registry ([`Registry::global`]).
+pub fn counter(name: &str) -> Arc<Counter> {
+    Registry::global().counter(name)
+}
+
+/// The gauge `name` in the process-wide registry.
+pub fn gauge(name: &str) -> Arc<Gauge> {
+    Registry::global().gauge(name)
+}
+
+/// The histogram `name` in the process-wide registry.
+pub fn histogram(name: &str) -> Arc<Histogram> {
+    Registry::global().histogram(name)
+}
+
+/// An RAII span timing into the process-wide histogram `name`.
+pub fn span(name: &str) -> Span {
+    Registry::global().span(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_register_returns_the_same_instrument() {
+        let registry = Registry::new();
+        let a = registry.counter("x");
+        let b = registry.counter("x");
+        a.incr();
+        assert_eq!(b.get(), 1);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(registry.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a gauge")]
+    fn kind_mismatch_panics() {
+        let registry = Registry::new();
+        registry.counter("x");
+        registry.gauge("x");
+    }
+
+    #[test]
+    fn snapshot_keys_are_sorted_and_typed() {
+        let registry = Registry::new();
+        registry.counter("z.count").add(5);
+        registry.gauge("a.depth").record(2);
+        registry.histogram("m.time_ns").record(1500);
+        let snapshot = registry.snapshot();
+        let keys: Vec<&str> =
+            snapshot.as_object().unwrap().iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, ["a.depth", "m.time_ns", "z.count"]);
+        assert_eq!(snapshot.get("z.count").unwrap().as_u64(), Some(5));
+        let histogram = snapshot.get("m.time_ns").unwrap();
+        assert_eq!(histogram.get("count").unwrap().as_u64(), Some(1));
+        assert_eq!(histogram.get("sum_ns").unwrap().as_u64(), Some(1500));
+        let buckets = histogram.get("buckets").unwrap().as_array().unwrap();
+        assert_eq!(buckets.len(), 1);
+        // 1500 has bit length 11 → bucket low bound 1024.
+        assert_eq!(buckets[0].at(0).unwrap().as_u64(), Some(1024));
+        assert_eq!(buckets[0].at(1).unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_the_parser() {
+        let registry = Registry::new();
+        registry.counter("events").add(3);
+        registry.histogram("t_ns").record(42);
+        let text = registry.snapshot().to_string();
+        let back = JsonValue::parse(&text).expect("snapshot must be valid JSON");
+        assert_eq!(back, registry.snapshot());
+    }
+
+    #[test]
+    fn span_shorthand_records_into_named_histogram() {
+        let registry = Registry::new();
+        {
+            let _span = registry.span("phase_ns");
+        }
+        assert_eq!(registry.histogram("phase_ns").count(), 1);
+    }
+
+    #[test]
+    fn table_lists_every_instrument() {
+        let registry = Registry::new();
+        registry.counter("pool.tasks").add(10);
+        registry.gauge("pool.queue").record(4);
+        registry.histogram("sim.run_ns").record(2_000_000);
+        let table = registry.render_table();
+        assert!(table.starts_with("metric"));
+        assert!(table.contains("pool.tasks"));
+        assert!(table.contains("value=4 high_water=4"));
+        assert!(table.contains("count=1"));
+        assert!(table.contains("2.0ms"), "{table}");
+    }
+
+    #[test]
+    fn format_ns_picks_units() {
+        assert_eq!(format_ns(17), "17ns");
+        assert_eq!(format_ns(1_500), "1.5us");
+        assert_eq!(format_ns(2_000_000), "2.0ms");
+        assert_eq!(format_ns(3_210_000_000), "3.21s");
+    }
+
+    #[test]
+    fn global_registry_is_shared() {
+        counter("vlpp_metrics.test.global").add(2);
+        assert_eq!(Registry::global().counter("vlpp_metrics.test.global").get(), 2);
+        assert!(!Registry::global().is_empty());
+    }
+}

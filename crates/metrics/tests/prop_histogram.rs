@@ -1,0 +1,89 @@
+//! Property tests for the log-bucketed [`Histogram`] and its bucket
+//! boundary function.
+
+use vlpp_check::{check, prop_assert, prop_assert_eq, CheckConfig};
+use vlpp_metrics::{bucket_bounds, bucket_index, Histogram, BUCKET_COUNT};
+
+/// Bucket boundaries are monotone, adjacent, and cover all of `u64`:
+/// bucket 0 is exactly `{0}`, each later bucket starts one past the
+/// previous bucket's end, and the last bucket ends at `u64::MAX`.
+#[test]
+fn bucket_bounds_are_monotone_and_cover_u64() {
+    let (low0, high0) = bucket_bounds(0);
+    assert_eq!((low0, high0), (0, 0));
+    let mut previous_high = high0;
+    for index in 1..BUCKET_COUNT {
+        let (low, high) = bucket_bounds(index);
+        assert_eq!(low, previous_high + 1, "bucket {index} must start where {} ended", index - 1);
+        assert!(low <= high, "bucket {index} bounds must be ordered");
+        previous_high = high;
+    }
+    assert_eq!(previous_high, u64::MAX);
+}
+
+/// Every value lands in the bucket whose bounds contain it.
+#[test]
+fn values_land_inside_their_buckets() {
+    check("values_land_inside_their_buckets", CheckConfig::default(), |g| {
+        // Mix uniform draws with small values and powers of two, so the
+        // boundary cases (0, 1, 2^i − 1, 2^i) are actually exercised.
+        let value = match g.below(4) {
+            0 => g.u64(),
+            1 => g.below(16),
+            2 => 1u64 << g.range_u32(0, 63),
+            _ => (1u64 << g.range_u32(0, 63)).wrapping_sub(1),
+        };
+        let index = bucket_index(value);
+        prop_assert!(index < BUCKET_COUNT, "index {} out of range", index);
+        let (low, high) = bucket_bounds(index);
+        prop_assert!(
+            low <= value && value <= high,
+            "value {} outside bucket {} bounds [{}, {}]",
+            value,
+            index,
+            low,
+            high
+        );
+        Ok(())
+    });
+}
+
+/// After any sequence of inserts: `count` equals the number of inserts,
+/// `sum` equals the wrapping sum of the values, per-bucket counts add up
+/// to `count`, and every nonzero bucket's low bound is at most the
+/// largest inserted value.
+#[test]
+fn histogram_count_and_sum_invariants() {
+    check("histogram_count_and_sum_invariants", CheckConfig::default(), |g| {
+        let values = g.vec(0, 200, |g| match g.below(3) {
+            0 => g.u64(),
+            1 => g.below(1_000_000),
+            _ => g.below(2),
+        });
+        let histogram = Histogram::new();
+        let mut expected_sum = 0u64;
+        for &value in &values {
+            histogram.record(value);
+            expected_sum = expected_sum.wrapping_add(value);
+        }
+        prop_assert_eq!(histogram.count(), values.len() as u64);
+        prop_assert_eq!(histogram.sum(), expected_sum);
+        let bucket_total: u64 = (0..BUCKET_COUNT).map(|i| histogram.bucket_count(i)).sum();
+        prop_assert_eq!(bucket_total, histogram.count(), "bucket counts must sum to count");
+        if let Some(&max) = values.iter().max() {
+            for (low, count) in histogram.nonzero_buckets() {
+                prop_assert!(count > 0);
+                prop_assert!(
+                    low <= max,
+                    "nonzero bucket starting at {} is above the largest insert {}",
+                    low,
+                    max
+                );
+            }
+            prop_assert!(histogram.max_bucket_bound().expect("non-empty") >= max);
+        } else {
+            prop_assert_eq!(histogram.max_bucket_bound(), None);
+        }
+        Ok(())
+    });
+}

@@ -21,6 +21,8 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 
+use vlpp_metrics::{Counter, Gauge};
+
 use crate::lock;
 
 /// A type-erased unit of work. Tasks are only `'static` from the queue's
@@ -59,6 +61,23 @@ struct Batch<R> {
     done: Condvar,
 }
 
+/// The pool's process-wide instruments (see `OBSERVABILITY.md`). All
+/// pools in the process share them — the registry hands out one
+/// instrument per name — so they read as whole-process totals.
+struct PoolMetrics {
+    /// `pool.queue_depth`: queue length sampled after each batch is
+    /// enqueued; its high-water mark is how full the queue ever ran.
+    queue_depth: Arc<Gauge>,
+    /// `pool.tasks.helped`: tasks a mapping caller ran from its own
+    /// batch while waiting for it to drain.
+    helped: Arc<Counter>,
+    /// `pool.tasks.stolen`: tasks claimed and run by pool workers.
+    stolen: Arc<Counter>,
+    /// `pool.tasks.inline`: items run sequentially on the caller when a
+    /// map does not distribute (single item or single-threaded pool).
+    inline: Arc<Counter>,
+}
+
 /// A bounded work-queue executor with order-preserving parallel map,
 /// panic propagation, and thread-free nesting.
 ///
@@ -80,6 +99,7 @@ pub struct Pool {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
     threads: usize,
+    metrics: PoolMetrics,
 }
 
 impl std::fmt::Debug for Pool {
@@ -103,13 +123,21 @@ impl Pool {
             next_batch: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
         });
+        let metrics = PoolMetrics {
+            queue_depth: vlpp_metrics::gauge("pool.queue_depth"),
+            helped: vlpp_metrics::counter("pool.tasks.helped"),
+            stolen: vlpp_metrics::counter("pool.tasks.stolen"),
+            inline: vlpp_metrics::counter("pool.tasks.inline"),
+        };
         let workers = (0..threads - 1)
-            .map(|_| {
+            .map(|worker| {
                 let shared = Arc::clone(&shared);
-                std::thread::spawn(move || worker_loop(&shared))
+                let tasks = vlpp_metrics::counter(&format!("pool.worker.{worker:02}.tasks"));
+                let stolen = Arc::clone(&metrics.stolen);
+                std::thread::spawn(move || worker_loop(&shared, &tasks, &stolen))
             })
             .collect();
-        Pool { shared, workers, threads }
+        Pool { shared, workers, threads, metrics }
     }
 
     /// The process-wide pool, sized by `VLPP_THREADS` (default: the
@@ -149,6 +177,7 @@ impl Pool {
         }
         if n == 1 || self.threads == 1 {
             // Nothing to distribute: run inline, panics propagate as-is.
+            self.metrics.inline.add(n as u64);
             return items.into_iter().map(work).collect();
         }
 
@@ -185,6 +214,7 @@ impl Pool {
                 let task: Task = unsafe { std::mem::transmute(task) };
                 queue.push_back(QueuedTask { batch: batch_id, task });
             }
+            self.metrics.queue_depth.record(queue.len() as u64);
             self.shared.task_ready.notify_all();
         }
 
@@ -199,7 +229,10 @@ impl Pool {
                     .and_then(|at| queue.remove(at))
             };
             match own_task {
-                Some(qt) => (qt.task)(),
+                Some(qt) => {
+                    (qt.task)();
+                    self.metrics.helped.incr();
+                }
                 None => {
                     let state = lock(&batch.state);
                     if state.remaining == 0 {
@@ -240,7 +273,7 @@ impl Drop for Pool {
     }
 }
 
-fn worker_loop(shared: &Shared) {
+fn worker_loop(shared: &Shared, tasks: &Counter, stolen: &Counter) {
     loop {
         let task = {
             let mut queue = lock(&shared.queue);
@@ -255,7 +288,11 @@ fn worker_loop(shared: &Shared) {
             }
         };
         match task {
-            Some(task) => task(),
+            Some(task) => {
+                task();
+                tasks.incr();
+                stolen.incr();
+            }
             None => return,
         }
     }

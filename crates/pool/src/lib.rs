@@ -27,10 +27,23 @@
 //! experiment output is byte-identical at any `VLPP_THREADS` setting —
 //! the integration suite asserts exactly that.
 //!
-//! Like `vlpp-check`, this crate has zero dependencies (not even on the
-//! rest of the workspace) so the tree keeps building offline.
+//! ## Observability
+//!
+//! The pool reports into the process-wide `vlpp-metrics` registry
+//! (lock-free atomics — metrics never perturb scheduling or output):
+//! the work-queue depth and its high-water mark (`pool.queue_depth`),
+//! how tasks were executed (`pool.tasks.stolen` by workers,
+//! `pool.tasks.helped` by mapping callers, `pool.tasks.inline` when a
+//! map degrades to sequential), per-worker task counts
+//! (`pool.worker.NN.tasks`), and — for [`Memo`]s created with
+//! [`Memo::named`] — hit/miss counts (`pool.memo.<name>.{hits,misses}`).
+//! `OBSERVABILITY.md` at the repository root catalogs every metric.
+//!
+//! This crate depends only on in-tree crates (`vlpp-metrics`, which
+//! itself uses only `vlpp-trace`'s JSON tree), so the tree keeps
+//! building offline.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod executor;

@@ -12,7 +12,15 @@ use std::collections::HashMap;
 use std::hash::Hash;
 use std::sync::{Arc, Mutex, OnceLock};
 
+use vlpp_metrics::Counter;
+
 use crate::lock;
+
+/// Hit/miss counters for a [`Memo`] created with [`Memo::named`].
+struct MemoMetrics {
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+}
 
 /// A concurrent, compute-once-per-key memo table.
 ///
@@ -37,6 +45,7 @@ use crate::lock;
 /// ```
 pub struct Memo<K, V> {
     cells: Mutex<HashMap<K, Arc<OnceLock<Arc<V>>>>>,
+    metrics: Option<MemoMetrics>,
 }
 
 impl<K, V> std::fmt::Debug for Memo<K, V> {
@@ -48,7 +57,36 @@ impl<K, V> std::fmt::Debug for Memo<K, V> {
 impl<K: Eq + Hash + Clone, V> Memo<K, V> {
     /// Creates an empty memo table.
     pub fn new() -> Self {
-        Memo { cells: Mutex::new(HashMap::new()) }
+        Memo { cells: Mutex::new(HashMap::new()), metrics: None }
+    }
+
+    /// Creates an empty memo table that reports its hit/miss counts as
+    /// the process-wide metrics `pool.memo.<name>.hits` and
+    /// `pool.memo.<name>.misses` (see `OBSERVABILITY.md`).
+    ///
+    /// A *hit* is a request whose value had already finished computing;
+    /// a *miss* either computes the value or blocks on the concurrent
+    /// computation that will.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use vlpp_pool::Memo;
+    ///
+    /// let memo: Memo<u32, u32> = Memo::named("doctest_squares");
+    /// memo.get_or_compute(3, || 9); // miss
+    /// memo.get_or_compute(3, || unreachable!()); // hit
+    /// let hits = vlpp_metrics::counter("pool.memo.doctest_squares.hits");
+    /// assert_eq!(hits.get(), 1);
+    /// ```
+    pub fn named(name: &str) -> Self {
+        Memo {
+            cells: Mutex::new(HashMap::new()),
+            metrics: Some(MemoMetrics {
+                hits: vlpp_metrics::counter(&format!("pool.memo.{name}.hits")),
+                misses: vlpp_metrics::counter(&format!("pool.memo.{name}.misses")),
+            }),
+        }
     }
 
     /// Returns the memoized value for `key`, computing it with `compute`
@@ -59,6 +97,13 @@ impl<K: Eq + Hash + Clone, V> Memo<K, V> {
             let mut cells = lock(&self.cells);
             Arc::clone(cells.entry(key).or_default())
         };
+        if let Some(metrics) = &self.metrics {
+            if cell.get().is_some() {
+                metrics.hits.incr();
+            } else {
+                metrics.misses.incr();
+            }
+        }
         Arc::clone(cell.get_or_init(|| Arc::new(compute())))
     }
 
@@ -137,6 +182,18 @@ mod tests {
         assert!(attempt.is_err());
         assert_eq!(memo.get(&1), None);
         assert_eq!(*memo.get_or_compute(1, || 42), 42);
+    }
+
+    #[test]
+    fn named_memo_counts_hits_and_misses() {
+        let memo: Memo<u8, u8> = Memo::named("unit_test_memo");
+        let hits = vlpp_metrics::counter("pool.memo.unit_test_memo.hits");
+        let misses = vlpp_metrics::counter("pool.memo.unit_test_memo.misses");
+        memo.get_or_compute(1, || 10);
+        memo.get_or_compute(2, || 20);
+        memo.get_or_compute(1, || unreachable!("memoized"));
+        assert_eq!(hits.get(), 1);
+        assert_eq!(misses.get(), 2);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! `vlpp` — run any of the paper's experiments from the command line.
 //!
 //! ```text
-//! vlpp <experiment> [--scale N] [--json]
+//! vlpp <experiment> [--scale N] [--json] [--metrics]
 //!
 //! experiments:
 //!   table1 table2 table3 fig5 fig6 fig7 fig8 fig9 fig10 headline hfnt
@@ -17,7 +17,7 @@ use vlpp_sim::report::TextTable;
 use vlpp_sim::{Scale, Workloads};
 
 const USAGE: &str = "\
-usage: vlpp <experiment> [--scale N] [--json]
+usage: vlpp <experiment> [--scale N] [--json] [--metrics]
 
 experiments:
   table1     Table 1: benchmark summary
@@ -45,6 +45,9 @@ options:
              also via VLPP_SCALE)
   --json     emit JSON instead of text tables; `all --json` emits one
              object keyed by experiment id
+  --metrics  after the experiment, print a metrics table on stderr and a
+             single `METRICS {json}` line on stdout (see OBSERVABILITY.md;
+             excluded from the determinism guarantee)
 
 environment:
   VLPP_SCALE    default for --scale (invalid values warn and fall back)
@@ -57,6 +60,7 @@ fn main() -> ExitCode {
     let mut experiment: Option<String> = None;
     let mut scale = Scale::from_env();
     let mut json = false;
+    let mut metrics = false;
 
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -71,6 +75,7 @@ fn main() -> ExitCode {
                 scale = Scale::new(value);
             }
             "--json" => json = true,
+            "--metrics" => metrics = true,
             "--help" | "-h" => {
                 print!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -104,7 +109,10 @@ fn main() -> ExitCode {
     // Experiments are independent; run them on the shared pool. Results
     // come back in submission order, so output is deterministic at any
     // thread count.
-    let outputs = vlpp_pool::Pool::global().map(ids.clone(), |id| run_one(id, &workloads));
+    let outputs = {
+        let _span = vlpp_metrics::span("sim.experiment_ns");
+        vlpp_pool::Pool::global().map(ids.clone(), |id| run_one(id, &workloads))
+    };
 
     let mut object = Vec::new();
     for (id, output) in ids.iter().zip(outputs) {
@@ -129,6 +137,14 @@ fn main() -> ExitCode {
         // One JSON object keyed by experiment id — parseable as a whole,
         // unlike the old headers-interleaved-with-objects stream.
         println!("{}", vlpp_trace::json::JsonValue::Object(object).pretty());
+    }
+    if metrics {
+        // Metrics are observational, not part of the experiment output:
+        // the table goes to stderr, and the machine-readable snapshot is
+        // one self-delimiting stdout line consumers strip before diffing.
+        let registry = vlpp_metrics::Registry::global();
+        eprint!("{}", registry.render_table());
+        println!("METRICS {}", registry.snapshot());
     }
     ExitCode::SUCCESS
 }

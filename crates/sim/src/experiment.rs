@@ -113,13 +113,15 @@ pub struct Workloads {
 }
 
 impl Workloads {
-    /// Creates a context at the given scale.
+    /// Creates a context at the given scale. The caches report their
+    /// hit/miss counts as `pool.memo.{traces,profiles,fixed_lengths}.*`
+    /// (see `OBSERVABILITY.md`).
     pub fn new(scale: Scale) -> Self {
         Workloads {
             scale,
-            traces: Memo::new(),
-            profiles: Memo::new(),
-            fixed_lengths: Memo::new(),
+            traces: Memo::named("traces"),
+            profiles: Memo::named("profiles"),
+            fixed_lengths: Memo::named("fixed_lengths"),
         }
     }
 
@@ -140,6 +142,7 @@ impl Workloads {
 
     fn trace(&self, spec: &BenchmarkSpec, input: InputSet) -> Arc<Trace> {
         self.traces.get_or_compute((spec.name.clone(), input), || {
+            let _span = vlpp_metrics::span("sim.trace_build_ns");
             let program = spec.build_program();
             program.execute_conditionals(input, self.scale.dynamic_conditionals(spec))
         })
@@ -159,6 +162,7 @@ impl Workloads {
 
     fn profile(&self, spec: &BenchmarkSpec, kind: Kind, index_bits: u32) -> Arc<ProfileReport> {
         self.profiles.get_or_compute((spec.name.clone(), kind, index_bits), || {
+            let _span = vlpp_metrics::span("sim.profile_ns");
             let trace = self.profile_trace(spec);
             let builder = ProfileBuilder::new(ProfileConfig::new(PathConfig::new(index_bits)));
             match kind {
@@ -186,6 +190,7 @@ impl Workloads {
 
     fn best_fixed_length(&self, kind: Kind, index_bits: u32) -> u8 {
         *self.fixed_lengths.get_or_compute((kind, index_bits), || {
+            let _span = vlpp_metrics::span("sim.fixed_length_sweep_ns");
             // Average the per-length miss rates over all 16 benchmarks.
             // Step 1 of the profiling heuristic *is* a sweep of every
             // fixed length, so one iteration-free profile per benchmark

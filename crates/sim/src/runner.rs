@@ -75,6 +75,7 @@ impl RunStats {
 /// protocol: predict → train on each conditional branch, observe on
 /// every record.
 pub fn run_conditional<P: ConditionalPredictor>(predictor: &mut P, trace: &Trace) -> RunStats {
+    let _span = vlpp_metrics::span("sim.simulate_ns");
     let mut stats = RunStats::default();
     for record in trace.iter() {
         if record.is_conditional() {
@@ -90,6 +91,7 @@ pub fn run_conditional<P: ConditionalPredictor>(predictor: &mut P, trace: &Trace
 /// Runs an indirect-branch predictor over a trace. Returns are excluded,
 /// as in the paper.
 pub fn run_indirect<P: IndirectPredictor>(predictor: &mut P, trace: &Trace) -> RunStats {
+    let _span = vlpp_metrics::span("sim.simulate_ns");
     let mut stats = RunStats::default();
     for record in trace.iter() {
         if record.is_indirect() {

@@ -1,0 +1,36 @@
+#!/usr/bin/env sh
+# Appends one machine-readable perf record to BENCH_history.jsonl: the
+# wall-clock of a full `vlpp all --json --metrics` run plus the METRICS
+# snapshot it printed (see OBSERVABILITY.md for the record schema).
+#
+# Run from the repository root (or anywhere inside it):
+#   scripts/bench_record.sh [scale]
+#
+# `scale` is the --scale divisor (default 16, the repo default). Use
+# 1000000 for a seconds-long smoke record.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+scale="${1:-16}"
+history="BENCH_history.jsonl"
+
+cargo build --release --offline >&2
+
+start=$(date +%s%N)
+stdout=$(VLPP_THREADS="${VLPP_THREADS:-}" ./target/release/vlpp all --json \
+    --scale "$scale" --metrics 2>/dev/null)
+end=$(date +%s%N)
+wall_ns=$((end - start))
+
+metrics=$(printf '%s\n' "$stdout" | sed -n 's/^METRICS //p')
+if [ -z "$metrics" ]; then
+    echo "error: no METRICS line in vlpp output" >&2
+    exit 1
+fi
+# The snapshot must parse with the in-tree parser before it is recorded.
+printf 'METRICS %s\n' "$metrics" | ./target/release/vlpp-metrics-check >&2
+
+record="{\"ts\":$(date +%s),\"scale\":$scale,\"wall_ns\":$wall_ns,\"metrics\":$metrics}"
+printf '%s\n' "$record" >>"$history"
+echo "recorded: scale=1/$scale wall_ns=$wall_ns -> $history" >&2

@@ -52,10 +52,24 @@ if ! cmp -s /tmp/vlpp_verify_t1.json /tmp/vlpp_verify_t8.json; then
     echo "error: vlpp all --json differs between VLPP_THREADS=1 and 8" >&2
     exit 1
 fi
-rm -f /tmp/vlpp_verify_t1.json /tmp/vlpp_verify_t8.json
 echo "ok: output is byte-identical at 1 and 8 worker threads"
 
-# 4. Wall-clock of the full experiment suite at the default scale, as a
+# 4. Metrics smoke run: `--metrics` must add exactly one parseable
+#    `METRICS {json}` stdout line (checked by the in-tree parser via
+#    vlpp-metrics-check) and change nothing else about stdout.
+VLPP_THREADS=8 "$VLPP" all --json --scale 1000000 --metrics \
+    >/tmp/vlpp_verify_metrics.out 2>/dev/null
+grep '^METRICS ' /tmp/vlpp_verify_metrics.out | ./target/release/vlpp-metrics-check
+grep -v '^METRICS ' /tmp/vlpp_verify_metrics.out >/tmp/vlpp_verify_metrics_stripped.json
+if ! cmp -s /tmp/vlpp_verify_t1.json /tmp/vlpp_verify_metrics_stripped.json; then
+    echo "error: --metrics changed the experiment bytes on stdout" >&2
+    exit 1
+fi
+rm -f /tmp/vlpp_verify_t1.json /tmp/vlpp_verify_t8.json \
+    /tmp/vlpp_verify_metrics.out /tmp/vlpp_verify_metrics_stripped.json
+echo "ok: --metrics is additive and its snapshot parses"
+
+# 5. Wall-clock of the full experiment suite at the default scale, as a
 #    machine-readable BENCH line (same shape as the vlpp-check timer).
 start=$(date +%s%N)
 "$VLPP" all >/dev/null 2>&1
