@@ -15,6 +15,11 @@
 //!   machine-readable JSON line (via `vlpp_trace::json`), so
 //!   `BENCH_*.json` trajectories can accumulate across PRs.
 //!
+//! The [`fault`] module rounds out the harness with seeded
+//! [`FaultPlan`]s for the robustness suite: deterministic byte
+//! corruption/truncation of serialized inputs and `VLPP_FAULT` plans for
+//! injected worker panics and stalls (see `ROBUSTNESS.md`).
+//!
 //! ## Writing a property test
 //!
 //! ```
@@ -49,9 +54,11 @@
 #![warn(missing_debug_implementations)]
 
 pub mod bench;
+pub mod fault;
 pub mod prop;
 pub mod rng;
 
 pub use bench::{bench, bench_with_setup, BenchConfig, BenchReport};
+pub use fault::{DataFault, ExecFault, FaultPlan};
 pub use prop::{check, CheckConfig, Failed, Gen, PropResult};
 pub use rng::XorShift64;

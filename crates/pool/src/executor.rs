@@ -14,21 +14,46 @@
 //! could steal another task that waits on that same key — on the same
 //! stack — and deadlock. Idle *workers* take any task from any batch,
 //! so cross-batch parallelism is still fully exploited.
+//!
+//! ## Fault tolerance
+//!
+//! Two map flavors share the queue:
+//!
+//! * [`Pool::map`] — results in input order, panics re-raised on the
+//!   caller with their **original payload** (worker id and payload text
+//!   are additionally recorded, see [`Pool::last_panic`]). The caller
+//!   always joins its whole batch, so task closures may borrow from the
+//!   caller's stack.
+//! * [`Pool::try_map`] — per-task `Result`s instead of propagation:
+//!   panics are contained as [`TaskError::Panicked`], and when a
+//!   watchdog deadline is configured (`VLPP_TASK_TIMEOUT_MS`), a task
+//!   that runs past it is *abandoned* — its typed
+//!   [`TaskError::TimedOut`] returns immediately while the straggler
+//!   finishes (or hangs) harmlessly on its worker, keeping only its own
+//!   heap state alive. Failed tasks are retried once after a backoff;
+//!   the retry keeps the task's fault-injection sequence number, so
+//!   transient injected faults succeed on retry and `:persist` faults
+//!   surface as errors (see [`fault`](crate::fault-injection docs in
+//!   `ROBUSTNESS.md`)).
 
+use std::any::Any;
+use std::cell::Cell;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use vlpp_metrics::{Counter, Gauge};
 
-use crate::lock;
+use crate::{fault, lock};
 
 /// A type-erased unit of work. Tasks are only `'static` from the queue's
 /// point of view; [`Pool::map`] guarantees every task it pushes has run
 /// to completion before it returns, so the borrows erased in
-/// [`Pool::map`] never dangle.
+/// [`Pool::map`] never dangle. [`Pool::try_map`] tasks own their data
+/// outright and need no such guarantee.
 type Task = Box<dyn FnOnce() + Send + 'static>;
 
 /// One queued task, tagged with the batch that owns it so helping
@@ -48,10 +73,140 @@ struct Shared {
     shutdown: AtomicBool,
 }
 
-/// Completion tracking for one `map` call's batch of `n` tasks.
+thread_local! {
+    /// Pool worker index of the current thread; `None` on caller threads.
+    static WORKER_ID: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The pool worker index of the calling thread, if it is a pool worker.
+fn current_worker() -> Option<usize> {
+    WORKER_ID.with(|cell| cell.get())
+}
+
+/// Why a task inside a batch did not produce a value.
+enum Failure {
+    /// The work closure (or an injected fault) panicked.
+    Panic {
+        payload: Box<dyn Any + Send>,
+        worker: Option<usize>,
+    },
+    /// The task ran past the watchdog deadline.
+    Timeout { elapsed_ms: u64, limit_ms: u64 },
+}
+
+/// Why a [`Pool::try_map`] task failed, after its retry (if any).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TaskError {
+    /// The task panicked; the panic was contained at the task boundary.
+    Panicked {
+        /// The panic payload rendered as text.
+        payload: String,
+        /// The pool worker that ran the task (`None` = the caller).
+        worker: Option<usize>,
+    },
+    /// The task exceeded the watchdog deadline and was cancelled.
+    TimedOut {
+        /// Measured run time when the task was given up on.
+        elapsed_ms: u64,
+        /// The configured deadline.
+        limit_ms: u64,
+    },
+}
+
+impl std::fmt::Display for TaskError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TaskError::Panicked { payload, worker: Some(id) } => {
+                write!(f, "task panicked on worker {id}: {payload}")
+            }
+            TaskError::Panicked { payload, worker: None } => {
+                write!(f, "task panicked: {payload}")
+            }
+            TaskError::TimedOut { elapsed_ms, limit_ms } => {
+                write!(f, "task exceeded the {limit_ms} ms deadline (ran {elapsed_ms} ms)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TaskError {}
+
+/// Context for the most recent panic a [`Pool::map`] re-raised — the
+/// original payload crosses the unwind untouched, and this report
+/// preserves the scheduling context (which item, which worker) that the
+/// unwind cannot carry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PanicReport {
+    /// Input index of the panicking item.
+    pub index: usize,
+    /// Worker that ran it (`None` = the mapping caller's own thread).
+    pub worker: Option<usize>,
+    /// The payload rendered as text.
+    pub payload: String,
+}
+
+/// Knobs for [`Pool::try_map_with`]. [`MapOptions::from_env`] is what
+/// [`Pool::try_map`] uses; tests can pass explicit values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MapOptions {
+    /// Watchdog deadline per task attempt; `None` disables the watchdog.
+    pub timeout_ms: Option<u64>,
+    /// Retry a failed task once before reporting its error.
+    pub retry: bool,
+    /// Sleep this long before the retry (the "backoff" in
+    /// retry-once-with-backoff — gives transient conditions time to
+    /// clear).
+    pub backoff_ms: u64,
+}
+
+impl Default for MapOptions {
+    fn default() -> Self {
+        MapOptions { timeout_ms: None, retry: true, backoff_ms: 50 }
+    }
+}
+
+impl MapOptions {
+    /// Reads `VLPP_TASK_TIMEOUT_MS`, `VLPP_RETRY`, and
+    /// `VLPP_RETRY_BACKOFF_MS`. Invalid values warn on stderr and fall
+    /// back to the defaults (no deadline, retry once, 50 ms backoff) —
+    /// a bad knob must degrade, not abort.
+    pub fn from_env() -> Self {
+        let mut options = MapOptions::default();
+        if let Ok(raw) = std::env::var("VLPP_TASK_TIMEOUT_MS") {
+            match raw.trim().parse::<u64>() {
+                Ok(ms) if ms >= 1 => options.timeout_ms = Some(ms),
+                _ => eprintln!(
+                    "warning: ignoring invalid VLPP_TASK_TIMEOUT_MS=`{raw}` \
+                     (expected an integer >= 1); watchdog disabled"
+                ),
+            }
+        }
+        if let Ok(raw) = std::env::var("VLPP_RETRY") {
+            match raw.trim() {
+                "0" | "false" | "off" => options.retry = false,
+                "1" | "true" | "on" => options.retry = true,
+                _ => eprintln!(
+                    "warning: ignoring invalid VLPP_RETRY=`{raw}` (expected 0/1); retry stays on"
+                ),
+            }
+        }
+        if let Ok(raw) = std::env::var("VLPP_RETRY_BACKOFF_MS") {
+            match raw.trim().parse::<u64>() {
+                Ok(ms) => options.backoff_ms = ms,
+                _ => eprintln!(
+                    "warning: ignoring invalid VLPP_RETRY_BACKOFF_MS=`{raw}`; using {} ms",
+                    options.backoff_ms
+                ),
+            }
+        }
+        options
+    }
+}
+
+/// Completion tracking for one borrowed (`map`) batch of `n` tasks.
 struct BatchState<R> {
-    /// `slots[i]` receives item `i`'s result (or its panic payload).
-    slots: Vec<Option<std::thread::Result<R>>>,
+    /// `slots[i]` receives item `i`'s result (or its failure).
+    slots: Vec<Option<Result<R, Failure>>>,
     remaining: usize,
 }
 
@@ -59,6 +214,33 @@ struct Batch<R> {
     state: Mutex<BatchState<R>>,
     /// Signalled when `remaining` reaches zero.
     done: Condvar,
+}
+
+/// One slot of an owned (`try_map`) batch.
+enum Slot<R> {
+    /// Queued, not yet picked up.
+    Pending,
+    /// Executing since `started`.
+    Running { started: Instant },
+    /// Finished (terminal).
+    Done(Result<R, Failure>),
+    /// The watchdog gave up on it (terminal); the straggler may still be
+    /// running and will discard its result on completion.
+    Abandoned,
+}
+
+/// Completion tracking for one owned (`try_map`) batch. Heap-allocated
+/// and `Arc`-shared with every task, so an abandoned straggler keeps
+/// only this state alive rather than borrowing the caller's stack.
+struct OwnedBatch<R> {
+    state: Mutex<OwnedBatchState<R>>,
+    done: Condvar,
+}
+
+struct OwnedBatchState<R> {
+    slots: Vec<Slot<R>>,
+    /// Slots not yet terminal (`Done` or `Abandoned`).
+    remaining: usize,
 }
 
 /// The pool's process-wide instruments (see `OBSERVABILITY.md`). All
@@ -76,6 +258,12 @@ struct PoolMetrics {
     /// `pool.tasks.inline`: items run sequentially on the caller when a
     /// map does not distribute (single item or single-threaded pool).
     inline: Arc<Counter>,
+    /// `pool.tasks.retried`: failed `try_map` tasks given their one
+    /// retry.
+    retried: Arc<Counter>,
+    /// `pool.tasks.timed_out`: task attempts that exceeded the watchdog
+    /// deadline (abandoned mid-run or rejected post-completion).
+    timed_out: Arc<Counter>,
 }
 
 /// A bounded work-queue executor with order-preserving parallel map,
@@ -100,11 +288,24 @@ pub struct Pool {
     workers: Vec<JoinHandle<()>>,
     threads: usize,
     metrics: PoolMetrics,
+    last_panic: Mutex<Option<PanicReport>>,
 }
 
 impl std::fmt::Debug for Pool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Pool").field("threads", &self.threads).finish()
+    }
+}
+
+/// Renders a panic payload as text (String and &str payloads verbatim,
+/// anything else a placeholder).
+fn payload_text(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        "<non-string panic payload>".to_string()
     }
 }
 
@@ -128,16 +329,21 @@ impl Pool {
             helped: vlpp_metrics::counter("pool.tasks.helped"),
             stolen: vlpp_metrics::counter("pool.tasks.stolen"),
             inline: vlpp_metrics::counter("pool.tasks.inline"),
+            retried: vlpp_metrics::counter("pool.tasks.retried"),
+            timed_out: vlpp_metrics::counter("pool.tasks.timed_out"),
         };
         let workers = (0..threads - 1)
             .map(|worker| {
                 let shared = Arc::clone(&shared);
                 let tasks = vlpp_metrics::counter(&format!("pool.worker.{worker:02}.tasks"));
                 let stolen = Arc::clone(&metrics.stolen);
-                std::thread::spawn(move || worker_loop(&shared, &tasks, &stolen))
+                std::thread::spawn(move || {
+                    WORKER_ID.with(|cell| cell.set(Some(worker)));
+                    worker_loop(&shared, &tasks, &stolen)
+                })
             })
             .collect();
-        Pool { shared, workers, threads, metrics }
+        Pool { shared, workers, threads, metrics, last_panic: Mutex::new(None) }
     }
 
     /// The process-wide pool, sized by `VLPP_THREADS` (default: the
@@ -153,6 +359,15 @@ impl Pool {
         self.threads
     }
 
+    /// Context for the most recent panic [`Pool::map`] re-raised on a
+    /// caller: which input index failed, on which worker, with what
+    /// payload text. The unwound payload itself crosses [`Pool::map`]
+    /// unmodified; this is the side channel for the context it cannot
+    /// carry.
+    pub fn last_panic(&self) -> Option<PanicReport> {
+        lock(&self.last_panic).clone()
+    }
+
     /// Applies `work` to every item, in parallel, returning results in
     /// input order.
     ///
@@ -163,8 +378,10 @@ impl Pool {
     /// # Panics
     ///
     /// If one or more tasks panic, the panic of the lowest-indexed
-    /// failing item is re-raised on the caller (after the whole batch
-    /// has finished, so no result slot is ever abandoned mid-write).
+    /// failing item is re-raised on the caller with its **original
+    /// payload** (after the whole batch has finished, so no result slot
+    /// is ever abandoned mid-write). The item index, worker id, and
+    /// payload text are recorded first — see [`Pool::last_panic`].
     pub fn map<T, R, F>(&self, items: Vec<T>, work: F) -> Vec<R>
     where
         T: Send,
@@ -175,10 +392,26 @@ impl Pool {
         if n == 0 {
             return Vec::new();
         }
+        let seqs: Vec<u64> = (0..n).map(|_| fault::next_seq()).collect();
+
         if n == 1 || self.threads == 1 {
-            // Nothing to distribute: run inline, panics propagate as-is.
+            // Nothing to distribute: run inline. Panics are caught only
+            // to record their context, then re-raised untouched.
             self.metrics.inline.add(n as u64);
-            return items.into_iter().map(work).collect();
+            let mut results = Vec::with_capacity(n);
+            for (index, (item, seq)) in items.into_iter().zip(seqs).enumerate() {
+                match catch_unwind(AssertUnwindSafe(|| {
+                    fault::fire(seq, 1);
+                    work(item)
+                })) {
+                    Ok(value) => results.push(value),
+                    Err(payload) => {
+                        self.record_panic(index, current_worker(), &payload);
+                        resume_unwind(payload);
+                    }
+                }
+            }
+            return results;
         }
 
         let batch_id = self.shared.next_batch.fetch_add(1, Ordering::Relaxed);
@@ -194,9 +427,13 @@ impl Pool {
             let work = &work;
             let batch = &batch;
             let mut queue = lock(&self.shared.queue);
-            for (i, item) in items.into_iter().enumerate() {
+            for (i, (item, seq)) in items.into_iter().zip(seqs).enumerate() {
                 let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
-                    let result = catch_unwind(AssertUnwindSafe(|| work(item)));
+                    let result = catch_unwind(AssertUnwindSafe(|| {
+                        fault::fire(seq, 1);
+                        work(item)
+                    }))
+                    .map_err(|payload| Failure::Panic { payload, worker: current_worker() });
                     let mut state = lock(&batch.state);
                     state.slots[i] = Some(result);
                     state.remaining -= 1;
@@ -246,13 +483,17 @@ impl Pool {
         let state = batch.state.into_inner().unwrap_or_else(|e| e.into_inner());
         let mut results = Vec::with_capacity(n);
         let mut first_panic = None;
-        for slot in state.slots {
+        for (index, slot) in state.slots.into_iter().enumerate() {
             match slot.expect("a completed batch has every slot filled") {
                 Ok(result) => results.push(result),
-                Err(payload) => {
+                Err(Failure::Panic { payload, worker }) => {
                     if first_panic.is_none() {
+                        self.record_panic(index, worker, &payload);
                         first_panic = Some(payload);
                     }
+                }
+                Err(Failure::Timeout { .. }) => {
+                    unreachable!("map batches run without a watchdog deadline")
                 }
             }
         }
@@ -260,6 +501,289 @@ impl Pool {
             resume_unwind(payload);
         }
         results
+    }
+
+    fn record_panic(&self, index: usize, worker: Option<usize>, payload: &Box<dyn Any + Send>) {
+        *lock(&self.last_panic) =
+            Some(PanicReport { index, worker, payload: payload_text(payload.as_ref()) });
+    }
+
+    /// [`Pool::try_map_with`] under the environment's fault-tolerance
+    /// knobs (`VLPP_TASK_TIMEOUT_MS`, `VLPP_RETRY`,
+    /// `VLPP_RETRY_BACKOFF_MS`).
+    pub fn try_map<T, R, F>(&self, items: Vec<T>, work: F) -> Vec<Result<R, TaskError>>
+    where
+        T: Send + Clone + 'static,
+        R: Send + 'static,
+        F: Fn(T) -> R + Send + Sync + 'static,
+    {
+        self.try_map_with(items, MapOptions::from_env(), work)
+    }
+
+    /// Applies `work` to every item, in parallel, returning one
+    /// `Result` per item in input order — the fault-isolating flavor of
+    /// [`Pool::map`]:
+    ///
+    /// * a panicking task becomes [`TaskError::Panicked`] (payload text
+    ///   + worker id) without unwinding into the caller or poisoning
+    ///   the batch;
+    /// * with a deadline set, a task running past it is **abandoned**:
+    ///   its [`TaskError::TimedOut`] is reported while the straggler
+    ///   finishes (or hangs) on its worker thread, keeping only its own
+    ///   `Arc`-shared state alive. A task the *caller* happens to run
+    ///   cannot be preempted — it is deadline-checked on completion
+    ///   instead, so every over-limit attempt yields `TimedOut` either
+    ///   way;
+    /// * with `retry` on, each failed item is re-run once on the caller
+    ///   after `backoff_ms` (the retry keeps the task's fault-injection
+    ///   sequence number — transient faults pass, `:persist` faults
+    ///   fail again).
+    ///
+    /// `'static` bounds (unlike [`Pool::map`]): abandonment means a
+    /// straggler can outlive this call, so tasks must own their data —
+    /// share context via `Arc`, not borrows. `T: Clone` feeds the
+    /// retry; note a retried item may briefly run concurrently with its
+    /// abandoned straggler, so `work` should be effect-free or
+    /// idempotent (every experiment computation here is).
+    pub fn try_map_with<T, R, F>(
+        &self,
+        items: Vec<T>,
+        options: MapOptions,
+        work: F,
+    ) -> Vec<Result<R, TaskError>>
+    where
+        T: Send + Clone + 'static,
+        R: Send + 'static,
+        F: Fn(T) -> R + Send + Sync + 'static,
+    {
+        let n = items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let work = Arc::new(work);
+        let seqs: Vec<u64> = (0..n).map(|_| fault::next_seq()).collect();
+        let retry_items: Vec<T> = if options.retry { items.clone() } else { Vec::new() };
+
+        let mut results: Vec<Result<R, Failure>> = if n == 1 || self.threads == 1 {
+            self.metrics.inline.add(n as u64);
+            items
+                .into_iter()
+                .zip(&seqs)
+                .map(|(item, &seq)| self.run_owned(&work, item, seq, 1, options.timeout_ms))
+                .collect()
+        } else {
+            self.run_owned_batch(items, &seqs, &work, options.timeout_ms)
+        };
+
+        if options.retry {
+            for i in 0..n {
+                if results[i].is_err() {
+                    self.metrics.retried.incr();
+                    if options.backoff_ms > 0 {
+                        std::thread::sleep(Duration::from_millis(options.backoff_ms));
+                    }
+                    results[i] =
+                        self.run_owned(&work, retry_items[i].clone(), seqs[i], 2, options.timeout_ms);
+                }
+            }
+        }
+
+        results
+            .into_iter()
+            .map(|result| {
+                result.map_err(|failure| match failure {
+                    Failure::Panic { payload, worker } => TaskError::Panicked {
+                        payload: payload_text(payload.as_ref()),
+                        worker,
+                    },
+                    Failure::Timeout { elapsed_ms, limit_ms } => {
+                        TaskError::TimedOut { elapsed_ms, limit_ms }
+                    }
+                })
+            })
+            .collect()
+    }
+
+    /// Runs one owned task on the current thread: fault hook, panic
+    /// containment, and a post-completion deadline check (the only kind
+    /// possible when the task runs on the thread that would watch it).
+    fn run_owned<T, R, F>(
+        &self,
+        work: &Arc<F>,
+        item: T,
+        seq: u64,
+        attempt: u32,
+        timeout_ms: Option<u64>,
+    ) -> Result<R, Failure>
+    where
+        F: Fn(T) -> R,
+    {
+        let started = Instant::now();
+        match catch_unwind(AssertUnwindSafe(|| {
+            fault::fire(seq, attempt);
+            work(item)
+        })) {
+            Ok(value) => {
+                if let Some(limit_ms) = timeout_ms {
+                    let elapsed_ms = started.elapsed().as_millis() as u64;
+                    if elapsed_ms > limit_ms {
+                        self.metrics.timed_out.incr();
+                        return Err(Failure::Timeout { elapsed_ms, limit_ms });
+                    }
+                }
+                Ok(value)
+            }
+            Err(payload) => Err(Failure::Panic { payload, worker: current_worker() }),
+        }
+    }
+
+    /// Distributes owned tasks across the pool and waits with an
+    /// optional watchdog. First attempt only; retries run inline in
+    /// [`Pool::try_map_with`].
+    fn run_owned_batch<T, R, F>(
+        &self,
+        items: Vec<T>,
+        seqs: &[u64],
+        work: &Arc<F>,
+        timeout_ms: Option<u64>,
+    ) -> Vec<Result<R, Failure>>
+    where
+        T: Send + 'static,
+        R: Send + 'static,
+        F: Fn(T) -> R + Send + Sync + 'static,
+    {
+        let n = items.len();
+        let batch_id = self.shared.next_batch.fetch_add(1, Ordering::Relaxed);
+        let batch: Arc<OwnedBatch<R>> = Arc::new(OwnedBatch {
+            state: Mutex::new(OwnedBatchState {
+                slots: (0..n).map(|_| Slot::Pending).collect(),
+                remaining: n,
+            }),
+            done: Condvar::new(),
+        });
+        let timed_out_counter = Arc::clone(&self.metrics.timed_out);
+
+        {
+            let mut queue = lock(&self.shared.queue);
+            for (i, (item, &seq)) in items.into_iter().zip(seqs).enumerate() {
+                let work = Arc::clone(work);
+                let batch = Arc::clone(&batch);
+                let timed_out_counter = Arc::clone(&timed_out_counter);
+                // Fully owned — no lifetime erasure needed: if the
+                // watchdog abandons this task, the closure's `Arc`s keep
+                // the batch state and `work` alive until it finishes.
+                let task: Task = Box::new(move || {
+                    let started = Instant::now();
+                    {
+                        let mut state = lock(&batch.state);
+                        if matches!(state.slots[i], Slot::Pending) {
+                            state.slots[i] = Slot::Running { started };
+                        }
+                    }
+                    let result = catch_unwind(AssertUnwindSafe(|| {
+                        fault::fire(seq, 1);
+                        work(item)
+                    }))
+                    .map_err(|payload| Failure::Panic { payload, worker: current_worker() });
+                    let outcome = match result {
+                        Ok(value) => match timeout_ms {
+                            Some(limit_ms)
+                                if started.elapsed().as_millis() as u64 > limit_ms =>
+                            {
+                                timed_out_counter.incr();
+                                Err(Failure::Timeout {
+                                    elapsed_ms: started.elapsed().as_millis() as u64,
+                                    limit_ms,
+                                })
+                            }
+                            _ => Ok(value),
+                        },
+                        Err(failure) => Err(failure),
+                    };
+                    let mut state = lock(&batch.state);
+                    match state.slots[i] {
+                        // The watchdog already reported this task; the
+                        // straggler's result is discarded.
+                        Slot::Abandoned => {}
+                        _ => {
+                            state.slots[i] = Slot::Done(outcome);
+                            state.remaining -= 1;
+                            if state.remaining == 0 {
+                                batch.done.notify_all();
+                            }
+                        }
+                    }
+                });
+                queue.push_back(QueuedTask { batch: batch_id, task });
+            }
+            self.metrics.queue_depth.record(queue.len() as u64);
+            self.shared.task_ready.notify_all();
+        }
+
+        // Help with our own batch; between tasks, reap overdue stragglers.
+        loop {
+            let own_task = {
+                let mut queue = lock(&self.shared.queue);
+                queue
+                    .iter()
+                    .position(|qt| qt.batch == batch_id)
+                    .and_then(|at| queue.remove(at))
+            };
+            match own_task {
+                Some(qt) => {
+                    (qt.task)();
+                    self.metrics.helped.incr();
+                }
+                None => {
+                    let mut state = lock(&batch.state);
+                    if state.remaining == 0 {
+                        break;
+                    }
+                    match timeout_ms {
+                        None => {
+                            drop(batch.done.wait(state).unwrap_or_else(|e| e.into_inner()));
+                        }
+                        Some(limit_ms) => {
+                            let poll = Duration::from_millis((limit_ms / 4).clamp(5, 50));
+                            let (guard, _) = batch
+                                .done
+                                .wait_timeout(state, poll)
+                                .unwrap_or_else(|e| e.into_inner());
+                            state = guard;
+                            let mut reaped = 0;
+                            for slot in state.slots.iter_mut() {
+                                if let Slot::Running { started } = slot {
+                                    let elapsed_ms = started.elapsed().as_millis() as u64;
+                                    if elapsed_ms > limit_ms {
+                                        self.metrics.timed_out.incr();
+                                        *slot = Slot::Abandoned;
+                                        reaped += 1;
+                                    }
+                                }
+                            }
+                            state.remaining -= reaped;
+                            if state.remaining == 0 {
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut state = lock(&batch.state);
+        let limit_ms = timeout_ms.unwrap_or(0);
+        state
+            .slots
+            .iter_mut()
+            .map(|slot| match std::mem::replace(slot, Slot::Abandoned) {
+                Slot::Done(result) => result,
+                Slot::Abandoned => Err(Failure::Timeout { elapsed_ms: limit_ms, limit_ms }),
+                Slot::Pending | Slot::Running { .. } => {
+                    unreachable!("batch completed with a non-terminal slot")
+                }
+            })
+            .collect()
     }
 }
 
@@ -383,6 +907,36 @@ mod tests {
         let payload = result.expect_err("a panicking task must fail the map");
         let message = payload.downcast_ref::<String>().expect("panic message");
         assert_eq!(message, "boom at 1", "the lowest failing index wins");
+        let report = pool.last_panic().expect("panic context is recorded");
+        assert_eq!(report.index, 1);
+        assert_eq!(report.payload, "boom at 1");
+    }
+
+    #[test]
+    fn map_preserves_non_string_panic_payloads() {
+        // Regression test: the unwinding path must hand the caller the
+        // *original* payload object, not a rendering of it.
+        let pool = Pool::new(4);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.map(vec![0u32, 1, 2, 3], |n| {
+                if n == 2 {
+                    std::panic::panic_any(Box::new(0xdead_beefu64));
+                }
+                n
+            })
+        }));
+        let payload = result.expect_err("panicking task fails the map");
+        let boxed = payload
+            .downcast_ref::<Box<u64>>()
+            .expect("original typed payload survives propagation");
+        assert_eq!(**boxed, 0xdead_beef);
+        let report = pool.last_panic().expect("context recorded");
+        assert_eq!(report.index, 2);
+        assert_eq!(report.payload, "<non-string panic payload>");
+        // Distributed batches run on workers 0..=2 or the caller.
+        if let Some(worker) = report.worker {
+            assert!(worker < 3, "worker id {worker} out of range");
+        }
     }
 
     #[test]
@@ -420,5 +974,114 @@ mod tests {
     #[should_panic(expected = "at least one thread")]
     fn zero_thread_pool_is_rejected() {
         Pool::new(0);
+    }
+
+    const NO_RETRY: MapOptions = MapOptions { timeout_ms: None, retry: false, backoff_ms: 0 };
+
+    #[test]
+    fn try_map_contains_panics_per_task() {
+        for threads in [1, 4] {
+            let pool = Pool::new(threads);
+            let results = pool.try_map_with((0..8).collect::<Vec<u32>>(), NO_RETRY, |n| {
+                if n == 3 {
+                    panic!("isolated boom {n}");
+                }
+                n * 10
+            });
+            assert_eq!(results.len(), 8);
+            for (i, result) in results.iter().enumerate() {
+                if i == 3 {
+                    match result {
+                        Err(TaskError::Panicked { payload, .. }) => {
+                            assert_eq!(payload, "isolated boom 3")
+                        }
+                        other => panic!("expected a contained panic, got {other:?}"),
+                    }
+                } else {
+                    assert_eq!(*result.as_ref().unwrap(), (i as u32) * 10);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn try_map_retries_transient_failures_once() {
+        let pool = Pool::new(1);
+        let attempts = AtomicU32::new(0);
+        let options = MapOptions { timeout_ms: None, retry: true, backoff_ms: 0 };
+        let results = pool.try_map_with(vec![7u32], options, move |n| {
+            if attempts.fetch_add(1, Ordering::Relaxed) == 0 {
+                panic!("transient");
+            }
+            n
+        });
+        assert_eq!(results, vec![Ok(7)]);
+    }
+
+    #[test]
+    fn try_map_reports_persistent_failures_after_retry() {
+        let pool = Pool::new(1);
+        let options = MapOptions { timeout_ms: None, retry: true, backoff_ms: 0 };
+        let results =
+            pool.try_map_with(vec![1u32], options, |_| -> u32 { panic!("always fails") });
+        assert!(
+            matches!(&results[0], Err(TaskError::Panicked { payload, .. }) if payload == "always fails")
+        );
+    }
+
+    #[test]
+    fn try_map_times_out_overdue_tasks_and_keeps_the_rest() {
+        for threads in [1, 4] {
+            let pool = Pool::new(threads);
+            let options = MapOptions { timeout_ms: Some(40), retry: false, backoff_ms: 0 };
+            let results = pool.try_map_with(vec![0u64, 250, 0, 0], options, |sleep_ms| {
+                std::thread::sleep(Duration::from_millis(sleep_ms));
+                sleep_ms
+            });
+            assert_eq!(results.len(), 4);
+            for (i, result) in results.iter().enumerate() {
+                if i == 1 {
+                    match result {
+                        Err(TaskError::TimedOut { limit_ms: 40, .. }) => {}
+                        other => panic!("threads={threads}: expected timeout, got {other:?}"),
+                    }
+                } else {
+                    assert_eq!(*result.as_ref().unwrap(), 0, "threads={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn try_map_timeout_retry_succeeds_when_the_stall_clears() {
+        let pool = Pool::new(1);
+        let attempts = AtomicU32::new(0);
+        let options = MapOptions { timeout_ms: Some(40), retry: true, backoff_ms: 0 };
+        let results = pool.try_map_with(vec![5u32], options, move |n| {
+            if attempts.fetch_add(1, Ordering::Relaxed) == 0 {
+                std::thread::sleep(Duration::from_millis(120));
+            }
+            n
+        });
+        assert_eq!(results, vec![Ok(5)]);
+    }
+
+    #[test]
+    fn try_map_preserves_order_and_matches_map() {
+        let pool = Pool::new(4);
+        let via_try: Vec<u64> = pool
+            .try_map_with((0u64..100).collect(), NO_RETRY, |n| n * 3)
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(via_try, pool.map((0u64..100).collect(), |n| n * 3));
+    }
+
+    #[test]
+    fn map_options_default_is_retry_without_deadline() {
+        let options = MapOptions::default();
+        assert_eq!(options.timeout_ms, None);
+        assert!(options.retry);
+        assert!(options.backoff_ms > 0);
     }
 }

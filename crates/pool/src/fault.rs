@@ -1,0 +1,176 @@
+//! Deterministic, env-driven fault injection — the test-only hook the
+//! fault-injection harness (`vlpp-check`'s `FaultPlan` and
+//! `tests/integration_faults.rs`) drives to prove the stack degrades
+//! gracefully instead of aborting.
+//!
+//! The hook is armed by the `VLPP_FAULT` environment variable and is
+//! completely inert (one relaxed atomic increment per task) when unset.
+//! Grammar:
+//!
+//! ```text
+//! VLPP_FAULT=panic@N            panic task N's first attempt only
+//! VLPP_FAULT=panic@N:persist    panic every attempt of task N
+//! VLPP_FAULT=stall@N:MS         stall task N's first attempt for MS ms
+//! VLPP_FAULT=stall@N:MS:persist stall every attempt of task N
+//! ```
+//!
+//! `N` is the global task sequence number: every task submitted to any
+//! [`Pool`](crate::Pool) map draws the next number *at submission, in
+//! input order*, so with `VLPP_THREADS=1` the numbering — and therefore
+//! the injected fault's landing site — is identical run after run. A
+//! retried task keeps its original sequence number, which is what makes
+//! the `persist` distinction meaningful: a plain fault is *transient*
+//! (the retry succeeds), a `:persist` fault is *permanent* (the retry
+//! fails too and the typed error surfaces to the caller).
+//!
+//! Every fired fault increments the `pool.faults_injected` counter. An
+//! unparseable `VLPP_FAULT` warns on stderr and injects nothing — the
+//! fault harness must never itself be a crash vector.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// A parsed `VLPP_FAULT` plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FaultSpec {
+    /// Panic when the task with this sequence number runs.
+    Panic {
+        /// Target task sequence number.
+        at: u64,
+        /// Fire on every attempt (true) or only the first (false).
+        persist: bool,
+    },
+    /// Sleep `ms` milliseconds inside the target task.
+    Stall {
+        /// Target task sequence number.
+        at: u64,
+        /// Stall duration in milliseconds.
+        ms: u64,
+        /// Fire on every attempt (true) or only the first (false).
+        persist: bool,
+    },
+}
+
+/// Parses the `VLPP_FAULT` grammar. Returns `Err` with a diagnostic for
+/// anything malformed.
+pub(crate) fn parse_fault(value: &str) -> Result<FaultSpec, String> {
+    let value = value.trim();
+    let (kind, rest) = value
+        .split_once('@')
+        .ok_or_else(|| format!("`{value}`: expected `panic@N` or `stall@N:MS`"))?;
+    let mut parts = rest.split(':');
+    let at = parts
+        .next()
+        .and_then(|s| s.parse::<u64>().ok())
+        .ok_or_else(|| format!("`{value}`: task number must be a non-negative integer"))?;
+    match kind {
+        "panic" => {
+            let persist = match parts.next() {
+                None => false,
+                Some("persist") => true,
+                Some(other) => return Err(format!("`{value}`: unknown modifier `{other}`")),
+            };
+            if parts.next().is_some() {
+                return Err(format!("`{value}`: trailing fields"));
+            }
+            Ok(FaultSpec::Panic { at, persist })
+        }
+        "stall" => {
+            let ms = parts
+                .next()
+                .and_then(|s| s.parse::<u64>().ok())
+                .ok_or_else(|| format!("`{value}`: stall needs a duration, `stall@N:MS`"))?;
+            let persist = match parts.next() {
+                None => false,
+                Some("persist") => true,
+                Some(other) => return Err(format!("`{value}`: unknown modifier `{other}`")),
+            };
+            if parts.next().is_some() {
+                return Err(format!("`{value}`: trailing fields"));
+            }
+            Ok(FaultSpec::Stall { at, ms, persist })
+        }
+        other => Err(format!("`{value}`: unknown fault kind `{other}`")),
+    }
+}
+
+fn armed_spec() -> Option<FaultSpec> {
+    static SPEC: OnceLock<Option<FaultSpec>> = OnceLock::new();
+    *SPEC.get_or_init(|| match std::env::var("VLPP_FAULT") {
+        Err(_) => None,
+        Ok(raw) => match parse_fault(&raw) {
+            Ok(spec) => Some(spec),
+            Err(message) => {
+                eprintln!("warning: ignoring invalid VLPP_FAULT: {message}");
+                None
+            }
+        },
+    })
+}
+
+/// Draws the next global task sequence number. Called once per submitted
+/// task, in input order, so numbering is deterministic at
+/// `VLPP_THREADS=1`.
+pub(crate) fn next_seq() -> u64 {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    SEQ.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Fires the armed fault if `seq`/`attempt` match it. Called by the
+/// executor immediately before running a task's work closure; a panic
+/// raised here is indistinguishable from the task itself panicking,
+/// which is exactly the point.
+pub(crate) fn fire(seq: u64, attempt: u32) {
+    let Some(spec) = armed_spec() else { return };
+    match spec {
+        FaultSpec::Panic { at, persist } if at == seq && (persist || attempt == 1) => {
+            vlpp_metrics::counter("pool.faults_injected").incr();
+            panic!("injected fault: panic in task {seq} (attempt {attempt})");
+        }
+        FaultSpec::Stall { at, ms, persist } if at == seq && (persist || attempt == 1) => {
+            vlpp_metrics::counter("pool.faults_injected").incr();
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_documented_grammar() {
+        assert_eq!(parse_fault("panic@3"), Ok(FaultSpec::Panic { at: 3, persist: false }));
+        assert_eq!(
+            parse_fault("panic@0:persist"),
+            Ok(FaultSpec::Panic { at: 0, persist: true })
+        );
+        assert_eq!(
+            parse_fault("stall@7:250"),
+            Ok(FaultSpec::Stall { at: 7, ms: 250, persist: false })
+        );
+        assert_eq!(
+            parse_fault(" stall@7:250:persist "),
+            Ok(FaultSpec::Stall { at: 7, ms: 250, persist: true })
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_plans_with_diagnostics() {
+        for bad in [
+            "", "panic", "panic@", "panic@x", "panic@3:often", "stall@3", "stall@3:x",
+            "stall@3:10:often", "stall@3:10:persist:extra", "fuzz@1", "panic@1:persist:x",
+        ] {
+            let err = parse_fault(bad).unwrap_err();
+            assert!(err.contains('`'), "diagnostic for `{bad}` should quote the input: {err}");
+        }
+    }
+
+    #[test]
+    fn sequence_numbers_are_monotonic() {
+        let a = next_seq();
+        let b = next_seq();
+        assert!(b > a);
+    }
+}

@@ -16,11 +16,19 @@
 //!   own batch, so nested maps reuse the same bounded thread set
 //!   instead of spawning — total threads never exceed the configured
 //!   count, at any nesting depth.
+//! * [`Pool::try_map`] — the fault-isolating flavor: one `Result` per
+//!   item, panics contained as [`TaskError::Panicked`], a per-task
+//!   watchdog deadline (`VLPP_TASK_TIMEOUT_MS`) that abandons overdue
+//!   tasks as [`TaskError::TimedOut`], and a single retry with backoff
+//!   (`VLPP_RETRY`, `VLPP_RETRY_BACKOFF_MS`). `ROBUSTNESS.md` at the
+//!   repository root describes the semantics and the `VLPP_FAULT`
+//!   injection hook used to test them.
 //! * [`Memo`] — a compute-once-per-key concurrent memo table. Two
 //!   threads that miss on the same key no longer both run a minutes-long
 //!   computation with one result thrown away: the first computes, the
 //!   second blocks and shares the winner's `Arc`. Distinct keys still
-//!   compute in parallel.
+//!   compute in parallel. A computation that panics is evicted, never
+//!   cached, so a poisoned key heals on the next request.
 //!
 //! Determinism: a `map`'s results are placed by input index and memoized
 //! values are computed by pure functions of their key, so every
@@ -47,9 +55,10 @@
 #![warn(missing_debug_implementations)]
 
 mod executor;
+mod fault;
 mod memo;
 
-pub use executor::Pool;
+pub use executor::{MapOptions, PanicReport, Pool, TaskError};
 pub use memo::Memo;
 
 use std::sync::{Mutex, MutexGuard};

@@ -10,16 +10,18 @@
 
 use std::collections::HashMap;
 use std::hash::Hash;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use vlpp_metrics::Counter;
 
 use crate::lock;
 
-/// Hit/miss counters for a [`Memo`] created with [`Memo::named`].
+/// Instruments for a [`Memo`] created with [`Memo::named`].
 struct MemoMetrics {
     hits: Arc<Counter>,
     misses: Arc<Counter>,
+    evicted: Arc<Counter>,
 }
 
 /// A concurrent, compute-once-per-key memo table.
@@ -30,8 +32,13 @@ struct MemoMetrics {
 /// The map lock is held only to look up the key's cell, never during
 /// computation, so distinct keys never serialize each other. A
 /// computation must not recursively request its own key (the same
-/// constraint as [`OnceLock::get_or_init`]); if it panics, the cell is
-/// left empty and the next caller retries.
+/// constraint as [`OnceLock::get_or_init`]).
+///
+/// A computation that panics is **evicted, not cached**: the poisoned
+/// cell is removed from the table before the panic is re-raised, so no
+/// later caller can inherit a half-initialized entry, and the next
+/// request for that key computes from scratch. Named memos count these
+/// as `pool.memo.<name>.evicted`.
 ///
 /// # Example
 ///
@@ -85,6 +92,7 @@ impl<K: Eq + Hash + Clone, V> Memo<K, V> {
             metrics: Some(MemoMetrics {
                 hits: vlpp_metrics::counter(&format!("pool.memo.{name}.hits")),
                 misses: vlpp_metrics::counter(&format!("pool.memo.{name}.misses")),
+                evicted: vlpp_metrics::counter(&format!("pool.memo.{name}.evicted")),
             }),
         }
     }
@@ -95,7 +103,7 @@ impl<K: Eq + Hash + Clone, V> Memo<K, V> {
     pub fn get_or_compute(&self, key: K, compute: impl FnOnce() -> V) -> Arc<V> {
         let cell = {
             let mut cells = lock(&self.cells);
-            Arc::clone(cells.entry(key).or_default())
+            Arc::clone(cells.entry(key.clone()).or_default())
         };
         if let Some(metrics) = &self.metrics {
             if cell.get().is_some() {
@@ -104,7 +112,28 @@ impl<K: Eq + Hash + Clone, V> Memo<K, V> {
                 metrics.misses.incr();
             }
         }
-        Arc::clone(cell.get_or_init(|| Arc::new(compute())))
+        match catch_unwind(AssertUnwindSafe(|| {
+            Arc::clone(cell.get_or_init(|| Arc::new(compute())))
+        })) {
+            Ok(value) => value,
+            Err(payload) => {
+                // Evict the poisoned cell so no later caller inherits it.
+                // Guard on pointer identity and emptiness: a concurrent
+                // caller may have replaced the entry or finished its own
+                // successful computation in the meantime.
+                let mut cells = lock(&self.cells);
+                let stale = cells
+                    .get(&key)
+                    .is_some_and(|current| Arc::ptr_eq(current, &cell) && cell.get().is_none());
+                if stale {
+                    cells.remove(&key);
+                    if let Some(metrics) = &self.metrics {
+                        metrics.evicted.incr();
+                    }
+                }
+                resume_unwind(payload)
+            }
+        }
     }
 
     /// The memoized value for `key`, if it has finished computing.
@@ -182,6 +211,22 @@ mod tests {
         assert!(attempt.is_err());
         assert_eq!(memo.get(&1), None);
         assert_eq!(*memo.get_or_compute(1, || 42), 42);
+    }
+
+    #[test]
+    fn panicked_computation_is_evicted_and_counted() {
+        let memo: Memo<u8, u8> = Memo::named("unit_test_evict");
+        let evicted = vlpp_metrics::counter("pool.memo.unit_test_evict.evicted");
+        let before = evicted.get();
+        let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            memo.get_or_compute(9, || panic!("poisoned"))
+        }));
+        assert!(attempt.is_err());
+        assert_eq!(evicted.get(), before + 1, "the poisoned cell is evicted");
+        // The key recomputes from scratch and caches normally afterwards.
+        assert_eq!(*memo.get_or_compute(9, || 81), 81);
+        assert_eq!(*memo.get_or_compute(9, || unreachable!("cached")), 81);
+        assert_eq!(evicted.get(), before + 1, "successful recompute evicts nothing");
     }
 
     #[test]

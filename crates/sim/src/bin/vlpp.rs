@@ -11,13 +11,17 @@
 //! ```
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
+use vlpp_pool::TaskError;
 use vlpp_sim::paper;
 use vlpp_sim::report::TextTable;
-use vlpp_sim::{Scale, Workloads};
+use vlpp_sim::{Checkpoint, SavedOutput, Scale, Workloads};
+use vlpp_trace::json::{JsonValue, ToJson};
+use vlpp_trace::VlppError;
 
 const USAGE: &str = "\
-usage: vlpp <experiment> [--scale N] [--json] [--metrics]
+usage: vlpp <experiment> [--scale N] [--json] [--metrics] [--checkpoint DIR]
 
 experiments:
   table1     Table 1: benchmark summary
@@ -48,11 +52,26 @@ options:
   --metrics  after the experiment, print a metrics table on stderr and a
              single `METRICS {json}` line on stdout (see OBSERVABILITY.md;
              excluded from the determinism guarantee)
+  --checkpoint DIR
+             (with `all`) persist each finished experiment to DIR and, on
+             rerun, resume from what is already there; output is
+             byte-identical to an uninterrupted run (see ROBUSTNESS.md)
+
+`all` isolates experiments: one failing experiment is reported on stderr
+(and under an \"errors\" key with --json), the rest still run, and the
+exit code is 2 instead of aborting the whole run.
 
 environment:
   VLPP_SCALE    default for --scale (invalid values warn and fall back)
   VLPP_THREADS  worker-pool size (default: available parallelism; output
                 is byte-identical at any thread count)
+  VLPP_TASK_TIMEOUT_MS  per-experiment watchdog deadline for `all`
+                        (default: none)
+  VLPP_RETRY / VLPP_RETRY_BACKOFF_MS
+                retry a failed experiment once after the backoff
+                (defaults: on / 50 ms)
+  VLPP_FAULT    test-only fault injection, e.g. panic@3 or
+                stall@5:200:persist (see ROBUSTNESS.md)
 ";
 
 fn main() -> ExitCode {
@@ -61,9 +80,17 @@ fn main() -> ExitCode {
     let mut scale = Scale::from_env();
     let mut json = false;
     let mut metrics = false;
+    let mut checkpoint_dir: Option<String> = None;
 
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--checkpoint" => {
+                let Some(dir) = args.next() else {
+                    eprintln!("--checkpoint needs a directory");
+                    return ExitCode::FAILURE;
+                };
+                checkpoint_dir = Some(dir);
+            }
             "--scale" => {
                 let value = match args.next().and_then(|v| v.parse::<u64>().ok()) {
                     Some(v) if v >= 1 => v,
@@ -93,7 +120,7 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     };
 
-    let workloads = Workloads::new(scale);
+    let workloads = Arc::new(Workloads::new(scale));
     eprintln!("# scale: 1/{} of paper dynamic counts", scale.divisor());
 
     let all = experiment == "all";
@@ -106,47 +133,157 @@ fn main() -> ExitCode {
         vec![experiment.as_str()]
     };
 
-    // Experiments are independent; run them on the shared pool. Results
-    // come back in submission order, so output is deterministic at any
-    // thread count.
-    let outputs = {
-        let _span = vlpp_metrics::span("sim.experiment_ns");
-        vlpp_pool::Pool::global().map(ids.clone(), |id| run_one(id, &workloads))
+    let checkpoint = match &checkpoint_dir {
+        Some(dir) if all => match Checkpoint::open(dir, scale.divisor()) {
+            Ok(checkpoint) => Some(Arc::new(checkpoint)),
+            Err(error) => {
+                eprintln!("error: {error}");
+                return ExitCode::FAILURE;
+            }
+        },
+        Some(_) => {
+            eprintln!("warning: --checkpoint only applies to `all`; ignoring");
+            None
+        }
+        None => None,
     };
 
+    if !all {
+        // A single experiment keeps the strict contract: any failure is
+        // fatal, unknown names print usage.
+        let outputs = {
+            let _span = vlpp_metrics::span("sim.experiment_ns");
+            vlpp_pool::Pool::global().map(ids.clone(), |id| run_one(id, &workloads))
+        };
+        for (id, output) in ids.iter().zip(outputs) {
+            match output {
+                Ok(Output { json: tree, text }) => {
+                    if json {
+                        println!("{}", tree.pretty());
+                    } else {
+                        println!("== {id} ==");
+                        println!("{text}");
+                    }
+                }
+                Err(message) => {
+                    eprintln!("{message}\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        print_metrics(metrics);
+        return ExitCode::SUCCESS;
+    }
+
+    // `all`: experiments are independent, so one failure must not take
+    // down the others. Completed results are loaded from the checkpoint
+    // (if any); the rest run isolated on the shared pool — a panicking
+    // or overdue experiment becomes a typed error in its slot. Results
+    // fill slots by input index, so output stays deterministic at any
+    // thread count.
+    let mut slots: Vec<Option<Result<Output, VlppError>>> = ids.iter().map(|_| None).collect();
+    if let Some(checkpoint) = &checkpoint {
+        for (i, id) in ids.iter().enumerate() {
+            match checkpoint.load(id) {
+                Ok(Some(saved)) => {
+                    eprintln!("# checkpoint: `{id}` already done, skipping");
+                    slots[i] = Some(Ok(Output { json: saved.json, text: saved.text }));
+                }
+                Ok(None) => {}
+                Err(error) => {
+                    eprintln!("error: {error}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+
+    let pending: Vec<(usize, String)> = slots
+        .iter()
+        .enumerate()
+        .filter(|(_, slot)| slot.is_none())
+        .map(|(i, _)| (i, ids[i].to_string()))
+        .collect();
+    let results = {
+        let _span = vlpp_metrics::span("sim.experiment_ns");
+        let workloads = Arc::clone(&workloads);
+        let checkpoint = checkpoint.clone();
+        vlpp_pool::Pool::global().try_map(pending.clone(), move |(_, id): (usize, String)| {
+            let output = run_one(&id, &workloads);
+            // Persist as soon as the experiment finishes, not at the end
+            // of the run — that is what makes a mid-run kill resumable.
+            if let (Ok(output), Some(checkpoint)) = (&output, &checkpoint) {
+                let saved =
+                    SavedOutput { json: output.json.clone(), text: output.text.clone() };
+                if let Err(error) = checkpoint.store(&id, &saved) {
+                    eprintln!("warning: could not checkpoint `{id}`: {error}");
+                }
+            }
+            output
+        })
+    };
+    for ((i, id), result) in pending.into_iter().zip(results) {
+        slots[i] = Some(match result {
+            Ok(Ok(output)) => Ok(output),
+            Ok(Err(message)) => Err(VlppError::Cli { message }),
+            Err(TaskError::Panicked { payload, worker }) => {
+                Err(VlppError::WorkerPanic { what: id, payload, worker })
+            }
+            Err(TaskError::TimedOut { elapsed_ms, limit_ms }) => {
+                Err(VlppError::Timeout { what: id, elapsed_ms, limit_ms })
+            }
+        });
+    }
+
     let mut object = Vec::new();
-    for (id, output) in ids.iter().zip(outputs) {
-        match output {
+    let mut errors: Vec<(String, JsonValue)> = Vec::new();
+    for (id, slot) in ids.iter().zip(slots) {
+        match slot.expect("every experiment resolved") {
             Ok(Output { json: tree, text }) => {
-                if json && all {
+                if json {
                     object.push((id.to_string(), tree));
-                } else if json {
-                    println!("{}", tree.pretty());
                 } else {
                     println!("== {id} ==");
                     println!("{text}");
                 }
             }
-            Err(message) => {
-                eprintln!("{message}\n{USAGE}");
-                return ExitCode::FAILURE;
+            Err(error) => {
+                vlpp_metrics::counter("sim.experiments_skipped").incr();
+                eprintln!("error: experiment `{id}` failed ({}): {error}; skipping", error.phase());
+                errors.push((id.to_string(), error.to_json()));
             }
         }
     }
-    if json && all {
+    if json {
         // One JSON object keyed by experiment id — parseable as a whole,
-        // unlike the old headers-interleaved-with-objects stream.
-        println!("{}", vlpp_trace::json::JsonValue::Object(object).pretty());
+        // unlike the old headers-interleaved-with-objects stream. The
+        // "errors" key appears only when something failed, so a clean
+        // run's output is unchanged.
+        if !errors.is_empty() {
+            object.push(("errors".to_string(), JsonValue::Object(errors.clone())));
+        }
+        println!("{}", JsonValue::Object(object).pretty());
     }
-    if metrics {
-        // Metrics are observational, not part of the experiment output:
-        // the table goes to stderr, and the machine-readable snapshot is
-        // one self-delimiting stdout line consumers strip before diffing.
-        let registry = vlpp_metrics::Registry::global();
-        eprint!("{}", registry.render_table());
-        println!("METRICS {}", registry.snapshot());
+    print_metrics(metrics);
+    if errors.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        // Partial failure: results above are valid, but not all of them
+        // arrived. Distinct from 1 (bad invocation / fatal error).
+        ExitCode::from(2)
     }
-    ExitCode::SUCCESS
+}
+
+fn print_metrics(enabled: bool) {
+    if !enabled {
+        return;
+    }
+    // Metrics are observational, not part of the experiment output:
+    // the table goes to stderr, and the machine-readable snapshot is
+    // one self-delimiting stdout line consumers strip before diffing.
+    let registry = vlpp_metrics::Registry::global();
+    eprint!("{}", registry.render_table());
+    println!("METRICS {}", registry.snapshot());
 }
 
 /// One experiment's result, rendered both ways; the caller picks.

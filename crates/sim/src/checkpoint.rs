@@ -1,0 +1,218 @@
+//! Crash-safe checkpointing for `vlpp all`.
+//!
+//! A full `vlpp all` run is minutes of compute at realistic scales; a
+//! crash (or an injected fault) near the end used to throw all of it
+//! away. With `--checkpoint <dir>`, every experiment that completes is
+//! persisted as one JSON envelope, and a rerun loads the finished ones
+//! and computes only what is missing — emitting stdout **byte-identical**
+//! to an uninterrupted run (the integration suite kills a run mid-way
+//! and diffs exactly that).
+//!
+//! ## Format
+//!
+//! One file per experiment, `<dir>/<id>.json`:
+//!
+//! ```json
+//! { "id": "fig5", "scale": 16, "json": { …tree… }, "text": "…rendered table…" }
+//! ```
+//!
+//! Both renderings are stored so `--json` and text runs can each resume
+//! from the same checkpoint without recomputation. `scale` pins the
+//! scale divisor the result was computed at: loading an envelope written
+//! at a different scale is a hard [`VlppError::Checkpoint`] — silently
+//! mixing scales would corrupt the output instead of crashing, which is
+//! worse.
+//!
+//! ## Crash safety
+//!
+//! Writes go to a `.tmp` sibling first and are atomically renamed into
+//! place, so a kill mid-write leaves either the old file or no file —
+//! never a torn one. A *corrupt* envelope (torn by something cruder
+//! than a kill, or hand-edited) is reported on stderr and treated as
+//! missing: the experiment recomputes, the run proceeds.
+
+use std::path::{Path, PathBuf};
+
+use vlpp_trace::json::JsonValue;
+use vlpp_trace::VlppError;
+
+/// One persisted experiment result, both renderings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SavedOutput {
+    /// The experiment's JSON tree (what `--json` emits).
+    pub json: JsonValue,
+    /// The rendered text table (what the default mode emits).
+    pub text: String,
+}
+
+/// A checkpoint directory scoped to one scale divisor.
+#[derive(Debug)]
+pub struct Checkpoint {
+    dir: PathBuf,
+    scale: u64,
+}
+
+impl Checkpoint {
+    /// Opens (creating if needed) a checkpoint directory for runs at
+    /// the given scale divisor.
+    pub fn open(dir: impl Into<PathBuf>, scale: u64) -> Result<Self, VlppError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)
+            .map_err(|source| VlppError::io(dir.clone(), "create checkpoint directory", source))?;
+        Ok(Checkpoint { dir, scale })
+    }
+
+    fn path_for(&self, id: &str) -> PathBuf {
+        self.dir.join(format!("{id}.json"))
+    }
+
+    /// Loads the saved output for `id`, if a complete one exists.
+    ///
+    /// Missing file → `Ok(None)` (not yet computed). Corrupt envelope →
+    /// `Ok(None)` with a stderr warning (recompute and move on). Scale
+    /// mismatch → `Err`: the caller asked to resume a different run.
+    pub fn load(&self, id: &str) -> Result<Option<SavedOutput>, VlppError> {
+        let path = self.path_for(id);
+        let raw = match std::fs::read_to_string(&path) {
+            Ok(raw) => raw,
+            Err(error) if error.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(source) => return Err(VlppError::io(path, "read checkpoint", source)),
+        };
+        let envelope = match JsonValue::parse(&raw) {
+            Ok(envelope) => envelope,
+            Err(error) => {
+                eprintln!(
+                    "warning: corrupt checkpoint {} ({error}); recomputing `{id}`",
+                    path.display()
+                );
+                return Ok(None);
+            }
+        };
+        let fields = (
+            envelope.get("id").and_then(|v| v.as_str()),
+            envelope.get("scale").and_then(|v| v.as_u64()),
+            envelope.get("json"),
+            envelope.get("text").and_then(|v| v.as_str()),
+        );
+        let (Some(saved_id), Some(saved_scale), Some(json), Some(text)) = fields else {
+            eprintln!(
+                "warning: corrupt checkpoint {} (missing fields); recomputing `{id}`",
+                path.display()
+            );
+            return Ok(None);
+        };
+        if saved_id != id {
+            eprintln!(
+                "warning: checkpoint {} is for `{saved_id}`, not `{id}`; recomputing",
+                path.display()
+            );
+            return Ok(None);
+        }
+        if saved_scale != self.scale {
+            return Err(VlppError::Checkpoint {
+                path,
+                message: format!(
+                    "saved at scale 1/{saved_scale} but this run uses 1/{}; \
+                     pass the matching --scale or use a fresh checkpoint directory",
+                    self.scale
+                ),
+            });
+        }
+        Ok(Some(SavedOutput { json: json.clone(), text: text.to_string() }))
+    }
+
+    /// Persists one experiment's output atomically: the envelope is
+    /// written to a `.tmp` sibling and renamed into place, so a crash
+    /// mid-write can never leave a torn file behind.
+    pub fn store(&self, id: &str, output: &SavedOutput) -> Result<(), VlppError> {
+        let envelope = JsonValue::Object(vec![
+            ("id".to_string(), JsonValue::Str(id.to_string())),
+            ("scale".to_string(), JsonValue::UInt(self.scale)),
+            ("json".to_string(), output.json.clone()),
+            ("text".to_string(), JsonValue::Str(output.text.clone())),
+        ]);
+        let path = self.path_for(id);
+        let tmp = self.dir.join(format!("{id}.json.tmp"));
+        std::fs::write(&tmp, envelope.pretty())
+            .map_err(|source| VlppError::io(tmp.clone(), "write checkpoint", source))?;
+        std::fs::rename(&tmp, &path)
+            .map_err(|source| VlppError::io(path, "commit checkpoint", source))
+    }
+
+    /// The directory this checkpoint lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("vlpp-checkpoint-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample() -> SavedOutput {
+        SavedOutput {
+            json: JsonValue::Object(vec![
+                ("rate".to_string(), JsonValue::Float(3.25)),
+                ("rows".to_string(), JsonValue::Array(vec![JsonValue::UInt(1)])),
+            ]),
+            text: "col a | col b\n 1.0 | 2.0\n".to_string(),
+        }
+    }
+
+    #[test]
+    fn store_then_load_round_trips_both_renderings() {
+        let dir = temp_dir("roundtrip");
+        let checkpoint = Checkpoint::open(&dir, 16).unwrap();
+        assert_eq!(checkpoint.load("fig5").unwrap(), None, "nothing saved yet");
+        checkpoint.store("fig5", &sample()).unwrap();
+        assert_eq!(checkpoint.load("fig5").unwrap(), Some(sample()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scale_mismatch_is_a_typed_error() {
+        let dir = temp_dir("scale");
+        Checkpoint::open(&dir, 16).unwrap().store("table1", &sample()).unwrap();
+        let other = Checkpoint::open(&dir, 4).unwrap();
+        match other.load("table1") {
+            Err(VlppError::Checkpoint { message, .. }) => {
+                assert!(message.contains("1/16"), "{message}");
+                assert!(message.contains("1/4"), "{message}");
+            }
+            other => panic!("expected a checkpoint error, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_envelope_recomputes_instead_of_failing() {
+        let dir = temp_dir("corrupt");
+        let checkpoint = Checkpoint::open(&dir, 16).unwrap();
+        std::fs::write(dir.join("fig9.json"), "{ not json").unwrap();
+        assert_eq!(checkpoint.load("fig9").unwrap(), None, "corrupt = missing");
+        std::fs::write(dir.join("fig10.json"), "{\"id\": \"fig10\"}").unwrap();
+        assert_eq!(checkpoint.load("fig10").unwrap(), None, "incomplete = missing");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn no_tmp_file_survives_a_store() {
+        let dir = temp_dir("tmp");
+        let checkpoint = Checkpoint::open(&dir, 16).unwrap();
+        checkpoint.store("hfnt", &sample()).unwrap();
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .filter(|name| name.ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "tmp files left behind: {leftovers:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -47,12 +47,14 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod checkpoint;
 pub mod experiment;
 pub mod frontend;
 pub mod paper;
 pub mod report;
 pub mod runner;
 
+pub use checkpoint::{Checkpoint, SavedOutput};
 pub use experiment::{Scale, Workloads};
 pub use frontend::{run_frontend, FrontendCost, Penalties};
 pub use runner::{run_conditional, run_indirect, RunStats};

@@ -74,9 +74,10 @@ pub fn write_compact<W: Write>(trace: &Trace, mut writer: W) -> Result<(), Trace
 ///
 /// Returns an error for bad magic, an unsupported version, a truncated
 /// stream, or an invalid kind code.
-pub fn read_compact<R: Read>(mut reader: R) -> Result<Trace, TraceIoError> {
+pub fn read_compact<R: Read>(reader: R) -> Result<Trace, TraceIoError> {
+    let mut reader = Counting { inner: reader, position: 0 };
     let mut header = [0u8; 16];
-    read_exact_or(&mut reader, &mut header, 0)?;
+    reader.read_exact_or(&mut header, 0)?;
     if header[0..4] != MAGIC {
         let mut found = [0u8; 4];
         found.copy_from_slice(&header[0..4]);
@@ -88,10 +89,14 @@ pub fn read_compact<R: Read>(mut reader: R) -> Result<Trace, TraceIoError> {
     }
     let count = u64::from_le_bytes(header[8..16].try_into().expect("8-byte slice"));
 
-    let mut trace = Trace::with_capacity(usize::try_from(count).unwrap_or(0));
+    // As in `io::read_binary`: never let a corrupt count field drive an
+    // allocator-aborting preallocation. Iterate to `count` (truncation
+    // becomes a typed error) but reserve at most the cap.
+    let prealloc = usize::try_from(count).unwrap_or(0).min(crate::io::MAX_PREALLOC_RECORDS);
+    let mut trace = Trace::with_capacity(prealloc);
     let mut previous_pc: u64 = 0;
     for index in 0..count {
-        let tag = read_byte(&mut reader, index)?;
+        let tag = reader.read_byte(index)?;
         let kind = BranchKind::from_code(tag & 0x7)
             .ok_or(TraceIoError::BadKind { code: tag & 0x7, index })?;
         let taken = tag & 0x8 != 0;
@@ -117,41 +122,54 @@ fn write_signed(buf: &mut Vec<u8>, value: i64) {
     }
 }
 
-fn read_signed<R: Read>(reader: &mut R, index: u64) -> Result<i64, TraceIoError> {
+fn read_signed<R: Read>(reader: &mut Counting<R>, index: u64) -> Result<i64, TraceIoError> {
     let mut zigzag: u64 = 0;
     let mut shift = 0u32;
     loop {
-        let byte = read_byte(reader, index)?;
+        let byte = reader.read_byte(index)?;
         zigzag |= ((byte & 0x7f) as u64) << shift;
         if byte & 0x80 == 0 {
             break;
         }
         shift += 7;
         if shift >= 64 {
-            return Err(TraceIoError::Truncated { records_read: index });
+            // A continuation run longer than a u64 is corruption, not a
+            // short read, but either way the stream is unusable here.
+            return Err(TraceIoError::Truncated {
+                records_read: index,
+                byte_offset: reader.position,
+            });
         }
     }
     Ok(((zigzag >> 1) as i64) ^ -((zigzag & 1) as i64))
 }
 
-fn read_byte<R: Read>(reader: &mut R, records_read: u64) -> Result<u8, TraceIoError> {
-    let mut byte = [0u8; 1];
-    read_exact_or(reader, &mut byte, records_read)?;
-    Ok(byte[0])
+/// A reader that tracks how many bytes it has consumed, so truncation
+/// errors in the variable-width format can name the exact offset.
+struct Counting<R> {
+    inner: R,
+    position: u64,
 }
 
-fn read_exact_or<R: Read>(
-    reader: &mut R,
-    buf: &mut [u8],
-    records_read: u64,
-) -> Result<(), TraceIoError> {
-    reader.read_exact(buf).map_err(|e| {
-        if e.kind() == std::io::ErrorKind::UnexpectedEof {
-            TraceIoError::Truncated { records_read }
-        } else {
-            TraceIoError::Io(e)
-        }
-    })
+impl<R: Read> Counting<R> {
+    fn read_byte(&mut self, records_read: u64) -> Result<u8, TraceIoError> {
+        let mut byte = [0u8; 1];
+        self.read_exact_or(&mut byte, records_read)?;
+        Ok(byte[0])
+    }
+
+    fn read_exact_or(&mut self, buf: &mut [u8], records_read: u64) -> Result<(), TraceIoError> {
+        let at = self.position;
+        self.inner.read_exact(buf).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                TraceIoError::Truncated { records_read, byte_offset: at }
+            } else {
+                TraceIoError::Io(e)
+            }
+        })?;
+        self.position += buf.len() as u64;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -245,8 +263,10 @@ mod tests {
         for value in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN, 0x7fff_ffff, -0x8000_0000] {
             let mut buf = Vec::new();
             write_signed(&mut buf, value);
-            let got = read_signed(&mut &buf[..], 0).unwrap();
+            let mut reader = Counting { inner: &buf[..], position: 0 };
+            let got = read_signed(&mut reader, 0).unwrap();
             assert_eq!(got, value, "value {value}");
+            assert_eq!(reader.position, buf.len() as u64);
         }
     }
 }

@@ -43,8 +43,9 @@
 //! ```
 
 use std::io::{Read, Write};
+use std::path::Path;
 
-use crate::{Addr, BranchKind, BranchRecord, ParseTraceError, Trace, TraceIoError};
+use crate::{Addr, BranchKind, BranchRecord, ParseTraceError, Trace, TraceIoError, VlppError};
 
 /// Magic bytes identifying a binary vlpp trace.
 pub const MAGIC: [u8; 4] = *b"VLPT";
@@ -53,6 +54,13 @@ pub const MAGIC: [u8; 4] = *b"VLPT";
 pub const VERSION: u16 = 1;
 
 const RECORD_BYTES: usize = 18;
+
+/// Cap on upfront record preallocation while reading. A header's
+/// declared count is corruption-controlled, so trusting it for
+/// `with_capacity` would let a flipped bit request an exabyte and abort
+/// the process in the allocator; readers reserve at most this many
+/// records and grow organically if the data really is bigger.
+pub(crate) const MAX_PREALLOC_RECORDS: usize = 1 << 20;
 
 /// Writes `trace` to `writer` in the binary format.
 ///
@@ -86,7 +94,7 @@ pub fn write_binary<W: Write>(trace: &Trace, mut writer: W) -> Result<(), TraceI
 /// branch-kind code.
 pub fn read_binary<R: Read>(mut reader: R) -> Result<Trace, TraceIoError> {
     let mut header = [0u8; 16];
-    read_exact_or(&mut reader, &mut header, 0)?;
+    read_exact_or(&mut reader, &mut header, 0, 0)?;
     if header[0..4] != MAGIC {
         let mut found = [0u8; 4];
         found.copy_from_slice(&header[0..4]);
@@ -98,13 +106,53 @@ pub fn read_binary<R: Read>(mut reader: R) -> Result<Trace, TraceIoError> {
     }
     let count = u64::from_le_bytes(header[8..16].try_into().expect("8-byte slice"));
 
-    let mut trace = Trace::with_capacity(usize::try_from(count).unwrap_or(0));
+    // Trust `count` for iteration (truncation surfaces as a typed error)
+    // but not for preallocation: a corrupt header could declare 2^60
+    // records and abort the process inside the allocator. Cap the
+    // upfront reservation and let `push` grow past it if the records
+    // really are there.
+    let prealloc = usize::try_from(count).unwrap_or(0).min(MAX_PREALLOC_RECORDS);
+    let mut trace = Trace::with_capacity(prealloc);
     let mut buf = [0u8; RECORD_BYTES];
     for index in 0..count {
-        read_exact_or(&mut reader, &mut buf, index)?;
+        let offset = 16 + index * RECORD_BYTES as u64;
+        read_exact_or(&mut reader, &mut buf, index, offset)?;
         trace.push(decode_record(&buf, index)?);
     }
     Ok(trace)
+}
+
+/// Reads a binary trace from a file, attaching the path to any error.
+///
+/// # Errors
+///
+/// Returns [`VlppError::Io`] if the file cannot be opened and
+/// [`VlppError::Trace`] (carrying the path and, for truncation, the byte
+/// offset) if the stream is not a readable trace.
+pub fn read_binary_file(path: impl AsRef<Path>) -> Result<Trace, VlppError> {
+    let path = path.as_ref();
+    let file = std::fs::File::open(path).map_err(|e| VlppError::io(path, "open", e))?;
+    read_binary(std::io::BufReader::new(file)).map_err(|e| VlppError::trace_file(path, e))
+}
+
+/// Writes `trace` to a file in the binary format, atomically: the bytes
+/// go to a `.tmp` sibling first and are renamed into place, so a crash
+/// mid-write can never leave a torn trace at `path`.
+///
+/// # Errors
+///
+/// Returns [`VlppError::Io`] naming the failing operation and path.
+pub fn write_binary_file(trace: &Trace, path: impl AsRef<Path>) -> Result<(), VlppError> {
+    let path = path.as_ref();
+    let tmp = path.with_extension("tmp");
+    let file = std::fs::File::create(&tmp).map_err(|e| VlppError::io(&tmp, "create", e))?;
+    let mut writer = std::io::BufWriter::new(file);
+    write_binary(trace, &mut writer).map_err(|e| match e {
+        TraceIoError::Io(e) => VlppError::io(&tmp, "write", e),
+        other => VlppError::trace_file(&tmp, other),
+    })?;
+    writer.into_inner().map_err(|e| VlppError::io(&tmp, "flush", e.into_error()))?;
+    std::fs::rename(&tmp, path).map_err(|e| VlppError::io(path, "rename", e))
 }
 
 /// Formats `trace` in the human-readable text format.
@@ -184,10 +232,15 @@ fn decode_record(buf: &[u8; RECORD_BYTES], index: u64) -> Result<BranchRecord, T
     Ok(BranchRecord::new(Addr::new(pc), Addr::new(target), kind, buf[17] != 0))
 }
 
-fn read_exact_or<R: Read>(reader: &mut R, buf: &mut [u8], records_read: u64) -> Result<(), TraceIoError> {
+fn read_exact_or<R: Read>(
+    reader: &mut R,
+    buf: &mut [u8],
+    records_read: u64,
+    byte_offset: u64,
+) -> Result<(), TraceIoError> {
     reader.read_exact(buf).map_err(|e| {
         if e.kind() == std::io::ErrorKind::UnexpectedEof {
-            TraceIoError::Truncated { records_read }
+            TraceIoError::Truncated { records_read, byte_offset }
         } else {
             TraceIoError::Io(e)
         }
@@ -241,12 +294,41 @@ mod tests {
     }
 
     #[test]
-    fn binary_detects_truncation() {
+    fn binary_detects_truncation_with_offset() {
         let mut buf = Vec::new();
         write_binary(&sample(), &mut buf).unwrap();
         buf.truncate(buf.len() - 5);
         let err = read_binary(&buf[..]).unwrap_err();
-        assert!(matches!(err, TraceIoError::Truncated { records_read: 5 }));
+        // The sixth record starts at 16 + 5*18 = 106; that's where the
+        // incomplete read began.
+        assert!(matches!(
+            err,
+            TraceIoError::Truncated { records_read: 5, byte_offset: 106 }
+        ));
+    }
+
+    #[test]
+    fn file_round_trip_attaches_path_context() {
+        let dir = std::env::temp_dir().join(format!("vlpp_io_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.trace");
+        write_binary_file(&sample(), &path).unwrap();
+        assert_eq!(read_binary_file(&path).unwrap(), sample());
+        // No torn temp file left behind.
+        assert!(!path.with_extension("tmp").exists());
+
+        // Corrupt the file: the error must carry the path.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.truncate(20);
+        std::fs::write(&path, &bytes).unwrap();
+        let err = read_binary_file(&path).unwrap_err();
+        assert_eq!(err.phase(), "trace-read");
+        assert!(err.to_string().contains("sample.trace"), "{err}");
+
+        let err = read_binary_file(dir.join("nonesuch.trace")).unwrap_err();
+        assert_eq!(err.phase(), "io");
+        assert!(err.to_string().contains("nonesuch.trace"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -224,8 +224,13 @@ impl JsonValue {
 
     /// Parses a JSON document. The entire input must be one value
     /// (surrounding whitespace is allowed).
+    ///
+    /// Parsing never panics: any malformed input — including nesting
+    /// deeper than [`MAX_PARSE_DEPTH`], which would otherwise overflow
+    /// the recursive-descent stack and abort the process — is reported
+    /// as a [`ParseJsonError`] with the offending byte offset.
     pub fn parse(text: &str) -> Result<JsonValue, ParseJsonError> {
-        let mut parser = Parser { bytes: text.as_bytes(), pos: 0 };
+        let mut parser = Parser { bytes: text.as_bytes(), pos: 0, depth: 0 };
         parser.skip_whitespace();
         let value = parser.value()?;
         parser.skip_whitespace();
@@ -294,14 +299,33 @@ impl fmt::Display for ParseJsonError {
 
 impl std::error::Error for ParseJsonError {}
 
+/// Maximum container nesting depth [`JsonValue::parse`] accepts.
+///
+/// The parser is recursive-descent, so unbounded nesting is a stack
+/// overflow — an *abort*, not an `Err`. No legitimate vlpp document
+/// (reports, checkpoints, metrics snapshots) nests past a handful of
+/// levels; anything deeper is corrupt or adversarial input.
+pub const MAX_PARSE_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
     fn error(&self, message: &str) -> ParseJsonError {
         ParseJsonError { message: message.to_string(), offset: self.pos }
+    }
+
+    /// Bumps the nesting depth on container entry; errors out instead of
+    /// letting recursion overflow the stack.
+    fn descend(&mut self) -> Result<(), ParseJsonError> {
+        self.depth += 1;
+        if self.depth > MAX_PARSE_DEPTH {
+            return Err(self.error("nesting deeper than MAX_PARSE_DEPTH"));
+        }
+        Ok(())
     }
 
     fn peek(&self) -> Option<u8> {
@@ -348,10 +372,12 @@ impl<'a> Parser<'a> {
 
     fn array(&mut self) -> Result<JsonValue, ParseJsonError> {
         self.expect(b'[')?;
+        self.descend()?;
         let mut items = Vec::new();
         self.skip_whitespace();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(JsonValue::Array(items));
         }
         loop {
@@ -362,6 +388,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(JsonValue::Array(items));
                 }
                 _ => return Err(self.error("expected `,` or `]` in array")),
@@ -371,10 +398,12 @@ impl<'a> Parser<'a> {
 
     fn object(&mut self) -> Result<JsonValue, ParseJsonError> {
         self.expect(b'{')?;
+        self.descend()?;
         let mut fields = Vec::new();
         self.skip_whitespace();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(JsonValue::Object(fields));
         }
         loop {
@@ -390,6 +419,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(JsonValue::Object(fields));
                 }
                 _ => return Err(self.error("expected `,` or `}` in object")),
@@ -730,6 +760,23 @@ mod tests {
         assert!(JsonValue::parse("nulll").is_err());
         let err = JsonValue::parse("[tru]").unwrap_err();
         assert!(err.to_string().contains("byte"));
+    }
+
+    #[test]
+    fn parser_rejects_over_deep_nesting_instead_of_overflowing() {
+        // 100k unclosed brackets used to blow the recursive-descent
+        // stack and abort the whole process; now it's a typed error.
+        let deep = "[".repeat(100_000);
+        let err = JsonValue::parse(&deep).unwrap_err();
+        assert!(err.to_string().contains("MAX_PARSE_DEPTH"), "{err}");
+        assert_eq!(err.offset(), MAX_PARSE_DEPTH + 1, "fails at the first too-deep bracket");
+
+        let mixed = "[{\"k\":".repeat(50_000) + "1";
+        assert!(JsonValue::parse(&mixed).is_err());
+
+        // Depth exactly at the limit still parses.
+        let ok = "[".repeat(MAX_PARSE_DEPTH) + &"]".repeat(MAX_PARSE_DEPTH);
+        assert!(JsonValue::parse(&ok).is_ok());
     }
 
     #[test]

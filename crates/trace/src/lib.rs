@@ -49,5 +49,5 @@ pub mod stats;
 
 pub use addr::Addr;
 pub use branch::{BranchKind, BranchRecord};
-pub use error::{ParseTraceError, TraceIoError};
+pub use error::{ParseTraceError, TraceIoError, VlppError};
 pub use trace::{Iter, Trace};

@@ -32,5 +32,20 @@ fi
 printf 'METRICS %s\n' "$metrics" | ./target/release/vlpp-metrics-check >&2
 
 record="{\"ts\":$(date +%s),\"scale\":$scale,\"wall_ns\":$wall_ns,\"metrics\":$metrics}"
-printf '%s\n' "$record" >>"$history"
+
+# Crash-safe append: build the new history in a temp sibling and rename
+# it into place. A plain `>>` cut short by a crash or full disk leaves a
+# torn last line that breaks every later consumer of the .jsonl; the
+# rename is atomic, so the history is always either the old file or the
+# complete new one.
+tmp="$history.tmp.$$"
+trap 'rm -f "$tmp"' EXIT
+if [ -f "$history" ]; then
+    cp "$history" "$tmp"
+else
+    : >"$tmp"
+fi
+printf '%s\n' "$record" >>"$tmp"
+mv "$tmp" "$history"
+trap - EXIT
 echo "recorded: scale=1/$scale wall_ns=$wall_ns -> $history" >&2

@@ -65,11 +65,73 @@ if ! cmp -s /tmp/vlpp_verify_t1.json /tmp/vlpp_verify_metrics_stripped.json; the
     echo "error: --metrics changed the experiment bytes on stdout" >&2
     exit 1
 fi
-rm -f /tmp/vlpp_verify_t1.json /tmp/vlpp_verify_t8.json \
-    /tmp/vlpp_verify_metrics.out /tmp/vlpp_verify_metrics_stripped.json
 echo "ok: --metrics is additive and its snapshot parses"
 
-# 5. Wall-clock of the full experiment suite at the default scale, as a
+# 5. Fault injection: injected faults must degrade, never abort (the
+#    full seeded matrix runs in tests/integration_faults.rs as part of
+#    step 2; this re-checks the two end-to-end contracts against the
+#    release binary).
+#    5a. A persistent injected panic skips exactly that experiment:
+#        exit code 2, an "errors" section, and no process abort.
+set +e
+VLPP_THREADS=4 VLPP_FAULT=panic@2:persist VLPP_RETRY_BACKOFF_MS=0 \
+    "$VLPP" all --json --scale 1000000 >/tmp/vlpp_verify_fault.json 2>/dev/null
+fault_exit=$?
+set -e
+if [ "$fault_exit" -ne 2 ]; then
+    echo "error: persistent-fault run must exit 2 (partial), got $fault_exit" >&2
+    exit 1
+fi
+if ! grep -q '"errors"' /tmp/vlpp_verify_fault.json; then
+    echo "error: persistent-fault run is missing its errors section" >&2
+    exit 1
+fi
+#    5b. Crash-safe resume: kill a checkpointed run mid-way, resume it,
+#        and require stdout byte-identical to the uninterrupted run.
+ckpt_dir=$(mktemp -d /tmp/vlpp_verify_ckpt.XXXXXX)
+VLPP_THREADS=1 "$VLPP" all --json --scale 1000000 --checkpoint "$ckpt_dir" \
+    >/dev/null 2>&1 &
+ckpt_pid=$!
+sleep 1
+kill -9 "$ckpt_pid" 2>/dev/null || true
+wait "$ckpt_pid" 2>/dev/null || true
+VLPP_THREADS=1 "$VLPP" all --json --scale 1000000 --checkpoint "$ckpt_dir" \
+    >/tmp/vlpp_verify_resume.json 2>/dev/null
+if ! cmp -s /tmp/vlpp_verify_t1.json /tmp/vlpp_verify_resume.json; then
+    echo "error: resumed checkpoint run differs from an uninterrupted run" >&2
+    exit 1
+fi
+rm -rf "$ckpt_dir"
+echo "ok: faults degrade gracefully and checkpoint resume is byte-identical"
+
+rm -f /tmp/vlpp_verify_t1.json /tmp/vlpp_verify_t8.json \
+    /tmp/vlpp_verify_metrics.out /tmp/vlpp_verify_metrics_stripped.json \
+    /tmp/vlpp_verify_fault.json /tmp/vlpp_verify_resume.json
+
+# 6. Panic-hygiene gate: no `.unwrap()` in non-test code under the
+#    error-spine crates (vlpp-trace, vlpp-sim). "Non-test" = lines
+#    before the first `#[cfg(test)]` in each file, excluding comment
+#    lines and `tests.rs` module files. New unwraps belong behind typed
+#    VlppError paths instead (see ROBUSTNESS.md).
+unwrap_offenders=""
+for src in $(find crates/trace/src crates/sim/src -name '*.rs' ! -name 'tests.rs'); do
+    found=$(awk '
+        /#\[cfg\(test\)\]/ { exit }
+        /\.unwrap\(\)/ && $0 !~ /^[[:space:]]*\/\// { print FILENAME ":" FNR ": " $0 }
+    ' "$src")
+    if [ -n "$found" ]; then
+        unwrap_offenders="$unwrap_offenders$found
+"
+    fi
+done
+if [ -n "$unwrap_offenders" ]; then
+    echo "error: .unwrap() in non-test code (use a typed VlppError path):" >&2
+    printf '%s' "$unwrap_offenders" | sed 's/^/    /' >&2
+    exit 1
+fi
+echo "ok: no unwrap() in non-test vlpp-trace / vlpp-sim code"
+
+# 7. Wall-clock of the full experiment suite at the default scale, as a
 #    machine-readable BENCH line (same shape as the vlpp-check timer).
 start=$(date +%s%N)
 "$VLPP" all >/dev/null 2>&1
