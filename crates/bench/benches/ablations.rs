@@ -36,7 +36,5 @@ fn main() {
         println!("\n== ablation: {name} ==");
         println!("{}", paper::AblationRow::render(&rows).render());
     }
-    bench("ablations/interference", config, || {
-        black_box(paper::ablate_interference(&workloads))
-    });
+    bench("ablations/interference", config, || black_box(paper::ablate_interference(&workloads)));
 }

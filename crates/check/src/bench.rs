@@ -138,8 +138,7 @@ pub fn bench_with_setup<S, T>(
     }
     samples.sort_unstable();
     let median = median_of_sorted(&samples);
-    let mut deviations: Vec<u64> =
-        samples.iter().map(|&s| s.abs_diff(median)).collect();
+    let mut deviations: Vec<u64> = samples.iter().map(|&s| s.abs_diff(median)).collect();
     deviations.sort_unstable();
     let report = BenchReport {
         name: name.to_string(),

@@ -79,7 +79,9 @@ macro_rules! prop_assert_ne {
         $crate::prop_assert!(
             left != right,
             "assertion failed: `{}` != `{}`\n  both: {:?}",
-            stringify!($left), stringify!($right), left
+            stringify!($left),
+            stringify!($right),
+            left
         );
     }};
 }
@@ -266,9 +268,7 @@ fn run_case(prop: &mut dyn FnMut(&mut Gen) -> PropResult, seed: u64, limit: usiz
     let mut gen = Gen::with_limit(seed, limit);
     match catch_unwind(AssertUnwindSafe(|| prop(&mut gen))) {
         Ok(Ok(())) => CaseOutcome::Pass,
-        Ok(Err(failed)) => {
-            CaseOutcome::Fail { message: failed.message, draws: gen.draws() }
-        }
+        Ok(Err(failed)) => CaseOutcome::Fail { message: failed.message, draws: gen.draws() },
         Err(payload) => {
             let message = if let Some(s) = payload.downcast_ref::<&str>() {
                 format!("panicked: {s}")
@@ -457,7 +457,7 @@ mod tests {
         let result = std::panic::catch_unwind(|| {
             check("panics_are_caught", CheckConfig::with_cases(3), |g| {
                 let _ = g.u64();
-                assert!(false, "library invariant violated");
+                assert!(std::hint::black_box(false), "library invariant violated");
                 Ok(())
             });
         });

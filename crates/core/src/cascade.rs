@@ -63,14 +63,11 @@ impl DualLengthPathIndirect {
             "need 1 <= short ({short_length}) < long ({long_length}) <= 32"
         );
         assert!(
-            chooser_bits >= 1 && chooser_bits <= 24,
+            (1..=24).contains(&chooser_bits),
             "chooser index width must be in 1..=24, got {chooser_bits}"
         );
         DualLengthPathIndirect {
-            short: PathIndirect::new(
-                component_config.clone(),
-                HashAssignment::fixed(short_length),
-            ),
+            short: PathIndirect::new(component_config.clone(), HashAssignment::fixed(short_length)),
             long: PathIndirect::new(component_config, HashAssignment::fixed(long_length)),
             chooser: vec![Counter2::WEAK_TAKEN; 1 << chooser_bits],
             chooser_mask: (1u64 << chooser_bits) - 1,

@@ -49,10 +49,7 @@ impl ElasticGshare {
     ///
     /// Panics if `index_bits` is 0 or greater than 28.
     pub fn new(index_bits: u32, assignment: HashAssignment) -> Self {
-        assert!(
-            index_bits >= 1 && index_bits <= 28,
-            "index width must be in 1..=28, got {index_bits}"
-        );
+        assert!((1..=28).contains(&index_bits), "index width must be in 1..=28, got {index_bits}");
         ElasticGshare {
             history: OutcomeHistory::new(index_bits.min(32)),
             table: CounterTable::new(index_bits),
@@ -128,9 +125,7 @@ pub fn profile_lengths(trace: &Trace, index_bits: u32) -> HashAssignment {
 
     for record in trace.iter() {
         if record.is_conditional() {
-            let tally = correct
-                .entry(record.pc().raw())
-                .or_insert_with(|| vec![0; lengths.len()]);
+            let tally = correct.entry(record.pc().raw()).or_insert_with(|| vec![0; lengths.len()]);
             for (i, &length) in lengths.iter().enumerate() {
                 let bits = history.bits() & ((1u64 << length) - 1);
                 let index = bits ^ record.pc().word();

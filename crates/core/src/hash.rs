@@ -98,7 +98,7 @@ impl IncrementalHashers {
     /// Panics if `count` is 0 or `k` is not in `1..=64`.
     pub fn new(count: usize, k: u32) -> Self {
         assert!(count >= 1, "need at least one hash function");
-        assert!(k >= 1 && k <= 64, "index width must be in 1..=64, got {k}");
+        assert!((1..=64).contains(&k), "index width must be in 1..=64, got {k}");
         IncrementalHashers { indices: vec![0; count], k }
     }
 
@@ -206,11 +206,7 @@ mod tests {
             thb.push(target);
             inc.push(target);
             for len in 1..=cap {
-                assert_eq!(
-                    inc.index(len),
-                    hash_path(&thb, len),
-                    "mismatch at length {len}"
-                );
+                assert_eq!(inc.index(len), hash_path(&thb, len), "mismatch at length {len}");
             }
         }
     }

@@ -52,10 +52,7 @@ impl PathConfig {
     ///
     /// Panics if `index_bits` is 0 or greater than 28.
     pub fn new(index_bits: u32) -> Self {
-        assert!(
-            index_bits >= 1 && index_bits <= 28,
-            "index width must be in 1..=28, got {index_bits}"
-        );
+        assert!((1..=28).contains(&index_bits), "index width must be in 1..=28, got {index_bits}");
         PathConfig {
             index_bits,
             thb_capacity: MAX_PATH_LENGTH,

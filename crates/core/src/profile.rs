@@ -66,12 +66,7 @@ impl ProfileConfig {
     /// set `1..=capacity`, 3 candidates, 7 iterations.
     pub fn new(path: PathConfig) -> Self {
         let top = path.thb_capacity.min(crate::MAX_PATH_LENGTH) as u8;
-        ProfileConfig {
-            path,
-            hash_set: (1..=top).collect(),
-            candidates: 3,
-            iterations: 7,
-        }
+        ProfileConfig { path, hash_set: (1..=top).collect(), candidates: 3, iterations: 7 }
     }
 
     /// Replaces the hash set (for the subset-of-hash-functions ablation).
@@ -86,10 +81,7 @@ impl ProfileConfig {
     /// score as the same predictor.
     pub fn with_hash_set(mut self, hash_set: Vec<u8>) -> Self {
         assert!(!hash_set.is_empty(), "hash set must not be empty");
-        assert!(
-            hash_set.windows(2).all(|w| w[0] < w[1]),
-            "hash set must be strictly increasing"
-        );
+        assert!(hash_set.windows(2).all(|w| w[0] < w[1]), "hash set must be strictly increasing");
         let capacity = self.path.thb_capacity;
         assert!(
             hash_set.iter().all(|&h| h >= 1 && h as usize <= capacity),
@@ -171,7 +163,10 @@ fn best_hash(stats: &[HashStat]) -> u8 {
     stats
         .iter()
         .min_by(|a, b| {
-            a.miss_rate().partial_cmp(&b.miss_rate()).expect("rates are finite").then(a.hash.cmp(&b.hash))
+            a.miss_rate()
+                .partial_cmp(&b.miss_rate())
+                .expect("rates are finite")
+                .then(a.hash.cmp(&b.hash))
         })
         .map(|s| s.hash)
         .unwrap_or(1)
@@ -284,8 +279,7 @@ impl ProfileBuilder {
 
         match population {
             Population::Conditional => {
-                let mut counters =
-                    vec![vlpp_predict::Counter2::default(); n_hashes * table_len];
+                let mut counters = vec![vlpp_predict::Counter2::default(); n_hashes * table_len];
                 for record in trace.iter() {
                     if record.is_conditional() {
                         let taken = record.taken();
@@ -317,18 +311,16 @@ impl ProfileBuilder {
                     if record.is_indirect() {
                         let pc = record.pc();
                         let target = record.target();
-                        let tally = tallies.entry(pc.raw()).or_insert_with(|| {
-                            BranchTally { correct: vec![0; n_hashes], executed: 0 }
+                        let tally = tallies.entry(pc.raw()).or_insert_with(|| BranchTally {
+                            correct: vec![0; n_hashes],
+                            executed: 0,
                         });
                         tally.executed += 1;
                         let indices = hashers.indices();
                         for (hi, &slot) in slots.iter().enumerate() {
                             let cell = hi * table_len + indices[slot] as usize;
-                            let prediction = if valid[cell] {
-                                pc.with_low32(low32[cell])
-                            } else {
-                                Addr::NULL
-                            };
+                            let prediction =
+                                if valid[cell] { pc.with_low32(low32[cell]) } else { Addr::NULL };
                             if prediction == target {
                                 tally.correct[hi] += 1;
                             }
@@ -395,10 +387,8 @@ impl ProfileBuilder {
         // iteration that tested this candidate; None = never tested, and
         // per the paper "untested candidates will always be chosen first"
         // because they count as zero mispredictions.
-        let mut misses: HashMap<u64, Vec<Option<u64>>> = candidates
-            .iter()
-            .map(|(&pc, cands)| (pc, vec![None; cands.len()]))
-            .collect();
+        let mut misses: HashMap<u64, Vec<Option<u64>>> =
+            candidates.iter().map(|(&pc, cands)| (pc, vec![None; cands.len()])).collect();
 
         let choose = |misses: &HashMap<u64, Vec<Option<u64>>>| -> HashMap<u64, usize> {
             candidates

@@ -135,24 +135,19 @@ impl HashAssignment {
                 if assignment.is_some() {
                     return Err(describe("duplicate `default` line"));
                 }
-                let n: u8 = value
-                    .trim()
-                    .parse()
-                    .map_err(|_| describe("bad default hash number"))?;
+                let n: u8 =
+                    value.trim().parse().map_err(|_| describe("bad default hash number"))?;
                 if n < 1 || n as usize > crate::MAX_PATH_LENGTH {
                     return Err(describe("default hash number must be in 1..=32"));
                 }
                 assignment = Some(HashAssignment::fixed(n));
                 continue;
             }
-            let assignment = assignment
-                .as_mut()
-                .ok_or_else(|| describe("entry before the `default` line"))?;
-            let (pc_text, n_text) = line
-                .split_once(' ')
-                .ok_or_else(|| describe("expected `<pc-hex> <hash>`"))?;
-            let pc = u64::from_str_radix(pc_text.trim(), 16)
-                .map_err(|_| describe("bad pc hex"))?;
+            let assignment =
+                assignment.as_mut().ok_or_else(|| describe("entry before the `default` line"))?;
+            let (pc_text, n_text) =
+                line.split_once(' ').ok_or_else(|| describe("expected `<pc-hex> <hash>`"))?;
+            let pc = u64::from_str_radix(pc_text.trim(), 16).map_err(|_| describe("bad pc hex"))?;
             let n: u8 = n_text.trim().parse().map_err(|_| describe("bad hash number"))?;
             if n < 1 || n as usize > crate::MAX_PATH_LENGTH {
                 return Err(describe("hash number must be in 1..=32"));
@@ -165,12 +160,7 @@ impl HashAssignment {
 
 impl fmt::Display for HashAssignment {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{} assigned branches, default HF_{}",
-            self.map.len(),
-            self.default
-        )
+        write!(f, "{} assigned branches, default HF_{}", self.map.len(), self.default)
     }
 }
 

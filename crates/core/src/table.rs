@@ -30,10 +30,7 @@ impl CounterTable {
     ///
     /// Panics if `index_bits` is 0 or greater than 28.
     pub fn new(index_bits: u32) -> Self {
-        assert!(
-            index_bits >= 1 && index_bits <= 28,
-            "index width must be in 1..=28, got {index_bits}"
-        );
+        assert!((1..=28).contains(&index_bits), "index width must be in 1..=28, got {index_bits}");
         CounterTable {
             counters: vec![Counter2::default(); 1 << index_bits],
             mask: (1u64 << index_bits) - 1,
@@ -95,10 +92,7 @@ impl TargetTable {
     ///
     /// Panics if `index_bits` is 0 or greater than 26.
     pub fn new(index_bits: u32) -> Self {
-        assert!(
-            index_bits >= 1 && index_bits <= 26,
-            "index width must be in 1..=26, got {index_bits}"
-        );
+        assert!((1..=26).contains(&index_bits), "index width must be in 1..=26, got {index_bits}");
         TargetTable {
             low32: vec![0; 1 << index_bits],
             valid: vec![false; 1 << index_bits],

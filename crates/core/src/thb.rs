@@ -46,7 +46,7 @@ impl Thb {
     /// Panics if `capacity` is 0 or `k` is not in `1..=64`.
     pub fn new(capacity: usize, k: u32) -> Self {
         assert!(capacity >= 1, "THB capacity must be at least 1");
-        assert!(k >= 1 && k <= 64, "compression width must be in 1..=64, got {k}");
+        assert!((1..=64).contains(&k), "compression width must be in 1..=64, got {k}");
         Thb { targets: VecDeque::with_capacity(capacity), capacity, k, store_returns: false }
     }
 
@@ -64,8 +64,8 @@ impl Thb {
     /// Records `record`'s target if the §3.2 policy says it belongs in
     /// the path history.
     pub fn observe(&mut self, record: &BranchRecord) {
-        let store = record.enters_thb()
-            || (self.store_returns && record.kind() == BranchKind::Return);
+        let store =
+            record.enters_thb() || (self.store_returns && record.kind() == BranchKind::Return);
         if store {
             self.push(record.target());
         }

@@ -63,18 +63,14 @@ fn thb_is_a_sliding_window() {
         for &raw in &targets {
             thb.push(Addr::new(raw));
         }
-        let expected: Vec<u64> = targets
-            .iter()
-            .rev()
-            .take(capacity)
-            .map(|&raw| Addr::new(raw).low_bits(k))
-            .collect();
+        let expected: Vec<u64> =
+            targets.iter().rev().take(capacity).map(|&raw| Addr::new(raw).low_bits(k)).collect();
         let got: Vec<u64> = thb.path(capacity).collect();
         for (i, want) in expected.iter().enumerate() {
             prop_assert_eq!(got[i], *want, "slot {}", i);
         }
-        for slot in expected.len()..capacity {
-            prop_assert_eq!(got[slot], 0, "empty slot {}", slot);
+        for (slot, &value) in got.iter().enumerate().skip(expected.len()) {
+            prop_assert_eq!(value, 0, "empty slot {}", slot);
         }
         Ok(())
     });
@@ -167,9 +163,8 @@ fn fused_step1_matches_per_table_reference() {
         if hash_set.is_empty() {
             hash_set.push(g.range_u8(1, path.thb_capacity as u8));
         }
-        let config = ProfileConfig::new(path.clone())
-            .with_hash_set(hash_set.clone())
-            .with_iterations(0);
+        let config =
+            ProfileConfig::new(path.clone()).with_hash_set(hash_set.clone()).with_iterations(0);
 
         let cond = ProfileBuilder::new(config.clone()).profile_conditional(&trace);
         let cond_ref = reference_step1(&path, &hash_set, &trace, true);
@@ -225,9 +220,7 @@ fn reference_step1(
                 targets[hi].train(index, record.target());
             }
         }
-        if record.enters_thb()
-            || (path.store_returns && record.kind() == BranchKind::Return)
-        {
+        if record.enters_thb() || (path.store_returns && record.kind() == BranchKind::Return) {
             hashers.push(record.target());
         }
     }
@@ -247,7 +240,7 @@ fn random_trace(seed: u64, n: usize) -> Trace {
         let pc = Addr::new(((r >> 8) & 0xff) << 2 | 0x1000);
         let target = Addr::new(((r >> 16) & 0xff) << 2 | 0x2000);
         match r % 5 {
-            0 | 1 | 2 => trace.push(BranchRecord::conditional(pc, target, r & 1 == 0)),
+            0..=2 => trace.push(BranchRecord::conditional(pc, target, r & 1 == 0)),
             3 => trace.push(BranchRecord::indirect(pc, target)),
             _ => trace.push(BranchRecord::unconditional(pc, target)),
         }

@@ -1,12 +1,22 @@
-//! `vlpp-metrics-check` — validates a `METRICS {json}` line on stdin.
+//! `vlpp-metrics-check` — validates machine-readable observability
+//! lines on stdin.
 //!
-//! Reads stdin, finds the first line starting with `METRICS ` (a bare
-//! JSON object is also accepted), parses the payload with the in-tree
-//! JSON parser, and checks the snapshot shape: a non-empty object whose
-//! `*_ns` histogram fields carry `count`/`sum_ns`/`buckets`. Exits 0
-//! and prints a one-line summary on success; exits 1 with a diagnostic
-//! otherwise. Used by `scripts/verify.sh` as the `--metrics` smoke
-//! gate.
+//! Default mode: reads stdin, finds the first line starting with
+//! `METRICS ` (a bare JSON object is also accepted), parses the payload
+//! with the in-tree JSON parser, and checks the snapshot shape: a
+//! non-empty object whose `*_ns` histogram fields carry
+//! `count`/`sum_ns`/`buckets`. Exits 0 and prints a one-line summary on
+//! success; exits 1 with a diagnostic otherwise. Used by
+//! `scripts/verify.sh` as the `--metrics` smoke gate.
+//!
+//! `--bench` mode: reads `BENCH {json}` lines instead (the shape the
+//! `vlpp-check` bench timer and `scripts/verify.sh`/`bench_record.sh`
+//! emit: `{"bench":name,"iters":n,"median_ns":...,...}`), validates
+//! them, and — with `--baseline FILE` — compares each bench's
+//! `median_ns` against the committed baseline, failing if any regresses
+//! by more than `--max-regress PCT` (default 30). Benches absent from
+//! the baseline pass with a note, so adding a bench does not require a
+//! lockstep baseline update. Used by the CI bench-smoke job.
 
 use std::io::Read;
 use std::process::ExitCode;
@@ -18,12 +28,60 @@ fn fail(message: &str) -> ExitCode {
     ExitCode::FAILURE
 }
 
+const USAGE: &str = "\
+usage: vlpp-metrics-check [--bench [--baseline FILE] [--max-regress PCT]]
+
+Reads stdin. Default: validate the first `METRICS {json}` line.
+--bench: validate every `BENCH {json}` line, and with --baseline also
+compare each bench's median_ns against the baseline file (a JSON object
+mapping bench name -> {\"median_ns\": N}), failing on > PCT regression.
+";
+
 fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut bench_mode = false;
+    let mut baseline_path: Option<String> = None;
+    let mut max_regress_pct = 30.0f64;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--bench" => bench_mode = true,
+            "--baseline" => {
+                let Some(path) = iter.next() else {
+                    return fail("--baseline needs a file path");
+                };
+                baseline_path = Some(path.clone());
+            }
+            "--max-regress" => {
+                let Some(pct) = iter.next().and_then(|v| v.parse::<f64>().ok()) else {
+                    return fail("--max-regress needs a percentage");
+                };
+                max_regress_pct = pct;
+            }
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return fail(&format!("unexpected argument `{other}`\n{USAGE}")),
+        }
+    }
+    if baseline_path.is_some() && !bench_mode {
+        return fail("--baseline only applies with --bench");
+    }
+
     let mut input = String::new();
     if let Err(error) = std::io::stdin().read_to_string(&mut input) {
         return fail(&format!("cannot read stdin: {error}"));
     }
 
+    if bench_mode {
+        check_bench_lines(&input, baseline_path.as_deref(), max_regress_pct)
+    } else {
+        check_metrics_line(&input)
+    }
+}
+
+fn check_metrics_line(input: &str) -> ExitCode {
     let Some(payload) = input
         .lines()
         .find_map(|line| line.strip_prefix("METRICS "))
@@ -58,9 +116,7 @@ fn main() -> ExitCode {
         let bucket_total: u64 = value
             .get("buckets")
             .and_then(JsonValue::as_array)
-            .map(|buckets| {
-                buckets.iter().filter_map(|b| b.at(1).and_then(JsonValue::as_u64)).sum()
-            })
+            .map(|buckets| buckets.iter().filter_map(|b| b.at(1).and_then(JsonValue::as_u64)).sum())
             .unwrap_or(0);
         if bucket_total != count {
             return fail(&format!(
@@ -70,5 +126,74 @@ fn main() -> ExitCode {
     }
 
     println!("ok: METRICS line parses ({} metrics, {histograms} histograms)", fields.len());
+    ExitCode::SUCCESS
+}
+
+fn check_bench_lines(input: &str, baseline_path: Option<&str>, max_regress_pct: f64) -> ExitCode {
+    let baseline = match baseline_path {
+        None => None,
+        Some(path) => match std::fs::read_to_string(path) {
+            Err(error) => return fail(&format!("cannot read baseline {path}: {error}")),
+            Ok(text) => match JsonValue::parse(text.trim()) {
+                Err(error) => return fail(&format!("baseline {path} is not valid JSON: {error}")),
+                Ok(value) if value.as_object().is_none() => {
+                    return fail(&format!("baseline {path} must be a JSON object"));
+                }
+                Ok(value) => Some(value),
+            },
+        },
+    };
+
+    let mut checked = 0usize;
+    let mut compared = 0usize;
+    for payload in input.lines().filter_map(|line| line.strip_prefix("BENCH ")) {
+        let report = match JsonValue::parse(payload.trim()) {
+            Ok(value) => value,
+            Err(error) => return fail(&format!("BENCH payload is not valid JSON: {error}")),
+        };
+        let Some(name) = report.get("bench").and_then(|v| v.as_str()) else {
+            return fail("BENCH payload is missing its `bench` name");
+        };
+        for key in ["iters", "median_ns", "min_ns", "max_ns"] {
+            if report.get(key).and_then(JsonValue::as_u64).is_none() {
+                return fail(&format!("bench `{name}`: missing or non-integer field `{key}`"));
+            }
+        }
+        let median = report.get("median_ns").and_then(JsonValue::as_u64).unwrap_or(0);
+        let min = report.get("min_ns").and_then(JsonValue::as_u64).unwrap_or(0);
+        let max = report.get("max_ns").and_then(JsonValue::as_u64).unwrap_or(0);
+        if !(min <= median && median <= max) {
+            return fail(&format!(
+                "bench `{name}`: min/median/max are not ordered ({min}/{median}/{max})"
+            ));
+        }
+        checked += 1;
+
+        let Some(baseline) = &baseline else { continue };
+        let Some(reference) =
+            baseline.get(name).and_then(|entry| entry.get("median_ns")).and_then(JsonValue::as_u64)
+        else {
+            println!("note: bench `{name}` has no baseline entry; skipping comparison");
+            continue;
+        };
+        if reference == 0 {
+            return fail(&format!("bench `{name}`: baseline median_ns is 0"));
+        }
+        compared += 1;
+        let regress_pct = 100.0 * (median as f64 - reference as f64) / reference as f64;
+        if regress_pct > max_regress_pct {
+            return fail(&format!(
+                "bench `{name}` regressed {regress_pct:.1}% (median {median} ns vs baseline \
+                 {reference} ns, limit {max_regress_pct:.0}%)"
+            ));
+        }
+        println!(
+            "ok: bench `{name}` median {median} ns vs baseline {reference} ns ({regress_pct:+.1}%)"
+        );
+    }
+    if checked == 0 {
+        return fail("no `BENCH {json}` line found on stdin");
+    }
+    println!("ok: {checked} BENCH line(s) parse, {compared} compared against the baseline");
     ExitCode::SUCCESS
 }

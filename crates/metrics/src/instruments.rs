@@ -217,10 +217,7 @@ impl Histogram {
     /// The inclusive upper bound of the highest non-empty bucket — a
     /// cheap "max sample was at most this" indicator. `None` if empty.
     pub fn max_bucket_bound(&self) -> Option<u64> {
-        (0..BUCKET_COUNT)
-            .rev()
-            .find(|&i| self.bucket_count(i) > 0)
-            .map(|i| bucket_bounds(i).1)
+        (0..BUCKET_COUNT).rev().find(|&i| self.bucket_count(i) > 0).map(|i| bucket_bounds(i).1)
     }
 }
 

@@ -86,10 +86,7 @@ fn current_worker() -> Option<usize> {
 /// Why a task inside a batch did not produce a value.
 enum Failure {
     /// The work closure (or an injected fault) panicked.
-    Panic {
-        payload: Box<dyn Any + Send>,
-        worker: Option<usize>,
-    },
+    Panic { payload: Box<dyn Any + Send>, worker: Option<usize> },
     /// The task ran past the watchdog deadline.
     Timeout { elapsed_ms: u64, limit_ms: u64 },
 }
@@ -264,6 +261,9 @@ struct PoolMetrics {
     /// `pool.tasks.timed_out`: task attempts that exceeded the watchdog
     /// deadline (abandoned mid-run or rejected post-completion).
     timed_out: Arc<Counter>,
+    /// `pool.tasks.sharded`: items dispatched through
+    /// [`Pool::map_sharded`]'s shard-affinity grouping.
+    sharded: Arc<Counter>,
 }
 
 /// A bounded work-queue executor with order-preserving parallel map,
@@ -331,6 +331,7 @@ impl Pool {
             inline: vlpp_metrics::counter("pool.tasks.inline"),
             retried: vlpp_metrics::counter("pool.tasks.retried"),
             timed_out: vlpp_metrics::counter("pool.tasks.timed_out"),
+            sharded: vlpp_metrics::counter("pool.tasks.sharded"),
         };
         let workers = (0..threads - 1)
             .map(|worker| {
@@ -416,10 +417,7 @@ impl Pool {
 
         let batch_id = self.shared.next_batch.fetch_add(1, Ordering::Relaxed);
         let batch: Batch<R> = Batch {
-            state: Mutex::new(BatchState {
-                slots: (0..n).map(|_| None).collect(),
-                remaining: n,
-            }),
+            state: Mutex::new(BatchState { slots: (0..n).map(|_| None).collect(), remaining: n }),
             done: Condvar::new(),
         };
 
@@ -460,10 +458,7 @@ impl Pool {
         loop {
             let own_task = {
                 let mut queue = lock(&self.shared.queue);
-                queue
-                    .iter()
-                    .position(|qt| qt.batch == batch_id)
-                    .and_then(|at| queue.remove(at))
+                queue.iter().position(|qt| qt.batch == batch_id).and_then(|at| queue.remove(at))
             };
             match own_task {
                 Some(qt) => {
@@ -503,6 +498,54 @@ impl Pool {
         results
     }
 
+    /// Applies `work` to every `(shard, item)` pair with **shard
+    /// affinity**: items that share a shard key run sequentially, in
+    /// input order, inside a single task, while distinct shards run in
+    /// parallel. Results come back in input order, like [`Pool::map`].
+    ///
+    /// This is the dispatch primitive under `vlpp serve`: each shard
+    /// owns mutable predictor state (a THB, partial-sum registers), so
+    /// two records routed to the same shard must never interleave — and
+    /// because the per-shard order equals the input order, the combined
+    /// output is byte-identical at any `VLPP_THREADS` setting.
+    ///
+    /// # Panics
+    ///
+    /// As [`Pool::map`]: a panicking item re-raises on the caller with
+    /// its original payload after the batch drains. Items queued behind
+    /// the panicking item *in the same shard* never run (their shard
+    /// task unwound with it).
+    pub fn map_sharded<T, R, F>(&self, items: Vec<(usize, T)>, work: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> R + Sync,
+    {
+        let n = items.len();
+        // Group by shard key, preserving input order within each group
+        // and first-appearance order across groups.
+        let mut groups: Vec<(usize, Vec<(usize, T)>)> = Vec::new();
+        let mut group_of: std::collections::HashMap<usize, usize> =
+            std::collections::HashMap::new();
+        for (index, (shard, item)) in items.into_iter().enumerate() {
+            let at = *group_of.entry(shard).or_insert_with(|| {
+                groups.push((shard, Vec::new()));
+                groups.len() - 1
+            });
+            groups[at].1.push((index, item));
+        }
+        self.metrics.sharded.add(n as u64);
+        let per_group: Vec<Vec<(usize, R)>> = self.map(groups, |(shard, group)| {
+            group.into_iter().map(|(index, item)| (index, work(shard, item))).collect()
+        });
+        // Scatter back to input order.
+        let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        for (index, result) in per_group.into_iter().flatten() {
+            slots[index] = Some(result);
+        }
+        slots.into_iter().map(|slot| slot.expect("every input index produced a result")).collect()
+    }
+
     fn record_panic(&self, index: usize, worker: Option<usize>, payload: &Box<dyn Any + Send>) {
         *lock(&self.last_panic) =
             Some(PanicReport { index, worker, payload: payload_text(payload.as_ref()) });
@@ -524,9 +567,9 @@ impl Pool {
     /// `Result` per item in input order — the fault-isolating flavor of
     /// [`Pool::map`]:
     ///
-    /// * a panicking task becomes [`TaskError::Panicked`] (payload text
-    ///   + worker id) without unwinding into the caller or poisoning
-    ///   the batch;
+    /// * a panicking task becomes [`TaskError::Panicked`] (payload
+    ///   text and worker id) without unwinding into the caller or
+    ///   poisoning the batch;
     /// * with a deadline set, a task running past it is **abandoned**:
     ///   its [`TaskError::TimedOut`] is reported while the straggler
     ///   finishes (or hangs) on its worker thread, keeping only its own
@@ -582,8 +625,13 @@ impl Pool {
                     if options.backoff_ms > 0 {
                         std::thread::sleep(Duration::from_millis(options.backoff_ms));
                     }
-                    results[i] =
-                        self.run_owned(&work, retry_items[i].clone(), seqs[i], 2, options.timeout_ms);
+                    results[i] = self.run_owned(
+                        &work,
+                        retry_items[i].clone(),
+                        seqs[i],
+                        2,
+                        options.timeout_ms,
+                    );
                 }
             }
         }
@@ -592,10 +640,9 @@ impl Pool {
             .into_iter()
             .map(|result| {
                 result.map_err(|failure| match failure {
-                    Failure::Panic { payload, worker } => TaskError::Panicked {
-                        payload: payload_text(payload.as_ref()),
-                        worker,
-                    },
+                    Failure::Panic { payload, worker } => {
+                        TaskError::Panicked { payload: payload_text(payload.as_ref()), worker }
+                    }
                     Failure::Timeout { elapsed_ms, limit_ms } => {
                         TaskError::TimedOut { elapsed_ms, limit_ms }
                     }
@@ -687,9 +734,7 @@ impl Pool {
                     .map_err(|payload| Failure::Panic { payload, worker: current_worker() });
                     let outcome = match result {
                         Ok(value) => match timeout_ms {
-                            Some(limit_ms)
-                                if started.elapsed().as_millis() as u64 > limit_ms =>
-                            {
+                            Some(limit_ms) if started.elapsed().as_millis() as u64 > limit_ms => {
                                 timed_out_counter.incr();
                                 Err(Failure::Timeout {
                                     elapsed_ms: started.elapsed().as_millis() as u64,
@@ -724,10 +769,7 @@ impl Pool {
         loop {
             let own_task = {
                 let mut queue = lock(&self.shared.queue);
-                queue
-                    .iter()
-                    .position(|qt| qt.batch == batch_id)
-                    .and_then(|at| queue.remove(at))
+                queue.iter().position(|qt| qt.batch == batch_id).and_then(|at| queue.remove(at))
             };
             match own_task {
                 Some(qt) => {
@@ -858,9 +900,8 @@ mod tests {
     fn map_runs_every_item_exactly_once() {
         let pool = Pool::new(3);
         let counter = AtomicU32::new(0);
-        let results = pool.map((0..57).collect::<Vec<u32>>(), |_| {
-            counter.fetch_add(1, Ordering::Relaxed)
-        });
+        let results =
+            pool.map((0..57).collect::<Vec<u32>>(), |_| counter.fetch_add(1, Ordering::Relaxed));
         assert_eq!(results.len(), 57);
         assert_eq!(counter.load(Ordering::Relaxed), 57);
     }
@@ -885,9 +926,7 @@ mod tests {
     fn nested_maps_complete_without_extra_threads() {
         let pool = Pool::new(2);
         let grids = pool.map(vec![0u64, 10, 20, 30], |base| {
-            pool.map(vec![1u64, 2, 3], |off| {
-                pool.map(vec![100u64], |deep| base + off + deep)[0]
-            })
+            pool.map(vec![1u64, 2, 3], |off| pool.map(vec![100u64], |deep| base + off + deep)[0])
         });
         assert_eq!(grids[3], vec![131, 132, 133]);
         assert_eq!(grids.len(), 4);
@@ -1022,8 +1061,7 @@ mod tests {
     fn try_map_reports_persistent_failures_after_retry() {
         let pool = Pool::new(1);
         let options = MapOptions { timeout_ms: None, retry: true, backoff_ms: 0 };
-        let results =
-            pool.try_map_with(vec![1u32], options, |_| -> u32 { panic!("always fails") });
+        let results = pool.try_map_with(vec![1u32], options, |_| -> u32 { panic!("always fails") });
         assert!(
             matches!(&results[0], Err(TaskError::Panicked { payload, .. }) if payload == "always fails")
         );
@@ -1075,6 +1113,79 @@ mod tests {
             .map(|r| r.unwrap())
             .collect();
         assert_eq!(via_try, pool.map((0u64..100).collect(), |n| n * 3));
+    }
+
+    #[test]
+    fn map_sharded_preserves_input_order() {
+        let pool = Pool::new(4);
+        let items: Vec<(usize, u64)> = (0..100).map(|i| (i % 7, i as u64)).collect();
+        let results = pool.map_sharded(items, |shard, n| n * 10 + shard as u64);
+        let expected: Vec<u64> = (0..100u64).map(|i| i * 10 + i % 7).collect();
+        assert_eq!(results, expected);
+    }
+
+    #[test]
+    fn map_sharded_serializes_within_a_shard() {
+        // Items of one shard must run sequentially in input order even
+        // while other shards run in parallel: record the per-shard
+        // arrival order and require it to equal the input order.
+        let pool = Pool::new(8);
+        let shards = 4usize;
+        let orders: Vec<Mutex<Vec<u64>>> = (0..shards).map(|_| Mutex::new(Vec::new())).collect();
+        let items: Vec<(usize, u64)> =
+            (0..200u64).map(|i| ((i % shards as u64) as usize, i)).collect();
+        pool.map_sharded(items, |shard, i| {
+            orders[shard].lock().unwrap().push(i);
+        });
+        for (shard, order) in orders.iter().enumerate() {
+            let seen = order.lock().unwrap().clone();
+            let expected: Vec<u64> =
+                (0..200u64).filter(|i| (i % shards as u64) as usize == shard).collect();
+            assert_eq!(seen, expected, "shard {shard} ran out of order");
+        }
+    }
+
+    #[test]
+    fn map_sharded_matches_sequential_for_stateful_shards() {
+        // The whole point: per-shard mutable state evolves identically
+        // at any thread count. Model each shard as a running hash.
+        let run = |threads: usize| -> Vec<u64> {
+            let pool = Pool::new(threads);
+            let states: Vec<Mutex<u64>> = (0..5).map(|_| Mutex::new(0)).collect();
+            let items: Vec<(usize, u64)> =
+                (0..300u64).map(|i| ((i * 31 % 5) as usize, i)).collect();
+            pool.map_sharded(items, |shard, i| {
+                let mut state = states[shard].lock().unwrap();
+                *state = state.wrapping_mul(6364136223846793005).wrapping_add(i);
+                *state
+            })
+        };
+        assert_eq!(run(1), run(8));
+    }
+
+    #[test]
+    fn map_sharded_handles_empty_and_single_shard() {
+        let pool = Pool::new(4);
+        assert_eq!(pool.map_sharded(Vec::<(usize, u32)>::new(), |_, n| n), Vec::<u32>::new());
+        let all_one: Vec<(usize, u32)> = (0..10).map(|i| (3usize, i)).collect();
+        assert_eq!(pool.map_sharded(all_one, |_, n| n + 1), (1..11).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn map_sharded_propagates_panics() {
+        let pool = Pool::new(4);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.map_sharded(vec![(0usize, 1u32), (1, 2), (0, 3)], |_, n| {
+                if n == 2 {
+                    panic!("shard boom");
+                }
+                n
+            })
+        }));
+        let payload = result.expect_err("panicking shard fails the map");
+        assert_eq!(payload.downcast_ref::<&str>(), Some(&"shard boom"));
+        // The pool survives for the next batch.
+        assert_eq!(pool.map_sharded(vec![(0usize, 7u32)], |_, n| n), vec![7]);
     }
 
     #[test]

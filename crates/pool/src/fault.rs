@@ -142,10 +142,7 @@ mod tests {
     #[test]
     fn parses_the_documented_grammar() {
         assert_eq!(parse_fault("panic@3"), Ok(FaultSpec::Panic { at: 3, persist: false }));
-        assert_eq!(
-            parse_fault("panic@0:persist"),
-            Ok(FaultSpec::Panic { at: 0, persist: true })
-        );
+        assert_eq!(parse_fault("panic@0:persist"), Ok(FaultSpec::Panic { at: 0, persist: true }));
         assert_eq!(
             parse_fault("stall@7:250"),
             Ok(FaultSpec::Stall { at: 7, ms: 250, persist: false })
@@ -159,8 +156,17 @@ mod tests {
     #[test]
     fn rejects_malformed_plans_with_diagnostics() {
         for bad in [
-            "", "panic", "panic@", "panic@x", "panic@3:often", "stall@3", "stall@3:x",
-            "stall@3:10:often", "stall@3:10:persist:extra", "fuzz@1", "panic@1:persist:x",
+            "",
+            "panic",
+            "panic@",
+            "panic@x",
+            "panic@3:often",
+            "stall@3",
+            "stall@3:x",
+            "stall@3:10:often",
+            "stall@3:10:persist:extra",
+            "fuzz@1",
+            "panic@1:persist:x",
         ] {
             let err = parse_fault(bad).unwrap_err();
             assert!(err.contains('`'), "diagnostic for `{bad}` should quote the input: {err}");

@@ -35,11 +35,11 @@ impl Bimodal {
     ///
     /// Panics if `index_bits` is 0 or greater than 28.
     pub fn new(index_bits: u32) -> Self {
-        assert!(
-            index_bits >= 1 && index_bits <= 28,
-            "index width must be in 1..=28, got {index_bits}"
-        );
-        Bimodal { table: vec![Counter2::default(); 1 << index_bits], mask: (1u64 << index_bits) - 1 }
+        assert!((1..=28).contains(&index_bits), "index width must be in 1..=28, got {index_bits}");
+        Bimodal {
+            table: vec![Counter2::default(); 1 << index_bits],
+            mask: (1u64 << index_bits) - 1,
+        }
     }
 
     #[inline]

@@ -37,10 +37,7 @@ impl LastTargetBtb {
     ///
     /// Panics if `index_bits` is 0 or greater than 26.
     pub fn new(index_bits: u32) -> Self {
-        assert!(
-            index_bits >= 1 && index_bits <= 26,
-            "index width must be in 1..=26, got {index_bits}"
-        );
+        assert!((1..=26).contains(&index_bits), "index width must be in 1..=26, got {index_bits}");
         LastTargetBtb {
             low32: vec![0; 1 << index_bits],
             valid: vec![false; 1 << index_bits],

@@ -96,7 +96,7 @@ impl Budget {
 
 impl fmt::Display for Budget {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.bytes % 1024 == 0 {
+        if self.bytes.is_multiple_of(1024) {
             write!(f, "{}KB", self.bytes / 1024)
         } else {
             write!(f, "{}B", self.bytes)

@@ -57,10 +57,7 @@ impl Dhlf {
     /// Panics if `index_bits` is 0 or greater than 28, or `interval` is
     /// zero.
     pub fn new(index_bits: u32, interval: u64) -> Self {
-        assert!(
-            index_bits >= 1 && index_bits <= 28,
-            "index width must be in 1..=28, got {index_bits}"
-        );
+        assert!((1..=28).contains(&index_bits), "index width must be in 1..=28, got {index_bits}");
         assert!(interval >= 1, "refit interval must be positive");
         Dhlf {
             history: OutcomeHistory::new(index_bits),
@@ -83,11 +80,8 @@ impl Dhlf {
     #[inline]
     fn index(&self, pc: Addr) -> usize {
         let mask = (1u64 << self.index_bits) - 1;
-        let history = if self.length == 0 {
-            0
-        } else {
-            self.history.bits() & ((1u64 << self.length) - 1)
-        };
+        let history =
+            if self.length == 0 { 0 } else { self.history.bits() & ((1u64 << self.length) - 1) };
         ((history ^ pc.word()) & mask) as usize
     }
 

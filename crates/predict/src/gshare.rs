@@ -39,10 +39,7 @@ impl Gshare {
     /// Panics if `index_bits` is 0 or greater than 28 (a 1 Gi-entry
     /// table is far beyond any budget the experiments use).
     pub fn new(index_bits: u32) -> Self {
-        assert!(
-            index_bits >= 1 && index_bits <= 28,
-            "index width must be in 1..=28, got {index_bits}"
-        );
+        assert!((1..=28).contains(&index_bits), "index width must be in 1..=28, got {index_bits}");
         Gshare {
             history: OutcomeHistory::new(index_bits),
             table: vec![Counter2::default(); 1 << index_bits],
@@ -140,7 +137,10 @@ mod tests {
                 correct += 1;
             }
         }
-        assert!(correct as f64 / 1800.0 > 0.95, "correlated branch should be learned, got {correct}/1800");
+        assert!(
+            correct as f64 / 1800.0 > 0.95,
+            "correlated branch should be learned, got {correct}/1800"
+        );
     }
 
     #[test]

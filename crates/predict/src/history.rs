@@ -33,7 +33,7 @@ impl OutcomeHistory {
     ///
     /// Panics if `width` is 0 or greater than 64.
     pub fn new(width: u32) -> Self {
-        assert!(width >= 1 && width <= 64, "history width must be in 1..=64, got {width}");
+        assert!((1..=64).contains(&width), "history width must be in 1..=64, got {width}");
         OutcomeHistory { bits: 0, width }
     }
 
@@ -103,7 +103,7 @@ impl PathRegister {
     /// Panics if `width` is 0 or greater than 64, or if `per_target` is 0
     /// or greater than `width`.
     pub fn new(width: u32, per_target: u32) -> Self {
-        assert!(width >= 1 && width <= 64, "register width must be in 1..=64, got {width}");
+        assert!((1..=64).contains(&width), "register width must be in 1..=64, got {width}");
         assert!(
             per_target >= 1 && per_target <= width,
             "bits per target must be in 1..=width, got {per_target}"

@@ -39,7 +39,7 @@ impl<A: ConditionalPredictor, B: ConditionalPredictor> Hybrid<A, B> {
     /// Panics if `chooser_bits` is 0 or greater than 24.
     pub fn new(first: A, second: B, chooser_bits: u32) -> Self {
         assert!(
-            chooser_bits >= 1 && chooser_bits <= 24,
+            (1..=24).contains(&chooser_bits),
             "chooser index width must be in 1..=24, got {chooser_bits}"
         );
         Hybrid {

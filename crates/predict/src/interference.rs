@@ -47,11 +47,11 @@ impl BiMode {
     /// Panics if either width is 0 or greater than 28.
     pub fn new(direction_bits: u32, choice_bits: u32) -> Self {
         assert!(
-            direction_bits >= 1 && direction_bits <= 28,
+            (1..=28).contains(&direction_bits),
             "direction index width must be in 1..=28, got {direction_bits}"
         );
         assert!(
-            choice_bits >= 1 && choice_bits <= 28,
+            (1..=28).contains(&choice_bits),
             "choice index width must be in 1..=28, got {choice_bits}"
         );
         BiMode {
@@ -159,12 +159,9 @@ impl Agree {
     ///
     /// Panics if either width is 0 or greater than 28.
     pub fn new(index_bits: u32, bias_bits: u32) -> Self {
+        assert!((1..=28).contains(&index_bits), "index width must be in 1..=28, got {index_bits}");
         assert!(
-            index_bits >= 1 && index_bits <= 28,
-            "index width must be in 1..=28, got {index_bits}"
-        );
-        assert!(
-            bias_bits >= 1 && bias_bits <= 28,
+            (1..=28).contains(&bias_bits),
             "bias index width must be in 1..=28, got {bias_bits}"
         );
         Agree {

@@ -72,11 +72,11 @@ pub use budget::Budget;
 pub use counter::Counter2;
 pub use dhlf::Dhlf;
 pub use gshare::Gshare;
-pub use hybrid::Hybrid;
 pub use history::{OutcomeHistory, PathRegister};
+pub use hybrid::Hybrid;
 pub use interference::{Agree, BiMode};
 pub use per_address::PerAddressPathCache;
 pub use ras::ReturnAddressStack;
-pub use target_cache::{PatternTargetCache, PathTargetCache};
+pub use target_cache::{PathTargetCache, PatternTargetCache};
 pub use traits::{BranchObserver, ConditionalPredictor, IndirectPredictor};
 pub use twolevel::{Gas, Pas};

@@ -51,10 +51,7 @@ impl PerAddressPathCache {
     /// Panics if `index_bits` is 0 or greater than 26, `per_target` is 0
     /// or greater than `index_bits`, or `set_bits` exceeds 24.
     pub fn new(index_bits: u32, per_target: u32, set_bits: u32) -> Self {
-        assert!(
-            index_bits >= 1 && index_bits <= 26,
-            "index width must be in 1..=26, got {index_bits}"
-        );
+        assert!((1..=26).contains(&index_bits), "index width must be in 1..=26, got {index_bits}");
         assert!(
             per_target >= 1 && per_target <= index_bits,
             "bits per target must be in 1..=index width, got {per_target}"
@@ -106,9 +103,9 @@ impl IndirectPredictor for PerAddressPathCache {
         self.valid[index] = true;
         // Shift the branch's own target history.
         let set = self.set_index(pc);
-        self.registers[set] =
-            ((self.registers[set] << self.per_target) | target.low_bits(self.per_target))
-                & self.register_mask;
+        self.registers[set] = ((self.registers[set] << self.per_target)
+            | target.low_bits(self.per_target))
+            & self.register_mask;
     }
 
     fn name(&self) -> String {

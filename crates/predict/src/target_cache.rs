@@ -31,11 +31,11 @@ struct TargetTable {
 
 impl TargetTable {
     fn new(index_bits: u32) -> Self {
-        assert!(
-            index_bits >= 1 && index_bits <= 26,
-            "index width must be in 1..=26, got {index_bits}"
-        );
-        TargetTable { entries: vec![Entry::default(); 1 << index_bits], mask: (1u64 << index_bits) - 1 }
+        assert!((1..=26).contains(&index_bits), "index width must be in 1..=26, got {index_bits}");
+        TargetTable {
+            entries: vec![Entry::default(); 1 << index_bits],
+            mask: (1u64 << index_bits) - 1,
+        }
     }
 
     #[inline]

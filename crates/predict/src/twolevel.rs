@@ -122,7 +122,7 @@ impl Pas {
     /// `bht_index_bits` exceeds 24, or if the total PHT index width
     /// exceeds 28.
     pub fn new(history_bits: u32, bht_index_bits: u32, pht_select_bits: u32) -> Self {
-        assert!(history_bits >= 1 && history_bits <= 64, "history width must be in 1..=64");
+        assert!((1..=64).contains(&history_bits), "history width must be in 1..=64");
         assert!(bht_index_bits <= 24, "BHT index width must be <= 24");
         let total = history_bits + pht_select_bits;
         assert!(total <= 28, "total PHT index width must be <= 28, got {total}");

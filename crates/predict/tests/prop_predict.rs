@@ -149,7 +149,7 @@ fn random_records(seed: u64, n: usize) -> Vec<BranchRecord> {
             x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
             let pc = Addr::new(((x >> 8) & 0x3ff) << 2);
             let target = Addr::new(((x >> 20) & 0x3ff) << 2);
-            if x % 4 == 0 {
+            if x.is_multiple_of(4) {
                 BranchRecord::indirect(pc, target)
             } else {
                 BranchRecord::conditional(pc, target, x & 1 == 0)

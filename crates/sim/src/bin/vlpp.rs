@@ -44,6 +44,10 @@ experiments:
   ablate-interference | ablate-stack
   all        every table and figure, in order
 
+subcommands (own flags; see SERVING.md):
+  serve      prediction daemon over the framed JSON protocol
+  loadgen    drive a running `vlpp serve` and verify its predictions
+
 options:
   --scale N  divide the paper's dynamic branch counts by N (default 16;
              also via VLPP_SCALE)
@@ -75,6 +79,26 @@ environment:
 ";
 
 fn main() -> ExitCode {
+    // The two daemon-shaped subcommands branch before experiment
+    // parsing: they have their own flag grammars (see SERVING.md).
+    if let Some(first) = std::env::args().nth(1) {
+        let rest: Vec<String> = std::env::args().skip(2).collect();
+        let outcome = match first.as_str() {
+            "serve" => Some(vlpp_sim::serve::serve_main(&rest)),
+            "loadgen" => Some(vlpp_sim::serve::loadgen::loadgen_main(&rest)),
+            _ => None,
+        };
+        if let Some(outcome) = outcome {
+            return match outcome {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(error) => {
+                    eprintln!("error ({}): {error}", error.phase());
+                    ExitCode::FAILURE
+                }
+            };
+        }
+    }
+
     let mut args = std::env::args().skip(1);
     let mut experiment: Option<String> = None;
     let mut scale = Scale::from_env();
@@ -213,8 +237,7 @@ fn main() -> ExitCode {
             // Persist as soon as the experiment finishes, not at the end
             // of the run — that is what makes a mid-run kill resumable.
             if let (Ok(output), Some(checkpoint)) = (&output, &checkpoint) {
-                let saved =
-                    SavedOutput { json: output.json.clone(), text: output.text.clone() };
+                let saved = SavedOutput { json: output.json.clone(), text: output.text.clone() };
                 if let Err(error) = checkpoint.store(&id, &saved) {
                     eprintln!("warning: could not checkpoint `{id}`: {error}");
                 }
@@ -340,7 +363,10 @@ fn run_one(id: &str, workloads: &Workloads) -> Result<Output, String> {
             let points = paper::figure9(workloads);
             let mut output = emit(&points, paper::GccCondPoint::render(&points));
             let mut chart = vlpp_sim::report::AsciiChart::new(
-                points.iter().map(|p| vlpp_predict::Budget::from_bytes(p.bytes).to_string()).collect(),
+                points
+                    .iter()
+                    .map(|p| vlpp_predict::Budget::from_bytes(p.bytes).to_string())
+                    .collect(),
             );
             chart.series('g', "gshare", points.iter().map(|p| p.gshare).collect());
             chart.series('f', "fixed length path", points.iter().map(|p| p.fixed).collect());
@@ -354,7 +380,10 @@ fn run_one(id: &str, workloads: &Workloads) -> Result<Output, String> {
             let points = paper::figure10(workloads);
             let mut output = emit(&points, paper::GccIndPoint::render(&points));
             let mut chart = vlpp_sim::report::AsciiChart::new(
-                points.iter().map(|p| vlpp_predict::Budget::from_bytes(p.bytes).to_string()).collect(),
+                points
+                    .iter()
+                    .map(|p| vlpp_predict::Budget::from_bytes(p.bytes).to_string())
+                    .collect(),
             );
             chart.series('p', "path (CHP)", points.iter().map(|p| p.path).collect());
             chart.series('n', "pattern (CHP)", points.iter().map(|p| p.pattern).collect());

@@ -150,8 +150,8 @@ mod tests {
     use super::*;
 
     fn temp_dir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir()
-            .join(format!("vlpp-checkpoint-test-{tag}-{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("vlpp-checkpoint-test-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         dir
     }

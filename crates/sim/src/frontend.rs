@@ -18,9 +18,7 @@
 //! rate.
 
 use vlpp_core::Hfnt;
-use vlpp_predict::{
-    BranchObserver, ConditionalPredictor, IndirectPredictor, ReturnAddressStack,
-};
+use vlpp_predict::{BranchObserver, ConditionalPredictor, IndirectPredictor, ReturnAddressStack};
 use vlpp_trace::{BranchKind, Trace};
 
 /// Penalty parameters, in cycles.
@@ -182,8 +180,7 @@ mod tests {
         let mut btb = LastTargetBtb::new(9);
         let baseline = run_frontend(&mut gshare, &mut btb, None, &trace, penalties);
 
-        let mut vlp_cond =
-            PathConditional::new(PathConfig::new(14), HashAssignment::fixed(10));
+        let mut vlp_cond = PathConditional::new(PathConfig::new(14), HashAssignment::fixed(10));
         let mut vlp_ind = PathIndirect::new(PathConfig::new(9), HashAssignment::fixed(4));
         let path = run_frontend(&mut vlp_cond, &mut vlp_ind, None, &trace, penalties);
 
@@ -211,8 +208,7 @@ mod tests {
         let mut ind = PathIndirect::new(PathConfig::new(9), HashAssignment::fixed(4));
         let mut hfnt = Hfnt::new(10, 8);
         let lookup = |pc: vlpp_trace::Addr| assignment.get(pc);
-        let cost =
-            run_frontend(&mut vlp, &mut ind, Some((&mut hfnt, &lookup)), &trace, penalties);
+        let cost = run_frontend(&mut vlp, &mut ind, Some((&mut hfnt, &lookup)), &trace, penalties);
         assert!(cost.repredictions > 0, "the varied assignment must cause re-predictions");
         // Bubbles must be a small cost component relative to flushes.
         let bubble_cycles = cost.repredictions * penalties.repredict;
@@ -225,8 +221,7 @@ mod tests {
     fn empty_trace_costs_nothing() {
         let mut gshare = Gshare::new(8);
         let mut btb = LastTargetBtb::new(8);
-        let cost =
-            run_frontend(&mut gshare, &mut btb, None, &Trace::new(), Penalties::default());
+        let cost = run_frontend(&mut gshare, &mut btb, None, &Trace::new(), Penalties::default());
         assert_eq!(cost, FrontendCost::default());
         assert_eq!(cost.cycles_per_branch(), 0.0);
     }

@@ -53,6 +53,7 @@ pub mod frontend;
 pub mod paper;
 pub mod report;
 pub mod runner;
+pub mod serve;
 
 pub use checkpoint::{Checkpoint, SavedOutput};
 pub use experiment::{Scale, Workloads};

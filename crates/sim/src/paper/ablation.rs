@@ -21,10 +21,7 @@ pub struct AblationRow {
     pub rate: f64,
 }
 
-vlpp_trace::impl_to_json!(AblationRow {
-    variant,
-    rate,
-});
+vlpp_trace::impl_to_json!(AblationRow { variant, rate });
 
 impl AblationRow {
     /// Renders ablation rows.
@@ -74,18 +71,15 @@ pub fn ablate_dynamic_select(workloads: &Workloads) -> Vec<AblationRow> {
     let test = workloads.test_trace(&spec);
     let report = workloads.profile_conditional(&spec, bits);
 
-    let mut profile_vlp =
-        PathConditional::new(PathConfig::new(bits), report.assignment.clone());
+    let mut profile_vlp = PathConditional::new(PathConfig::new(bits), report.assignment.clone());
     let profile_rate = run_conditional(&mut profile_vlp, &test).miss_rate();
 
     let mut dynamic =
         PathConditional::new_dynamic(PathConfig::new(bits), &[1, 2, 4, 8, 16, 32], 10);
     let dynamic_rate = run_conditional(&mut dynamic, &test).miss_rate();
 
-    let mut fixed = PathConditional::new(
-        PathConfig::new(bits),
-        HashAssignment::fixed(report.default_hash),
-    );
+    let mut fixed =
+        PathConditional::new(PathConfig::new(bits), HashAssignment::fixed(report.default_hash));
     let fixed_rate = run_conditional(&mut fixed, &test).miss_rate();
 
     vec![
@@ -184,10 +178,7 @@ pub fn ablate_history_stack(workloads: &Workloads) -> Vec<AblationRow> {
         let profile_config = ProfileConfig::new(config.clone());
         let report = ProfileBuilder::new(profile_config).profile_indirect(&profile);
         let mut vlp = PathIndirect::new(config, report.assignment);
-        AblationRow {
-            variant: label.to_string(),
-            rate: run_indirect(&mut vlp, &test).miss_rate(),
-        }
+        AblationRow { variant: label.to_string(), rate: run_indirect(&mut vlp, &test).miss_rate() }
     };
 
     vec![

@@ -20,9 +20,7 @@
 use std::collections::HashMap;
 
 use vlpp_core::{HashAssignment, PathConditional, PathConfig};
-use vlpp_predict::{
-    BranchObserver, Budget, ConditionalPredictor, Gshare, ReturnAddressStack,
-};
+use vlpp_predict::{BranchObserver, Budget, ConditionalPredictor, Gshare, ReturnAddressStack};
 use vlpp_synth::{suite, CondBehavior};
 use vlpp_trace::BranchKind;
 
@@ -94,13 +92,7 @@ pub struct AnalysisRow {
     pub variable: f64,
 }
 
-vlpp_trace::impl_to_json!(AnalysisRow {
-    class,
-    dynamic,
-    gshare,
-    fixed,
-    variable,
-});
+vlpp_trace::impl_to_json!(AnalysisRow { class, dynamic, gshare, fixed, variable });
 
 impl AnalysisRow {
     /// Renders the analysis table.
@@ -156,8 +148,7 @@ pub fn analyze_gcc(workloads: &Workloads) -> Vec<AnalysisRow> {
     ];
 
     // misses[predictor][class], executions[class]
-    let mut misses: Vec<HashMap<BehaviorClass, u64>> =
-        vec![HashMap::new(); predictors.len()];
+    let mut misses: Vec<HashMap<BehaviorClass, u64>> = vec![HashMap::new(); predictors.len()];
     let mut executions: HashMap<BehaviorClass, u64> = HashMap::new();
     for record in test.iter() {
         if record.is_conditional() {
@@ -186,9 +177,8 @@ pub fn analyze_gcc(workloads: &Workloads) -> Vec<AnalysisRow> {
             if dynamic == 0 {
                 return None;
             }
-            let rate = |i: usize| {
-                misses[i].get(&class).copied().unwrap_or(0) as f64 / dynamic as f64
-            };
+            let rate =
+                |i: usize| misses[i].get(&class).copied().unwrap_or(0) as f64 / dynamic as f64;
             Some(AnalysisRow {
                 class: class.label().to_string(),
                 dynamic,
@@ -211,26 +201,15 @@ pub struct RasRow {
     pub hit_rate: f64,
 }
 
-vlpp_trace::impl_to_json!(RasRow {
-    benchmark,
-    returns,
-    hit_rate,
-});
+vlpp_trace::impl_to_json!(RasRow { benchmark, returns, hit_rate });
 
 impl RasRow {
     /// Renders the RAS experiment.
     pub fn render(rows: &[RasRow]) -> TextTable {
-        let mut table = TextTable::new(vec![
-            "benchmark".into(),
-            "returns".into(),
-            "RAS hit rate".into(),
-        ]);
+        let mut table =
+            TextTable::new(vec!["benchmark".into(), "returns".into(), "RAS hit rate".into()]);
         for row in rows {
-            table.row(vec![
-                row.benchmark.clone(),
-                row.returns.to_string(),
-                percent(row.hit_rate),
-            ]);
+            table.row(vec![row.benchmark.clone(), row.returns.to_string(), percent(row.hit_rate)]);
         }
         table
     }
@@ -272,11 +251,7 @@ pub struct LengthHistogram {
     pub default_hash: u8,
 }
 
-vlpp_trace::impl_to_json!(LengthHistogram {
-    benchmark,
-    histogram,
-    default_hash,
-});
+vlpp_trace::impl_to_json!(LengthHistogram { benchmark, histogram, default_hash });
 
 /// Computes the profiled length histogram for one benchmark at 16 KB.
 ///
@@ -297,8 +272,7 @@ pub fn length_histogram(workloads: &Workloads, name: &str) -> LengthHistogram {
 impl LengthHistogram {
     /// Renders the histogram as an ASCII bar chart.
     pub fn render(&self) -> TextTable {
-        let mut table =
-            TextTable::new(vec!["path length".into(), "branches".into(), "".into()]);
+        let mut table = TextTable::new(vec!["path length".into(), "branches".into(), "".into()]);
         let max = self.histogram.iter().copied().max().unwrap_or(1).max(1);
         for (i, &count) in self.histogram.iter().enumerate() {
             if count == 0 {

@@ -24,12 +24,7 @@ pub struct CondRow {
     pub variable: f64,
 }
 
-vlpp_trace::impl_to_json!(CondRow {
-    benchmark,
-    gshare,
-    fixed,
-    variable,
-});
+vlpp_trace::impl_to_json!(CondRow { benchmark, gshare, fixed, variable });
 
 /// One benchmark's indirect misprediction rates (Figures 7–8, Table 3).
 #[derive(Debug, Clone)]
@@ -46,21 +41,11 @@ pub struct IndRow {
     pub variable: f64,
 }
 
-vlpp_trace::impl_to_json!(IndRow {
-    benchmark,
-    path,
-    pattern,
-    fixed,
-    variable,
-});
+vlpp_trace::impl_to_json!(IndRow { benchmark, path, pattern, fixed, variable });
 
 /// Runs the Figure 5/6 comparison (gshare vs fixed vs variable length
 /// path) for the named benchmarks at `bytes` of predictor table.
-pub fn conditional_comparison(
-    workloads: &Workloads,
-    names: &[&str],
-    bytes: u64,
-) -> Vec<CondRow> {
+pub fn conditional_comparison(workloads: &Workloads, names: &[&str], bytes: u64) -> Vec<CondRow> {
     let budget = Budget::from_bytes(bytes);
     let index_bits = budget.cond_index_bits();
     let fixed_length = workloads.best_fixed_conditional_length(index_bits);
@@ -91,11 +76,8 @@ pub fn conditional_comparison(
 }
 
 /// Maps `names` to rows on the shared worker pool, preserving order.
-pub(super) fn run_parallel<R: Send>(
-    names: &[&str],
-    work: impl Fn(&str) -> R + Sync,
-) -> Vec<R> {
-    vlpp_pool::Pool::global().map(names.to_vec(), |name| work(name))
+pub(super) fn run_parallel<R: Send>(names: &[&str], work: impl Fn(&str) -> R + Sync) -> Vec<R> {
+    vlpp_pool::Pool::global().map(names.to_vec(), work)
 }
 
 /// Runs the Figure 7/8 comparison (path and pattern target caches vs
@@ -176,11 +158,8 @@ impl CondRow {
     /// predictor relative to gshare, in [0, 1] (the paper's headline
     /// "28.6% fewer mispredictions on average").
     pub fn mean_reduction_vs_gshare(rows: &[CondRow]) -> f64 {
-        let reductions: Vec<f64> = rows
-            .iter()
-            .filter(|r| r.gshare > 0.0)
-            .map(|r| 1.0 - r.variable / r.gshare)
-            .collect();
+        let reductions: Vec<f64> =
+            rows.iter().filter(|r| r.gshare > 0.0).map(|r| 1.0 - r.variable / r.gshare).collect();
         if reductions.is_empty() {
             0.0
         } else {

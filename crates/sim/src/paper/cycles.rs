@@ -22,11 +22,7 @@ pub struct FrontendRow {
     pub cost: FrontendCost,
 }
 
-vlpp_trace::impl_to_json!(FrontendRow {
-    benchmark,
-    configuration,
-    cost,
-});
+vlpp_trace::impl_to_json!(FrontendRow { benchmark, configuration, cost });
 
 impl FrontendRow {
     /// Renders the experiment.
@@ -90,10 +86,8 @@ pub fn frontend_experiment(workloads: &Workloads) -> Vec<FrontendRow> {
 
         let cond_length = workloads.best_fixed_conditional_length(cond_bits);
         let ind_length = workloads.best_fixed_indirect_length(ind_bits);
-        let mut flp_cond = PathConditional::new(
-            PathConfig::new(cond_bits),
-            HashAssignment::fixed(cond_length),
-        );
+        let mut flp_cond =
+            PathConditional::new(PathConfig::new(cond_bits), HashAssignment::fixed(cond_length));
         let mut flp_ind =
             PathIndirect::new(PathConfig::new(ind_bits), HashAssignment::fixed(ind_length));
         rows.push(FrontendRow {

@@ -26,13 +26,7 @@ pub struct GccCondPoint {
     pub variable: f64,
 }
 
-vlpp_trace::impl_to_json!(GccCondPoint {
-    bytes,
-    gshare,
-    fixed,
-    fixed_tuned,
-    variable,
-});
+vlpp_trace::impl_to_json!(GccCondPoint { bytes, gshare, fixed, fixed_tuned, variable });
 
 /// One size point of Figure 10 (gcc, indirect).
 #[derive(Debug, Clone)]
@@ -51,14 +45,7 @@ pub struct GccIndPoint {
     pub variable: f64,
 }
 
-vlpp_trace::impl_to_json!(GccIndPoint {
-    bytes,
-    path,
-    pattern,
-    fixed,
-    fixed_tuned,
-    variable,
-});
+vlpp_trace::impl_to_json!(GccIndPoint { bytes, path, pattern, fixed, fixed_tuned, variable });
 
 /// Figure 9: gcc conditional misprediction over 1 KB – 256 KB.
 pub fn figure9(workloads: &Workloads) -> Vec<GccCondPoint> {
@@ -242,11 +229,7 @@ pub fn headline(workloads: &Workloads) -> Headline {
 impl Headline {
     /// Renders the headline with the paper's numbers alongside.
     pub fn render(&self) -> TextTable {
-        let mut table = TextTable::new(vec![
-            "metric".into(),
-            "measured".into(),
-            "paper".into(),
-        ]);
+        let mut table = TextTable::new(vec!["metric".into(), "measured".into(), "paper".into()]);
         table.row(vec!["gcc cond @4KB, VLP".into(), percent(self.vlp_cond_4kb), "4.3%".into()]);
         table.row(vec![
             "gcc cond @4KB, gshare".into(),

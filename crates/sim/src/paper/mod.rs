@@ -28,23 +28,22 @@ pub use ablation::{
     ablate_candidates, ablate_dynamic_select, ablate_history_stack, ablate_interference,
     ablate_returns, ablate_subset_hashes, AblationRow,
 };
-pub use comparisons::{
-    conditional_comparison, figure5, figure6, figure7, figure8, CondRow, IndRow,
-    indirect_comparison,
-};
-pub use gcc::{figure10, figure9, headline, GccCondPoint, GccIndPoint, Headline};
 pub use analysis::{
     analyze_gcc, length_histogram, ras_experiment, AnalysisRow, BehaviorClass, LengthHistogram,
     RasRow,
 };
+pub use comparisons::{
+    conditional_comparison, figure5, figure6, figure7, figure8, indirect_comparison, CondRow,
+    IndRow,
+};
 pub use cycles::{frontend_experiment, FrontendRow};
+pub use gcc::{figure10, figure9, headline, GccCondPoint, GccIndPoint, Headline};
 pub use pipeline::{hfnt_experiment, HfntRow};
 pub use related::{related_conditional, related_indirect, RelatedRow};
 pub use tables::{render_table3, table1, table2, table3, Table1Row, Table2Data};
 
 /// Conditional predictor-table sizes of Figure 9 / Table 2, in bytes.
-pub const COND_SIZES: [u64; 5] =
-    [1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10];
+pub const COND_SIZES: [u64; 5] = [1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10];
 
 /// Indirect predictor-table sizes of Figure 10 / Table 2, in bytes.
 pub const IND_SIZES: [u64; 4] = [512, 2 << 10, 8 << 10, 32 << 10];

@@ -28,12 +28,7 @@ pub struct HfntRow {
     pub rate: f64,
 }
 
-vlpp_trace::impl_to_json!(HfntRow {
-    benchmark,
-    lookups,
-    mismatches,
-    rate,
-});
+vlpp_trace::impl_to_json!(HfntRow { benchmark, lookups, mismatches, rate });
 
 /// Runs the HFNT model over every benchmark using each benchmark's
 /// profiled 16 KB conditional hash assignment.

@@ -31,10 +31,7 @@ pub struct RelatedRow {
     pub rate: f64,
 }
 
-vlpp_trace::impl_to_json!(RelatedRow {
-    predictor,
-    rate,
-});
+vlpp_trace::impl_to_json!(RelatedRow { predictor, rate });
 
 impl RelatedRow {
     /// Renders the comparison, best rate last.
@@ -57,18 +54,13 @@ pub fn related_conditional(workloads: &Workloads) -> Vec<RelatedRow> {
     let profile = workloads.profile_trace(&spec);
     let bits = Budget::from_bytes(FIG5_COND_BYTES).cond_index_bits();
     let mut rows = Vec::new();
-    let mut push = |label: &str, rate: f64| rows.push(RelatedRow {
-        predictor: label.to_string(),
-        rate,
-    });
+    let mut push =
+        |label: &str, rate: f64| rows.push(RelatedRow { predictor: label.to_string(), rate });
 
     push("bimodal", run_conditional(&mut Bimodal::new(bits), &test).miss_rate());
     push("gshare", run_conditional(&mut Gshare::new(bits), &test).miss_rate());
     // Bi-mode: two direction tables + choice table, same total budget.
-    push(
-        "bi-mode",
-        run_conditional(&mut BiMode::new(bits - 1, bits - 1), &test).miss_rate(),
-    );
+    push("bi-mode", run_conditional(&mut BiMode::new(bits - 1, bits - 1), &test).miss_rate());
     push("agree", run_conditional(&mut Agree::new(bits, bits - 2), &test).miss_rate());
     push(
         "hybrid gshare/bimodal",
@@ -111,10 +103,8 @@ pub fn related_indirect(workloads: &Workloads) -> Vec<RelatedRow> {
     let test = workloads.test_trace(&spec);
     let bits = Budget::from_bytes(FIG7_IND_BYTES).ind_index_bits();
     let mut rows = Vec::new();
-    let mut push = |label: &str, rate: f64| rows.push(RelatedRow {
-        predictor: label.to_string(),
-        rate,
-    });
+    let mut push =
+        |label: &str, rate: f64| rows.push(RelatedRow { predictor: label.to_string(), rate });
 
     push("last-target", run_indirect(&mut LastTargetBtb::new(bits), &test).miss_rate());
     push(
@@ -133,11 +123,8 @@ pub fn related_indirect(workloads: &Workloads) -> Vec<RelatedRow> {
     // Dual-length hybrid: two half-size components.
     push(
         "dual-length path hybrid",
-        run_indirect(
-            &mut DualLengthPathIndirect::new(PathConfig::new(bits - 1), 2, 12, 10),
-            &test,
-        )
-        .miss_rate(),
+        run_indirect(&mut DualLengthPathIndirect::new(PathConfig::new(bits - 1), 2, 12, 10), &test)
+            .miss_rate(),
     );
     let fixed_length = workloads.best_fixed_indirect_length(bits);
     push(

@@ -86,10 +86,7 @@ pub struct Table2Data {
     pub indirect: Vec<(u64, u8)>,
 }
 
-vlpp_trace::impl_to_json!(Table2Data {
-    conditional,
-    indirect,
-});
+vlpp_trace::impl_to_json!(Table2Data { conditional, indirect });
 
 /// Computes Table 2 with the paper's methodology: for each size, the
 /// path length minimizing the benchmark-averaged misprediction rate on

@@ -165,10 +165,7 @@ fn related_conditional_places_vlp_at_or_near_the_top() {
     assert!(rows.len() >= 8);
     let vlp = rows.iter().find(|r| r.predictor == "variable length path").expect("VLP row");
     let better = rows.iter().filter(|r| r.rate < vlp.rate - 0.005).count();
-    assert!(
-        better <= 1,
-        "at most one related predictor may beat VLP meaningfully, got {better}"
-    );
+    assert!(better <= 1, "at most one related predictor may beat VLP meaningfully, got {better}");
     let bimodal = rows.iter().find(|r| r.predictor == "bimodal").expect("bimodal row");
     assert!(vlp.rate < bimodal.rate, "VLP must beat bimodal");
 }
@@ -198,12 +195,7 @@ fn ras_is_essentially_perfect_on_the_suite() {
     assert_eq!(rows.len(), 16);
     for row in &rows {
         assert!(row.returns > 0, "{} executed no returns", row.benchmark);
-        assert!(
-            row.hit_rate > 0.95,
-            "{}: RAS hit rate {}",
-            row.benchmark,
-            row.hit_rate
-        );
+        assert!(row.hit_rate > 0.95, "{}: RAS hit rate {}", row.benchmark, row.hit_rate);
     }
 }
 

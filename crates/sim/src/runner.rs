@@ -112,9 +112,7 @@ mod tests {
 
     fn biased_trace(n: usize) -> Trace {
         (0..n)
-            .map(|i| {
-                BranchRecord::conditional(Addr::new(0x40), Addr::new(0x80), i % 10 != 0)
-            })
+            .map(|i| BranchRecord::conditional(Addr::new(0x40), Addr::new(0x80), i % 10 != 0))
             .collect()
     }
 

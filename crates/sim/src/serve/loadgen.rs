@@ -1,0 +1,454 @@
+//! `vlpp loadgen` — a deterministic load generator and correctness
+//! oracle for `vlpp serve`.
+//!
+//! The client trains a model on the server, replays a synthetic test
+//! trace through it over N concurrent connections, and asserts that
+//! every served prediction is byte-identical to the offline reference
+//! ([`Model::apply_sequential`] over the same records, in trace order).
+//!
+//! # Why the comparison is exact
+//!
+//! Records are partitioned by *shard*: connection `c` carries exactly
+//! the records of shards `s` with `s % connections == c`, each in trace
+//! order. Every shard is therefore driven by one connection, so the
+//! server sees each shard's sub-stream in trace order no matter how the
+//! connections' batches interleave — which is precisely the determinism
+//! contract of [`super::model`]. Batch sizes are randomized (seeded,
+//! reproducible) to exercise batching boundaries, and every
+//! `--update-every`-th batch goes through the `update` verb to check
+//! that its state transition matches `predict`'s.
+
+use std::net::TcpStream;
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::thread;
+
+use vlpp_check::rng::mix;
+use vlpp_check::XorShift64;
+use vlpp_trace::frame::{read_frame, write_frame};
+use vlpp_trace::json::{JsonValue, ToJson};
+use vlpp_trace::{BranchRecord, VlppError};
+
+use super::model::{Model, ModelKind, ModelSpec};
+use super::protocol::record_to_json;
+use super::ListenSpec;
+use crate::experiment::{Scale, Workloads};
+
+/// Parsed `vlpp loadgen` options.
+#[derive(Debug, Clone)]
+pub struct LoadgenOptions {
+    /// The server to drive (from `--addr` or `--uds`).
+    pub target: ListenSpec,
+    /// Concurrent connections.
+    pub connections: usize,
+    /// Benchmark whose test trace is replayed.
+    pub benchmark: String,
+    /// Population to predict.
+    pub kind: ModelKind,
+    /// Prediction-table index width.
+    pub index_bits: u32,
+    /// Model shard count (defaults to `connections`).
+    pub shards: usize,
+    /// Records replayed from the head of the test trace.
+    pub records: usize,
+    /// Maximum records per batch (actual sizes are seeded-random in
+    /// `1..=batch`).
+    pub batch: usize,
+    /// Seed for the batch-size stream.
+    pub seed: u64,
+    /// Send every Nth batch via `update` instead of `predict`
+    /// (0 = always predict).
+    pub update_every: usize,
+    /// Workload scale (must match the server's).
+    pub scale: Scale,
+    /// Send `shutdown` after the run.
+    pub shutdown: bool,
+}
+
+const LOADGEN_USAGE: &str = "\
+usage: vlpp loadgen (--addr HOST:PORT | --uds PATH) [--connections N]
+                    [--benchmark NAME] [--kind cond|ind] [--index-bits N]
+                    [--shards N] [--records N] [--batch N] [--seed N]
+                    [--update-every K] [--scale N] [--shutdown]
+
+Trains a model on the server, replays a synthetic trace over N
+connections, and fails unless every served prediction is byte-identical
+to the offline reference. Prints one `LOADGEN {json}` summary line.
+";
+
+fn cli_error(message: impl Into<String>) -> VlppError {
+    VlppError::Cli { message: message.into() }
+}
+
+/// Parses `vlpp loadgen` arguments.
+///
+/// # Errors
+///
+/// [`VlppError::Cli`] on unknown flags, malformed values, or a missing
+/// target address.
+pub fn parse_loadgen_args(args: &[String]) -> Result<LoadgenOptions, VlppError> {
+    let mut target = None;
+    let mut connections = 4usize;
+    let mut benchmark = "compress".to_string();
+    let mut kind = ModelKind::Conditional;
+    let mut index_bits = 10u32;
+    let mut shards = None;
+    let mut records = 20_000usize;
+    let mut batch = 256usize;
+    let mut seed = 0x5eed_1e77u64;
+    let mut update_every = 0usize;
+    let mut scale = Scale::from_env();
+    let mut shutdown = false;
+
+    fn parse_num<T: std::str::FromStr>(value: Option<&String>, flag: &str) -> Result<T, VlppError> {
+        value
+            .and_then(|v| v.parse::<T>().ok())
+            .ok_or_else(|| cli_error(format!("{flag} needs a number")))
+    }
+
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--addr" => {
+                let addr = iter.next().ok_or_else(|| cli_error("--addr needs HOST:PORT"))?;
+                target = Some(ListenSpec::Tcp(addr.clone()));
+            }
+            "--uds" => {
+                let path = iter.next().ok_or_else(|| cli_error("--uds needs a socket path"))?;
+                target = Some(ListenSpec::Unix(PathBuf::from(path)));
+            }
+            "--connections" => {
+                connections = parse_num::<usize>(iter.next(), "--connections")?.max(1)
+            }
+            "--benchmark" => {
+                benchmark =
+                    iter.next().ok_or_else(|| cli_error("--benchmark needs a name"))?.clone();
+            }
+            "--kind" => {
+                let name = iter.next().ok_or_else(|| cli_error("--kind needs cond|ind"))?;
+                kind = ModelKind::from_name(name)
+                    .ok_or_else(|| cli_error(format!("unknown kind `{name}` (cond|ind)")))?;
+            }
+            "--index-bits" => index_bits = parse_num::<u32>(iter.next(), "--index-bits")?,
+            "--shards" => shards = Some(parse_num::<usize>(iter.next(), "--shards")?.max(1)),
+            "--records" => records = parse_num::<usize>(iter.next(), "--records")?,
+            "--batch" => batch = parse_num::<usize>(iter.next(), "--batch")?.max(1),
+            "--seed" => seed = parse_num::<u64>(iter.next(), "--seed")?,
+            "--update-every" => update_every = parse_num::<usize>(iter.next(), "--update-every")?,
+            "--scale" => scale = Scale::new(parse_num::<u64>(iter.next(), "--scale")?.max(1)),
+            "--shutdown" => shutdown = true,
+            "--help" | "-h" => return Err(cli_error(LOADGEN_USAGE)),
+            other => {
+                return Err(cli_error(format!("unexpected argument `{other}`\n{LOADGEN_USAGE}")))
+            }
+        }
+    }
+    let target =
+        target.ok_or_else(|| cli_error(format!("missing --addr/--uds\n{LOADGEN_USAGE}")))?;
+    Ok(LoadgenOptions {
+        target,
+        connections,
+        benchmark,
+        kind,
+        index_bits,
+        shards: shards.unwrap_or(connections),
+        records,
+        batch,
+        seed,
+        update_every,
+        scale,
+        shutdown,
+    })
+}
+
+/// One framed-protocol client connection.
+struct Client {
+    conn: super::Conn,
+    next_id: u64,
+}
+
+impl Client {
+    fn connect(target: &ListenSpec) -> Result<Client, VlppError> {
+        let conn = match target {
+            ListenSpec::Tcp(addr) => TcpStream::connect(addr)
+                .map(super::Conn::Tcp)
+                .map_err(|source| VlppError::io(addr, "connect", source))?,
+            #[cfg(unix)]
+            ListenSpec::Unix(path) => UnixStream::connect(path)
+                .map(super::Conn::Unix)
+                .map_err(|source| VlppError::io(path.clone(), "connect", source))?,
+            #[cfg(not(unix))]
+            ListenSpec::Unix(path) => {
+                return Err(cli_error(format!(
+                    "unix socket {} unsupported on this target",
+                    path.display()
+                )));
+            }
+        };
+        Ok(Client { conn, next_id: 1 })
+    }
+
+    /// Sends one request object and reads its response, checking the
+    /// echoed id and the `ok` flag.
+    fn call(
+        &mut self,
+        verb: &str,
+        mut fields: Vec<(String, JsonValue)>,
+    ) -> Result<JsonValue, VlppError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let mut request = vec![
+            ("verb".to_string(), JsonValue::Str(verb.to_string())),
+            ("id".to_string(), JsonValue::UInt(id)),
+        ];
+        request.append(&mut fields);
+        write_frame(&mut self.conn, JsonValue::Object(request).to_string().as_bytes())?;
+        let payload = read_frame(&mut self.conn)?.ok_or_else(|| {
+            VlppError::protocol(
+                Some(verb.to_string()),
+                "server closed the connection before responding",
+            )
+        })?;
+        let text = std::str::from_utf8(&payload)
+            .map_err(|_| VlppError::protocol(Some(verb.to_string()), "response is not UTF-8"))?;
+        let response = JsonValue::parse(text)
+            .map_err(|source| VlppError::Json { what: "response frame".to_string(), source })?;
+        if response.get("ok").and_then(|v| v.as_bool()) != Some(true) {
+            let detail = response
+                .get("error")
+                .map(|error| error.to_json_string())
+                .unwrap_or_else(|| response.to_json_string());
+            return Err(VlppError::protocol(
+                Some(verb.to_string()),
+                format!("server error: {detail}"),
+            ));
+        }
+        if response.get("id").and_then(|v| v.as_u64()) != Some(id) {
+            return Err(VlppError::protocol(
+                Some(verb.to_string()),
+                "response id does not match the request (reordered responses?)",
+            ));
+        }
+        Ok(response)
+    }
+}
+
+/// What one connection thread did.
+struct ConnReport {
+    /// `(trace_index, served prediction rendered compactly)` for every
+    /// record that went through `predict`.
+    served: Vec<(usize, String)>,
+    batches: u64,
+    predicted: u64,
+    updated: u64,
+}
+
+fn records_json(batch: &[(usize, BranchRecord)]) -> JsonValue {
+    JsonValue::Array(batch.iter().map(|(_, record)| record_to_json(record)).collect())
+}
+
+fn drive_connection(
+    target: &ListenSpec,
+    model: &str,
+    work: &[(usize, BranchRecord)],
+    batch_max: usize,
+    update_every: usize,
+    mut rng: XorShift64,
+) -> Result<ConnReport, VlppError> {
+    let mut client = Client::connect(target)?;
+    let mut report =
+        ConnReport { served: Vec::with_capacity(work.len()), batches: 0, predicted: 0, updated: 0 };
+    let mut cursor = 0usize;
+    while cursor < work.len() {
+        let size = (1 + rng.next_u64() % batch_max as u64) as usize;
+        let batch = &work[cursor..(cursor + size).min(work.len())];
+        cursor += batch.len();
+        report.batches += 1;
+        let is_update = update_every > 0 && report.batches.is_multiple_of(update_every as u64);
+        let body = vec![
+            ("model".to_string(), JsonValue::Str(model.to_string())),
+            ("records".to_string(), records_json(batch)),
+        ];
+        if is_update {
+            client.call("update", body)?;
+            report.updated += batch.len() as u64;
+            continue;
+        }
+        let response = client.call("predict", body)?;
+        let predictions =
+            response.get("predictions").and_then(|p| p.as_array()).ok_or_else(|| {
+                VlppError::protocol(
+                    Some("predict".to_string()),
+                    "response is missing its predictions array",
+                )
+            })?;
+        if predictions.len() != batch.len() {
+            return Err(VlppError::protocol(
+                Some("predict".to_string()),
+                format!("sent {} records, got {} predictions", batch.len(), predictions.len()),
+            ));
+        }
+        for ((index, _), prediction) in batch.iter().zip(predictions) {
+            report.served.push((*index, prediction.to_json_string()));
+        }
+        report.predicted += batch.len() as u64;
+    }
+    Ok(report)
+}
+
+/// `vlpp loadgen` entry point.
+///
+/// # Errors
+///
+/// [`VlppError::Cli`] for bad arguments or a failed run (prediction
+/// mismatches, stats divergence); transport and protocol errors pass
+/// through typed.
+pub fn loadgen_main(args: &[String]) -> Result<(), VlppError> {
+    let options = parse_loadgen_args(args)?;
+    let summary = run_loadgen(&options)?;
+    println!("LOADGEN {summary}");
+    Ok(())
+}
+
+/// Runs the full loadgen cycle, returning the summary document.
+///
+/// # Errors
+///
+/// See [`loadgen_main`].
+pub fn run_loadgen(options: &LoadgenOptions) -> Result<JsonValue, VlppError> {
+    let spec = ModelSpec {
+        name: "loadgen".to_string(),
+        benchmark: options.benchmark.clone(),
+        kind: options.kind,
+        index_bits: options.index_bits,
+        shards: options.shards,
+    };
+
+    // The offline reference: the same model code, driven sequentially
+    // in trace order. Profiling is deterministic, so this instance is
+    // state-identical to the one the server trains.
+    let workloads = Workloads::new(options.scale);
+    let reference = Model::train(spec.clone(), &workloads)?;
+    let benchmark = vlpp_synth::suite::benchmark(&options.benchmark)
+        .ok_or_else(|| cli_error(format!("unknown benchmark `{}`", options.benchmark)))?;
+    let records: Vec<BranchRecord> =
+        workloads.test_trace(&benchmark).iter().take(options.records).copied().collect();
+    if records.is_empty() {
+        return Err(cli_error("no records to replay (is --records 0?)"));
+    }
+    let expected: Vec<String> = reference
+        .apply_sequential(&records)
+        .iter()
+        .map(|slot| slot.to_json())
+        .map(|json| json.to_string())
+        .collect();
+
+    // Train on the server over a control connection.
+    let mut control = Client::connect(&options.target)?;
+    control.call(
+        "train",
+        vec![
+            ("model".to_string(), JsonValue::Str(spec.name.clone())),
+            ("benchmark".to_string(), JsonValue::Str(spec.benchmark.clone())),
+            ("kind".to_string(), JsonValue::Str(spec.kind.name().to_string())),
+            ("index_bits".to_string(), JsonValue::UInt(spec.index_bits as u64)),
+            ("shards".to_string(), JsonValue::UInt(spec.shards as u64)),
+        ],
+    )?;
+
+    // Partition by shard: connection `c` owns shards `s % connections
+    // == c`, each shard's records in trace order. One shard, one
+    // connection — the determinism contract.
+    let mut partitions: Vec<Vec<(usize, BranchRecord)>> = vec![Vec::new(); options.connections];
+    for (index, record) in records.iter().enumerate() {
+        let shard = reference.owner(record.pc());
+        partitions[shard % options.connections].push((index, *record));
+    }
+
+    let reports: Vec<Result<ConnReport, VlppError>> = thread::scope(|scope| {
+        let handles: Vec<_> = partitions
+            .iter()
+            .enumerate()
+            .map(|(c, work)| {
+                let rng = XorShift64::new(options.seed ^ mix(c as u64 + 1));
+                let target = &options.target;
+                let spec = &spec;
+                scope.spawn(move || {
+                    drive_connection(
+                        target,
+                        &spec.name,
+                        work,
+                        options.batch,
+                        options.update_every,
+                        rng,
+                    )
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| {
+                handle.join().unwrap_or_else(|_| {
+                    Err(VlppError::protocol(None, "a loadgen connection thread panicked"))
+                })
+            })
+            .collect()
+    });
+
+    let mut batches = 0u64;
+    let mut predicted = 0u64;
+    let mut updated = 0u64;
+    let mut mismatches = 0u64;
+    let mut first_mismatch: Option<JsonValue> = None;
+    for report in reports {
+        let report = report?;
+        batches += report.batches;
+        predicted += report.predicted;
+        updated += report.updated;
+        for (index, served) in report.served {
+            if served != expected[index] {
+                mismatches += 1;
+                if first_mismatch.is_none() {
+                    first_mismatch = Some(JsonValue::Object(vec![
+                        ("index".to_string(), JsonValue::UInt(index as u64)),
+                        ("served".to_string(), JsonValue::Str(served.clone())),
+                        ("expected".to_string(), JsonValue::Str(expected[index].clone())),
+                    ]));
+                }
+            }
+        }
+    }
+
+    // Cross-check the aggregate counters: the server saw every record
+    // exactly once, so its stats must equal the offline reference's.
+    let stats =
+        control.call("stats", vec![("model".to_string(), JsonValue::Str(spec.name.clone()))])?;
+    let served_stats = stats.get("stats").cloned().unwrap_or(JsonValue::Null);
+    let stats_match = served_stats.to_string() == reference.stats_json().to_string();
+
+    if options.shutdown {
+        control.call("shutdown", vec![])?;
+    }
+
+    let mut summary = vec![
+        ("connections".to_string(), JsonValue::UInt(options.connections as u64)),
+        ("shards".to_string(), JsonValue::UInt(options.shards as u64)),
+        ("records".to_string(), JsonValue::UInt(records.len() as u64)),
+        ("batches".to_string(), JsonValue::UInt(batches)),
+        ("predicted".to_string(), JsonValue::UInt(predicted)),
+        ("updated".to_string(), JsonValue::UInt(updated)),
+        ("mismatches".to_string(), JsonValue::UInt(mismatches)),
+        ("stats_match".to_string(), JsonValue::Bool(stats_match)),
+    ];
+    if let Some(mismatch) = first_mismatch {
+        summary.push(("first_mismatch".to_string(), mismatch));
+    }
+    let summary = JsonValue::Object(summary);
+    if mismatches > 0 || !stats_match {
+        return Err(cli_error(format!(
+            "served predictions diverged from the offline reference: LOADGEN {summary}"
+        )));
+    }
+    Ok(summary)
+}

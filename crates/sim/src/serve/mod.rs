@@ -1,0 +1,555 @@
+//! `vlpp serve` — a zero-dependency prediction daemon, plus the
+//! `vlpp loadgen` client that stress-tests it.
+//!
+//! The server listens on a TCP address (or a Unix socket), speaks the
+//! length-prefixed JSON protocol of [`protocol`] over
+//! `vlpp_trace::frame` framing, and serves trained variable length path
+//! predictor instances ([`model::Model`]). `SERVING.md` at the
+//! repository root documents the wire grammar, the shard/determinism
+//! model, and the backpressure knobs.
+//!
+//! # Threading model
+//!
+//! One acceptor (the calling thread), two threads per connection: a
+//! *reader* that decodes frames into a bounded `sync_channel` (depth
+//! `--queue-depth`; a full queue blocks the reader, which propagates
+//! backpressure to the client through TCP), and a *processor* that
+//! executes verbs and writes responses back in request order. Batch
+//! execution itself fans out over the global `vlpp-pool` via
+//! `Pool::map_sharded`, so same-shard records stay ordered while
+//! distinct shards run in parallel.
+//!
+//! # Graceful drain
+//!
+//! The `shutdown` verb answers `ok`, then stops the acceptor (a dummy
+//! self-connection wakes it out of `accept`) and half-closes the read
+//! side of every open connection. Blocked readers see EOF, queued
+//! frames still execute, every response still goes out, and the process
+//! exits 0 once the last processor finishes.
+
+pub mod loadgen;
+pub mod model;
+pub mod protocol;
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+use vlpp_trace::frame::{read_frame, write_frame};
+use vlpp_trace::json::JsonValue;
+use vlpp_trace::VlppError;
+
+use crate::experiment::{Scale, Workloads};
+pub use model::{Model, ModelKind, ModelSpec, Prediction};
+pub use protocol::{Request, Verb};
+
+/// Default bound of each connection's frame queue.
+pub const DEFAULT_QUEUE_DEPTH: usize = 32;
+
+/// Where the server listens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ListenSpec {
+    /// A TCP address, e.g. `127.0.0.1:0` (port 0 picks a free port).
+    Tcp(String),
+    /// A Unix-domain socket path (Unix targets only).
+    Unix(PathBuf),
+}
+
+/// Parsed `vlpp serve` options.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Listen address (default `127.0.0.1:0`).
+    pub listen: ListenSpec,
+    /// Per-connection frame-queue bound.
+    pub queue_depth: usize,
+    /// Workload scale for profile traces (must match the client's).
+    pub scale: Scale,
+    /// Print the metrics table + `METRICS` line on exit.
+    pub metrics: bool,
+}
+
+const SERVE_USAGE: &str = "\
+usage: vlpp serve [--listen HOST:PORT | --uds PATH] [--queue-depth N]
+                  [--scale N] [--metrics]
+
+Binds, prints one `SERVE {json}` line on stdout announcing the bound
+address, then serves the framed JSON protocol until a `shutdown` verb
+arrives. See SERVING.md.
+";
+
+fn cli_error(message: impl Into<String>) -> VlppError {
+    VlppError::Cli { message: message.into() }
+}
+
+/// Parses `vlpp serve` arguments.
+///
+/// # Errors
+///
+/// [`VlppError::Cli`] on unknown flags or malformed values.
+pub fn parse_serve_args(args: &[String]) -> Result<ServeOptions, VlppError> {
+    let mut options = ServeOptions {
+        listen: ListenSpec::Tcp("127.0.0.1:0".to_string()),
+        queue_depth: DEFAULT_QUEUE_DEPTH,
+        scale: Scale::from_env(),
+        metrics: false,
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--listen" => {
+                let addr = iter.next().ok_or_else(|| cli_error("--listen needs HOST:PORT"))?;
+                options.listen = ListenSpec::Tcp(addr.clone());
+            }
+            "--uds" => {
+                let path = iter.next().ok_or_else(|| cli_error("--uds needs a socket path"))?;
+                if cfg!(not(unix)) {
+                    return Err(cli_error("--uds is only available on Unix targets"));
+                }
+                options.listen = ListenSpec::Unix(PathBuf::from(path));
+            }
+            "--queue-depth" => {
+                options.queue_depth = iter
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| cli_error("--queue-depth needs a positive integer"))?;
+            }
+            "--scale" => {
+                let divisor = iter
+                    .next()
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| cli_error("--scale needs a positive integer"))?;
+                options.scale = Scale::new(divisor);
+            }
+            "--metrics" => options.metrics = true,
+            "--help" | "-h" => return Err(cli_error(SERVE_USAGE)),
+            other => {
+                return Err(cli_error(format!("unexpected argument `{other}`\n{SERVE_USAGE}")))
+            }
+        }
+    }
+    Ok(options)
+}
+
+/// `vlpp serve` entry point: parse, bind, serve until shutdown.
+///
+/// # Errors
+///
+/// [`VlppError::Cli`] for bad arguments, [`VlppError::Io`] if the
+/// listener cannot bind.
+pub fn serve_main(args: &[String]) -> Result<(), VlppError> {
+    let options = parse_serve_args(args)?;
+    serve(options)
+}
+
+/// One bidirectional client connection (TCP or Unix).
+#[derive(Debug)]
+enum Conn {
+    /// TCP transport.
+    Tcp(TcpStream),
+    /// Unix-domain transport.
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Conn {
+    fn try_clone(&self) -> io::Result<Conn> {
+        match self {
+            Conn::Tcp(stream) => stream.try_clone().map(Conn::Tcp),
+            #[cfg(unix)]
+            Conn::Unix(stream) => stream.try_clone().map(Conn::Unix),
+        }
+    }
+
+    /// Half-closes the read side: blocked `read_frame`s on any clone of
+    /// this socket return EOF. Errors are ignored (the peer may already
+    /// be gone, which achieves the same thing).
+    fn shutdown_read(&self) {
+        let _ = match self {
+            Conn::Tcp(stream) => stream.shutdown(Shutdown::Read),
+            #[cfg(unix)]
+            Conn::Unix(stream) => stream.shutdown(Shutdown::Read),
+        };
+    }
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(stream) => stream.read(buf),
+            #[cfg(unix)]
+            Conn::Unix(stream) => stream.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(stream) => stream.write(buf),
+            #[cfg(unix)]
+            Conn::Unix(stream) => stream.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Conn::Tcp(stream) => stream.flush(),
+            #[cfg(unix)]
+            Conn::Unix(stream) => stream.flush(),
+        }
+    }
+}
+
+/// The bound listener.
+enum Listener {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(UnixListener, PathBuf),
+}
+
+/// Enough address to open a dummy connection to the listener — how the
+/// `shutdown` verb wakes the acceptor out of a blocking `accept`.
+#[derive(Debug, Clone)]
+enum WakeHandle {
+    Tcp(SocketAddr),
+    #[cfg(unix)]
+    Unix(PathBuf),
+}
+
+impl WakeHandle {
+    fn wake(&self) {
+        let _ = match self {
+            WakeHandle::Tcp(addr) => TcpStream::connect(addr).map(drop),
+            #[cfg(unix)]
+            WakeHandle::Unix(path) => UnixStream::connect(path).map(drop),
+        };
+    }
+}
+
+impl Listener {
+    fn bind(spec: &ListenSpec) -> Result<Listener, VlppError> {
+        match spec {
+            ListenSpec::Tcp(addr) => TcpListener::bind(addr)
+                .map(Listener::Tcp)
+                .map_err(|source| VlppError::io(addr, "bind", source)),
+            #[cfg(unix)]
+            ListenSpec::Unix(path) => {
+                // A stale socket file from a killed server would make
+                // bind fail; remove it first.
+                let _ = std::fs::remove_file(path);
+                UnixListener::bind(path)
+                    .map(|listener| Listener::Unix(listener, path.clone()))
+                    .map_err(|source| VlppError::io(path.clone(), "bind", source))
+            }
+            #[cfg(not(unix))]
+            ListenSpec::Unix(path) => {
+                Err(cli_error(format!("unix socket {} unsupported on this target", path.display())))
+            }
+        }
+    }
+
+    fn accept(&self) -> io::Result<Conn> {
+        match self {
+            Listener::Tcp(listener) => listener.accept().map(|(stream, _)| Conn::Tcp(stream)),
+            #[cfg(unix)]
+            Listener::Unix(listener, _) => listener.accept().map(|(stream, _)| Conn::Unix(stream)),
+        }
+    }
+
+    /// `(transport, address)` for the `SERVE` announce line.
+    fn describe(&self) -> Result<(&'static str, String), VlppError> {
+        match self {
+            Listener::Tcp(listener) => {
+                let addr = listener
+                    .local_addr()
+                    .map_err(|source| VlppError::io("tcp-listener", "local_addr", source))?;
+                Ok(("tcp", addr.to_string()))
+            }
+            #[cfg(unix)]
+            Listener::Unix(_, path) => Ok(("unix", path.display().to_string())),
+        }
+    }
+
+    fn wake_handle(&self) -> Result<WakeHandle, VlppError> {
+        match self {
+            Listener::Tcp(listener) => {
+                let addr = listener
+                    .local_addr()
+                    .map_err(|source| VlppError::io("tcp-listener", "local_addr", source))?;
+                Ok(WakeHandle::Tcp(addr))
+            }
+            #[cfg(unix)]
+            Listener::Unix(_, path) => Ok(WakeHandle::Unix(path.clone())),
+        }
+    }
+}
+
+impl Drop for Listener {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if let Listener::Unix(_, path) = self {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// State shared by every connection handler.
+struct Shared {
+    workloads: Workloads,
+    models: Mutex<HashMap<String, Arc<Model>>>,
+    draining: AtomicBool,
+    /// Read-half handles of open connections, for the drain half-close.
+    conns: Mutex<HashMap<u64, Conn>>,
+    wake: WakeHandle,
+}
+
+impl Shared {
+    fn lookup(&self, name: &str, verb: &str) -> Result<Arc<Model>, VlppError> {
+        let models = lock(&self.models);
+        models.get(name).cloned().ok_or_else(|| {
+            VlppError::protocol(
+                Some(verb.to_string()),
+                format!("unknown model `{name}` (train it first)"),
+            )
+        })
+    }
+}
+
+/// Mutex recovery, same policy as the model shards: a poisoned lock
+/// means some handler panicked, and the maps it guards are still
+/// structurally valid, so serving continues.
+fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|poison| poison.into_inner())
+}
+
+/// Runs the server until a `shutdown` verb drains it.
+///
+/// Prints one `SERVE {json}` stdout line once bound — clients (and the
+/// integration tests) parse it to find the actual address, which
+/// matters with `--listen 127.0.0.1:0`.
+///
+/// # Errors
+///
+/// [`VlppError::Io`] if the listener cannot bind or describe itself.
+pub fn serve(options: ServeOptions) -> Result<(), VlppError> {
+    let listener = Listener::bind(&options.listen)?;
+    let (transport, addr) = listener.describe()?;
+    let announce = JsonValue::Object(vec![
+        ("transport".to_string(), JsonValue::Str(transport.to_string())),
+        ("addr".to_string(), JsonValue::Str(addr)),
+        ("queue_depth".to_string(), JsonValue::UInt(options.queue_depth as u64)),
+        ("scale".to_string(), JsonValue::UInt(options.scale.divisor())),
+        ("pid".to_string(), JsonValue::UInt(std::process::id() as u64)),
+    ]);
+    println!("SERVE {announce}");
+    let _ = io::stdout().flush();
+
+    let shared = Arc::new(Shared {
+        workloads: Workloads::new(options.scale),
+        models: Mutex::new(HashMap::new()),
+        draining: AtomicBool::new(false),
+        conns: Mutex::new(HashMap::new()),
+        wake: listener.wake_handle()?,
+    });
+
+    let mut handlers = Vec::new();
+    let mut next_id = 0u64;
+    loop {
+        if shared.draining.load(Ordering::SeqCst) {
+            break;
+        }
+        let conn = match listener.accept() {
+            Ok(conn) => conn,
+            // Transient accept failures (e.g. the peer reset before we
+            // got to it) must not kill the daemon.
+            Err(_) => continue,
+        };
+        if shared.draining.load(Ordering::SeqCst) {
+            // The drain wake-up connection (or a client racing it).
+            break;
+        }
+        vlpp_metrics::counter("serve.connections").incr();
+        let id = next_id;
+        next_id += 1;
+        if let Ok(clone) = conn.try_clone() {
+            lock(&shared.conns).insert(id, clone);
+        }
+        let shared = Arc::clone(&shared);
+        let queue_depth = options.queue_depth;
+        handlers.push(thread::spawn(move || handle_connection(id, conn, shared, queue_depth)));
+    }
+    for handler in handlers {
+        let _ = handler.join();
+    }
+    drop(listener);
+    if options.metrics {
+        let registry = vlpp_metrics::Registry::global();
+        eprint!("{}", registry.render_table());
+        println!("METRICS {}", registry.snapshot());
+        let _ = io::stdout().flush();
+    }
+    Ok(())
+}
+
+/// Reader half: frames off the wire into the bounded queue. A full
+/// queue first bumps `serve.backpressure_waits`, then blocks — which is
+/// the backpressure propagating to the client through the transport.
+fn reader_loop(mut conn: Conn, queue: SyncSender<Result<Vec<u8>, VlppError>>) {
+    loop {
+        match read_frame(&mut conn) {
+            Ok(Some(payload)) => {
+                let payload = match queue.try_send(Ok(payload)) {
+                    Ok(()) => continue,
+                    Err(TrySendError::Full(payload)) => {
+                        vlpp_metrics::counter("serve.backpressure_waits").incr();
+                        payload
+                    }
+                    Err(TrySendError::Disconnected(_)) => return,
+                };
+                if queue.send(payload).is_err() {
+                    return;
+                }
+            }
+            // Clean EOF between frames: the client is done. Dropping
+            // the sender closes the queue once it drains.
+            Ok(None) => return,
+            Err(error) => {
+                let _ = queue.send(Err(error));
+                return;
+            }
+        }
+    }
+}
+
+/// Processor half: executes queued frames in order, one response frame
+/// per request frame.
+fn handle_connection(id: u64, conn: Conn, shared: Arc<Shared>, queue_depth: usize) {
+    let mut writer = conn;
+    let processed = match writer.try_clone() {
+        Ok(reader) => {
+            let (sender, receiver) = sync_channel(queue_depth);
+            let reader_thread = thread::spawn(move || reader_loop(reader, sender));
+            process_queue(&mut writer, &receiver, &shared);
+            // Unblock the reader (it may be mid-read on a socket the
+            // processor abandoned after a write failure) and reap it.
+            writer.shutdown_read();
+            let _ = reader_thread.join();
+            true
+        }
+        Err(_) => false,
+    };
+    if !processed {
+        vlpp_metrics::counter("serve.errors.frame").incr();
+    }
+    lock(&shared.conns).remove(&id);
+}
+
+fn process_queue(writer: &mut Conn, queue: &Receiver<Result<Vec<u8>, VlppError>>, shared: &Shared) {
+    while let Ok(next) = queue.recv() {
+        match next {
+            Ok(payload) => {
+                let response = process_frame(&payload, shared);
+                if write_frame(&mut *writer, response.to_string().as_bytes()).is_err() {
+                    // The client is gone; nothing left to respond to.
+                    return;
+                }
+            }
+            Err(error) => {
+                // Framing is not resynchronizable: answer with the
+                // typed error (best-effort — the peer may have
+                // disconnected mid-frame) and close.
+                vlpp_metrics::counter("serve.errors.frame").incr();
+                let response = protocol::error_response(None, &error);
+                let _ = write_frame(&mut *writer, response.to_string().as_bytes());
+                return;
+            }
+        }
+    }
+}
+
+/// Parses and executes one request frame, returning the response
+/// document. Protocol-level failures become error responses; the
+/// connection stays usable.
+fn process_frame(payload: &[u8], shared: &Shared) -> JsonValue {
+    let request = match protocol::parse_request(payload) {
+        Ok(request) => request,
+        Err(error) => {
+            vlpp_metrics::counter("serve.errors.protocol").incr();
+            return protocol::error_response(None, &error);
+        }
+    };
+    let verb = request.verb.name();
+    vlpp_metrics::counter(&format!("serve.requests.{verb}")).incr();
+    let _span = vlpp_metrics::span(&format!("serve.{verb}_ns"));
+    match execute(request.verb, shared) {
+        Ok(body) => protocol::ok_response(verb, request.id, body),
+        Err(error) => {
+            vlpp_metrics::counter("serve.errors.protocol").incr();
+            protocol::error_response(request.id, &error)
+        }
+    }
+}
+
+fn execute(verb: Verb, shared: &Shared) -> Result<Vec<(String, JsonValue)>, VlppError> {
+    match verb {
+        Verb::Train(spec) => {
+            let model = Model::train(spec, &shared.workloads)?;
+            let body = vec![
+                ("model".to_string(), JsonValue::Str(model.spec.name.clone())),
+                ("kind".to_string(), JsonValue::Str(model.spec.kind.name().to_string())),
+                ("shards".to_string(), JsonValue::UInt(model.spec.shards as u64)),
+                ("default_hash".to_string(), JsonValue::UInt(model.default_hash as u64)),
+                ("profiled_branches".to_string(), JsonValue::UInt(model.profiled_branches as u64)),
+            ];
+            lock(&shared.models).insert(model.spec.name.clone(), Arc::new(model));
+            Ok(body)
+        }
+        Verb::Predict { model, records } => {
+            let model = shared.lookup(&model, "predict")?;
+            vlpp_metrics::counter("serve.records").add(records.len() as u64);
+            vlpp_metrics::histogram("serve.batch_records").record(records.len() as u64);
+            let predictions = model.apply_batch(&records);
+            Ok(vec![("predictions".to_string(), protocol::predictions_to_json(&predictions))])
+        }
+        Verb::Update { model, records } => {
+            let model = shared.lookup(&model, "update")?;
+            vlpp_metrics::counter("serve.records").add(records.len() as u64);
+            vlpp_metrics::histogram("serve.batch_records").record(records.len() as u64);
+            model.apply_batch(&records);
+            Ok(vec![("records".to_string(), JsonValue::UInt(records.len() as u64))])
+        }
+        Verb::Stats { model: Some(name) } => {
+            let model = shared.lookup(&name, "stats")?;
+            Ok(vec![("stats".to_string(), model.stats_json())])
+        }
+        Verb::Stats { model: None } => {
+            let models = lock(&shared.models);
+            let mut entries: Vec<(String, JsonValue)> =
+                models.iter().map(|(name, model)| (name.clone(), model.stats_json())).collect();
+            // HashMap order is not deterministic; the wire form is.
+            entries.sort_by(|a, b| a.0.cmp(&b.0));
+            Ok(vec![("stats".to_string(), JsonValue::Object(entries))])
+        }
+        Verb::Shutdown => {
+            // Flag first so the acceptor cannot miss it, then force
+            // every blocked reader to EOF and wake the acceptor. This
+            // handler's own response is written by the caller after we
+            // return — only read halves are closed here.
+            shared.draining.store(true, Ordering::SeqCst);
+            for conn in lock(&shared.conns).values() {
+                conn.shutdown_read();
+            }
+            shared.wake.wake();
+            Ok(vec![("draining".to_string(), JsonValue::Bool(true))])
+        }
+    }
+}

@@ -1,0 +1,402 @@
+//! Served predictor instances: per-shard variable length path predictor
+//! state plus the trace-order determinism contract.
+//!
+//! # Sharding and determinism
+//!
+//! A served model is split into `shards` independent predictor
+//! instances; the branch at `pc` always belongs to shard
+//! `pc.word() % shards`. Because every *static* branch maps to exactly
+//! one shard, a shard sees a deterministic sub-stream of the trace, and
+//! its predictions depend only on that sub-stream's order — not on
+//! worker-thread count, batch boundaries, or which connection carried
+//! the records. [`Model::apply_batch`] exploits this through
+//! `Pool::map_sharded`: same-shard records run sequentially in batch
+//! order, distinct shards run in parallel, and the result is
+//! byte-identical to [`Model::apply_sequential`] at any `VLPP_THREADS`.
+//!
+//! The contract callers must keep: each shard's records must arrive in
+//! trace order. One connection per shard group (what `vlpp loadgen`
+//! does) satisfies this; two connections racing records of the *same*
+//! shard would interleave nondeterministically at the server, exactly
+//! as two cores racing uncoordinated updates to one predictor would.
+
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use vlpp_core::{PathConditional, PathConfig, PathIndirect, ProfileReport};
+use vlpp_pool::Pool;
+use vlpp_predict::{BranchObserver, ConditionalPredictor, IndirectPredictor};
+use vlpp_trace::json::{JsonValue, ToJson};
+use vlpp_trace::{Addr, BranchRecord, VlppError};
+
+use crate::experiment::Workloads;
+use crate::runner::RunStats;
+
+/// Which branch population a served model predicts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelKind {
+    /// Conditional branches (taken / not-taken).
+    Conditional,
+    /// Indirect jumps and calls (target addresses; returns excluded).
+    Indirect,
+}
+
+impl ModelKind {
+    /// Wire name, matching `BranchKind`'s short names.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelKind::Conditional => "cond",
+            ModelKind::Indirect => "ind",
+        }
+    }
+
+    /// Parses a wire name back into a kind.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "cond" => Some(ModelKind::Conditional),
+            "ind" => Some(ModelKind::Indirect),
+            _ => None,
+        }
+    }
+}
+
+/// Everything the `train` verb needs to build a model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelSpec {
+    /// The model's name (the key later `predict`/`update` verbs use).
+    pub name: String,
+    /// Synthetic benchmark whose profile trace trains the assignment.
+    pub benchmark: String,
+    /// Branch population to predict.
+    pub kind: ModelKind,
+    /// Prediction-table index width in bits.
+    pub index_bits: u32,
+    /// Number of independent predictor shards.
+    pub shards: usize,
+}
+
+/// One served prediction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Prediction {
+    /// A conditional direction prediction.
+    Taken {
+        /// The predicted direction.
+        taken: bool,
+        /// Whether it matched the record's actual outcome.
+        correct: bool,
+    },
+    /// An indirect target prediction.
+    Target {
+        /// The predicted target (`Addr::NULL` when the predictor had no
+        /// candidate — always scored as a miss).
+        target: Addr,
+        /// Whether it matched the record's actual target.
+        correct: bool,
+    },
+}
+
+impl ToJson for Prediction {
+    fn to_json(&self) -> JsonValue {
+        match *self {
+            Prediction::Taken { taken, correct } => JsonValue::Object(vec![
+                ("taken".to_string(), JsonValue::Bool(taken)),
+                ("correct".to_string(), JsonValue::Bool(correct)),
+            ]),
+            Prediction::Target { target, correct } => JsonValue::Object(vec![
+                ("target".to_string(), JsonValue::UInt(target.raw())),
+                ("correct".to_string(), JsonValue::Bool(correct)),
+            ]),
+        }
+    }
+}
+
+/// The predictor variant one shard owns.
+enum ShardPredictor {
+    Conditional(PathConditional),
+    Indirect(PathIndirect),
+}
+
+/// One shard: its predictor plus its accuracy counters.
+pub struct ShardState {
+    predictor: ShardPredictor,
+    stats: RunStats,
+}
+
+impl std::fmt::Debug for ShardState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardState").field("stats", &self.stats).finish_non_exhaustive()
+    }
+}
+
+impl ShardState {
+    /// Runs one record through the standard simulation protocol
+    /// (predict → score → train on population members, observe on every
+    /// record), returning the prediction for population members and
+    /// `None` otherwise. This is the same state evolution as
+    /// `runner::run_conditional` / `run_indirect`, record at a time.
+    pub fn apply(&mut self, record: &BranchRecord) -> Option<Prediction> {
+        let prediction = match &mut self.predictor {
+            ShardPredictor::Conditional(predictor) => {
+                if record.is_conditional() {
+                    let taken = predictor.predict(record.pc());
+                    let correct = taken == record.taken();
+                    self.stats.record(record.pc(), correct);
+                    predictor.train(record.pc(), record.taken());
+                    Some(Prediction::Taken { taken, correct })
+                } else {
+                    None
+                }
+            }
+            ShardPredictor::Indirect(predictor) => {
+                if record.is_indirect() {
+                    let target = predictor.predict(record.pc());
+                    let correct = target == record.target();
+                    self.stats.record(record.pc(), correct);
+                    predictor.train(record.pc(), record.target());
+                    Some(Prediction::Target { target, correct })
+                } else {
+                    None
+                }
+            }
+        };
+        match &mut self.predictor {
+            ShardPredictor::Conditional(predictor) => predictor.observe(record),
+            ShardPredictor::Indirect(predictor) => predictor.observe(record),
+        }
+        prediction
+    }
+}
+
+/// A trained, shard-partitioned predictor instance.
+pub struct Model {
+    /// The spec the model was trained from.
+    pub spec: ModelSpec,
+    /// Profiled static branches (from the training report, for the
+    /// `train` response).
+    pub profiled_branches: usize,
+    /// The assignment's default hash number.
+    pub default_hash: u8,
+    shards: Vec<Mutex<ShardState>>,
+}
+
+impl std::fmt::Debug for Model {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Model")
+            .field("spec", &self.spec)
+            .field("shards", &self.shards.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// A poisoned shard mutex means a previous `apply` panicked mid-update;
+/// the predictor state is still structurally valid (only partially
+/// trained), so serving continues with whatever state is there rather
+/// than wedging every later request on the poison.
+fn lock_shard(shard: &Mutex<ShardState>) -> MutexGuard<'_, ShardState> {
+    shard.lock().unwrap_or_else(|poison| poison.into_inner())
+}
+
+impl Model {
+    /// Profiles `spec.benchmark` (memoized in `workloads`) and builds
+    /// `spec.shards` independent predictor instances from the resulting
+    /// hash assignment.
+    ///
+    /// # Errors
+    ///
+    /// [`VlppError::Protocol`] for an unknown benchmark name or a
+    /// zero shard count.
+    pub fn train(spec: ModelSpec, workloads: &Workloads) -> Result<Model, VlppError> {
+        if spec.shards == 0 {
+            return Err(VlppError::protocol(
+                Some("train".to_string()),
+                "shard count must be at least 1",
+            ));
+        }
+        let benchmark = vlpp_synth::suite::benchmark(&spec.benchmark).ok_or_else(|| {
+            VlppError::protocol(
+                Some("train".to_string()),
+                format!("unknown benchmark `{}`", spec.benchmark),
+            )
+        })?;
+        let report: Arc<ProfileReport> = match spec.kind {
+            ModelKind::Conditional => workloads.profile_conditional(&benchmark, spec.index_bits),
+            ModelKind::Indirect => workloads.profile_indirect(&benchmark, spec.index_bits),
+        };
+        let shards = (0..spec.shards)
+            .map(|_| {
+                let config = PathConfig::new(spec.index_bits);
+                let predictor = match spec.kind {
+                    ModelKind::Conditional => ShardPredictor::Conditional(PathConditional::new(
+                        config,
+                        report.assignment.clone(),
+                    )),
+                    ModelKind::Indirect => ShardPredictor::Indirect(PathIndirect::new(
+                        config,
+                        report.assignment.clone(),
+                    )),
+                };
+                Mutex::new(ShardState { predictor, stats: RunStats::default() })
+            })
+            .collect();
+        Ok(Model {
+            profiled_branches: report.profiled_branches,
+            default_hash: report.default_hash,
+            spec,
+            shards,
+        })
+    }
+
+    /// The shard that owns the branch at `pc`.
+    pub fn owner(&self, pc: Addr) -> usize {
+        (pc.word() % self.shards.len() as u64) as usize
+    }
+
+    /// Runs a batch through the shards on the global worker pool:
+    /// same-shard records stay sequential in batch order, distinct
+    /// shards run in parallel. One prediction slot per input record, in
+    /// input order.
+    pub fn apply_batch(&self, records: &[BranchRecord]) -> Vec<Option<Prediction>> {
+        let items = records.iter().map(|record| (self.owner(record.pc()), *record)).collect();
+        Pool::global().map_sharded(items, |shard, record: BranchRecord| {
+            lock_shard(&self.shards[shard]).apply(&record)
+        })
+    }
+
+    /// The single-threaded reference for [`Model::apply_batch`]: applies
+    /// records one at a time in input order. `vlpp loadgen` uses this to
+    /// compute the offline predictions the served ones must match
+    /// byte-for-byte.
+    pub fn apply_sequential(&self, records: &[BranchRecord]) -> Vec<Option<Prediction>> {
+        records
+            .iter()
+            .map(|record| lock_shard(&self.shards[self.owner(record.pc())]).apply(record))
+            .collect()
+    }
+
+    /// Accuracy totals across all shards, as the `stats` verb reports
+    /// them.
+    pub fn stats_json(&self) -> JsonValue {
+        let mut predictions = 0u64;
+        let mut mispredictions = 0u64;
+        let mut static_branches = 0usize;
+        for shard in &self.shards {
+            let state = lock_shard(shard);
+            predictions += state.stats.predictions;
+            mispredictions += state.stats.mispredictions;
+            static_branches += state.stats.static_branches();
+        }
+        let miss_rate =
+            if predictions == 0 { 0.0 } else { mispredictions as f64 / predictions as f64 };
+        JsonValue::Object(vec![
+            ("benchmark".to_string(), JsonValue::Str(self.spec.benchmark.clone())),
+            ("kind".to_string(), JsonValue::Str(self.spec.kind.name().to_string())),
+            ("index_bits".to_string(), JsonValue::UInt(self.spec.index_bits as u64)),
+            ("shards".to_string(), JsonValue::UInt(self.spec.shards as u64)),
+            ("predictions".to_string(), JsonValue::UInt(predictions)),
+            ("mispredictions".to_string(), JsonValue::UInt(mispredictions)),
+            ("miss_rate".to_string(), JsonValue::Float(miss_rate)),
+            ("static_branches".to_string(), JsonValue::UInt(static_branches as u64)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::Scale;
+
+    fn spec(shards: usize) -> ModelSpec {
+        ModelSpec {
+            name: "m".to_string(),
+            benchmark: "compress".to_string(),
+            kind: ModelKind::Conditional,
+            index_bits: 10,
+            shards,
+        }
+    }
+
+    fn test_records(workloads: &Workloads, n: usize) -> Vec<BranchRecord> {
+        let benchmark = vlpp_synth::suite::benchmark("compress").unwrap();
+        workloads.test_trace(&benchmark).iter().take(n).copied().collect()
+    }
+
+    #[test]
+    fn unknown_benchmark_is_a_protocol_error() {
+        let workloads = Workloads::new(Scale::new(1_000_000));
+        let mut bad = spec(1);
+        bad.benchmark = "nonesuch".to_string();
+        let error = Model::train(bad, &workloads).unwrap_err();
+        assert_eq!(error.phase(), "protocol");
+    }
+
+    #[test]
+    fn batched_parallel_apply_matches_sequential() {
+        let workloads = Workloads::new(Scale::new(1_000_000));
+        let records = test_records(&workloads, 4000);
+
+        let reference = Model::train(spec(4), &workloads).unwrap();
+        let expected = reference.apply_sequential(&records);
+
+        let served = Model::train(spec(4), &workloads).unwrap();
+        let mut got = Vec::new();
+        for batch in records.chunks(97) {
+            got.extend(served.apply_batch(batch));
+        }
+        assert_eq!(got, expected);
+        assert_eq!(served.stats_json().to_json_string(), reference.stats_json().to_json_string());
+    }
+
+    #[test]
+    fn one_shard_matches_the_offline_runner() {
+        let workloads = Workloads::new(Scale::new(1_000_000));
+        let benchmark = vlpp_synth::suite::benchmark("compress").unwrap();
+        let records = test_records(&workloads, 4000);
+
+        let model = Model::train(spec(1), &workloads).unwrap();
+        let predictions = model.apply_sequential(&records);
+
+        let report = workloads.profile_conditional(&benchmark, 10);
+        let mut offline = PathConditional::new(PathConfig::new(10), report.assignment.clone());
+        let mut stats = RunStats::default();
+        for (record, slot) in records.iter().zip(&predictions) {
+            if record.is_conditional() {
+                let taken = offline.predict(record.pc());
+                let correct = taken == record.taken();
+                stats.record(record.pc(), correct);
+                offline.train(record.pc(), record.taken());
+                assert_eq!(*slot, Some(Prediction::Taken { taken, correct }));
+            } else {
+                assert_eq!(*slot, None);
+            }
+            offline.observe(record);
+        }
+        let served_stats = model.stats_json();
+        assert_eq!(
+            served_stats.get("predictions").and_then(|v| v.as_u64()),
+            Some(stats.predictions)
+        );
+        assert_eq!(
+            served_stats.get("mispredictions").and_then(|v| v.as_u64()),
+            Some(stats.mispredictions)
+        );
+    }
+
+    #[test]
+    fn indirect_models_score_null_targets_as_misses() {
+        let workloads = Workloads::new(Scale::new(1_000_000));
+        let mut indirect_spec = spec(2);
+        indirect_spec.kind = ModelKind::Indirect;
+        let model = Model::train(indirect_spec, &workloads).unwrap();
+        let records = vec![
+            BranchRecord::indirect(Addr::new(0x4000), Addr::new(0x5000)),
+            BranchRecord::ret(Addr::new(0x5004), Addr::new(0x4004)),
+            BranchRecord::indirect(Addr::new(0x4000), Addr::new(0x5000)),
+        ];
+        let predictions = model.apply_sequential(&records);
+        // Cold first sight: no candidate target, a scored miss.
+        assert!(matches!(predictions[0], Some(Prediction::Target { correct: false, .. })));
+        // Returns are excluded from the indirect population.
+        assert_eq!(predictions[1], None);
+        // Second sight: the last-target path predicts correctly.
+        assert!(matches!(predictions[2], Some(Prediction::Target { correct: true, .. })));
+    }
+}

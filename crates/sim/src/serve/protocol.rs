@@ -1,0 +1,352 @@
+//! Wire protocol of `vlpp serve`: JSON request/response documents
+//! carried in `vlpp_trace::frame` length-prefixed frames.
+//!
+//! Every request is one JSON object with a `"verb"` field and an
+//! optional client-chosen `"id"` that the response echoes, so a client
+//! pipelining several verbs on one connection can match responses by id
+//! as well as by order (responses always come back in request order).
+//! `SERVING.md` at the repository root gives the full grammar.
+
+use vlpp_trace::json::{JsonValue, ToJson};
+use vlpp_trace::{Addr, BranchKind, BranchRecord, VlppError};
+
+use super::model::{ModelKind, ModelSpec, Prediction};
+
+/// A parsed request: the echoed id plus the verb payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed verbatim in the response.
+    pub id: Option<u64>,
+    /// The verb payload.
+    pub verb: Verb,
+}
+
+/// The five verbs of the serving protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Verb {
+    /// Build (or rebuild) a named predictor instance from a profiled
+    /// hash assignment.
+    Train(ModelSpec),
+    /// Run a batch of records through a model, returning one prediction
+    /// slot per record.
+    Predict {
+        /// The model to drive.
+        model: String,
+        /// The retired-branch batch, in program order.
+        records: Vec<BranchRecord>,
+    },
+    /// As `predict`, but fire-and-forget: the state transition is
+    /// identical (predict → train → observe per record), only the
+    /// response omits the predictions.
+    Update {
+        /// The model to drive.
+        model: String,
+        /// The retired-branch batch, in program order.
+        records: Vec<BranchRecord>,
+    },
+    /// Aggregated accuracy counters for one model (or all models).
+    Stats {
+        /// The model to report, or `None` for a per-model summary.
+        model: Option<String>,
+    },
+    /// Graceful drain: stop accepting connections, finish queued
+    /// requests, then exit.
+    Shutdown,
+}
+
+impl Verb {
+    /// The verb's wire name (the metrics label under `serve.requests.*`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Verb::Train(_) => "train",
+            Verb::Predict { .. } => "predict",
+            Verb::Update { .. } => "update",
+            Verb::Stats { .. } => "stats",
+            Verb::Shutdown => "shutdown",
+        }
+    }
+}
+
+fn field<'a>(
+    object: &'a JsonValue,
+    verb: Option<&str>,
+    key: &str,
+) -> Result<&'a JsonValue, VlppError> {
+    object.get(key).ok_or_else(|| {
+        VlppError::protocol(verb.map(str::to_string), format!("missing field `{key}`"))
+    })
+}
+
+fn str_field(object: &JsonValue, verb: Option<&str>, key: &str) -> Result<String, VlppError> {
+    field(object, verb, key)?.as_str().map(str::to_string).ok_or_else(|| {
+        VlppError::protocol(verb.map(str::to_string), format!("field `{key}` must be a string"))
+    })
+}
+
+fn u64_field(object: &JsonValue, verb: Option<&str>, key: &str) -> Result<u64, VlppError> {
+    field(object, verb, key)?.as_u64().ok_or_else(|| {
+        VlppError::protocol(
+            verb.map(str::to_string),
+            format!("field `{key}` must be an unsigned integer"),
+        )
+    })
+}
+
+/// Decodes one wire record: `{"pc":u64,"target":u64,"kind":"cond",
+/// "taken":bool}`. The `kind` names are `BranchKind::name()`'s; `taken`
+/// is only meaningful (and only required) for conditionals.
+pub fn record_from_json(value: &JsonValue, verb: &str) -> Result<BranchRecord, VlppError> {
+    let pc = u64_field(value, Some(verb), "pc")?;
+    let target = u64_field(value, Some(verb), "target")?;
+    let kind_name = str_field(value, Some(verb), "kind")?;
+    let kind = BranchKind::from_name(&kind_name).ok_or_else(|| {
+        VlppError::protocol(Some(verb.to_string()), format!("unknown branch kind `{kind_name}`"))
+    })?;
+    let taken = match value.get("taken") {
+        Some(flag) => flag.as_bool().ok_or_else(|| {
+            VlppError::protocol(Some(verb.to_string()), "field `taken` must be a boolean")
+        })?,
+        None if kind == BranchKind::Conditional => {
+            return Err(VlppError::protocol(
+                Some(verb.to_string()),
+                "conditional records need a `taken` field",
+            ));
+        }
+        // Non-conditional transfers are always taken.
+        None => true,
+    };
+    Ok(BranchRecord::new(Addr::new(pc), Addr::new(target), kind, taken))
+}
+
+/// Encodes one record for the wire (the inverse of
+/// [`record_from_json`]).
+pub fn record_to_json(record: &BranchRecord) -> JsonValue {
+    let mut fields = vec![
+        ("pc".to_string(), JsonValue::UInt(record.pc().raw())),
+        ("target".to_string(), JsonValue::UInt(record.target().raw())),
+        ("kind".to_string(), JsonValue::Str(record.kind().name().to_string())),
+    ];
+    if record.is_conditional() {
+        fields.push(("taken".to_string(), JsonValue::Bool(record.taken())));
+    }
+    JsonValue::Object(fields)
+}
+
+fn records_field(object: &JsonValue, verb: &str) -> Result<Vec<BranchRecord>, VlppError> {
+    let items = field(object, Some(verb), "records")?.as_array().ok_or_else(|| {
+        VlppError::protocol(Some(verb.to_string()), "field `records` must be an array")
+    })?;
+    items.iter().map(|item| record_from_json(item, verb)).collect()
+}
+
+/// Parses one request frame payload.
+///
+/// # Errors
+///
+/// [`VlppError::Json`] if the payload is not valid JSON at all, and
+/// [`VlppError::Protocol`] for structurally valid JSON that violates
+/// the protocol (not an object, unknown verb, missing or ill-typed
+/// fields). Both leave the connection usable — the server answers with
+/// an error response and keeps reading.
+pub fn parse_request(payload: &[u8]) -> Result<Request, VlppError> {
+    let text = std::str::from_utf8(payload)
+        .map_err(|_| VlppError::protocol(None, "request payload is not UTF-8"))?;
+    let value = JsonValue::parse(text)
+        .map_err(|source| VlppError::Json { what: "request frame".to_string(), source })?;
+    if value.as_object().is_none() {
+        return Err(VlppError::protocol(None, "request must be a JSON object"));
+    }
+    let id =
+        match value.get("id") {
+            None => None,
+            Some(id) => Some(id.as_u64().ok_or_else(|| {
+                VlppError::protocol(None, "field `id` must be an unsigned integer")
+            })?),
+        };
+    let verb_name = str_field(&value, None, "verb")?;
+    let verb = match verb_name.as_str() {
+        "train" => {
+            let kind_name = str_field(&value, Some("train"), "kind")?;
+            let kind = ModelKind::from_name(&kind_name).ok_or_else(|| {
+                VlppError::protocol(
+                    Some("train".to_string()),
+                    format!("unknown model kind `{kind_name}` (expected `cond` or `ind`)"),
+                )
+            })?;
+            let index_bits = u64_field(&value, Some("train"), "index_bits")?;
+            if !(4..=24).contains(&index_bits) {
+                return Err(VlppError::protocol(
+                    Some("train".to_string()),
+                    format!("index_bits {index_bits} outside the supported 4..=24"),
+                ));
+            }
+            let shards = match value.get("shards") {
+                None => 1,
+                Some(n) => n.as_u64().filter(|&n| (1..=1024).contains(&n)).ok_or_else(|| {
+                    VlppError::protocol(
+                        Some("train".to_string()),
+                        "field `shards` must be an integer in 1..=1024",
+                    )
+                })?,
+            };
+            Verb::Train(ModelSpec {
+                name: str_field(&value, Some("train"), "model")?,
+                benchmark: str_field(&value, Some("train"), "benchmark")?,
+                kind,
+                index_bits: index_bits as u32,
+                shards: shards as usize,
+            })
+        }
+        "predict" => Verb::Predict {
+            model: str_field(&value, Some("predict"), "model")?,
+            records: records_field(&value, "predict")?,
+        },
+        "update" => Verb::Update {
+            model: str_field(&value, Some("update"), "model")?,
+            records: records_field(&value, "update")?,
+        },
+        "stats" => Verb::Stats {
+            model: match value.get("model") {
+                None => None,
+                Some(model) => Some(model.as_str().map(str::to_string).ok_or_else(|| {
+                    VlppError::protocol(Some("stats".to_string()), "field `model` must be a string")
+                })?),
+            },
+        },
+        "shutdown" => Verb::Shutdown,
+        other => {
+            return Err(VlppError::protocol(
+                Some(other.to_string()),
+                format!("unknown verb `{other}`"),
+            ));
+        }
+    };
+    Ok(Request { id, verb })
+}
+
+/// Builds a success response: `{"ok":true,"verb":...,"id":...,<body>}`.
+pub fn ok_response(verb: &str, id: Option<u64>, body: Vec<(String, JsonValue)>) -> JsonValue {
+    let mut fields = vec![
+        ("ok".to_string(), JsonValue::Bool(true)),
+        ("verb".to_string(), JsonValue::Str(verb.to_string())),
+    ];
+    if let Some(id) = id {
+        fields.push(("id".to_string(), JsonValue::UInt(id)));
+    }
+    fields.extend(body);
+    JsonValue::Object(fields)
+}
+
+/// Builds an error response: `{"ok":false,"id":...,"error":{...}}` with
+/// the error's full [`ToJson`] form (phase, message, context).
+pub fn error_response(id: Option<u64>, error: &VlppError) -> JsonValue {
+    let mut fields = vec![("ok".to_string(), JsonValue::Bool(false))];
+    if let Some(id) = id {
+        fields.push(("id".to_string(), JsonValue::UInt(id)));
+    }
+    fields.push(("error".to_string(), error.to_json()));
+    JsonValue::Object(fields)
+}
+
+/// Encodes a batch's prediction slots: one entry per input record —
+/// `null` for records the model does not predict (wrong kind, returns),
+/// otherwise the prediction object.
+pub fn predictions_to_json(predictions: &[Option<Prediction>]) -> JsonValue {
+    JsonValue::Array(predictions.iter().map(|slot| slot.to_json()).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(text: &str) -> Result<Request, VlppError> {
+        parse_request(text.as_bytes())
+    }
+
+    #[test]
+    fn parses_every_verb() {
+        let request = parse(
+            r#"{"verb":"train","id":7,"model":"m","benchmark":"gcc","kind":"cond","index_bits":12,"shards":4}"#,
+        )
+        .unwrap();
+        assert_eq!(request.id, Some(7));
+        match request.verb {
+            Verb::Train(spec) => {
+                assert_eq!(spec.name, "m");
+                assert_eq!(spec.kind, ModelKind::Conditional);
+                assert_eq!(spec.index_bits, 12);
+                assert_eq!(spec.shards, 4);
+            }
+            other => panic!("expected train, got {other:?}"),
+        }
+
+        let request = parse(
+            r#"{"verb":"predict","model":"m","records":[{"pc":64,"target":128,"kind":"cond","taken":true}]}"#,
+        )
+        .unwrap();
+        match request.verb {
+            Verb::Predict { records, .. } => {
+                assert_eq!(records.len(), 1);
+                assert!(records[0].is_conditional());
+                assert!(records[0].taken());
+            }
+            other => panic!("expected predict, got {other:?}"),
+        }
+
+        assert!(matches!(
+            parse(r#"{"verb":"update","model":"m","records":[]}"#).unwrap().verb,
+            Verb::Update { .. }
+        ));
+        assert!(matches!(parse(r#"{"verb":"stats"}"#).unwrap().verb, Verb::Stats { model: None }));
+        assert!(matches!(parse(r#"{"verb":"shutdown"}"#).unwrap().verb, Verb::Shutdown));
+    }
+
+    #[test]
+    fn malformed_requests_are_typed_errors() {
+        assert_eq!(parse("not json").unwrap_err().phase(), "json-parse");
+        assert_eq!(parse(r#"[1,2]"#).unwrap_err().phase(), "protocol");
+        assert_eq!(parse(r#"{"no":"verb"}"#).unwrap_err().phase(), "protocol");
+        assert_eq!(parse(r#"{"verb":"fly"}"#).unwrap_err().phase(), "protocol");
+        assert_eq!(parse(r#"{"verb":"predict"}"#).unwrap_err().phase(), "protocol");
+        let error = parse(r#"{"verb":"predict","model":"m","records":[{"pc":1}]}"#).unwrap_err();
+        assert!(error.to_string().contains("target"), "{error}");
+        let error = parse(
+            r#"{"verb":"predict","model":"m","records":[{"pc":1,"target":2,"kind":"cond"}]}"#,
+        )
+        .unwrap_err();
+        assert!(error.to_string().contains("taken"), "{error}");
+        let error = parse(
+            r#"{"verb":"train","model":"m","benchmark":"gcc","kind":"cond","index_bits":99}"#,
+        )
+        .unwrap_err();
+        assert!(error.to_string().contains("index_bits"), "{error}");
+    }
+
+    #[test]
+    fn records_round_trip_through_the_wire_form() {
+        let records = [
+            BranchRecord::conditional(Addr::new(0x1000), Addr::new(0x1040), false),
+            BranchRecord::indirect(Addr::new(0x2000), Addr::new(0x3000)),
+            BranchRecord::call(Addr::new(0x4000), Addr::new(0x5000)),
+            BranchRecord::ret(Addr::new(0x5004), Addr::new(0x4004)),
+            BranchRecord::unconditional(Addr::new(0x6000), Addr::new(0x7000)),
+        ];
+        for record in &records {
+            let back = record_from_json(&record_to_json(record), "predict").unwrap();
+            assert_eq!(&back, record);
+        }
+    }
+
+    #[test]
+    fn responses_echo_ids_and_carry_error_phases() {
+        let ok = ok_response("stats", Some(3), vec![]);
+        assert_eq!(ok.get("ok").and_then(|v| v.as_bool()), Some(true));
+        assert_eq!(ok.get("id").and_then(|v| v.as_u64()), Some(3));
+
+        let error = VlppError::protocol(Some("predict".to_string()), "unknown model");
+        let response = error_response(None, &error);
+        assert_eq!(response.get("ok").and_then(|v| v.as_bool()), Some(false));
+        let phase = response.get("error").and_then(|e| e.get("phase")).and_then(|v| v.as_str());
+        assert_eq!(phase, Some("protocol"));
+    }
+}

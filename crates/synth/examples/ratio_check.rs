@@ -2,20 +2,38 @@ use vlpp_synth::{suite, InputSet};
 use vlpp_trace::stats::TraceStats;
 
 fn main() {
-    println!("{:<10} {:>10} {:>10} {:>8} {:>8} {:>8}", "bench", "cond", "ind", "ratio", "paper", "stat_cov");
+    println!(
+        "{:<10} {:>10} {:>10} {:>8} {:>8} {:>8}",
+        "bench", "cond", "ind", "ratio", "paper", "stat_cov"
+    );
     for spec in suite::all_benchmarks() {
         let program = spec.build_program();
         let trace = program.execute(InputSet::Test, 400_000);
         let s = TraceStats::from_trace(&trace);
         let ratio = s.conditional.dynamic as f64 / s.indirect.dynamic.max(1) as f64;
         let paper_ratio = match spec.name.as_str() {
-            "go" => 192.6, "m88ksim" => 91.7, "gcc" => 27.9, "compress" => 73000.0,
-            "li" => 28.9, "ijpeg" => 185.0, "perl" => 9.4, "vortex" => 234.0,
-            "chess" => 476.0, "groff" => 11.1, "gs" => 18.0, "pgp" => 91000.0,
-            "plot" => 51.4, "python" => 16.7, "ss" => 124.0, "tex" => 66.5,
+            "go" => 192.6,
+            "m88ksim" => 91.7,
+            "gcc" => 27.9,
+            "compress" => 73000.0,
+            "li" => 28.9,
+            "ijpeg" => 185.0,
+            "perl" => 9.4,
+            "vortex" => 234.0,
+            "chess" => 476.0,
+            "groff" => 11.1,
+            "gs" => 18.0,
+            "pgp" => 91000.0,
+            "plot" => 51.4,
+            "python" => 16.7,
+            "ss" => 124.0,
+            "tex" => 66.5,
             _ => 0.0,
         };
         let cov = s.conditional.static_ as f64 / spec.static_conditional as f64;
-        println!("{:<10} {:>10} {:>10} {:>8.1} {:>8.1} {:>8.2}", spec.name, s.conditional.dynamic, s.indirect.dynamic, ratio, paper_ratio, cov);
+        println!(
+            "{:<10} {:>10} {:>10} {:>8.1} {:>8.1} {:>8.2}",
+            spec.name, s.conditional.dynamic, s.indirect.dynamic, ratio, paper_ratio, cov
+        );
     }
 }

@@ -139,7 +139,12 @@ impl Program {
     /// Panics if the program fails validation (see [`validate`]).
     ///
     /// [`validate`]: Self::validate
-    pub fn new(name: impl Into<String>, functions: Vec<Function>, entry: FuncId, run_seed: u64) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        functions: Vec<Function>,
+        entry: FuncId,
+        run_seed: u64,
+    ) -> Self {
         let program = Program { functions, entry, run_seed, name: name.into() };
         if let Err(message) = program.validate() {
             panic!("invalid program: {message}");
@@ -255,11 +260,9 @@ impl Program {
     pub fn conditional_sites(
         &self,
     ) -> impl Iterator<Item = (Addr, &crate::behavior::CondBehavior)> + '_ {
-        self.functions.iter().flat_map(|f| f.blocks.iter()).filter_map(|b| {
-            match &b.terminator {
-                Terminator::Cond { behavior, .. } => Some((b.branch_pc, behavior)),
-                _ => None,
-            }
+        self.functions.iter().flat_map(|f| f.blocks.iter()).filter_map(|b| match &b.terminator {
+            Terminator::Cond { behavior, .. } => Some((b.branch_pc, behavior)),
+            _ => None,
         })
     }
 
@@ -268,13 +271,11 @@ impl Program {
     pub fn indirect_sites(
         &self,
     ) -> impl Iterator<Item = (Addr, &crate::behavior::IndBehavior, usize)> + '_ {
-        self.functions.iter().flat_map(|f| f.blocks.iter()).filter_map(|b| {
-            match &b.terminator {
-                Terminator::Switch { behavior, targets } => {
-                    Some((b.branch_pc, behavior, targets.len()))
-                }
-                _ => None,
+        self.functions.iter().flat_map(|f| f.blocks.iter()).filter_map(|b| match &b.terminator {
+            Terminator::Switch { behavior, targets } => {
+                Some((b.branch_pc, behavior, targets.len()))
             }
+            _ => None,
         })
     }
 

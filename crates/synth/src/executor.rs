@@ -295,8 +295,7 @@ mod tests {
         let program = looping_program();
         let trace = program.execute(InputSet::Test, 300);
         // The loop branch is taken exactly 2 of every 3 executions.
-        let outcomes: Vec<bool> =
-            trace.conditionals().map(|r| r.taken()).collect();
+        let outcomes: Vec<bool> = trace.conditionals().map(|r| r.taken()).collect();
         let taken = outcomes.iter().filter(|&&t| t).count();
         let ratio = taken as f64 / outcomes.len() as f64;
         assert!((ratio - 2.0 / 3.0).abs() < 0.05, "ratio {ratio}");

@@ -40,8 +40,7 @@ pub fn generate(spec: &BenchmarkSpec) -> Program {
     let mix = &spec.mix;
 
     // --- Partition sites across workers -------------------------------
-    let avg_sites =
-        ((mix.blocks_per_function.0 + mix.blocks_per_function.1) / 2).max(4) as usize;
+    let avg_sites = ((mix.blocks_per_function.0 + mix.blocks_per_function.1) / 2).max(4);
     let workers = spec.static_conditional.div_ceil(avg_sites).max(1);
     let cond_per_worker = split_evenly(spec.static_conditional, workers, &mut rng);
 
@@ -54,8 +53,7 @@ pub fn generate(spec: &BenchmarkSpec) -> Program {
     let mut ind_per_worker = vec![0usize; workers];
     if spec.static_indirect > 1 || (!driver_has_switch && spec.static_indirect > 0) {
         let remaining = spec.static_indirect - driver_has_switch as usize;
-        let weights: Vec<f64> =
-            hotness.iter().map(|w| w.powf(mix.indirect_hot_bias)).collect();
+        let weights: Vec<f64> = hotness.iter().map(|w| w.powf(mix.indirect_hot_bias)).collect();
         // Leave room for the Return block and call/jump decoration under
         // the per-function layout limit.
         let room =
@@ -134,24 +132,22 @@ fn build_worker(
 
     let sites = conds + switches;
     let mut markers = Vec::with_capacity(sites + sites / 4 + 1);
-    markers.extend(std::iter::repeat(Marker::Cond).take(conds));
-    markers.extend(std::iter::repeat(Marker::Switch).take(switches));
+    markers.extend(std::iter::repeat_n(Marker::Cond, conds));
+    markers.extend(std::iter::repeat_n(Marker::Switch, switches));
     if can_call {
         let calls = ((sites as f64 * mix.call_frac).round() as usize).min(8);
-        markers.extend(std::iter::repeat(Marker::Call).take(calls));
+        markers.extend(std::iter::repeat_n(Marker::Call, calls));
     }
     let jumps = ((sites as f64 * mix.jump_frac).round() as usize).min(8);
-    markers.extend(std::iter::repeat(Marker::Jump).take(jumps));
+    markers.extend(std::iter::repeat_n(Marker::Jump, jumps));
 
     // Cap at the layout limit, dropping decoration first (sites are
     // never dropped: the partitioner keeps per-worker site counts small).
     while markers.len() + 1 > MAX_BLOCKS_PER_FUNCTION {
-        let drop_at = markers
-            .iter()
-            .rposition(|m| matches!(m, Marker::Call | Marker::Jump))
-            .unwrap_or_else(|| {
-                panic!("worker {} was assigned {} sites, over the layout limit", id.0, sites)
-            });
+        let drop_at =
+            markers.iter().rposition(|m| matches!(m, Marker::Call | Marker::Jump)).unwrap_or_else(
+                || panic!("worker {} was assigned {} sites, over the layout limit", id.0, sites),
+            );
         markers.remove(drop_at);
     }
     shuffle(&mut markers, rng);
@@ -184,8 +180,8 @@ fn build_worker(
     }
 
     let last = markers.len(); // index of the Return block
-    // A gated switch must be reachable only through its gate, or the
-    // gate has no effect; every other branch avoids targeting it.
+                              // A gated switch must be reachable only through its gate, or the
+                              // gate has no effect; every other branch avoids targeting it.
     let protected: Vec<usize> = gate_positions.iter().map(|&g| g + 1).collect();
     // Forward targets stay within a small window, as in real code; this
     // keeps every block reachable with high probability (a branch can

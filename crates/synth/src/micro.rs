@@ -201,11 +201,8 @@ mod tests {
         // Branch at block 0 is a fair coin; block 4's branch is a pure
         // function of the path.
         let source_pc = Function::block_branch_pc(FuncId(0), BlockId(0));
-        let outcomes: Vec<bool> = trace
-            .conditionals()
-            .filter(|r| r.pc() == source_pc)
-            .map(|r| r.taken())
-            .collect();
+        let outcomes: Vec<bool> =
+            trace.conditionals().filter(|r| r.pc() == source_pc).map(|r| r.taken()).collect();
         let taken = outcomes.iter().filter(|&&t| t).count() as f64 / outcomes.len() as f64;
         assert!((taken - 0.5).abs() < 0.05, "source taken rate {taken}");
     }
@@ -222,8 +219,7 @@ mod tests {
 
     #[test]
     fn micro_programs_validate() {
-        for program in
-            [counted_loop(3), correlated_ladder(2), alternating_dispatch(), coin_flip()]
+        for program in [counted_loop(3), correlated_ladder(2), alternating_dispatch(), coin_flip()]
         {
             assert!(program.validate().is_ok(), "{}", program.name());
         }

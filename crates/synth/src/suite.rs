@@ -66,7 +66,7 @@ pub fn all_benchmarks() -> Vec<BenchmarkSpec> {
             m.indirect_hot_bias = 3.0;
         }),
         // go: notoriously unpredictable position-evaluation branches.
-        make("go", 0x60,  4_770, 11, 17_600_000, |m| {
+        make("go", 0x60, 4_770, 11, 17_600_000, |m| {
             m.random_weight = 0.16;
             m.biased_weight = 0.26;
             m.correlated_weight = 0.42;
@@ -313,12 +313,7 @@ mod tests {
                 "{} conditional",
                 spec.name
             );
-            assert_eq!(
-                program.static_indirect(),
-                spec.static_indirect,
-                "{} indirect",
-                spec.name
-            );
+            assert_eq!(program.static_indirect(), spec.static_indirect, "{} indirect", spec.name);
         }
     }
 

@@ -10,10 +10,12 @@ fn arb_spec(g: &mut Gen) -> BenchmarkSpec {
     let conds = g.range_usize(1, 399);
     let inds = g.range_usize(0, 29);
     let seed = g.u64();
-    let mut mix = BehaviorMix::default();
-    mix.ind_gate_milli = g.range_u32(0, 999);
-    mix.indirect_hot_bias = g.range_f64(-3.0, 4.0);
-    mix.driver_switch = g.bool();
+    let mix = BehaviorMix {
+        ind_gate_milli: g.range_u32(0, 999),
+        indirect_hot_bias: g.range_f64(-3.0, 4.0),
+        driver_switch: g.bool(),
+        ..Default::default()
+    };
     BenchmarkSpec {
         name: format!("prop-{seed:x}"),
         seed,
@@ -51,10 +53,9 @@ fn execution_is_coherent() {
     check("execution_is_coherent", config(), |g| {
         let spec = arb_spec(g);
         let program = spec.build_program();
-        let records: Vec<_> =
-            Executor::new(&program, InputSet::Test, ExecutionLimits::default())
-                .take(2_000)
-                .collect();
+        let records: Vec<_> = Executor::new(&program, InputSet::Test, ExecutionLimits::default())
+            .take(2_000)
+            .collect();
         prop_assert_eq!(records.len(), 2_000);
         let mut previous_target: Option<u64> = None;
         for record in &records {

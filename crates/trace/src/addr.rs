@@ -75,7 +75,7 @@ impl Addr {
     /// Panics if `bits` is 0 or greater than 64.
     #[inline]
     pub fn low_bits(self, bits: u32) -> u64 {
-        assert!(bits >= 1 && bits <= 64, "bit width must be in 1..=64, got {bits}");
+        assert!((1..=64).contains(&bits), "bit width must be in 1..=64, got {bits}");
         if bits == 64 {
             self.word()
         } else {
@@ -131,7 +131,7 @@ impl Addr {
 /// Panics if `k` is 0 or greater than 64.
 #[inline]
 pub(crate) fn rotate_left_k(value: u64, amount: u32, k: u32) -> u64 {
-    assert!(k >= 1 && k <= 64, "rotation width must be in 1..=64, got {k}");
+    assert!((1..=64).contains(&k), "rotation width must be in 1..=64, got {k}");
     debug_assert!(k == 64 || value < (1u64 << k), "value {value:#x} does not fit in {k} bits");
     let amount = amount % k;
     if amount == 0 {

@@ -179,6 +179,26 @@ pub enum VlppError {
         /// The diagnostic.
         message: String,
     },
+    /// A length-prefixed wire frame was malformed: zero-length, above
+    /// the [`frame::MAX_FRAME_BYTES`](crate::frame::MAX_FRAME_BYTES)
+    /// cap, or cut off mid-frame. Framing errors cannot be resynced, so
+    /// the connection that produced one is closed.
+    Frame {
+        /// What was wrong with the frame.
+        message: String,
+        /// The length the prefix declared, when one was read.
+        declared_len: Option<u64>,
+    },
+    /// A well-framed request violated the serving protocol: unknown
+    /// verb, missing or ill-typed field, or a reference to a model the
+    /// server does not host. Protocol errors are per-request — the
+    /// connection stays usable.
+    Protocol {
+        /// The verb being processed, when it was identifiable.
+        verb: Option<String>,
+        /// What was wrong with the request.
+        message: String,
+    },
 }
 
 impl VlppError {
@@ -195,7 +215,14 @@ impl VlppError {
             VlppError::WorkerPanic { .. } => "worker-panic",
             VlppError::Timeout { .. } => "timeout",
             VlppError::Cli { .. } => "cli",
+            VlppError::Frame { .. } => "frame",
+            VlppError::Protocol { .. } => "protocol",
         }
+    }
+
+    /// Convenience constructor for a serving-protocol violation.
+    pub fn protocol(verb: impl Into<Option<String>>, message: impl Into<String>) -> Self {
+        VlppError::Protocol { verb: verb.into(), message: message.into() }
     }
 
     /// Convenience constructor for a trace-stream error with a file.
@@ -240,6 +267,11 @@ impl fmt::Display for VlppError {
                  and was cancelled"
             ),
             VlppError::Cli { message } => write!(f, "{message}"),
+            VlppError::Frame { message, .. } => write!(f, "frame error: {message}"),
+            VlppError::Protocol { verb: Some(verb), message } => {
+                write!(f, "protocol error in `{verb}`: {message}")
+            }
+            VlppError::Protocol { verb: None, message } => write!(f, "protocol error: {message}"),
         }
     }
 }
@@ -287,10 +319,7 @@ impl ToJson for VlppError {
             | VlppError::TraceText { path: Some(path), .. }
             | VlppError::Io { path, .. }
             | VlppError::Checkpoint { path, .. } => {
-                fields.push((
-                    "path".to_string(),
-                    JsonValue::Str(path.display().to_string()),
-                ));
+                fields.push(("path".to_string(), JsonValue::Str(path.display().to_string())));
             }
             VlppError::Json { source, .. } => {
                 fields.push(("offset".to_string(), JsonValue::UInt(source.offset() as u64)));
@@ -301,6 +330,12 @@ impl ToJson for VlppError {
             VlppError::Timeout { elapsed_ms, limit_ms, .. } => {
                 fields.push(("elapsed_ms".to_string(), JsonValue::UInt(*elapsed_ms)));
                 fields.push(("limit_ms".to_string(), JsonValue::UInt(*limit_ms)));
+            }
+            VlppError::Frame { declared_len: Some(len), .. } => {
+                fields.push(("declared_len".to_string(), JsonValue::UInt(*len)));
+            }
+            VlppError::Protocol { verb: Some(verb), .. } => {
+                fields.push(("verb".to_string(), JsonValue::Str(verb.clone())));
             }
             _ => {}
         }
@@ -332,7 +367,7 @@ mod tests {
 
     #[test]
     fn io_error_converts_and_sources() {
-        let inner = io::Error::new(io::ErrorKind::Other, "boom");
+        let inner = io::Error::other("boom");
         let e: TraceIoError = inner.into();
         assert!(e.source().is_some());
         assert!(e.to_string().contains("boom"));
@@ -363,11 +398,8 @@ mod tests {
 
     #[test]
     fn worker_panic_and_timeout_render_actionably() {
-        let e = VlppError::WorkerPanic {
-            what: "fig5".into(),
-            payload: "boom".into(),
-            worker: Some(3),
-        };
+        let e =
+            VlppError::WorkerPanic { what: "fig5".into(), payload: "boom".into(), worker: Some(3) };
         assert!(e.to_string().contains("worker 3"));
         assert!(e.to_string().contains("fig5"));
         assert_eq!(e.to_json().get("worker").and_then(|v| v.as_u64()), Some(3));
@@ -385,6 +417,24 @@ mod tests {
         let e = VlppError::Json { what: "checkpoint fig5.json".into(), source };
         assert!(e.to_string().contains("checkpoint fig5.json"));
         assert_eq!(e.to_json().get("offset").and_then(|v| v.as_u64()), Some(offset));
+    }
+
+    #[test]
+    fn frame_and_protocol_phases_carry_context() {
+        let e = VlppError::Frame { message: "zero-length frame".into(), declared_len: Some(0) };
+        assert_eq!(e.phase(), "frame");
+        assert!(e.to_string().contains("zero-length"));
+        assert_eq!(e.to_json().get("declared_len").and_then(|v| v.as_u64()), Some(0));
+
+        let e = VlppError::protocol(Some("predict".to_string()), "unknown model `m9`");
+        assert_eq!(e.phase(), "protocol");
+        assert!(e.to_string().contains("predict"));
+        assert!(e.to_string().contains("m9"));
+        assert_eq!(e.to_json().get("verb").and_then(|v| v.as_str()), Some("predict"));
+
+        let e = VlppError::protocol(None, "not a JSON object");
+        assert!(e.to_string().starts_with("protocol error:"));
+        assert!(e.to_json().get("verb").is_none());
     }
 
     #[test]

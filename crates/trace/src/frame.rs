@@ -1,0 +1,206 @@
+//! Length-prefixed framing for the `vlpp serve` wire protocol.
+//!
+//! A *frame* is a 4-byte little-endian payload length followed by that
+//! many payload bytes (UTF-8 JSON in the serving protocol, but this
+//! module is payload-agnostic). The length prefix is untrusted input:
+//! like the binary trace reader's `MAX_PREALLOC_RECORDS` cap, a frame
+//! reader must never let a corrupt or hostile prefix drive an allocation
+//! — a declared length above [`MAX_FRAME_BYTES`] is rejected with a
+//! typed [`VlppError::Frame`] *before* any payload buffer exists.
+//!
+//! Framing errors are not resynchronizable (once a length prefix is
+//! wrong there is no record boundary to skip to), so every error from
+//! [`read_frame`] means "report and close the connection". The one
+//! non-error end state is a clean EOF *between* frames, which reads as
+//! `Ok(None)`.
+//!
+//! # Example
+//!
+//! ```
+//! use vlpp_trace::frame::{read_frame, write_frame};
+//!
+//! let mut wire = Vec::new();
+//! write_frame(&mut wire, br#"{"verb":"stats"}"#).unwrap();
+//! let mut cursor = wire.as_slice();
+//! assert_eq!(read_frame(&mut cursor).unwrap().as_deref(), Some(&br#"{"verb":"stats"}"#[..]));
+//! assert!(read_frame(&mut cursor).unwrap().is_none(), "clean EOF between frames");
+//! ```
+
+use std::io::{ErrorKind, Read, Write};
+
+use crate::error::VlppError;
+
+/// Maximum payload bytes a single frame may carry (1 MiB). Large enough
+/// for thousands of branch records per batch, small enough that a
+/// corrupt length prefix cannot make a reader allocate unboundedly —
+/// the framing analogue of the trace reader's `MAX_PREALLOC_RECORDS`.
+pub const MAX_FRAME_BYTES: usize = 1 << 20;
+
+/// Writes one frame: 4-byte little-endian length, then `payload`.
+///
+/// # Errors
+///
+/// [`VlppError::Frame`] if `payload` is empty or exceeds
+/// [`MAX_FRAME_BYTES`] (both would produce a stream the reader rejects,
+/// so the writer refuses to emit them), or wraps the underlying I/O
+/// failure.
+pub fn write_frame<W: Write>(mut writer: W, payload: &[u8]) -> Result<(), VlppError> {
+    if payload.is_empty() {
+        return Err(VlppError::Frame {
+            message: "refusing to write a zero-length frame".to_string(),
+            declared_len: Some(0),
+        });
+    }
+    if payload.len() > MAX_FRAME_BYTES {
+        return Err(VlppError::Frame {
+            message: format!("frame payload exceeds the {MAX_FRAME_BYTES}-byte cap"),
+            declared_len: Some(payload.len() as u64),
+        });
+    }
+    let io_err = |source: std::io::Error| VlppError::Frame {
+        message: format!("cannot write frame: {source}"),
+        declared_len: Some(payload.len() as u64),
+    };
+    writer.write_all(&(payload.len() as u32).to_le_bytes()).map_err(io_err)?;
+    writer.write_all(payload).map_err(io_err)?;
+    writer.flush().map_err(io_err)?;
+    Ok(())
+}
+
+/// Reads one frame, returning `Ok(None)` on a clean EOF before any
+/// prefix byte (the peer closed between frames).
+///
+/// # Errors
+///
+/// [`VlppError::Frame`] on every malformed stream:
+///
+/// * a zero-length prefix (an empty frame carries no request and most
+///   likely means a desynchronized writer);
+/// * a prefix above [`MAX_FRAME_BYTES`] (rejected before allocating);
+/// * EOF inside the prefix or inside the payload (a mid-frame
+///   disconnect — the message says how many bytes were expected).
+pub fn read_frame<R: Read>(mut reader: R) -> Result<Option<Vec<u8>>, VlppError> {
+    let mut prefix = [0u8; 4];
+    match read_exact_or_eof(&mut reader, &mut prefix)? {
+        FullRead::Eof => return Ok(None),
+        FullRead::Partial(got) => {
+            return Err(VlppError::Frame {
+                message: format!("disconnect inside a frame length prefix ({got} of 4 bytes)"),
+                declared_len: None,
+            });
+        }
+        FullRead::Complete => {}
+    }
+    let declared = u32::from_le_bytes(prefix) as u64;
+    if declared == 0 {
+        return Err(VlppError::Frame {
+            message: "zero-length frame".to_string(),
+            declared_len: Some(0),
+        });
+    }
+    if declared > MAX_FRAME_BYTES as u64 {
+        return Err(VlppError::Frame {
+            message: format!(
+                "frame declares {declared} payload bytes, above the {MAX_FRAME_BYTES}-byte cap"
+            ),
+            declared_len: Some(declared),
+        });
+    }
+    // `declared` is now bounded, so this allocation is at most 1 MiB.
+    let mut payload = vec![0u8; declared as usize];
+    match read_exact_or_eof(&mut reader, &mut payload)? {
+        FullRead::Complete => Ok(Some(payload)),
+        FullRead::Eof | FullRead::Partial(_) => Err(VlppError::Frame {
+            message: format!("disconnect inside a frame payload (expected {declared} bytes)"),
+            declared_len: Some(declared),
+        }),
+    }
+}
+
+/// How much of a fixed-size read completed.
+enum FullRead {
+    /// Every byte arrived.
+    Complete,
+    /// EOF before the first byte.
+    Eof,
+    /// EOF after `0 < n < buf.len()` bytes.
+    Partial(usize),
+}
+
+/// `read_exact`, but EOF position is data, not just an error: framing
+/// needs to distinguish "closed between frames" from "closed mid-frame".
+fn read_exact_or_eof<R: Read>(reader: &mut R, buf: &mut [u8]) -> Result<FullRead, VlppError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match reader.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Ok(if filled == 0 { FullRead::Eof } else { FullRead::Partial(filled) });
+            }
+            Ok(n) => filled += n,
+            Err(error) if error.kind() == ErrorKind::Interrupted => {}
+            Err(source) => {
+                return Err(VlppError::Frame {
+                    message: format!("cannot read frame: {source}"),
+                    declared_len: None,
+                });
+            }
+        }
+    }
+    Ok(FullRead::Complete)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_a_payload() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"hello").unwrap();
+        write_frame(&mut wire, b"world!").unwrap();
+        let mut cursor = wire.as_slice();
+        assert_eq!(read_frame(&mut cursor).unwrap().as_deref(), Some(&b"hello"[..]));
+        assert_eq!(read_frame(&mut cursor).unwrap().as_deref(), Some(&b"world!"[..]));
+        assert!(read_frame(&mut cursor).unwrap().is_none());
+    }
+
+    #[test]
+    fn rejects_zero_length_frames_both_ways() {
+        let error = write_frame(Vec::new(), b"").unwrap_err();
+        assert_eq!(error.phase(), "frame");
+        let error = read_frame(&[0u8, 0, 0, 0][..]).unwrap_err();
+        assert_eq!(error.phase(), "frame");
+        assert!(error.to_string().contains("zero-length"));
+    }
+
+    #[test]
+    fn rejects_oversized_declared_length_without_allocating() {
+        let mut wire = u32::MAX.to_le_bytes().to_vec();
+        wire.extend_from_slice(b"tiny");
+        let error = read_frame(wire.as_slice()).unwrap_err();
+        assert_eq!(error.phase(), "frame");
+        assert!(error.to_string().contains("cap"), "{error}");
+    }
+
+    #[test]
+    fn mid_frame_disconnects_are_typed_errors() {
+        // Inside the prefix.
+        let error = read_frame(&[5u8, 0][..]).unwrap_err();
+        assert!(error.to_string().contains("length prefix"), "{error}");
+        // Inside the payload.
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"truncate me").unwrap();
+        wire.truncate(wire.len() - 3);
+        let error = read_frame(wire.as_slice()).unwrap_err();
+        assert!(error.to_string().contains("payload"), "{error}");
+    }
+
+    #[test]
+    fn max_frame_round_trips_and_one_more_byte_is_rejected() {
+        let payload = vec![0xabu8; MAX_FRAME_BYTES];
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload).unwrap();
+        assert_eq!(read_frame(wire.as_slice()).unwrap().unwrap(), payload);
+        assert!(write_frame(Vec::new(), &vec![0u8; MAX_FRAME_BYTES + 1]).is_err());
+    }
+}

@@ -183,10 +183,9 @@ pub fn read_text(text: &str) -> Result<Trace, ParseTraceError> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        trace.push(parse_line(line).map_err(|message| ParseTraceError {
-            line: lineno + 1,
-            message,
-        })?);
+        trace.push(
+            parse_line(line).map_err(|message| ParseTraceError { line: lineno + 1, message })?,
+        );
     }
     Ok(trace)
 }
@@ -228,7 +227,8 @@ fn encode_record(record: &BranchRecord, buf: &mut [u8; RECORD_BYTES]) {
 fn decode_record(buf: &[u8; RECORD_BYTES], index: u64) -> Result<BranchRecord, TraceIoError> {
     let pc = u64::from_le_bytes(buf[0..8].try_into().expect("8-byte slice"));
     let target = u64::from_le_bytes(buf[8..16].try_into().expect("8-byte slice"));
-    let kind = BranchKind::from_code(buf[16]).ok_or(TraceIoError::BadKind { code: buf[16], index })?;
+    let kind =
+        BranchKind::from_code(buf[16]).ok_or(TraceIoError::BadKind { code: buf[16], index })?;
     Ok(BranchRecord::new(Addr::new(pc), Addr::new(target), kind, buf[17] != 0))
 }
 
@@ -301,10 +301,7 @@ mod tests {
         let err = read_binary(&buf[..]).unwrap_err();
         // The sixth record starts at 16 + 5*18 = 106; that's where the
         // incomplete read began.
-        assert!(matches!(
-            err,
-            TraceIoError::Truncated { records_read: 5, byte_offset: 106 }
-        ));
+        assert!(matches!(err, TraceIoError::Truncated { records_read: 5, byte_offset: 106 }));
     }
 
     #[test]

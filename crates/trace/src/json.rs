@@ -59,9 +59,7 @@ impl JsonValue {
     /// variants or missing keys.
     pub fn get(&self, key: &str) -> Option<&JsonValue> {
         match self {
-            JsonValue::Object(fields) => {
-                fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
-            }
+            JsonValue::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
         }
     }
@@ -746,8 +744,10 @@ mod tests {
     #[test]
     fn parser_handles_nesting_and_whitespace() {
         let value = JsonValue::parse(" { \"a\" : [ 1 , { \"b\" : null } ] } ").unwrap();
-        assert_eq!(value.get("a").and_then(|a| a.at(1)).and_then(|o| o.get("b")),
-                   Some(&JsonValue::Null));
+        assert_eq!(
+            value.get("a").and_then(|a| a.at(1)).and_then(|o| o.get("b")),
+            Some(&JsonValue::Null)
+        );
     }
 
     #[test]
@@ -783,10 +783,7 @@ mod tests {
     fn unicode_escapes_parse() {
         assert_eq!(JsonValue::parse(r#""☃""#).unwrap(), JsonValue::Str("\u{2603}".into()));
         // Surrogate pair for U+1F600.
-        assert_eq!(
-            JsonValue::parse(r#""😀""#).unwrap(),
-            JsonValue::Str("\u{1f600}".into())
-        );
+        assert_eq!(JsonValue::parse(r#""😀""#).unwrap(), JsonValue::Str("\u{1f600}".into()));
         assert!(JsonValue::parse(r#""\ud83d""#).is_err());
     }
 

@@ -18,6 +18,7 @@
 //! * [`Trace`] — an in-memory sequence of records with filtered views.
 //! * [`io`] — fixed-width binary and text serialization of traces.
 //! * [`compact`] — the delta/varint compact format for archives.
+//! * [`frame`] — length-prefixed wire framing for the serving protocol.
 //! * [`stats`] — static/dynamic branch demographics (the paper's Table 1).
 //! * [`json`] — a minimal hand-rolled JSON emitter/parser so reports can
 //!   be machine-readable without any registry dependency.
@@ -43,6 +44,7 @@ mod error;
 mod trace;
 
 pub mod compact;
+pub mod frame;
 pub mod io;
 pub mod json;
 pub mod stats;

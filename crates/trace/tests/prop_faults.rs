@@ -110,9 +110,7 @@ fn binary_truncation_errors_carry_the_offset() {
             Err(other) => {
                 return Err(vlpp_check::Failed::new(format!("expected Truncated, got {other:?}")))
             }
-            Ok(_) => {
-                return Err(vlpp_check::Failed::new("truncated trace parsed successfully"))
-            }
+            Ok(_) => return Err(vlpp_check::Failed::new("truncated trace parsed successfully")),
         }
         Ok(())
     });

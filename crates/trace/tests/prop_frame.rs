@@ -1,0 +1,116 @@
+//! Property tests for the wire framing: round trips for arbitrary
+//! payloads, and no panic (only typed `VlppError`s) for arbitrarily
+//! mutated or truncated streams.
+
+use vlpp_check::{check, prop_assert, prop_assert_eq, CheckConfig, Gen};
+use vlpp_trace::frame::{read_frame, write_frame, MAX_FRAME_BYTES};
+
+fn arb_payload(g: &mut Gen) -> Vec<u8> {
+    g.vec(1, 512, |g| g.range_u8(0, 255))
+}
+
+#[test]
+fn frames_round_trip() {
+    check("frames_round_trip", CheckConfig::default(), |g| {
+        let payloads: Vec<Vec<u8>> = g.vec(1, 8, arb_payload);
+        let mut wire = Vec::new();
+        for payload in &payloads {
+            write_frame(&mut wire, payload).map_err(|e| vlpp_check::Failed::new(e.to_string()))?;
+        }
+        let mut cursor = wire.as_slice();
+        for payload in &payloads {
+            let got =
+                read_frame(&mut cursor).map_err(|e| vlpp_check::Failed::new(e.to_string()))?;
+            prop_assert_eq!(got.as_deref(), Some(payload.as_slice()));
+        }
+        let eof = read_frame(&mut cursor).map_err(|e| vlpp_check::Failed::new(e.to_string()))?;
+        prop_assert!(eof.is_none(), "clean EOF after the last frame");
+        Ok(())
+    });
+}
+
+#[test]
+fn truncated_streams_error_or_end_cleanly_without_panicking() {
+    check("truncated_streams_never_panic", CheckConfig::default(), |g| {
+        let payload = arb_payload(g);
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload).map_err(|e| vlpp_check::Failed::new(e.to_string()))?;
+        let cut = g.range_usize(0, wire.len());
+        wire.truncate(cut);
+        match read_frame(wire.as_slice()) {
+            // cut == 0: a clean between-frames EOF.
+            Ok(None) => prop_assert_eq!(cut, 0),
+            // Everything else must be a typed frame error (a truncation
+            // can never produce a complete frame).
+            Ok(Some(_)) => prop_assert_eq!(cut, 4 + payload.len()),
+            Err(error) => prop_assert_eq!(error.phase(), "frame"),
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn mutated_prefixes_never_allocate_beyond_the_cap_or_panic() {
+    check("mutated_prefixes_never_panic", CheckConfig::default(), |g| {
+        let payload = arb_payload(g);
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload).map_err(|e| vlpp_check::Failed::new(e.to_string()))?;
+        // Corrupt one byte of the 4-byte length prefix.
+        let at = g.range_usize(0, 3);
+        wire[at] ^= g.range_u8(1, 255);
+        let declared = u32::from_le_bytes([wire[0], wire[1], wire[2], wire[3]]) as usize;
+        match read_frame(wire.as_slice()) {
+            Err(error) => prop_assert_eq!(error.phase(), "frame"),
+            // A mutation that *shrinks* the declared length still
+            // yields a well-formed (shorter) frame; anything else —
+            // zero, oversized, or longer than what is buffered — must
+            // have errored above.
+            Ok(Some(frame)) => {
+                prop_assert!(declared >= 1 && declared <= payload.len());
+                prop_assert_eq!(frame.len(), declared);
+            }
+            Ok(None) => prop_assert!(false, "prefix bytes exist, EOF is impossible"),
+        }
+        prop_assert!(
+            declared <= MAX_FRAME_BYTES || read_frame(wire.as_slice()).is_err(),
+            "oversized declared lengths must be rejected"
+        );
+        Ok(())
+    });
+}
+
+#[test]
+fn interrupted_readers_still_deliver_whole_frames() {
+    /// A reader that returns at most `chunk` bytes per call and
+    /// sprinkles `Interrupted` errors — the retry path of
+    /// `read_exact_or_eof`.
+    struct Choppy<'a> {
+        data: &'a [u8],
+        pos: usize,
+        chunk: usize,
+        hiccup: bool,
+    }
+    impl std::io::Read for Choppy<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            self.hiccup = !self.hiccup;
+            if self.hiccup {
+                return Err(std::io::Error::from(std::io::ErrorKind::Interrupted));
+            }
+            let n = self.chunk.min(buf.len()).min(self.data.len() - self.pos);
+            buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    check("interrupted_readers_deliver_frames", CheckConfig::default(), |g| {
+        let payload = arb_payload(g);
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload).map_err(|e| vlpp_check::Failed::new(e.to_string()))?;
+        let chunk = g.range_usize(1, 7);
+        let mut reader = Choppy { data: &wire, pos: 0, chunk, hiccup: false };
+        let got = read_frame(&mut reader).map_err(|e| vlpp_check::Failed::new(e.to_string()))?;
+        prop_assert_eq!(got.as_deref(), Some(payload.as_slice()));
+        Ok(())
+    });
+}

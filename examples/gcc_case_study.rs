@@ -43,8 +43,7 @@ fn main() {
         // Tuned fixed length: gcc's own profile-best length.
         let report = workloads.profile_conditional(&spec, bits);
         let tuned_length = report.best_fixed_hash();
-        let mut tuned =
-            PathConditional::new(config.clone(), HashAssignment::fixed(tuned_length));
+        let mut tuned = PathConditional::new(config.clone(), HashAssignment::fixed(tuned_length));
         let tuned_rate = run_conditional(&mut tuned, &test).miss_percent();
 
         // Variable length: the profiled per-branch assignment.

@@ -44,8 +44,7 @@ fn main() {
         // The paper's contribution, without and with profiling.
         let config = PathConfig::new(bits);
         let fixed_length = workloads.best_fixed_indirect_length(bits);
-        let mut fixed =
-            PathIndirect::new(config.clone(), HashAssignment::fixed(fixed_length));
+        let mut fixed = PathIndirect::new(config.clone(), HashAssignment::fixed(fixed_length));
         let fixed_rate = run_indirect(&mut fixed, &test).miss_percent();
 
         let report = workloads.profile_indirect(&spec, bits);

@@ -6,9 +6,7 @@
 //! cargo run --release -p vlpp-sim --example profiling_workflow
 //! ```
 
-use vlpp_core::{
-    HashAssignment, Hfnt, PathConditional, PathConfig, ProfileBuilder, ProfileConfig,
-};
+use vlpp_core::{HashAssignment, Hfnt, PathConditional, PathConfig, ProfileBuilder, ProfileConfig};
 use vlpp_predict::Budget;
 use vlpp_sim::run_conditional;
 use vlpp_synth::{suite, InputSet};
@@ -53,8 +51,10 @@ fn main() {
     let fixed_rate = run_conditional(&mut fixed, &test_trace).miss_percent();
     let mut variable = PathConditional::new(config, report.assignment.clone());
     let variable_rate = run_conditional(&mut variable, &test_trace).miss_percent();
-    println!("\ntest input: fixed (default HF_{}) {:.2}%  ->  variable {:.2}%",
-        report.default_hash, fixed_rate, variable_rate);
+    println!(
+        "\ntest input: fixed (default HF_{}) {:.2}%  ->  variable {:.2}%",
+        report.default_hash, fixed_rate, variable_rate
+    );
 
     // --- §4.3: what would the pipelined HFNT pay? ------------------------
     let mut hfnt = Hfnt::new(10, report.default_hash);

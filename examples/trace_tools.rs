@@ -43,8 +43,8 @@ fn main() -> Result<(), Box<dyn Error>> {
     // 3. Profile from the file and persist the assignment (the artifact
     //    the compiler would encode into branch instructions, §4.2).
     let config = PathConfig::conditional_for_bytes(16 * 1024);
-    let report = ProfileBuilder::new(ProfileConfig::new(config.clone()))
-        .profile_conditional(&reloaded);
+    let report =
+        ProfileBuilder::new(ProfileConfig::new(config.clone())).profile_conditional(&reloaded);
     let assignment_path = dir.join("li.assignment.txt");
     std::fs::write(&assignment_path, report.assignment.to_text())?;
     println!(
@@ -60,11 +60,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     let test_trace = program.execute_conditionals(InputSet::Test, 300_000);
     let mut vlp = PathConditional::new(config, loaded);
     let stats = run_conditional(&mut vlp, &test_trace);
-    println!(
-        "{} on the test input: {:.2}% misprediction",
-        vlp.name(),
-        stats.miss_percent()
-    );
+    println!("{} on the test input: {:.2}% misprediction", vlp.name(), stats.miss_percent());
 
     std::fs::remove_dir_all(&dir).ok();
     Ok(())

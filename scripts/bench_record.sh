@@ -2,6 +2,9 @@
 # Appends one machine-readable perf record to BENCH_history.jsonl: the
 # wall-clock of a full `vlpp all --json --metrics` run plus the METRICS
 # snapshot it printed (see OBSERVABILITY.md for the record schema).
+# Also prints one `BENCH {json}` line on stdout (the vlpp-check timer
+# shape) so CI can pipe this script into
+# `vlpp-metrics-check --bench --baseline BENCH_baseline.json`.
 #
 # Run from the repository root (or anywhere inside it):
 #   scripts/bench_record.sh [scale]
@@ -49,3 +52,8 @@ printf '%s\n' "$record" >>"$tmp"
 mv "$tmp" "$history"
 trap - EXIT
 echo "recorded: scale=1/$scale wall_ns=$wall_ns -> $history" >&2
+
+# The stdout BENCH line: a single-iteration timing in the same shape the
+# in-tree bench harness emits, keyed by scale so baselines from
+# different scales never compare against each other.
+echo "BENCH {\"bench\":\"vlpp_all_scale_$scale\",\"iters\":1,\"median_ns\":$wall_ns,\"mad_ns\":0,\"min_ns\":$wall_ns,\"max_ns\":$wall_ns}"

@@ -1,17 +1,38 @@
-#!/usr/bin/env sh
+#!/usr/bin/env bash
 # Tier-1 verification: the workspace must build and test fully offline,
 # with no registry (crates.io) dependencies anywhere in the tree.
 #
 # Run from the repository root (or anywhere inside it):
 #   scripts/verify.sh
-set -eu
+#
+# Every step is counted; the script exits non-zero unless all of them
+# actually ran — a silently skipped step can never read as a pass. No
+# step relies on pre-existing target/ state, and all scratch files live
+# in a mktemp directory cleaned up on exit.
+set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+EXPECTED_STEPS=8
+steps_run=0
+step() {
+    steps_run=$((steps_run + 1))
+    echo "== step $steps_run/$EXPECTED_STEPS: $1" >&2
+}
+
+scratch=$(mktemp -d /tmp/vlpp_verify.XXXXXX)
+server_pid=""
+cleanup() {
+    [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null || true
+    rm -rf "$scratch"
+}
+trap cleanup EXIT
 
 # 1. Hermeticity gate: every [*dependencies] entry in every Cargo.toml
 #    must be an in-tree `path` / `workspace = true` dependency. A line
 #    that names a version (`foo = "1.0"` or `version = "..."`) is a
 #    registry dependency and fails the build.
+step "hermeticity gate"
 status=0
 for manifest in Cargo.toml crates/*/Cargo.toml; do
     offenders=$(awk '
@@ -36,19 +57,23 @@ fi
 echo "ok: no registry dependencies"
 
 # 2. Build and test with the registry disabled. `--offline` makes cargo
-#    fail loudly if anything tries to reach crates.io.
+#    fail loudly if anything tries to reach crates.io. The build runs
+#    unconditionally, so a stale or absent target/ cannot skew any later
+#    step — they all use the binary this step produces.
+step "offline build + tests"
 cargo build --release --offline
 cargo test -q --offline
-
 echo "ok: offline build + tests passed"
+
+VLPP="./target/release/vlpp"
 
 # 3. Thread-count determinism: experiment output must be byte-identical
 #    whatever the worker-pool size (run at the scale floor to keep this
 #    fast).
-VLPP="./target/release/vlpp"
-VLPP_THREADS=1 "$VLPP" all --json --scale 1000000 >/tmp/vlpp_verify_t1.json 2>/dev/null
-VLPP_THREADS=8 "$VLPP" all --json --scale 1000000 >/tmp/vlpp_verify_t8.json 2>/dev/null
-if ! cmp -s /tmp/vlpp_verify_t1.json /tmp/vlpp_verify_t8.json; then
+step "thread-count determinism"
+VLPP_THREADS=1 "$VLPP" all --json --scale 1000000 >"$scratch/t1.json" 2>/dev/null
+VLPP_THREADS=8 "$VLPP" all --json --scale 1000000 >"$scratch/t8.json" 2>/dev/null
+if ! cmp -s "$scratch/t1.json" "$scratch/t8.json"; then
     echo "error: vlpp all --json differs between VLPP_THREADS=1 and 8" >&2
     exit 1
 fi
@@ -57,11 +82,12 @@ echo "ok: output is byte-identical at 1 and 8 worker threads"
 # 4. Metrics smoke run: `--metrics` must add exactly one parseable
 #    `METRICS {json}` stdout line (checked by the in-tree parser via
 #    vlpp-metrics-check) and change nothing else about stdout.
+step "metrics additivity"
 VLPP_THREADS=8 "$VLPP" all --json --scale 1000000 --metrics \
-    >/tmp/vlpp_verify_metrics.out 2>/dev/null
-grep '^METRICS ' /tmp/vlpp_verify_metrics.out | ./target/release/vlpp-metrics-check
-grep -v '^METRICS ' /tmp/vlpp_verify_metrics.out >/tmp/vlpp_verify_metrics_stripped.json
-if ! cmp -s /tmp/vlpp_verify_t1.json /tmp/vlpp_verify_metrics_stripped.json; then
+    >"$scratch/metrics.out" 2>/dev/null
+grep '^METRICS ' "$scratch/metrics.out" | ./target/release/vlpp-metrics-check
+grep -v '^METRICS ' "$scratch/metrics.out" >"$scratch/metrics_stripped.json"
+if ! cmp -s "$scratch/t1.json" "$scratch/metrics_stripped.json"; then
     echo "error: --metrics changed the experiment bytes on stdout" >&2
     exit 1
 fi
@@ -73,22 +99,22 @@ echo "ok: --metrics is additive and its snapshot parses"
 #    release binary).
 #    5a. A persistent injected panic skips exactly that experiment:
 #        exit code 2, an "errors" section, and no process abort.
-set +e
+step "fault injection + checkpoint resume"
+fault_exit=0
 VLPP_THREADS=4 VLPP_FAULT=panic@2:persist VLPP_RETRY_BACKOFF_MS=0 \
-    "$VLPP" all --json --scale 1000000 >/tmp/vlpp_verify_fault.json 2>/dev/null
-fault_exit=$?
-set -e
+    "$VLPP" all --json --scale 1000000 >"$scratch/fault.json" 2>/dev/null || fault_exit=$?
 if [ "$fault_exit" -ne 2 ]; then
     echo "error: persistent-fault run must exit 2 (partial), got $fault_exit" >&2
     exit 1
 fi
-if ! grep -q '"errors"' /tmp/vlpp_verify_fault.json; then
+if ! grep -q '"errors"' "$scratch/fault.json"; then
     echo "error: persistent-fault run is missing its errors section" >&2
     exit 1
 fi
 #    5b. Crash-safe resume: kill a checkpointed run mid-way, resume it,
 #        and require stdout byte-identical to the uninterrupted run.
-ckpt_dir=$(mktemp -d /tmp/vlpp_verify_ckpt.XXXXXX)
+ckpt_dir="$scratch/ckpt"
+mkdir -p "$ckpt_dir"
 VLPP_THREADS=1 "$VLPP" all --json --scale 1000000 --checkpoint "$ckpt_dir" \
     >/dev/null 2>&1 &
 ckpt_pid=$!
@@ -96,25 +122,53 @@ sleep 1
 kill -9 "$ckpt_pid" 2>/dev/null || true
 wait "$ckpt_pid" 2>/dev/null || true
 VLPP_THREADS=1 "$VLPP" all --json --scale 1000000 --checkpoint "$ckpt_dir" \
-    >/tmp/vlpp_verify_resume.json 2>/dev/null
-if ! cmp -s /tmp/vlpp_verify_t1.json /tmp/vlpp_verify_resume.json; then
+    >"$scratch/resume.json" 2>/dev/null
+if ! cmp -s "$scratch/t1.json" "$scratch/resume.json"; then
     echo "error: resumed checkpoint run differs from an uninterrupted run" >&2
     exit 1
 fi
-rm -rf "$ckpt_dir"
 echo "ok: faults degrade gracefully and checkpoint resume is byte-identical"
 
-rm -f /tmp/vlpp_verify_t1.json /tmp/vlpp_verify_t8.json \
-    /tmp/vlpp_verify_metrics.out /tmp/vlpp_verify_metrics_stripped.json \
-    /tmp/vlpp_verify_fault.json /tmp/vlpp_verify_resume.json
+# 6. Serving round trip: `vlpp loadgen` against a live `vlpp serve`
+#    must complete with zero errors and predictions byte-identical to
+#    the offline reference, at 1 and at 8 server worker threads (the
+#    shard-affinity determinism contract, see SERVING.md).
+step "serve/loadgen round trip at 1 and 8 threads"
+for threads in 1 8; do
+    : >"$scratch/serve.out"
+    VLPP_THREADS="$threads" "$VLPP" serve --listen 127.0.0.1:0 --scale 1000000 \
+        >"$scratch/serve.out" 2>/dev/null &
+    server_pid=$!
+    addr=""
+    for _ in $(seq 1 100); do
+        addr=$(sed -n 's/^SERVE .*"addr":"\([^"]*\)".*/\1/p' "$scratch/serve.out")
+        [ -n "$addr" ] && break
+        sleep 0.1
+    done
+    if [ -z "$addr" ]; then
+        echo "error: vlpp serve (VLPP_THREADS=$threads) printed no SERVE line" >&2
+        exit 1
+    fi
+    VLPP_THREADS=2 "$VLPP" loadgen --addr "$addr" --connections 8 --records 8000 \
+        --update-every 4 --scale 1000000 --shutdown >"$scratch/loadgen.out" 2>&1
+    if ! grep -q '"mismatches":0' "$scratch/loadgen.out"; then
+        echo "error: loadgen vs serve (VLPP_THREADS=$threads) diverged:" >&2
+        cat "$scratch/loadgen.out" >&2
+        exit 1
+    fi
+    wait "$server_pid"
+    server_pid=""
+done
+echo "ok: served predictions match the offline reference at 1 and 8 threads"
 
-# 6. Panic-hygiene gate: no `.unwrap()` in non-test code under the
+# 7. Panic-hygiene gate: no `.unwrap()` in non-test code under the
 #    error-spine crates (vlpp-trace, vlpp-sim). "Non-test" = lines
 #    before the first `#[cfg(test)]` in each file, excluding comment
 #    lines and `tests.rs` module files. New unwraps belong behind typed
 #    VlppError paths instead (see ROBUSTNESS.md).
+step "panic-hygiene gate"
 unwrap_offenders=""
-for src in $(find crates/trace/src crates/sim/src -name '*.rs' ! -name 'tests.rs'); do
+while IFS= read -r src; do
     found=$(awk '
         /#\[cfg\(test\)\]/ { exit }
         /\.unwrap\(\)/ && $0 !~ /^[[:space:]]*\/\// { print FILENAME ":" FNR ": " $0 }
@@ -123,7 +177,7 @@ for src in $(find crates/trace/src crates/sim/src -name '*.rs' ! -name 'tests.rs
         unwrap_offenders="$unwrap_offenders$found
 "
     fi
-done
+done < <(find crates/trace/src crates/sim/src -name '*.rs' ! -name 'tests.rs')
 if [ -n "$unwrap_offenders" ]; then
     echo "error: .unwrap() in non-test code (use a typed VlppError path):" >&2
     printf '%s' "$unwrap_offenders" | sed 's/^/    /' >&2
@@ -131,10 +185,20 @@ if [ -n "$unwrap_offenders" ]; then
 fi
 echo "ok: no unwrap() in non-test vlpp-trace / vlpp-sim code"
 
-# 7. Wall-clock of the full experiment suite at the default scale, as a
+# 8. Wall-clock of the full experiment suite at the default scale, as a
 #    machine-readable BENCH line (same shape as the vlpp-check timer).
+step "wall-clock BENCH line"
 start=$(date +%s%N)
 "$VLPP" all >/dev/null 2>&1
 end=$(date +%s%N)
 elapsed=$((end - start))
 echo "BENCH {\"bench\":\"vlpp_all_default_scale\",\"iters\":1,\"median_ns\":$elapsed,\"mad_ns\":0,\"min_ns\":$elapsed,\"max_ns\":$elapsed}"
+
+# The skipped-step backstop: if control flow ever bypasses a step (an
+# early return, a refactor gone wrong), this fails the run even though
+# nothing above errored.
+if [ "$steps_run" -ne "$EXPECTED_STEPS" ]; then
+    echo "error: only $steps_run of $EXPECTED_STEPS verification steps ran" >&2
+    exit 1
+fi
+echo "ok: all $EXPECTED_STEPS verification steps ran"

@@ -17,8 +17,21 @@ fn help_lists_every_experiment() {
     assert!(output.status.success());
     let text = String::from_utf8(output.stdout).expect("utf-8");
     for id in [
-        "table1", "table2", "table3", "fig5", "fig9", "fig10", "headline", "hfnt", "analyze",
-        "lengths", "ras", "frontend", "related-cond", "ablate-hashes", "all",
+        "table1",
+        "table2",
+        "table3",
+        "fig5",
+        "fig9",
+        "fig10",
+        "headline",
+        "hfnt",
+        "analyze",
+        "lengths",
+        "ras",
+        "frontend",
+        "related-cond",
+        "ablate-hashes",
+        "all",
     ] {
         assert!(text.contains(id), "--help must mention `{id}`");
     }
@@ -26,10 +39,7 @@ fn help_lists_every_experiment() {
 
 #[test]
 fn headline_text_output_contains_paper_reference() {
-    let output = vlpp()
-        .args(["headline", "--scale", "1000000"])
-        .output()
-        .expect("binary runs");
+    let output = vlpp().args(["headline", "--scale", "1000000"]).output().expect("binary runs");
     assert!(output.status.success(), "stderr: {}", String::from_utf8_lossy(&output.stderr));
     let text = String::from_utf8(output.stdout).expect("utf-8");
     assert!(text.contains("== headline =="));
@@ -39,10 +49,8 @@ fn headline_text_output_contains_paper_reference() {
 
 #[test]
 fn headline_json_output_parses_and_is_consistent() {
-    let output = vlpp()
-        .args(["headline", "--scale", "1000000", "--json"])
-        .output()
-        .expect("binary runs");
+    let output =
+        vlpp().args(["headline", "--scale", "1000000", "--json"]).output().expect("binary runs");
     assert!(output.status.success());
     let text = String::from_utf8(output.stdout).expect("utf-8");
     let json_start = text.find('{').expect("JSON object in output");
@@ -91,11 +99,7 @@ fn invalid_vlpp_scale_env_warns_and_falls_back() {
 
 #[test]
 fn valid_vlpp_scale_env_is_used_without_warning() {
-    let output = vlpp()
-        .env("VLPP_SCALE", "1000000")
-        .arg("headline")
-        .output()
-        .expect("binary runs");
+    let output = vlpp().env("VLPP_SCALE", "1000000").arg("headline").output().expect("binary runs");
     assert!(output.status.success());
     let stderr = String::from_utf8(output.stderr).expect("utf-8");
     assert!(stderr.contains("# scale: 1/1000000"), "env scale must apply:\n{stderr}");
@@ -117,31 +121,21 @@ fn json_output_is_byte_identical_across_thread_counts() {
         );
         output.stdout
     };
-    assert_eq!(
-        run("1"),
-        run("8"),
-        "stdout must not depend on the worker-pool size"
-    );
+    assert_eq!(run("1"), run("8"), "stdout must not depend on the worker-pool size");
 }
 
 #[test]
 fn all_json_emits_one_object_keyed_by_experiment() {
-    let output = vlpp()
-        .args(["all", "--json", "--scale", "1000000"])
-        .output()
-        .expect("binary runs");
+    let output =
+        vlpp().args(["all", "--json", "--scale", "1000000"]).output().expect("binary runs");
     assert!(output.status.success(), "stderr: {}", String::from_utf8_lossy(&output.stderr));
     let text = String::from_utf8(output.stdout).expect("utf-8");
     assert!(!text.contains("== "), "JSON mode must not interleave text headers:\n{text}");
     // The whole stdout is one parseable object, keyed by experiment id
     // in run order.
     let value = vlpp_trace::json::JsonValue::parse(text.trim()).expect("valid JSON");
-    let keys: Vec<&str> = value
-        .as_object()
-        .expect("one object")
-        .iter()
-        .map(|(k, _)| k.as_str())
-        .collect();
+    let keys: Vec<&str> =
+        value.as_object().expect("one object").iter().map(|(k, _)| k.as_str()).collect();
     assert_eq!(
         keys,
         [

@@ -44,8 +44,7 @@ fn variable_length_path_is_deterministic() {
     let workloads = Workloads::new(Scale::new(1_000_000));
     let report = workloads.profile_conditional(&spec, 12);
     assert_deterministic("vlpp", |trace| {
-        let mut p =
-            PathConditional::new(PathConfig::new(12), report.assignment.clone());
+        let mut p = PathConditional::new(PathConfig::new(12), report.assignment.clone());
         run_conditional(&mut p, trace)
     });
 }

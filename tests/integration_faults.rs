@@ -94,8 +94,8 @@ fn seeded_data_faults_yield_typed_errors_with_context() {
     // Corrupt trace: any flip in the 6 magic/version bytes must error.
     for fault in plan.header_faults(6, 8) {
         std::fs::write(&damaged, fault.apply(&bytes)).expect("write damaged");
-        let error = trace_io::read_binary_file(&damaged)
-            .expect_err("corrupt header must not parse");
+        let error =
+            trace_io::read_binary_file(&damaged).expect_err("corrupt header must not parse");
         match &error {
             VlppError::Trace { path: Some(path), .. } => {
                 assert!(path.ends_with("damaged.vlpt"), "error must carry the path")
@@ -108,8 +108,8 @@ fn seeded_data_faults_yield_typed_errors_with_context() {
     // Truncated trace: the error must say how far the data reached.
     for keep in [0usize, 10, 16, 17, 16 + 18 * 7 + 5] {
         std::fs::write(&damaged, DataFault::Truncate { keep }.apply(&bytes)).unwrap();
-        let error = trace_io::read_binary_file(&damaged)
-            .expect_err("truncated trace must not parse");
+        let error =
+            trace_io::read_binary_file(&damaged).expect_err("truncated trace must not parse");
         let rendered = error.to_string();
         assert!(
             rendered.contains("damaged.vlpt"),
@@ -124,10 +124,12 @@ fn seeded_data_faults_yield_typed_errors_with_context() {
             let _ = vlpp_trace::json::JsonValue::parse(&text);
         }
     }
-    assert!(vlpp_trace::json::JsonValue::parse("{\"unterminated")
-        .expect_err("malformed JSON errors")
-        .offset()
-        > 0);
+    assert!(
+        vlpp_trace::json::JsonValue::parse("{\"unterminated")
+            .expect_err("malformed JSON errors")
+            .offset()
+            > 0
+    );
 
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -217,11 +219,7 @@ fn transient_stall_recovers_after_watchdog_retry() {
         .args(["all", "--json", "--scale", SCALE])
         .output()
         .expect("binary runs");
-    assert!(
-        faulted.status.success(),
-        "stderr: {}",
-        String::from_utf8_lossy(&faulted.stderr)
-    );
+    assert!(faulted.status.success(), "stderr: {}", String::from_utf8_lossy(&faulted.stderr));
     assert_eq!(faulted.stdout, clean);
 }
 

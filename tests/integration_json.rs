@@ -17,12 +17,7 @@ use vlpp_trace::{Addr, BranchRecord, Trace};
 
 /// The keys of a JSON object, in emission order.
 fn keys(value: &JsonValue) -> Vec<&str> {
-    value
-        .as_object()
-        .expect("value is an object")
-        .iter()
-        .map(|(k, _)| k.as_str())
-        .collect()
+    value.as_object().expect("value is an object").iter().map(|(k, _)| k.as_str()).collect()
 }
 
 /// Emits `value` twice (compact and pretty), asserts both parse back to
@@ -79,10 +74,7 @@ fn table_reports_round_trip_with_declared_field_order() {
     // u64 values survive exactly (no float detour).
     assert_eq!(tree.get("conditional_dynamic").unwrap().as_u64(), Some(143_000_000));
 
-    let data = Table2Data {
-        conditional: vec![(1024, 6), (4096, 9)],
-        indirect: vec![(512, 4)],
-    };
+    let data = Table2Data { conditional: vec![(1024, 6), (4096, 9)], indirect: vec![(512, 4)] };
     let tree = assert_round_trips(&data);
     assert_eq!(keys(&tree), ["conditional", "indirect"]);
     // (u64, u8) pairs emit as two-element arrays.
@@ -96,13 +88,8 @@ fn comparison_reports_round_trip_with_declared_field_order() {
     let cond = CondRow { benchmark: "go".into(), gshare: 0.17, fixed: 0.15, variable: 0.12 };
     assert_eq!(keys(&assert_round_trips(&cond)), ["benchmark", "gshare", "fixed", "variable"]);
 
-    let ind = IndRow {
-        benchmark: "perl".into(),
-        path: 0.30,
-        pattern: 0.33,
-        fixed: 0.28,
-        variable: 0.25,
-    };
+    let ind =
+        IndRow { benchmark: "perl".into(), path: 0.30, pattern: 0.33, fixed: 0.28, variable: 0.25 };
     assert_eq!(
         keys(&assert_round_trips(&ind)),
         ["benchmark", "path", "pattern", "fixed", "variable"]
@@ -151,20 +138,14 @@ fn analysis_reports_round_trip_with_declared_field_order() {
     let ras = RasRow { benchmark: "gcc".into(), returns: 5_000_000, hit_rate: 0.999 };
     assert_eq!(keys(&assert_round_trips(&ras)), ["benchmark", "returns", "hit_rate"]);
 
-    let lengths = LengthHistogram {
-        benchmark: "gcc".into(),
-        histogram: vec![10, 0, 25, 3],
-        default_hash: 9,
-    };
+    let lengths =
+        LengthHistogram { benchmark: "gcc".into(), histogram: vec![10, 0, 25, 3], default_hash: 9 };
     let tree = assert_round_trips(&lengths);
     assert_eq!(keys(&tree), ["benchmark", "histogram", "default_hash"]);
     assert_eq!(tree.get("histogram").unwrap().as_array().unwrap().len(), 4);
 
     let hfnt = HfntRow { benchmark: "xlisp".into(), lookups: 42, mismatches: 3, rate: 3.0 / 42.0 };
-    assert_eq!(
-        keys(&assert_round_trips(&hfnt)),
-        ["benchmark", "lookups", "mismatches", "rate"]
-    );
+    assert_eq!(keys(&assert_round_trips(&hfnt)), ["benchmark", "lookups", "mismatches", "rate"]);
 }
 
 #[test]

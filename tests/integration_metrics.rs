@@ -48,10 +48,7 @@ fn metrics_snapshot(stdout: &str) -> JsonValue {
 #[test]
 fn metrics_flag_does_not_change_experiment_bytes() {
     let plain = run_all("1", &[]);
-    assert!(
-        !plain.contains("METRICS "),
-        "no METRICS line without --metrics:\n{plain}"
-    );
+    assert!(!plain.contains("METRICS "), "no METRICS line without --metrics:\n{plain}");
     for threads in ["1", "8"] {
         let with_metrics = run_all(threads, &["--metrics"]);
         assert_eq!(
@@ -97,9 +94,7 @@ fn metrics_snapshot_reports_every_layer() {
             .and_then(|b| b.as_array())
             .expect("buckets")
             .iter()
-            .map(|pair| {
-                pair.as_array().expect("pair")[1].as_u64().expect("bucket count")
-            })
+            .map(|pair| pair.as_array().expect("pair")[1].as_u64().expect("bucket count"))
             .sum();
         assert_eq!(bucket_total, count, "span `{span}` bucket counts must sum to count");
     }
@@ -123,8 +118,7 @@ fn metrics_table_goes_to_stderr() {
         .expect("binary runs");
     assert!(output.status.success());
     let stderr = String::from_utf8(output.stderr).expect("utf-8");
-    for name in ["metric", "sim.experiment_ns", "core.profile.step1_records", "pool.tasks.inline"]
-    {
+    for name in ["metric", "sim.experiment_ns", "core.profile.step1_records", "pool.tasks.inline"] {
         assert!(stderr.contains(name), "stderr table must list `{name}`:\n{stderr}");
     }
     // The table must not leak into stdout, where it would break JSON

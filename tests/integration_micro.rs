@@ -82,10 +82,7 @@ fn alternating_dispatch_defeats_btb_but_not_path() {
     );
     let mut path = PathIndirect::new(PathConfig::new(8), HashAssignment::fixed(1));
     let path_rate = run_indirect(&mut path, &trace).miss_rate();
-    assert!(
-        path_rate < 0.01,
-        "one target of path determines the alternation, got {path_rate:.3}"
-    );
+    assert!(path_rate < 0.01, "one target of path determines the alternation, got {path_rate:.3}");
 }
 
 #[test]

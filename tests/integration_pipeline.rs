@@ -82,13 +82,10 @@ fn profiling_transfers_across_inputs() {
         let spec = suite::benchmark(name).unwrap();
         let report = workloads.profile_conditional(&spec, bits);
         let test = workloads.test_trace(&spec);
-        let mut fixed = PathConditional::new(
-            PathConfig::new(bits),
-            HashAssignment::fixed(report.default_hash),
-        );
+        let mut fixed =
+            PathConditional::new(PathConfig::new(bits), HashAssignment::fixed(report.default_hash));
         let fixed_rate = run_conditional(&mut fixed, &test).miss_rate();
-        let mut variable =
-            PathConditional::new(PathConfig::new(bits), report.assignment.clone());
+        let mut variable = PathConditional::new(PathConfig::new(bits), report.assignment.clone());
         let variable_rate = run_conditional(&mut variable, &test).miss_rate();
         if variable_rate < fixed_rate {
             improved += 1;
@@ -115,10 +112,8 @@ fn bigger_tables_do_not_hurt_once_trained() {
     let large = run_conditional(&mut Gshare::new(large_bits), &test).miss_rate();
     assert!(large <= small + 0.01, "gshare: 16KB ({large}) worse than 1KB ({small})");
 
-    let mut flp_small =
-        PathConditional::new(PathConfig::new(small_bits), HashAssignment::fixed(8));
-    let mut flp_large =
-        PathConditional::new(PathConfig::new(large_bits), HashAssignment::fixed(8));
+    let mut flp_small = PathConditional::new(PathConfig::new(small_bits), HashAssignment::fixed(8));
+    let mut flp_large = PathConditional::new(PathConfig::new(large_bits), HashAssignment::fixed(8));
     let small = run_conditional(&mut flp_small, &test).miss_rate();
     let large = run_conditional(&mut flp_large, &test).miss_rate();
     assert!(large <= small + 0.01, "path: 16KB ({large}) worse than 1KB ({small})");

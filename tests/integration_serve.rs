@@ -1,0 +1,238 @@
+//! End-to-end tests of `vlpp serve` / `vlpp loadgen`: the framed wire
+//! protocol's edge cases against a live server, the loadgen oracle at
+//! 1 and 8 worker threads, and graceful shutdown.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use vlpp_trace::frame::{read_frame, write_frame};
+use vlpp_trace::json::JsonValue;
+
+/// A running `vlpp serve` at the given worker-thread count, bound to a
+/// kernel-assigned port parsed from its `SERVE` announce line.
+struct Server {
+    child: Child,
+    addr: String,
+}
+
+impl Server {
+    fn start(threads: &str) -> Server {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_vlpp"))
+            .args(["serve", "--listen", "127.0.0.1:0", "--scale", "1000000"])
+            .env("VLPP_THREADS", threads)
+            .env_remove("VLPP_SCALE")
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("server spawns");
+        let stdout = child.stdout.take().expect("stdout piped");
+        let mut lines = BufReader::new(stdout).lines();
+        let announce =
+            lines.next().expect("server prints a SERVE line").expect("announce line reads");
+        let json = announce.strip_prefix("SERVE ").expect("line starts with SERVE ");
+        let value = JsonValue::parse(json).expect("announce is valid JSON");
+        let addr = value.get("addr").and_then(|v| v.as_str()).expect("addr field").to_string();
+        Server { child, addr }
+    }
+
+    fn connect(&self) -> TcpStream {
+        let stream = TcpStream::connect(&self.addr).expect("connects");
+        stream.set_read_timeout(Some(Duration::from_secs(30))).expect("timeout set");
+        stream
+    }
+
+    /// Sends `shutdown` and asserts the daemon exits 0 promptly.
+    fn shutdown_and_wait(mut self) {
+        let mut conn = self.connect();
+        let response = call(&mut conn, r#"{"verb":"shutdown"}"#);
+        assert_eq!(response.get("ok").and_then(|v| v.as_bool()), Some(true));
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            match self.child.try_wait().expect("wait works") {
+                Some(status) => {
+                    assert!(status.success(), "server must exit 0 after drain, got {status}");
+                    return;
+                }
+                None if Instant::now() < deadline => std::thread::sleep(Duration::from_millis(50)),
+                None => {
+                    let _ = self.child.kill();
+                    panic!("server did not exit within 30s of shutdown");
+                }
+            }
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// One framed request/response round trip.
+fn call(conn: &mut TcpStream, request: &str) -> JsonValue {
+    write_frame(&mut *conn, request.as_bytes()).expect("request frame writes");
+    let payload = read_frame(&mut *conn).expect("response frame reads").expect("not EOF");
+    JsonValue::parse(std::str::from_utf8(&payload).expect("utf-8")).expect("response parses")
+}
+
+fn train_request(model: &str) -> String {
+    format!(
+        r#"{{"verb":"train","model":"{model}","benchmark":"compress","kind":"cond","index_bits":10,"shards":2}}"#
+    )
+}
+
+#[test]
+fn framing_edge_cases_are_errors_and_the_server_survives_them() {
+    let server = Server::start("2");
+
+    // Zero-length frame: a typed frame error response, then the
+    // connection closes (framing cannot resync).
+    {
+        let mut conn = server.connect();
+        conn.write_all(&0u32.to_le_bytes()).expect("prefix writes");
+        let payload = read_frame(&mut conn).expect("error response reads").expect("not EOF");
+        let response = JsonValue::parse(std::str::from_utf8(&payload).expect("utf-8"))
+            .expect("response parses");
+        assert_eq!(response.get("ok").and_then(|v| v.as_bool()), Some(false));
+        let phase = response.get("error").and_then(|e| e.get("phase")).and_then(|v| v.as_str());
+        assert_eq!(phase, Some("frame"));
+        // After the error response the server closes: EOF.
+        let mut rest = Vec::new();
+        conn.read_to_end(&mut rest).expect("reads to EOF");
+        assert!(rest.is_empty(), "nothing after the error response");
+    }
+
+    // Oversized length prefix: rejected before allocation, same error
+    // path.
+    {
+        let mut conn = server.connect();
+        conn.write_all(&u32::MAX.to_le_bytes()).expect("prefix writes");
+        let payload = read_frame(&mut conn).expect("error response reads").expect("not EOF");
+        let text = String::from_utf8(payload).expect("utf-8");
+        assert!(text.contains(r#""phase":"frame""#), "frame-phase error, got: {text}");
+        assert!(text.contains("cap"), "mentions the byte cap: {text}");
+    }
+
+    // Mid-frame disconnect: no response possible; the server must just
+    // survive it.
+    {
+        let mut conn = server.connect();
+        conn.write_all(&100u32.to_le_bytes()).expect("prefix writes");
+        conn.write_all(b"only a few bytes").expect("partial payload writes");
+        drop(conn);
+    }
+
+    // Malformed JSON and protocol errors keep the connection usable.
+    {
+        let mut conn = server.connect();
+        let response = call(&mut conn, "not json at all");
+        assert_eq!(response.get("ok").and_then(|v| v.as_bool()), Some(false));
+        let response = call(&mut conn, r#"{"verb":"levitate"}"#);
+        assert_eq!(response.get("ok").and_then(|v| v.as_bool()), Some(false));
+        let phase = response.get("error").and_then(|e| e.get("phase")).and_then(|v| v.as_str());
+        assert_eq!(phase, Some("protocol"));
+        // ... and a well-formed request on the same connection works.
+        let response = call(&mut conn, &train_request("edge"));
+        assert_eq!(response.get("ok").and_then(|v| v.as_bool()), Some(true));
+    }
+
+    server.shutdown_and_wait();
+}
+
+#[test]
+fn interleaved_verbs_on_one_connection_answer_in_order_with_ids() {
+    let server = Server::start("2");
+    let mut conn = server.connect();
+
+    let response = call(&mut conn, &train_request("mixed"));
+    assert_eq!(response.get("ok").and_then(|v| v.as_bool()), Some(true));
+
+    // Pipeline several verbs before reading anything back; responses
+    // must come back in order, ids echoed.
+    let requests = [
+        r#"{"verb":"predict","id":10,"model":"mixed","records":[{"pc":4096,"target":4160,"kind":"cond","taken":true}]}"#.to_string(),
+        r#"{"verb":"update","id":11,"model":"mixed","records":[{"pc":4096,"target":4160,"kind":"cond","taken":true}]}"#.to_string(),
+        r#"{"verb":"stats","id":12,"model":"mixed"}"#.to_string(),
+        r#"{"verb":"predict","id":13,"model":"nonesuch","records":[]}"#.to_string(),
+        r#"{"verb":"stats","id":14}"#.to_string(),
+    ];
+    for request in &requests {
+        write_frame(&mut conn, request.as_bytes()).expect("request writes");
+    }
+    let mut responses = Vec::new();
+    for _ in 0..requests.len() {
+        let payload = read_frame(&mut conn).expect("response reads").expect("not EOF");
+        responses.push(
+            JsonValue::parse(std::str::from_utf8(&payload).expect("utf-8"))
+                .expect("response parses"),
+        );
+    }
+    let ids: Vec<Option<u64>> =
+        responses.iter().map(|r| r.get("id").and_then(|v| v.as_u64())).collect();
+    assert_eq!(ids, vec![Some(10), Some(11), Some(12), Some(13), Some(14)]);
+    // The batch of one conditional yields one prediction slot.
+    let predictions =
+        responses[0].get("predictions").and_then(|p| p.as_array()).expect("predictions");
+    assert_eq!(predictions.len(), 1);
+    assert!(predictions[0].get("taken").is_some());
+    // update responds with a count, no predictions.
+    assert_eq!(responses[1].get("records").and_then(|v| v.as_u64()), Some(1));
+    assert!(responses[1].get("predictions").is_none());
+    // stats sees 2 predictions (predict + update both advance state).
+    let stats = responses[2].get("stats").expect("stats body");
+    assert_eq!(stats.get("predictions").and_then(|v| v.as_u64()), Some(2));
+    // The unknown model is an in-band protocol error; the connection
+    // kept working for request 14.
+    assert_eq!(responses[3].get("ok").and_then(|v| v.as_bool()), Some(false));
+    assert_eq!(responses[4].get("ok").and_then(|v| v.as_bool()), Some(true));
+
+    server.shutdown_and_wait();
+}
+
+fn loadgen_against(server: &Server, client_threads: &str) {
+    let output = Command::new(env!("CARGO_BIN_EXE_vlpp"))
+        .args([
+            "loadgen",
+            "--addr",
+            &server.addr,
+            "--connections",
+            "8",
+            "--records",
+            "6000",
+            "--update-every",
+            "4",
+            "--scale",
+            "1000000",
+        ])
+        .env("VLPP_THREADS", client_threads)
+        .env_remove("VLPP_SCALE")
+        .output()
+        .expect("loadgen runs");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(output.status.success(), "loadgen failed:\nstdout: {stdout}\nstderr: {stderr}");
+    let line = stdout.lines().find(|l| l.starts_with("LOADGEN ")).expect("LOADGEN line");
+    let summary =
+        JsonValue::parse(line.strip_prefix("LOADGEN ").expect("prefix")).expect("summary parses");
+    assert_eq!(summary.get("mismatches").and_then(|v| v.as_u64()), Some(0));
+    assert_eq!(summary.get("stats_match").and_then(|v| v.as_bool()), Some(true));
+    assert_eq!(summary.get("records").and_then(|v| v.as_u64()), Some(6000));
+}
+
+#[test]
+fn loadgen_predictions_match_offline_at_one_server_thread() {
+    let server = Server::start("1");
+    loadgen_against(&server, "1");
+    server.shutdown_and_wait();
+}
+
+#[test]
+fn loadgen_predictions_match_offline_at_eight_server_threads() {
+    let server = Server::start("8");
+    loadgen_against(&server, "2");
+    server.shutdown_and_wait();
+}
