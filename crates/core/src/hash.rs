@@ -162,6 +162,162 @@ impl IncrementalHashers {
     }
 }
 
+/// The §4.1 register file folded into a single running register: the
+/// throughput kernel's O(1)-per-retire form of [`IncrementalHashers`].
+///
+/// Unrolling the §4.1 recurrence shows every partial-sum register is a
+/// window of one *infinite-history* sum. Let
+/// `S(t) = rot1(S(t−1)) XOR target_t` (one register, never truncated).
+/// Then, because rotation distributes over XOR and the targets older
+/// than `X` cancel,
+///
+/// ```text
+/// I_X(t) = S(t) XOR rotl(S(t−X), X)
+/// ```
+///
+/// So instead of updating `n` registers per retired branch (one
+/// rotate-XOR each — O(n) with `n` up to 32), this structure updates
+/// `S` once and remembers its last `n` values in a ring; *any* hash
+/// function's index is then one ring read and one rotate-XOR, on
+/// demand. Warmup falls out for free: ring slots not yet written are
+/// zero, which is exactly `S` of the empty history.
+///
+/// The values produced are bit-identical to [`IncrementalHashers`] (and
+/// therefore to the direct [`hash_path`] evaluation) — the tests prove
+/// all three equal.
+///
+/// # Example
+///
+/// ```
+/// use vlpp_core::{IncrementalHashers, RollingHashers};
+/// use vlpp_trace::Addr;
+///
+/// let mut registers = IncrementalHashers::new(8, 10);
+/// let mut rolling = RollingHashers::new(8, 10);
+/// for raw in [0x123, 0x456, 0x789] {
+///     registers.push(Addr::new(raw << 2));
+///     rolling.push(Addr::new(raw << 2));
+/// }
+/// for x in 1..=8 {
+///     assert_eq!(rolling.index(x), registers.index(x));
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct RollingHashers {
+    /// `S(t)` — the infinite-history partial sum.
+    s: u64,
+    /// The last values of `S`, `ring[j & ring_mask] = S(j)`; sized to
+    /// the next power of two above `count` so the ring offset is a
+    /// mask, not a modulo.
+    ring: Vec<u64>,
+    /// Targets pushed so far.
+    t: u64,
+    /// `rots[x] = x mod k`, precomputed so a lookup does no division.
+    rots: Vec<u8>,
+    count: usize,
+    k: u32,
+    mask: u64,
+    ring_mask: u64,
+}
+
+impl RollingHashers {
+    /// Creates the rolling form of `count` hash functions producing
+    /// `k`-bit indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is 0 or `k` is not in `1..=64`.
+    pub fn new(count: usize, k: u32) -> Self {
+        assert!(count >= 1, "need at least one hash function");
+        assert!((1..=64).contains(&k), "index width must be in 1..=64, got {k}");
+        let ring_len = count.next_power_of_two();
+        RollingHashers {
+            s: 0,
+            ring: vec![0; ring_len],
+            t: 0,
+            rots: (0..=count).map(|x| (x as u32 % k) as u8).collect(),
+            count,
+            k,
+            mask: if k == 64 { u64::MAX } else { (1u64 << k) - 1 },
+            ring_mask: ring_len as u64 - 1,
+        }
+    }
+
+    /// Advances `S` for a newly inserted target: one rotate-XOR and one
+    /// ring store, independent of `count`.
+    #[inline]
+    pub fn push(&mut self, target: Addr) {
+        let t = target.low_bits(self.k);
+        self.ring[(self.t & self.ring_mask) as usize] = self.s;
+        // rot1 within k bits; for k = 64 the mask is all-ones and the
+        // shift pair is the native rotate.
+        self.s = (((self.s << 1) | (self.s >> (self.k - 1))) & self.mask) ^ t;
+        self.t += 1;
+    }
+
+    /// The current index `I_x` produced by `HF_x` (`x` is 1-based):
+    /// `S(t) XOR rotl(S(t−x), x)`. Ring slots before the first push are
+    /// zero, which is the empty-history `S` — warmup needs no branch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is 0 or exceeds the number of hash functions.
+    #[inline]
+    pub fn index(&self, x: usize) -> u64 {
+        assert!(x >= 1 && x <= self.count, "hash number must be in 1..=count, got {x}");
+        let past = self.ring[(self.t.wrapping_sub(x as u64) & self.ring_mask) as usize];
+        let amount = self.rots[x] as u32;
+        // Branchless k-bit rotate: `past` is already masked to k bits,
+        // so at amount == 0 the right shift contributes nothing (shift
+        // by k, forced in-range by `& 63` for k == 64) and the left
+        // shift is the identity — no data-dependent branch on the
+        // rotation amount.
+        let rotated = ((past << amount) | (past >> ((self.k - amount) & 63))) & self.mask;
+        self.s ^ rotated
+    }
+
+    /// The number of hash functions maintained.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// The index width in bits.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// Resets to the empty-history state.
+    pub fn clear(&mut self) {
+        self.s = 0;
+        self.t = 0;
+        self.ring.fill(0);
+    }
+
+    /// Captures the full rolling state (used by the §6 history stack):
+    /// `[S, t, ring…]`, opaque to the caller.
+    pub fn snapshot(&self) -> Vec<u64> {
+        let mut snapshot = Vec::with_capacity(2 + self.ring.len());
+        snapshot.push(self.s);
+        snapshot.push(self.t);
+        snapshot.extend_from_slice(&self.ring);
+        snapshot
+    }
+
+    /// Restores state from a snapshot taken with
+    /// [`snapshot`](Self::snapshot).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot was taken from a differently-configured
+    /// hasher.
+    pub fn restore(&mut self, snapshot: &[u64]) {
+        assert_eq!(snapshot.len(), 2 + self.ring.len(), "snapshot size mismatch");
+        self.s = snapshot[0];
+        self.t = snapshot[1];
+        self.ring.copy_from_slice(&snapshot[2..]);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -272,5 +428,72 @@ mod tests {
     #[should_panic(expected = "hash number")]
     fn index_rejects_zero() {
         IncrementalHashers::new(4, 8).index(0);
+    }
+
+    #[test]
+    fn rolling_matches_incremental_for_all_lengths() {
+        // Non-power-of-two counts and awkward widths included.
+        for (count, k) in [(1, 1), (5, 9), (16, 14), (31, 10), (32, 28), (8, 64)] {
+            let mut registers = IncrementalHashers::new(count, k);
+            let mut rolling = RollingHashers::new(count, k);
+            for target in pseudo_targets(3 * count + 40) {
+                registers.push(target);
+                rolling.push(target);
+                for x in 1..=count {
+                    assert_eq!(
+                        rolling.index(x),
+                        registers.index(x),
+                        "count {count} k {k} length {x}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rolling_warmup_matches_incremental() {
+        // Fewer targets than the deepest hash: unwritten ring slots must
+        // act as the empty-history S.
+        let mut registers = IncrementalHashers::new(12, 10);
+        let mut rolling = RollingHashers::new(12, 10);
+        for target in pseudo_targets(5) {
+            registers.push(target);
+            rolling.push(target);
+        }
+        for x in 1..=12 {
+            assert_eq!(rolling.index(x), registers.index(x));
+        }
+    }
+
+    #[test]
+    fn rolling_snapshot_restore_round_trips() {
+        let mut rolling = RollingHashers::new(8, 10);
+        for target in pseudo_targets(20) {
+            rolling.push(target);
+        }
+        let saved = rolling.snapshot();
+        let at_save: Vec<u64> = (1..=8).map(|x| rolling.index(x)).collect();
+        for target in pseudo_targets(40) {
+            rolling.push(target);
+        }
+        rolling.restore(&saved);
+        let restored: Vec<u64> = (1..=8).map(|x| rolling.index(x)).collect();
+        assert_eq!(restored, at_save);
+    }
+
+    #[test]
+    fn rolling_clear_resets_to_empty_state() {
+        let mut rolling = RollingHashers::new(4, 10);
+        rolling.push(Addr::new(0x40));
+        rolling.clear();
+        for x in 1..=4 {
+            assert_eq!(rolling.index(x), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "hash number")]
+    fn rolling_index_rejects_out_of_range() {
+        RollingHashers::new(4, 8).index(5);
     }
 }

@@ -1,0 +1,725 @@
+//! The structure-of-arrays throughput kernel: the serve/simulate hot
+//! loop as flat arrays instead of boxed per-record dispatch.
+//!
+//! [`PathConditional`](crate::PathConditional) and
+//! [`PathIndirect`](crate::PathIndirect) are the *reference*
+//! implementations: one heap structure per concern, trait dispatch per
+//! record, and a `HashMap` probe for every hash-number lookup and every
+//! per-branch statistic. That shape is ideal for reading the paper back
+//! out of the code and hopeless for serving millions of predictions —
+//! each record pays several unpredictable indirect calls and two or
+//! three SipHash probes.
+//!
+//! [`CondKernel`] and [`IndKernel`] run the *same* predictor as flat
+//! state:
+//!
+//! * the second-level table is one contiguous plane — packed 2-bit
+//!   counters ([`CounterPlane`]) or packed target registers
+//!   ([`TargetPlane`]) — updated branchlessly;
+//! * the paper's §4.1 partial sums are the *only* first-level history,
+//!   kept in rolling form ([`RollingHashers`]): unrolling the §4.1
+//!   recurrence gives `I_X(t) = S(t) XOR rotl(S(t−X), X)` for a single
+//!   never-truncated register `S`, so a retired branch costs one
+//!   rotate-XOR *total* (not one per register) and a lookup is one ring
+//!   read plus one rotate-XOR (no THB walk, no re-hash) — with the ring
+//!   sized to the longest hash the assignment actually uses;
+//! * the per-branch hash number and statistics slot resolve through a
+//!   direct-mapped, exact-tag cache in front of the `HashMap`s, so in
+//!   steady state a record costs zero hash probes.
+//!
+//! The kernels are **bit-for-bit** equivalent to the reference: same
+//! prediction stream, same counter/target state, same statistics. That
+//! is not an aspiration but a test surface — `tests/prop_kernel.rs`
+//! drives both sides over seeded configs × synthetic traces and
+//! asserts exact equality, and the serve loadgen oracle re-proves it
+//! end-to-end on every CI run. Dynamic (§3.4 hardware-selected) hash
+//! selection intentionally stays on the boxed path: it is an ablation,
+//! not a serving configuration.
+
+use std::collections::HashMap;
+
+use vlpp_predict::{BranchObserver, ConditionalPredictor, CounterPlane, IndirectPredictor};
+use vlpp_trace::{Addr, BranchKind, BranchRecord};
+
+use crate::hash::RollingHashers;
+use crate::path::PathConfig;
+use crate::select::HashAssignment;
+use crate::stack::HistoryStack;
+
+/// A contiguous plane of packed target registers: the
+/// structure-of-arrays form of a
+/// [`TargetTable`](crate::TargetTable) — low-32-bit targets in one
+/// dense array, validity as one bit per entry.
+///
+/// # Example
+///
+/// ```
+/// use vlpp_core::TargetPlane;
+/// use vlpp_trace::Addr;
+///
+/// let mut plane = TargetPlane::new(64);
+/// assert_eq!(plane.predict(3, Addr::new(0x1000)), Addr::NULL);
+/// plane.train(3, Addr::new(0x2000));
+/// assert_eq!(plane.predict(3, Addr::new(0x1000)), Addr::new(0x2000));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TargetPlane {
+    low32: Vec<u32>,
+    valid: Vec<u64>,
+    len: usize,
+}
+
+impl TargetPlane {
+    /// Creates a plane of `len` never-written target registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is 0.
+    pub fn new(len: usize) -> Self {
+        assert!(len >= 1, "target plane must hold at least one register");
+        TargetPlane { low32: vec![0; len], valid: vec![0; len.div_ceil(64)], len }
+    }
+
+    /// The number of registers.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the plane holds no registers (never true: construction
+    /// requires at least one).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The plane size in bytes under the 4-bytes-per-entry accounting.
+    pub fn bytes(&self) -> u64 {
+        self.len as u64 * 4
+    }
+
+    /// Predicts the target stored at `i`, splicing the stored low 32
+    /// bits under `pc`'s high 32 — [`Addr::NULL`] for a never-written
+    /// register, computed branchlessly (the validity bit becomes an
+    /// all-ones/all-zeros mask over the spliced address).
+    #[inline]
+    pub fn predict(&self, i: usize, pc: Addr) -> Addr {
+        let live = (self.valid[i / 64] >> (i % 64)) & 1;
+        Addr::new(pc.with_low32(self.low32[i]).raw() & live.wrapping_neg())
+    }
+
+    /// Writes the resolved `target` into register `i`.
+    #[inline]
+    pub fn train(&mut self, i: usize, target: Addr) {
+        self.low32[i] = target.low32();
+        self.valid[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Fused predict-then-train of register `i`: returns exactly what
+    /// [`predict`](Self::predict) would *before* the write, with one
+    /// pass over the validity word instead of two.
+    #[inline]
+    pub fn predict_train(&mut self, i: usize, pc: Addr, target: Addr) -> Addr {
+        let word = &mut self.valid[i / 64];
+        let live = (*word >> (i % 64)) & 1;
+        let predicted = Addr::new(pc.with_low32(self.low32[i]).raw() & live.wrapping_neg());
+        *word |= 1u64 << (i % 64);
+        self.low32[i] = target.low32();
+        predicted
+    }
+
+    /// The stored low-32 value of register `i`, or `None` if it was
+    /// never written.
+    pub fn entry(&self, i: usize) -> Option<u32> {
+        ((self.valid[i / 64] >> (i % 64)) & 1 == 1).then(|| self.low32[i])
+    }
+
+    /// Every register in index order — the diagnostic form the
+    /// differential tests compare against the boxed table.
+    pub fn entries(&self) -> Vec<Option<u32>> {
+        (0..self.len).map(|i| self.entry(i)).collect()
+    }
+}
+
+/// Index bits of the pc-resolution cache: 4096 lines.
+const CACHE_BITS: u32 = 12;
+
+/// One direct-mapped line of the pc-resolution cache. `hash == 0`
+/// marks an empty line (real hash numbers are `1..=32`).
+#[derive(Debug, Clone, Copy)]
+struct CacheLine {
+    tag: u64,
+    hash: u8,
+    row: u32,
+}
+
+/// One static branch's statistics row (structure-of-arrays would split
+/// these further, but one cache line per branch is already flat enough
+/// — the point is replacing the per-record `HashMap` probe).
+#[derive(Debug, Clone, Copy)]
+struct BranchRow {
+    pc: u64,
+    predictions: u64,
+    mispredictions: u64,
+}
+
+/// First-level history, hash selection, and statistics — the part of
+/// the kernel shared between the conditional and indirect variants.
+#[derive(Debug, Clone)]
+struct KernelCore {
+    /// §4.1 partial sums in rolling form — one register plus a ring of
+    /// its history, O(1) per retired branch — sized to the longest hash
+    /// the assignment uses.
+    hashers: RollingHashers,
+    mask: u64,
+    store_returns: bool,
+    stack: Option<HistoryStack>,
+    default_hash: u8,
+    /// Explicit per-branch hash numbers, already clamped to the THB
+    /// capacity (the reference clamps on every lookup; the kernel
+    /// clamps once at build time).
+    assigned: HashMap<u64, u8>,
+    cache: Box<[CacheLine]>,
+    rows: Vec<BranchRow>,
+    row_of: HashMap<u64, u32>,
+}
+
+impl KernelCore {
+    fn new(config: &PathConfig, assignment: &HashAssignment) -> Self {
+        let capacity = config.thb_capacity;
+        let clamp = |n: u8| -> u8 { (n as usize).min(capacity) as u8 };
+        let default_hash = clamp(assignment.default_hash());
+        let assigned: HashMap<u64, u8> =
+            assignment.iter().map(|(pc, n)| (pc.raw(), clamp(n))).collect();
+        // The recurrence I_X(t+1) = rot1(I_{X-1}(t)) ^ t only reads
+        // *lower* registers, so registers above the longest hash in use
+        // can be dropped without changing any maintained value.
+        let longest = assigned.values().copied().max().unwrap_or(1).max(default_hash) as usize;
+        KernelCore {
+            hashers: RollingHashers::new(longest, config.index_bits),
+            mask: (1u64 << config.index_bits) - 1,
+            store_returns: config.store_returns,
+            stack: config.history_stack_depth.map(HistoryStack::new),
+            default_hash,
+            assigned,
+            cache: vec![CacheLine { tag: 0, hash: 0, row: 0 }; 1 << CACHE_BITS].into_boxed_slice(),
+            rows: Vec::new(),
+            row_of: HashMap::new(),
+        }
+    }
+
+    /// Resolves `pc` to its hash number and statistics row: a
+    /// direct-mapped exact-tag cache probe in steady state, the
+    /// `HashMap`s only on a miss.
+    #[inline]
+    fn resolve(&mut self, pc: Addr) -> (u8, u32) {
+        let tag = pc.raw();
+        let line = (pc.word() as usize) & ((1usize << CACHE_BITS) - 1);
+        let entry = self.cache[line];
+        // Non-short-circuit `&`: both compares fold into one predictable
+        // branch instead of two.
+        if (entry.tag == tag) & (entry.hash != 0) {
+            return (entry.hash, entry.row);
+        }
+        self.resolve_slow(tag, line)
+    }
+
+    #[cold]
+    fn resolve_slow(&mut self, tag: u64, line: usize) -> (u8, u32) {
+        let hash = self.assigned.get(&tag).copied().unwrap_or(self.default_hash);
+        let row = match self.row_of.get(&tag) {
+            Some(&row) => row,
+            None => {
+                let row = self.rows.len() as u32;
+                self.rows.push(BranchRow { pc: tag, predictions: 0, mispredictions: 0 });
+                self.row_of.insert(tag, row);
+                row
+            }
+        };
+        self.cache[line] = CacheLine { tag, hash, row };
+        (hash, row)
+    }
+
+    /// The table index the current history produces for hash number
+    /// `hash`.
+    #[inline]
+    fn index(&self, hash: u8) -> usize {
+        // Rolling values are already k-bit; the mask documents (and
+        // guarantees) the plane-index range without narrowing anything.
+        (self.hashers.index(hash as usize) & self.mask) as usize
+    }
+
+    /// Scores one prediction into its branch row, branchlessly. The
+    /// totals are *not* kept here — [`predictions`](Self::predictions)
+    /// sums the rows on demand, so the hot loop pays one row
+    /// read-modify-write instead of two plus two global counters.
+    #[inline]
+    fn score(&mut self, row: u32, correct: bool) {
+        let r = &mut self.rows[row as usize];
+        r.predictions += 1;
+        r.mispredictions += !correct as u64;
+    }
+
+    /// Total predictions scored, summed over the rows (cold path).
+    fn predictions(&self) -> u64 {
+        self.rows.iter().map(|r| r.predictions).sum()
+    }
+
+    /// Total mispredictions scored, summed over the rows (cold path).
+    fn mispredictions(&self) -> u64 {
+        self.rows.iter().map(|r| r.mispredictions).sum()
+    }
+
+    /// The observe step specialized to a record the caller has already
+    /// matched as conditional or indirect: such a record always enters
+    /// the THB (§3.2) and is never a call or return, so the history
+    /// stack and the recording policy need no per-record checks.
+    #[inline]
+    fn observe_predicted(&mut self, record: &BranchRecord) {
+        self.hashers.push(record.target());
+    }
+
+    /// The reference `observe` protocol: §6 history stack at
+    /// call/return, then the §3.2 recording policy.
+    #[inline]
+    fn observe(&mut self, record: &BranchRecord) {
+        if let Some(stack) = &mut self.stack {
+            match record.kind() {
+                BranchKind::Call => stack.push(self.hashers.snapshot()),
+                BranchKind::Return => {
+                    if let Some(snapshot) = stack.pop() {
+                        self.hashers.restore(&snapshot);
+                    }
+                }
+                _ => {}
+            }
+        }
+        let store =
+            record.enters_thb() || (self.store_returns && record.kind() == BranchKind::Return);
+        if store {
+            self.hashers.push(record.target());
+        }
+    }
+
+    fn name(&self) -> String {
+        if self.assigned.is_empty() {
+            "fixed length path".into()
+        } else {
+            "variable length path".into()
+        }
+    }
+}
+
+/// The structure-of-arrays conditional path predictor: bit-identical
+/// to [`PathConditional`](crate::PathConditional) with a static hash
+/// assignment, built for throughput.
+///
+/// Drive it record-at-a-time through the fused [`apply`](Self::apply)
+/// (which also accumulates [`RunStats`-shaped](Self::predictions)
+/// statistics internally, with no per-record `HashMap` traffic), or
+/// through the standard `ConditionalPredictor` trait where a call site
+/// expects the reference protocol.
+///
+/// # Example
+///
+/// ```
+/// use vlpp_core::{CondKernel, HashAssignment, PathConfig};
+/// use vlpp_trace::{Addr, BranchRecord};
+///
+/// let mut kernel = CondKernel::new(&PathConfig::new(10), &HashAssignment::fixed(4));
+/// let record = BranchRecord::conditional(Addr::new(0x40), Addr::new(0x80), true);
+/// let (predicted, correct) = kernel.apply(&record).expect("conditional record");
+/// assert_eq!(predicted, false); // cold counters predict not-taken
+/// assert!(!correct);
+/// assert_eq!(kernel.predictions(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CondKernel {
+    core: KernelCore,
+    plane: CounterPlane,
+}
+
+impl CondKernel {
+    /// Builds the kernel for `config` and a static `assignment` — the
+    /// same parameters `PathConditional::new` takes.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as the reference constructor
+    /// (index width out of `1..=28`, zero THB capacity).
+    pub fn new(config: &PathConfig, assignment: &HashAssignment) -> Self {
+        CondKernel {
+            plane: CounterPlane::new(1 << config.index_bits),
+            core: KernelCore::new(config, assignment),
+        }
+    }
+
+    /// Runs one record through the full predict → score → train →
+    /// observe protocol. Returns `(predicted_taken, correct)` for
+    /// conditional records, `None` (observe only) otherwise.
+    #[inline]
+    pub fn apply(&mut self, record: &BranchRecord) -> Option<(bool, bool)> {
+        if record.is_conditional() {
+            let (hash, row) = self.core.resolve(record.pc());
+            let index = self.core.index(hash);
+            let taken = record.taken();
+            let predicted = self.plane.predict_update(index, taken);
+            let correct = predicted == taken;
+            self.core.score(row, correct);
+            self.core.observe_predicted(record);
+            Some((predicted, correct))
+        } else {
+            self.core.observe(record);
+            None
+        }
+    }
+
+    /// Total predictions scored through [`apply`](Self::apply).
+    pub fn predictions(&self) -> u64 {
+        self.core.predictions()
+    }
+
+    /// Total mispredictions scored through [`apply`](Self::apply).
+    pub fn mispredictions(&self) -> u64 {
+        self.core.mispredictions()
+    }
+
+    /// Number of distinct static branches predicted.
+    pub fn static_branches(&self) -> usize {
+        self.core.rows.iter().filter(|r| r.predictions > 0).count()
+    }
+
+    /// Per-branch `(pc, predictions, mispredictions)` rows for branches
+    /// that were actually predicted, in first-seen order.
+    pub fn branch_stats(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.core
+            .rows
+            .iter()
+            .filter(|r| r.predictions > 0)
+            .map(|r| (r.pc, r.predictions, r.mispredictions))
+    }
+
+    /// Every counter value in index order (diagnostic; the differential
+    /// tests compare this against the reference table).
+    pub fn counter_values(&self) -> Vec<u8> {
+        self.plane.values()
+    }
+
+    /// The second-level table size in bytes.
+    pub fn table_bytes(&self) -> u64 {
+        self.plane.bytes()
+    }
+}
+
+impl BranchObserver for CondKernel {
+    fn observe(&mut self, record: &BranchRecord) {
+        self.core.observe(record);
+    }
+}
+
+impl ConditionalPredictor for CondKernel {
+    fn predict(&mut self, pc: Addr) -> bool {
+        let (hash, _) = self.core.resolve(pc);
+        self.plane.predict_taken(self.core.index(hash))
+    }
+
+    fn train(&mut self, pc: Addr, taken: bool) {
+        let (hash, _) = self.core.resolve(pc);
+        self.plane.update(self.core.index(hash), taken);
+    }
+
+    fn name(&self) -> String {
+        self.core.name()
+    }
+}
+
+/// The structure-of-arrays indirect path predictor: bit-identical to
+/// [`PathIndirect`](crate::PathIndirect) with a static hash
+/// assignment. See [`CondKernel`] for the layout story.
+///
+/// # Example
+///
+/// ```
+/// use vlpp_core::{HashAssignment, IndKernel, PathConfig};
+/// use vlpp_trace::{Addr, BranchRecord};
+///
+/// let mut kernel = IndKernel::new(&PathConfig::new(8), &HashAssignment::fixed(2));
+/// let record = BranchRecord::indirect(Addr::new(0x40), Addr::new(0x9000));
+/// let (target, correct) = kernel.apply(&record).expect("indirect record");
+/// assert_eq!(target, Addr::NULL); // cold table
+/// assert!(!correct);
+/// ```
+#[derive(Debug, Clone)]
+pub struct IndKernel {
+    core: KernelCore,
+    plane: TargetPlane,
+}
+
+impl IndKernel {
+    /// Builds the kernel for `config` and a static `assignment` — the
+    /// same parameters `PathIndirect::new` takes.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as the reference constructor.
+    pub fn new(config: &PathConfig, assignment: &HashAssignment) -> Self {
+        IndKernel {
+            plane: TargetPlane::new(1 << config.index_bits),
+            core: KernelCore::new(config, assignment),
+        }
+    }
+
+    /// Runs one record through the full predict → score → train →
+    /// observe protocol. Returns `(predicted_target, correct)` for
+    /// indirect records (returns excluded, as in the paper), `None`
+    /// otherwise.
+    #[inline]
+    pub fn apply(&mut self, record: &BranchRecord) -> Option<(Addr, bool)> {
+        if record.is_indirect() {
+            let pc = record.pc();
+            let (hash, row) = self.core.resolve(pc);
+            let index = self.core.index(hash);
+            let target = record.target();
+            let predicted = self.plane.predict_train(index, pc, target);
+            let correct = predicted == target;
+            self.core.score(row, correct);
+            self.core.observe_predicted(record);
+            Some((predicted, correct))
+        } else {
+            self.core.observe(record);
+            None
+        }
+    }
+
+    /// Total predictions scored through [`apply`](Self::apply).
+    pub fn predictions(&self) -> u64 {
+        self.core.predictions()
+    }
+
+    /// Total mispredictions scored through [`apply`](Self::apply).
+    pub fn mispredictions(&self) -> u64 {
+        self.core.mispredictions()
+    }
+
+    /// Number of distinct static branches predicted.
+    pub fn static_branches(&self) -> usize {
+        self.core.rows.iter().filter(|r| r.predictions > 0).count()
+    }
+
+    /// Per-branch `(pc, predictions, mispredictions)` rows for branches
+    /// that were actually predicted, in first-seen order.
+    pub fn branch_stats(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.core
+            .rows
+            .iter()
+            .filter(|r| r.predictions > 0)
+            .map(|r| (r.pc, r.predictions, r.mispredictions))
+    }
+
+    /// Every target register in index order (diagnostic; the
+    /// differential tests compare this against the reference table).
+    pub fn target_entries(&self) -> Vec<Option<u32>> {
+        self.plane.entries()
+    }
+
+    /// The second-level table size in bytes.
+    pub fn table_bytes(&self) -> u64 {
+        self.plane.bytes()
+    }
+}
+
+impl BranchObserver for IndKernel {
+    fn observe(&mut self, record: &BranchRecord) {
+        self.core.observe(record);
+    }
+}
+
+impl IndirectPredictor for IndKernel {
+    fn predict(&mut self, pc: Addr) -> Addr {
+        let (hash, _) = self.core.resolve(pc);
+        self.plane.predict(self.core.index(hash), pc)
+    }
+
+    fn train(&mut self, pc: Addr, target: Addr) {
+        let (hash, _) = self.core.resolve(pc);
+        self.plane.train(self.core.index(hash), target);
+    }
+
+    fn name(&self) -> String {
+        self.core.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::path::{PathConditional, PathIndirect};
+
+    fn cond(pc: u64, target: u64, taken: bool) -> BranchRecord {
+        BranchRecord::conditional(Addr::new(pc), Addr::new(target), taken)
+    }
+
+    /// A deterministic mixed-kind record stream.
+    fn stream(n: usize, seed: u64) -> Vec<BranchRecord> {
+        let mut x = seed;
+        (0..n)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let pc = 0x40 + ((x >> 40) & 0x3f) * 4;
+                let target = ((x >> 20) & 0xff) << 2;
+                match (x >> 10) % 5 {
+                    0 => BranchRecord::indirect(Addr::new(pc), Addr::new(0x4000 + target)),
+                    1 => BranchRecord::call(Addr::new(pc), Addr::new(0x8000 + target)),
+                    2 => BranchRecord::ret(Addr::new(pc), Addr::new(0x100 + target)),
+                    _ => cond(pc, target, (x >> 5) & 1 == 1),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn cond_kernel_matches_reference_on_a_mixed_stream() {
+        let config = PathConfig::new(10);
+        let mut assignment = HashAssignment::fixed(6);
+        assignment.assign(Addr::new(0x44), 1);
+        assignment.assign(Addr::new(0x48), 13);
+        let mut kernel = CondKernel::new(&config, &assignment);
+        let mut reference = PathConditional::new(config, assignment);
+        for record in stream(4000, 7) {
+            if record.is_conditional() {
+                let expected = reference.predict(record.pc());
+                reference.train(record.pc(), record.taken());
+                let (predicted, correct) = kernel.apply(&record).expect("conditional");
+                assert_eq!(predicted, expected);
+                assert_eq!(correct, expected == record.taken());
+            } else {
+                assert_eq!(kernel.apply(&record), None);
+            }
+            reference.observe(&record);
+        }
+        assert_eq!(kernel.counter_values(), reference.counter_values());
+    }
+
+    #[test]
+    fn ind_kernel_matches_reference_on_a_mixed_stream() {
+        let config = PathConfig::new(8);
+        let mut assignment = HashAssignment::fixed(3);
+        assignment.assign(Addr::new(0x50), 8);
+        let mut kernel = IndKernel::new(&config, &assignment);
+        let mut reference = PathIndirect::new(config, assignment);
+        for record in stream(4000, 21) {
+            if record.is_indirect() {
+                let expected = reference.predict(record.pc());
+                reference.train(record.pc(), record.target());
+                let (predicted, correct) = kernel.apply(&record).expect("indirect");
+                assert_eq!(predicted, expected);
+                assert_eq!(correct, expected == record.target());
+            } else {
+                assert_eq!(kernel.apply(&record), None);
+            }
+            reference.observe(&record);
+        }
+        assert_eq!(kernel.target_entries(), reference.target_entries());
+    }
+
+    #[test]
+    fn kernel_stats_count_like_run_stats() {
+        let config = PathConfig::new(8);
+        let mut kernel = CondKernel::new(&config, &HashAssignment::fixed(2));
+        let records = [cond(0x40, 0x80, true), cond(0x40, 0x80, true), cond(0x44, 0x90, false)];
+        for record in &records {
+            kernel.apply(record);
+        }
+        assert_eq!(kernel.predictions(), 3);
+        assert_eq!(kernel.static_branches(), 2);
+        let by_pc: HashMap<u64, (u64, u64)> =
+            kernel.branch_stats().map(|(pc, p, m)| (pc, (p, m))).collect();
+        assert_eq!(by_pc[&0x40].0, 2);
+        assert_eq!(by_pc[&0x44], (1, 0), "cold counter predicts not-taken: correct");
+        let total: u64 = by_pc.values().map(|v| v.1).sum();
+        assert_eq!(total, kernel.mispredictions());
+    }
+
+    #[test]
+    fn trait_protocol_matches_fused_apply() {
+        let config = PathConfig::new(9);
+        let assignment = HashAssignment::fixed(5);
+        let mut fused = CondKernel::new(&config, &assignment);
+        let mut stepwise = CondKernel::new(&config, &assignment);
+        for record in stream(2000, 3) {
+            let via_apply = fused.apply(&record);
+            if record.is_conditional() {
+                let predicted = stepwise.predict(record.pc());
+                stepwise.train(record.pc(), record.taken());
+                assert_eq!(via_apply.map(|(p, _)| p), Some(predicted));
+            }
+            stepwise.observe(&record);
+        }
+        assert_eq!(fused.counter_values(), stepwise.counter_values());
+    }
+
+    #[test]
+    fn history_stack_restores_like_reference() {
+        let config = PathConfig::new(10).with_history_stack(4);
+        let assignment = HashAssignment::fixed(4);
+        let mut kernel = CondKernel::new(&config, &assignment);
+        let mut reference = PathConditional::new(config, assignment);
+        let mut x = 11u64;
+        for i in 0..3000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let record = match i % 7 {
+                0 => BranchRecord::call(Addr::new(0x200), Addr::new(0x4000)),
+                3 => BranchRecord::ret(Addr::new(0x4100), Addr::new(0x204)),
+                _ => cond(0x100 + (i % 5) * 4, ((x >> 30) & 0xff) << 2, (x >> 9) & 1 == 1),
+            };
+            if record.is_conditional() {
+                let expected = reference.predict(record.pc());
+                reference.train(record.pc(), record.taken());
+                let (predicted, _) = kernel.apply(&record).expect("conditional");
+                assert_eq!(predicted, expected, "record {i}");
+            } else {
+                kernel.apply(&record);
+            }
+            reference.observe(&record);
+        }
+        assert_eq!(kernel.counter_values(), reference.counter_values());
+    }
+
+    #[test]
+    fn assignment_above_capacity_clamps_like_reference() {
+        let mut config = PathConfig::new(8);
+        config.thb_capacity = 4;
+        let assignment = HashAssignment::fixed(32); // clamps to 4
+        let mut kernel = CondKernel::new(&config, &assignment);
+        let mut reference = PathConditional::new(config, assignment);
+        for record in stream(1000, 5) {
+            if record.is_conditional() {
+                let expected = reference.predict(record.pc());
+                reference.train(record.pc(), record.taken());
+                assert_eq!(kernel.apply(&record).map(|(p, _)| p), Some(expected));
+            } else {
+                kernel.apply(&record);
+            }
+            reference.observe(&record);
+        }
+    }
+
+    #[test]
+    fn names_match_the_reference() {
+        let config = PathConfig::new(8);
+        let fixed = CondKernel::new(&config, &HashAssignment::fixed(4));
+        assert_eq!(fixed.name(), "fixed length path");
+        let mut a = HashAssignment::fixed(4);
+        a.assign(Addr::new(0x10), 2);
+        let variable = IndKernel::new(&config, &a);
+        assert_eq!(variable.name(), "variable length path");
+    }
+
+    #[test]
+    fn target_plane_entries_round_trip() {
+        let mut plane = TargetPlane::new(70);
+        assert_eq!(plane.entry(69), None);
+        plane.train(69, Addr::new(0xdead_beef_1234));
+        assert_eq!(plane.entry(69), Some(0xbeef_1234));
+        assert_eq!(plane.entries().iter().filter(|e| e.is_some()).count(), 1);
+        assert_eq!(plane.bytes(), 280);
+    }
+}

@@ -26,6 +26,7 @@
 //! | §3.4 hash selection | [`select`] |
 //! | §3.5 profiling heuristic | [`profile`] |
 //! | §4.1 single-XOR evaluation | [`hash::IncrementalHashers`] |
+//! | §4 practicality: the throughput kernel | [`kernel`] |
 //! | §4.3 pipelining / HFNT (Fig. 3, 4) | [`hfnt`] |
 //! | §6 future work: call/return history stack | [`stack`] |
 //! | §2 related work: Tarlescu elastic history | [`elastic`] |
@@ -64,6 +65,7 @@ pub mod cascade;
 pub mod elastic;
 pub mod hash;
 pub mod hfnt;
+pub mod kernel;
 pub mod path;
 pub mod profile;
 pub mod select;
@@ -73,8 +75,9 @@ pub mod thb;
 
 pub use cascade::DualLengthPathIndirect;
 pub use elastic::ElasticGshare;
-pub use hash::{hash_path, IncrementalHashers};
+pub use hash::{hash_path, IncrementalHashers, RollingHashers};
 pub use hfnt::{Hfnt, HfntStats};
+pub use kernel::{CondKernel, IndKernel, TargetPlane};
 pub use path::{PathConditional, PathConfig, PathIndirect};
 pub use profile::{ProfileBuilder, ProfileConfig, ProfileReport};
 pub use select::{DynamicSelector, HashAssignment};

@@ -258,6 +258,12 @@ impl PathConditional {
     pub fn table_bytes(&self) -> u64 {
         self.table.bytes()
     }
+
+    /// Every counter value in index order — the diagnostic surface the
+    /// kernel differential tests compare against.
+    pub fn counter_values(&self) -> Vec<u8> {
+        self.table.values()
+    }
 }
 
 impl BranchObserver for PathConditional {
@@ -358,6 +364,13 @@ impl PathIndirect {
     /// The second-level table size in bytes.
     pub fn table_bytes(&self) -> u64 {
         self.table.bytes()
+    }
+
+    /// Every entry's stored low-32 value in index order (`None` for
+    /// never-written entries) — the diagnostic surface the kernel
+    /// differential tests compare against.
+    pub fn target_entries(&self) -> Vec<Option<u32>> {
+        self.table.stored()
     }
 }
 

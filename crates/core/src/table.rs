@@ -59,6 +59,12 @@ impl CounterTable {
     pub fn bytes(&self) -> u64 {
         self.counters.len() as u64 / 4
     }
+
+    /// Every counter value in index order — the diagnostic form the
+    /// differential tests compare against the packed counter plane.
+    pub fn values(&self) -> Vec<u8> {
+        self.counters.iter().map(|c| c.value()).collect()
+    }
 }
 
 /// A table of target-address registers indexed by a path hash.
@@ -129,6 +135,13 @@ impl TargetTable {
     /// The table size in bytes under the 4-bytes-per-entry accounting.
     pub fn bytes(&self) -> u64 {
         self.low32.len() as u64 * 4
+    }
+
+    /// Every entry's stored low-32 value in index order (`None` for
+    /// never-written entries) — the diagnostic form the differential
+    /// tests compare against the packed target plane.
+    pub fn stored(&self) -> Vec<Option<u32>> {
+        self.low32.iter().zip(&self.valid).map(|(&v, &ok)| ok.then_some(v)).collect()
     }
 }
 

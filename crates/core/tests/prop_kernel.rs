@@ -1,0 +1,356 @@
+//! The differential test layer pinning the structure-of-arrays
+//! throughput kernels bit-for-bit to the boxed reference predictors,
+//! plus the §4.1 incremental-hashing properties the kernel's O(1)
+//! lookup rests on.
+//!
+//! Seeded configurations × synthetic traces drive [`CondKernel`] /
+//! [`IndKernel`] and [`PathConditional`] / [`PathIndirect`] side by
+//! side and assert that per-record predictions, final counter/target
+//! state, and final statistics are exactly equal — not approximately,
+//! not statistically: any single differing bit fails the property.
+
+use std::collections::HashMap;
+
+use vlpp_check::{check, prop_assert, prop_assert_eq, CheckConfig};
+use vlpp_core::{
+    hash_path, CondKernel, HashAssignment, IncrementalHashers, IndKernel, PathConditional,
+    PathConfig, PathIndirect, Thb, MAX_PATH_LENGTH,
+};
+use vlpp_predict::{BranchObserver, ConditionalPredictor, IndirectPredictor};
+use vlpp_trace::{Addr, BranchRecord, Trace};
+
+/// A random predictor configuration: index width, THB capacity, the
+/// §3.2 returns policy, and (sometimes) a §6 history stack.
+fn random_config(g: &mut vlpp_check::Gen) -> PathConfig {
+    let mut config = PathConfig::new(g.range_u32(2, 12));
+    config.thb_capacity = g.range_usize(1, MAX_PATH_LENGTH);
+    config.store_returns = g.below(2) == 0;
+    if g.below(2) == 0 {
+        config.history_stack_depth = Some(g.range_usize(1, 8));
+    }
+    config
+}
+
+/// A random hash assignment over the small pc universe
+/// [`random_trace`] draws branches from. Hash numbers deliberately
+/// range over all of `1..=32` so some exceed the THB capacity and
+/// exercise the clamp.
+fn random_assignment(g: &mut vlpp_check::Gen) -> HashAssignment {
+    let mut assignment = HashAssignment::fixed(g.range_u8(1, 32));
+    for _ in 0..g.range_usize(0, 12) {
+        assignment.assign(Addr::new(0x1000 | (g.below(64) << 2)), g.range_u8(1, 32));
+    }
+    assignment
+}
+
+/// A deterministic mixed trace over a small pc universe: conditionals,
+/// indirects, unconditionals, and call/return pairs (so the history
+/// stack sees pops of pushed frames *and* pops of an empty stack).
+fn random_trace(g: &mut vlpp_check::Gen, n: usize) -> Trace {
+    let mut trace = Trace::new();
+    for _ in 0..n {
+        let pc = Addr::new(0x1000 | (g.below(64) << 2));
+        let target = Addr::new(0x2000 | (g.below(256) << 2));
+        match g.below(8) {
+            0 => trace.push(BranchRecord::indirect(pc, target)),
+            1 => trace.push(BranchRecord::call(pc, target)),
+            2 => trace.push(BranchRecord::ret(pc, target)),
+            3 => trace.push(BranchRecord::unconditional(pc, target)),
+            _ => trace.push(BranchRecord::conditional(pc, target, g.below(2) == 0)),
+        }
+    }
+    trace
+}
+
+/// The SoA conditional kernel is bit-identical to the boxed reference:
+/// every per-record prediction and correctness verdict, the final
+/// packed counter plane vs the reference table, and the final totals
+/// and per-branch statistics.
+#[test]
+fn cond_kernel_is_bit_identical_to_boxed_reference() {
+    check("cond_kernel_is_bit_identical_to_boxed_reference", CheckConfig::default(), |g| {
+        let config = random_config(g);
+        let assignment = random_assignment(g);
+        let trace = random_trace(g, 600);
+
+        let mut kernel = CondKernel::new(&config, &assignment);
+        let mut reference = PathConditional::new(config, assignment);
+        let mut predictions = 0u64;
+        let mut mispredictions = 0u64;
+        let mut per_branch: HashMap<u64, (u64, u64)> = HashMap::new();
+        for (i, record) in trace.iter().enumerate() {
+            let got = kernel.apply(record);
+            if record.is_conditional() {
+                let expected = reference.predict(record.pc());
+                reference.train(record.pc(), record.taken());
+                let correct = expected == record.taken();
+                prop_assert_eq!(got, Some((expected, correct)), "record {}", i);
+                predictions += 1;
+                let row = per_branch.entry(record.pc().raw()).or_insert((0, 0));
+                row.0 += 1;
+                if !correct {
+                    mispredictions += 1;
+                    row.1 += 1;
+                }
+            } else {
+                prop_assert_eq!(got, None, "record {}", i);
+            }
+            reference.observe(record);
+        }
+        prop_assert_eq!(kernel.counter_values(), reference.counter_values(), "counter state");
+        prop_assert_eq!(kernel.predictions(), predictions);
+        prop_assert_eq!(kernel.mispredictions(), mispredictions);
+        prop_assert_eq!(kernel.static_branches(), per_branch.len());
+        let rows: HashMap<u64, (u64, u64)> =
+            kernel.branch_stats().map(|(pc, p, m)| (pc, (p, m))).collect();
+        prop_assert_eq!(rows, per_branch, "per-branch stats");
+        Ok(())
+    });
+}
+
+/// The SoA indirect kernel is bit-identical to the boxed reference:
+/// every per-record target prediction, the final packed target plane vs
+/// the reference table, and the final statistics.
+#[test]
+fn ind_kernel_is_bit_identical_to_boxed_reference() {
+    check("ind_kernel_is_bit_identical_to_boxed_reference", CheckConfig::default(), |g| {
+        let config = random_config(g);
+        let assignment = random_assignment(g);
+        let trace = random_trace(g, 600);
+
+        let mut kernel = IndKernel::new(&config, &assignment);
+        let mut reference = PathIndirect::new(config, assignment);
+        let mut predictions = 0u64;
+        let mut mispredictions = 0u64;
+        let mut per_branch: HashMap<u64, (u64, u64)> = HashMap::new();
+        for (i, record) in trace.iter().enumerate() {
+            let got = kernel.apply(record);
+            if record.is_indirect() {
+                let expected = reference.predict(record.pc());
+                reference.train(record.pc(), record.target());
+                let correct = expected == record.target();
+                prop_assert_eq!(got, Some((expected, correct)), "record {}", i);
+                predictions += 1;
+                let row = per_branch.entry(record.pc().raw()).or_insert((0, 0));
+                row.0 += 1;
+                if !correct {
+                    mispredictions += 1;
+                    row.1 += 1;
+                }
+            } else {
+                prop_assert_eq!(got, None, "record {}", i);
+            }
+            reference.observe(record);
+        }
+        prop_assert_eq!(kernel.target_entries(), reference.target_entries(), "target state");
+        prop_assert_eq!(kernel.predictions(), predictions);
+        prop_assert_eq!(kernel.mispredictions(), mispredictions);
+        let rows: HashMap<u64, (u64, u64)> =
+            kernel.branch_stats().map(|(pc, p, m)| (pc, (p, m))).collect();
+        prop_assert_eq!(rows, per_branch, "per-branch stats");
+        Ok(())
+    });
+}
+
+/// The trait-protocol path (predict → train → observe as three calls)
+/// and the fused `apply` evolve the kernel identically — the serve
+/// executor and any trait-generic caller see the same state machine.
+#[test]
+fn kernel_trait_protocol_matches_fused_apply() {
+    check("kernel_trait_protocol_matches_fused_apply", CheckConfig::default(), |g| {
+        let config = random_config(g);
+        let assignment = random_assignment(g);
+        let trace = random_trace(g, 400);
+        let mut fused = CondKernel::new(&config, &assignment);
+        let mut stepwise = CondKernel::new(&config, &assignment);
+        for record in trace.iter() {
+            let via_apply = fused.apply(record);
+            if record.is_conditional() {
+                let predicted = stepwise.predict(record.pc());
+                stepwise.train(record.pc(), record.taken());
+                prop_assert_eq!(via_apply.map(|(p, _)| p), Some(predicted));
+            }
+            stepwise.observe(record);
+        }
+        prop_assert_eq!(fused.counter_values(), stepwise.counter_values());
+        Ok(())
+    });
+}
+
+/// Deeply nested (and unbalanced) call/return streams keep the kernel
+/// and reference in lockstep: stack overflow drops the oldest frame,
+/// returns with an empty stack are no-ops, and restores roll the
+/// registers back identically on both sides.
+#[test]
+fn kernel_matches_reference_under_deep_call_return_nesting() {
+    check("kernel_matches_reference_under_deep_call_return_nesting", CheckConfig::default(), |g| {
+        let mut config =
+            PathConfig::new(g.range_u32(4, 10)).with_history_stack(g.range_usize(1, 3));
+        config.thb_capacity = g.range_usize(1, 16);
+        let assignment = random_assignment(g);
+        let mut kernel = CondKernel::new(&config, &assignment);
+        let mut reference = PathConditional::new(config, assignment);
+        // Heavily call/return-biased stream: nesting routinely exceeds
+        // the stack depth, and returns often outnumber calls.
+        for i in 0..500 {
+            let pc = Addr::new(0x1000 | (g.below(64) << 2));
+            let target = Addr::new(0x2000 | (g.below(256) << 2));
+            let record = match g.below(4) {
+                0 => BranchRecord::call(pc, target),
+                1 | 2 => BranchRecord::ret(pc, target),
+                _ => BranchRecord::conditional(pc, target, g.below(2) == 0),
+            };
+            let got = kernel.apply(&record);
+            if record.is_conditional() {
+                let expected = reference.predict(record.pc());
+                reference.train(record.pc(), record.taken());
+                prop_assert_eq!(got.map(|(p, _)| p), Some(expected), "record {}", i);
+            }
+            reference.observe(&record);
+        }
+        prop_assert_eq!(kernel.counter_values(), reference.counter_values());
+        Ok(())
+    });
+}
+
+/// §4.1 soundness, step by step: after every push, each partial-sum
+/// register `I_X` equals a from-scratch §3.3 re-hash of the THB's
+/// current path — including at and past the history-length boundary,
+/// where the sliding window starts dropping old targets.
+#[test]
+fn partial_sums_equal_rehash_after_every_step() {
+    check("partial_sums_equal_rehash_after_every_step", CheckConfig::default(), |g| {
+        let k = g.range_u32(1, 28);
+        let capacity = g.range_usize(1, MAX_PATH_LENGTH);
+        // Push well past the capacity so every register crosses its
+        // history-length boundary (the wrap from a partially-filled to
+        // a saturated window).
+        let targets = g.vec(capacity + 1, capacity * 2 + 40, |g| g.u64());
+        let mut thb = Thb::new(capacity, k);
+        let mut inc = IncrementalHashers::new(capacity, k);
+        for (step, &raw) in targets.iter().enumerate() {
+            let t = Addr::new(raw);
+            thb.push(t);
+            inc.push(t);
+            for len in 1..=capacity {
+                prop_assert_eq!(
+                    inc.index(len),
+                    hash_path(&thb, len),
+                    "register {} at step {}",
+                    len,
+                    step
+                );
+            }
+        }
+        Ok(())
+    });
+}
+
+/// §4.1 rollback: restoring a snapshot rewinds every register to its
+/// exact value at the snapshot point, and the recurrence then evolves
+/// from the restored state exactly as it evolved from the original —
+/// the property the §6 history stack (and crash-safe resume) rely on.
+#[test]
+fn snapshot_restore_rolls_registers_back_exactly() {
+    check("snapshot_restore_rolls_registers_back_exactly", CheckConfig::default(), |g| {
+        let k = g.range_u32(1, 28);
+        let capacity = g.range_usize(1, MAX_PATH_LENGTH);
+        let prefix = g.vec(0, 40, |g| g.u64());
+        let detour = g.vec(1, 40, |g| g.u64());
+        let suffix = g.vec(0, 40, |g| g.u64());
+
+        let mut inc = IncrementalHashers::new(capacity, k);
+        for &raw in &prefix {
+            inc.push(Addr::new(raw));
+        }
+        let snapshot = inc.snapshot();
+        for &raw in &detour {
+            inc.push(Addr::new(raw));
+        }
+        inc.restore(&snapshot);
+        prop_assert_eq!(inc.indices(), &snapshot[..], "registers after rollback");
+
+        // From the restored state, the future must look exactly as it
+        // would have had the detour never happened.
+        let mut replay = IncrementalHashers::new(capacity, k);
+        for &raw in prefix.iter().chain(&suffix) {
+            replay.push(Addr::new(raw));
+        }
+        for &raw in &suffix {
+            inc.push(Addr::new(raw));
+        }
+        prop_assert_eq!(inc.indices(), replay.indices(), "post-rollback evolution");
+        Ok(())
+    });
+}
+
+/// Register-file truncation is sound: because the §4.1 recurrence for
+/// `I_X` reads only registers below `X`, a hasher truncated to `m`
+/// registers maintains exactly the first `m` registers of the
+/// full-capacity hasher through arbitrary pushes — the property that
+/// lets the kernel size its register file to the longest hash actually
+/// assigned.
+#[test]
+fn truncated_registers_match_full_capacity_prefix() {
+    check("truncated_registers_match_full_capacity_prefix", CheckConfig::default(), |g| {
+        let k = g.range_u32(1, 28);
+        let m = g.range_usize(1, MAX_PATH_LENGTH);
+        let targets = g.vec(0, 100, |g| g.u64());
+        let mut truncated = IncrementalHashers::new(m, k);
+        let mut full = IncrementalHashers::new(MAX_PATH_LENGTH, k);
+        for &raw in &targets {
+            truncated.push(Addr::new(raw));
+            full.push(Addr::new(raw));
+            prop_assert_eq!(truncated.indices(), &full.indices()[..m]);
+        }
+        Ok(())
+    });
+}
+
+/// End-to-end length-boundary check on the kernel itself: a hash number
+/// assigned *above* the THB capacity clamps to the capacity on both
+/// sides, so predictions stay bit-identical at the boundary.
+#[test]
+fn kernel_clamps_overlong_hashes_like_reference() {
+    check("kernel_clamps_overlong_hashes_like_reference", CheckConfig::default(), |g| {
+        let mut config = PathConfig::new(g.range_u32(2, 10));
+        config.thb_capacity = g.range_usize(1, 8);
+        // Every hash number in the assignment exceeds the capacity.
+        let mut assignment = HashAssignment::fixed(g.range_u8(9, 32));
+        for _ in 0..g.range_usize(0, 6) {
+            assignment.assign(Addr::new(0x1000 | (g.below(64) << 2)), g.range_u8(9, 32));
+        }
+        let trace = random_trace(g, 300);
+        let mut kernel = CondKernel::new(&config, &assignment);
+        let mut reference = PathConditional::new(config, assignment);
+        for record in trace.iter() {
+            let got = kernel.apply(record);
+            if record.is_conditional() {
+                let expected = reference.predict(record.pc());
+                reference.train(record.pc(), record.taken());
+                prop_assert_eq!(got.map(|(p, _)| p), Some(expected));
+            }
+            reference.observe(record);
+        }
+        prop_assert_eq!(kernel.counter_values(), reference.counter_values());
+        Ok(())
+    });
+}
+
+/// The packed planes really are the compact layout they claim: byte
+/// accounting matches the boxed tables entry for entry.
+#[test]
+fn kernel_table_bytes_match_reference_accounting() {
+    check("kernel_table_bytes_match_reference_accounting", CheckConfig::default(), |g| {
+        let config = PathConfig::new(g.range_u32(2, 12));
+        let assignment = HashAssignment::fixed(g.range_u8(1, 32));
+        let cond = CondKernel::new(&config, &assignment);
+        let cond_ref = PathConditional::new(config.clone(), assignment.clone());
+        prop_assert_eq!(cond.table_bytes(), cond_ref.table_bytes());
+        let ind = IndKernel::new(&config, &assignment);
+        let ind_ref = PathIndirect::new(config, assignment);
+        prop_assert_eq!(ind.table_bytes(), ind_ref.table_bytes());
+        prop_assert!(cond.table_bytes() < ind.table_bytes(), "2-bit counters vs 4-byte targets");
+        Ok(())
+    });
+}

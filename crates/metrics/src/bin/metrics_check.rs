@@ -14,9 +14,13 @@
 //! emit: `{"bench":name,"iters":n,"median_ns":...,...}`), validates
 //! them, and — with `--baseline FILE` — compares each bench's
 //! `median_ns` against the committed baseline, failing if any regresses
-//! by more than `--max-regress PCT` (default 30). Benches absent from
-//! the baseline pass with a note, so adding a bench does not require a
-//! lockstep baseline update. Used by the CI bench-smoke job.
+//! by more than `--max-regress PCT` (default 30). Baseline entries may
+//! also set absolute floors: `min_records_per_sec` (gates the BENCH
+//! line's `records_per_sec`) and `min_speedup` (gates
+//! `speedup_vs_boxed`); a floor whose bench or field is missing fails.
+//! Benches absent from the baseline pass with a note, so adding a bench
+//! does not require a lockstep baseline update. Used by the CI
+//! bench-smoke job.
 
 use std::io::Read;
 use std::process::ExitCode;
@@ -35,6 +39,10 @@ Reads stdin. Default: validate the first `METRICS {json}` line.
 --bench: validate every `BENCH {json}` line, and with --baseline also
 compare each bench's median_ns against the baseline file (a JSON object
 mapping bench name -> {\"median_ns\": N}), failing on > PCT regression.
+Baseline entries may set absolute floors instead of (or besides) a
+median: {\"min_records_per_sec\": N} and {\"min_speedup\": X} gate the
+BENCH line's records_per_sec / speedup_vs_boxed fields; a floor fails
+when its bench or field is missing or below the floor.
 ";
 
 fn main() -> ExitCode {
@@ -146,6 +154,8 @@ fn check_bench_lines(input: &str, baseline_path: Option<&str>, max_regress_pct: 
 
     let mut checked = 0usize;
     let mut compared = 0usize;
+    let mut gated = 0usize;
+    let mut seen: Vec<String> = Vec::new();
     for payload in input.lines().filter_map(|line| line.strip_prefix("BENCH ")) {
         let report = match JsonValue::parse(payload.trim()) {
             Ok(value) => value,
@@ -168,32 +178,103 @@ fn check_bench_lines(input: &str, baseline_path: Option<&str>, max_regress_pct: 
             ));
         }
         checked += 1;
+        seen.push(name.to_string());
 
         let Some(baseline) = &baseline else { continue };
-        let Some(reference) =
-            baseline.get(name).and_then(|entry| entry.get("median_ns")).and_then(JsonValue::as_u64)
-        else {
+        let Some(entry) = baseline.get(name) else {
             println!("note: bench `{name}` has no baseline entry; skipping comparison");
             continue;
         };
-        if reference == 0 {
-            return fail(&format!("bench `{name}`: baseline median_ns is 0"));
+
+        // Relative gate: median against the recorded median, where the
+        // baseline entry records one.
+        if let Some(reference) = entry.get("median_ns").and_then(JsonValue::as_u64) {
+            if reference == 0 {
+                return fail(&format!("bench `{name}`: baseline median_ns is 0"));
+            }
+            compared += 1;
+            let regress_pct = 100.0 * (median as f64 - reference as f64) / reference as f64;
+            if regress_pct > max_regress_pct {
+                return fail(&format!(
+                    "bench `{name}` regressed {regress_pct:.1}% (median {median} ns vs baseline \
+                     {reference} ns, limit {max_regress_pct:.0}%)"
+                ));
+            }
+            println!(
+                "ok: bench `{name}` median {median} ns vs baseline {reference} ns \
+                 ({regress_pct:+.1}%)"
+            );
         }
-        compared += 1;
-        let regress_pct = 100.0 * (median as f64 - reference as f64) / reference as f64;
-        if regress_pct > max_regress_pct {
-            return fail(&format!(
-                "bench `{name}` regressed {regress_pct:.1}% (median {median} ns vs baseline \
-                 {reference} ns, limit {max_regress_pct:.0}%)"
-            ));
+
+        // Absolute floors: throughput and speedup-over-boxed-dispatch,
+        // where the baseline entry sets one. A floor with no matching
+        // field on the BENCH line is a failure — a bench that stopped
+        // reporting must not pass its gate by omission.
+        if let Some(floor) = entry.get("min_records_per_sec").and_then(JsonValue::as_u64) {
+            gated += 1;
+            match report.get("records_per_sec").and_then(JsonValue::as_u64) {
+                None => {
+                    return fail(&format!(
+                        "bench `{name}`: baseline sets min_records_per_sec but the BENCH line \
+                         carries no records_per_sec field"
+                    ));
+                }
+                Some(value) if value < floor => {
+                    return fail(&format!(
+                        "bench `{name}`: records_per_sec {value} is below the baseline floor \
+                         {floor}"
+                    ));
+                }
+                Some(value) => {
+                    println!("ok: bench `{name}` records_per_sec {value} >= floor {floor}");
+                }
+            }
         }
-        println!(
-            "ok: bench `{name}` median {median} ns vs baseline {reference} ns ({regress_pct:+.1}%)"
-        );
+        if let Some(floor) = entry.get("min_speedup").and_then(JsonValue::as_f64) {
+            gated += 1;
+            match report.get("speedup_vs_boxed").and_then(JsonValue::as_f64) {
+                None => {
+                    return fail(&format!(
+                        "bench `{name}`: baseline sets min_speedup but the BENCH line carries \
+                         no speedup_vs_boxed field"
+                    ));
+                }
+                Some(value) if value < floor => {
+                    return fail(&format!(
+                        "bench `{name}`: speedup_vs_boxed {value:.2} is below the baseline \
+                         floor {floor:.2}"
+                    ));
+                }
+                Some(value) => {
+                    println!(
+                        "ok: bench `{name}` speedup_vs_boxed {value:.2}x >= floor {floor:.2}x"
+                    );
+                }
+            }
+        }
     }
     if checked == 0 {
         return fail("no `BENCH {json}` line found on stdin");
     }
-    println!("ok: {checked} BENCH line(s) parse, {compared} compared against the baseline");
+
+    // A baseline entry that sets a floor *requires* its bench to run:
+    // a gate that silently stops running is indistinguishable from one
+    // that passes.
+    if let Some(entries) = baseline.as_ref().and_then(JsonValue::as_object) {
+        for (name, entry) in entries {
+            let has_floor =
+                entry.get("min_records_per_sec").is_some() || entry.get("min_speedup").is_some();
+            if has_floor && !seen.iter().any(|s| s == name) {
+                return fail(&format!(
+                    "baseline sets a floor for bench `{name}` but no such BENCH line was on stdin"
+                ));
+            }
+        }
+    }
+
+    println!(
+        "ok: {checked} BENCH line(s) parse, {compared} compared against the baseline, \
+         {gated} floor(s) enforced"
+    );
     ExitCode::SUCCESS
 }

@@ -69,7 +69,7 @@ mod twolevel;
 pub use bimodal::Bimodal;
 pub use btb::LastTargetBtb;
 pub use budget::Budget;
-pub use counter::Counter2;
+pub use counter::{Counter2, CounterPlane};
 pub use dhlf::Dhlf;
 pub use gshare::Gshare;
 pub use history::{OutcomeHistory, PathRegister};

@@ -47,6 +47,8 @@ experiments:
 subcommands (own flags; see SERVING.md):
   serve      prediction daemon over the framed JSON protocol
   loadgen    drive a running `vlpp serve` and verify its predictions
+  microbench predictions/sec: boxed dispatch vs the SoA kernel
+             (BENCH lines; see DESIGN.md \"hot-loop kernel\")
 
 options:
   --scale N  divide the paper's dynamic branch counts by N (default 16;
@@ -86,6 +88,7 @@ fn main() -> ExitCode {
         let outcome = match first.as_str() {
             "serve" => Some(vlpp_sim::serve::serve_main(&rest)),
             "loadgen" => Some(vlpp_sim::serve::loadgen::loadgen_main(&rest)),
+            "microbench" => Some(vlpp_sim::microbench::microbench_main(&rest)),
             _ => None,
         };
         if let Some(outcome) = outcome {

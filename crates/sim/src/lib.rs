@@ -50,6 +50,7 @@
 pub mod checkpoint;
 pub mod experiment;
 pub mod frontend;
+pub mod microbench;
 pub mod paper;
 pub mod report;
 pub mod runner;
@@ -58,4 +59,6 @@ pub mod serve;
 pub use checkpoint::{Checkpoint, SavedOutput};
 pub use experiment::{Scale, Workloads};
 pub use frontend::{run_frontend, FrontendCost, Penalties};
-pub use runner::{run_conditional, run_indirect, RunStats};
+pub use runner::{
+    run_conditional, run_indirect, run_path_conditional, run_path_indirect, RunStats,
+};

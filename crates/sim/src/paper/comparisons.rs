@@ -1,13 +1,13 @@
 //! Figures 5–8: per-benchmark predictor comparisons at a fixed table
 //! size.
 
-use vlpp_core::{HashAssignment, PathConditional, PathConfig, PathIndirect};
+use vlpp_core::{HashAssignment, PathConfig};
 use vlpp_predict::{Budget, Gshare, PathTargetCache, PatternTargetCache};
 use vlpp_synth::suite;
 
 use crate::experiment::Workloads;
 use crate::report::TextTable;
-use crate::runner::{run_conditional, run_indirect};
+use crate::runner::{run_conditional, run_indirect, run_path_conditional, run_path_indirect};
 
 use super::{BASELINE_PATH_BITS_PER_TARGET, FIG5_COND_BYTES, FIG7_IND_BYTES};
 
@@ -59,12 +59,11 @@ pub fn conditional_comparison(workloads: &Workloads, names: &[&str], bytes: u64)
         let gshare_stats = run_conditional(&mut gshare, &test);
 
         let config = PathConfig::new(index_bits);
-        let mut fixed = PathConditional::new(config.clone(), HashAssignment::fixed(fixed_length));
-        let fixed_stats = run_conditional(&mut fixed, &test);
+        let fixed_stats =
+            run_path_conditional(&config, &HashAssignment::fixed(fixed_length), &test);
 
         let report = workloads.profile_conditional(&spec, index_bits);
-        let mut variable = PathConditional::new(config, report.assignment.clone());
-        let variable_stats = run_conditional(&mut variable, &test);
+        let variable_stats = run_path_conditional(&config, &report.assignment, &test);
 
         CondRow {
             benchmark: name.to_string(),
@@ -97,12 +96,10 @@ pub fn indirect_comparison(workloads: &Workloads, names: &[&str], bytes: u64) ->
         let pattern_stats = run_indirect(&mut pattern, &test);
 
         let config = PathConfig::new(index_bits);
-        let mut fixed = PathIndirect::new(config.clone(), HashAssignment::fixed(fixed_length));
-        let fixed_stats = run_indirect(&mut fixed, &test);
+        let fixed_stats = run_path_indirect(&config, &HashAssignment::fixed(fixed_length), &test);
 
         let report = workloads.profile_indirect(&spec, index_bits);
-        let mut variable = PathIndirect::new(config, report.assignment.clone());
-        let variable_stats = run_indirect(&mut variable, &test);
+        let variable_stats = run_path_indirect(&config, &report.assignment, &test);
 
         IndRow {
             benchmark: name.to_string(),

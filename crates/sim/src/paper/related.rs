@@ -6,10 +6,7 @@
 //! schemes (DHLF, elastic gshare), hybrids (McFarling, Driesen–Hölzle
 //! dual-length), and the per-address-vs-global path question.
 
-use vlpp_core::{
-    elastic, DualLengthPathIndirect, ElasticGshare, HashAssignment, PathConditional, PathConfig,
-    PathIndirect,
-};
+use vlpp_core::{elastic, DualLengthPathIndirect, ElasticGshare, HashAssignment, PathConfig};
 use vlpp_predict::{
     Agree, BiMode, Bimodal, Budget, Dhlf, Gshare, Hybrid, LastTargetBtb, PathTargetCache,
     PatternTargetCache, PerAddressPathCache,
@@ -18,7 +15,7 @@ use vlpp_synth::suite;
 
 use crate::experiment::Workloads;
 use crate::report::{percent, TextTable};
-use crate::runner::{run_conditional, run_indirect};
+use crate::runner::{run_conditional, run_indirect, run_path_conditional, run_path_indirect};
 
 use super::{BASELINE_PATH_BITS_PER_TARGET, FIG5_COND_BYTES, FIG7_IND_BYTES};
 
@@ -78,20 +75,13 @@ pub fn related_conditional(workloads: &Workloads) -> Vec<RelatedRow> {
     let fixed_length = workloads.best_fixed_conditional_length(bits);
     push(
         "fixed length path",
-        run_conditional(
-            &mut PathConditional::new(PathConfig::new(bits), HashAssignment::fixed(fixed_length)),
-            &test,
-        )
-        .miss_rate(),
+        run_path_conditional(&PathConfig::new(bits), &HashAssignment::fixed(fixed_length), &test)
+            .miss_rate(),
     );
     let report = workloads.profile_conditional(&spec, bits);
     push(
         "variable length path",
-        run_conditional(
-            &mut PathConditional::new(PathConfig::new(bits), report.assignment.clone()),
-            &test,
-        )
-        .miss_rate(),
+        run_path_conditional(&PathConfig::new(bits), &report.assignment, &test).miss_rate(),
     );
     rows
 }
@@ -129,20 +119,13 @@ pub fn related_indirect(workloads: &Workloads) -> Vec<RelatedRow> {
     let fixed_length = workloads.best_fixed_indirect_length(bits);
     push(
         "fixed length path",
-        run_indirect(
-            &mut PathIndirect::new(PathConfig::new(bits), HashAssignment::fixed(fixed_length)),
-            &test,
-        )
-        .miss_rate(),
+        run_path_indirect(&PathConfig::new(bits), &HashAssignment::fixed(fixed_length), &test)
+            .miss_rate(),
     );
     let report = workloads.profile_indirect(&spec, bits);
     push(
         "variable length path",
-        run_indirect(
-            &mut PathIndirect::new(PathConfig::new(bits), report.assignment.clone()),
-            &test,
-        )
-        .miss_rate(),
+        run_path_indirect(&PathConfig::new(bits), &report.assignment, &test).miss_rate(),
     );
     rows
 }

@@ -1,7 +1,20 @@
 //! The trace-driven simulation loop and its statistics.
+//!
+//! Two loops coexist here. [`run_conditional`] / [`run_indirect`] drive
+//! *any* predictor through the standard predict → train → observe
+//! protocol via the traits — the general path every baseline uses.
+//! [`run_path_conditional`] / [`run_path_indirect`] are the throughput
+//! path for the paper's own predictor: they instantiate the
+//! structure-of-arrays kernels from `vlpp-core` and run the fused
+//! per-record step, which the differential suite pins bit-for-bit to
+//! the boxed reference. Both emit the same [`RunStats`]; the kernel
+//! loops additionally publish `sim.predict_ns` and
+//! `sim.records_per_sec` metrics.
 
 use std::collections::HashMap;
+use std::time::Instant;
 
+use vlpp_core::{CondKernel, HashAssignment, IndKernel, PathConfig};
 use vlpp_predict::{ConditionalPredictor, IndirectPredictor};
 use vlpp_trace::{Addr, Trace};
 
@@ -104,6 +117,70 @@ pub fn run_indirect<P: IndirectPredictor>(predictor: &mut P, trace: &Trace) -> R
     stats
 }
 
+/// Publishes the kernel loops' throughput metrics: the records-per-
+/// second gauge derived from the wall-clock the `sim.predict_ns` span
+/// also measured.
+fn record_throughput(records: usize, started: Instant) {
+    let elapsed = started.elapsed().as_secs_f64();
+    if elapsed > 0.0 {
+        vlpp_metrics::gauge("sim.records_per_sec").record((records as f64 / elapsed) as u64);
+    }
+}
+
+/// Materializes a kernel's internal statistics as the standard
+/// [`RunStats`].
+fn kernel_stats(
+    predictions: u64,
+    mispredictions: u64,
+    rows: impl Iterator<Item = (u64, u64, u64)>,
+) -> RunStats {
+    RunStats {
+        predictions,
+        mispredictions,
+        per_branch: rows.map(|(pc, p, m)| (pc, (p, m))).collect(),
+    }
+}
+
+/// Runs the paper's conditional path predictor over a trace through the
+/// structure-of-arrays kernel — the same protocol (and bit-identical
+/// results) as [`run_conditional`] over a boxed
+/// [`PathConditional`](vlpp_core::PathConditional), at a fraction of
+/// the per-record cost.
+pub fn run_path_conditional(
+    config: &PathConfig,
+    assignment: &HashAssignment,
+    trace: &Trace,
+) -> RunStats {
+    let _span = vlpp_metrics::span("sim.predict_ns");
+    let started = Instant::now();
+    let mut kernel = CondKernel::new(config, assignment);
+    for record in trace.iter() {
+        kernel.apply(record);
+    }
+    record_throughput(trace.len(), started);
+    kernel_stats(kernel.predictions(), kernel.mispredictions(), kernel.branch_stats())
+}
+
+/// Runs the paper's indirect path predictor over a trace through the
+/// structure-of-arrays kernel — the same protocol (and bit-identical
+/// results) as [`run_indirect`] over a boxed
+/// [`PathIndirect`](vlpp_core::PathIndirect). Returns are excluded, as
+/// in the paper.
+pub fn run_path_indirect(
+    config: &PathConfig,
+    assignment: &HashAssignment,
+    trace: &Trace,
+) -> RunStats {
+    let _span = vlpp_metrics::span("sim.predict_ns");
+    let started = Instant::now();
+    let mut kernel = IndKernel::new(config, assignment);
+    for record in trace.iter() {
+        kernel.apply(record);
+    }
+    record_throughput(trace.len(), started);
+    kernel_stats(kernel.predictions(), kernel.mispredictions(), kernel.branch_stats())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -169,5 +246,51 @@ mod tests {
         let stats = run_conditional(&mut p, &Trace::new());
         assert_eq!(stats.miss_rate(), 0.0);
         assert_eq!(stats.predictions, 0);
+    }
+
+    /// A deterministic mixed-kind trace exercising calls, returns,
+    /// indirects, and several conditional pcs.
+    fn mixed_trace(n: usize, seed: u64) -> Trace {
+        let mut x = seed;
+        (0..n)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let pc = Addr::new(0x40 + ((x >> 40) & 0x1f) * 4);
+                let target = Addr::new(((x >> 20) & 0xff) << 2);
+                match (x >> 10) % 6 {
+                    0 => BranchRecord::indirect(pc, target),
+                    1 => BranchRecord::call(pc, target),
+                    2 => BranchRecord::ret(pc, target),
+                    _ => BranchRecord::conditional(pc, target, (x >> 5) & 1 == 1),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn kernel_conditional_runner_matches_boxed_reference_exactly() {
+        use vlpp_core::PathConditional;
+        let trace = mixed_trace(5000, 99);
+        let config = PathConfig::new(10);
+        let mut assignment = HashAssignment::fixed(7);
+        assignment.assign(Addr::new(0x44), 2);
+        assignment.assign(Addr::new(0x48), 19);
+        let mut boxed = PathConditional::new(config.clone(), assignment.clone());
+        let expected = run_conditional(&mut boxed, &trace);
+        let got = run_path_conditional(&config, &assignment, &trace);
+        assert_eq!(got, expected, "totals and per-branch stats must be bit-identical");
+    }
+
+    #[test]
+    fn kernel_indirect_runner_matches_boxed_reference_exactly() {
+        use vlpp_core::PathIndirect;
+        let trace = mixed_trace(5000, 123);
+        let config = PathConfig::new(9);
+        let mut assignment = HashAssignment::fixed(4);
+        assignment.assign(Addr::new(0x50), 11);
+        let mut boxed = PathIndirect::new(config.clone(), assignment.clone());
+        let expected = run_indirect(&mut boxed, &trace);
+        let got = run_path_indirect(&config, &assignment, &trace);
+        assert_eq!(got, expected, "totals and per-branch stats must be bit-identical");
     }
 }

@@ -21,15 +21,14 @@
 //! as two cores racing uncoordinated updates to one predictor would.
 
 use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
 
-use vlpp_core::{PathConditional, PathConfig, PathIndirect, ProfileReport};
+use vlpp_core::{CondKernel, IndKernel, PathConfig, ProfileReport};
 use vlpp_pool::Pool;
-use vlpp_predict::{BranchObserver, ConditionalPredictor, IndirectPredictor};
 use vlpp_trace::json::{JsonValue, ToJson};
 use vlpp_trace::{Addr, BranchRecord, VlppError};
 
 use crate::experiment::Workloads;
-use crate::runner::RunStats;
 
 /// Which branch population a served model predicts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -109,21 +108,28 @@ impl ToJson for Prediction {
     }
 }
 
-/// The predictor variant one shard owns.
+/// The kernel variant one shard owns. Shards run the structure-of-
+/// arrays kernels from `vlpp-core` — the fused per-record step whose
+/// bit-identity to the boxed reference the differential suite pins
+/// (and the loadgen oracle re-proves end-to-end).
 enum ShardPredictor {
-    Conditional(PathConditional),
-    Indirect(PathIndirect),
+    Conditional(CondKernel),
+    Indirect(IndKernel),
 }
 
-/// One shard: its predictor plus its accuracy counters.
+/// One shard: its predictor kernel (which carries its own accuracy
+/// counters).
 pub struct ShardState {
     predictor: ShardPredictor,
-    stats: RunStats,
 }
 
 impl std::fmt::Debug for ShardState {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ShardState").field("stats", &self.stats).finish_non_exhaustive()
+        let (predictions, mispredictions) = self.totals();
+        f.debug_struct("ShardState")
+            .field("predictions", &predictions)
+            .field("mispredictions", &mispredictions)
+            .finish_non_exhaustive()
     }
 }
 
@@ -132,37 +138,33 @@ impl ShardState {
     /// (predict → score → train on population members, observe on every
     /// record), returning the prediction for population members and
     /// `None` otherwise. This is the same state evolution as
-    /// `runner::run_conditional` / `run_indirect`, record at a time.
+    /// `runner::run_conditional` / `run_indirect` over the boxed
+    /// reference, record at a time — the kernel is bit-identical.
     pub fn apply(&mut self, record: &BranchRecord) -> Option<Prediction> {
-        let prediction = match &mut self.predictor {
-            ShardPredictor::Conditional(predictor) => {
-                if record.is_conditional() {
-                    let taken = predictor.predict(record.pc());
-                    let correct = taken == record.taken();
-                    self.stats.record(record.pc(), correct);
-                    predictor.train(record.pc(), record.taken());
-                    Some(Prediction::Taken { taken, correct })
-                } else {
-                    None
-                }
-            }
-            ShardPredictor::Indirect(predictor) => {
-                if record.is_indirect() {
-                    let target = predictor.predict(record.pc());
-                    let correct = target == record.target();
-                    self.stats.record(record.pc(), correct);
-                    predictor.train(record.pc(), record.target());
-                    Some(Prediction::Target { target, correct })
-                } else {
-                    None
-                }
-            }
-        };
         match &mut self.predictor {
-            ShardPredictor::Conditional(predictor) => predictor.observe(record),
-            ShardPredictor::Indirect(predictor) => predictor.observe(record),
+            ShardPredictor::Conditional(kernel) => {
+                kernel.apply(record).map(|(taken, correct)| Prediction::Taken { taken, correct })
+            }
+            ShardPredictor::Indirect(kernel) => {
+                kernel.apply(record).map(|(target, correct)| Prediction::Target { target, correct })
+            }
         }
-        prediction
+    }
+
+    /// This shard's `(predictions, mispredictions)` totals.
+    fn totals(&self) -> (u64, u64) {
+        match &self.predictor {
+            ShardPredictor::Conditional(kernel) => (kernel.predictions(), kernel.mispredictions()),
+            ShardPredictor::Indirect(kernel) => (kernel.predictions(), kernel.mispredictions()),
+        }
+    }
+
+    /// Number of distinct static branches this shard predicted.
+    fn static_branches(&self) -> usize {
+        match &self.predictor {
+            ShardPredictor::Conditional(kernel) => kernel.static_branches(),
+            ShardPredictor::Indirect(kernel) => kernel.static_branches(),
+        }
     }
 }
 
@@ -225,16 +227,14 @@ impl Model {
             .map(|_| {
                 let config = PathConfig::new(spec.index_bits);
                 let predictor = match spec.kind {
-                    ModelKind::Conditional => ShardPredictor::Conditional(PathConditional::new(
-                        config,
-                        report.assignment.clone(),
-                    )),
-                    ModelKind::Indirect => ShardPredictor::Indirect(PathIndirect::new(
-                        config,
-                        report.assignment.clone(),
-                    )),
+                    ModelKind::Conditional => {
+                        ShardPredictor::Conditional(CondKernel::new(&config, &report.assignment))
+                    }
+                    ModelKind::Indirect => {
+                        ShardPredictor::Indirect(IndKernel::new(&config, &report.assignment))
+                    }
                 };
-                Mutex::new(ShardState { predictor, stats: RunStats::default() })
+                Mutex::new(ShardState { predictor })
             })
             .collect();
         Ok(Model {
@@ -255,10 +255,18 @@ impl Model {
     /// shards run in parallel. One prediction slot per input record, in
     /// input order.
     pub fn apply_batch(&self, records: &[BranchRecord]) -> Vec<Option<Prediction>> {
+        let _span = vlpp_metrics::span("sim.predict_ns");
+        let started = Instant::now();
         let items = records.iter().map(|record| (self.owner(record.pc()), *record)).collect();
-        Pool::global().map_sharded(items, |shard, record: BranchRecord| {
+        let predictions = Pool::global().map_sharded(items, |shard, record: BranchRecord| {
             lock_shard(&self.shards[shard]).apply(&record)
-        })
+        });
+        let elapsed = started.elapsed().as_secs_f64();
+        if elapsed > 0.0 {
+            vlpp_metrics::gauge("sim.records_per_sec")
+                .record((records.len() as f64 / elapsed) as u64);
+        }
+        predictions
     }
 
     /// The single-threaded reference for [`Model::apply_batch`]: applies
@@ -280,9 +288,10 @@ impl Model {
         let mut static_branches = 0usize;
         for shard in &self.shards {
             let state = lock_shard(shard);
-            predictions += state.stats.predictions;
-            mispredictions += state.stats.mispredictions;
-            static_branches += state.stats.static_branches();
+            let (p, m) = state.totals();
+            predictions += p;
+            mispredictions += m;
+            static_branches += state.static_branches();
         }
         let miss_rate =
             if predictions == 0 { 0.0 } else { mispredictions as f64 / predictions as f64 };
@@ -303,6 +312,9 @@ impl Model {
 mod tests {
     use super::*;
     use crate::experiment::Scale;
+    use crate::runner::RunStats;
+    use vlpp_core::PathConditional;
+    use vlpp_predict::{BranchObserver, ConditionalPredictor};
 
     fn spec(shards: usize) -> ModelSpec {
         ModelSpec {

@@ -57,3 +57,10 @@ echo "recorded: scale=1/$scale wall_ns=$wall_ns -> $history" >&2
 # in-tree bench harness emits, keyed by scale so baselines from
 # different scales never compare against each other.
 echo "BENCH {\"bench\":\"vlpp_all_scale_$scale\",\"iters\":1,\"median_ns\":$wall_ns,\"mad_ns\":0,\"min_ns\":$wall_ns,\"max_ns\":$wall_ns}"
+
+# The predictions/sec microbench: four more BENCH lines (boxed dispatch
+# vs the structure-of-arrays kernel, conditional and indirect). The
+# `*_soa` lines carry `records_per_sec` and `speedup_vs_boxed` fields,
+# which `vlpp-metrics-check --bench` gates against the
+# `min_records_per_sec` / `min_speedup` floors in BENCH_baseline.json.
+./target/release/vlpp microbench --records "${VLPP_MICROBENCH_RECORDS:-200000}"

@@ -4,7 +4,7 @@
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
-use std::process::{Child, Command, Stdio};
+use std::process::{Child, ChildStdout, Command, Stdio};
 use std::time::{Duration, Instant};
 
 use vlpp_trace::frame::{read_frame, write_frame};
@@ -15,12 +15,20 @@ use vlpp_trace::json::JsonValue;
 struct Server {
     child: Child,
     addr: String,
+    /// The daemon's stdout past the announce line — where the
+    /// `--metrics` snapshot appears after shutdown.
+    reader: BufReader<ChildStdout>,
 }
 
 impl Server {
     fn start(threads: &str) -> Server {
+        Server::start_with(threads, &[])
+    }
+
+    fn start_with(threads: &str, extra_args: &[&str]) -> Server {
         let mut child = Command::new(env!("CARGO_BIN_EXE_vlpp"))
             .args(["serve", "--listen", "127.0.0.1:0", "--scale", "1000000"])
+            .args(extra_args)
             .env("VLPP_THREADS", threads)
             .env_remove("VLPP_SCALE")
             .stdout(Stdio::piped())
@@ -28,13 +36,13 @@ impl Server {
             .spawn()
             .expect("server spawns");
         let stdout = child.stdout.take().expect("stdout piped");
-        let mut lines = BufReader::new(stdout).lines();
-        let announce =
-            lines.next().expect("server prints a SERVE line").expect("announce line reads");
-        let json = announce.strip_prefix("SERVE ").expect("line starts with SERVE ");
+        let mut reader = BufReader::new(stdout);
+        let mut announce = String::new();
+        reader.read_line(&mut announce).expect("announce line reads");
+        let json = announce.trim_end().strip_prefix("SERVE ").expect("line starts with SERVE ");
         let value = JsonValue::parse(json).expect("announce is valid JSON");
         let addr = value.get("addr").and_then(|v| v.as_str()).expect("addr field").to_string();
-        Server { child, addr }
+        Server { child, addr, reader }
     }
 
     fn connect(&self) -> TcpStream {
@@ -45,6 +53,29 @@ impl Server {
 
     /// Sends `shutdown` and asserts the daemon exits 0 promptly.
     fn shutdown_and_wait(mut self) {
+        self.shutdown_and_wait_by_ref();
+    }
+
+    /// Sends `shutdown`, waits for a clean exit, then scans the rest of
+    /// the daemon's stdout for the `METRICS {json}` snapshot a
+    /// `--metrics` server prints on the way out.
+    fn shutdown_and_read_metrics(mut self) -> JsonValue {
+        self.shutdown_and_wait_by_ref();
+        let mut snapshot = None;
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if self.reader.read_line(&mut line).expect("stdout reads") == 0 {
+                break;
+            }
+            if let Some(json) = line.trim_end().strip_prefix("METRICS ") {
+                snapshot = Some(JsonValue::parse(json).expect("METRICS payload parses"));
+            }
+        }
+        snapshot.expect("a --metrics server prints a METRICS line at shutdown")
+    }
+
+    fn shutdown_and_wait_by_ref(&mut self) {
         let mut conn = self.connect();
         let response = call(&mut conn, r#"{"verb":"shutdown"}"#);
         assert_eq!(response.get("ok").and_then(|v| v.as_bool()), Some(true));
@@ -235,4 +266,38 @@ fn loadgen_predictions_match_offline_at_eight_server_threads() {
     let server = Server::start("8");
     loadgen_against(&server, "2");
     server.shutdown_and_wait();
+}
+
+/// Drives the loadgen oracle against a `--metrics` server, then asserts
+/// the shutdown snapshot carries the SoA kernel's throughput metrics:
+/// the `sim.predict_ns` span histogram (one entry per served batch) and
+/// the `sim.records_per_sec` gauge, both fed by the shard executor's
+/// kernel path. The oracle's byte-for-byte check runs first, so the
+/// metrics are known to describe correct predictions.
+fn metrics_snapshot_after_load(server_threads: &str) {
+    let server = Server::start_with(server_threads, &["--metrics"]);
+    loadgen_against(&server, "2");
+    let snapshot = server.shutdown_and_read_metrics();
+
+    let predict = snapshot.get("sim.predict_ns").expect("snapshot has sim.predict_ns");
+    let batches = predict.get("count").and_then(|v| v.as_u64()).expect("histogram count");
+    assert!(batches > 0, "sim.predict_ns must have recorded served batches, got {batches}");
+    let sum_ns = predict.get("sum_ns").and_then(|v| v.as_u64()).expect("histogram sum_ns");
+    assert!(sum_ns > 0, "served batches cannot take zero total time");
+
+    let throughput = snapshot.get("sim.records_per_sec").expect("snapshot has sim.records_per_sec");
+    let value = throughput.get("value").and_then(|v| v.as_u64()).expect("gauge value");
+    let high_water = throughput.get("high_water").and_then(|v| v.as_u64()).expect("high water");
+    assert!(value > 0, "records/sec gauge must hold the last batch's throughput");
+    assert!(high_water >= value, "gauge high-water below its value: {high_water} < {value}");
+}
+
+#[test]
+fn serve_metrics_carry_kernel_throughput_at_one_server_thread() {
+    metrics_snapshot_after_load("1");
+}
+
+#[test]
+fn serve_metrics_carry_kernel_throughput_at_eight_server_threads() {
+    metrics_snapshot_after_load("8");
 }
