@@ -293,6 +293,14 @@ impl RollingHashers {
         self.ring.fill(0);
     }
 
+    /// The exact length of [`snapshot`](Self::snapshot)'s vector for
+    /// this configuration — snapshot loaders validate against it
+    /// before calling [`restore`](Self::restore), which panics on a
+    /// mismatch.
+    pub fn snapshot_len(&self) -> usize {
+        2 + self.ring.len()
+    }
+
     /// Captures the full rolling state (used by the §6 history stack):
     /// `[S, t, ring…]`, opaque to the caller.
     pub fn snapshot(&self) -> Vec<u64> {

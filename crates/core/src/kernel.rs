@@ -48,8 +48,11 @@ use crate::stack::HistoryStack;
 
 /// A contiguous plane of packed target registers: the
 /// structure-of-arrays form of a
-/// [`TargetTable`](crate::TargetTable) — low-32-bit targets in one
-/// dense array, validity as one bit per entry.
+/// [`TargetTable`](crate::TargetTable) — full 64-bit targets in one
+/// dense array, validity as one bit per entry. (The paper's footnote-1
+/// low-32 splice lives on only in the CHP baselines; the VLPP planes
+/// store full targets so addresses ≥ 2^32 never alias. The
+/// 4-bytes-per-entry budget accounting is unchanged.)
 ///
 /// # Example
 ///
@@ -64,7 +67,7 @@ use crate::stack::HistoryStack;
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TargetPlane {
-    low32: Vec<u32>,
+    targets: Vec<u64>,
     valid: Vec<u64>,
     len: usize,
 }
@@ -77,7 +80,22 @@ impl TargetPlane {
     /// Panics if `len` is 0.
     pub fn new(len: usize) -> Self {
         assert!(len >= 1, "target plane must hold at least one register");
-        TargetPlane { low32: vec![0; len], valid: vec![0; len.div_ceil(64)], len }
+        TargetPlane { targets: vec![0; len], valid: vec![0; len.div_ceil(64)], len }
+    }
+
+    /// Rebuilds a plane from [`raw_parts`](Self::raw_parts) output.
+    /// Returns `None` when the array lengths do not describe a valid
+    /// `len`-register plane — the snapshot loaders turn that into a
+    /// typed error instead of a panic.
+    pub fn from_raw_parts(targets: Vec<u64>, valid: Vec<u64>, len: usize) -> Option<Self> {
+        (len >= 1 && targets.len() == len && valid.len() == len.div_ceil(64))
+            .then_some(TargetPlane { targets, valid, len })
+    }
+
+    /// The raw state arrays `(targets, validity_words)` — the
+    /// serialization surface model snapshots persist.
+    pub fn raw_parts(&self) -> (&[u64], &[u64]) {
+        (&self.targets, &self.valid)
     }
 
     /// The number of registers.
@@ -96,20 +114,21 @@ impl TargetPlane {
         self.len as u64 * 4
     }
 
-    /// Predicts the target stored at `i`, splicing the stored low 32
-    /// bits under `pc`'s high 32 — [`Addr::NULL`] for a never-written
-    /// register, computed branchlessly (the validity bit becomes an
-    /// all-ones/all-zeros mask over the spliced address).
+    /// Predicts the full target stored at `i` — [`Addr::NULL`] for a
+    /// never-written register, computed branchlessly (the validity bit
+    /// becomes an all-ones/all-zeros mask over the stored address).
+    /// `pc` is unused since the footnote-1 splice was removed but stays
+    /// in the signature as the hardware lookup key shape.
     #[inline]
-    pub fn predict(&self, i: usize, pc: Addr) -> Addr {
+    pub fn predict(&self, i: usize, _pc: Addr) -> Addr {
         let live = (self.valid[i / 64] >> (i % 64)) & 1;
-        Addr::new(pc.with_low32(self.low32[i]).raw() & live.wrapping_neg())
+        Addr::new(self.targets[i] & live.wrapping_neg())
     }
 
     /// Writes the resolved `target` into register `i`.
     #[inline]
     pub fn train(&mut self, i: usize, target: Addr) {
-        self.low32[i] = target.low32();
+        self.targets[i] = target.raw();
         self.valid[i / 64] |= 1u64 << (i % 64);
     }
 
@@ -117,26 +136,46 @@ impl TargetPlane {
     /// [`predict`](Self::predict) would *before* the write, with one
     /// pass over the validity word instead of two.
     #[inline]
-    pub fn predict_train(&mut self, i: usize, pc: Addr, target: Addr) -> Addr {
+    pub fn predict_train(&mut self, i: usize, _pc: Addr, target: Addr) -> Addr {
         let word = &mut self.valid[i / 64];
         let live = (*word >> (i % 64)) & 1;
-        let predicted = Addr::new(pc.with_low32(self.low32[i]).raw() & live.wrapping_neg());
+        let predicted = Addr::new(self.targets[i] & live.wrapping_neg());
         *word |= 1u64 << (i % 64);
-        self.low32[i] = target.low32();
+        self.targets[i] = target.raw();
         predicted
     }
 
-    /// The stored low-32 value of register `i`, or `None` if it was
-    /// never written.
-    pub fn entry(&self, i: usize) -> Option<u32> {
-        ((self.valid[i / 64] >> (i % 64)) & 1 == 1).then(|| self.low32[i])
+    /// The stored target of register `i`, or `None` if it was never
+    /// written.
+    pub fn entry(&self, i: usize) -> Option<u64> {
+        ((self.valid[i / 64] >> (i % 64)) & 1 == 1).then(|| self.targets[i])
     }
 
     /// Every register in index order — the diagnostic form the
     /// differential tests compare against the boxed table.
-    pub fn entries(&self) -> Vec<Option<u32>> {
+    pub fn entries(&self) -> Vec<Option<u64>> {
         (0..self.len).map(|i| self.entry(i)).collect()
     }
+}
+
+/// The serializable dynamic state of a kernel: everything that changes
+/// as records are applied. The static configuration and hash
+/// assignment are *not* here — snapshot loaders rebuild the kernel
+/// from its `PathConfig`/`HashAssignment` first and then restore this
+/// state into it. The pc-resolution cache is also excluded: it is an
+/// exact-tag cache over the assignment and row maps, so rebuilding it
+/// empty changes no observable value.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct KernelState {
+    /// The rolling §4.1 partial-sum state, as
+    /// [`RollingHashers::snapshot`] lays it out (`[S, t, ring…]`).
+    pub hashers: Vec<u64>,
+    /// §6 history-stack snapshots, oldest first; empty when the
+    /// configuration has no stack.
+    pub stack: Vec<Vec<u64>>,
+    /// Per-branch statistics rows in first-seen order:
+    /// `(pc, predictions, mispredictions)`.
+    pub rows: Vec<(u64, u64, u64)>,
 }
 
 /// Index bits of the pc-resolution cache: 4096 lines.
@@ -306,6 +345,72 @@ impl KernelCore {
             "variable length path".into()
         }
     }
+
+    fn export_state(&self) -> KernelState {
+        KernelState {
+            hashers: self.hashers.snapshot(),
+            stack: self.stack.as_ref().map(|s| s.contents().to_vec()).unwrap_or_default(),
+            rows: self.rows.iter().map(|r| (r.pc, r.predictions, r.mispredictions)).collect(),
+        }
+    }
+
+    /// Restores exported dynamic state into a kernel built from the
+    /// same configuration and assignment. Every length is validated
+    /// before anything is mutated, so a damaged snapshot yields a
+    /// typed error and never a panic (or a half-restored kernel).
+    fn restore_state(&mut self, state: &KernelState) -> Result<(), String> {
+        let want = self.hashers.snapshot_len();
+        if state.hashers.len() != want {
+            return Err(format!(
+                "hasher state has {} words, this configuration needs {want}",
+                state.hashers.len()
+            ));
+        }
+        match &self.stack {
+            Some(stack) => {
+                if state.stack.len() > stack.depth() {
+                    return Err(format!(
+                        "history stack holds {} snapshots, depth is {}",
+                        state.stack.len(),
+                        stack.depth()
+                    ));
+                }
+                if let Some(bad) = state.stack.iter().find(|s| s.len() != want) {
+                    return Err(format!(
+                        "history-stack snapshot has {} words, this configuration needs {want}",
+                        bad.len()
+                    ));
+                }
+            }
+            None => {
+                if !state.stack.is_empty() {
+                    return Err("history-stack state for a stackless configuration".into());
+                }
+            }
+        }
+        let mut row_of = HashMap::with_capacity(state.rows.len());
+        for (i, &(pc, _, _)) in state.rows.iter().enumerate() {
+            if row_of.insert(pc, i as u32).is_some() {
+                return Err(format!("duplicate branch row for pc {pc:#x}"));
+            }
+        }
+        self.hashers.restore(&state.hashers);
+        if let Some(stack) = &mut self.stack {
+            while stack.pop().is_some() {}
+            for snapshot in &state.stack {
+                stack.push(snapshot.clone());
+            }
+        }
+        self.rows = state
+            .rows
+            .iter()
+            .map(|&(pc, predictions, mispredictions)| BranchRow { pc, predictions, mispredictions })
+            .collect();
+        self.row_of = row_of;
+        self.cache =
+            vec![CacheLine { tag: 0, hash: 0, row: 0 }; 1 << CACHE_BITS].into_boxed_slice();
+        Ok(())
+    }
 }
 
 /// The structure-of-arrays conditional path predictor: bit-identical
@@ -406,6 +511,24 @@ impl CondKernel {
     /// The second-level table size in bytes.
     pub fn table_bytes(&self) -> u64 {
         self.plane.bytes()
+    }
+
+    /// Exports the kernel's dynamic state plus the packed counter
+    /// words for a model snapshot.
+    pub fn export_state(&self) -> (KernelState, Vec<u64>) {
+        (self.core.export_state(), self.plane.words().to_vec())
+    }
+
+    /// Restores state exported by [`export_state`](Self::export_state)
+    /// into a kernel built from the same configuration and assignment.
+    /// Returns a description of the first mismatch on damaged input,
+    /// leaving the kernel unchanged; never panics.
+    pub fn restore_state(&mut self, state: &KernelState, words: Vec<u64>) -> Result<(), String> {
+        let plane = CounterPlane::from_words(words, self.plane.len())
+            .ok_or_else(|| "counter plane word count mismatch".to_string())?;
+        self.core.restore_state(state)?;
+        self.plane = plane;
+        Ok(())
     }
 }
 
@@ -516,13 +639,37 @@ impl IndKernel {
 
     /// Every target register in index order (diagnostic; the
     /// differential tests compare this against the reference table).
-    pub fn target_entries(&self) -> Vec<Option<u32>> {
+    pub fn target_entries(&self) -> Vec<Option<u64>> {
         self.plane.entries()
     }
 
     /// The second-level table size in bytes.
     pub fn table_bytes(&self) -> u64 {
         self.plane.bytes()
+    }
+
+    /// Exports the kernel's dynamic state plus the target plane's raw
+    /// `(targets, validity_words)` arrays for a model snapshot.
+    pub fn export_state(&self) -> (KernelState, Vec<u64>, Vec<u64>) {
+        let (targets, valid) = self.plane.raw_parts();
+        (self.core.export_state(), targets.to_vec(), valid.to_vec())
+    }
+
+    /// Restores state exported by [`export_state`](Self::export_state)
+    /// into a kernel built from the same configuration and assignment.
+    /// Returns a description of the first mismatch on damaged input,
+    /// leaving the kernel unchanged; never panics.
+    pub fn restore_state(
+        &mut self,
+        state: &KernelState,
+        targets: Vec<u64>,
+        valid: Vec<u64>,
+    ) -> Result<(), String> {
+        let plane = TargetPlane::from_raw_parts(targets, valid, self.plane.len())
+            .ok_or_else(|| "target plane array length mismatch".to_string())?;
+        self.core.restore_state(state)?;
+        self.plane = plane;
+        Ok(())
     }
 }
 
@@ -557,7 +704,9 @@ mod tests {
         BranchRecord::conditional(Addr::new(pc), Addr::new(target), taken)
     }
 
-    /// A deterministic mixed-kind record stream.
+    /// A deterministic mixed-kind record stream. Indirect branches
+    /// sometimes live and land above 2^32 with *different* high halves
+    /// (regression surface for the removed low-32 target splice).
     fn stream(n: usize, seed: u64) -> Vec<BranchRecord> {
         let mut x = seed;
         (0..n)
@@ -565,8 +714,13 @@ mod tests {
                 x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
                 let pc = 0x40 + ((x >> 40) & 0x3f) * 4;
                 let target = ((x >> 20) & 0xff) << 2;
+                let pc_high = ((x >> 55) & 1) << 33;
+                let target_high = ((x >> 54) & 1) << 35;
                 match (x >> 10) % 5 {
-                    0 => BranchRecord::indirect(Addr::new(pc), Addr::new(0x4000 + target)),
+                    0 => BranchRecord::indirect(
+                        Addr::new(pc | pc_high),
+                        Addr::new((0x4000 + target) | target_high),
+                    ),
                     1 => BranchRecord::call(Addr::new(pc), Addr::new(0x8000 + target)),
                     2 => BranchRecord::ret(Addr::new(pc), Addr::new(0x100 + target)),
                     _ => cond(pc, target, (x >> 5) & 1 == 1),
@@ -718,8 +872,105 @@ mod tests {
         let mut plane = TargetPlane::new(70);
         assert_eq!(plane.entry(69), None);
         plane.train(69, Addr::new(0xdead_beef_1234));
-        assert_eq!(plane.entry(69), Some(0xbeef_1234));
+        assert_eq!(plane.entry(69), Some(0xdead_beef_1234));
         assert_eq!(plane.entries().iter().filter(|e| e.is_some()).count(), 1);
         assert_eq!(plane.bytes(), 280);
+    }
+
+    #[test]
+    fn target_plane_keeps_high_halves_distinct_from_pc() {
+        // Regression for the footnote-1 splice: pre-fix the plane
+        // stored only low-32 targets and spliced the pc's high half
+        // back in, so a repeating branch whose pc and target live in
+        // different 4 GiB regions could never predict correctly.
+        let mut plane = TargetPlane::new(16);
+        let pc = Addr::new(0x1_0000_0040);
+        let target = Addr::new(0x7_0000_9000);
+        assert_eq!(plane.predict_train(5, pc, target), Addr::NULL);
+        assert_eq!(plane.predict_train(5, pc, target), target);
+        assert_eq!(plane.predict(5, pc), target);
+    }
+
+    #[test]
+    fn exported_state_restores_to_an_identical_kernel() {
+        // Drive a kernel, export, restore into a fresh kernel, and
+        // require the two to stay bit-identical on a shared tail —
+        // including through history-stack traffic.
+        let config = PathConfig::new(9).with_history_stack(3);
+        let assignment = HashAssignment::fixed(5);
+        let mut original = CondKernel::new(&config, &assignment);
+        for record in stream(1500, 17) {
+            original.apply(&record);
+        }
+        let (state, words) = original.export_state();
+        let mut restored = CondKernel::new(&config, &assignment);
+        restored.restore_state(&state, words).expect("compatible state");
+        assert_eq!(restored.counter_values(), original.counter_values());
+        assert_eq!(restored.predictions(), original.predictions());
+        for record in stream(500, 29) {
+            assert_eq!(restored.apply(&record), original.apply(&record));
+        }
+        assert_eq!(restored.counter_values(), original.counter_values());
+        assert_eq!(restored.mispredictions(), original.mispredictions());
+    }
+
+    #[test]
+    fn ind_kernel_state_round_trips() {
+        let config = PathConfig::new(8);
+        let assignment = HashAssignment::fixed(3);
+        let mut original = IndKernel::new(&config, &assignment);
+        for record in stream(1200, 41) {
+            original.apply(&record);
+        }
+        let (state, targets, valid) = original.export_state();
+        let mut restored = IndKernel::new(&config, &assignment);
+        restored.restore_state(&state, targets, valid).expect("compatible state");
+        assert_eq!(restored.target_entries(), original.target_entries());
+        for record in stream(400, 53) {
+            assert_eq!(restored.apply(&record), original.apply(&record));
+        }
+        assert_eq!(restored.predictions(), original.predictions());
+    }
+
+    #[test]
+    fn restore_state_rejects_damaged_input_without_panicking() {
+        let config = PathConfig::new(8);
+        let assignment = HashAssignment::fixed(3);
+        let donor = CondKernel::new(&config, &assignment);
+        let (state, words) = donor.export_state();
+
+        let mut kernel = CondKernel::new(&config, &assignment);
+        let mut short = state.clone();
+        short.hashers.pop();
+        assert!(kernel.restore_state(&short, words.clone()).is_err());
+
+        let mut stacked = state.clone();
+        stacked.stack.push(vec![0; state.hashers.len()]);
+        assert!(kernel.restore_state(&stacked, words.clone()).is_err(), "stackless config");
+
+        let mut duped = state.clone();
+        duped.rows = vec![(0x40, 1, 0), (0x40, 2, 1)];
+        assert!(kernel.restore_state(&duped, words.clone()).is_err(), "duplicate rows");
+
+        let mut bad_words = words.clone();
+        bad_words.pop();
+        assert!(kernel.restore_state(&state, bad_words).is_err(), "short plane");
+
+        // All rejections left the kernel usable and unchanged.
+        kernel.restore_state(&state, words).expect("pristine state still restores");
+    }
+
+    #[test]
+    fn target_plane_raw_parts_round_trip() {
+        let mut plane = TargetPlane::new(70);
+        plane.train(3, Addr::new(0x9_0000_1000));
+        plane.train(69, Addr::new(0x4000));
+        let (targets, valid) = plane.raw_parts();
+        let rebuilt = TargetPlane::from_raw_parts(targets.to_vec(), valid.to_vec(), 70)
+            .expect("matching lengths");
+        assert_eq!(rebuilt, plane);
+        assert!(TargetPlane::from_raw_parts(vec![0; 70], vec![0; 2], 71).is_none());
+        assert!(TargetPlane::from_raw_parts(vec![0; 70], vec![0; 1], 70).is_none());
+        assert!(TargetPlane::from_raw_parts(Vec::new(), Vec::new(), 0).is_none());
     }
 }

@@ -77,7 +77,7 @@ pub use cascade::DualLengthPathIndirect;
 pub use elastic::ElasticGshare;
 pub use hash::{hash_path, IncrementalHashers, RollingHashers};
 pub use hfnt::{Hfnt, HfntStats};
-pub use kernel::{CondKernel, IndKernel, TargetPlane};
+pub use kernel::{CondKernel, IndKernel, KernelState, TargetPlane};
 pub use path::{PathConditional, PathConfig, PathIndirect};
 pub use profile::{ProfileBuilder, ProfileConfig, ProfileReport};
 pub use select::{DynamicSelector, HashAssignment};

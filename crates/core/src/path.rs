@@ -366,10 +366,10 @@ impl PathIndirect {
         self.table.bytes()
     }
 
-    /// Every entry's stored low-32 value in index order (`None` for
+    /// Every entry's stored target in index order (`None` for
     /// never-written entries) — the diagnostic surface the kernel
     /// differential tests compare against.
-    pub fn target_entries(&self) -> Vec<Option<u32>> {
+    pub fn target_entries(&self) -> Vec<Option<u64>> {
         self.table.stored()
     }
 }

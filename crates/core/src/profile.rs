@@ -305,7 +305,7 @@ impl ProfileBuilder {
                 }
             }
             Population::Indirect => {
-                let mut low32 = vec![0u32; n_hashes * table_len];
+                let mut targets = vec![0u64; n_hashes * table_len];
                 let mut valid = vec![false; n_hashes * table_len];
                 for record in trace.iter() {
                     if record.is_indirect() {
@@ -320,11 +320,11 @@ impl ProfileBuilder {
                         for (hi, &slot) in slots.iter().enumerate() {
                             let cell = hi * table_len + indices[slot] as usize;
                             let prediction =
-                                if valid[cell] { pc.with_low32(low32[cell]) } else { Addr::NULL };
+                                if valid[cell] { Addr::new(targets[cell]) } else { Addr::NULL };
                             if prediction == target {
                                 tally.correct[hi] += 1;
                             }
-                            low32[cell] = target.low32();
+                            targets[cell] = target.raw();
                             valid[cell] = true;
                         }
                     }

@@ -63,6 +63,12 @@ impl HistoryStack {
     pub fn depth(&self) -> usize {
         self.depth
     }
+
+    /// The stored snapshots, oldest first — the serialization surface
+    /// model snapshots persist (rebuild by pushing in order).
+    pub fn contents(&self) -> &[Vec<u64>] {
+        &self.snapshots
+    }
 }
 
 #[cfg(test)]

@@ -69,9 +69,15 @@ impl CounterTable {
 
 /// A table of target-address registers indexed by a path hash.
 ///
-/// Each entry stores the low 32 bits of the last target written to it
-/// (paper footnote 1); predictions splice those bits under the high half
-/// of the predicted branch's own address.
+/// Each entry stores the full 64-bit target last written to it. The
+/// paper's footnote 1 stores only the low 32 bits and splices the high
+/// half from the predicted branch's own pc — the CHP baselines in
+/// `vlpp-predict` keep that hardware behavior, but the VLPP tables
+/// dropped it after the splice was shown to alias targets ≥ 2^32 on
+/// 64-bit address spaces (a branch whose pc and target live in
+/// different 4 GiB regions could never predict correctly). The
+/// 4-bytes-per-entry *budget accounting* is unchanged: [`bytes`]
+/// (Self::bytes) still reports the paper's hardware cost model.
 ///
 /// # Example
 ///
@@ -86,7 +92,7 @@ impl CounterTable {
 /// ```
 #[derive(Debug, Clone)]
 pub struct TargetTable {
-    low32: Vec<u32>,
+    targets: Vec<u64>,
     valid: Vec<bool>,
     mask: u64,
 }
@@ -100,20 +106,22 @@ impl TargetTable {
     pub fn new(index_bits: u32) -> Self {
         assert!((1..=26).contains(&index_bits), "index width must be in 1..=26, got {index_bits}");
         TargetTable {
-            low32: vec![0; 1 << index_bits],
+            targets: vec![0; 1 << index_bits],
             valid: vec![false; 1 << index_bits],
             mask: (1u64 << index_bits) - 1,
         }
     }
 
-    /// Predicts the target stored at `index`, splicing the stored low 32
-    /// bits under `pc`'s high 32. Returns [`Addr::NULL`] for a
-    /// never-written entry.
+    /// Predicts the full target stored at `index`. Returns
+    /// [`Addr::NULL`] for a never-written entry. `pc` is unused since
+    /// the footnote-1 splice was removed, but stays in the signature:
+    /// it is the hardware lookup key shape and keeps the table
+    /// call-compatible with the spliced CHP baselines.
     #[inline]
-    pub fn predict(&self, index: u64, pc: Addr) -> Addr {
+    pub fn predict(&self, index: u64, _pc: Addr) -> Addr {
         let i = (index & self.mask) as usize;
         if self.valid[i] {
-            pc.with_low32(self.low32[i])
+            Addr::new(self.targets[i])
         } else {
             Addr::NULL
         }
@@ -123,25 +131,27 @@ impl TargetTable {
     #[inline]
     pub fn train(&mut self, index: u64, target: Addr) {
         let i = (index & self.mask) as usize;
-        self.low32[i] = target.low32();
+        self.targets[i] = target.raw();
         self.valid[i] = true;
     }
 
     /// The number of entries.
     pub fn entries(&self) -> usize {
-        self.low32.len()
+        self.targets.len()
     }
 
-    /// The table size in bytes under the 4-bytes-per-entry accounting.
+    /// The table size in bytes under the paper's 4-bytes-per-entry
+    /// accounting (footnote 1's hardware cost model — kept even though
+    /// the software table stores full 64-bit targets).
     pub fn bytes(&self) -> u64 {
-        self.low32.len() as u64 * 4
+        self.targets.len() as u64 * 4
     }
 
-    /// Every entry's stored low-32 value in index order (`None` for
+    /// Every entry's stored target in index order (`None` for
     /// never-written entries) — the diagnostic form the differential
     /// tests compare against the packed target plane.
-    pub fn stored(&self) -> Vec<Option<u32>> {
-        self.low32.iter().zip(&self.valid).map(|(&v, &ok)| ok.then_some(v)).collect()
+    pub fn stored(&self) -> Vec<Option<u64>> {
+        self.targets.iter().zip(&self.valid).map(|(&v, &ok)| ok.then_some(v)).collect()
     }
 }
 
@@ -176,11 +186,27 @@ mod tests {
     }
 
     #[test]
-    fn target_table_splices_high_bits_from_pc() {
+    fn target_table_stores_full_width_targets() {
+        // Regression for the footnote-1 splice: a target whose high 32
+        // bits differ from the predicting pc's must come back intact,
+        // not with the pc's high half spliced over it.
         let mut t = TargetTable::new(4);
         t.train(1, Addr::new(0xbbbb_0000_0000_2000));
         let predicted = t.predict(1, Addr::new(0xaaaa_0000_0000_1000));
-        assert_eq!(predicted, Addr::new(0xaaaa_0000_0000_2000));
+        assert_eq!(predicted, Addr::new(0xbbbb_0000_0000_2000));
+    }
+
+    #[test]
+    fn target_table_predicts_repeating_high_address_branch() {
+        // Pre-fix, a branch at pc 0x1_0000_0000 with target
+        // 0x2_0000_0000 could never be predicted correctly: the stored
+        // low 32 bits are zero and the splice pinned the high half to
+        // the pc's, yielding 0x1_0000_0000 forever.
+        let mut t = TargetTable::new(4);
+        let pc = Addr::new(0x1_0000_0000);
+        let target = Addr::new(0x2_0000_0000);
+        t.train(7, target);
+        assert_eq!(t.predict(7, pc), target);
     }
 
     #[test]

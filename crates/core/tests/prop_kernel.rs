@@ -46,11 +46,17 @@ fn random_assignment(g: &mut vlpp_check::Gen) -> HashAssignment {
 /// A deterministic mixed trace over a small pc universe: conditionals,
 /// indirects, unconditionals, and call/return pairs (so the history
 /// stack sees pops of pushed frames *and* pops of an empty stack).
+/// Addresses independently land above 2^32 about a quarter of the
+/// time, with pc and target drawing *different* high halves — the
+/// aliasing surface of the (since removed) footnote-1 low-32 target
+/// splice on 64-bit address spaces.
 fn random_trace(g: &mut vlpp_check::Gen, n: usize) -> Trace {
     let mut trace = Trace::new();
     for _ in 0..n {
-        let pc = Addr::new(0x1000 | (g.below(64) << 2));
-        let target = Addr::new(0x2000 | (g.below(256) << 2));
+        let pc_high = if g.below(4) == 0 { (1 + g.below(3)) << 32 } else { 0 };
+        let target_high = if g.below(4) == 0 { (1 + g.below(3)) << 33 } else { 0 };
+        let pc = Addr::new(pc_high | 0x1000 | (g.below(64) << 2));
+        let target = Addr::new(target_high | 0x2000 | (g.below(256) << 2));
         match g.below(8) {
             0 => trace.push(BranchRecord::indirect(pc, target)),
             1 => trace.push(BranchRecord::call(pc, target)),

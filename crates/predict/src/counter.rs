@@ -210,6 +210,21 @@ impl CounterPlane {
     pub fn values(&self) -> Vec<u8> {
         (0..self.len).map(|i| self.value(i)).collect()
     }
+
+    /// The packed counter words, lowest counter first — the
+    /// serialization surface model snapshots persist.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuilds a plane from [`words`](Self::words) output. Returns
+    /// `None` when the word count does not describe a valid
+    /// `len`-counter plane — the snapshot loaders turn that into a
+    /// typed error instead of a panic.
+    pub fn from_words(words: Vec<u64>, len: usize) -> Option<Self> {
+        (len >= 1 && words.len() == len.div_ceil(COUNTERS_PER_WORD))
+            .then_some(CounterPlane { words, len })
+    }
 }
 
 impl fmt::Display for Counter2 {

@@ -46,7 +46,9 @@ experiments:
 
 subcommands (own flags; see SERVING.md):
   serve      prediction daemon over the framed JSON protocol
-  loadgen    drive a running `vlpp serve` and verify its predictions
+  cluster    N serve processes behind a shard routing table (failover)
+  loadgen    drive a running `vlpp serve` or cluster and verify its
+             predictions (byte-exact oracle, optional kill drill)
   microbench predictions/sec: boxed dispatch vs the SoA kernel
              (BENCH lines; see DESIGN.md \"hot-loop kernel\")
 
@@ -87,6 +89,7 @@ fn main() -> ExitCode {
         let rest: Vec<String> = std::env::args().skip(2).collect();
         let outcome = match first.as_str() {
             "serve" => Some(vlpp_sim::serve::serve_main(&rest)),
+            "cluster" => Some(vlpp_sim::serve::cluster::cluster_main(&rest)),
             "loadgen" => Some(vlpp_sim::serve::loadgen::loadgen_main(&rest)),
             "microbench" => Some(vlpp_sim::microbench::microbench_main(&rest)),
             _ => None,

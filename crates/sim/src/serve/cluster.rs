@@ -1,0 +1,310 @@
+//! `vlpp cluster` — N `vlpp serve` processes behind one explicit
+//! routing table.
+//!
+//! The supervisor spawns `--nodes` child servers (each `vlpp serve
+//! --listen 127.0.0.1:0`, so the OS picks ports), parses each child's
+//! `SERVE` announce line, builds the rendezvous
+//! [`RoutingTable`](super::routing::RoutingTable) mapping every shard
+//! to a primary and a replica node, and prints one `CLUSTER {json}`
+//! line carrying the table. Clients (`vlpp loadgen --routing`) route
+//! records per shard: writes fan to primary + replica, reads fail over
+//! to the replica when the primary dies.
+//!
+//! The supervisor then waits for the children. A child killed by a
+//! signal is an expected failover-drill outcome, not a supervisor
+//! failure: each exit is reported on stderr, and the supervisor's own
+//! exit is clean once every child has terminated.
+
+use std::io::{BufRead, BufReader, Write};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::thread;
+
+use vlpp_trace::json::JsonValue;
+use vlpp_trace::VlppError;
+
+use super::routing::{Node, RoutingTable};
+use crate::experiment::Scale;
+
+/// Parsed `vlpp cluster` options.
+#[derive(Debug, Clone)]
+pub struct ClusterOptions {
+    /// Number of serve processes (≥ 2: every shard needs a replica on
+    /// a different process).
+    pub nodes: usize,
+    /// Shards routed by the table (must match the model's shard count;
+    /// `vlpp loadgen --routing` takes it from here).
+    pub shards: usize,
+    /// Per-connection frame-queue bound passed to each child.
+    pub queue_depth: usize,
+    /// Workload scale passed to each child.
+    pub scale: Scale,
+    /// Also write the routing table JSON to this file (atomically).
+    pub routing_out: Option<PathBuf>,
+}
+
+const CLUSTER_USAGE: &str = "\
+usage: vlpp cluster [--nodes N] [--shards N] [--queue-depth N]
+                    [--scale N] [--routing-out FILE]
+
+Spawns N `vlpp serve` children, builds the shard->process routing
+table (primary + replica per shard, rendezvous-hashed), prints one
+`CLUSTER {json}` line carrying it, then supervises the children until
+they exit. Drive it with `vlpp loadgen --routing FILE`. See SERVING.md.
+";
+
+fn cli_error(message: impl Into<String>) -> VlppError {
+    VlppError::Cli { message: message.into() }
+}
+
+/// Parses `vlpp cluster` arguments. Zero counts are rejected, not
+/// clamped.
+///
+/// # Errors
+///
+/// [`VlppError::Cli`] on unknown flags or out-of-range values.
+pub fn parse_cluster_args(args: &[String]) -> Result<ClusterOptions, VlppError> {
+    let mut options = ClusterOptions {
+        nodes: 2,
+        shards: 4,
+        queue_depth: super::DEFAULT_QUEUE_DEPTH,
+        scale: Scale::from_env(),
+        routing_out: None,
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--nodes" => {
+                options.nodes = iter
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .filter(|&n| (2..=64).contains(&n))
+                    .ok_or_else(|| cli_error("--nodes needs an integer in 2..=64"))?;
+            }
+            "--shards" => {
+                options.shards = iter
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .filter(|&n| (1..=1024).contains(&n))
+                    .ok_or_else(|| cli_error("--shards needs an integer in 1..=1024"))?;
+            }
+            "--queue-depth" => {
+                options.queue_depth = iter
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| cli_error("--queue-depth needs a positive integer"))?;
+            }
+            "--scale" => {
+                let divisor = iter
+                    .next()
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| cli_error("--scale needs a positive integer"))?;
+                options.scale = Scale::new(divisor);
+            }
+            "--routing-out" => {
+                let path = iter.next().ok_or_else(|| cli_error("--routing-out needs a path"))?;
+                options.routing_out = Some(PathBuf::from(path));
+            }
+            "--help" | "-h" => return Err(cli_error(CLUSTER_USAGE)),
+            other => {
+                return Err(cli_error(format!("unexpected argument `{other}`\n{CLUSTER_USAGE}")))
+            }
+        }
+    }
+    Ok(options)
+}
+
+/// One spawned child and the line reader still attached to its stdout.
+struct ChildNode {
+    id: String,
+    child: Child,
+    stdout: Option<BufReader<std::process::ChildStdout>>,
+}
+
+fn spawn_node(id: &str, options: &ClusterOptions) -> Result<ChildNode, VlppError> {
+    let exe = std::env::current_exe()
+        .map_err(|source| VlppError::io("current-exe", "resolve", source))?;
+    let child = Command::new(&exe)
+        .arg("serve")
+        .args(["--listen", "127.0.0.1:0"])
+        .args(["--queue-depth", &options.queue_depth.to_string()])
+        .args(["--scale", &options.scale.divisor().to_string()])
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .spawn()
+        .map_err(|source| VlppError::io(exe, "spawn", source))?;
+    let mut child = child;
+    let stdout = child
+        .stdout
+        .take()
+        .ok_or_else(|| VlppError::protocol(None, format!("node `{id}` has no stdout pipe")))?;
+    Ok(ChildNode { id: id.to_string(), child, stdout: Some(BufReader::new(stdout)) })
+}
+
+/// Reads the child's `SERVE {json}` announce line and extracts its
+/// address and pid.
+fn read_announce(node: &mut ChildNode) -> Result<Node, VlppError> {
+    let stdout = node.stdout.as_mut().expect("announce is read before the drain takes stdout");
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let n = stdout
+            .read_line(&mut line)
+            .map_err(|source| VlppError::io(format!("node-{}", node.id), "read", source))?;
+        if n == 0 {
+            return Err(VlppError::protocol(
+                None,
+                format!("node `{}` exited before announcing", node.id),
+            ));
+        }
+        let Some(json) = line.strip_prefix("SERVE ") else { continue };
+        let value = JsonValue::parse(json.trim())
+            .map_err(|source| VlppError::Json { what: "SERVE announce".to_string(), source })?;
+        let addr = value.get("addr").and_then(|v| v.as_str()).ok_or_else(|| {
+            VlppError::protocol(None, format!("node `{}` announce has no addr", node.id))
+        })?;
+        let pid = value.get("pid").and_then(|v| v.as_u64()).ok_or_else(|| {
+            VlppError::protocol(None, format!("node `{}` announce has no pid", node.id))
+        })?;
+        return Ok(Node { id: node.id.clone(), addr: addr.to_string(), pid });
+    }
+}
+
+/// `vlpp cluster` entry point: spawn, route, announce, supervise.
+///
+/// # Errors
+///
+/// [`VlppError::Cli`] for bad arguments, [`VlppError::Io`] /
+/// [`VlppError::Protocol`] if a child cannot be spawned or never
+/// announces.
+pub fn cluster_main(args: &[String]) -> Result<(), VlppError> {
+    let options = parse_cluster_args(args)?;
+    run_cluster(&options)
+}
+
+/// Runs the cluster supervisor (see [`cluster_main`]).
+///
+/// # Errors
+///
+/// See [`cluster_main`].
+pub fn run_cluster(options: &ClusterOptions) -> Result<(), VlppError> {
+    let mut children = Vec::with_capacity(options.nodes);
+    for i in 0..options.nodes {
+        children.push(spawn_node(&format!("node{i}"), options)?);
+    }
+    let nodes = children.iter_mut().map(read_announce).collect::<Result<Vec<Node>, _>>()?;
+    let table = RoutingTable::build(options.shards, nodes)
+        .map_err(|message| cli_error(format!("cannot build routing table: {message}")))?;
+    vlpp_metrics::counter("cluster.nodes").add(options.nodes as u64);
+
+    let wire = table.to_json();
+    if let Some(path) = &options.routing_out {
+        // Atomic like the snapshots: whole file or no file.
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, format!("{wire}\n"))
+            .map_err(|source| VlppError::io(tmp.clone(), "write", source))?;
+        std::fs::rename(&tmp, path)
+            .map_err(|source| VlppError::io(path.clone(), "rename", source))?;
+    }
+    println!("CLUSTER {wire}");
+    let _ = std::io::stdout().flush();
+
+    // Forward remaining child output to stderr (prefixed) so a child's
+    // diagnostics aren't lost in a blocked pipe, then wait them out.
+    let drains: Vec<_> = children
+        .iter_mut()
+        .filter_map(|node| {
+            let mut stdout = node.stdout.take()?;
+            let id = node.id.clone();
+            Some(thread::spawn(move || {
+                let mut line = String::new();
+                while matches!(stdout.read_line(&mut line), Ok(n) if n > 0) {
+                    eprint!("{id}| {line}");
+                    line.clear();
+                }
+            }))
+        })
+        .collect();
+
+    let mut exited_clean = 0usize;
+    let mut died = 0usize;
+    for node in &mut children {
+        match node.child.wait() {
+            Ok(status) if status.success() => exited_clean += 1,
+            Ok(_) => {
+                // Killed or failed — the failover drill's expected
+                // casualty. Survivors keep the shards serviceable.
+                died += 1;
+                vlpp_metrics::counter("cluster.nodes_died").incr();
+                eprintln!("cluster: node `{}` terminated abnormally", node.id);
+            }
+            Err(error) => {
+                died += 1;
+                eprintln!("cluster: cannot wait for node `{}`: {error}", node.id);
+            }
+        }
+    }
+    for drain in drains {
+        let _ = drain.join();
+    }
+    let summary = JsonValue::Object(vec![
+        ("nodes".to_string(), JsonValue::UInt(options.nodes as u64)),
+        ("exited_clean".to_string(), JsonValue::UInt(exited_clean as u64)),
+        ("died".to_string(), JsonValue::UInt(died as u64)),
+    ]);
+    println!("CLUSTER_EXIT {summary}");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<ClusterOptions, VlppError> {
+        parse_cluster_args(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn parses_defaults_and_flags() {
+        let options = parse(&[]).unwrap();
+        assert_eq!(options.nodes, 2);
+        assert_eq!(options.shards, 4);
+        let options = parse(&[
+            "--nodes",
+            "3",
+            "--shards",
+            "8",
+            "--queue-depth",
+            "16",
+            "--scale",
+            "1000000",
+            "--routing-out",
+            "/tmp/r.json",
+        ])
+        .unwrap();
+        assert_eq!(options.nodes, 3);
+        assert_eq!(options.shards, 8);
+        assert_eq!(options.queue_depth, 16);
+        assert_eq!(options.scale.divisor(), 1_000_000);
+        assert_eq!(options.routing_out.as_deref(), Some(std::path::Path::new("/tmp/r.json")));
+    }
+
+    /// Zero (and one-node) counts are typed CLI errors, never clamps:
+    /// a single node cannot host a replica, and zero shards routes
+    /// nothing.
+    #[test]
+    fn zero_and_single_counts_are_rejected_not_clamped() {
+        for bad in [
+            &["--nodes", "0"][..],
+            &["--nodes", "1"],
+            &["--shards", "0"],
+            &["--queue-depth", "0"],
+            &["--scale", "0"],
+        ] {
+            let error = parse(bad).unwrap_err();
+            assert_eq!(error.phase(), "cli", "{bad:?}");
+        }
+    }
+}

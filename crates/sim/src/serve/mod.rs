@@ -27,16 +27,19 @@
 //! frames still execute, every response still goes out, and the process
 //! exits 0 once the last processor finishes.
 
+pub mod cluster;
 pub mod loadgen;
 pub mod model;
 pub mod protocol;
+pub mod routing;
+pub mod snapshot;
 
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 #[cfg(unix)]
 use std::os::unix::net::{UnixListener, UnixStream};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
@@ -73,15 +76,19 @@ pub struct ServeOptions {
     pub scale: Scale,
     /// Print the metrics table + `METRICS` line on exit.
     pub metrics: bool,
+    /// Warm restart: load this model snapshot before announcing.
+    pub snapshot: Option<PathBuf>,
 }
 
 const SERVE_USAGE: &str = "\
 usage: vlpp serve [--listen HOST:PORT | --uds PATH] [--queue-depth N]
-                  [--scale N] [--metrics]
+                  [--scale N] [--metrics] [--snapshot FILE]
 
 Binds, prints one `SERVE {json}` line on stdout announcing the bound
 address, then serves the framed JSON protocol until a `shutdown` verb
-arrives. See SERVING.md.
+arrives. With --snapshot, models saved by the `save` verb are loaded
+before the announce line, so clients never see a half-warm server.
+See SERVING.md.
 ";
 
 fn cli_error(message: impl Into<String>) -> VlppError {
@@ -99,6 +106,7 @@ pub fn parse_serve_args(args: &[String]) -> Result<ServeOptions, VlppError> {
         queue_depth: DEFAULT_QUEUE_DEPTH,
         scale: Scale::from_env(),
         metrics: false,
+        snapshot: None,
     };
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -130,6 +138,10 @@ pub fn parse_serve_args(args: &[String]) -> Result<ServeOptions, VlppError> {
                 options.scale = Scale::new(divisor);
             }
             "--metrics" => options.metrics = true,
+            "--snapshot" => {
+                let path = iter.next().ok_or_else(|| cli_error("--snapshot needs a file path"))?;
+                options.snapshot = Some(PathBuf::from(path));
+            }
             "--help" | "-h" => return Err(cli_error(SERVE_USAGE)),
             other => {
                 return Err(cli_error(format!("unexpected argument `{other}`\n{SERVE_USAGE}")))
@@ -343,19 +355,31 @@ fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
 pub fn serve(options: ServeOptions) -> Result<(), VlppError> {
     let listener = Listener::bind(&options.listen)?;
     let (transport, addr) = listener.describe()?;
+
+    // Warm restart happens between bind and announce: the port is held
+    // (no restart race), but no client connects until the models are
+    // fully restored.
+    let mut models = HashMap::new();
+    if let Some(path) = &options.snapshot {
+        for model in snapshot::load_models(path, options.scale)? {
+            models.insert(model.spec.name.clone(), model);
+        }
+    }
+
     let announce = JsonValue::Object(vec![
         ("transport".to_string(), JsonValue::Str(transport.to_string())),
         ("addr".to_string(), JsonValue::Str(addr)),
         ("queue_depth".to_string(), JsonValue::UInt(options.queue_depth as u64)),
         ("scale".to_string(), JsonValue::UInt(options.scale.divisor())),
         ("pid".to_string(), JsonValue::UInt(std::process::id() as u64)),
+        ("snapshot_models".to_string(), JsonValue::UInt(models.len() as u64)),
     ]);
     println!("SERVE {announce}");
     let _ = io::stdout().flush();
 
     let shared = Arc::new(Shared {
         workloads: Workloads::new(options.scale),
-        models: Mutex::new(HashMap::new()),
+        models: Mutex::new(models),
         draining: AtomicBool::new(false),
         conns: Mutex::new(HashMap::new()),
         wake: listener.wake_handle()?,
@@ -538,6 +562,48 @@ fn execute(verb: Verb, shared: &Shared) -> Result<Vec<(String, JsonValue)>, Vlpp
             // HashMap order is not deterministic; the wire form is.
             entries.sort_by(|a, b| a.0.cmp(&b.0));
             Ok(vec![("stats".to_string(), JsonValue::Object(entries))])
+        }
+        Verb::Save { path, model } => {
+            let models: Vec<Arc<Model>> = match model {
+                Some(name) => vec![shared.lookup(&name, "save")?],
+                None => {
+                    let map = lock(&shared.models);
+                    let mut all: Vec<Arc<Model>> = map.values().cloned().collect();
+                    // HashMap order is not deterministic; the file is.
+                    all.sort_by(|a, b| a.spec.name.cmp(&b.spec.name));
+                    all
+                }
+            };
+            if models.is_empty() {
+                return Err(VlppError::protocol(
+                    Some("save".to_string()),
+                    "no models to save (train one first)",
+                ));
+            }
+            let report =
+                snapshot::save_models(Path::new(&path), &models, shared.workloads.scale())?;
+            Ok(vec![
+                ("path".to_string(), JsonValue::Str(path)),
+                ("bytes".to_string(), JsonValue::UInt(report.bytes)),
+                ("sections".to_string(), JsonValue::UInt(report.sections as u64)),
+                (
+                    "models".to_string(),
+                    JsonValue::Array(report.models.into_iter().map(JsonValue::Str).collect()),
+                ),
+            ])
+        }
+        Verb::Load { path } => {
+            let loaded = snapshot::load_models(Path::new(&path), shared.workloads.scale())?;
+            let names: Vec<JsonValue> =
+                loaded.iter().map(|m| JsonValue::Str(m.spec.name.clone())).collect();
+            let mut map = lock(&shared.models);
+            for model in loaded {
+                map.insert(model.spec.name.clone(), model);
+            }
+            Ok(vec![
+                ("path".to_string(), JsonValue::Str(path)),
+                ("models".to_string(), JsonValue::Array(names)),
+            ])
         }
         Verb::Shutdown => {
             // Flag first so the acceptor cannot miss it, then force

@@ -23,11 +23,12 @@
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
 
-use vlpp_core::{CondKernel, IndKernel, PathConfig, ProfileReport};
+use vlpp_core::{CondKernel, HashAssignment, IndKernel, KernelState, PathConfig, ProfileReport};
 use vlpp_pool::Pool;
 use vlpp_trace::json::{JsonValue, ToJson};
 use vlpp_trace::{Addr, BranchRecord, VlppError};
 
+use super::routing;
 use crate::experiment::Workloads;
 
 /// Which branch population a served model predicts.
@@ -168,6 +169,29 @@ impl ShardState {
     }
 }
 
+/// One shard's complete serializable dynamic state, as the snapshot
+/// codec carries it: the shared kernel core plus the kind-specific
+/// prediction plane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardSnapshot {
+    /// A conditional shard: core state + the 2-bit counter plane words.
+    Conditional {
+        /// Kernel core state (hashers, history stack, statistics rows).
+        state: KernelState,
+        /// The counter plane's packed words.
+        words: Vec<u64>,
+    },
+    /// An indirect shard: core state + the target plane's two arrays.
+    Indirect {
+        /// Kernel core state (hashers, history stack, statistics rows).
+        state: KernelState,
+        /// The target plane's full-width target slots.
+        targets: Vec<u64>,
+        /// The target plane's valid bitmap words.
+        valid: Vec<u64>,
+    },
+}
+
 /// A trained, shard-partitioned predictor instance.
 pub struct Model {
     /// The spec the model was trained from.
@@ -177,6 +201,9 @@ pub struct Model {
     pub profiled_branches: usize,
     /// The assignment's default hash number.
     pub default_hash: u8,
+    /// The profiled hash assignment the shards were built from — kept
+    /// so a snapshot can rebuild the model without re-profiling.
+    assignment: HashAssignment,
     shards: Vec<Mutex<ShardState>>,
 }
 
@@ -240,14 +267,104 @@ impl Model {
         Ok(Model {
             profiled_branches: report.profiled_branches,
             default_hash: report.default_hash,
+            assignment: report.assignment.clone(),
             spec,
             shards,
         })
     }
 
-    /// The shard that owns the branch at `pc`.
+    /// The shard that owns the branch at `pc` (see
+    /// [`routing::shard_of`] — the same map the cluster routing table
+    /// uses).
     pub fn owner(&self, pc: Addr) -> usize {
-        (pc.word() % self.shards.len() as u64) as usize
+        routing::shard_of(pc, self.shards.len())
+    }
+
+    /// The profiled hash assignment the shards were built from.
+    pub fn assignment(&self) -> &HashAssignment {
+        &self.assignment
+    }
+
+    /// Exports every shard's dynamic state, in shard order. Each shard
+    /// is locked only while it is copied, so an export during live
+    /// traffic is per-shard consistent (callers who need a fully
+    /// quiescent image stop sending first, as `vlpp loadgen --save`
+    /// does).
+    pub fn export_shards(&self) -> Vec<ShardSnapshot> {
+        self.shards
+            .iter()
+            .map(|shard| match &lock_shard(shard).predictor {
+                ShardPredictor::Conditional(kernel) => {
+                    let (state, words) = kernel.export_state();
+                    ShardSnapshot::Conditional { state, words }
+                }
+                ShardPredictor::Indirect(kernel) => {
+                    let (state, targets, valid) = kernel.export_state();
+                    ShardSnapshot::Indirect { state, targets, valid }
+                }
+            })
+            .collect()
+    }
+
+    /// Rebuilds a model from snapshot parts: fresh kernels from the
+    /// spec + assignment, then each shard's dynamic state restored into
+    /// them. The inverse of [`Model::export_shards`].
+    ///
+    /// # Errors
+    ///
+    /// A message naming the first inconsistency: shard-count or
+    /// kind/state mismatches, or any damage the kernel-level
+    /// `restore_state` validation rejects. Nothing panics; the caller
+    /// (the snapshot loader) wraps the message in a typed
+    /// [`VlppError::Checkpoint`].
+    pub fn from_snapshot(
+        spec: ModelSpec,
+        profiled_branches: usize,
+        assignment: HashAssignment,
+        shard_states: Vec<ShardSnapshot>,
+    ) -> Result<Model, String> {
+        if spec.shards == 0 {
+            return Err("shard count must be at least 1".to_string());
+        }
+        if shard_states.len() != spec.shards {
+            return Err(format!(
+                "snapshot has {} shard sections, spec says {}",
+                shard_states.len(),
+                spec.shards
+            ));
+        }
+        let default_hash = assignment.default_hash();
+        let shards = shard_states
+            .into_iter()
+            .enumerate()
+            .map(|(i, snapshot)| {
+                let config = PathConfig::new(spec.index_bits);
+                let predictor = match (spec.kind, snapshot) {
+                    (ModelKind::Conditional, ShardSnapshot::Conditional { state, words }) => {
+                        let mut kernel = CondKernel::new(&config, &assignment);
+                        kernel
+                            .restore_state(&state, words)
+                            .map_err(|why| format!("shard {i}: {why}"))?;
+                        ShardPredictor::Conditional(kernel)
+                    }
+                    (ModelKind::Indirect, ShardSnapshot::Indirect { state, targets, valid }) => {
+                        let mut kernel = IndKernel::new(&config, &assignment);
+                        kernel
+                            .restore_state(&state, targets, valid)
+                            .map_err(|why| format!("shard {i}: {why}"))?;
+                        ShardPredictor::Indirect(kernel)
+                    }
+                    (kind, _) => {
+                        return Err(format!(
+                            "shard {i}: state kind does not match the spec's `{}`",
+                            kind.name()
+                        ));
+                    }
+                };
+                Ok(Mutex::new(ShardState { predictor }))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(Model { spec, profiled_branches, default_hash, assignment, shards })
     }
 
     /// Runs a batch through the shards on the global worker pool:
@@ -281,17 +398,24 @@ impl Model {
     }
 
     /// Accuracy totals across all shards, as the `stats` verb reports
-    /// them.
+    /// them — aggregate counters plus a `per_shard` breakdown in shard
+    /// order (what the cluster oracle compares shard-by-shard after a
+    /// failover).
     pub fn stats_json(&self) -> JsonValue {
         let mut predictions = 0u64;
         let mut mispredictions = 0u64;
         let mut static_branches = 0usize;
+        let mut per_shard = Vec::with_capacity(self.shards.len());
         for shard in &self.shards {
             let state = lock_shard(shard);
             let (p, m) = state.totals();
             predictions += p;
             mispredictions += m;
             static_branches += state.static_branches();
+            per_shard.push(JsonValue::Object(vec![
+                ("predictions".to_string(), JsonValue::UInt(p)),
+                ("mispredictions".to_string(), JsonValue::UInt(m)),
+            ]));
         }
         let miss_rate =
             if predictions == 0 { 0.0 } else { mispredictions as f64 / predictions as f64 };
@@ -304,6 +428,7 @@ impl Model {
             ("mispredictions".to_string(), JsonValue::UInt(mispredictions)),
             ("miss_rate".to_string(), JsonValue::Float(miss_rate)),
             ("static_branches".to_string(), JsonValue::UInt(static_branches as u64)),
+            ("per_shard".to_string(), JsonValue::Array(per_shard)),
         ])
     }
 }

@@ -21,7 +21,7 @@ pub struct Request {
     pub verb: Verb,
 }
 
-/// The five verbs of the serving protocol.
+/// The verbs of the serving protocol.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Verb {
     /// Build (or rebuild) a named predictor instance from a profiled
@@ -49,6 +49,21 @@ pub enum Verb {
         /// The model to report, or `None` for a per-model summary.
         model: Option<String>,
     },
+    /// Persist one model (or every model) to a versioned snapshot file
+    /// on the *server's* filesystem.
+    Save {
+        /// Where to write the snapshot.
+        path: String,
+        /// The model to save, or `None` for all models (sorted by
+        /// name).
+        model: Option<String>,
+    },
+    /// Load every model from a snapshot file on the server's
+    /// filesystem, replacing same-named models.
+    Load {
+        /// The snapshot to read.
+        path: String,
+    },
     /// Graceful drain: stop accepting connections, finish queued
     /// requests, then exit.
     Shutdown,
@@ -62,6 +77,8 @@ impl Verb {
             Verb::Predict { .. } => "predict",
             Verb::Update { .. } => "update",
             Verb::Stats { .. } => "stats",
+            Verb::Save { .. } => "save",
+            Verb::Load { .. } => "load",
             Verb::Shutdown => "shutdown",
         }
     }
@@ -213,6 +230,16 @@ pub fn parse_request(payload: &[u8]) -> Result<Request, VlppError> {
                 })?),
             },
         },
+        "save" => Verb::Save {
+            path: str_field(&value, Some("save"), "path")?,
+            model: match value.get("model") {
+                None => None,
+                Some(model) => Some(model.as_str().map(str::to_string).ok_or_else(|| {
+                    VlppError::protocol(Some("save".to_string()), "field `model` must be a string")
+                })?),
+            },
+        },
+        "load" => Verb::Load { path: str_field(&value, Some("load"), "path")? },
         "shutdown" => Verb::Shutdown,
         other => {
             return Err(VlppError::protocol(
@@ -299,6 +326,22 @@ mod tests {
         ));
         assert!(matches!(parse(r#"{"verb":"stats"}"#).unwrap().verb, Verb::Stats { model: None }));
         assert!(matches!(parse(r#"{"verb":"shutdown"}"#).unwrap().verb, Verb::Shutdown));
+
+        match parse(r#"{"verb":"save","path":"/tmp/m.vlps","model":"m"}"#).unwrap().verb {
+            Verb::Save { path, model } => {
+                assert_eq!(path, "/tmp/m.vlps");
+                assert_eq!(model.as_deref(), Some("m"));
+            }
+            other => panic!("expected save, got {other:?}"),
+        }
+        assert!(matches!(
+            parse(r#"{"verb":"save","path":"/tmp/m.vlps"}"#).unwrap().verb,
+            Verb::Save { model: None, .. }
+        ));
+        assert!(matches!(
+            parse(r#"{"verb":"load","path":"/tmp/m.vlps"}"#).unwrap().verb,
+            Verb::Load { .. }
+        ));
     }
 
     #[test]
@@ -308,6 +351,12 @@ mod tests {
         assert_eq!(parse(r#"{"no":"verb"}"#).unwrap_err().phase(), "protocol");
         assert_eq!(parse(r#"{"verb":"fly"}"#).unwrap_err().phase(), "protocol");
         assert_eq!(parse(r#"{"verb":"predict"}"#).unwrap_err().phase(), "protocol");
+        assert_eq!(parse(r#"{"verb":"save"}"#).unwrap_err().phase(), "protocol");
+        assert_eq!(parse(r#"{"verb":"load"}"#).unwrap_err().phase(), "protocol");
+        assert_eq!(
+            parse(r#"{"verb":"save","path":"p","model":7}"#).unwrap_err().phase(),
+            "protocol"
+        );
         let error = parse(r#"{"verb":"predict","model":"m","records":[{"pc":1}]}"#).unwrap_err();
         assert!(error.to_string().contains("target"), "{error}");
         let error = parse(

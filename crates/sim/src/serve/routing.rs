@@ -1,0 +1,353 @@
+//! Shard routing: the shard→process map behind `vlpp cluster`.
+//!
+//! # The shard map, made explicit
+//!
+//! A served model places the branch at `pc` in shard
+//! [`shard_of(pc, shards)`](shard_of) — the single definition both
+//! [`super::model::Model::owner`] and every cluster client use, so a
+//! record routed by a client lands on the process that owns exactly
+//! that shard's kernel.
+//!
+//! # Node assignment
+//!
+//! [`RoutingTable`] maps each shard to a *primary* and a *replica*
+//! node by rendezvous (highest-random-weight) hashing: every
+//! `(shard, node)` pair gets a deterministic score, the top-scoring
+//! node is the primary and the runner-up the replica. Rendezvous
+//! hashing gives minimal disruption — removing a node only remaps the
+//! shards that node held, everything else keeps its owner — which is
+//! what makes [`RoutingTable::migrate`] and failover local operations.
+//!
+//! Writes fan out to primary + replica (the `update` verb applies the
+//! same state transition as `predict`, so the replica's kernel stays
+//! byte-identical); reads go to the primary and fail over to the
+//! replica when the primary dies. `SERVING.md` documents the contract.
+
+use vlpp_trace::json::JsonValue;
+use vlpp_trace::Addr;
+
+/// The shard that owns the branch at `pc` in a `shards`-way model.
+///
+/// This is the determinism contract's partition function: every static
+/// branch maps to exactly one shard, so a shard sees a deterministic
+/// sub-stream of the trace.
+///
+/// # Panics
+///
+/// Panics if `shards` is zero (no model has zero shards; both `train`
+/// paths reject that before a model exists).
+#[inline]
+pub fn shard_of(pc: Addr, shards: usize) -> usize {
+    assert!(shards >= 1, "a model has at least one shard");
+    (pc.word() % shards as u64) as usize
+}
+
+/// One serve process in a cluster.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Node {
+    /// Stable node name (`node0`, `node1`, … as `vlpp cluster` spawns
+    /// them) — the rendezvous-hash identity, so scores survive
+    /// restarts with new ports.
+    pub id: String,
+    /// The node's announced `HOST:PORT`.
+    pub addr: String,
+    /// The node's process id (what `--kill` aims at).
+    pub pid: u64,
+}
+
+impl Node {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            ("id".to_string(), JsonValue::Str(self.id.clone())),
+            ("addr".to_string(), JsonValue::Str(self.addr.clone())),
+            ("pid".to_string(), JsonValue::UInt(self.pid)),
+        ])
+    }
+}
+
+/// The rendezvous score of `(shard, node id)`: FNV-1a over the id,
+/// mixed with the shard number through the splitmix-style finalizer.
+fn score(shard: usize, id: &str) -> u64 {
+    vlpp_check::rng::mix(
+        vlpp_trace::compact::fnv1a64(id.as_bytes()) ^ vlpp_check::rng::mix(shard as u64 + 1),
+    )
+}
+
+/// The explicit shard→process map: which node is primary and which is
+/// replica for every shard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoutingTable {
+    shards: usize,
+    nodes: Vec<Node>,
+    /// `assignments[shard] = [primary, replica]`, indices into `nodes`.
+    assignments: Vec<[usize; 2]>,
+}
+
+impl RoutingTable {
+    /// Builds the table by rendezvous hashing: for each shard, the
+    /// highest-scoring node is primary and the runner-up is replica.
+    ///
+    /// # Errors
+    ///
+    /// A message if `shards` is zero or fewer than two nodes are given
+    /// (one replica per shard needs a second process to live on).
+    pub fn build(shards: usize, nodes: Vec<Node>) -> Result<RoutingTable, String> {
+        if shards == 0 {
+            return Err("a routing table needs at least one shard".to_string());
+        }
+        if nodes.len() < 2 {
+            return Err(format!(
+                "a routing table needs at least 2 nodes for primary + replica, got {}",
+                nodes.len()
+            ));
+        }
+        let assignments = (0..shards)
+            .map(|shard| {
+                let mut ranked: Vec<usize> = (0..nodes.len()).collect();
+                // Scores tie only if two nodes share an id; the index
+                // tiebreak keeps the sort total either way.
+                ranked.sort_by_key(|&n| (std::cmp::Reverse(score(shard, &nodes[n].id)), n));
+                [ranked[0], ranked[1]]
+            })
+            .collect();
+        Ok(RoutingTable { shards, nodes, assignments })
+    }
+
+    /// Number of shards routed.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The cluster's nodes.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// The primary node for `shard`.
+    pub fn primary(&self, shard: usize) -> &Node {
+        &self.nodes[self.assignments[shard][0]]
+    }
+
+    /// The replica node for `shard`.
+    pub fn replica(&self, shard: usize) -> &Node {
+        &self.nodes[self.assignments[shard][1]]
+    }
+
+    /// Live shard migration: makes `node_id` the primary for `shard`.
+    /// If the node was the shard's replica, primary and replica swap;
+    /// otherwise the old primary becomes the replica. Other shards are
+    /// untouched.
+    ///
+    /// # Errors
+    ///
+    /// A message for an out-of-range shard or an unknown node id.
+    pub fn migrate(&mut self, shard: usize, node_id: &str) -> Result<(), String> {
+        if shard >= self.shards {
+            return Err(format!("shard {shard} out of range ({} shards)", self.shards));
+        }
+        let node = self
+            .nodes
+            .iter()
+            .position(|n| n.id == node_id)
+            .ok_or_else(|| format!("unknown node `{node_id}`"))?;
+        let [primary, replica] = self.assignments[shard];
+        self.assignments[shard] = if node == primary {
+            [primary, replica]
+        } else if node == replica {
+            [replica, primary]
+        } else {
+            [node, primary]
+        };
+        Ok(())
+    }
+
+    /// The table's wire form, as `vlpp cluster` prints it and
+    /// `vlpp loadgen --routing` reads it back.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            ("shards".to_string(), JsonValue::UInt(self.shards as u64)),
+            ("nodes".to_string(), JsonValue::Array(self.nodes.iter().map(Node::to_json).collect())),
+            (
+                "assignments".to_string(),
+                JsonValue::Array(
+                    self.assignments
+                        .iter()
+                        .map(|&[p, r]| {
+                            JsonValue::Array(vec![
+                                JsonValue::UInt(p as u64),
+                                JsonValue::UInt(r as u64),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Parses the wire form back, validating every index.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the first missing or inconsistent field.
+    pub fn from_json(value: &JsonValue) -> Result<RoutingTable, String> {
+        let shards = value
+            .get("shards")
+            .and_then(|v| v.as_u64())
+            .ok_or("routing table needs a `shards` count")? as usize;
+        if shards == 0 {
+            return Err("a routing table needs at least one shard".to_string());
+        }
+        let nodes = value
+            .get("nodes")
+            .and_then(|v| v.as_array())
+            .ok_or("routing table needs a `nodes` array")?
+            .iter()
+            .map(|node| {
+                Ok(Node {
+                    id: node
+                        .get("id")
+                        .and_then(|v| v.as_str())
+                        .ok_or("node needs an `id`")?
+                        .to_string(),
+                    addr: node
+                        .get("addr")
+                        .and_then(|v| v.as_str())
+                        .ok_or("node needs an `addr`")?
+                        .to_string(),
+                    pid: node.get("pid").and_then(|v| v.as_u64()).ok_or("node needs a `pid`")?,
+                })
+            })
+            .collect::<Result<Vec<Node>, &str>>()?;
+        if nodes.len() < 2 {
+            return Err(format!("a routing table needs at least 2 nodes, got {}", nodes.len()));
+        }
+        let raw = value
+            .get("assignments")
+            .and_then(|v| v.as_array())
+            .ok_or("routing table needs an `assignments` array")?;
+        if raw.len() != shards {
+            return Err(format!("{} assignments for {shards} shards", raw.len()));
+        }
+        let assignments = raw
+            .iter()
+            .enumerate()
+            .map(|(shard, pair)| {
+                let pair = pair.as_array().filter(|p| p.len() == 2).ok_or_else(|| {
+                    format!("assignment for shard {shard} must be a [primary, replica] pair")
+                })?;
+                let index = |v: &JsonValue| -> Result<usize, String> {
+                    let i =
+                        v.as_u64().map(|i| i as usize).filter(|&i| i < nodes.len()).ok_or_else(
+                            || format!("shard {shard} references a node out of range"),
+                        )?;
+                    Ok(i)
+                };
+                let (p, r) = (index(&pair[0])?, index(&pair[1])?);
+                if p == r {
+                    return Err(format!("shard {shard} has the same primary and replica"));
+                }
+                Ok([p, r])
+            })
+            .collect::<Result<Vec<[usize; 2]>, String>>()?;
+        Ok(RoutingTable { shards, nodes, assignments })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nodes(n: usize) -> Vec<Node> {
+        (0..n)
+            .map(|i| Node {
+                id: format!("node{i}"),
+                addr: format!("127.0.0.1:{}", 9000 + i),
+                pid: 100 + i as u64,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn shard_of_matches_the_model_partition() {
+        for pc in [0u64, 2, 4, 0x4000, 0x1_0000_0000, u64::MAX - 1] {
+            let addr = Addr::new(pc);
+            assert_eq!(shard_of(addr, 4), (addr.word() % 4) as usize);
+        }
+    }
+
+    #[test]
+    fn build_assigns_distinct_primary_and_replica() {
+        let table = RoutingTable::build(16, nodes(3)).unwrap();
+        for shard in 0..16 {
+            assert_ne!(table.primary(shard).id, table.replica(shard).id, "shard {shard}");
+        }
+        // Deterministic: the same inputs build the same table.
+        assert_eq!(table, RoutingTable::build(16, nodes(3)).unwrap());
+    }
+
+    #[test]
+    fn build_needs_two_nodes_and_one_shard() {
+        assert!(RoutingTable::build(4, nodes(1)).is_err());
+        assert!(RoutingTable::build(0, nodes(2)).is_err());
+    }
+
+    #[test]
+    fn rendezvous_removal_only_remaps_the_dead_nodes_shards() {
+        let before = RoutingTable::build(64, nodes(4)).unwrap();
+        // Drop node3 and rebuild: shards whose primary was not node3
+        // must keep their primary (minimal disruption).
+        let after = RoutingTable::build(64, nodes(3)).unwrap();
+        for shard in 0..64 {
+            if before.primary(shard).id != "node3" {
+                assert_eq!(before.primary(shard).id, after.primary(shard).id, "shard {shard}");
+            }
+        }
+    }
+
+    #[test]
+    fn migrate_moves_one_shard_only() {
+        let mut table = RoutingTable::build(8, nodes(3)).unwrap();
+        let before = table.clone();
+        let target = before.replica(5).id.clone();
+        table.migrate(5, &target).unwrap();
+        assert_eq!(table.primary(5).id, target);
+        assert_eq!(table.replica(5).id, before.primary(5).id);
+        for shard in (0..8).filter(|&s| s != 5) {
+            assert_eq!(table.primary(shard).id, before.primary(shard).id);
+            assert_eq!(table.replica(shard).id, before.replica(shard).id);
+        }
+        // Migrating to a non-member: old primary demotes to replica.
+        let outsider = (0..3)
+            .map(|i| format!("node{i}"))
+            .find(|id| *id != table.primary(2).id && *id != table.replica(2).id)
+            .unwrap();
+        let old_primary = table.primary(2).id.clone();
+        table.migrate(2, &outsider).unwrap();
+        assert_eq!(table.primary(2).id, outsider);
+        assert_eq!(table.replica(2).id, old_primary);
+        assert!(table.migrate(99, "node0").is_err());
+        assert!(table.migrate(0, "nonesuch").is_err());
+    }
+
+    #[test]
+    fn json_round_trips_and_rejects_damage() {
+        let table = RoutingTable::build(8, nodes(3)).unwrap();
+        let wire = table.to_json();
+        assert_eq!(RoutingTable::from_json(&wire).unwrap(), table);
+
+        let parsed = wire.to_string();
+        let reparsed = JsonValue::parse(&parsed).unwrap();
+        assert_eq!(RoutingTable::from_json(&reparsed).unwrap(), table);
+
+        for damage in [
+            r#"{"nodes":[],"assignments":[]}"#,
+            r#"{"shards":1,"nodes":[{"id":"a","addr":"x","pid":1}],"assignments":[[0,0]]}"#,
+            r#"{"shards":1,"nodes":[{"id":"a","addr":"x","pid":1},{"id":"b","addr":"y","pid":2}],"assignments":[[0,0]]}"#,
+            r#"{"shards":2,"nodes":[{"id":"a","addr":"x","pid":1},{"id":"b","addr":"y","pid":2}],"assignments":[[0,1]]}"#,
+            r#"{"shards":1,"nodes":[{"id":"a","addr":"x","pid":1},{"id":"b","addr":"y","pid":2}],"assignments":[[0,7]]}"#,
+        ] {
+            let value = JsonValue::parse(damage).unwrap();
+            assert!(RoutingTable::from_json(&value).is_err(), "{damage}");
+        }
+    }
+}

@@ -43,6 +43,25 @@ pub enum TraceIoError {
         /// Byte offset at which the incomplete read began.
         byte_offset: u64,
     },
+    /// A snapshot section's payload failed its checksum.
+    ChecksumMismatch {
+        /// The section whose payload was damaged.
+        section: String,
+        /// The checksum the envelope declared.
+        expected: u64,
+        /// The checksum computed over the payload actually read.
+        found: u64,
+        /// Byte offset just past the damaged payload.
+        byte_offset: u64,
+    },
+    /// A snapshot envelope field held a structurally impossible value
+    /// (zero or oversized length, non-UTF-8 name, trailing bytes).
+    Malformed {
+        /// What was wrong.
+        what: String,
+        /// Byte offset at which the bad field began.
+        byte_offset: u64,
+    },
 }
 
 impl fmt::Display for TraceIoError {
@@ -60,6 +79,14 @@ impl fmt::Display for TraceIoError {
             }
             TraceIoError::Truncated { records_read, byte_offset } => {
                 write!(f, "trace truncated after {records_read} records (at byte {byte_offset})")
+            }
+            TraceIoError::ChecksumMismatch { section, expected, found, byte_offset } => write!(
+                f,
+                "snapshot section `{section}` checksum mismatch: \
+                 expected {expected:#018x}, found {found:#018x} (at byte {byte_offset})"
+            ),
+            TraceIoError::Malformed { what, byte_offset } => {
+                write!(f, "malformed snapshot: {what} (at byte {byte_offset})")
             }
         }
     }
@@ -339,7 +366,14 @@ impl ToJson for VlppError {
             }
             _ => {}
         }
-        if let VlppError::Trace { source: TraceIoError::Truncated { byte_offset, .. }, .. } = self {
+        if let VlppError::Trace {
+            source:
+                TraceIoError::Truncated { byte_offset, .. }
+                | TraceIoError::ChecksumMismatch { byte_offset, .. }
+                | TraceIoError::Malformed { byte_offset, .. },
+            ..
+        } = self
+        {
             fields.push(("offset".to_string(), JsonValue::UInt(*byte_offset)));
         }
         JsonValue::Object(fields)

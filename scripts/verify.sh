@@ -13,7 +13,7 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-EXPECTED_STEPS=8
+EXPECTED_STEPS=10
 steps_run=0
 step() {
     steps_run=$((steps_run + 1))
@@ -22,8 +22,10 @@ step() {
 
 scratch=$(mktemp -d /tmp/vlpp_verify.XXXXXX)
 server_pid=""
+cluster_pid=""
 cleanup() {
     [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null || true
+    [ -n "$cluster_pid" ] && kill "$cluster_pid" 2>/dev/null || true
     rm -rf "$scratch"
 }
 trap cleanup EXIT
@@ -161,7 +163,107 @@ for threads in 1 8; do
 done
 echo "ok: served predictions match the offline reference at 1 and 8 threads"
 
-# 7. Panic-hygiene gate: no `.unwrap()` in non-test code under the
+# 7. Snapshot warm restart: replay a prefix through a live server and
+#    snapshot it, SIGKILL the server (a crash, not a drain), start a
+#    fresh server from the snapshot, and replay the rest with --skip.
+#    The second run's "stats_match":true proves the final counters
+#    equal the offline reference over the WHOLE stream: nothing lost to
+#    the crash, nothing double-counted by the restart (see SERVING.md).
+step "snapshot save -> kill -9 -> warm-restart oracle"
+snap="$scratch/model.vlps"
+: >"$scratch/serve.out"
+VLPP_THREADS=2 "$VLPP" serve --listen 127.0.0.1:0 --scale 1000000 \
+    >"$scratch/serve.out" 2>/dev/null &
+server_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^SERVE .*"addr":"\([^"]*\)".*/\1/p' "$scratch/serve.out")
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "error: snapshot-drill server printed no SERVE line" >&2
+    exit 1
+fi
+VLPP_THREADS=2 "$VLPP" loadgen --addr "$addr" --connections 4 --records 4000 \
+    --scale 1000000 --save "$snap" >"$scratch/loadgen.out" 2>&1
+if ! grep -q '"mismatches":0' "$scratch/loadgen.out"; then
+    echo "error: pre-snapshot loadgen run diverged:" >&2
+    cat "$scratch/loadgen.out" >&2
+    exit 1
+fi
+kill -9 "$server_pid" 2>/dev/null || true
+wait "$server_pid" 2>/dev/null || true
+server_pid=""
+if [ ! -s "$snap" ]; then
+    echo "error: snapshot file $snap is missing or empty after the kill" >&2
+    exit 1
+fi
+: >"$scratch/serve.out"
+VLPP_THREADS=2 "$VLPP" serve --listen 127.0.0.1:0 --scale 1000000 \
+    --snapshot "$snap" >"$scratch/serve.out" 2>/dev/null &
+server_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^SERVE .*"addr":"\([^"]*\)".*/\1/p' "$scratch/serve.out")
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "error: warm-restarted server printed no SERVE line" >&2
+    exit 1
+fi
+VLPP_THREADS=2 "$VLPP" loadgen --addr "$addr" --no-train --skip 4000 \
+    --records 8000 --connections 4 --scale 1000000 --shutdown \
+    >"$scratch/loadgen.out" 2>&1
+if ! grep -q '"mismatches":0' "$scratch/loadgen.out" ||
+    ! grep -q '"stats_match":true' "$scratch/loadgen.out"; then
+    echo "error: warm-restarted server diverged from the offline reference:" >&2
+    cat "$scratch/loadgen.out" >&2
+    exit 1
+fi
+wait "$server_pid"
+server_pid=""
+echo "ok: snapshot warm restart is lossless (oracle holds across kill -9)"
+
+# 8. Cluster failover drill: 3 serve processes behind the routing
+#    table, SIGKILL the primary of shard 0 mid-run, and require the
+#    loadgen oracle to hold across the failover — byte-identical
+#    predictions and shard-exact counters on the survivors — at 1 and
+#    at 8 server worker threads.
+step "cluster kill-a-node failover drill at 1 and 8 threads"
+for threads in 1 8; do
+    routing="$scratch/routing_$threads.json"
+    VLPP_THREADS="$threads" "$VLPP" cluster --nodes 3 --shards 4 --scale 1000000 \
+        --routing-out "$routing" >"$scratch/cluster.out" 2>/dev/null &
+    cluster_pid=$!
+    for _ in $(seq 1 100); do
+        [ -s "$routing" ] && break
+        sleep 0.1
+    done
+    if [ ! -s "$routing" ]; then
+        echo "error: vlpp cluster (VLPP_THREADS=$threads) wrote no routing table" >&2
+        exit 1
+    fi
+    # Kill the primary of shard 0 (assignments[0][0] indexes nodes[],
+    # and node ids are node{index} by construction).
+    victim="node$(sed -n 's/.*"assignments":\[\[\([0-9]*\),.*/\1/p' "$routing")"
+    VLPP_THREADS=2 "$VLPP" loadgen --routing "$routing" --records 6000 \
+        --connections 4 --batch 32 --kill "$victim" --kill-after 10 \
+        --scale 1000000 --shutdown >"$scratch/loadgen.out" 2>&1
+    if ! grep -q '"mismatches":0' "$scratch/loadgen.out" ||
+        ! grep -q '"stats_match":true' "$scratch/loadgen.out" ||
+        ! grep -q '"killed":true' "$scratch/loadgen.out"; then
+        echo "error: cluster failover (VLPP_THREADS=$threads) broke the oracle:" >&2
+        cat "$scratch/loadgen.out" >&2
+        exit 1
+    fi
+    wait "$cluster_pid"
+    cluster_pid=""
+done
+echo "ok: the oracle holds across a SIGKILLed primary at 1 and 8 threads"
+
+# 9. Panic-hygiene gate: no `.unwrap()` in non-test code under the
 #    error-spine crates (vlpp-trace, vlpp-sim). "Non-test" = lines
 #    before the first `#[cfg(test)]` in each file, excluding comment
 #    lines and `tests.rs` module files. New unwraps belong behind typed
@@ -185,7 +287,7 @@ if [ -n "$unwrap_offenders" ]; then
 fi
 echo "ok: no unwrap() in non-test vlpp-trace / vlpp-sim code"
 
-# 8. Wall-clock of the full experiment suite at the default scale, as a
+# 10. Wall-clock of the full experiment suite at the default scale, as a
 #    machine-readable BENCH line (same shape as the vlpp-check timer).
 step "wall-clock BENCH line"
 start=$(date +%s%N)

@@ -56,6 +56,13 @@ impl Server {
         self.shutdown_and_wait_by_ref();
     }
 
+    /// SIGKILLs the daemon — the crash half of the snapshot
+    /// warm-restart drill. No drain, no goodbye.
+    fn kill_hard(mut self) {
+        self.child.kill().expect("kill");
+        self.child.wait().expect("wait");
+    }
+
     /// Sends `shutdown`, waits for a clean exit, then scans the rest of
     /// the daemon's stdout for the `METRICS {json}` snapshot a
     /// `--metrics` server prints on the way out.
@@ -252,6 +259,87 @@ fn loadgen_against(server: &Server, client_threads: &str) {
     assert_eq!(summary.get("mismatches").and_then(|v| v.as_u64()), Some(0));
     assert_eq!(summary.get("stats_match").and_then(|v| v.as_bool()), Some(true));
     assert_eq!(summary.get("records").and_then(|v| v.as_u64()), Some(6000));
+}
+
+/// Runs `vlpp loadgen` with the common flags plus `extra`, asserts the
+/// run held the oracle, and returns the parsed `LOADGEN` summary.
+fn run_loadgen_ok(addr: &str, extra: &[&str]) -> JsonValue {
+    let output = Command::new(env!("CARGO_BIN_EXE_vlpp"))
+        .args(["loadgen", "--addr", addr, "--connections", "4", "--scale", "1000000"])
+        .args(extra)
+        .env("VLPP_THREADS", "2")
+        .env_remove("VLPP_SCALE")
+        .output()
+        .expect("loadgen runs");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(output.status.success(), "loadgen failed:\nstdout: {stdout}\nstderr: {stderr}");
+    let line = stdout.lines().find(|l| l.starts_with("LOADGEN ")).expect("LOADGEN line");
+    let summary =
+        JsonValue::parse(line.strip_prefix("LOADGEN ").expect("prefix")).expect("summary parses");
+    assert_eq!(summary.get("mismatches").and_then(|v| v.as_u64()), Some(0));
+    assert_eq!(summary.get("stats_match").and_then(|v| v.as_bool()), Some(true));
+    summary
+}
+
+/// The snapshot warm-restart drill: replay a prefix and snapshot it,
+/// SIGKILL the server, start a fresh one from the snapshot, replay the
+/// rest with `--skip`. The final counters must equal the offline
+/// reference over the *whole* stream — nothing lost to the crash,
+/// nothing double-counted by the restart.
+#[test]
+fn snapshot_warm_restart_resumes_the_oracle_byte_for_byte() {
+    let dir = std::env::temp_dir().join(format!("vlpp-snap-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let snap = dir.join("model.vlps");
+    let snap_str = snap.to_str().expect("utf-8 path").to_string();
+
+    let server = Server::start("2");
+    let summary = run_loadgen_ok(&server.addr, &["--records", "3000", "--save", &snap_str]);
+    assert!(
+        summary.get("snapshot_bytes").and_then(|v| v.as_u64()).unwrap_or(0) > 0,
+        "save reports a non-empty snapshot: {summary}"
+    );
+    server.kill_hard();
+    assert!(snap.exists(), "snapshot file survives the crash");
+
+    let server = Server::start_with("2", &["--snapshot", &snap_str]);
+    let summary =
+        run_loadgen_ok(&server.addr, &["--no-train", "--skip", "3000", "--records", "6000"]);
+    assert_eq!(summary.get("skipped").and_then(|v| v.as_u64()), Some(3000));
+    assert_eq!(summary.get("records").and_then(|v| v.as_u64()), Some(6000));
+    server.shutdown_and_wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The shard-mismatch regression: driving a pre-trained model with a
+/// conflicting `--shards` must fail fast at connect time (records would
+/// be routed to the wrong shard), naming both counts; dropping the flag
+/// adopts the server's count and the oracle holds.
+#[test]
+fn pretrained_shard_count_mismatch_fails_fast_before_any_record() {
+    let server = Server::start("2");
+    let mut conn = server.connect();
+    let response = call(&mut conn, &train_request("loadgen"));
+    assert_eq!(response.get("ok").and_then(|v| v.as_bool()), Some(true));
+
+    let output = Command::new(env!("CARGO_BIN_EXE_vlpp"))
+        .args(["loadgen", "--addr", &server.addr, "--no-train", "--shards", "4"])
+        .args(["--scale", "1000000"])
+        .env("VLPP_THREADS", "2")
+        .env_remove("VLPP_SCALE")
+        .output()
+        .expect("loadgen runs");
+    assert!(!output.status.success(), "a conflicting --shards must fail the run");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("shard mismatch"), "names the failure: {stderr}");
+    assert!(stderr.contains('2') && stderr.contains('4'), "names both counts: {stderr}");
+
+    // Dropping --shards adopts the server's count — 2, not the
+    // connection count the old code would have silently guessed.
+    let summary = run_loadgen_ok(&server.addr, &["--no-train", "--records", "3000"]);
+    assert_eq!(summary.get("shards").and_then(|v| v.as_u64()), Some(2));
+    server.shutdown_and_wait();
 }
 
 #[test]
