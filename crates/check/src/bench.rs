@@ -117,7 +117,7 @@ pub fn bench<T>(name: &str, config: BenchConfig, mut f: impl FnMut() -> T) -> Be
     bench_with_setup(name, config, || (), move |()| f())
 }
 
-/// Like [`bench`], but runs `setup` (untimed) before every timed
+/// Like [`bench()`], but runs `setup` (untimed) before every timed
 /// iteration — for benches that consume their input.
 pub fn bench_with_setup<S, T>(
     name: &str,

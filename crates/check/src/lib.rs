@@ -10,7 +10,7 @@
 //!   failures are *shrunk* by bisecting the generator's value stream and
 //!   reported with the exact seed (and shrink limit) that reproduces
 //!   them.
-//! * **`criterion`** → [`bench`]: a `harness = false` timer harness with
+//! * **`criterion`** → [`bench()`]: a `harness = false` timer harness with
 //!   warmup, N timed iterations, and a median/MAD report printed as one
 //!   machine-readable JSON line (via `vlpp_trace::json`), so
 //!   `BENCH_*.json` trajectories can accumulate across PRs.

@@ -76,8 +76,9 @@ impl CounterTable {
 /// dropped it after the splice was shown to alias targets ≥ 2^32 on
 /// 64-bit address spaces (a branch whose pc and target live in
 /// different 4 GiB regions could never predict correctly). The
-/// 4-bytes-per-entry *budget accounting* is unchanged: [`bytes`]
-/// (Self::bytes) still reports the paper's hardware cost model.
+/// 4-bytes-per-entry *budget accounting* is unchanged:
+/// [`bytes`](Self::bytes) still reports the paper's hardware cost
+/// model.
 ///
 /// # Example
 ///

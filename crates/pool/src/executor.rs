@@ -376,6 +376,13 @@ impl Pool {
     /// while waiting, so a single-threaded pool degrades to an ordinary
     /// sequential map and nested calls never spawn or deadlock.
     ///
+    /// ```
+    /// use vlpp_pool::Pool;
+    ///
+    /// let squares = Pool::global().map(vec![1u64, 2, 3, 4], |n| n * n);
+    /// assert_eq!(squares, vec![1, 4, 9, 16]); // input order, any thread count
+    /// ```
+    ///
     /// # Panics
     ///
     /// If one or more tasks panic, the panic of the lowest-indexed

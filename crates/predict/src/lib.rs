@@ -48,7 +48,7 @@
 //! p.observe(&BranchRecord::conditional(pc, Addr::new(0x2000), true));
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod bimodal;

@@ -44,13 +44,18 @@ experiments:
   ablate-interference | ablate-stack
   all        every table and figure, in order
 
-subcommands (own flags; see SERVING.md):
+subcommands (own flags; see SERVING.md and TRACES.md):
   serve      prediction daemon over the framed JSON protocol
   cluster    N serve processes behind a shard routing table (failover)
   loadgen    drive a running `vlpp serve` or cluster and verify its
              predictions (byte-exact oracle, optional kill drill)
   microbench predictions/sec: boxed dispatch vs the SoA kernel
              (BENCH lines; see DESIGN.md \"hot-loop kernel\")
+  ingest     convert a ChampSim/CSV/JSONL trace to the chunked compact
+             format for bounded-memory replay (see TRACES.md)
+  run        replay an ingested or foreign trace (or a benchmark)
+             through the SoA kernels and report prediction totals
+  profile    run the paper's two-step profiling heuristic over a trace
 
 options:
   --scale N  divide the paper's dynamic branch counts by N (default 16;
@@ -92,6 +97,9 @@ fn main() -> ExitCode {
             "cluster" => Some(vlpp_sim::serve::cluster::cluster_main(&rest)),
             "loadgen" => Some(vlpp_sim::serve::loadgen::loadgen_main(&rest)),
             "microbench" => Some(vlpp_sim::microbench::microbench_main(&rest)),
+            "ingest" => Some(vlpp_sim::ingest::ingest_main(&rest)),
+            "run" => Some(vlpp_sim::ingest::run_main(&rest)),
+            "profile" => Some(vlpp_sim::ingest::profile_main(&rest)),
             _ => None,
         };
         if let Some(outcome) = outcome {

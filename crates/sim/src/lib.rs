@@ -50,6 +50,7 @@
 pub mod checkpoint;
 pub mod experiment;
 pub mod frontend;
+pub mod ingest;
 pub mod microbench;
 pub mod paper;
 pub mod report;

@@ -4,7 +4,7 @@
 //! The supervisor spawns `--nodes` child servers (each `vlpp serve
 //! --listen 127.0.0.1:0`, so the OS picks ports), parses each child's
 //! `SERVE` announce line, builds the rendezvous
-//! [`RoutingTable`](super::routing::RoutingTable) mapping every shard
+//! [`RoutingTable`] mapping every shard
 //! to a primary and a replica node, and prints one `CLUSTER {json}`
 //! line carrying the table. Clients (`vlpp loadgen --routing`) route
 //! records per shard: writes fan to primary + replica, reads fail over

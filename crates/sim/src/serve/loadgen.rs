@@ -484,6 +484,7 @@ fn resolve_spec(
         let spec = ModelSpec {
             name: name.to_string(),
             benchmark: options.benchmark.clone(),
+            trace: None,
             kind: options.kind,
             index_bits: options.index_bits,
             shards,
@@ -543,6 +544,7 @@ fn resolve_spec(
     Ok(ModelSpec {
         name: name.to_string(),
         benchmark: options.benchmark.clone(),
+        trace: None,
         kind,
         index_bits: server_bits,
         shards: server_shards,
@@ -926,6 +928,7 @@ fn run_cluster_loadgen(options: &LoadgenOptions) -> Result<JsonValue, VlppError>
     let spec = ModelSpec {
         name: "loadgen".to_string(),
         benchmark: options.benchmark.clone(),
+        trace: None,
         kind: options.kind,
         index_bits: options.index_bits,
         shards: table.shards(),

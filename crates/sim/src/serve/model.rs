@@ -26,7 +26,7 @@ use std::time::Instant;
 use vlpp_core::{CondKernel, HashAssignment, IndKernel, KernelState, PathConfig, ProfileReport};
 use vlpp_pool::Pool;
 use vlpp_trace::json::{JsonValue, ToJson};
-use vlpp_trace::{Addr, BranchRecord, VlppError};
+use vlpp_trace::{Addr, BranchRecord, TraceSource, VlppError};
 
 use super::routing;
 use crate::experiment::Workloads;
@@ -65,7 +65,12 @@ pub struct ModelSpec {
     /// The model's name (the key later `predict`/`update` verbs use).
     pub name: String,
     /// Synthetic benchmark whose profile trace trains the assignment.
+    /// Empty when the model trains from an ingested trace file instead.
     pub benchmark: String,
+    /// Path to an ingested trace file to train from (any format
+    /// `vlpp ingest` reads; see TRACES.md). Mutually exclusive with
+    /// `benchmark` — the protocol layer enforces exactly one.
+    pub trace: Option<String>,
     /// Branch population to predict.
     pub kind: ModelKind,
     /// Prediction-table index width in bits.
@@ -224,15 +229,38 @@ fn lock_shard(shard: &Mutex<ShardState>) -> MutexGuard<'_, ShardState> {
     shard.lock().unwrap_or_else(|poison| poison.into_inner())
 }
 
+/// Reads a training trace from disk, streaming through the ingestion
+/// adapters (format chosen by extension, as `vlpp ingest` does).
+/// Profiling needs the whole trace, so this materializes it.
+fn load_training_trace(path: &std::path::Path) -> Result<vlpp_trace::Trace, VlppError> {
+    let format = vlpp_trace::ingest::TraceFormat::from_path(path).ok_or_else(|| {
+        VlppError::protocol(
+            Some("train".to_string()),
+            format!(
+                "cannot guess the trace format of `{}` from its extension \
+                 (want .vlpc, .champsim/.bin, .csv, or .jsonl)",
+                path.display()
+            ),
+        )
+    })?;
+    let file = std::fs::File::open(path).map_err(|e| VlppError::io(path, "open", e))?;
+    let mut source = vlpp_trace::ingest::open_source(format, std::io::BufReader::new(file))
+        .map_err(|e| VlppError::trace_file(path, e))?;
+    source.read_to_trace().map_err(|e| VlppError::trace_file(path, e))
+}
+
 impl Model {
-    /// Profiles `spec.benchmark` (memoized in `workloads`) and builds
-    /// `spec.shards` independent predictor instances from the resulting
-    /// hash assignment.
+    /// Profiles the training workload — `spec.benchmark` (memoized in
+    /// `workloads`) or, when `spec.trace` is set, an ingested trace
+    /// file — and builds `spec.shards` independent predictor instances
+    /// from the resulting hash assignment.
     ///
     /// # Errors
     ///
-    /// [`VlppError::Protocol`] for an unknown benchmark name or a
-    /// zero shard count.
+    /// [`VlppError::Protocol`] for an unknown benchmark name, an
+    /// unrecognizable trace extension, or a zero shard count;
+    /// [`VlppError::Io`] / [`VlppError::Trace`] when the trace file
+    /// cannot be opened or parsed.
     pub fn train(spec: ModelSpec, workloads: &Workloads) -> Result<Model, VlppError> {
         if spec.shards == 0 {
             return Err(VlppError::protocol(
@@ -240,15 +268,28 @@ impl Model {
                 "shard count must be at least 1",
             ));
         }
-        let benchmark = vlpp_synth::suite::benchmark(&spec.benchmark).ok_or_else(|| {
-            VlppError::protocol(
-                Some("train".to_string()),
-                format!("unknown benchmark `{}`", spec.benchmark),
-            )
-        })?;
-        let report: Arc<ProfileReport> = match spec.kind {
-            ModelKind::Conditional => workloads.profile_conditional(&benchmark, spec.index_bits),
-            ModelKind::Indirect => workloads.profile_indirect(&benchmark, spec.index_bits),
+        let report: Arc<ProfileReport> = if let Some(path) = &spec.trace {
+            let trace = load_training_trace(std::path::Path::new(path))?;
+            let builder = vlpp_core::ProfileBuilder::new(vlpp_core::ProfileConfig::new(
+                PathConfig::new(spec.index_bits),
+            ));
+            Arc::new(match spec.kind {
+                ModelKind::Conditional => builder.profile_conditional(&trace),
+                ModelKind::Indirect => builder.profile_indirect(&trace),
+            })
+        } else {
+            let benchmark = vlpp_synth::suite::benchmark(&spec.benchmark).ok_or_else(|| {
+                VlppError::protocol(
+                    Some("train".to_string()),
+                    format!("unknown benchmark `{}`", spec.benchmark),
+                )
+            })?;
+            match spec.kind {
+                ModelKind::Conditional => {
+                    workloads.profile_conditional(&benchmark, spec.index_bits)
+                }
+                ModelKind::Indirect => workloads.profile_indirect(&benchmark, spec.index_bits),
+            }
         };
         let shards = (0..spec.shards)
             .map(|_| {
@@ -419,8 +460,12 @@ impl Model {
         }
         let miss_rate =
             if predictions == 0 { 0.0 } else { mispredictions as f64 / predictions as f64 };
-        JsonValue::Object(vec![
-            ("benchmark".to_string(), JsonValue::Str(self.spec.benchmark.clone())),
+        let mut fields =
+            vec![("benchmark".to_string(), JsonValue::Str(self.spec.benchmark.clone()))];
+        if let Some(trace) = &self.spec.trace {
+            fields.push(("trace".to_string(), JsonValue::Str(trace.clone())));
+        }
+        fields.extend(vec![
             ("kind".to_string(), JsonValue::Str(self.spec.kind.name().to_string())),
             ("index_bits".to_string(), JsonValue::UInt(self.spec.index_bits as u64)),
             ("shards".to_string(), JsonValue::UInt(self.spec.shards as u64)),
@@ -429,7 +474,8 @@ impl Model {
             ("miss_rate".to_string(), JsonValue::Float(miss_rate)),
             ("static_branches".to_string(), JsonValue::UInt(static_branches as u64)),
             ("per_shard".to_string(), JsonValue::Array(per_shard)),
-        ])
+        ]);
+        JsonValue::Object(fields)
     }
 }
 
@@ -445,6 +491,7 @@ mod tests {
         ModelSpec {
             name: "m".to_string(),
             benchmark: "compress".to_string(),
+            trace: None,
             kind: ModelKind::Conditional,
             index_bits: 10,
             shards,
@@ -515,6 +562,47 @@ mod tests {
             served_stats.get("mispredictions").and_then(|v| v.as_u64()),
             Some(stats.mispredictions)
         );
+    }
+
+    #[test]
+    fn trains_from_an_ingested_compact_trace_file() {
+        use vlpp_trace::compact;
+        use vlpp_trace::source::MemorySource;
+        let workloads = Workloads::new(Scale::new(1_000_000));
+        let benchmark = vlpp_synth::suite::benchmark("compress").unwrap();
+        let training = workloads.profile_trace(&benchmark);
+
+        let dir = std::env::temp_dir().join(format!("vlpp-train-trace-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("compress.vlpc");
+        let mut bytes = Vec::new();
+        compact::copy_to_chunked(&mut MemorySource::new((*training).clone()), &mut bytes, 512)
+            .unwrap();
+        std::fs::write(&path, bytes).unwrap();
+
+        let mut trace_spec = spec(2);
+        trace_spec.benchmark = String::new();
+        trace_spec.trace = Some(path.display().to_string());
+        let from_file = Model::train(trace_spec, &workloads).unwrap();
+        // Same records profiled from a file must yield the same
+        // assignment the benchmark path produces.
+        let from_benchmark = Model::train(spec(2), &workloads).unwrap();
+        assert_eq!(from_file.assignment(), from_benchmark.assignment());
+        assert_eq!(from_file.profiled_branches, from_benchmark.profiled_branches);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn training_from_a_missing_or_unknown_trace_is_a_typed_error() {
+        let workloads = Workloads::new(Scale::new(1_000_000));
+        let mut missing = spec(1);
+        missing.benchmark = String::new();
+        missing.trace = Some("/nonexistent/trace.vlpc".to_string());
+        assert_eq!(Model::train(missing, &workloads).unwrap_err().phase(), "io");
+        let mut unknown = spec(1);
+        unknown.benchmark = String::new();
+        unknown.trace = Some("/tmp/trace.xyz".to_string());
+        assert_eq!(Model::train(unknown, &workloads).unwrap_err().phase(), "protocol");
     }
 
     #[test]

@@ -206,9 +206,29 @@ pub fn parse_request(payload: &[u8]) -> Result<Request, VlppError> {
                     )
                 })?,
             };
+            let optional_str = |key: &str| -> Result<Option<String>, VlppError> {
+                match value.get(key) {
+                    None => Ok(None),
+                    Some(v) => v.as_str().map(|s| Some(s.to_string())).ok_or_else(|| {
+                        VlppError::protocol(
+                            Some("train".to_string()),
+                            format!("field `{key}` must be a string"),
+                        )
+                    }),
+                }
+            };
+            let benchmark = optional_str("benchmark")?;
+            let trace = optional_str("trace")?;
+            if benchmark.is_some() == trace.is_some() {
+                return Err(VlppError::protocol(
+                    Some("train".to_string()),
+                    "exactly one of `benchmark` and `trace` is required",
+                ));
+            }
             Verb::Train(ModelSpec {
                 name: str_field(&value, Some("train"), "model")?,
-                benchmark: str_field(&value, Some("train"), "benchmark")?,
+                benchmark: benchmark.unwrap_or_default(),
+                trace,
                 kind,
                 index_bits: index_bits as u32,
                 shards: shards as usize,
@@ -369,6 +389,30 @@ mod tests {
         )
         .unwrap_err();
         assert!(error.to_string().contains("index_bits"), "{error}");
+    }
+
+    #[test]
+    fn train_takes_exactly_one_of_benchmark_and_trace() {
+        let trained = parse(
+            r#"{"verb":"train","model":"m","trace":"/tmp/t.vlpc","kind":"cond","index_bits":12}"#,
+        )
+        .unwrap();
+        match trained.verb {
+            Verb::Train(spec) => {
+                assert_eq!(spec.trace.as_deref(), Some("/tmp/t.vlpc"));
+                assert!(spec.benchmark.is_empty());
+            }
+            other => panic!("expected train, got {other:?}"),
+        }
+        for bad in [
+            r#"{"verb":"train","model":"m","kind":"cond","index_bits":12}"#,
+            r#"{"verb":"train","model":"m","benchmark":"gcc","trace":"/tmp/t.vlpc",
+                "kind":"cond","index_bits":12}"#,
+            r#"{"verb":"train","model":"m","trace":7,"kind":"cond","index_bits":12}"#,
+        ] {
+            let error = parse(bad).unwrap_err();
+            assert_eq!(error.phase(), "protocol", "{bad}");
+        }
     }
 
     #[test]

@@ -158,14 +158,18 @@ fn manifest_section(models: &[Arc<Model>], scale: Scale) -> SnapshotSection {
 
 fn spec_section(model: &Model) -> SnapshotSection {
     let spec = &model.spec;
-    let body = JsonValue::Object(vec![
-        ("benchmark".to_string(), JsonValue::Str(spec.benchmark.clone())),
+    let mut fields = vec![("benchmark".to_string(), JsonValue::Str(spec.benchmark.clone()))];
+    if let Some(trace) = &spec.trace {
+        fields.push(("trace".to_string(), JsonValue::Str(trace.clone())));
+    }
+    fields.extend(vec![
         ("kind".to_string(), JsonValue::Str(spec.kind.name().to_string())),
         ("index_bits".to_string(), JsonValue::UInt(spec.index_bits as u64)),
         ("shards".to_string(), JsonValue::UInt(spec.shards as u64)),
         ("profiled_branches".to_string(), JsonValue::UInt(model.profiled_branches as u64)),
         ("default_hash".to_string(), JsonValue::UInt(model.default_hash as u64)),
     ]);
+    let body = JsonValue::Object(fields);
     SnapshotSection {
         name: format!("m:{}:spec", spec.name),
         payload: body.to_string().into_bytes(),
@@ -462,6 +466,7 @@ fn decode_model(
             .and_then(|v| v.as_str())
             .ok_or_else(|| format!("spec for `{name}` is missing `benchmark`"))?
             .to_string(),
+        trace: spec_json.get("trace").and_then(|v| v.as_str()).map(str::to_string),
         kind,
         index_bits: index_bits as u32,
         shards: shards as usize,
@@ -494,6 +499,7 @@ mod tests {
         let spec = ModelSpec {
             name: format!("{}-{shards}", kind.name()),
             benchmark: "compress".to_string(),
+            trace: None,
             kind,
             index_bits: 10,
             shards,

@@ -1,10 +1,26 @@
-//! The compact binary trace format (version 2): branch records are
-//! highly local — consecutive pcs and targets differ by small deltas —
-//! so delta + LEB128 varint encoding shrinks traces by roughly 4–6×
-//! versus the fixed-width [`io`](crate::io) format. Workload caches and
-//! long trace archives use this format.
+//! The compact binary trace format: branch records are highly local —
+//! consecutive pcs and targets differ by small deltas — so delta +
+//! LEB128 varint encoding shrinks traces by roughly 4–6× versus the
+//! fixed-width [`io`](crate::io) format. Workload caches and long trace
+//! archives use this format.
 //!
-//! ## Layout
+//! Two on-disk layouts share the `VLPC` magic (`TRACES.md` at the
+//! repository root has the full wire grammar):
+//!
+//! * **version 2** — one header count followed by a flat record stream
+//!   ([`write_compact`]); fine for workload caches that fit in memory.
+//! * **version 3** — the *chunked* layout ([`ChunkedWriter`]): records
+//!   are grouped into independently decodable chunks of at most
+//!   `chunk_cap` records, each prefixed by its record count and payload
+//!   length, so a reader can stream (or skip) a multi-GB trace while
+//!   holding at most one chunk. `vlpp ingest` converts foreign traces
+//!   into this layout.
+//!
+//! [`ChunkedReader`] streams either version through the
+//! [`TraceSource`] interface; [`read_compact`] drains it when an
+//! in-memory [`Trace`] is actually wanted.
+//!
+//! ## Version 2 layout
 //!
 //! ```text
 //! magic   : 4 bytes = b"VLPC"
@@ -35,13 +51,29 @@
 
 use std::io::{Read, Write};
 
+use crate::json::{JsonValue, ToJson};
+use crate::source::TraceSource;
 use crate::{Addr, BranchKind, BranchRecord, Trace, TraceIoError};
 
 /// Magic bytes identifying a compact vlpp trace.
 pub const MAGIC: [u8; 4] = *b"VLPC";
 
-/// Compact format version.
+/// Compact format version (the flat, one-shot layout).
 pub const VERSION: u16 = 2;
+
+/// Compact format version of the chunked streaming layout.
+pub const CHUNKED_VERSION: u16 = 3;
+
+/// Hard cap on a chunk's record capacity. Bounds the memory a reader
+/// must hold for one chunk no matter what the header claims.
+pub const MAX_CHUNK_RECORDS: u32 = 1 << 20;
+
+/// Records per chunk used by `vlpp ingest` when no cap is given.
+pub const DEFAULT_CHUNK_RECORDS: u32 = 1 << 16;
+
+/// Worst-case encoded size of one record: a tag byte plus two 10-byte
+/// LEB128 varints. Used to bound declared chunk payload lengths.
+const MAX_RECORD_BYTES: u64 = 21;
 
 /// Writes `trace` in the compact delta/varint format.
 ///
@@ -57,55 +89,442 @@ pub fn write_compact<W: Write>(trace: &Trace, mut writer: W) -> Result<(), Trace
     let mut previous_pc: u64 = 0;
     for record in trace.iter() {
         buf.clear();
-        let tag = record.kind().code() | (record.taken() as u8) << 3;
-        buf.push(tag);
-        write_signed(&mut buf, record.pc().raw().wrapping_sub(previous_pc) as i64);
-        write_signed(&mut buf, record.target().raw().wrapping_sub(record.pc().raw()) as i64);
+        encode_record(&mut buf, record, &mut previous_pc);
         writer.write_all(&buf)?;
-        previous_pc = record.pc().raw();
     }
     writer.flush()?;
     Ok(())
 }
 
-/// Reads a compact trace.
+/// Reads a compact trace (either version) into memory.
+///
+/// This drains a [`ChunkedReader`], so it accepts both the flat v2 and
+/// chunked v3 layouts; replay paths that do not need the whole trace
+/// should stream through [`ChunkedReader`] directly.
 ///
 /// # Errors
 ///
 /// Returns an error for bad magic, an unsupported version, a truncated
 /// stream, or an invalid kind code.
 pub fn read_compact<R: Read>(reader: R) -> Result<Trace, TraceIoError> {
-    let mut reader = Counting { inner: reader, position: 0 };
-    let mut header = [0u8; 16];
-    reader.read_exact_or(&mut header, 0)?;
-    if header[0..4] != MAGIC {
-        let mut found = [0u8; 4];
-        found.copy_from_slice(&header[0..4]);
-        return Err(TraceIoError::BadMagic { found });
-    }
-    let version = u16::from_le_bytes([header[4], header[5]]);
-    if version != VERSION {
-        return Err(TraceIoError::UnsupportedVersion { found: version });
-    }
-    let count = u64::from_le_bytes(header[8..16].try_into().expect("8-byte slice"));
+    ChunkedReader::new(reader)?.read_to_trace()
+}
 
-    // As in `io::read_binary`: never let a corrupt count field drive an
-    // allocator-aborting preallocation. Iterate to `count` (truncation
-    // becomes a typed error) but reserve at most the cap.
-    let prealloc = usize::try_from(count).unwrap_or(0).min(crate::io::MAX_PREALLOC_RECORDS);
-    let mut trace = Trace::with_capacity(prealloc);
-    let mut previous_pc: u64 = 0;
-    for index in 0..count {
-        let tag = reader.read_byte(index)?;
-        let kind = BranchKind::from_code(tag & 0x7)
-            .ok_or(TraceIoError::BadKind { code: tag & 0x7, index })?;
-        let taken = tag & 0x8 != 0;
-        let pc = previous_pc.wrapping_add(read_signed(&mut reader, index)? as u64);
-        let target = pc.wrapping_add(read_signed(&mut reader, index)? as u64);
-        trace.push(BranchRecord::new(Addr::new(pc), Addr::new(target), kind, taken));
-        previous_pc = pc;
+/// Appends one delta-coded record to `buf` and advances `previous_pc`.
+fn encode_record(buf: &mut Vec<u8>, record: &BranchRecord, previous_pc: &mut u64) {
+    let tag = record.kind().code() | (record.taken() as u8) << 3;
+    buf.push(tag);
+    write_signed(buf, record.pc().raw().wrapping_sub(*previous_pc) as i64);
+    write_signed(buf, record.target().raw().wrapping_sub(record.pc().raw()) as i64);
+    *previous_pc = record.pc().raw();
+}
+
+/// Decodes one delta-coded record; `index` labels errors.
+fn decode_record<R: Read>(
+    reader: &mut Counting<R>,
+    index: u64,
+    previous_pc: &mut u64,
+) -> Result<BranchRecord, TraceIoError> {
+    let tag = reader.read_byte(index)?;
+    let kind =
+        BranchKind::from_code(tag & 0x7).ok_or(TraceIoError::BadKind { code: tag & 0x7, index })?;
+    let taken = tag & 0x8 != 0;
+    let pc = previous_pc.wrapping_add(read_signed(reader, index)? as u64);
+    let target = pc.wrapping_add(read_signed(reader, index)? as u64);
+    *previous_pc = pc;
+    Ok(BranchRecord::new(Addr::new(pc), Addr::new(target), kind, taken))
+}
+
+/// Summary of a chunked-compact conversion, returned by
+/// [`ChunkedWriter::finish`] and [`copy_to_chunked`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkedSummary {
+    /// Records written.
+    pub records: u64,
+    /// Chunks written (not counting the trailer).
+    pub chunks: u64,
+    /// Total output bytes, header and trailer included.
+    pub bytes: u64,
+}
+
+impl ToJson for ChunkedSummary {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            ("records".to_string(), JsonValue::UInt(self.records)),
+            ("chunks".to_string(), JsonValue::UInt(self.chunks)),
+            ("bytes".to_string(), JsonValue::UInt(self.bytes)),
+        ])
     }
-    Ok(trace)
+}
+
+/// Incremental writer for the chunked (version 3) compact layout:
+///
+/// ```text
+/// magic     : 4 bytes = b"VLPC"
+/// version   : u16 le = 3
+/// reserved  : u16 le = 0
+/// chunk_cap : u32 le (1..=MAX_CHUNK_RECORDS)
+/// reserved  : u32 le = 0
+/// chunks    : per chunk:
+///     records     : u32 le (1..=chunk_cap)
+///     payload_len : u32 le
+///     payload     : delta-coded records; the pc delta chain restarts
+///                   at 0 each chunk, so chunks decode independently
+/// trailer   : records = 0 u32, payload_len = 8 u32, total records u64
+/// ```
+///
+/// The per-chunk delta reset plus the explicit `payload_len` make every
+/// chunk skippable without decoding — the seekable handle the converter
+/// promises. A missing trailer distinguishes a cleanly finished file
+/// from one cut off at a chunk boundary.
+#[derive(Debug)]
+pub struct ChunkedWriter<W: Write> {
+    writer: W,
+    chunk_cap: u32,
+    payload: Vec<u8>,
+    pending: u32,
+    previous_pc: u64,
+    records: u64,
+    chunks: u64,
+    bytes: u64,
+}
+
+impl<W: Write> ChunkedWriter<W> {
+    /// Starts a chunked stream, writing the header immediately.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_cap` is outside `1..=`[`MAX_CHUNK_RECORDS`] (a
+    /// caller bug, not a data fault — the CLI validates user input
+    /// before getting here).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceIoError::Io`] if the underlying writer fails.
+    pub fn new(mut writer: W, chunk_cap: u32) -> Result<Self, TraceIoError> {
+        assert!(
+            (1..=MAX_CHUNK_RECORDS).contains(&chunk_cap),
+            "chunk_cap must be 1..={MAX_CHUNK_RECORDS}"
+        );
+        writer.write_all(&MAGIC)?;
+        writer.write_all(&CHUNKED_VERSION.to_le_bytes())?;
+        writer.write_all(&0u16.to_le_bytes())?;
+        writer.write_all(&chunk_cap.to_le_bytes())?;
+        writer.write_all(&0u32.to_le_bytes())?;
+        Ok(ChunkedWriter {
+            writer,
+            chunk_cap,
+            payload: Vec::new(),
+            pending: 0,
+            previous_pc: 0,
+            records: 0,
+            chunks: 0,
+            bytes: 16,
+        })
+    }
+
+    /// Appends one record, flushing a chunk whenever `chunk_cap` records
+    /// have accumulated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceIoError::Io`] if the underlying writer fails.
+    pub fn push(&mut self, record: &BranchRecord) -> Result<(), TraceIoError> {
+        encode_record(&mut self.payload, record, &mut self.previous_pc);
+        self.pending += 1;
+        self.records += 1;
+        if self.pending == self.chunk_cap {
+            self.flush_chunk()?;
+        }
+        Ok(())
+    }
+
+    fn flush_chunk(&mut self) -> Result<(), TraceIoError> {
+        self.writer.write_all(&self.pending.to_le_bytes())?;
+        self.writer.write_all(&(self.payload.len() as u32).to_le_bytes())?;
+        self.writer.write_all(&self.payload)?;
+        self.bytes += 8 + self.payload.len() as u64;
+        self.chunks += 1;
+        self.pending = 0;
+        self.payload.clear();
+        self.previous_pc = 0;
+        Ok(())
+    }
+
+    /// Flushes the final partial chunk, writes the trailer, and returns
+    /// the conversion summary. Dropping a writer without calling this
+    /// leaves a trailer-less stream that readers report as truncated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceIoError::Io`] if the underlying writer fails.
+    pub fn finish(mut self) -> Result<ChunkedSummary, TraceIoError> {
+        if self.pending > 0 {
+            self.flush_chunk()?;
+        }
+        self.writer.write_all(&0u32.to_le_bytes())?;
+        self.writer.write_all(&8u32.to_le_bytes())?;
+        self.writer.write_all(&self.records.to_le_bytes())?;
+        self.bytes += 16;
+        self.writer.flush()?;
+        Ok(ChunkedSummary { records: self.records, chunks: self.chunks, bytes: self.bytes })
+    }
+}
+
+/// Drains `source` into a chunked compact stream — the core of
+/// `vlpp ingest`. Memory held is one chunk's worth of encoded bytes
+/// plus whatever `source` itself buffers.
+///
+/// # Errors
+///
+/// The first error from `source` or from the output writer.
+pub fn copy_to_chunked<S: TraceSource + ?Sized, W: Write>(
+    source: &mut S,
+    writer: W,
+    chunk_cap: u32,
+) -> Result<ChunkedSummary, TraceIoError> {
+    let mut out = ChunkedWriter::new(writer, chunk_cap)?;
+    while let Some(record) = source.next_record()? {
+        out.push(&record)?;
+    }
+    out.finish()
+}
+
+#[derive(Debug)]
+enum ReaderMode {
+    /// Flat v2 stream: a declared record count, decoded one at a time.
+    V2 { remaining: u64, previous_pc: u64 },
+    /// Chunked v3 stream: decoded one chunk at a time.
+    V3 { chunk_cap: u32 },
+}
+
+/// Streaming reader for compact traces (both layouts), implementing
+/// [`TraceSource`].
+///
+/// For the chunked layout the reader holds at most one decoded chunk
+/// (≤ the header's `chunk_cap` records, itself capped at
+/// [`MAX_CHUNK_RECORDS`]); [`peak_buffered_records`] exposes the
+/// high-water mark so tests can assert the bounded-memory guarantee.
+/// Flat v2 streams decode record-by-record and buffer nothing.
+///
+/// [`peak_buffered_records`]: Self::peak_buffered_records
+#[derive(Debug)]
+pub struct ChunkedReader<R: Read> {
+    reader: Counting<R>,
+    mode: ReaderMode,
+    buffer: Vec<BranchRecord>,
+    cursor: usize,
+    records: u64,
+    chunks: u64,
+    peak_buffered: usize,
+    done: bool,
+}
+
+impl<R: Read> ChunkedReader<R> {
+    /// Opens a compact stream, validating magic and version.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceIoError::BadMagic`] / [`TraceIoError::UnsupportedVersion`]
+    /// for foreign or future files, [`TraceIoError::Truncated`] for a
+    /// short header, [`TraceIoError::Malformed`] for an impossible
+    /// chunk capacity.
+    pub fn new(reader: R) -> Result<Self, TraceIoError> {
+        let mut reader = Counting { inner: reader, position: 0 };
+        let mut header = [0u8; 16];
+        reader.read_exact_or(&mut header, 0)?;
+        if header[0..4] != MAGIC {
+            let mut found = [0u8; 4];
+            found.copy_from_slice(&header[0..4]);
+            return Err(TraceIoError::BadMagic { found });
+        }
+        let version = u16::from_le_bytes([header[4], header[5]]);
+        let mode = match version {
+            VERSION => {
+                let count = u64::from_le_bytes(header[8..16].try_into().expect("8-byte slice"));
+                ReaderMode::V2 { remaining: count, previous_pc: 0 }
+            }
+            CHUNKED_VERSION => {
+                let chunk_cap = u32::from_le_bytes(header[8..12].try_into().expect("4-byte slice"));
+                if !(1..=MAX_CHUNK_RECORDS).contains(&chunk_cap) {
+                    return Err(TraceIoError::Malformed {
+                        what: format!("chunk capacity {chunk_cap}"),
+                        byte_offset: 8,
+                    });
+                }
+                ReaderMode::V3 { chunk_cap }
+            }
+            found => return Err(TraceIoError::UnsupportedVersion { found }),
+        };
+        Ok(ChunkedReader {
+            reader,
+            mode,
+            buffer: Vec::new(),
+            cursor: 0,
+            records: 0,
+            chunks: 0,
+            peak_buffered: 0,
+            done: false,
+        })
+    }
+
+    /// Records yielded so far.
+    pub fn records_read(&self) -> u64 {
+        self.records - (self.buffer.len() - self.cursor) as u64
+    }
+
+    /// Input bytes consumed so far.
+    pub fn bytes_read(&self) -> u64 {
+        self.reader.position
+    }
+
+    /// Chunks decoded so far (always 0 for a flat v2 stream).
+    pub fn chunks_read(&self) -> u64 {
+        self.chunks
+    }
+
+    /// High-water mark of records buffered at once — the bounded-memory
+    /// guarantee, never above the stream's chunk capacity.
+    pub fn peak_buffered_records(&self) -> usize {
+        self.peak_buffered
+    }
+
+    /// The stream's declared chunk capacity (`None` for a flat v2
+    /// stream, which buffers nothing).
+    pub fn chunk_cap(&self) -> Option<u32> {
+        match self.mode {
+            ReaderMode::V2 { .. } => None,
+            ReaderMode::V3 { chunk_cap } => Some(chunk_cap),
+        }
+    }
+
+    /// Loads the next v3 chunk into the buffer, or handles the trailer
+    /// and marks the stream done.
+    fn load_chunk(&mut self, chunk_cap: u32) -> Result<(), TraceIoError> {
+        let header_at = self.reader.position;
+        let mut header = [0u8; 8];
+        self.reader.read_exact_or(&mut header, self.records)?;
+        let records = u32::from_le_bytes(header[0..4].try_into().expect("4-byte slice"));
+        let payload_len =
+            u64::from(u32::from_le_bytes(header[4..8].try_into().expect("4-byte slice")));
+        if records == 0 {
+            // The trailer: an empty chunk whose payload is the total
+            // record count, cross-checked against what we decoded.
+            if payload_len != 8 {
+                return Err(TraceIoError::Malformed {
+                    what: format!("trailer payload length {payload_len}"),
+                    byte_offset: header_at + 4,
+                });
+            }
+            let mut total = [0u8; 8];
+            self.reader.read_exact_or(&mut total, self.records)?;
+            let total = u64::from_le_bytes(total);
+            if total != self.records {
+                return Err(TraceIoError::Malformed {
+                    what: format!(
+                        "trailer declares {total} records but the chunks held {}",
+                        self.records
+                    ),
+                    byte_offset: header_at + 8,
+                });
+            }
+            let mut probe = [0u8; 1];
+            return match self.reader.inner.read(&mut probe) {
+                Ok(0) => {
+                    self.done = true;
+                    Ok(())
+                }
+                Ok(_) => Err(TraceIoError::Malformed {
+                    what: "trailing bytes after the trailer".to_string(),
+                    byte_offset: self.reader.position,
+                }),
+                Err(e) => Err(TraceIoError::Io(e)),
+            };
+        }
+        if records > chunk_cap {
+            return Err(TraceIoError::Malformed {
+                what: format!("chunk declares {records} records above the {chunk_cap} cap"),
+                byte_offset: header_at,
+            });
+        }
+        if payload_len == 0 || payload_len > u64::from(records) * MAX_RECORD_BYTES {
+            return Err(TraceIoError::Malformed {
+                what: format!("chunk payload length {payload_len} for {records} records"),
+                byte_offset: header_at + 4,
+            });
+        }
+        let payload_at = self.reader.position;
+        // Bounded by records * MAX_RECORD_BYTES ≤ MAX_CHUNK_RECORDS * 21.
+        let mut payload = vec![0u8; payload_len as usize];
+        self.reader.read_exact_or(&mut payload, self.records)?;
+
+        self.buffer.clear();
+        self.cursor = 0;
+        let mut decoder = Counting { inner: &payload[..], position: 0 };
+        let mut previous_pc = 0u64;
+        for _ in 0..records {
+            let index = self.records + self.buffer.len() as u64;
+            let record =
+                decode_record(&mut decoder, index, &mut previous_pc).map_err(|e| match e {
+                    // The outer stream was intact; the *chunk* lied
+                    // about containing `records` whole records.
+                    TraceIoError::Truncated { byte_offset, .. } => TraceIoError::Malformed {
+                        what: "chunk payload ends mid-record".to_string(),
+                        byte_offset: payload_at + byte_offset,
+                    },
+                    other => other,
+                })?;
+            self.buffer.push(record);
+        }
+        if decoder.position != payload_len {
+            return Err(TraceIoError::Malformed {
+                what: format!(
+                    "chunk payload has {} bytes left over after {records} records",
+                    payload_len - decoder.position
+                ),
+                byte_offset: payload_at + decoder.position,
+            });
+        }
+        self.records += u64::from(records);
+        self.chunks += 1;
+        self.peak_buffered = self.peak_buffered.max(self.buffer.len());
+        Ok(())
+    }
+}
+
+impl<R: Read> TraceSource for ChunkedReader<R> {
+    fn next_record(&mut self) -> Result<Option<BranchRecord>, TraceIoError> {
+        if self.cursor < self.buffer.len() {
+            let record = self.buffer[self.cursor];
+            self.cursor += 1;
+            return Ok(Some(record));
+        }
+        if self.done {
+            return Ok(None);
+        }
+        match &mut self.mode {
+            ReaderMode::V2 { remaining, previous_pc } => {
+                if *remaining == 0 {
+                    self.done = true;
+                    return Ok(None);
+                }
+                let record = decode_record(&mut self.reader, self.records, previous_pc)?;
+                *remaining -= 1;
+                self.records += 1;
+                Ok(Some(record))
+            }
+            ReaderMode::V3 { chunk_cap } => {
+                let chunk_cap = *chunk_cap;
+                self.load_chunk(chunk_cap)?;
+                if self.done {
+                    return Ok(None);
+                }
+                let record = self.buffer[self.cursor];
+                self.cursor += 1;
+                Ok(Some(record))
+            }
+        }
+    }
 }
 
 /// Zigzag + LEB128 encoding of a signed value.
@@ -205,8 +624,9 @@ pub fn section_checksum(section: &SnapshotSection) -> u64 {
 ///                1..=MAX_FRAME_BYTES, lengths summing to `len`
 /// ```
 ///
-/// Payloads are chunked at [`frame::MAX_FRAME_BYTES`]
-/// (crate::frame::MAX_FRAME_BYTES) so a reader can stream a snapshot
+/// Payloads are chunked at
+/// [`frame::MAX_FRAME_BYTES`](crate::frame::MAX_FRAME_BYTES) so a
+/// reader can stream a snapshot
 /// of any size without ever trusting a single length field larger
 /// than the wire-frame cap.
 ///
@@ -348,6 +768,7 @@ pub fn read_snapshot<R: Read>(reader: R) -> Result<Vec<SnapshotSection>, TraceIo
 
 /// A reader that tracks how many bytes it has consumed, so truncation
 /// errors in the variable-width format can name the exact offset.
+#[derive(Debug)]
 struct Counting<R> {
     inner: R,
     position: u64,
@@ -603,6 +1024,168 @@ mod tests {
         assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
         assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
         assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    fn chunked_bytes(trace: &Trace, cap: u32) -> (Vec<u8>, ChunkedSummary) {
+        let mut buf = Vec::new();
+        let summary =
+            copy_to_chunked(&mut crate::source::MemorySource::new(trace.clone()), &mut buf, cap)
+                .unwrap();
+        (buf, summary)
+    }
+
+    #[test]
+    fn chunked_round_trips_across_chunk_sizes() {
+        let t = sample();
+        for cap in [1u32, 2, 7, 64, 1 << 16] {
+            let (buf, summary) = chunked_bytes(&t, cap);
+            assert_eq!(summary.records, t.len() as u64);
+            assert_eq!(summary.bytes, buf.len() as u64);
+            assert_eq!(summary.chunks, (t.len() as u64).div_ceil(cap as u64));
+            let mut reader = ChunkedReader::new(&buf[..]).unwrap();
+            assert_eq!(reader.chunk_cap(), Some(cap));
+            assert_eq!(reader.read_to_trace().unwrap(), t);
+            assert_eq!(reader.records_read(), t.len() as u64);
+            assert_eq!(reader.bytes_read(), buf.len() as u64);
+            assert_eq!(reader.chunks_read(), summary.chunks);
+        }
+    }
+
+    #[test]
+    fn chunked_reader_buffers_at_most_one_chunk() {
+        // A trace far larger than the chunk cap must never buffer more
+        // than `cap` records at once — the bounded-memory guarantee.
+        let mut t = Trace::new();
+        for i in 0..10_000u64 {
+            t.push(BranchRecord::conditional(Addr::new(i * 4), Addr::new(i * 4 + 64), i % 2 == 0));
+        }
+        let cap = 128u32;
+        let (buf, summary) = chunked_bytes(&t, cap);
+        assert!(summary.chunks > 50);
+        let mut reader = ChunkedReader::new(&buf[..]).unwrap();
+        assert_eq!(reader.read_to_trace().unwrap(), t);
+        assert!(reader.peak_buffered_records() <= cap as usize);
+        assert_eq!(reader.peak_buffered_records(), cap as usize);
+    }
+
+    #[test]
+    fn chunked_round_trips_empty() {
+        let (buf, summary) = chunked_bytes(&Trace::new(), 8);
+        assert_eq!(summary, ChunkedSummary { records: 0, chunks: 0, bytes: buf.len() as u64 });
+        assert_eq!(read_compact(&buf[..]).unwrap(), Trace::new());
+    }
+
+    #[test]
+    fn read_compact_accepts_both_layouts() {
+        let t = sample();
+        let (chunked, _) = chunked_bytes(&t, 16);
+        assert_eq!(read_compact(&chunked[..]).unwrap(), t);
+        let mut flat = Vec::new();
+        write_compact(&t, &mut flat).unwrap();
+        assert_eq!(read_compact(&flat[..]).unwrap(), t);
+    }
+
+    #[test]
+    fn chunked_reader_streams_flat_v2_without_buffering() {
+        let t = sample();
+        let mut flat = Vec::new();
+        write_compact(&t, &mut flat).unwrap();
+        let mut reader = ChunkedReader::new(&flat[..]).unwrap();
+        assert_eq!(reader.chunk_cap(), None);
+        assert_eq!(reader.read_to_trace().unwrap(), t);
+        assert_eq!(reader.peak_buffered_records(), 0);
+        assert_eq!(reader.chunks_read(), 0);
+        assert_eq!(reader.records_read(), t.len() as u64);
+    }
+
+    #[test]
+    fn chunked_missing_trailer_is_truncation() {
+        // Cut the stream at the exact end of the last chunk: without the
+        // trailer this is indistinguishable from a half-copied file.
+        let (buf, _) = chunked_bytes(&sample(), 16);
+        let cut = buf.len() - 16;
+        match ChunkedReader::new(&buf[..cut]).unwrap().read_to_trace().unwrap_err() {
+            TraceIoError::Truncated { byte_offset, .. } => assert_eq!(byte_offset, cut as u64),
+            other => panic!("expected truncation, got {other}"),
+        }
+    }
+
+    #[test]
+    fn chunked_rejects_trailing_bytes_and_bad_total() {
+        let (mut buf, _) = chunked_bytes(&sample(), 16);
+        buf.push(0);
+        assert!(matches!(
+            read_compact(&buf[..]).unwrap_err(),
+            TraceIoError::Malformed { what, .. } if what.contains("trailing")
+        ));
+        let (mut buf, _) = chunked_bytes(&sample(), 16);
+        let total_at = buf.len() - 8;
+        buf[total_at] ^= 1;
+        assert!(matches!(
+            read_compact(&buf[..]).unwrap_err(),
+            TraceIoError::Malformed { what, .. } if what.contains("trailer declares")
+        ));
+    }
+
+    #[test]
+    fn chunked_rejects_forged_headers_without_big_allocations() {
+        // chunk_cap above the hard cap
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC);
+        buf.extend_from_slice(&CHUNKED_VERSION.to_le_bytes());
+        buf.extend_from_slice(&0u16.to_le_bytes());
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(
+            ChunkedReader::new(&buf[..]).unwrap_err(),
+            TraceIoError::Malformed { what, byte_offset: 8 } if what.contains("chunk capacity")
+        ));
+
+        // chunk record count above the declared cap
+        let (mut buf, _) = chunked_bytes(&sample(), 16);
+        buf[16..20].copy_from_slice(&1000u32.to_le_bytes());
+        assert!(matches!(
+            read_compact(&buf[..]).unwrap_err(),
+            TraceIoError::Malformed { what, .. } if what.contains("above the 16 cap")
+        ));
+
+        // payload length impossibly large for the record count
+        let (mut buf, _) = chunked_bytes(&sample(), 16);
+        buf[20..24].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            read_compact(&buf[..]).unwrap_err(),
+            TraceIoError::Malformed { what, .. } if what.contains("payload length")
+        ));
+    }
+
+    #[test]
+    fn chunked_rejects_payload_record_count_mismatch() {
+        // Declare one record fewer than the payload encodes: leftover
+        // bytes must be rejected (the payload and count disagree).
+        // A single-chunk trace small enough that the forged counts
+        // below stay under the 16-record cap and exercise the payload
+        // cross-checks themselves.
+        let mut t = Trace::new();
+        for i in 0..6u64 {
+            t.push(BranchRecord::conditional(Addr::new(i * 8), Addr::new(i * 8 + 32), true));
+        }
+        let (buf, _) = chunked_bytes(&t, 16);
+        let mut fewer = buf.clone();
+        let declared = t.len() as u32 - 1;
+        fewer[16..20].copy_from_slice(&declared.to_le_bytes());
+        assert!(matches!(
+            read_compact(&fewer[..]).unwrap_err(),
+            TraceIoError::Malformed { what, .. } if what.contains("left over")
+        ));
+        // And one more than it encodes: the decoder runs off the end of
+        // the chunk, which is corruption, not stream truncation.
+        let mut more = buf;
+        let declared = t.len() as u32 + 1;
+        more[16..20].copy_from_slice(&declared.to_le_bytes());
+        assert!(matches!(
+            read_compact(&more[..]).unwrap_err(),
+            TraceIoError::Malformed { what, .. } if what.contains("mid-record")
+        ));
     }
 
     #[test]

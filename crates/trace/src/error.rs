@@ -54,8 +54,10 @@ pub enum TraceIoError {
         /// Byte offset just past the damaged payload.
         byte_offset: u64,
     },
-    /// A snapshot envelope field held a structurally impossible value
-    /// (zero or oversized length, non-UTF-8 name, trailing bytes).
+    /// A field of the input held a structurally impossible value: a zero
+    /// or oversized length, a non-UTF-8 name, trailing bytes after a
+    /// well-formed stream, or an ingest record (ChampSim/CSV/JSONL) whose
+    /// fields cannot describe a branch.
     Malformed {
         /// What was wrong.
         what: String,
@@ -86,7 +88,7 @@ impl fmt::Display for TraceIoError {
                  expected {expected:#018x}, found {found:#018x} (at byte {byte_offset})"
             ),
             TraceIoError::Malformed { what, byte_offset } => {
-                write!(f, "malformed snapshot: {what} (at byte {byte_offset})")
+                write!(f, "malformed input: {what} (at byte {byte_offset})")
             }
         }
     }

@@ -8,7 +8,7 @@
 //!   order, so emitted field order is *stable by construction*;
 //! * [`ToJson`] — the trait experiment-report types implement (usually
 //!   via the [`impl_to_json!`](crate::impl_to_json) macro);
-//! * an emitter ([`JsonValue::to_string`] via `Display`, and
+//! * an emitter (`JsonValue::to_string` via `Display`, and
 //!   [`JsonValue::pretty`]) with full string escaping;
 //! * a small recursive-descent parser ([`JsonValue::parse`]) used by the
 //!   integration tests and by tools that read `BENCH_*.json` lines back.

@@ -16,8 +16,13 @@
 //!   (truncation, rotation) path predictors need.
 //! * [`BranchKind`] / [`BranchRecord`] — one executed control transfer.
 //! * [`Trace`] — an in-memory sequence of records with filtered views.
+//! * [`source`] — the [`TraceSource`] streaming interface: records are
+//!   pulled one at a time so multi-GB traces replay in bounded memory.
+//! * [`ingest`] — streaming adapters for foreign trace formats
+//!   (ChampSim binary, CSV, JSONL); see `TRACES.md` for the grammars.
 //! * [`io`] — fixed-width binary and text serialization of traces.
-//! * [`compact`] — the delta/varint compact format for archives.
+//! * [`compact`] — the delta/varint compact format for archives, flat
+//!   (v2) and chunked-streaming (v3) layouts.
 //! * [`frame`] — length-prefixed wire framing for the serving protocol.
 //! * [`stats`] — static/dynamic branch demographics (the paper's Table 1).
 //! * [`json`] — a minimal hand-rolled JSON emitter/parser so reports can
@@ -35,7 +40,7 @@
 //! assert_eq!(trace.iter().filter(|r| r.kind() == BranchKind::Conditional).count(), 1);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod addr;
@@ -45,11 +50,14 @@ mod trace;
 
 pub mod compact;
 pub mod frame;
+pub mod ingest;
 pub mod io;
 pub mod json;
+pub mod source;
 pub mod stats;
 
 pub use addr::Addr;
 pub use branch::{BranchKind, BranchRecord};
 pub use error::{ParseTraceError, TraceIoError, VlppError};
+pub use source::TraceSource;
 pub use trace::{Iter, Trace};

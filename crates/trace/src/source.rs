@@ -1,0 +1,147 @@
+//! Streaming trace sources: pull branch records one at a time without
+//! ever materializing a whole trace.
+//!
+//! The in-memory [`Trace`] container is the right shape
+//! for the synthetic workloads (`vlpp-synth` builds them in memory
+//! anyway), but a multi-gigabyte foreign trace must *stream*: the
+//! [`ingest`](crate::ingest) adapters and the chunked compact reader
+//! ([`crate::compact::ChunkedReader`]) all
+//! implement [`TraceSource`], and replay loops consume records through
+//! it in bounded memory. `TRACES.md` at the repository root documents
+//! the formats and the memory guarantees.
+//!
+//! A source yields `Ok(Some(record))` per record, `Ok(None)` exactly
+//! once at a *clean* end of stream, and a typed, offset-carrying
+//! [`TraceIoError`] on malformed input — never a panic. After an error
+//! the stream is unusable; callers stop at the first `Err`.
+
+use crate::{BranchRecord, Trace, TraceIoError};
+
+/// A streaming producer of branch records.
+///
+/// Implementors parse records lazily from their backing stream; memory
+/// held at any moment is bounded by one record (raw format adapters) or
+/// one chunk (the chunked compact reader), never by trace length.
+///
+/// # Examples
+///
+/// Any trace can be replayed through the streaming interface via
+/// [`MemorySource`]; real consumers drive file-backed sources the same
+/// way:
+///
+/// ```
+/// use vlpp_trace::source::{MemorySource, TraceSource};
+/// use vlpp_trace::{Addr, BranchRecord, Trace};
+///
+/// let mut trace = Trace::new();
+/// trace.push(BranchRecord::conditional(Addr::new(0x40), Addr::new(0x80), true));
+/// trace.push(BranchRecord::indirect(Addr::new(0x80), Addr::new(0x100)));
+///
+/// let mut source = MemorySource::new(trace.clone());
+/// let mut seen = 0;
+/// while let Some(record) = source.next_record()? {
+///     assert_eq!(record, trace.records()[seen]);
+///     seen += 1;
+/// }
+/// assert_eq!(seen, 2);
+/// # Ok::<(), vlpp_trace::TraceIoError>(())
+/// ```
+pub trait TraceSource {
+    /// Pulls the next record: `Ok(Some(_))` per record, `Ok(None)` at a
+    /// clean end of stream.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`TraceIoError`] carrying the byte offset of the fault;
+    /// sources never panic on malformed input.
+    fn next_record(&mut self) -> Result<Option<BranchRecord>, TraceIoError>;
+
+    /// Drains the source into an in-memory [`Trace`].
+    ///
+    /// This deliberately gives up the bounded-memory guarantee — it is
+    /// for profiling passes and tests that need the whole trace; replay
+    /// loops should consume [`next_record`](Self::next_record) instead.
+    ///
+    /// # Errors
+    ///
+    /// The first error the underlying stream produces.
+    fn read_to_trace(&mut self) -> Result<Trace, TraceIoError> {
+        let mut trace = Trace::new();
+        while let Some(record) = self.next_record()? {
+            trace.push(record);
+        }
+        Ok(trace)
+    }
+}
+
+impl<S: TraceSource + ?Sized> TraceSource for Box<S> {
+    fn next_record(&mut self) -> Result<Option<BranchRecord>, TraceIoError> {
+        (**self).next_record()
+    }
+}
+
+impl<S: TraceSource + ?Sized> TraceSource for &mut S {
+    fn next_record(&mut self) -> Result<Option<BranchRecord>, TraceIoError> {
+        (**self).next_record()
+    }
+}
+
+/// A [`TraceSource`] over an in-memory [`Trace`] — the adapter that
+/// lets streaming consumers (converters, replay loops) also accept
+/// synthetic traces. Infallible: it never returns an error.
+#[derive(Debug)]
+pub struct MemorySource {
+    records: std::vec::IntoIter<BranchRecord>,
+}
+
+impl MemorySource {
+    /// Wraps a trace for streaming consumption.
+    pub fn new(trace: Trace) -> Self {
+        MemorySource { records: trace.into_records().into_iter() }
+    }
+}
+
+impl TraceSource for MemorySource {
+    fn next_record(&mut self) -> Result<Option<BranchRecord>, TraceIoError> {
+        Ok(self.records.next())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Addr;
+
+    fn sample() -> Trace {
+        let mut t = Trace::new();
+        t.push(BranchRecord::conditional(Addr::new(0x100), Addr::new(0x200), true));
+        t.push(BranchRecord::ret(Addr::new(0x204), Addr::new(0x104)));
+        t
+    }
+
+    #[test]
+    fn memory_source_streams_in_order_then_ends_cleanly() {
+        let mut source = MemorySource::new(sample());
+        assert_eq!(source.next_record().unwrap(), Some(sample().records()[0]));
+        assert_eq!(source.next_record().unwrap(), Some(sample().records()[1]));
+        assert_eq!(source.next_record().unwrap(), None);
+        // A finished source stays finished.
+        assert_eq!(source.next_record().unwrap(), None);
+    }
+
+    #[test]
+    fn read_to_trace_round_trips() {
+        assert_eq!(MemorySource::new(sample()).read_to_trace().unwrap(), sample());
+        assert_eq!(MemorySource::new(Trace::new()).read_to_trace().unwrap(), Trace::new());
+    }
+
+    #[test]
+    fn boxed_and_borrowed_sources_delegate() {
+        let mut boxed: Box<dyn TraceSource> = Box::new(MemorySource::new(sample()));
+        assert_eq!(boxed.read_to_trace().unwrap(), sample());
+        let mut source = MemorySource::new(sample());
+        let borrowed: &mut dyn TraceSource = &mut source;
+        let mut boxed_dyn: Box<&mut dyn TraceSource> = Box::new(borrowed);
+        assert_eq!(boxed_dyn.next_record().unwrap(), Some(sample().records()[0]));
+    }
+}

@@ -11,18 +11,29 @@
 #
 # `scale` is the --scale divisor (default 16, the repo default). Use
 # 1000000 for a seconds-long smoke record.
+#
+# Set VLPP_BENCH_TRACE=<file> to time `vlpp run --trace <file>` over an
+# ingested trace instead of the synthetic suite; the record's "trace"
+# field then carries the file path instead of "synth", so trend tooling
+# never compares synthetic and ingested-trace runs against each other.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 scale="${1:-16}"
+trace="${VLPP_BENCH_TRACE:-synth}"
 history="BENCH_history.jsonl"
 
 cargo build --release --offline >&2
 
 start=$(date +%s%N)
-stdout=$(VLPP_THREADS="${VLPP_THREADS:-}" ./target/release/vlpp all --json \
-    --scale "$scale" --metrics 2>/dev/null)
+if [ "$trace" = "synth" ]; then
+    stdout=$(VLPP_THREADS="${VLPP_THREADS:-}" ./target/release/vlpp all --json \
+        --scale "$scale" --metrics 2>/dev/null)
+else
+    stdout=$(VLPP_THREADS="${VLPP_THREADS:-}" ./target/release/vlpp run \
+        --trace "$trace" --json --metrics 2>/dev/null)
+fi
 end=$(date +%s%N)
 wall_ns=$((end - start))
 
@@ -34,7 +45,7 @@ fi
 # The snapshot must parse with the in-tree parser before it is recorded.
 printf 'METRICS %s\n' "$metrics" | ./target/release/vlpp-metrics-check >&2
 
-record="{\"ts\":$(date +%s),\"scale\":$scale,\"wall_ns\":$wall_ns,\"metrics\":$metrics}"
+record="{\"ts\":$(date +%s),\"scale\":$scale,\"trace\":\"$trace\",\"wall_ns\":$wall_ns,\"metrics\":$metrics}"
 
 # Crash-safe append: build the new history in a temp sibling and rename
 # it into place. A plain `>>` cut short by a crash or full disk leaves a
@@ -51,12 +62,17 @@ fi
 printf '%s\n' "$record" >>"$tmp"
 mv "$tmp" "$history"
 trap - EXIT
-echo "recorded: scale=1/$scale wall_ns=$wall_ns -> $history" >&2
+echo "recorded: scale=1/$scale trace=$trace wall_ns=$wall_ns -> $history" >&2
 
 # The stdout BENCH line: a single-iteration timing in the same shape the
-# in-tree bench harness emits, keyed by scale so baselines from
-# different scales never compare against each other.
-echo "BENCH {\"bench\":\"vlpp_all_scale_$scale\",\"iters\":1,\"median_ns\":$wall_ns,\"mad_ns\":0,\"min_ns\":$wall_ns,\"max_ns\":$wall_ns}"
+# in-tree bench harness emits, keyed by scale (or trace-replay mode) so
+# baselines from different workloads never compare against each other.
+if [ "$trace" = "synth" ]; then
+    bench_name="vlpp_all_scale_$scale"
+else
+    bench_name="vlpp_run_trace"
+fi
+echo "BENCH {\"bench\":\"$bench_name\",\"iters\":1,\"median_ns\":$wall_ns,\"mad_ns\":0,\"min_ns\":$wall_ns,\"max_ns\":$wall_ns}"
 
 # The predictions/sec microbench: four more BENCH lines (boxed dispatch
 # vs the structure-of-arrays kernel, conditional and indirect). The

@@ -13,7 +13,7 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-EXPECTED_STEPS=10
+EXPECTED_STEPS=11
 steps_run=0
 step() {
     steps_run=$((steps_run + 1))
@@ -287,7 +287,32 @@ if [ -n "$unwrap_offenders" ]; then
 fi
 echo "ok: no unwrap() in non-test vlpp-trace / vlpp-sim code"
 
-# 10. Wall-clock of the full experiment suite at the default scale, as a
+# 10. Trace-ingestion golden replay: the checked-in 100-record sample
+#    traces (ChampSim binary, CSV, JSONL — the same logical records in
+#    each, see TRACES.md) must replay to byte-identical statistics,
+#    matching the committed golden, both directly and after conversion
+#    to the chunked compact format.
+step "trace-ingestion golden replay"
+golden="tests/data/golden_replay.json"
+for sample in tests/data/sample.champsim tests/data/sample.csv tests/data/sample.jsonl; do
+    "$VLPP" run --trace "$sample" --json >"$scratch/replay.json" 2>/dev/null
+    if ! cmp -s "$golden" "$scratch/replay.json"; then
+        echo "error: replay of $sample differs from $golden:" >&2
+        diff "$golden" "$scratch/replay.json" >&2 || true
+        exit 1
+    fi
+done
+"$VLPP" ingest tests/data/sample.csv --out "$scratch/sample.vlpc" \
+    --chunk-records 16 >/dev/null 2>&1
+"$VLPP" run --trace "$scratch/sample.vlpc" --json >"$scratch/replay.json" 2>/dev/null
+if ! cmp -s "$golden" "$scratch/replay.json"; then
+    echo "error: compact-converted replay differs from $golden:" >&2
+    diff "$golden" "$scratch/replay.json" >&2 || true
+    exit 1
+fi
+echo "ok: all three sample formats + compact conversion match the golden replay"
+
+# 11. Wall-clock of the full experiment suite at the default scale, as a
 #    machine-readable BENCH line (same shape as the vlpp-check timer).
 step "wall-clock BENCH line"
 start=$(date +%s%N)
