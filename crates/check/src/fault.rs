@@ -95,17 +95,45 @@ pub enum ExecFault {
         /// Fire on every attempt (true) or only the first (false).
         persist: bool,
     },
+    /// Sever the connection at frame operation `at` (the frame layer's
+    /// `netdrop@N` — fires once, at a frame boundary).
+    NetDrop {
+        /// Global frame sequence number to hit.
+        at: u64,
+    },
+    /// Stall frame operation `at` for `ms` milliseconds before it
+    /// proceeds (`netstall@N:MS`), exercising peer read deadlines.
+    NetStall {
+        /// Global frame sequence number to hit.
+        at: u64,
+        /// Stall duration in milliseconds.
+        ms: u64,
+    },
+    /// Truncate the frame written at operation `at` to its first
+    /// `bytes` wire bytes (`nettrunc@N:BYTES`), so the peer observes a
+    /// mid-frame disconnect.
+    NetTrunc {
+        /// Global frame sequence number to hit.
+        at: u64,
+        /// Wire bytes to let through before cutting the frame short.
+        bytes: u64,
+    },
 }
 
 impl ExecFault {
     /// The `VLPP_FAULT` value that injects this fault — e.g. `panic@3`,
-    /// `stall@7:250:persist`.
+    /// `stall@7:250:persist`, `nettrunc@4:10`. Several rendered values
+    /// joined with `,` form one composite plan (the task-level and
+    /// frame-level hooks each pick out their own kinds).
     pub fn env_value(&self) -> String {
         match self {
             ExecFault::Panic { at, persist: false } => format!("panic@{at}"),
             ExecFault::Panic { at, persist: true } => format!("panic@{at}:persist"),
             ExecFault::Stall { at, ms, persist: false } => format!("stall@{at}:{ms}"),
             ExecFault::Stall { at, ms, persist: true } => format!("stall@{at}:{ms}:persist"),
+            ExecFault::NetDrop { at } => format!("netdrop@{at}"),
+            ExecFault::NetStall { at, ms } => format!("netstall@{at}:{ms}"),
+            ExecFault::NetTrunc { at, bytes } => format!("nettrunc@{at}:{bytes}"),
         }
     }
 }
@@ -202,6 +230,25 @@ impl FaultPlan {
             })
             .collect()
     }
+
+    /// Draws `count` network faults targeting frame sequence numbers
+    /// from 1 to `max_seq` inclusive, cycling drop → stall → truncate.
+    /// Stalls last `stall_ms`; truncations keep between 0 and 15 wire
+    /// bytes, enough to land both inside the length prefix and inside
+    /// small payloads.
+    pub fn net_faults(&mut self, max_seq: u64, stall_ms: u64, count: usize) -> Vec<ExecFault> {
+        assert!(max_seq >= 1);
+        (0..count)
+            .map(|i| {
+                let at = 1 + self.rng.next_u64() % max_seq;
+                match i % 3 {
+                    0 => ExecFault::NetDrop { at },
+                    1 => ExecFault::NetStall { at, ms: stall_ms },
+                    _ => ExecFault::NetTrunc { at, bytes: self.rng.next_u64() % 16 },
+                }
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -274,6 +321,26 @@ mod tests {
                     assert!(at < 11);
                     assert!(!persist, "plan-drawn faults are transient");
                 }
+                other => panic!("exec_faults draws panics and stalls only, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn net_faults_render_the_frame_hook_grammar() {
+        assert_eq!(ExecFault::NetDrop { at: 3 }.env_value(), "netdrop@3");
+        assert_eq!(ExecFault::NetStall { at: 5, ms: 40 }.env_value(), "netstall@5:40");
+        assert_eq!(ExecFault::NetTrunc { at: 7, bytes: 2 }.env_value(), "nettrunc@7:2");
+        let plan = FaultPlan::new(6).net_faults(9, 25, 12);
+        assert_eq!(plan, FaultPlan::new(6).net_faults(9, 25, 12), "plans replay from the seed");
+        for fault in plan {
+            match fault {
+                ExecFault::NetDrop { at }
+                | ExecFault::NetStall { at, .. }
+                | ExecFault::NetTrunc { at, .. } => {
+                    assert!((1..=9).contains(&at), "frame numbers are 1-based: {fault:?}");
+                }
+                other => panic!("net_faults draws network faults only, got {other:?}"),
             }
         }
     }

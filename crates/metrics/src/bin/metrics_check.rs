@@ -5,9 +5,13 @@
 //! `METRICS ` (a bare JSON object is also accepted), parses the payload
 //! with the in-tree JSON parser, and checks the snapshot shape: a
 //! non-empty object whose `*_ns` histogram fields carry
-//! `count`/`sum_ns`/`buckets`. Exits 0 and prints a one-line summary on
-//! success; exits 1 with a diagnostic otherwise. Used by
-//! `scripts/verify.sh` as the `--metrics` smoke gate.
+//! `count`/`sum_ns`/`buckets`. Repeatable `--require NAME[:MIN]` flags
+//! additionally demand that counter `NAME` is present (and, with
+//! `:MIN`, at least `MIN`) — the structural gate the chaos drill uses
+//! to prove `cluster.respawns`/`serve.io_timeouts` really moved. Exits
+//! 0 and prints a one-line summary on success; exits 1 with a
+//! diagnostic otherwise. Used by `scripts/verify.sh` as the
+//! `--metrics` smoke gate.
 //!
 //! `--bench` mode: reads `BENCH {json}` lines instead (the shape the
 //! `vlpp-check` bench timer and `scripts/verify.sh`/`bench_record.sh`
@@ -33,9 +37,12 @@ fn fail(message: &str) -> ExitCode {
 }
 
 const USAGE: &str = "\
-usage: vlpp-metrics-check [--bench [--baseline FILE] [--max-regress PCT]]
+usage: vlpp-metrics-check [--require NAME[:MIN]]...
+                          [--bench [--baseline FILE] [--max-regress PCT]]
 
 Reads stdin. Default: validate the first `METRICS {json}` line.
+--require NAME[:MIN] (repeatable): fail unless the snapshot carries
+counter NAME with a value >= MIN (default 0, i.e. present at all).
 --bench: validate every `BENCH {json}` line, and with --baseline also
 compare each bench's median_ns against the baseline file (a JSON object
 mapping bench name -> {\"median_ns\": N}), failing on > PCT regression.
@@ -50,10 +57,31 @@ fn main() -> ExitCode {
     let mut bench_mode = false;
     let mut baseline_path: Option<String> = None;
     let mut max_regress_pct = 30.0f64;
+    let mut required: Vec<(String, u64)> = Vec::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--bench" => bench_mode = true,
+            "--require" => {
+                let Some(spec) = iter.next() else {
+                    return fail("--require needs NAME[:MIN]");
+                };
+                let (name, min) = match spec.rsplit_once(':') {
+                    None => (spec.as_str(), 0u64),
+                    Some((name, min)) => match min.parse::<u64>() {
+                        Ok(min) => (name, min),
+                        Err(_) => {
+                            return fail(&format!(
+                                "--require {spec}: MIN must be a non-negative integer"
+                            ));
+                        }
+                    },
+                };
+                if name.is_empty() {
+                    return fail(&format!("--require {spec}: counter name is empty"));
+                }
+                required.push((name.to_string(), min));
+            }
             "--baseline" => {
                 let Some(path) = iter.next() else {
                     return fail("--baseline needs a file path");
@@ -76,6 +104,9 @@ fn main() -> ExitCode {
     if baseline_path.is_some() && !bench_mode {
         return fail("--baseline only applies with --bench");
     }
+    if bench_mode && !required.is_empty() {
+        return fail("--require only applies to METRICS mode (drop --bench)");
+    }
 
     let mut input = String::new();
     if let Err(error) = std::io::stdin().read_to_string(&mut input) {
@@ -85,11 +116,11 @@ fn main() -> ExitCode {
     if bench_mode {
         check_bench_lines(&input, baseline_path.as_deref(), max_regress_pct)
     } else {
-        check_metrics_line(&input)
+        check_metrics_line(&input, &required)
     }
 }
 
-fn check_metrics_line(input: &str) -> ExitCode {
+fn check_metrics_line(input: &str, required: &[(String, u64)]) -> ExitCode {
     let Some(payload) = input
         .lines()
         .find_map(|line| line.strip_prefix("METRICS "))
@@ -133,7 +164,21 @@ fn check_metrics_line(input: &str) -> ExitCode {
         }
     }
 
-    println!("ok: METRICS line parses ({} metrics, {histograms} histograms)", fields.len());
+    for (name, min) in required {
+        let Some(value) = snapshot.get(name).and_then(JsonValue::as_u64) else {
+            return fail(&format!("required counter `{name}` is absent from the METRICS snapshot"));
+        };
+        if value < *min {
+            return fail(&format!("required counter `{name}` is {value}, below the floor {min}"));
+        }
+        println!("ok: counter `{name}` = {value} (>= {min})");
+    }
+
+    println!(
+        "ok: METRICS line parses ({} metrics, {histograms} histograms, {} required counter(s))",
+        fields.len(),
+        required.len()
+    );
     ExitCode::SUCCESS
 }
 

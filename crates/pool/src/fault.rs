@@ -23,6 +23,12 @@
 //! (the retry succeeds), a `:persist` fault is *permanent* (the retry
 //! fails too and the typed error surfaces to the caller).
 //!
+//! `VLPP_FAULT` may carry a comma-separated list; this hook consumes
+//! the first non-`net*` item. Items whose kind starts with `net`
+//! (`netdrop@N`, `netstall@N:MS`, `nettrunc@N:BYTES`) are *network*
+//! faults owned by the frame layer in `vlpp-trace` and are silently
+//! skipped here, exactly as the frame layer skips `panic`/`stall`.
+//!
 //! Every fired fault increments the `pool.faults_injected` counter. An
 //! unparseable `VLPP_FAULT` warns on stderr and injects nothing — the
 //! fault harness must never itself be a crash vector.
@@ -94,16 +100,29 @@ pub(crate) fn parse_fault(value: &str) -> Result<FaultSpec, String> {
     }
 }
 
+/// Picks this hook's item out of a (possibly comma-separated)
+/// `VLPP_FAULT` value: the first item whose kind does not start with
+/// `net`. Network faults belong to the frame layer in `vlpp-trace`.
+pub(crate) fn task_level_item(raw: &str) -> Option<String> {
+    raw.split(',')
+        .map(str::trim)
+        .find(|item| !item.is_empty() && !item.starts_with("net"))
+        .map(str::to_string)
+}
+
 fn armed_spec() -> Option<FaultSpec> {
     static SPEC: OnceLock<Option<FaultSpec>> = OnceLock::new();
     *SPEC.get_or_init(|| match std::env::var("VLPP_FAULT") {
         Err(_) => None,
-        Ok(raw) => match parse_fault(&raw) {
-            Ok(spec) => Some(spec),
-            Err(message) => {
-                eprintln!("warning: ignoring invalid VLPP_FAULT: {message}");
-                None
-            }
+        Ok(raw) => match task_level_item(&raw) {
+            None => None,
+            Some(item) => match parse_fault(&item) {
+                Ok(spec) => Some(spec),
+                Err(message) => {
+                    eprintln!("warning: ignoring invalid VLPP_FAULT: {message}");
+                    None
+                }
+            },
         },
     })
 }
@@ -171,6 +190,20 @@ mod tests {
             let err = parse_fault(bad).unwrap_err();
             assert!(err.contains('`'), "diagnostic for `{bad}` should quote the input: {err}");
         }
+    }
+
+    #[test]
+    fn network_fault_items_belong_to_the_frame_layer() {
+        // Pure network plans leave this hook unarmed, silently.
+        assert_eq!(task_level_item("netdrop@3"), None);
+        assert_eq!(task_level_item("netstall@2:50,nettrunc@4:10"), None);
+        // Mixed lists hand this hook its own first item.
+        assert_eq!(task_level_item("netdrop@3,panic@2").as_deref(), Some("panic@2"));
+        assert_eq!(task_level_item(" stall@1:5 ,netdrop@3").as_deref(), Some("stall@1:5"));
+        // Garbage that is not a network kind still reaches the strict
+        // parser and keeps its diagnostic.
+        assert_eq!(task_level_item("fuzz@1").as_deref(), Some("fuzz@1"));
+        assert!(parse_fault("fuzz@1").is_err());
     }
 
     #[test]

@@ -83,8 +83,11 @@ environment:
   VLPP_RETRY / VLPP_RETRY_BACKOFF_MS
                 retry a failed experiment once after the backoff
                 (defaults: on / 50 ms)
-  VLPP_FAULT    test-only fault injection, e.g. panic@3 or
-                stall@5:200:persist (see ROBUSTNESS.md)
+  VLPP_FAULT    test-only fault injection: comma-separated task faults
+                (panic@N[:persist], stall@N:MS[:persist]) and network
+                frame faults (netdrop@N, netstall@N:MS,
+                nettrunc@N:BYTES), e.g. panic@3 or netdrop@1,netstall@3:50
+                (see ROBUSTNESS.md)
 ";
 
 fn main() -> ExitCode {

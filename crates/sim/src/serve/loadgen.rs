@@ -29,6 +29,20 @@
 //! because it holds the same state the primary had at the last batch
 //! boundary, the oracle must still hold bit-for-bit, and the final
 //! per-shard counters must match the offline reference shard by shard.
+//!
+//! # Resilience
+//!
+//! Every socket carries `--io-timeout-ms` read/write deadlines, so a
+//! wedged server surfaces as a typed timeout instead of a hang.
+//! Connect failures retry with backoff under a `--retries` budget
+//! (single-server mode). In cluster mode, `--wait-respawn MS` switches
+//! the failure policy from fail-over to self-heal: a worker that hits
+//! a dead node pauses its shard, polls the routing file until the
+//! supervisor publishes a strictly newer version with the node's pid
+//! replaced, and resumes against the warm-started replacement — which
+//! is what lets the oracle stay byte-exact across a kill + respawn +
+//! snapshot-resync cycle. Tables whose version does not advance are
+//! rejected as stale, never adopted.
 
 use std::collections::{HashMap, HashSet};
 use std::net::TcpStream;
@@ -98,6 +112,23 @@ pub struct LoadgenOptions {
     pub kill_after: u64,
     /// Send `shutdown` after the run.
     pub shutdown: bool,
+    /// Socket read/write deadline on every connection, in milliseconds
+    /// (0 = unbounded). A call that outlives the deadline surfaces as a
+    /// typed timeout error instead of hanging the run.
+    pub io_timeout_ms: u64,
+    /// Connect retry budget: refused or timed-out connect attempts are
+    /// retried with backoff this many times (single-server mode only —
+    /// in cluster mode a refused connect *is* the death signal the
+    /// failover logic feeds on, so it is never retried in place).
+    pub retries: u32,
+    /// Base backoff between connect retries, in milliseconds; doubles
+    /// per attempt.
+    pub retry_backoff_ms: u64,
+    /// Cluster mode: when a node dies, wait up to this long for the
+    /// supervisor to respawn it (observed as a routing-table version
+    /// bump with a new pid) and retry on the replacement, instead of
+    /// failing over to the partner (0 = fail over immediately).
+    pub wait_respawn_ms: u64,
 }
 
 const LOADGEN_USAGE: &str = "\
@@ -107,6 +138,8 @@ usage: vlpp loadgen (--addr HOST:PORT | --uds PATH | --routing FILE)
                     [--batch N] [--seed N] [--update-every K] [--scale N]
                     [--no-train] [--save FILE]
                     [--kill NODE --kill-after BATCHES] [--shutdown]
+                    [--io-timeout-ms MS] [--retries N] [--retry-backoff-ms MS]
+                    [--wait-respawn MS]
 
 Trains a model on the server (or adopts a pre-trained one with
 --no-train), replays a synthetic trace over N connections, and fails
@@ -149,6 +182,10 @@ pub fn parse_loadgen_args(args: &[String]) -> Result<LoadgenOptions, VlppError> 
         kill: None,
         kill_after: 4,
         shutdown: false,
+        io_timeout_ms: 10_000,
+        retries: 3,
+        retry_backoff_ms: 100,
+        wait_respawn_ms: 0,
     };
 
     fn parse_num<T: std::str::FromStr>(value: Option<&String>, flag: &str) -> Result<T, VlppError> {
@@ -223,6 +260,16 @@ pub fn parse_loadgen_args(args: &[String]) -> Result<LoadgenOptions, VlppError> 
             }
             "--kill-after" => options.kill_after = parse_num::<u64>(iter.next(), "--kill-after")?,
             "--shutdown" => options.shutdown = true,
+            "--io-timeout-ms" => {
+                options.io_timeout_ms = parse_num::<u64>(iter.next(), "--io-timeout-ms")?
+            }
+            "--retries" => options.retries = parse_num::<u32>(iter.next(), "--retries")?,
+            "--retry-backoff-ms" => {
+                options.retry_backoff_ms = parse_num::<u64>(iter.next(), "--retry-backoff-ms")?
+            }
+            "--wait-respawn" => {
+                options.wait_respawn_ms = parse_num::<u64>(iter.next(), "--wait-respawn")?
+            }
             "--help" | "-h" => return Err(cli_error(LOADGEN_USAGE)),
             other => {
                 return Err(cli_error(format!("unexpected argument `{other}`\n{LOADGEN_USAGE}")))
@@ -236,6 +283,9 @@ pub fn parse_loadgen_args(args: &[String]) -> Result<LoadgenOptions, VlppError> 
         if options.kill.is_some() {
             return Err(cli_error("--kill needs cluster mode (--routing FILE)"));
         }
+        if options.wait_respawn_ms > 0 {
+            return Err(cli_error("--wait-respawn needs cluster mode (--routing FILE)"));
+        }
     }
     if options.skip >= options.records && options.records > 0 {
         return Err(cli_error(format!(
@@ -246,14 +296,18 @@ pub fn parse_loadgen_args(args: &[String]) -> Result<LoadgenOptions, VlppError> 
     Ok(options)
 }
 
-/// One framed-protocol client connection.
-struct Client {
+/// One framed-protocol client connection. Shared with `vlpp cluster`,
+/// whose supervisor speaks the same wire protocol for `ping` probes and
+/// `sync` snapshot pulls.
+pub(crate) struct Client {
     conn: super::Conn,
     next_id: u64,
 }
 
 impl Client {
-    fn connect(target: &ListenSpec) -> Result<Client, VlppError> {
+    /// Connects once, arming `io_timeout_ms` read/write deadlines on
+    /// the socket (0 = unbounded).
+    pub(crate) fn connect(target: &ListenSpec, io_timeout_ms: u64) -> Result<Client, VlppError> {
         let conn = match target {
             ListenSpec::Tcp(addr) => TcpStream::connect(addr)
                 .map(super::Conn::Tcp)
@@ -270,12 +324,90 @@ impl Client {
                 )));
             }
         };
+        conn.set_timeouts(io_timeout_ms);
         Ok(Client { conn, next_id: 1 })
+    }
+
+    /// Connects with a retry budget: a transport-level connect failure
+    /// (refused, reset, timed out) backs off and retries up to
+    /// `retries` times, doubling `backoff_ms` per attempt and counting
+    /// each retry in `loadgen.retries`. Only *connects* retry — a verb
+    /// call is never replayed, because `predict`/`update` mutate model
+    /// state and a blind replay would double-apply a batch.
+    pub(crate) fn connect_retry(
+        target: &ListenSpec,
+        io_timeout_ms: u64,
+        retries: u32,
+        backoff_ms: u64,
+    ) -> Result<Client, VlppError> {
+        let mut attempt = 0u32;
+        loop {
+            match Client::connect(target, io_timeout_ms) {
+                Ok(client) => return Ok(client),
+                Err(error @ VlppError::Io { .. }) if attempt < retries => {
+                    attempt += 1;
+                    vlpp_metrics::counter("loadgen.retries").incr();
+                    let wait = backoff_ms.saturating_mul(1u64 << (attempt - 1).min(6));
+                    eprintln!(
+                        "loadgen: connect failed ({error}); retry {attempt}/{retries} in {wait}ms"
+                    );
+                    thread::sleep(std::time::Duration::from_millis(wait));
+                }
+                Err(error) => return Err(error),
+            }
+        }
+    }
+
+    /// Calls the `sync` verb and reassembles the streamed snapshot:
+    /// reads the response header, then the `chunks` binary frames that
+    /// follow it, and checks the reassembled length against the
+    /// header's declared `bytes`. Returns the raw VLPS envelope bytes
+    /// and the header.
+    pub(crate) fn fetch_sync(
+        &mut self,
+        model: Option<&str>,
+    ) -> Result<(Vec<u8>, JsonValue), VlppError> {
+        let mut fields = Vec::new();
+        if let Some(model) = model {
+            fields.push(("model".to_string(), JsonValue::Str(model.to_string())));
+        }
+        let sync_error = |message: String| VlppError::protocol(Some("sync".to_string()), message);
+        let response = self.call("sync", fields)?;
+        let declared = response
+            .get("bytes")
+            .and_then(|v| v.as_u64())
+            .ok_or_else(|| sync_error("sync response has no byte count".to_string()))?;
+        let chunks = response
+            .get("chunks")
+            .and_then(|v| v.as_u64())
+            .ok_or_else(|| sync_error("sync response has no chunk count".to_string()))?;
+        // A chunk is never empty, so more chunks than bytes (or a
+        // multi-gigabyte claim) is a damaged or hostile header — bound
+        // the read before allocating anything.
+        if declared > 1 << 31 || chunks > declared || (declared > 0 && chunks == 0) {
+            return Err(sync_error(format!(
+                "implausible sync header: {declared} bytes in {chunks} chunks"
+            )));
+        }
+        let mut bytes = Vec::with_capacity(declared as usize);
+        for index in 0..chunks {
+            let frame = read_frame(&mut self.conn)?.ok_or_else(|| {
+                sync_error(format!("sync stream ended at chunk {index} of {chunks}"))
+            })?;
+            bytes.extend_from_slice(&frame);
+        }
+        if bytes.len() as u64 != declared {
+            return Err(sync_error(format!(
+                "sync stream reassembled {} bytes, header declared {declared}",
+                bytes.len()
+            )));
+        }
+        Ok((bytes, response))
     }
 
     /// Sends one request object and reads its response, checking the
     /// echoed id and the `ok` flag.
-    fn call(
+    pub(crate) fn call(
         &mut self,
         verb: &str,
         mut fields: Vec<(String, JsonValue)>,
@@ -370,11 +502,17 @@ fn drive_connection(
     target: &ListenSpec,
     model: &str,
     work: &[(usize, BranchRecord)],
-    batch_max: usize,
-    update_every: usize,
+    options: &LoadgenOptions,
     mut rng: XorShift64,
 ) -> Result<ConnReport, VlppError> {
-    let mut client = Client::connect(target)?;
+    let batch_max = options.batch;
+    let update_every = options.update_every;
+    let mut client = Client::connect_retry(
+        target,
+        options.io_timeout_ms,
+        options.retries,
+        options.retry_backoff_ms,
+    )?;
     let mut report = ConnReport {
         served: Vec::with_capacity(work.len()),
         batches: 0,
@@ -577,7 +715,13 @@ pub fn run_loadgen(options: &LoadgenOptions) -> Result<JsonValue, VlppError> {
         .target
         .clone()
         .ok_or_else(|| cli_error("missing --addr/--uds (single-server mode)"))?;
-    let mut control = Client::connect(&target)?;
+    vlpp_metrics::counter("loadgen.retries");
+    let mut control = Client::connect_retry(
+        &target,
+        options.io_timeout_ms,
+        options.retries,
+        options.retry_backoff_ms,
+    )?;
     let spec = resolve_spec(options, &mut control, "loadgen")?;
     let reference = Reference::build(options, spec)?;
     let partitions = reference.partitions(options.skip, options.connections);
@@ -590,16 +734,7 @@ pub fn run_loadgen(options: &LoadgenOptions) -> Result<JsonValue, VlppError> {
                 let rng = XorShift64::new(options.seed ^ mix(c as u64 + 1));
                 let target = &target;
                 let spec = &reference.spec;
-                scope.spawn(move || {
-                    drive_connection(
-                        target,
-                        &spec.name,
-                        work,
-                        options.batch,
-                        options.update_every,
-                        rng,
-                    )
-                })
+                scope.spawn(move || drive_connection(target, &spec.name, work, options, rng))
             })
             .collect();
         handles
@@ -654,7 +789,7 @@ struct Tally {
     updated: u64,
     failovers: u64,
     mismatches: u64,
-    first_mismatch: Option<JsonValue>,
+    first_mismatch: Option<(usize, String)>,
 }
 
 impl Tally {
@@ -667,11 +802,7 @@ impl Tally {
             if served != expected[index] {
                 self.mismatches += 1;
                 if self.first_mismatch.is_none() {
-                    self.first_mismatch = Some(JsonValue::Object(vec![
-                        ("index".to_string(), JsonValue::UInt(index as u64)),
-                        ("served".to_string(), JsonValue::Str(served.clone())),
-                        ("expected".to_string(), JsonValue::Str(expected[index].clone())),
-                    ]));
+                    self.first_mismatch = Some((index, served.clone()));
                 }
             }
         }
@@ -698,8 +829,17 @@ fn finish_summary(
         ("stats_match".to_string(), JsonValue::Bool(stats_match)),
     ];
     summary.extend(extra);
-    if let Some(mismatch) = tally.first_mismatch {
-        summary.push(("first_mismatch".to_string(), mismatch));
+    if let Some((index, served)) = tally.first_mismatch {
+        let record = &reference.records[index];
+        summary.push((
+            "first_mismatch".to_string(),
+            JsonValue::Object(vec![
+                ("index".to_string(), JsonValue::UInt(index as u64)),
+                ("shard".to_string(), JsonValue::UInt(reference.model.owner(record.pc()) as u64)),
+                ("served".to_string(), JsonValue::Str(served)),
+                ("expected".to_string(), JsonValue::Str(reference.expected[index].clone())),
+            ]),
+        ));
     }
     let summary = JsonValue::Object(summary);
     if tally.mismatches > 0 || !stats_match {
@@ -725,22 +865,128 @@ fn is_connection_death(error: &VlppError) -> bool {
     }
 }
 
-/// Cluster-wide shared state: who is known dead, and the global batch
-/// counter the killer thread watches.
+/// Typed degraded-mode error: both owners of a shard are down and no
+/// replacement has been promoted, so the shard's sub-stream cannot make
+/// progress. The `shard_unavailable:` prefix is the stable grammar
+/// tests and operators match on.
+fn shard_unavailable(verb: &str, shard: usize, primary: &str, replica: &str) -> VlppError {
+    VlppError::protocol(
+        Some(verb.to_string()),
+        format!(
+            "shard_unavailable: shard {shard} has no live owner \
+             (primary `{primary}` and replica `{replica}` are both down)"
+        ),
+    )
+}
+
+/// Cluster-wide shared state: the current routing table (re-read from
+/// disk as the supervisor rewrites it), who is known dead, and the
+/// global batch counter the killer thread watches.
 struct ClusterCtx {
-    table: RoutingTable,
+    /// The routing file `vlpp cluster` owns — the supervisor rewrites
+    /// it (with a bumped version) on every membership change.
+    routing_path: PathBuf,
+    table: Mutex<RoutingTable>,
     dead: Mutex<HashSet<String>>,
     batches_done: AtomicU64,
+    io_timeout_ms: u64,
+    wait_respawn_ms: u64,
 }
 
 impl ClusterCtx {
+    /// Reads and validates a routing-table file.
+    fn load_table(path: &std::path::Path) -> Result<RoutingTable, VlppError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|source| VlppError::io(path.to_path_buf(), "read", source))?;
+        let value = JsonValue::parse(text.trim())
+            .map_err(|source| VlppError::Json { what: "routing table".to_string(), source })?;
+        RoutingTable::from_json(&value).map_err(|message| {
+            cli_error(format!("bad routing table {}: {message}", path.display()))
+        })
+    }
+
+    fn version(&self) -> u64 {
+        lock(&self.table).version()
+    }
+
+    /// The shard's owner ids, `(primary, replica)`. These are stable
+    /// across respawns — the supervisor replaces a node's addr/pid
+    /// under the same id precisely so assignments never move.
+    fn owners(&self, shard: usize) -> (String, String) {
+        let table = lock(&self.table);
+        (table.primary(shard).id.clone(), table.replica(shard).id.clone())
+    }
+
+    fn addr_of(&self, id: &str) -> Option<String> {
+        lock(&self.table).nodes().iter().find(|n| n.id == id).map(|n| n.addr.clone())
+    }
+
     fn is_dead(&self, id: &str) -> bool {
         lock(&self.dead).contains(id)
     }
 
     fn mark_dead(&self, id: &str) {
         vlpp_metrics::counter("cluster.failovers").incr();
-        lock(&self.dead).insert(id.to_string());
+        if lock(&self.dead).insert(id.to_string()) {
+            eprintln!("loadgen: node `{id}` stopped answering; failing over");
+        }
+    }
+
+    /// Re-reads the routing file and adopts it only if its version is
+    /// *strictly newer* — a stale or unreadable file never regresses
+    /// the in-memory view. A node whose pid changed in the new table is
+    /// a promoted replacement, so its dead mark is cleared and traffic
+    /// may route to it again. Returns whether a newer table was
+    /// adopted.
+    fn try_reload(&self) -> bool {
+        let Ok(incoming) = Self::load_table(&self.routing_path) else { return false };
+        let mut table = lock(&self.table);
+        if incoming.version() <= table.version() {
+            return false;
+        }
+        let mut dead = lock(&self.dead);
+        for node in incoming.nodes() {
+            let respawned =
+                table.nodes().iter().any(|old| old.id == node.id && old.pid != node.pid);
+            if respawned && dead.remove(&node.id) {
+                eprintln!(
+                    "loadgen: adopted routing v{}; `{}` respawned at {}",
+                    incoming.version(),
+                    node.id,
+                    node.addr
+                );
+            }
+        }
+        *table = incoming;
+        true
+    }
+
+    /// Blocks until the supervisor promotes a replacement for `id`
+    /// (its dead mark clears via [`try_reload`](Self::try_reload)) or
+    /// the `--wait-respawn` budget runs out, which is a typed error —
+    /// a worker must never wait forever on a cluster that has stopped
+    /// healing.
+    fn await_respawn(&self, id: &str, shard: usize) -> Result<(), VlppError> {
+        let deadline =
+            std::time::Instant::now() + std::time::Duration::from_millis(self.wait_respawn_ms);
+        loop {
+            self.try_reload();
+            if !self.is_dead(id) {
+                return Ok(());
+            }
+            if std::time::Instant::now() >= deadline {
+                return Err(VlppError::protocol(
+                    None,
+                    format!(
+                        "waited {}ms for node `{id}` (shard {shard}) to respawn; \
+                         the routing table never advanced past version {}",
+                        self.wait_respawn_ms,
+                        self.version()
+                    ),
+                ));
+            }
+            thread::sleep(std::time::Duration::from_millis(20));
+        }
     }
 }
 
@@ -774,14 +1020,15 @@ impl<'a> NodePool<'a> {
         let client = match self.clients.entry(id.to_string()) {
             std::collections::hash_map::Entry::Occupied(entry) => entry.into_mut(),
             std::collections::hash_map::Entry::Vacant(slot) => {
-                let node = self
+                // Resolve the address at connect time: after a respawn
+                // the id survives but the addr does not. No retry
+                // budget here — in cluster mode a refused connect *is*
+                // the death signal failover feeds on.
+                let addr = self
                     .ctx
-                    .table
-                    .nodes()
-                    .iter()
-                    .find(|n| n.id == id)
+                    .addr_of(id)
                     .ok_or_else(|| Some(cli_error(format!("unknown node `{id}`"))))?;
-                match Client::connect(&ListenSpec::Tcp(node.addr.clone())) {
+                match Client::connect(&ListenSpec::Tcp(addr), self.ctx.io_timeout_ms) {
                     Ok(client) => slot.insert(client),
                     Err(error) if is_connection_death(&error) => {
                         self.ctx.mark_dead(id);
@@ -803,10 +1050,38 @@ impl<'a> NodePool<'a> {
     }
 }
 
+/// Reads the node's applied-record count for `shard`: the per-shard
+/// `predictions` counter, which every applied record bumps exactly once
+/// (`predict` and `update` drive the same state transition).
+fn shard_records(
+    pool: &mut NodePool,
+    model: &str,
+    id: &str,
+    shard: usize,
+) -> Result<u64, Option<VlppError>> {
+    let body = vec![("model".to_string(), JsonValue::Str(model.to_string()))];
+    let response = pool.call(id, "stats", body)?;
+    response
+        .get("stats")
+        .and_then(|s| s.get("per_shard"))
+        .and_then(|v| v.as_array())
+        .and_then(|a| a.get(shard))
+        .and_then(|e| e.get("predictions"))
+        .and_then(|v| v.as_u64())
+        .ok_or_else(|| {
+            Some(VlppError::protocol(
+                Some("stats".to_string()),
+                format!("node `{id}` stats lack per_shard[{shard}].predictions"),
+            ))
+        })
+}
+
 /// Drives one worker's shards through the cluster: per batch, predict
 /// on the shard's primary and the identical records on its replica via
-/// `update`. A dying node fails over to its partner; both dying is a
-/// hard error.
+/// `update`. A dying node fails over to its partner — or, with
+/// `--wait-respawn`, the worker pauses the shard until the supervisor
+/// promotes a replacement and then retries on it. Both owners being
+/// down is the typed `shard_unavailable` error.
 fn drive_cluster_worker(
     ctx: &ClusterCtx,
     model: &str,
@@ -820,8 +1095,7 @@ fn drive_cluster_worker(
         ConnReport { served: Vec::new(), batches: 0, predicted: 0, updated: 0, failovers: 0 };
     for &shard in shards {
         let Some(stream) = work.get(&shard) else { continue };
-        let primary = ctx.table.primary(shard).id.clone();
-        let replica = ctx.table.replica(shard).id.clone();
+        let (primary, replica) = ctx.owners(shard);
         let mut cursor = 0usize;
         while cursor < stream.len() {
             let size = (1 + rng.next_u64() % batch_max as u64) as usize;
@@ -831,28 +1105,38 @@ fn drive_cluster_worker(
             // Predict on the primary; on death, the replica holds the
             // identical state as of the last batch boundary (it has
             // applied every prior batch via `update`), so the same
-            // predict must yield byte-identical output there.
+            // predict must yield byte-identical output there. A failed
+            // predict was applied nowhere — the replica only sees a
+            // batch *after* its predict succeeds — so retrying it on a
+            // replacement warm-started from the replica is exact.
             let mut write_targets = [Some(&primary), Some(&replica)];
-            let response = match pool.call(&primary, "predict", batch_body(model, batch)) {
-                Ok(response) => {
-                    write_targets[0] = None; // primary already trained
-                    response
-                }
-                Err(Some(error)) => return Err(error),
-                Err(None) => {
-                    report.failovers += 1;
-                    write_targets = [None, None];
-                    match pool.call(&replica, "predict", batch_body(model, batch)) {
-                        Ok(response) => response,
-                        Err(Some(error)) => return Err(error),
-                        Err(None) => {
-                            return Err(VlppError::protocol(
-                                Some("predict".to_string()),
-                                format!(
-                                    "both nodes for shard {shard} are dead \
-                                     (`{primary}` and `{replica}`)"
-                                ),
-                            ));
+            let response = loop {
+                match pool.call(&primary, "predict", batch_body(model, batch)) {
+                    Ok(response) => {
+                        write_targets[0] = None; // primary already trained
+                        break response;
+                    }
+                    Err(Some(error)) => return Err(error),
+                    Err(None) if ctx.wait_respawn_ms > 0 => {
+                        report.failovers += 1;
+                        eprintln!(
+                            "loadgen: shard {shard} predict at record {} pausing for \
+                             respawn of `{primary}`",
+                            batch[0].0
+                        );
+                        ctx.await_respawn(&primary, shard)?;
+                    }
+                    Err(None) => {
+                        report.failovers += 1;
+                        write_targets = [None, None];
+                        match pool.call(&replica, "predict", batch_body(model, batch)) {
+                            Ok(response) => break response,
+                            Err(Some(error)) => return Err(error),
+                            Err(None) => {
+                                return Err(shard_unavailable(
+                                    "predict", shard, &primary, &replica,
+                                ));
+                            }
                         }
                     }
                 }
@@ -861,13 +1145,79 @@ fn drive_cluster_worker(
             // Fan the identical batch to the replica (unless it just
             // served the predict itself). `update` applies the same
             // state transition as `predict`, so the two kernels stay
-            // byte-identical. A replica dying here just ends the
-            // fan-out — the primary remains the shard's single owner.
+            // byte-identical. A replica dying here ends the fan-out —
+            // the primary remains the shard's single owner — unless
+            // `--wait-respawn` is set, in which case the worker waits
+            // for the replacement and then reconciles: the supervisor's
+            // resync pull races this batch's predict, so the
+            // replacement warm-started from the primary holds either
+            // the pre-batch or the post-batch boundary (the stability
+            // double-pull pins it to a boundary, never mid-batch).
+            // Comparing applied-record counters tells which side; the
+            // batch is resent iff the pull missed it. A blind resend
+            // would double-apply, a blind skip drops the batch from the
+            // replica lineage — a divergence invisible until ANOTHER
+            // failover promotes that lineage.
             if let Some(target) = write_targets[1] {
-                match pool.call(target, "update", batch_body(model, batch)) {
-                    Ok(_) => report.updated += batch.len() as u64,
-                    Err(Some(error)) => return Err(error),
-                    Err(None) => report.failovers += 1,
+                loop {
+                    match pool.call(target, "update", batch_body(model, batch)) {
+                        Ok(_) => {
+                            report.updated += batch.len() as u64;
+                            break;
+                        }
+                        Err(Some(error)) => return Err(error),
+                        Err(None) if ctx.wait_respawn_ms > 0 => {
+                            report.failovers += 1;
+                            eprintln!(
+                                "loadgen: shard {shard} update at record {} pausing for \
+                                 respawn of `{target}`",
+                                batch[0].0
+                            );
+                            ctx.await_respawn(target, shard)?;
+                            let counts =
+                                shard_records(&mut pool, model, target, shard).and_then(|have| {
+                                    shard_records(&mut pool, model, &primary, shard)
+                                        .map(|want| (have, want))
+                                });
+                            match counts {
+                                Ok((have, want)) if have == want => break,
+                                // The gap is the in-flight batch. It can
+                                // be SMALLER than batch.len(): static
+                                // branches bypass the predictor table and
+                                // do not move the counter.
+                                Ok((have, want))
+                                    if have < want && want - have <= batch.len() as u64 =>
+                                {
+                                    eprintln!(
+                                        "loadgen: shard {shard} resending {} records at \
+                                         record {} to respawned `{target}` (resync \
+                                         captured {have} of {want})",
+                                        batch.len(),
+                                        batch[0].0
+                                    );
+                                }
+                                Ok((have, want)) => {
+                                    return Err(cli_error(format!(
+                                        "shard {shard}: respawned `{target}` holds {have} \
+                                         records but primary `{primary}` holds {want} — \
+                                         further apart than this worker's in-flight batch \
+                                         of {}; replica lineage is unrecoverable",
+                                        batch.len()
+                                    )));
+                                }
+                                Err(Some(error)) => return Err(error),
+                                Err(None) => {
+                                    return Err(shard_unavailable(
+                                        "stats", shard, &primary, &replica,
+                                    ));
+                                }
+                            }
+                        }
+                        Err(None) => {
+                            report.failovers += 1;
+                            break;
+                        }
+                    }
                 }
             }
             ctx.batches_done.fetch_add(1, Ordering::SeqCst);
@@ -896,13 +1246,9 @@ fn kill_process(pid: u64) -> Result<(), VlppError> {
 /// holds the oracle — byte-identical predictions and shard-exact
 /// counters on the survivors.
 fn run_cluster_loadgen(options: &LoadgenOptions) -> Result<JsonValue, VlppError> {
+    vlpp_metrics::counter("loadgen.retries");
     let path = options.routing.as_ref().ok_or_else(|| cli_error("cluster mode needs --routing"))?;
-    let text = std::fs::read_to_string(path)
-        .map_err(|source| VlppError::io(path.clone(), "read", source))?;
-    let value = JsonValue::parse(text.trim())
-        .map_err(|source| VlppError::Json { what: "routing table".to_string(), source })?;
-    let table = RoutingTable::from_json(&value)
-        .map_err(|message| cli_error(format!("bad routing table {}: {message}", path.display())))?;
+    let table = ClusterCtx::load_table(path)?;
 
     // The routing table's shard count is authoritative: the table IS
     // the shard→process map, so a conflicting --shards would route
@@ -937,7 +1283,8 @@ fn run_cluster_loadgen(options: &LoadgenOptions) -> Result<JsonValue, VlppError>
     // and replica kernels for a shard start byte-identical.
     if !options.no_train {
         for node in table.nodes() {
-            let mut client = Client::connect(&ListenSpec::Tcp(node.addr.clone()))?;
+            let mut client =
+                Client::connect(&ListenSpec::Tcp(node.addr.clone()), options.io_timeout_ms)?;
             train_on(&mut client, &spec)?;
         }
     }
@@ -954,20 +1301,25 @@ fn run_cluster_loadgen(options: &LoadgenOptions) -> Result<JsonValue, VlppError>
     let shard_sets: Vec<Vec<usize>> =
         (0..workers).map(|c| (0..table.shards()).filter(|s| s % workers == c).collect()).collect();
 
-    let ctx =
-        ClusterCtx { table, dead: Mutex::new(HashSet::new()), batches_done: AtomicU64::new(0) };
+    let kill_pid = options
+        .kill
+        .as_ref()
+        .map(|kill| table.nodes().iter().find(|n| n.id == *kill).map(|n| n.pid))
+        .map(|pid| pid.expect("kill target validated above"));
+    let ctx = ClusterCtx {
+        routing_path: path.clone(),
+        table: Mutex::new(table),
+        dead: Mutex::new(HashSet::new()),
+        batches_done: AtomicU64::new(0),
+        io_timeout_ms: options.io_timeout_ms,
+        wait_respawn_ms: options.wait_respawn_ms,
+    };
     let done = AtomicBool::new(false);
     let killed = AtomicBool::new(false);
 
     let reports: Vec<Result<ConnReport, VlppError>> = thread::scope(|scope| {
         let killer = options.kill.as_ref().map(|kill| {
-            let pid = ctx
-                .table
-                .nodes()
-                .iter()
-                .find(|n| n.id == *kill)
-                .map(|n| n.pid)
-                .expect("kill target validated above");
+            let pid = kill_pid.expect("kill target resolved above");
             let ctx = &ctx;
             let done = &done;
             let killed = &killed;
@@ -1023,6 +1375,10 @@ fn run_cluster_loadgen(options: &LoadgenOptions) -> Result<JsonValue, VlppError>
     // Per-shard stats oracle: each shard's surviving owner has seen
     // the shard's full sub-stream exactly once, so its per-shard
     // counters must equal the offline reference's, shard by shard.
+    // Adopt the latest routing table first: a node respawned since the
+    // run started lives at a new address, and its resynced state must
+    // satisfy the same oracle.
+    ctx.try_reload();
     let ref_stats = reference.model.stats_json();
     let ref_shards =
         ref_stats.get("per_shard").and_then(|v| v.as_array()).map(|a| a.to_vec()).ok_or_else(
@@ -1031,8 +1387,7 @@ fn run_cluster_loadgen(options: &LoadgenOptions) -> Result<JsonValue, VlppError>
     let mut pool = NodePool::new(&ctx);
     let mut stats_match = true;
     for (shard, reference_entry) in ref_shards.iter().enumerate() {
-        let primary = ctx.table.primary(shard).id.clone();
-        let replica = ctx.table.replica(shard).id.clone();
+        let (primary, replica) = ctx.owners(shard);
         let body = vec![("model".to_string(), JsonValue::Str(reference.spec.name.clone()))];
         let response = match pool.call(&primary, "stats", body.clone()) {
             Ok(response) => response,
@@ -1041,10 +1396,7 @@ fn run_cluster_loadgen(options: &LoadgenOptions) -> Result<JsonValue, VlppError>
                 Ok(response) => response,
                 Err(Some(error)) => return Err(error),
                 Err(None) => {
-                    return Err(VlppError::protocol(
-                        Some("stats".to_string()),
-                        format!("both nodes for shard {shard} are dead"),
-                    ));
+                    return Err(shard_unavailable("stats", shard, &primary, &replica));
                 }
             },
         };
@@ -1061,12 +1413,23 @@ fn run_cluster_loadgen(options: &LoadgenOptions) -> Result<JsonValue, VlppError>
     }
 
     if options.shutdown {
-        let ids: Vec<String> = ctx.table.nodes().iter().map(|n| n.id.clone()).collect();
+        // Re-read the table once more so a node respawned during the
+        // stats pass drains too instead of lingering as an orphan.
+        ctx.try_reload();
+        let ids: Vec<String> = lock(&ctx.table).nodes().iter().map(|n| n.id.clone()).collect();
         for id in ids {
-            // Dead nodes cannot drain; survivors must.
+            // Dead nodes cannot drain; survivors must. The fan-out is
+            // best-effort beyond that: the supervisor propagates drain
+            // cluster-wide the moment the first node exits cleanly, so
+            // a later call here can catch a node mid-drain (its read
+            // half already closed, answered with a typed frame error).
+            // Every failure mode means the node is going down, which
+            // is exactly what this pass is for.
             match pool.call(&id, "shutdown", vec![]) {
                 Ok(_) | Err(None) => {}
-                Err(Some(error)) => return Err(error),
+                Err(Some(error)) => {
+                    eprintln!("loadgen: shutdown of `{id}` raced its drain: {error}");
+                }
             }
         }
     }
@@ -1076,8 +1439,10 @@ fn run_cluster_loadgen(options: &LoadgenOptions) -> Result<JsonValue, VlppError>
         names.sort();
         names.into_iter().map(JsonValue::Str).collect()
     };
+    let node_count = lock(&ctx.table).nodes().len();
     let extra = vec![
-        ("nodes".to_string(), JsonValue::UInt(ctx.table.nodes().len() as u64)),
+        ("nodes".to_string(), JsonValue::UInt(node_count as u64)),
+        ("routing_version".to_string(), JsonValue::UInt(ctx.version())),
         ("killed".to_string(), JsonValue::Bool(killed.load(Ordering::SeqCst))),
         ("dead_nodes".to_string(), JsonValue::Array(dead)),
     ];
@@ -1116,6 +1481,45 @@ mod tests {
         assert_eq!(options.routing.as_deref(), Some(std::path::Path::new("/tmp/r.json")));
         assert_eq!(options.kill.as_deref(), Some("node1"));
         assert_eq!(options.kill_after, 7);
+    }
+
+    #[test]
+    fn parses_the_resilience_flags() {
+        let options = parse(&["--addr", "a:1"]).unwrap();
+        assert_eq!(options.io_timeout_ms, 10_000, "deadlines must be on by default");
+        assert_eq!(options.retries, 3);
+        assert_eq!(options.wait_respawn_ms, 0, "self-heal waiting is opt-in");
+
+        let options = parse(&[
+            "--routing",
+            "/tmp/r.json",
+            "--io-timeout-ms",
+            "0",
+            "--retries",
+            "9",
+            "--retry-backoff-ms",
+            "5",
+            "--wait-respawn",
+            "2500",
+        ])
+        .unwrap();
+        assert_eq!(options.io_timeout_ms, 0, "0 must mean unbounded, not an error");
+        assert_eq!(options.retries, 9);
+        assert_eq!(options.retry_backoff_ms, 5);
+        assert_eq!(options.wait_respawn_ms, 2500);
+
+        // Waiting for a respawn only makes sense against a supervisor
+        // that rewrites the routing file.
+        let error = parse(&["--addr", "a:1", "--wait-respawn", "100"]).unwrap_err();
+        assert!(error.to_string().contains("--wait-respawn"), "{error}");
+    }
+
+    #[test]
+    fn shard_unavailable_grammar_is_stable() {
+        let error = shard_unavailable("predict", 3, "node0", "node2");
+        let text = error.to_string();
+        assert!(text.contains("shard_unavailable: shard 3 has no live owner"), "{text}");
+        assert!(text.contains("`node0`") && text.contains("`node2`"), "{text}");
     }
 
     /// The regression tests for the silent `.max(1)` clamps: zero is a

@@ -25,7 +25,17 @@
 //! self-connection wakes it out of `accept`) and half-closes the read
 //! side of every open connection. Blocked readers see EOF, queued
 //! frames still execute, every response still goes out, and the process
-//! exits 0 once the last processor finishes.
+//! exits 0 once the last processor finishes. `SIGTERM`/`SIGINT` take
+//! the same path (a signal-watcher thread polls a flag the handler
+//! sets), so operators and CI teardown get a clean exit, not an abort.
+//!
+//! # Deadlines
+//!
+//! Every accepted socket carries `--io-timeout-ms` read/write deadlines
+//! so a hung peer cannot pin a reader thread forever. An expiry while a
+//! frame is in flight closes the connection and counts
+//! `serve.io_timeouts`; an expiry on an *idle* connection is benign and
+//! the reader simply waits again.
 
 pub mod cluster;
 pub mod loadgen;
@@ -45,7 +55,7 @@ use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread;
 
-use vlpp_trace::frame::{read_frame, write_frame};
+use vlpp_trace::frame::{self, write_frame, FrameRead};
 use vlpp_trace::json::JsonValue;
 use vlpp_trace::VlppError;
 
@@ -55,6 +65,15 @@ pub use protocol::{Request, Verb};
 
 /// Default bound of each connection's frame queue.
 pub const DEFAULT_QUEUE_DEPTH: usize = 32;
+
+/// Default socket read/write deadline, in milliseconds. Generous next
+/// to any healthy round trip, small enough that a hung peer releases
+/// its thread the same minute. `0` disables deadlines.
+pub const DEFAULT_IO_TIMEOUT_MS: u64 = 30_000;
+
+/// Frame payload size the `sync` verb chunks its snapshot stream into —
+/// comfortably under `MAX_FRAME_BYTES`.
+const SYNC_CHUNK_BYTES: usize = 256 * 1024;
 
 /// Where the server listens.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -78,11 +97,14 @@ pub struct ServeOptions {
     pub metrics: bool,
     /// Warm restart: load this model snapshot before announcing.
     pub snapshot: Option<PathBuf>,
+    /// Socket read/write deadline in milliseconds (`0` disables).
+    pub io_timeout_ms: u64,
 }
 
 const SERVE_USAGE: &str = "\
 usage: vlpp serve [--listen HOST:PORT | --uds PATH] [--queue-depth N]
                   [--scale N] [--metrics] [--snapshot FILE]
+                  [--io-timeout-ms MS]
 
 Binds, prints one `SERVE {json}` line on stdout announcing the bound
 address, then serves the framed JSON protocol until a `shutdown` verb
@@ -107,6 +129,7 @@ pub fn parse_serve_args(args: &[String]) -> Result<ServeOptions, VlppError> {
         scale: Scale::from_env(),
         metrics: false,
         snapshot: None,
+        io_timeout_ms: DEFAULT_IO_TIMEOUT_MS,
     };
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -141,6 +164,12 @@ pub fn parse_serve_args(args: &[String]) -> Result<ServeOptions, VlppError> {
             "--snapshot" => {
                 let path = iter.next().ok_or_else(|| cli_error("--snapshot needs a file path"))?;
                 options.snapshot = Some(PathBuf::from(path));
+            }
+            "--io-timeout-ms" => {
+                options.io_timeout_ms = iter
+                    .next()
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .ok_or_else(|| cli_error("--io-timeout-ms needs milliseconds (0 disables)"))?;
             }
             "--help" | "-h" => return Err(cli_error(SERVE_USAGE)),
             other => {
@@ -179,6 +208,25 @@ impl Conn {
             #[cfg(unix)]
             Conn::Unix(stream) => stream.try_clone().map(Conn::Unix),
         }
+    }
+
+    /// Arms read/write deadlines on the socket (`0` leaves it
+    /// unbounded). Errors are ignored: a socket that refuses a timeout
+    /// still serves, it just keeps the old blocking behavior.
+    fn set_timeouts(&self, ms: u64) {
+        if ms == 0 {
+            return;
+        }
+        let timeout = Some(std::time::Duration::from_millis(ms));
+        let _ = match self {
+            Conn::Tcp(stream) => {
+                stream.set_read_timeout(timeout).and(stream.set_write_timeout(timeout))
+            }
+            #[cfg(unix)]
+            Conn::Unix(stream) => {
+                stream.set_read_timeout(timeout).and(stream.set_write_timeout(timeout))
+            }
+        };
     }
 
     /// Half-closes the read side: blocked `read_frame`s on any clone of
@@ -343,6 +391,61 @@ fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     mutex.lock().unwrap_or_else(|poison| poison.into_inner())
 }
 
+/// SIGTERM/SIGINT handling without a signals crate: the platform libc
+/// is already linked, so `signal(2)` is declared directly. The handler
+/// only stores to an atomic (the async-signal-safe subset); a watcher
+/// thread polls the flag and runs the ordinary drain path.
+#[cfg(unix)]
+pub(crate) mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    /// Set by the handler when SIGTERM or SIGINT arrives.
+    static TERMINATE: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_signal(_signum: i32) {
+        TERMINATE.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    /// Routes SIGTERM (15) and SIGINT (2) to the flag.
+    pub(crate) fn install() {
+        let handler = on_signal as extern "C" fn(i32) as *const () as usize;
+        unsafe {
+            signal(15, handler);
+            signal(2, handler);
+        }
+    }
+
+    /// True once a termination signal has arrived.
+    pub(crate) fn terminated() -> bool {
+        TERMINATE.load(Ordering::SeqCst)
+    }
+}
+
+/// Stub for non-Unix targets: no signals to catch, never terminated.
+#[cfg(not(unix))]
+pub(crate) mod sig {
+    pub(crate) fn install() {}
+
+    pub(crate) fn terminated() -> bool {
+        false
+    }
+}
+
+/// The drain sequence the `shutdown` verb and the signal watcher share:
+/// flag first so the acceptor cannot miss it, then force every blocked
+/// reader to EOF and wake the acceptor out of `accept`.
+fn initiate_drain(shared: &Shared) {
+    shared.draining.store(true, Ordering::SeqCst);
+    for conn in lock(&shared.conns).values() {
+        conn.shutdown_read();
+    }
+    shared.wake.wake();
+}
+
 /// Runs the server until a `shutdown` verb drains it.
 ///
 /// Prints one `SERVE {json}` stdout line once bound — clients (and the
@@ -385,6 +488,29 @@ pub fn serve(options: ServeOptions) -> Result<(), VlppError> {
         wake: listener.wake_handle()?,
     });
 
+    // Register the recovery-path counters up front so `--metrics`
+    // snapshots always carry them — the metrics-check presence gate
+    // must distinguish "never fired" from "counting removed".
+    vlpp_metrics::counter("serve.io_timeouts");
+    vlpp_metrics::counter("serve.sync_bytes");
+
+    // SIGTERM/SIGINT drain exactly like the `shutdown` verb. The
+    // watcher exits once either path sets `draining`.
+    sig::install();
+    {
+        let shared = Arc::clone(&shared);
+        thread::spawn(move || loop {
+            if shared.draining.load(Ordering::SeqCst) {
+                return;
+            }
+            if sig::terminated() {
+                initiate_drain(&shared);
+                return;
+            }
+            thread::sleep(std::time::Duration::from_millis(50));
+        });
+    }
+
     let mut handlers = Vec::new();
     let mut next_id = 0u64;
     loop {
@@ -402,6 +528,7 @@ pub fn serve(options: ServeOptions) -> Result<(), VlppError> {
             break;
         }
         vlpp_metrics::counter("serve.connections").incr();
+        conn.set_timeouts(options.io_timeout_ms);
         let id = next_id;
         next_id += 1;
         if let Ok(clone) = conn.try_clone() {
@@ -427,10 +554,15 @@ pub fn serve(options: ServeOptions) -> Result<(), VlppError> {
 /// Reader half: frames off the wire into the bounded queue. A full
 /// queue first bumps `serve.backpressure_waits`, then blocks — which is
 /// the backpressure propagating to the client through the transport.
+///
+/// A read-deadline expiry on an *idle* connection just loops (a client
+/// holding a connection open is fine); an expiry mid-frame counts
+/// `serve.io_timeouts` and closes, because a half-written frame means
+/// the peer hung and the stream can never resynchronize.
 fn reader_loop(mut conn: Conn, queue: SyncSender<Result<Vec<u8>, VlppError>>) {
     loop {
-        match read_frame(&mut conn) {
-            Ok(Some(payload)) => {
+        match frame::read_frame_or_timeout(&mut conn) {
+            Ok(FrameRead::Frame(payload)) => {
                 let payload = match queue.try_send(Ok(payload)) {
                     Ok(()) => continue,
                     Err(TrySendError::Full(payload)) => {
@@ -443,10 +575,14 @@ fn reader_loop(mut conn: Conn, queue: SyncSender<Result<Vec<u8>, VlppError>>) {
                     return;
                 }
             }
+            Ok(FrameRead::IdleTimeout) => continue,
             // Clean EOF between frames: the client is done. Dropping
             // the sender closes the queue once it drains.
-            Ok(None) => return,
+            Ok(FrameRead::Eof) => return,
             Err(error) => {
+                if frame::is_timeout(&error) {
+                    vlpp_metrics::counter("serve.io_timeouts").incr();
+                }
                 let _ = queue.send(Err(error));
                 return;
             }
@@ -481,10 +617,23 @@ fn process_queue(writer: &mut Conn, queue: &Receiver<Result<Vec<u8>, VlppError>>
     while let Ok(next) = queue.recv() {
         match next {
             Ok(payload) => {
-                let response = process_frame(&payload, shared);
-                if write_frame(&mut *writer, response.to_string().as_bytes()).is_err() {
+                let (response, trailing) = process_frame(&payload, shared);
+                if let Err(error) = write_frame(&mut *writer, response.to_string().as_bytes()) {
                     // The client is gone; nothing left to respond to.
+                    if frame::is_timeout(&error) {
+                        vlpp_metrics::counter("serve.io_timeouts").incr();
+                    }
                     return;
+                }
+                // Binary continuation frames (the `sync` stream) follow
+                // their response header on the same ordered channel.
+                for chunk in &trailing {
+                    if let Err(error) = write_frame(&mut *writer, chunk) {
+                        if frame::is_timeout(&error) {
+                            vlpp_metrics::counter("serve.io_timeouts").incr();
+                        }
+                        return;
+                    }
                 }
             }
             Err(error) => {
@@ -501,29 +650,35 @@ fn process_queue(writer: &mut Conn, queue: &Receiver<Result<Vec<u8>, VlppError>>
 }
 
 /// Parses and executes one request frame, returning the response
-/// document. Protocol-level failures become error responses; the
-/// connection stays usable.
-fn process_frame(payload: &[u8], shared: &Shared) -> JsonValue {
+/// document plus any binary continuation frames to write after it (the
+/// `sync` verb's snapshot chunks; empty for every other verb).
+/// Protocol-level failures become error responses; the connection
+/// stays usable.
+fn process_frame(payload: &[u8], shared: &Shared) -> (JsonValue, Vec<Vec<u8>>) {
     let request = match protocol::parse_request(payload) {
         Ok(request) => request,
         Err(error) => {
             vlpp_metrics::counter("serve.errors.protocol").incr();
-            return protocol::error_response(None, &error);
+            return (protocol::error_response(None, &error), Vec::new());
         }
     };
     let verb = request.verb.name();
     vlpp_metrics::counter(&format!("serve.requests.{verb}")).incr();
     let _span = vlpp_metrics::span(&format!("serve.{verb}_ns"));
     match execute(request.verb, shared) {
-        Ok(body) => protocol::ok_response(verb, request.id, body),
+        Ok((body, trailing)) => (protocol::ok_response(verb, request.id, body), trailing),
         Err(error) => {
             vlpp_metrics::counter("serve.errors.protocol").incr();
-            protocol::error_response(request.id, &error)
+            (protocol::error_response(request.id, &error), Vec::new())
         }
     }
 }
 
-fn execute(verb: Verb, shared: &Shared) -> Result<Vec<(String, JsonValue)>, VlppError> {
+/// A verb's result: the response body fields, plus binary frames to
+/// stream after the response (only `sync` uses the latter).
+type ExecOutcome = (Vec<(String, JsonValue)>, Vec<Vec<u8>>);
+
+fn execute(verb: Verb, shared: &Shared) -> Result<ExecOutcome, VlppError> {
     match verb {
         Verb::Train(spec) => {
             let model = Model::train(spec, &shared.workloads)?;
@@ -535,25 +690,28 @@ fn execute(verb: Verb, shared: &Shared) -> Result<Vec<(String, JsonValue)>, Vlpp
                 ("profiled_branches".to_string(), JsonValue::UInt(model.profiled_branches as u64)),
             ];
             lock(&shared.models).insert(model.spec.name.clone(), Arc::new(model));
-            Ok(body)
+            Ok((body, Vec::new()))
         }
         Verb::Predict { model, records } => {
             let model = shared.lookup(&model, "predict")?;
             vlpp_metrics::counter("serve.records").add(records.len() as u64);
             vlpp_metrics::histogram("serve.batch_records").record(records.len() as u64);
             let predictions = model.apply_batch(&records);
-            Ok(vec![("predictions".to_string(), protocol::predictions_to_json(&predictions))])
+            Ok((
+                vec![("predictions".to_string(), protocol::predictions_to_json(&predictions))],
+                Vec::new(),
+            ))
         }
         Verb::Update { model, records } => {
             let model = shared.lookup(&model, "update")?;
             vlpp_metrics::counter("serve.records").add(records.len() as u64);
             vlpp_metrics::histogram("serve.batch_records").record(records.len() as u64);
             model.apply_batch(&records);
-            Ok(vec![("records".to_string(), JsonValue::UInt(records.len() as u64))])
+            Ok((vec![("records".to_string(), JsonValue::UInt(records.len() as u64))], Vec::new()))
         }
         Verb::Stats { model: Some(name) } => {
             let model = shared.lookup(&name, "stats")?;
-            Ok(vec![("stats".to_string(), model.stats_json())])
+            Ok((vec![("stats".to_string(), model.stats_json())], Vec::new()))
         }
         Verb::Stats { model: None } => {
             let models = lock(&shared.models);
@@ -561,7 +719,7 @@ fn execute(verb: Verb, shared: &Shared) -> Result<Vec<(String, JsonValue)>, Vlpp
                 models.iter().map(|(name, model)| (name.clone(), model.stats_json())).collect();
             // HashMap order is not deterministic; the wire form is.
             entries.sort_by(|a, b| a.0.cmp(&b.0));
-            Ok(vec![("stats".to_string(), JsonValue::Object(entries))])
+            Ok((vec![("stats".to_string(), JsonValue::Object(entries))], Vec::new()))
         }
         Verb::Save { path, model } => {
             let models: Vec<Arc<Model>> = match model {
@@ -582,15 +740,18 @@ fn execute(verb: Verb, shared: &Shared) -> Result<Vec<(String, JsonValue)>, Vlpp
             }
             let report =
                 snapshot::save_models(Path::new(&path), &models, shared.workloads.scale())?;
-            Ok(vec![
-                ("path".to_string(), JsonValue::Str(path)),
-                ("bytes".to_string(), JsonValue::UInt(report.bytes)),
-                ("sections".to_string(), JsonValue::UInt(report.sections as u64)),
-                (
-                    "models".to_string(),
-                    JsonValue::Array(report.models.into_iter().map(JsonValue::Str).collect()),
-                ),
-            ])
+            Ok((
+                vec![
+                    ("path".to_string(), JsonValue::Str(path)),
+                    ("bytes".to_string(), JsonValue::UInt(report.bytes)),
+                    ("sections".to_string(), JsonValue::UInt(report.sections as u64)),
+                    (
+                        "models".to_string(),
+                        JsonValue::Array(report.models.into_iter().map(JsonValue::Str).collect()),
+                    ),
+                ],
+                Vec::new(),
+            ))
         }
         Verb::Load { path } => {
             let loaded = snapshot::load_models(Path::new(&path), shared.workloads.scale())?;
@@ -600,22 +761,63 @@ fn execute(verb: Verb, shared: &Shared) -> Result<Vec<(String, JsonValue)>, Vlpp
             for model in loaded {
                 map.insert(model.spec.name.clone(), model);
             }
-            Ok(vec![
-                ("path".to_string(), JsonValue::Str(path)),
-                ("models".to_string(), JsonValue::Array(names)),
-            ])
+            Ok((
+                vec![
+                    ("path".to_string(), JsonValue::Str(path)),
+                    ("models".to_string(), JsonValue::Array(names)),
+                ],
+                Vec::new(),
+            ))
+        }
+        Verb::Ping => Ok((
+            vec![
+                ("pid".to_string(), JsonValue::UInt(std::process::id() as u64)),
+                ("draining".to_string(), JsonValue::Bool(shared.draining.load(Ordering::SeqCst))),
+                ("models".to_string(), JsonValue::UInt(lock(&shared.models).len() as u64)),
+            ],
+            Vec::new(),
+        )),
+        Verb::Sync { model } => {
+            let models: Vec<Arc<Model>> = match model {
+                Some(name) => vec![shared.lookup(&name, "sync")?],
+                None => {
+                    let map = lock(&shared.models);
+                    let mut all: Vec<Arc<Model>> = map.values().cloned().collect();
+                    // HashMap order is not deterministic; the stream is.
+                    all.sort_by(|a, b| a.spec.name.cmp(&b.spec.name));
+                    all
+                }
+            };
+            let names: Vec<JsonValue> =
+                models.iter().map(|m| JsonValue::Str(m.spec.name.clone())).collect();
+            // An empty model set is a valid (manifest-only) snapshot:
+            // a freshly spawned node syncing from an untrained peer
+            // warm-starts to the same empty state.
+            let sections = snapshot::encode_models(&models, shared.workloads.scale());
+            let mut bytes = Vec::new();
+            vlpp_trace::compact::write_snapshot(&sections, &mut bytes).map_err(|source| {
+                VlppError::protocol(
+                    Some("sync".to_string()),
+                    format!("cannot encode the snapshot stream: {source}"),
+                )
+            })?;
+            let chunks: Vec<Vec<u8>> = bytes.chunks(SYNC_CHUNK_BYTES).map(<[u8]>::to_vec).collect();
+            vlpp_metrics::counter("serve.sync_bytes").add(bytes.len() as u64);
+            Ok((
+                vec![
+                    ("bytes".to_string(), JsonValue::UInt(bytes.len() as u64)),
+                    ("chunks".to_string(), JsonValue::UInt(chunks.len() as u64)),
+                    ("scale".to_string(), JsonValue::UInt(shared.workloads.scale().divisor())),
+                    ("models".to_string(), JsonValue::Array(names)),
+                ],
+                chunks,
+            ))
         }
         Verb::Shutdown => {
-            // Flag first so the acceptor cannot miss it, then force
-            // every blocked reader to EOF and wake the acceptor. This
-            // handler's own response is written by the caller after we
-            // return — only read halves are closed here.
-            shared.draining.store(true, Ordering::SeqCst);
-            for conn in lock(&shared.conns).values() {
-                conn.shutdown_read();
-            }
-            shared.wake.wake();
-            Ok(vec![("draining".to_string(), JsonValue::Bool(true))])
+            // This handler's own response is written by the caller
+            // after we return — initiate_drain only closes read halves.
+            initiate_drain(shared);
+            Ok((vec![("draining".to_string(), JsonValue::Bool(true))], Vec::new()))
         }
     }
 }

@@ -64,6 +64,18 @@ pub enum Verb {
         /// The snapshot to read.
         path: String,
     },
+    /// Liveness probe: answers immediately with the node's pid and
+    /// drain state. The cluster supervisor's heartbeat loop drives this.
+    Ping,
+    /// Stream the node's models as a VLPS snapshot: the response header
+    /// declares `bytes` and `chunks`, then exactly `chunks` binary
+    /// frames follow carrying the envelope. The cluster supervisor uses
+    /// this to warm-start a respawned node from a surviving shard owner.
+    Sync {
+        /// The model to stream, or `None` for every model (sorted by
+        /// name).
+        model: Option<String>,
+    },
     /// Graceful drain: stop accepting connections, finish queued
     /// requests, then exit.
     Shutdown,
@@ -79,6 +91,8 @@ impl Verb {
             Verb::Stats { .. } => "stats",
             Verb::Save { .. } => "save",
             Verb::Load { .. } => "load",
+            Verb::Ping => "ping",
+            Verb::Sync { .. } => "sync",
             Verb::Shutdown => "shutdown",
         }
     }
@@ -260,6 +274,15 @@ pub fn parse_request(payload: &[u8]) -> Result<Request, VlppError> {
             },
         },
         "load" => Verb::Load { path: str_field(&value, Some("load"), "path")? },
+        "ping" => Verb::Ping,
+        "sync" => Verb::Sync {
+            model: match value.get("model") {
+                None => None,
+                Some(model) => Some(model.as_str().map(str::to_string).ok_or_else(|| {
+                    VlppError::protocol(Some("sync".to_string()), "field `model` must be a string")
+                })?),
+            },
+        },
         "shutdown" => Verb::Shutdown,
         other => {
             return Err(VlppError::protocol(
@@ -346,6 +369,13 @@ mod tests {
         ));
         assert!(matches!(parse(r#"{"verb":"stats"}"#).unwrap().verb, Verb::Stats { model: None }));
         assert!(matches!(parse(r#"{"verb":"shutdown"}"#).unwrap().verb, Verb::Shutdown));
+        assert!(matches!(parse(r#"{"verb":"ping"}"#).unwrap().verb, Verb::Ping));
+        assert!(matches!(parse(r#"{"verb":"sync"}"#).unwrap().verb, Verb::Sync { model: None }));
+        match parse(r#"{"verb":"sync","model":"m"}"#).unwrap().verb {
+            Verb::Sync { model } => assert_eq!(model.as_deref(), Some("m")),
+            other => panic!("expected sync, got {other:?}"),
+        }
+        assert_eq!(parse(r#"{"verb":"sync","model":7}"#).unwrap_err().phase(), "protocol");
 
         match parse(r#"{"verb":"save","path":"/tmp/m.vlps","model":"m"}"#).unwrap().verb {
             Verb::Save { path, model } => {

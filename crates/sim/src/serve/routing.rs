@@ -81,6 +81,11 @@ pub struct RoutingTable {
     nodes: Vec<Node>,
     /// `assignments[shard] = [primary, replica]`, indices into `nodes`.
     assignments: Vec<[usize; 2]>,
+    /// Monotonically increasing membership version: every mutation
+    /// ([`migrate`](Self::migrate), [`set_node`](Self::set_node)) bumps
+    /// it, and `vlpp cluster` rewrites `--routing-out` with the bumped
+    /// table, so a client can reject a stale file after a failover.
+    version: u64,
 }
 
 impl RoutingTable {
@@ -110,12 +115,37 @@ impl RoutingTable {
                 [ranked[0], ranked[1]]
             })
             .collect();
-        Ok(RoutingTable { shards, nodes, assignments })
+        Ok(RoutingTable { shards, nodes, assignments, version: 1 })
     }
 
     /// Number of shards routed.
     pub fn shards(&self) -> usize {
         self.shards
+    }
+
+    /// The table's membership version (1 when freshly built).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Replaces the address and pid of the node named `id` — how a
+    /// respawned replacement (same rendezvous identity, new process)
+    /// re-enters the table without disturbing any shard assignment —
+    /// and bumps the version.
+    ///
+    /// # Errors
+    ///
+    /// A message for an unknown node id.
+    pub fn set_node(&mut self, id: &str, addr: String, pid: u64) -> Result<(), String> {
+        let node = self
+            .nodes
+            .iter_mut()
+            .find(|n| n.id == id)
+            .ok_or_else(|| format!("unknown node `{id}`"))?;
+        node.addr = addr;
+        node.pid = pid;
+        self.version += 1;
+        Ok(())
     }
 
     /// The cluster's nodes.
@@ -158,6 +188,7 @@ impl RoutingTable {
         } else {
             [node, primary]
         };
+        self.version += 1;
         Ok(())
     }
 
@@ -165,6 +196,7 @@ impl RoutingTable {
     /// `vlpp loadgen --routing` reads it back.
     pub fn to_json(&self) -> JsonValue {
         JsonValue::Object(vec![
+            ("version".to_string(), JsonValue::UInt(self.version)),
             ("shards".to_string(), JsonValue::UInt(self.shards as u64)),
             ("nodes".to_string(), JsonValue::Array(self.nodes.iter().map(Node::to_json).collect())),
             (
@@ -190,6 +222,11 @@ impl RoutingTable {
     ///
     /// A message naming the first missing or inconsistent field.
     pub fn from_json(value: &JsonValue) -> Result<RoutingTable, String> {
+        let version = value
+            .get("version")
+            .and_then(|v| v.as_u64())
+            .filter(|&v| v >= 1)
+            .ok_or("routing table needs a positive `version`")?;
         let shards = value
             .get("shards")
             .and_then(|v| v.as_u64())
@@ -249,7 +286,7 @@ impl RoutingTable {
                 Ok([p, r])
             })
             .collect::<Result<Vec<[usize; 2]>, String>>()?;
-        Ok(RoutingTable { shards, nodes, assignments })
+        Ok(RoutingTable { shards, nodes, assignments, version })
     }
 }
 
@@ -340,14 +377,45 @@ mod tests {
         assert_eq!(RoutingTable::from_json(&reparsed).unwrap(), table);
 
         for damage in [
-            r#"{"nodes":[],"assignments":[]}"#,
-            r#"{"shards":1,"nodes":[{"id":"a","addr":"x","pid":1}],"assignments":[[0,0]]}"#,
-            r#"{"shards":1,"nodes":[{"id":"a","addr":"x","pid":1},{"id":"b","addr":"y","pid":2}],"assignments":[[0,0]]}"#,
-            r#"{"shards":2,"nodes":[{"id":"a","addr":"x","pid":1},{"id":"b","addr":"y","pid":2}],"assignments":[[0,1]]}"#,
-            r#"{"shards":1,"nodes":[{"id":"a","addr":"x","pid":1},{"id":"b","addr":"y","pid":2}],"assignments":[[0,7]]}"#,
+            r#"{"version":1,"nodes":[],"assignments":[]}"#,
+            r#"{"version":1,"shards":1,"nodes":[{"id":"a","addr":"x","pid":1}],"assignments":[[0,0]]}"#,
+            r#"{"version":1,"shards":1,"nodes":[{"id":"a","addr":"x","pid":1},{"id":"b","addr":"y","pid":2}],"assignments":[[0,0]]}"#,
+            r#"{"version":1,"shards":2,"nodes":[{"id":"a","addr":"x","pid":1},{"id":"b","addr":"y","pid":2}],"assignments":[[0,1]]}"#,
+            r#"{"version":1,"shards":1,"nodes":[{"id":"a","addr":"x","pid":1},{"id":"b","addr":"y","pid":2}],"assignments":[[0,7]]}"#,
+            // Missing or zero version: a pre-versioning table is stale
+            // by definition and must be rebuilt, not trusted.
+            r#"{"shards":1,"nodes":[{"id":"a","addr":"x","pid":1},{"id":"b","addr":"y","pid":2}],"assignments":[[0,1]]}"#,
+            r#"{"version":0,"shards":1,"nodes":[{"id":"a","addr":"x","pid":1},{"id":"b","addr":"y","pid":2}],"assignments":[[0,1]]}"#,
         ] {
             let value = JsonValue::parse(damage).unwrap();
             assert!(RoutingTable::from_json(&value).is_err(), "{damage}");
         }
+    }
+
+    #[test]
+    fn every_mutation_bumps_the_version_and_set_node_keeps_assignments() {
+        let mut table = RoutingTable::build(8, nodes(3)).unwrap();
+        assert_eq!(table.version(), 1);
+        let before = table.clone();
+
+        table.set_node("node1", "127.0.0.1:9999".to_string(), 4242).unwrap();
+        assert_eq!(table.version(), 2);
+        for shard in 0..8 {
+            assert_eq!(table.primary(shard).id, before.primary(shard).id, "shard {shard}");
+            assert_eq!(table.replica(shard).id, before.replica(shard).id, "shard {shard}");
+        }
+        let replaced = table.nodes().iter().find(|n| n.id == "node1").unwrap();
+        assert_eq!(replaced.addr, "127.0.0.1:9999");
+        assert_eq!(replaced.pid, 4242);
+        assert!(table.set_node("nonesuch", "x".to_string(), 1).is_err());
+
+        let target = table.replica(3).id.clone();
+        table.migrate(3, &target).unwrap();
+        assert_eq!(table.version(), 3);
+
+        // The version survives the wire round trip.
+        let wire = table.to_json().to_string();
+        let back = RoutingTable::from_json(&JsonValue::parse(&wire).unwrap()).unwrap();
+        assert_eq!(back.version(), 3);
     }
 }

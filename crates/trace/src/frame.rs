@@ -14,6 +14,29 @@
 //! non-error end state is a clean EOF *between* frames, which reads as
 //! `Ok(None)`.
 //!
+//! # Deadlines
+//!
+//! Sockets in the serving stack carry `set_read_timeout` /
+//! `set_write_timeout` deadlines so a hung peer cannot pin a thread
+//! forever. A deadline expiry surfaces from the OS as a
+//! `WouldBlock`/`TimedOut` read or write error; this module folds it
+//! into the typed error space with an `(io deadline)` marker that
+//! [`is_timeout`] recognizes. Servers that want to keep an *idle*
+//! connection alive across deadline ticks use [`read_frame_or_timeout`],
+//! which distinguishes "deadline expired between frames" (benign,
+//! [`FrameRead::IdleTimeout`]) from "deadline expired mid-frame" (the
+//! peer hung while a frame was in flight — a typed error, close the
+//! connection).
+//!
+//! # Fault injection
+//!
+//! When `VLPP_FAULT` names a network fault (`netdrop@N`,
+//! `netstall@N:MS`, `nettrunc@N:BYTES`, comma-separable), it fires at
+//! the `N`th frame operation of the process — sequence numbers are
+//! drawn once per read/write at the frame boundary, so targeting is
+//! stable across thread counts. See `ROBUSTNESS.md` for the grammar;
+//! [`net_faults_injected`] reports how many faults fired.
+//!
 //! # Example
 //!
 //! ```
@@ -29,12 +52,17 @@
 use std::io::{ErrorKind, Read, Write};
 
 use crate::error::VlppError;
+use crate::netfault::{self, NetFault};
 
 /// Maximum payload bytes a single frame may carry (1 MiB). Large enough
 /// for thousands of branch records per batch, small enough that a
 /// corrupt length prefix cannot make a reader allocate unboundedly —
 /// the framing analogue of the trace reader's `MAX_PREALLOC_RECORDS`.
 pub const MAX_FRAME_BYTES: usize = 1 << 20;
+
+/// Marker appended to frame errors caused by a socket deadline expiry,
+/// so callers can tell a hung peer from a malformed stream.
+const DEADLINE_MARKER: &str = "(io deadline)";
 
 /// Writes one frame: 4-byte little-endian length, then `payload`.
 ///
@@ -43,7 +71,10 @@ pub const MAX_FRAME_BYTES: usize = 1 << 20;
 /// [`VlppError::Frame`] if `payload` is empty or exceeds
 /// [`MAX_FRAME_BYTES`] (both would produce a stream the reader rejects,
 /// so the writer refuses to emit them), or wraps the underlying I/O
-/// failure.
+/// failure. A write deadline expiry is marked so [`is_timeout`]
+/// recognizes it. An armed `netdrop`/`nettrunc` fault also surfaces
+/// here as a typed error (after emitting the truncated wire bytes, for
+/// `nettrunc`).
 pub fn write_frame<W: Write>(mut writer: W, payload: &[u8]) -> Result<(), VlppError> {
     if payload.is_empty() {
         return Err(VlppError::Frame {
@@ -57,14 +88,74 @@ pub fn write_frame<W: Write>(mut writer: W, payload: &[u8]) -> Result<(), VlppEr
             declared_len: Some(payload.len() as u64),
         });
     }
-    let io_err = |source: std::io::Error| VlppError::Frame {
-        message: format!("cannot write frame: {source}"),
-        declared_len: Some(payload.len() as u64),
-    };
+    match netfault::check_frame() {
+        None => {}
+        Some(NetFault::Stall { at, ms }) => {
+            eprintln!("vlpp: injected netstall at frame {at} ({ms} ms)");
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+        }
+        Some(NetFault::Drop { at }) => {
+            return Err(VlppError::Frame {
+                message: format!("injected fault: netdrop at frame {at}"),
+                declared_len: Some(payload.len() as u64),
+            });
+        }
+        Some(NetFault::Trunc { at, bytes }) => {
+            return write_truncated(writer, payload, at, bytes);
+        }
+    }
+    let io_err = |source: std::io::Error| frame_write_error(source, payload.len() as u64);
     writer.write_all(&(payload.len() as u32).to_le_bytes()).map_err(io_err)?;
     writer.write_all(payload).map_err(io_err)?;
     writer.flush().map_err(io_err)?;
     Ok(())
+}
+
+/// The `nettrunc` arm of [`write_frame`]: emit at most `bytes` wire
+/// bytes (always at least one short of a whole frame, so the peer is
+/// guaranteed to observe a mid-frame disconnect), then fail.
+fn write_truncated<W: Write>(
+    mut writer: W,
+    payload: &[u8],
+    at: u64,
+    bytes: u64,
+) -> Result<(), VlppError> {
+    let mut wire = (payload.len() as u32).to_le_bytes().to_vec();
+    wire.extend_from_slice(payload);
+    let emit = (bytes as usize).min(wire.len() - 1);
+    let io_err = |source: std::io::Error| frame_write_error(source, payload.len() as u64);
+    writer.write_all(&wire[..emit]).map_err(io_err)?;
+    writer.flush().map_err(io_err)?;
+    Err(VlppError::Frame {
+        message: format!("injected fault: nettrunc at frame {at} after {emit} wire bytes"),
+        declared_len: Some(payload.len() as u64),
+    })
+}
+
+/// Wraps a write-side I/O failure, marking deadline expiries.
+fn frame_write_error(source: std::io::Error, declared: u64) -> VlppError {
+    let marker = if matches!(source.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) {
+        format!(" {DEADLINE_MARKER}")
+    } else {
+        String::new()
+    };
+    VlppError::Frame {
+        message: format!("cannot write frame: {source}{marker}"),
+        declared_len: Some(declared),
+    }
+}
+
+/// Outcome of [`read_frame_or_timeout`].
+#[derive(Debug)]
+pub enum FrameRead {
+    /// A whole frame arrived; this is its payload.
+    Frame(Vec<u8>),
+    /// Clean EOF before any prefix byte — the peer closed between frames.
+    Eof,
+    /// The socket's read deadline expired while *no* frame was in
+    /// flight. Benign for a server keeping idle connections open: loop
+    /// and read again.
+    IdleTimeout,
 }
 
 /// Reads one frame, returning `Ok(None)` on a clean EOF before any
@@ -78,11 +169,59 @@ pub fn write_frame<W: Write>(mut writer: W, payload: &[u8]) -> Result<(), VlppEr
 ///   likely means a desynchronized writer);
 /// * a prefix above [`MAX_FRAME_BYTES`] (rejected before allocating);
 /// * EOF inside the prefix or inside the payload (a mid-frame
-///   disconnect — the message says how many bytes were expected).
+///   disconnect — the message says how many bytes were expected);
+/// * a read deadline expiry anywhere, including while idle (clients
+///   awaiting a response treat a silent peer as dead; servers that
+///   want to tolerate idle peers use [`read_frame_or_timeout`]). Marked
+///   so [`is_timeout`] recognizes it.
 pub fn read_frame<R: Read>(mut reader: R) -> Result<Option<Vec<u8>>, VlppError> {
+    match read_frame_or_timeout(&mut reader)? {
+        FrameRead::Frame(payload) => Ok(Some(payload)),
+        FrameRead::Eof => Ok(None),
+        FrameRead::IdleTimeout => Err(VlppError::Frame {
+            message: format!("timed out waiting for a frame {DEADLINE_MARKER}"),
+            declared_len: None,
+        }),
+    }
+}
+
+/// [`read_frame`], except a read deadline expiry *between* frames is
+/// surfaced as [`FrameRead::IdleTimeout`] instead of an error — the
+/// server's reader loop uses this to keep idle connections alive while
+/// still bounding how long a peer may hang mid-frame.
+///
+/// # Errors
+///
+/// As [`read_frame`], plus a deadline expiry *inside* a frame (after at
+/// least one prefix byte arrived) is a typed, [`is_timeout`]-marked
+/// error: the peer stalled with a frame in flight and the connection is
+/// no longer trustworthy.
+pub fn read_frame_or_timeout<R: Read>(mut reader: R) -> Result<FrameRead, VlppError> {
+    match netfault::check_frame() {
+        None => {}
+        Some(NetFault::Stall { at, ms }) => {
+            eprintln!("vlpp: injected netstall at frame {at} ({ms} ms)");
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+        }
+        Some(NetFault::Drop { at }) | Some(NetFault::Trunc { at, .. }) => {
+            return Err(VlppError::Frame {
+                message: format!("injected fault: netdrop at frame {at}"),
+                declared_len: None,
+            });
+        }
+    }
     let mut prefix = [0u8; 4];
     match read_exact_or_eof(&mut reader, &mut prefix)? {
-        FullRead::Eof => return Ok(None),
+        FullRead::Eof => return Ok(FrameRead::Eof),
+        FullRead::TimedOut(0) => return Ok(FrameRead::IdleTimeout),
+        FullRead::TimedOut(got) => {
+            return Err(VlppError::Frame {
+                message: format!(
+                    "timed out inside a frame length prefix ({got} of 4 bytes) {DEADLINE_MARKER}"
+                ),
+                declared_len: None,
+            });
+        }
         FullRead::Partial(got) => {
             return Err(VlppError::Frame {
                 message: format!("disconnect inside a frame length prefix ({got} of 4 bytes)"),
@@ -109,12 +248,31 @@ pub fn read_frame<R: Read>(mut reader: R) -> Result<Option<Vec<u8>>, VlppError> 
     // `declared` is now bounded, so this allocation is at most 1 MiB.
     let mut payload = vec![0u8; declared as usize];
     match read_exact_or_eof(&mut reader, &mut payload)? {
-        FullRead::Complete => Ok(Some(payload)),
+        FullRead::Complete => Ok(FrameRead::Frame(payload)),
+        FullRead::TimedOut(_) => Err(VlppError::Frame {
+            message: format!(
+                "timed out inside a frame payload (expected {declared} bytes) {DEADLINE_MARKER}"
+            ),
+            declared_len: Some(declared),
+        }),
         FullRead::Eof | FullRead::Partial(_) => Err(VlppError::Frame {
             message: format!("disconnect inside a frame payload (expected {declared} bytes)"),
             declared_len: Some(declared),
         }),
     }
+}
+
+/// True when `error` is a frame-layer socket deadline expiry (read or
+/// write), as opposed to a malformed stream or a disconnect. Callers
+/// use this to count `serve.io_timeouts` and pick retry behavior.
+pub fn is_timeout(error: &VlppError) -> bool {
+    matches!(error, VlppError::Frame { message, .. } if message.contains(DEADLINE_MARKER))
+}
+
+/// How many `VLPP_FAULT` network faults this process has injected so
+/// far. Zero when no `net*` fault is armed.
+pub fn net_faults_injected() -> u64 {
+    netfault::injected()
 }
 
 /// How much of a fixed-size read completed.
@@ -125,10 +283,13 @@ enum FullRead {
     Eof,
     /// EOF after `0 < n < buf.len()` bytes.
     Partial(usize),
+    /// The socket read deadline expired after `n` bytes.
+    TimedOut(usize),
 }
 
 /// `read_exact`, but EOF position is data, not just an error: framing
-/// needs to distinguish "closed between frames" from "closed mid-frame".
+/// needs to distinguish "closed between frames" from "closed mid-frame",
+/// and a deadline expiry from both.
 fn read_exact_or_eof<R: Read>(reader: &mut R, buf: &mut [u8]) -> Result<FullRead, VlppError> {
     let mut filled = 0;
     while filled < buf.len() {
@@ -138,6 +299,9 @@ fn read_exact_or_eof<R: Read>(reader: &mut R, buf: &mut [u8]) -> Result<FullRead
             }
             Ok(n) => filled += n,
             Err(error) if error.kind() == ErrorKind::Interrupted => {}
+            Err(error) if matches!(error.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                return Ok(FullRead::TimedOut(filled));
+            }
             Err(source) => {
                 return Err(VlppError::Frame {
                     message: format!("cannot read frame: {source}"),
@@ -202,5 +366,73 @@ mod tests {
         write_frame(&mut wire, &payload).unwrap();
         assert_eq!(read_frame(wire.as_slice()).unwrap().unwrap(), payload);
         assert!(write_frame(Vec::new(), &vec![0u8; MAX_FRAME_BYTES + 1]).is_err());
+    }
+
+    /// Yields its bytes, then reports a `WouldBlock` deadline expiry
+    /// forever — the shape of a socket whose read timeout keeps firing.
+    struct TimesOutAfter {
+        data: Vec<u8>,
+        pos: usize,
+    }
+
+    impl Read for TimesOutAfter {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if self.pos >= self.data.len() {
+                return Err(std::io::Error::new(ErrorKind::WouldBlock, "deadline"));
+            }
+            let n = buf.len().min(self.data.len() - self.pos);
+            buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn idle_deadline_expiry_is_not_an_error_for_the_server_reader() {
+        let mut idle = TimesOutAfter { data: Vec::new(), pos: 0 };
+        assert!(matches!(read_frame_or_timeout(&mut idle).unwrap(), FrameRead::IdleTimeout));
+        // The plain client-side reader treats the same expiry as a
+        // typed, timeout-marked error.
+        let mut idle = TimesOutAfter { data: Vec::new(), pos: 0 };
+        let error = read_frame(&mut idle).unwrap_err();
+        assert!(is_timeout(&error), "{error}");
+    }
+
+    #[test]
+    fn mid_frame_deadline_expiry_is_a_typed_timeout() {
+        // Two bytes of a four-byte prefix, then the deadline fires.
+        let mut reader = TimesOutAfter { data: vec![9, 0], pos: 0 };
+        let error = match read_frame_or_timeout(&mut reader) {
+            Err(error) => error,
+            Ok(other) => panic!("expected an error, got {other:?}"),
+        };
+        assert!(is_timeout(&error), "{error}");
+        assert!(error.to_string().contains("length prefix"), "{error}");
+        // A whole prefix but a stalled payload is equally fatal.
+        let mut reader = TimesOutAfter { data: vec![5, 0, 0, 0, b'a'], pos: 0 };
+        let error = match read_frame_or_timeout(&mut reader) {
+            Err(error) => error,
+            Ok(other) => panic!("expected an error, got {other:?}"),
+        };
+        assert!(is_timeout(&error), "{error}");
+        assert!(error.to_string().contains("payload"), "{error}");
+    }
+
+    #[test]
+    fn injected_truncation_emits_a_short_frame_and_a_typed_error() {
+        // Drive the nettrunc arm directly (the env-armed path draws
+        // global sequence numbers, which unit tests must not consume).
+        let mut wire = Vec::new();
+        let error = write_truncated(&mut wire, b"payload", 1, 6).unwrap_err();
+        assert_eq!(error.phase(), "frame");
+        assert!(error.to_string().contains("nettrunc"), "{error}");
+        assert_eq!(wire.len(), 6);
+        // The peer sees a mid-frame disconnect, exactly like a real cut.
+        let peer_error = read_frame(wire.as_slice()).unwrap_err();
+        assert!(peer_error.to_string().contains("payload"), "{peer_error}");
+        // Even a huge BYTES value never emits a whole frame.
+        let mut wire = Vec::new();
+        let _ = write_truncated(&mut wire, b"payload", 1, 1 << 30).unwrap_err();
+        assert_eq!(wire.len(), 4 + b"payload".len() - 1);
     }
 }

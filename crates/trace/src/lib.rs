@@ -46,6 +46,7 @@
 mod addr;
 mod branch;
 mod error;
+mod netfault;
 mod trace;
 
 pub mod compact;

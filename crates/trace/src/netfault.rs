@@ -1,0 +1,204 @@
+//! Deterministic socket-level fault injection for the frame layer.
+//!
+//! `VLPP_FAULT` (see `vlpp-pool`'s task-level hook for the `panic@N` /
+//! `stall@N:MS` kinds) also accepts *network* fault kinds, injected at
+//! frame boundaries inside [`crate::frame`]:
+//!
+//! * `netdrop@N` — frame operation `N` fails with a typed
+//!   [`crate::error::VlppError::Frame`] error without touching the
+//!   socket, as if the connection vanished at a frame boundary.
+//! * `netstall@N:MS` — frame operation `N` sleeps `MS` milliseconds
+//!   first, exercising peer read deadlines.
+//! * `nettrunc@N:BYTES` — a *write* at frame operation `N` emits only
+//!   the first `BYTES` wire bytes and then fails, so the peer observes
+//!   a mid-frame disconnect; at a read boundary it behaves like
+//!   `netdrop`.
+//!
+//! Several faults may be listed comma-separated; each fires once, at
+//! its frame sequence number. The sequence counter is process-wide and
+//! advances once per frame operation (read or write, 1-based), so a
+//! plan targets the same frame regardless of how many worker threads
+//! the process runs — the property the task-level hook gets from
+//! drawing sequence numbers at submission time.
+//!
+//! Non-`net` items in the list belong to the task-level hook and are
+//! ignored here, exactly as the task-level hook ignores `net*` items.
+//! When `VLPP_FAULT` is unset this module costs one atomic load per
+//! frame operation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// One armed network fault, parsed from a `VLPP_FAULT` item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum NetFault {
+    /// Fail frame operation `at` without touching the socket.
+    Drop {
+        /// 1-based frame sequence number to fire at.
+        at: u64,
+    },
+    /// Sleep `ms` milliseconds before frame operation `at` proceeds.
+    Stall {
+        /// 1-based frame sequence number to fire at.
+        at: u64,
+        /// How long to stall, in milliseconds.
+        ms: u64,
+    },
+    /// Emit only the first `bytes` wire bytes of write `at`, then fail.
+    Trunc {
+        /// 1-based frame sequence number to fire at.
+        at: u64,
+        /// Wire bytes (prefix + payload) to emit before failing.
+        bytes: u64,
+    },
+}
+
+impl NetFault {
+    /// The 1-based frame sequence number this fault fires at.
+    pub(crate) fn at(&self) -> u64 {
+        match *self {
+            NetFault::Drop { at } | NetFault::Stall { at, .. } | NetFault::Trunc { at, .. } => at,
+        }
+    }
+}
+
+/// Parses the `net*` items out of a raw `VLPP_FAULT` value, ignoring
+/// items of other kinds (they belong to the task-level hook). Returns
+/// a diagnostic if a `net*` item is present but malformed.
+pub(crate) fn parse_net_faults(raw: &str) -> Result<Vec<NetFault>, String> {
+    let mut faults = Vec::new();
+    for item in raw.split(',').map(str::trim).filter(|item| !item.is_empty()) {
+        let Some((kind, rest)) = item.split_once('@') else {
+            if item.starts_with("net") {
+                return Err(format!("`{item}` is missing `@N`"));
+            }
+            continue;
+        };
+        if !kind.starts_with("net") {
+            continue;
+        }
+        let mut params = rest.split(':');
+        let at = params
+            .next()
+            .and_then(|field| field.parse::<u64>().ok())
+            .filter(|&at| at > 0)
+            .ok_or_else(|| format!("`{item}` needs a positive frame number after `@`"))?;
+        let second = params.next();
+        if params.next().is_some() {
+            return Err(format!("`{item}` has too many `:`-separated fields"));
+        }
+        let fault = match kind {
+            "netdrop" => {
+                if second.is_some() {
+                    return Err(format!("netdrop takes no extra field in `{item}`"));
+                }
+                NetFault::Drop { at }
+            }
+            "netstall" => {
+                let ms = second
+                    .and_then(|field| field.parse::<u64>().ok())
+                    .ok_or_else(|| format!("netstall needs `@N:MS` in `{item}`"))?;
+                NetFault::Stall { at, ms }
+            }
+            "nettrunc" => {
+                let bytes = second
+                    .and_then(|field| field.parse::<u64>().ok())
+                    .ok_or_else(|| format!("nettrunc needs `@N:BYTES` in `{item}`"))?;
+                NetFault::Trunc { at, bytes }
+            }
+            other => return Err(format!("unknown network fault kind `{other}` in `{item}`")),
+        };
+        faults.push(fault);
+    }
+    Ok(faults)
+}
+
+/// The armed plan, read from `VLPP_FAULT` once per process. An invalid
+/// plan warns on stderr and injects nothing — a typo must not turn the
+/// fault hook into a crash of its own.
+fn armed() -> &'static [NetFault] {
+    static ARMED: OnceLock<Vec<NetFault>> = OnceLock::new();
+    ARMED.get_or_init(|| {
+        let Ok(raw) = std::env::var("VLPP_FAULT") else {
+            return Vec::new();
+        };
+        match parse_net_faults(&raw) {
+            Ok(faults) => faults,
+            Err(why) => {
+                eprintln!("vlpp: ignoring invalid VLPP_FAULT network fault: {why}");
+                Vec::new()
+            }
+        }
+    })
+}
+
+/// Process-wide frame-operation counter; advances only while a plan is
+/// armed so the unarmed fast path stays one `OnceLock` load.
+static FRAME_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Count of faults actually fired, for observability and tests.
+static INJECTED: AtomicU64 = AtomicU64::new(0);
+
+/// Draws the next frame sequence number and returns the fault armed for
+/// it, if any. Called once per frame operation by [`crate::frame`].
+pub(crate) fn check_frame() -> Option<NetFault> {
+    let plan = armed();
+    if plan.is_empty() {
+        return None;
+    }
+    let seq = FRAME_SEQ.fetch_add(1, Ordering::Relaxed) + 1;
+    let hit = plan.iter().find(|fault| fault.at() == seq).copied();
+    if hit.is_some() {
+        INJECTED.fetch_add(1, Ordering::Relaxed);
+    }
+    hit
+}
+
+/// How many network faults this process has injected so far.
+pub(crate) fn injected() -> u64 {
+    INJECTED.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_each_net_kind() {
+        assert_eq!(parse_net_faults("netdrop@3").unwrap(), vec![NetFault::Drop { at: 3 }]);
+        assert_eq!(
+            parse_net_faults("netstall@5:200").unwrap(),
+            vec![NetFault::Stall { at: 5, ms: 200 }]
+        );
+        assert_eq!(
+            parse_net_faults("nettrunc@7:10").unwrap(),
+            vec![NetFault::Trunc { at: 7, bytes: 10 }]
+        );
+    }
+
+    #[test]
+    fn parses_lists_and_skips_task_level_kinds() {
+        let plan = parse_net_faults("panic@3,netdrop@2,stall@9:50:persist,nettrunc@4:1").unwrap();
+        assert_eq!(plan, vec![NetFault::Drop { at: 2 }, NetFault::Trunc { at: 4, bytes: 1 }]);
+        assert!(parse_net_faults("panic@3").unwrap().is_empty());
+        assert!(parse_net_faults("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_net_items_with_diagnostics() {
+        for (input, needle) in [
+            ("netdrop@0", "positive"),
+            ("netdrop@", "positive"),
+            ("netdrop@2:9", "no extra field"),
+            ("netstall@2", "@N:MS"),
+            ("nettrunc@2", "@N:BYTES"),
+            ("nettrunc@2:a", "@N:BYTES"),
+            ("netfuzz@1", "unknown network fault kind"),
+            ("netdrop", "missing `@N`"),
+            ("netdrop@1:2:3", "too many"),
+        ] {
+            let error = parse_net_faults(input).unwrap_err();
+            assert!(error.contains(needle), "{input}: {error}");
+        }
+    }
+}

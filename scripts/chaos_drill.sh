@@ -1,0 +1,125 @@
+#!/usr/bin/env bash
+# Chaos soak: repeated kill -> respawn -> resync rounds against one
+# long-lived `vlpp cluster`, with the byte-for-byte loadgen oracle
+# asserted after every round and the self-healing counters gated by
+# `vlpp-metrics-check --require` at the end.
+#
+#   scripts/chaos_drill.sh [ROUNDS]      (default 3)
+#
+# Each round SIGKILLs one current owner of shard 0 — alternating
+# primary / replica so both lineages get promoted — waits for the
+# supervisor to respawn and resync it (`--wait-respawn`), and replays
+# the next slice of the stream with `--skip`, so every round's
+# predictions are checked against the offline reference over the WHOLE
+# history. The final round drains the cluster with `--shutdown`, which
+# makes every child print its own METRICS snapshot (forwarded by the
+# supervisor as `nodeN| METRICS {...}` on stderr).
+#
+# Bounded: with the default 3 rounds this finishes in ~2 minutes.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+ROUNDS="${1:-3}"
+PER_ROUND=4000
+case "$ROUNDS" in
+    '' | *[!0-9]*) echo "usage: scripts/chaos_drill.sh [ROUNDS]" >&2; exit 1 ;;
+esac
+if [ "$ROUNDS" -lt 1 ]; then
+    echo "error: ROUNDS must be >= 1" >&2
+    exit 1
+fi
+
+VLPP="./target/release/vlpp"
+CHECK="./target/release/vlpp-metrics-check"
+if [ ! -x "$VLPP" ] || [ ! -x "$CHECK" ]; then
+    cargo build --release --offline
+fi
+
+scratch=$(mktemp -d /tmp/vlpp_chaos.XXXXXX)
+cluster_pid=""
+cleanup() {
+    [ -n "$cluster_pid" ] && kill "$cluster_pid" 2>/dev/null || true
+    rm -rf "$scratch"
+}
+trap cleanup EXIT
+
+routing="$scratch/routing.json"
+VLPP_THREADS=2 "$VLPP" cluster --nodes 3 --shards 4 --scale 1000000 \
+    --routing-out "$routing" --probe-interval-ms 100 --miss-budget 2 \
+    --metrics >"$scratch/cluster.out" 2>"$scratch/cluster.err" &
+cluster_pid=$!
+for _ in $(seq 1 100); do
+    [ -s "$routing" ] && break
+    sleep 0.1
+done
+if [ ! -s "$routing" ]; then
+    echo "error: vlpp cluster wrote no routing table" >&2
+    exit 1
+fi
+
+for round in $(seq 1 "$ROUNDS"); do
+    # Re-read shard 0's owners from the CURRENT table: respawns rewrite
+    # it, and a stale victim id would re-kill an already-dead lineage.
+    # Node ids are node{index} by construction (see SERVING.md).
+    primary="node$(sed -n 's/.*"assignments":\[\[\([0-9]*\),.*/\1/p' "$routing")"
+    replica="node$(sed -n 's/.*"assignments":\[\[[0-9]*,\([0-9]*\).*/\1/p' "$routing")"
+    if [ $((round % 2)) -eq 1 ]; then victim="$primary"; else victim="$replica"; fi
+
+    records=$((round * PER_ROUND))
+    skip=$(((round - 1) * PER_ROUND))
+    extra=()
+    [ "$round" -gt 1 ] && extra+=(--no-train --skip "$skip")
+    [ "$round" -eq "$ROUNDS" ] && extra+=(--shutdown)
+    echo "== chaos round $round/$ROUNDS: kill $victim, replay records $skip..$records" >&2
+    round_rc=0
+    VLPP_THREADS=2 "$VLPP" loadgen --routing "$routing" --records "$records" \
+        --connections 4 --batch 32 --scale 1000000 \
+        --kill "$victim" --kill-after 10 --wait-respawn 60000 \
+        "${extra[@]}" >"$scratch/round.out" 2>"$scratch/round.err" || round_rc=$?
+    if [ "$round_rc" -ne 0 ] ||
+        ! grep -q '"mismatches":0' "$scratch/round.out" ||
+        ! grep -q '"stats_match":true' "$scratch/round.out"; then
+        echo "error: round $round broke the oracle (loadgen exit $round_rc):" >&2
+        cat "$scratch/round.out" "$scratch/round.err" >&2
+        exit 1
+    fi
+done
+
+wait "$cluster_pid"
+cluster_pid=""
+
+# Every kill must have produced a respawn, and every respawn a resync —
+# gated structurally on the supervisor's METRICS snapshot, not by
+# eyeballing logs.
+grep '^METRICS ' "$scratch/cluster.out" | "$CHECK" \
+    --require "cluster.respawns:$ROUNDS" \
+    --require "cluster.resyncs:$ROUNDS" \
+    --require cluster.resync_bytes:1 \
+    --require cluster.heartbeats:1 \
+    --require cluster.nodes:3
+
+respawn_lines=$(grep -c '^CLUSTER_RESPAWN ' "$scratch/cluster.out" || true)
+if [ "$respawn_lines" -ne "$ROUNDS" ]; then
+    echo "error: expected $ROUNDS CLUSTER_RESPAWN lines, saw $respawn_lines" >&2
+    cat "$scratch/cluster.out" >&2
+    exit 1
+fi
+
+# The drained children each printed a METRICS snapshot, forwarded as
+# `nodeN| METRICS {...}`; every one must carry the serve-side
+# self-healing counters (`--io-timeout-ms` deadlines are armed even
+# when they never fire).
+child_lines=$(sed -n 's/^node[0-9]*| \(METRICS .*\)/\1/p' "$scratch/cluster.err")
+if [ -z "$child_lines" ]; then
+    echo "error: no forwarded child METRICS lines in the supervisor's stderr" >&2
+    exit 1
+fi
+while IFS= read -r line; do
+    printf '%s\n' "$line" | "$CHECK" \
+        --require serve.io_timeouts \
+        --require serve.sync_bytes >/dev/null
+done <<<"$child_lines"
+echo "ok: child METRICS snapshots carry serve.io_timeouts + serve.sync_bytes"
+
+echo "ok: $ROUNDS kill->respawn->resync rounds, zero oracle divergence"

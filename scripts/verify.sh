@@ -13,7 +13,7 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-EXPECTED_STEPS=11
+EXPECTED_STEPS=12
 steps_run=0
 step() {
     steps_run=$((steps_run + 1))
@@ -263,7 +263,16 @@ for threads in 1 8; do
 done
 echo "ok: the oracle holds across a SIGKILLed primary at 1 and 8 threads"
 
-# 9. Panic-hygiene gate: no `.unwrap()` in non-test code under the
+# 9. Self-healing chaos drill: kill -> respawn -> resync rounds against
+#    one long-lived supervised cluster, with the loadgen oracle checked
+#    after every round and cluster.respawns / cluster.resyncs /
+#    serve.io_timeouts gated by vlpp-metrics-check (see ROBUSTNESS.md
+#    §6 and scripts/chaos_drill.sh).
+step "self-healing chaos drill (kill -> respawn -> resync)"
+scripts/chaos_drill.sh 2
+echo "ok: the cluster self-heals with zero oracle divergence"
+
+# 10. Panic-hygiene gate: no `.unwrap()` in non-test code under the
 #    error-spine crates (vlpp-trace, vlpp-sim). "Non-test" = lines
 #    before the first `#[cfg(test)]` in each file, excluding comment
 #    lines and `tests.rs` module files. New unwraps belong behind typed
@@ -287,7 +296,7 @@ if [ -n "$unwrap_offenders" ]; then
 fi
 echo "ok: no unwrap() in non-test vlpp-trace / vlpp-sim code"
 
-# 10. Trace-ingestion golden replay: the checked-in 100-record sample
+# 11. Trace-ingestion golden replay: the checked-in 100-record sample
 #    traces (ChampSim binary, CSV, JSONL — the same logical records in
 #    each, see TRACES.md) must replay to byte-identical statistics,
 #    matching the committed golden, both directly and after conversion
@@ -312,7 +321,7 @@ if ! cmp -s "$golden" "$scratch/replay.json"; then
 fi
 echo "ok: all three sample formats + compact conversion match the golden replay"
 
-# 11. Wall-clock of the full experiment suite at the default scale, as a
+# 12. Wall-clock of the full experiment suite at the default scale, as a
 #    machine-readable BENCH line (same shape as the vlpp-check timer).
 step "wall-clock BENCH line"
 start=$(date +%s%N)

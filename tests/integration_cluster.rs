@@ -24,6 +24,11 @@ impl Cluster {
         let mut child = Command::new(env!("CARGO_BIN_EXE_vlpp"))
             .args(["cluster", "--nodes", nodes, "--shards", shards, "--scale", "1000000"])
             .args(["--routing-out", routing_out.to_str().expect("utf-8 path")])
+            // Self-healing off: this file drills the *failover* path,
+            // where a dead node stays dead and the survivor carries its
+            // shards (the respawn path has its own drill in
+            // tests/integration_selfheal.rs).
+            .args(["--max-respawns", "0"])
             .env("VLPP_THREADS", threads)
             .env_remove("VLPP_SCALE")
             .stdout(Stdio::piped())
@@ -144,6 +149,11 @@ fn failover_drill(threads: &str) {
     assert_eq!(exit.get("nodes").and_then(|v| v.as_u64()), Some(3), "{exit}");
     assert_eq!(exit.get("died").and_then(|v| v.as_u64()), Some(1), "{exit}");
     assert_eq!(exit.get("exited_clean").and_then(|v| v.as_u64()), Some(2), "{exit}");
+    assert_eq!(
+        exit.get("respawns").and_then(|v| v.as_u64()),
+        Some(0),
+        "--max-respawns 0 must disable self-healing: {exit}"
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
 

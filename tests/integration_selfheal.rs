@@ -1,0 +1,290 @@
+//! End-to-end self-healing drill for `vlpp cluster`: kill a node
+//! mid-run and assert the supervisor detects the death, respawns a
+//! replacement warm-started from a snapshot resynced off the surviving
+//! shard owners, republishes a version-bumped routing table — and that
+//! the byte-for-byte offline oracle still holds. Then kill the *other*
+//! original owner of the same shard, so correctness can only come from
+//! the resynced replacement's state. A separate test proves that losing
+//! both owners of a shard with self-healing disabled is the typed
+//! `shard_unavailable` error, not a hang.
+
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, ChildStdout, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use vlpp_trace::json::JsonValue;
+
+/// A running `vlpp cluster` supervisor, its parsed `CLUSTER` routing
+/// table, and the stdout reader still attached for the respawn
+/// announcements and `CLUSTER_EXIT`.
+struct Cluster {
+    child: Child,
+    reader: BufReader<ChildStdout>,
+    table: JsonValue,
+}
+
+/// What the supervisor printed while being waited out.
+struct ExitReport {
+    exit: JsonValue,
+    respawn_lines: Vec<JsonValue>,
+    update_lines: Vec<JsonValue>,
+}
+
+impl Cluster {
+    fn start(threads: &str, routing_out: &Path, extra: &[&str]) -> Cluster {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_vlpp"))
+            .args(["cluster", "--nodes", "3", "--shards", "4", "--scale", "1000000"])
+            .args(["--routing-out", routing_out.to_str().expect("utf-8 path")])
+            .args(["--probe-interval-ms", "100", "--miss-budget", "2"])
+            .args(extra)
+            .env("VLPP_THREADS", threads)
+            .env_remove("VLPP_SCALE")
+            .env_remove("VLPP_FAULT")
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("cluster spawns");
+        let stdout = child.stdout.take().expect("stdout piped");
+        let mut reader = BufReader::new(stdout);
+        let mut line = String::new();
+        let table = loop {
+            line.clear();
+            let n = reader.read_line(&mut line).expect("stdout reads");
+            assert!(n > 0, "cluster exited before its CLUSTER line");
+            if let Some(json) = line.trim_end().strip_prefix("CLUSTER ") {
+                break JsonValue::parse(json).expect("CLUSTER payload parses");
+            }
+        };
+        Cluster { child, reader, table }
+    }
+
+    /// The node ids of shard 0's `(primary, replica)` — the kill drill
+    /// takes them out one per run.
+    fn owners_of_shard0(&self) -> (String, String) {
+        let assignments =
+            self.table.get("assignments").and_then(|v| v.as_array()).expect("assignments");
+        let pair = assignments[0].as_array().expect("assignment pair");
+        let nodes = self.table.get("nodes").and_then(|v| v.as_array()).expect("nodes");
+        let id = |slot: usize| {
+            let index = pair[slot].as_u64().expect("node index") as usize;
+            nodes[index].get("id").and_then(|v| v.as_str()).expect("node id").to_string()
+        };
+        (id(0), id(1))
+    }
+
+    /// Waits for the supervisor to exit cleanly, collecting every
+    /// `CLUSTER_RESPAWN`/`CLUSTER_UPDATE` announcement on the way to
+    /// `CLUSTER_EXIT`.
+    fn wait_exit(mut self) -> ExitReport {
+        let mut exit = None;
+        let mut respawn_lines = Vec::new();
+        let mut update_lines = Vec::new();
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if self.reader.read_line(&mut line).expect("stdout reads") == 0 {
+                break;
+            }
+            let trimmed = line.trim_end();
+            if let Some(json) = trimmed.strip_prefix("CLUSTER_RESPAWN ") {
+                respawn_lines.push(JsonValue::parse(json).expect("CLUSTER_RESPAWN parses"));
+            } else if let Some(json) = trimmed.strip_prefix("CLUSTER_UPDATE ") {
+                update_lines.push(JsonValue::parse(json).expect("CLUSTER_UPDATE parses"));
+            } else if let Some(json) = trimmed.strip_prefix("CLUSTER_EXIT ") {
+                exit = Some(JsonValue::parse(json).expect("CLUSTER_EXIT parses"));
+            }
+        }
+        let deadline = Instant::now() + Duration::from_secs(60);
+        loop {
+            match self.child.try_wait().expect("wait works") {
+                Some(status) => {
+                    assert!(status.success(), "supervisor must exit 0, got {status}");
+                    break;
+                }
+                None if Instant::now() < deadline => std::thread::sleep(Duration::from_millis(50)),
+                None => {
+                    let _ = self.child.kill();
+                    panic!("supervisor did not exit within 60s");
+                }
+            }
+        }
+        ExitReport {
+            exit: exit.expect("supervisor prints CLUSTER_EXIT"),
+            respawn_lines,
+            update_lines,
+        }
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("vlpp-selfheal-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+fn loadgen(routing: &Path, extra: &[&str]) -> (std::process::Output, Option<JsonValue>) {
+    let output = Command::new(env!("CARGO_BIN_EXE_vlpp"))
+        .args(["loadgen", "--routing", routing.to_str().expect("utf-8 path")])
+        .args(["--records", "6000", "--connections", "4", "--batch", "32"])
+        .args(["--scale", "1000000", "--wait-respawn", "60000"])
+        .args(extra)
+        .env("VLPP_THREADS", "2")
+        .env_remove("VLPP_SCALE")
+        .env_remove("VLPP_FAULT")
+        .output()
+        .expect("loadgen runs");
+    let stdout = String::from_utf8_lossy(&output.stdout).to_string();
+    let summary = stdout
+        .lines()
+        .find(|l| l.starts_with("LOADGEN "))
+        .map(|l| JsonValue::parse(l.strip_prefix("LOADGEN ").expect("prefix")).expect("parses"));
+    (output, summary)
+}
+
+fn assert_clean_oracle(output: &std::process::Output, summary: &JsonValue) {
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(output.status.success(), "loadgen failed:\n{summary}\nstderr: {stderr}");
+    assert_eq!(summary.get("mismatches").and_then(|v| v.as_u64()), Some(0), "{summary}");
+    assert_eq!(summary.get("stats_match").and_then(|v| v.as_bool()), Some(true), "{summary}");
+    assert_eq!(summary.get("killed").and_then(|v| v.as_bool()), Some(true), "{summary}");
+}
+
+/// The double-kill drill: kill shard 0's primary mid-run and wait for
+/// the respawn (run 1, records 0..6000), then kill shard 0's *other*
+/// original owner and keep going (run 2, records 6000..12000, warm
+/// continuation). After both kills, shard 0 is served entirely by
+/// processes that warm-started from resynced snapshots — the oracle
+/// holding byte-for-byte is the lossless-resync proof.
+fn double_kill_drill(threads: &str) {
+    let dir = temp_dir(threads);
+    let routing = dir.join("routing.json");
+    let cluster = Cluster::start(threads, &routing, &[]);
+    let (victim_a, victim_b) = cluster.owners_of_shard0();
+
+    let (output, summary) = loadgen(&routing, &["--kill", &victim_a, "--kill-after", "10"]);
+    let summary = summary.expect("run 1 prints LOADGEN");
+    assert_clean_oracle(&output, &summary);
+    assert!(
+        summary.get("failovers").and_then(|v| v.as_u64()).unwrap_or(0) >= 1,
+        "killing shard 0's primary must pause at least one worker: {summary}"
+    );
+    assert!(
+        summary.get("routing_version").and_then(|v| v.as_u64()).unwrap_or(0) >= 2,
+        "run 1 must observe the post-respawn routing table: {summary}"
+    );
+
+    // The supervisor republished the table with the victim's slot
+    // rebound to a new pid at a (possibly) new address.
+    let republished = std::fs::read_to_string(&routing).expect("routing file readable");
+    let republished = JsonValue::parse(republished.trim()).expect("routing file parses");
+    assert!(republished.get("version").and_then(|v| v.as_u64()).unwrap_or(0) >= 2, "{republished}");
+
+    // Run 2: warm continuation over the next 6000 records; kill the
+    // other original owner of shard 0 and drain the cluster at the end.
+    let (output, summary) = loadgen(
+        &routing,
+        &[
+            "--no-train",
+            "--skip",
+            "6000",
+            "--records",
+            "12000",
+            "--kill",
+            &victim_b,
+            "--kill-after",
+            "10",
+            "--shutdown",
+        ],
+    );
+    let summary = summary.expect("run 2 prints LOADGEN");
+    assert_clean_oracle(&output, &summary);
+    assert_eq!(summary.get("skipped").and_then(|v| v.as_u64()), Some(6000), "{summary}");
+    assert!(
+        summary.get("routing_version").and_then(|v| v.as_u64()).unwrap_or(0) >= 3,
+        "run 2 must observe the second respawn: {summary}"
+    );
+
+    let report = cluster.wait_exit();
+    let exit = &report.exit;
+    assert_eq!(exit.get("died").and_then(|v| v.as_u64()), Some(2), "{exit}");
+    assert_eq!(exit.get("respawns").and_then(|v| v.as_u64()), Some(2), "{exit}");
+    assert_eq!(exit.get("resyncs").and_then(|v| v.as_u64()), Some(2), "{exit}");
+    assert_eq!(
+        exit.get("exited_clean").and_then(|v| v.as_u64()),
+        Some(3),
+        "the survivor and both replacements drain cleanly: {exit}"
+    );
+    assert_eq!(report.respawn_lines.len(), 2, "one CLUSTER_RESPAWN per kill");
+    assert_eq!(report.update_lines.len(), 2, "one CLUSTER_UPDATE per promotion");
+    for (victim, respawn) in [&victim_a, &victim_b].into_iter().zip(&report.respawn_lines) {
+        assert_eq!(respawn.get("id").and_then(|v| v.as_str()), Some(victim.as_str()), "{respawn}");
+        assert!(
+            respawn.get("synced_shards").and_then(|v| v.as_u64()).unwrap_or(0) >= 1,
+            "a replacement owner must have resynced its shards: {respawn}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn double_kill_respawn_holds_the_oracle_at_one_server_thread() {
+    double_kill_drill("1");
+}
+
+#[test]
+fn double_kill_respawn_holds_the_oracle_at_eight_server_threads() {
+    double_kill_drill("8");
+}
+
+/// With self-healing off, losing both owners of a shard must be the
+/// typed `shard_unavailable` protocol error — quickly, not a hang.
+#[test]
+fn both_owners_down_is_a_typed_shard_unavailable_error() {
+    let dir = temp_dir("dual-down");
+    let routing = dir.join("routing.json");
+    let cluster = Cluster::start("2", &routing, &["--max-respawns", "0"]);
+
+    // SIGKILL every node: with 3 nodes and both owners of every shard
+    // down, no shard has a live owner.
+    let nodes = cluster.table.get("nodes").and_then(|v| v.as_array()).expect("nodes").to_vec();
+    for node in &nodes {
+        let pid = node.get("pid").and_then(|v| v.as_u64()).expect("pid");
+        let status =
+            Command::new("kill").args(["-9", &pid.to_string()]).status().expect("kill runs");
+        assert!(status.success(), "kill -9 {pid}");
+    }
+
+    let start = Instant::now();
+    let output = Command::new(env!("CARGO_BIN_EXE_vlpp"))
+        .args(["loadgen", "--routing", routing.to_str().expect("utf-8 path")])
+        .args(["--no-train", "--records", "500", "--scale", "1000000"])
+        .args(["--io-timeout-ms", "2000"])
+        .env("VLPP_THREADS", "2")
+        .env_remove("VLPP_SCALE")
+        .output()
+        .expect("loadgen runs");
+    assert!(!output.status.success(), "a fully dead cluster cannot pass the oracle");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("shard_unavailable: shard") && stderr.contains("no live owner"),
+        "degraded mode must be the typed error, got:\n{stderr}"
+    );
+    assert!(
+        start.elapsed() < Duration::from_secs(30),
+        "degraded mode must fail fast, not hang ({:?})",
+        start.elapsed()
+    );
+
+    let report = cluster.wait_exit();
+    assert_eq!(report.exit.get("died").and_then(|v| v.as_u64()), Some(3), "{}", report.exit);
+    assert_eq!(report.exit.get("respawns").and_then(|v| v.as_u64()), Some(0), "{}", report.exit);
+    let _ = std::fs::remove_dir_all(&dir);
+}
