@@ -25,6 +25,16 @@
 //! Benches absent from the baseline pass with a note, so adding a bench
 //! does not require a lockstep baseline update. Used by the CI
 //! bench-smoke job.
+//!
+//! `--tourney` mode: reads the `TOURNEY {json}` line `vlpp tournament`
+//! emits, validates the league shape (every predictor × workload cell
+//! present, rates in [0, 1]), and — with `--baseline FILE` (the
+//! committed `TOURNEY_baseline.json`) — enforces the accuracy gate: a
+//! cell named by the baseline that is *missing* from the run is a hard
+//! fail (a predictor or benchmark silently dropped from the matrix),
+//! as is a cell whose miss rate exceeds its `max_miss_rate` ceiling or
+//! a matrix smaller than `min_cells`. Used by the CI tournament-smoke
+//! job.
 
 use std::io::Read;
 use std::process::ExitCode;
@@ -39,6 +49,7 @@ fn fail(message: &str) -> ExitCode {
 const USAGE: &str = "\
 usage: vlpp-metrics-check [--require NAME[:MIN]]...
                           [--bench [--baseline FILE] [--max-regress PCT]]
+                          [--tourney [--baseline FILE]]
 
 Reads stdin. Default: validate the first `METRICS {json}` line.
 --require NAME[:MIN] (repeatable): fail unless the snapshot carries
@@ -50,11 +61,17 @@ Baseline entries may set absolute floors instead of (or besides) a
 median: {\"min_records_per_sec\": N} and {\"min_speedup\": X} gate the
 BENCH line's records_per_sec / speedup_vs_boxed fields; a floor fails
 when its bench or field is missing or below the floor.
+--tourney: validate the `TOURNEY {json}` league line, and with
+--baseline (TOURNEY_baseline.json: {\"min_cells\": N, \"cells\":
+{key: {\"max_miss_rate\": X}}}) fail if any baseline cell is missing
+from the run, any cell's miss_rate exceeds its ceiling, or the matrix
+shrank below min_cells.
 ";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut bench_mode = false;
+    let mut tourney_mode = false;
     let mut baseline_path: Option<String> = None;
     let mut max_regress_pct = 30.0f64;
     let mut required: Vec<(String, u64)> = Vec::new();
@@ -62,6 +79,7 @@ fn main() -> ExitCode {
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--bench" => bench_mode = true,
+            "--tourney" => tourney_mode = true,
             "--require" => {
                 let Some(spec) = iter.next() else {
                     return fail("--require needs NAME[:MIN]");
@@ -101,11 +119,14 @@ fn main() -> ExitCode {
             other => return fail(&format!("unexpected argument `{other}`\n{USAGE}")),
         }
     }
-    if baseline_path.is_some() && !bench_mode {
-        return fail("--baseline only applies with --bench");
+    if bench_mode && tourney_mode {
+        return fail("--bench and --tourney are mutually exclusive");
     }
-    if bench_mode && !required.is_empty() {
-        return fail("--require only applies to METRICS mode (drop --bench)");
+    if baseline_path.is_some() && !bench_mode && !tourney_mode {
+        return fail("--baseline only applies with --bench or --tourney");
+    }
+    if (bench_mode || tourney_mode) && !required.is_empty() {
+        return fail("--require only applies to METRICS mode (drop --bench/--tourney)");
     }
 
     let mut input = String::new();
@@ -115,6 +136,8 @@ fn main() -> ExitCode {
 
     if bench_mode {
         check_bench_lines(&input, baseline_path.as_deref(), max_regress_pct)
+    } else if tourney_mode {
+        check_tourney_line(&input, baseline_path.as_deref())
     } else {
         check_metrics_line(&input, &required)
     }
@@ -320,6 +343,121 @@ fn check_bench_lines(input: &str, baseline_path: Option<&str>, max_regress_pct: 
     println!(
         "ok: {checked} BENCH line(s) parse, {compared} compared against the baseline, \
          {gated} floor(s) enforced"
+    );
+    ExitCode::SUCCESS
+}
+
+fn check_tourney_line(input: &str, baseline_path: Option<&str>) -> ExitCode {
+    let Some(payload) = input.lines().find_map(|line| line.strip_prefix("TOURNEY ")) else {
+        return fail("no `TOURNEY {json}` line found on stdin");
+    };
+    let league = match JsonValue::parse(payload.trim()) {
+        Ok(value) => value,
+        Err(error) => return fail(&format!("TOURNEY payload is not valid JSON: {error}")),
+    };
+    let Some(cells) = league.get("cells").and_then(JsonValue::as_object) else {
+        return fail("TOURNEY payload has no `cells` object");
+    };
+    if cells.is_empty() {
+        return fail("TOURNEY `cells` is empty — the tournament raced nothing");
+    }
+
+    // Structural gate: every cell is well-formed, and the matrix is the
+    // full cross product of the advertised axes — a predictor that ran
+    // on some workloads but silently skipped others must not pass.
+    for (key, cell) in cells {
+        for field in ["predictions", "mispredictions"] {
+            if cell.get(field).and_then(JsonValue::as_u64).is_none() {
+                return fail(&format!("cell `{key}`: missing or non-integer field `{field}`"));
+            }
+        }
+        let Some(rate) = cell.get("miss_rate").and_then(JsonValue::as_f64) else {
+            return fail(&format!("cell `{key}`: missing field `miss_rate`"));
+        };
+        if !(0.0..=1.0).contains(&rate) {
+            return fail(&format!("cell `{key}`: miss_rate {rate} is outside [0, 1]"));
+        }
+        match cell.get("mpki").and_then(JsonValue::as_f64) {
+            Some(mpki) if mpki >= 0.0 => {}
+            _ => return fail(&format!("cell `{key}`: missing or negative field `mpki`")),
+        }
+    }
+    let workloads: Vec<&str> = league
+        .get("workloads")
+        .and_then(JsonValue::as_array)
+        .map(|list| list.iter().filter_map(JsonValue::as_str).collect())
+        .unwrap_or_default();
+    let mut expected = 0usize;
+    for (tag, kind) in [("cond", "conditional"), ("ind", "indirect")] {
+        let predictors: Vec<&str> = league
+            .get("predictors")
+            .and_then(|p| p.get(kind))
+            .and_then(JsonValue::as_array)
+            .map(|list| list.iter().filter_map(JsonValue::as_str).collect())
+            .unwrap_or_default();
+        for predictor in predictors {
+            for workload in &workloads {
+                expected += 1;
+                let key = format!("{tag}:{predictor}:{workload}");
+                if !cells.iter().any(|(k, _)| *k == key) {
+                    return fail(&format!("matrix hole: cell `{key}` was not raced"));
+                }
+            }
+        }
+    }
+    if expected != cells.len() {
+        return fail(&format!(
+            "matrix mismatch: axes promise {expected} cells, {} were raced",
+            cells.len()
+        ));
+    }
+
+    let mut gated = 0usize;
+    if let Some(path) = baseline_path {
+        let baseline = match std::fs::read_to_string(path) {
+            Err(error) => return fail(&format!("cannot read baseline {path}: {error}")),
+            Ok(text) => match JsonValue::parse(text.trim()) {
+                Err(error) => return fail(&format!("baseline {path} is not valid JSON: {error}")),
+                Ok(value) => value,
+            },
+        };
+        if let Some(min_cells) = baseline.get("min_cells").and_then(JsonValue::as_u64) {
+            if (cells.len() as u64) < min_cells {
+                return fail(&format!(
+                    "matrix shrank: {} cells raced, baseline requires at least {min_cells}",
+                    cells.len()
+                ));
+            }
+        }
+        let Some(floors) = baseline.get("cells").and_then(JsonValue::as_object) else {
+            return fail(&format!("baseline {path} has no `cells` object"));
+        };
+        for (key, floor) in floors {
+            // A baseline cell with no counterpart in the run is a hard
+            // fail: a dropped predictor or benchmark must not pass by
+            // omission.
+            let Some(cell) = cells.iter().find(|(k, _)| k == key).map(|(_, v)| v) else {
+                return fail(&format!(
+                    "baseline gates cell `{key}` but the tournament did not race it"
+                ));
+            };
+            let Some(ceiling) = floor.get("max_miss_rate").and_then(JsonValue::as_f64) else {
+                return fail(&format!("baseline cell `{key}` has no `max_miss_rate`"));
+            };
+            let rate = cell.get("miss_rate").and_then(JsonValue::as_f64).unwrap_or(1.0);
+            if rate > ceiling {
+                return fail(&format!(
+                    "cell `{key}` regressed: miss_rate {rate:.4} exceeds the baseline ceiling \
+                     {ceiling:.4}"
+                ));
+            }
+            gated += 1;
+        }
+    }
+
+    println!(
+        "ok: TOURNEY line parses ({} cells, full matrix, {gated} baseline ceiling(s) enforced)",
+        cells.len()
     );
     ExitCode::SUCCESS
 }

@@ -1,0 +1,26 @@
+//! Shared 64-bit hash finalizer for the zoo predictors' index/tag
+//! functions (the SplitMix64 finalizer; full-avalanche, cheap).
+
+/// Mixes `z` so every output bit depends on every input bit.
+#[inline]
+pub(crate) fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_changes_single_bit_inputs() {
+        let a = mix(1);
+        let b = mix(2);
+        assert_ne!(a, b);
+        assert_ne!(a, 1);
+        // Outputs of nearby inputs differ in many bits (avalanche).
+        assert!((a ^ b).count_ones() > 10);
+    }
+}

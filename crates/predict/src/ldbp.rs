@@ -1,0 +1,175 @@
+//! An LDBP-style load-correlated predictor ("A Load-Based Branch
+//! Predictor", arXiv:2009.09064): some branches compute their direction
+//! from a recently loaded value, so a predictor that snoops retired load
+//! values and indexes a table by *(branch PC, load value)* learns them
+//! exactly — where every history-based scheme sees noise.
+//!
+//! The simulator side of the contract is the synthetic load channel:
+//! `vlpp-synth`'s executor emits one load value per retired record
+//! (`Program::execute_with_loads`), and the harness hands that stream to
+//! [`Ldbp::with_channel`]. The predictor advances a cursor on every
+//! [`observe`](crate::BranchObserver::observe) call, so the value it
+//! reads when predicting record *i* is exactly the value the program saw
+//! — mimicking hardware that has the load's result in flight by the time
+//! the branch fetches. Without a channel the predictor degenerates to a
+//! PC-indexed bimodal (load 0 for every branch).
+
+use std::sync::Arc;
+
+use vlpp_trace::{Addr, BranchRecord};
+
+use crate::counter::Counter2;
+use crate::hashmix::mix;
+use crate::traits::{BranchObserver, ConditionalPredictor};
+
+/// An LDBP-style load-value-correlated conditional predictor.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use vlpp_predict::{Budget, ConditionalPredictor, Ldbp};
+/// use vlpp_trace::Addr;
+///
+/// let loads = Arc::new(vec![3u64, 7, 3]);
+/// let mut p = Ldbp::new(Budget::from_kib(4).cond_index_bits()).with_channel(loads);
+/// let pc = Addr::new(0x1000);
+/// let _guess = p.predict(pc);
+/// p.train(pc, true);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ldbp {
+    table: Vec<Counter2>,
+    mask: u64,
+    index_bits: u32,
+    /// The retired-load value stream, aligned with record indices.
+    channel: Arc<Vec<u64>>,
+    /// Index of the record currently being predicted (advanced by
+    /// `observe`, which the runner calls once per record).
+    cursor: usize,
+}
+
+impl Ldbp {
+    /// Creates a predictor with a `2^index_bits`-entry counter table and
+    /// an empty load channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index_bits` is 0 or greater than 28.
+    pub fn new(index_bits: u32) -> Self {
+        assert!((1..=28).contains(&index_bits), "index bits must be in 1..=28, got {index_bits}");
+        Ldbp {
+            table: vec![Counter2::default(); 1 << index_bits],
+            mask: (1u64 << index_bits) - 1,
+            index_bits,
+            channel: Arc::new(Vec::new()),
+            cursor: 0,
+        }
+    }
+
+    /// Attaches the load-value channel for the trace this predictor will
+    /// run over (`loads[i]` = value visible at record `i`), resetting
+    /// the cursor.
+    pub fn with_channel(mut self, loads: Arc<Vec<u64>>) -> Self {
+        self.channel = loads;
+        self.cursor = 0;
+        self
+    }
+
+    /// Bytes charged: the 2-bit counter table (the load channel models
+    /// values the core already has in flight, like LDBP's use of the
+    /// load queue, and is not second-level table storage).
+    pub fn storage_bytes(&self) -> u64 {
+        self.table.len() as u64 / 4
+    }
+
+    fn current_load(&self) -> u64 {
+        self.channel.get(self.cursor).copied().unwrap_or(0)
+    }
+
+    fn index(&self, pc: Addr) -> usize {
+        let load = self.current_load();
+        (mix(pc.word() ^ load.wrapping_mul(0x9e37_79b9_7f4a_7c15)) & self.mask) as usize
+    }
+}
+
+impl BranchObserver for Ldbp {
+    fn observe(&mut self, _record: &BranchRecord) {
+        self.cursor += 1;
+    }
+}
+
+impl ConditionalPredictor for Ldbp {
+    fn predict(&mut self, pc: Addr) -> bool {
+        self.table[self.index(pc)].predict_taken()
+    }
+
+    fn train(&mut self, pc: Addr, taken: bool) {
+        let idx = self.index(pc);
+        self.table[idx].update(taken);
+    }
+
+    fn name(&self) -> String {
+        format!("ldbp-{}b", self.index_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_a_load_keyed_branch_exactly() {
+        // outcome = f(load) for a handful of load values: with the
+        // channel attached the table converges to perfect prediction.
+        let loads: Vec<u64> = (0..20_000u64).map(|i| mix(i) % 8).collect();
+        let pc = Addr::new(0x5000);
+        let mut p = Ldbp::new(12).with_channel(Arc::new(loads.clone()));
+        let mut late_misses = 0;
+        for (i, &load) in loads.iter().enumerate() {
+            let taken = mix(load) & 1 == 1;
+            let predicted = p.predict(pc);
+            if i > 1000 && predicted != taken {
+                late_misses += 1;
+            }
+            p.train(pc, taken);
+            p.observe(&BranchRecord::conditional(pc, Addr::new(0x8000), taken));
+        }
+        assert_eq!(late_misses, 0, "load-keyed branch must become perfectly predictable");
+    }
+
+    #[test]
+    fn without_channel_degenerates_to_bimodal() {
+        let mut p = Ldbp::new(10);
+        let pc = Addr::new(0x100);
+        for _ in 0..100 {
+            let _ = p.predict(pc);
+            p.train(pc, true);
+            p.observe(&BranchRecord::conditional(pc, Addr::new(0x8000), true));
+        }
+        assert!(p.predict(pc), "biased-taken branch must predict taken");
+    }
+
+    #[test]
+    fn cursor_tracks_every_record_kind() {
+        let mut p = Ldbp::new(4).with_channel(Arc::new(vec![1, 2, 3]));
+        assert_eq!(p.current_load(), 1);
+        p.observe(&BranchRecord::unconditional(Addr::new(0), Addr::new(4)));
+        assert_eq!(p.current_load(), 2);
+        p.observe(&BranchRecord::indirect(Addr::new(8), Addr::new(12)));
+        assert_eq!(p.current_load(), 3);
+        p.observe(&BranchRecord::conditional(Addr::new(16), Addr::new(20), true));
+        assert_eq!(p.current_load(), 0, "past the channel end reads 0");
+    }
+
+    #[test]
+    fn storage_charges_the_table_only() {
+        assert_eq!(Ldbp::new(12).storage_bytes(), 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "index bits")]
+    fn rejects_zero_bits() {
+        Ldbp::new(0);
+    }
+}

@@ -15,11 +15,20 @@
 //! | [`Hybrid`] | conditional | McFarling two-component hybrid with a chooser |
 //! | [`Dhlf`] | conditional | Juan et al. dynamic history-length fitting (related work) |
 //! | [`BiMode`] / [`Agree`] | conditional | interference-reducing schemes the paper cites |
+//! | [`Tage`] | conditional | Seznec–Michaud tagged geometric-history predictor (zoo) |
+//! | [`Bullseye`] | conditional | hard-branch filter routing to a secondary predictor (zoo) |
+//! | [`Ldbp`] | conditional | load-value-correlated predictor (zoo) |
 //! | [`PatternTargetCache`] | indirect | Chang–Hao–Patt "tagless" pattern-based target cache |
 //! | [`PathTargetCache`] | indirect | Chang–Hao–Patt "tagless" path-based target cache |
 //! | [`PerAddressPathCache`] | indirect | Driesen–Hölzle per-address path history (related work) |
 //! | [`LastTargetBtb`] | indirect | BTB-style last-target baseline |
+//! | [`ClusteredTargetCache`] | indirect | case-clustered path-indexed predictor (zoo) |
 //! | [`ReturnAddressStack`] | returns | the RAS the paper assumes handles returns |
+//!
+//! The zoo members are registered in [`zoo`] (see
+//! [`conditional_zoo`](zoo::conditional_zoo)); the registry macros there
+//! are the single source the tournament harness and the conformance test
+//! suite both expand.
 //!
 //! ## Simulation protocol
 //!
@@ -54,29 +63,40 @@
 mod bimodal;
 mod btb;
 mod budget;
+mod bullseye;
+mod clustered;
 mod counter;
 mod dhlf;
 mod gshare;
+mod hashmix;
 mod history;
 mod hybrid;
 mod interference;
+mod ldbp;
 mod per_address;
 mod ras;
+mod tage;
 mod target_cache;
 mod traits;
 mod twolevel;
+pub mod zoo;
 
 pub use bimodal::Bimodal;
 pub use btb::LastTargetBtb;
 pub use budget::Budget;
+pub use bullseye::Bullseye;
+pub use clustered::ClusteredTargetCache;
 pub use counter::{Counter2, CounterPlane};
 pub use dhlf::Dhlf;
 pub use gshare::Gshare;
 pub use history::{OutcomeHistory, PathRegister};
 pub use hybrid::Hybrid;
 pub use interference::{Agree, BiMode};
+pub use ldbp::Ldbp;
 pub use per_address::PerAddressPathCache;
 pub use ras::ReturnAddressStack;
+pub use tage::Tage;
 pub use target_cache::{PathTargetCache, PatternTargetCache};
 pub use traits::{BranchObserver, ConditionalPredictor, IndirectPredictor};
 pub use twolevel::{Gas, Pas};
+pub use zoo::{CondZooEntry, IndZooEntry, ZooContext};

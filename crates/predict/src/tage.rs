@@ -1,0 +1,309 @@
+//! A TAGE-style conditional predictor: tagged tables indexed by
+//! geometrically increasing outcome-history lengths (Seznec & Michaud,
+//! "A case for (partially) TAgged GEometric history length branch
+//! prediction", JILP 2006).
+//!
+//! The prediction comes from the matching tagged entry with the longest
+//! history (the *provider*); the next-longest match (or the bimodal base
+//! table) is the *alternate*. Useful bits protect entries that have
+//! proven better than their alternate from being reallocated, and are
+//! periodically halved so stale entries age out — the property that makes
+//! TAGE recover quickly on the phase-switching hard workloads.
+
+use vlpp_trace::{Addr, BranchRecord};
+
+use crate::budget::Budget;
+use crate::counter::Counter2;
+use crate::hashmix::mix;
+use crate::traits::{BranchObserver, ConditionalPredictor};
+
+/// The geometric history lengths of the tagged tables, shortest first.
+const HISTORY_LENGTHS: [u32; 4] = [4, 10, 24, 56];
+
+/// Partial-tag width stored per tagged entry.
+const TAG_BITS: u32 = 10;
+
+/// Trains between useful-bit aging passes (`useful >>= 1` everywhere).
+const AGING_PERIOD: u64 = 1 << 18;
+
+/// One tagged-table entry: partial tag, 3-bit signed-style counter
+/// (taken when ≥ 4), 2-bit useful counter.
+#[derive(Debug, Clone, Copy, Default)]
+struct TaggedEntry {
+    tag: u16,
+    ctr: u8,
+    useful: u8,
+    valid: bool,
+}
+
+/// A TAGE-style geometric-history predictor.
+///
+/// # Example
+///
+/// ```
+/// use vlpp_predict::{Budget, ConditionalPredictor, Tage};
+/// use vlpp_trace::Addr;
+///
+/// let mut p = Tage::new(Budget::from_kib(16));
+/// let pc = Addr::new(0x1000);
+/// let _guess = p.predict(pc);
+/// p.train(pc, true);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tage {
+    /// Bimodal base: always hits, provides the alternate of last resort.
+    base: Vec<Counter2>,
+    base_mask: u64,
+    /// One table per history length, all the same size.
+    tables: Vec<Vec<TaggedEntry>>,
+    table_mask: u64,
+    /// Global outcome history, newest in bit 0 (128 bits covers the
+    /// longest table with room to spare).
+    history: u128,
+    trains: u64,
+    budget: Budget,
+}
+
+impl Tage {
+    /// Creates a TAGE predictor sized for `budget`.
+    ///
+    /// The budget splits as: half the bytes across the four tagged
+    /// tables (4 bytes per entry: tag + counter + useful), a quarter on
+    /// the 2-bit bimodal base, a quarter spare — see
+    /// [`storage_bytes`](Self::storage_bytes) for the exact charge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budget` is smaller than 512 bytes (the tagged tables
+    /// would degenerate below 16 entries each).
+    pub fn new(budget: Budget) -> Self {
+        let bytes = budget.bytes();
+        assert!(bytes >= 512, "tage needs at least a 512-byte budget, got {bytes}");
+        let base_entries = (bytes as usize).next_power_of_two();
+        let table_entries = ((bytes / 32) as usize).max(16);
+        Tage {
+            base: vec![Counter2::default(); base_entries],
+            base_mask: base_entries as u64 - 1,
+            tables: vec![vec![TaggedEntry::default(); table_entries]; HISTORY_LENGTHS.len()],
+            table_mask: table_entries as u64 - 1,
+            history: 0,
+            trains: 0,
+            budget,
+        }
+    }
+
+    /// The bytes of second-level state actually charged: the base table
+    /// at 2 bits per counter plus the tagged tables at 4 bytes per entry.
+    pub fn storage_bytes(&self) -> u64 {
+        let base = self.base.len() as u64 / 4;
+        let tagged = self.tables.iter().map(|t| t.len() as u64 * 4).sum::<u64>();
+        base + tagged
+    }
+
+    /// Folds the newest `length` history bits into a 64-bit digest,
+    /// salted per table so the tables decorrelate.
+    fn folded(&self, length: u32, salt: u64) -> u64 {
+        let masked =
+            if length >= 128 { self.history } else { self.history & ((1u128 << length) - 1) };
+        mix((masked as u64) ^ salt)
+            .wrapping_add(mix(((masked >> 64) as u64) ^ salt.rotate_left(32)))
+    }
+
+    fn index(&self, table: usize, pc: Addr) -> usize {
+        let h = self.folded(HISTORY_LENGTHS[table], 0x9e37 + table as u64);
+        ((h ^ mix(pc.word())) & self.table_mask) as usize
+    }
+
+    fn tag(&self, table: usize, pc: Addr) -> u16 {
+        let h = self.folded(HISTORY_LENGTHS[table], 0x85eb ^ (table as u64) << 8);
+        ((h ^ pc.word()) & ((1 << TAG_BITS) - 1)) as u16
+    }
+
+    fn base_index(&self, pc: Addr) -> usize {
+        (pc.word() & self.base_mask) as usize
+    }
+
+    /// The provider (longest matching table, its index) and the
+    /// alternate prediction (next match below it, or the base).
+    fn lookup(&self, pc: Addr) -> (Option<(usize, usize)>, bool) {
+        let mut provider = None;
+        let mut alt = None;
+        for table in (0..self.tables.len()).rev() {
+            let idx = self.index(table, pc);
+            let entry = &self.tables[table][idx];
+            if entry.valid && entry.tag == self.tag(table, pc) {
+                if provider.is_none() {
+                    provider = Some((table, idx));
+                } else {
+                    alt = Some(entry.ctr >= 4);
+                    break;
+                }
+            }
+        }
+        let alt = alt.unwrap_or_else(|| self.base[self.base_index(pc)].predict_taken());
+        (provider, alt)
+    }
+}
+
+impl BranchObserver for Tage {
+    fn observe(&mut self, record: &BranchRecord) {
+        if record.is_conditional() {
+            self.history = (self.history << 1) | record.taken() as u128;
+        }
+    }
+}
+
+impl ConditionalPredictor for Tage {
+    fn predict(&mut self, pc: Addr) -> bool {
+        let (provider, alt) = self.lookup(pc);
+        match provider {
+            Some((table, idx)) => self.tables[table][idx].ctr >= 4,
+            None => alt,
+        }
+    }
+
+    fn train(&mut self, pc: Addr, taken: bool) {
+        let (provider, alt) = self.lookup(pc);
+        let predicted = match provider {
+            Some((table, idx)) => self.tables[table][idx].ctr >= 4,
+            None => alt,
+        };
+        match provider {
+            Some((table, idx)) => {
+                let entry = &mut self.tables[table][idx];
+                let pred = entry.ctr >= 4;
+                entry.ctr =
+                    if taken { (entry.ctr + 1).min(7) } else { entry.ctr.saturating_sub(1) };
+                // The useful bit tracks "provider beat its alternate".
+                if pred != alt {
+                    entry.useful = if pred == taken {
+                        (entry.useful + 1).min(3)
+                    } else {
+                        entry.useful.saturating_sub(1)
+                    };
+                }
+            }
+            None => {
+                let idx = self.base_index(pc);
+                self.base[idx].update(taken);
+            }
+        }
+        // On a misprediction, try to allocate in one longer table.
+        if predicted != taken {
+            let start = provider.map(|(t, _)| t + 1).unwrap_or(0);
+            let mut allocated = false;
+            for table in start..self.tables.len() {
+                let idx = self.index(table, pc);
+                let tag = self.tag(table, pc);
+                let entry = &mut self.tables[table][idx];
+                if !entry.valid || entry.useful == 0 {
+                    *entry =
+                        TaggedEntry { tag, ctr: if taken { 4 } else { 3 }, useful: 0, valid: true };
+                    allocated = true;
+                    break;
+                }
+            }
+            if !allocated {
+                // Everything longer is protected: decay the contenders so
+                // a persistent hard branch eventually gets a slot.
+                for table in start..self.tables.len() {
+                    let idx = self.index(table, pc);
+                    let entry = &mut self.tables[table][idx];
+                    entry.useful = entry.useful.saturating_sub(1);
+                }
+            }
+        }
+        self.trains += 1;
+        if self.trains.is_multiple_of(AGING_PERIOD) {
+            for table in &mut self.tables {
+                for entry in table.iter_mut() {
+                    entry.useful >>= 1;
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("tage-{}", self.budget)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive(p: &mut Tage, seed: u64, n: usize) -> Vec<bool> {
+        let mut x = seed;
+        let mut out = Vec::new();
+        for i in 0..n {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let pc = Addr::new(0x1000 + (x % 64) * 4);
+            let taken = (x >> 33) & 1 == 1;
+            out.push(p.predict(pc));
+            p.train(pc, taken);
+            p.observe(&BranchRecord::conditional(pc, Addr::new(0x8000), taken));
+            let _ = i;
+        }
+        out
+    }
+
+    #[test]
+    fn is_deterministic() {
+        let a = drive(&mut Tage::new(Budget::from_kib(1)), 7, 4000);
+        let b = drive(&mut Tage::new(Budget::from_kib(1)), 7, 4000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn learns_a_history_keyed_branch() {
+        // One branch whose outcome equals the outcome 3 steps back —
+        // pure history correlation a bimodal can't learn.
+        let mut p = Tage::new(Budget::from_kib(4));
+        let pc = Addr::new(0x2000);
+        let mut outcomes = vec![true, false, true];
+        let mut correct = 0;
+        let total = 20_000;
+        for i in 0..total {
+            let taken = outcomes[i % 3] ^ (i % 7 == 0);
+            if p.predict(pc) == taken {
+                correct += 1;
+            }
+            p.train(pc, taken);
+            p.observe(&BranchRecord::conditional(pc, Addr::new(0x8000), taken));
+            if i % 3 == 2 {
+                outcomes = outcomes.iter().map(|&o| !o).collect();
+            }
+        }
+        // The pattern is periodic in the global history: TAGE should get
+        // well above the ~57% a 2-bit counter manages on it.
+        assert!(correct * 100 / total > 75, "only {correct}/{total} correct");
+    }
+
+    #[test]
+    fn storage_is_within_budget() {
+        for kib in [1, 4, 16, 64] {
+            let b = Budget::from_kib(kib);
+            let p = Tage::new(b);
+            assert!(p.storage_bytes() <= b.bytes(), "{kib}KiB: {}", p.storage_bytes());
+            assert!(p.storage_bytes() >= b.bytes() / 2, "{kib}KiB: underuses budget");
+        }
+    }
+
+    #[test]
+    fn aging_halves_useful_bits() {
+        let mut p = Tage::new(Budget::from_bytes(512));
+        drive(&mut p, 3, (AGING_PERIOD + 10) as usize);
+        // After at least one aging pass no useful counter is saturated
+        // unless re-earned recently; mostly this asserts the pass runs
+        // without disturbing determinism.
+        let again = drive(&mut Tage::new(Budget::from_bytes(512)), 3, (AGING_PERIOD + 10) as usize);
+        let first = drive(&mut Tage::new(Budget::from_bytes(512)), 3, (AGING_PERIOD + 10) as usize);
+        assert_eq!(again, first);
+    }
+
+    #[test]
+    #[should_panic(expected = "512-byte budget")]
+    fn rejects_tiny_budget() {
+        Tage::new(Budget::from_bytes(256));
+    }
+}

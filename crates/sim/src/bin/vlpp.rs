@@ -56,10 +56,17 @@ subcommands (own flags; see SERVING.md and TRACES.md):
   run        replay an ingested or foreign trace (or a benchmark)
              through the SoA kernels and report prediction totals
   profile    run the paper's two-step profiling heuristic over a trace
+  tournament race every registered predictor (the vlpp-predict zoo plus
+             the paper's path predictors) over every benchmark and the
+             hard-branch family; league table + `TOURNEY {json}` line
+             (own flags; `vlpp tournament --help`, EXPERIMENTS.md)
 
 options:
   --scale N  divide the paper's dynamic branch counts by N (default 16;
              also via VLPP_SCALE)
+  --only LIST
+             (with `all`) run only these comma-separated experiment ids;
+             unknown ids are an error listing the valid ones
   --json     emit JSON instead of text tables; `all --json` emits one
              object keyed by experiment id
   --metrics  after the experiment, print a metrics table on stderr and a
@@ -103,6 +110,7 @@ fn main() -> ExitCode {
             "ingest" => Some(vlpp_sim::ingest::ingest_main(&rest)),
             "run" => Some(vlpp_sim::ingest::run_main(&rest)),
             "profile" => Some(vlpp_sim::ingest::profile_main(&rest)),
+            "tournament" => Some(vlpp_sim::tournament::tournament_main(&rest)),
             _ => None,
         };
         if let Some(outcome) = outcome {
@@ -122,9 +130,17 @@ fn main() -> ExitCode {
     let mut json = false;
     let mut metrics = false;
     let mut checkpoint_dir: Option<String> = None;
+    let mut only: Option<String> = None;
 
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--only" => {
+                let Some(list) = args.next() else {
+                    eprintln!("--only needs a comma-separated experiment list");
+                    return ExitCode::FAILURE;
+                };
+                only = Some(list);
+            }
             "--checkpoint" => {
                 let Some(dir) = args.next() else {
                     eprintln!("--checkpoint needs a directory");
@@ -165,13 +181,46 @@ fn main() -> ExitCode {
     eprintln!("# scale: 1/{} of paper dynamic counts", scale.divisor());
 
     let all = experiment == "all";
-    let ids: Vec<&str> = if all {
-        vec![
-            "table1", "table2", "fig5", "fig6", "fig7", "fig8", "table3", "fig9", "fig10",
-            "headline", "hfnt",
-        ]
-    } else {
-        vec![experiment.as_str()]
+    let all_ids = [
+        "table1", "table2", "fig5", "fig6", "fig7", "fig8", "table3", "fig9", "fig10", "headline",
+        "hfnt",
+    ];
+    let ids: Vec<&str> = if all { all_ids.to_vec() } else { vec![experiment.as_str()] };
+
+    // `--only` narrows `all` to a subset; an unknown id must be a typed
+    // error listing the valid ones, never a silently empty run.
+    let ids: Vec<&str> = match &only {
+        Some(list) if all => {
+            let requested: Vec<&str> =
+                list.split(',').map(str::trim).filter(|t| !t.is_empty()).collect();
+            let unknown: Vec<&str> =
+                requested.iter().copied().filter(|id| !all_ids.contains(id)).collect();
+            if requested.is_empty() || !unknown.is_empty() {
+                let message = if requested.is_empty() {
+                    format!(
+                        "--only needs at least one experiment id; valid ids: {}",
+                        all_ids.join(", ")
+                    )
+                } else {
+                    format!(
+                        "unknown experiment id{} `{}` in --only; valid ids: {}",
+                        if unknown.len() == 1 { "" } else { "s" },
+                        unknown.join("`, `"),
+                        all_ids.join(", ")
+                    )
+                };
+                let error = VlppError::Cli { message };
+                eprintln!("error ({}): {error}", error.phase());
+                return ExitCode::FAILURE;
+            }
+            // Keep canonical order regardless of how --only was spelled.
+            ids.into_iter().filter(|id| requested.contains(id)).collect()
+        }
+        Some(_) => {
+            eprintln!("warning: --only only applies to `all`; ignoring");
+            ids
+        }
+        None => ids,
     };
 
     let checkpoint = match &checkpoint_dir {

@@ -56,6 +56,7 @@ pub mod paper;
 pub mod report;
 pub mod runner;
 pub mod serve;
+pub mod tournament;
 
 pub use checkpoint::{Checkpoint, SavedOutput};
 pub use experiment::{Scale, Workloads};

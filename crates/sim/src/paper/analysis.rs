@@ -47,8 +47,13 @@ impl BehaviorClass {
     pub fn of(behavior: &CondBehavior) -> BehaviorClass {
         match behavior {
             CondBehavior::Loop { .. } => BehaviorClass::Loop,
-            CondBehavior::Biased { .. } => BehaviorClass::Biased,
-            CondBehavior::PathCorrelated { length, .. } => match length {
+            // Load-dependent sites look data-dependent to every
+            // history-based predictor, which is this taxonomy's axis.
+            CondBehavior::Biased { .. } | CondBehavior::LoadDependent { .. } => {
+                BehaviorClass::Biased
+            }
+            CondBehavior::PathCorrelated { length, .. }
+            | CondBehavior::PhaseSwitching { length, .. } => match length {
                 0..=3 => BehaviorClass::ShortPath,
                 4..=8 => BehaviorClass::MediumPath,
                 _ => BehaviorClass::LongPath,

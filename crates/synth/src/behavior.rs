@@ -42,6 +42,37 @@ pub enum CondBehavior {
         /// Flip probability in thousandths.
         noise_milli: u32,
     },
+    /// Alternates between two path-correlated functions every `period`
+    /// executions: the site behaves like `PathCorrelated { length, key:
+    /// key_a, .. }` for one phase, then like `key_b` for the next, and so
+    /// on. Models program phase changes — the branch's learned mapping
+    /// goes stale at every phase boundary, so predictors that adapt
+    /// quickly (short warm-up, useful-bit aging) recover faster.
+    PhaseSwitching {
+        /// Executions per phase (≥ 1).
+        period: u32,
+        /// Path-correlation length shared by both phases (1..=32).
+        length: u8,
+        /// The phase-A function key.
+        key_a: u64,
+        /// The phase-B function key.
+        key_b: u64,
+        /// Flip probability in thousandths.
+        noise_milli: u32,
+    },
+    /// Determined by the current load value on the executor's synthetic
+    /// load channel, not by control-flow history: the direction is a
+    /// fixed boolean function (keyed by `key`) of the loaded value, with
+    /// noise. Path and outcome history carry no signal here — only a
+    /// predictor that observes the load channel (LDBP-style) can learn
+    /// these sites, everything else sees the channel's value-mix bias at
+    /// best.
+    LoadDependent {
+        /// Per-site key making each site's value function distinct.
+        key: u64,
+        /// Flip probability in thousandths.
+        noise_milli: u32,
+    },
 }
 
 impl CondBehavior {
@@ -50,12 +81,22 @@ impl CondBehavior {
     /// * `path` — the executor's shadow path history, newest first
     ///   (full-width word addresses of recent conditional/indirect
     ///   targets);
-    /// * `loop_counter` — per-site persistent counter for [`Loop`]
-    ///   sites (ignored by other variants);
+    /// * `load` — the current value on the executor's synthetic load
+    ///   channel (only [`LoadDependent`] sites read it);
+    /// * `loop_counter` — per-site persistent counter for [`Loop`] and
+    ///   [`PhaseSwitching`] sites (ignored by other variants);
     /// * `rng` — the run's noise stream.
     ///
     /// [`Loop`]: CondBehavior::Loop
-    pub fn decide(&self, path: &[u64], loop_counter: &mut u32, rng: &mut SplitMix64) -> bool {
+    /// [`PhaseSwitching`]: CondBehavior::PhaseSwitching
+    /// [`LoadDependent`]: CondBehavior::LoadDependent
+    pub fn decide(
+        &self,
+        path: &[u64],
+        load: u64,
+        loop_counter: &mut u32,
+        rng: &mut SplitMix64,
+    ) -> bool {
         match *self {
             CondBehavior::Loop { trip } => {
                 *loop_counter += 1;
@@ -69,11 +110,18 @@ impl CondBehavior {
             CondBehavior::Biased { taken_milli } => rng.chance_milli(taken_milli),
             CondBehavior::PathCorrelated { length, key, noise_milli } => {
                 let clean = path_function(path, length, key) & 1 == 1;
-                if noise_milli > 0 && rng.chance_milli(noise_milli) {
-                    !clean
-                } else {
-                    clean
-                }
+                noisy_flip(clean, noise_milli, rng)
+            }
+            CondBehavior::PhaseSwitching { period, length, key_a, key_b, noise_milli } => {
+                let phase = (*loop_counter / period.max(1)) & 1;
+                *loop_counter = loop_counter.wrapping_add(1);
+                let key = if phase == 0 { key_a } else { key_b };
+                let clean = path_function(path, length, key) & 1 == 1;
+                noisy_flip(clean, noise_milli, rng)
+            }
+            CondBehavior::LoadDependent { key, noise_milli } => {
+                let clean = mix(key ^ load.rotate_left(17)) & 1 == 1;
+                noisy_flip(clean, noise_milli, rng)
             }
         }
     }
@@ -81,9 +129,19 @@ impl CondBehavior {
     /// The path-correlation length this site needs, if any.
     pub fn correlation_length(&self) -> Option<u8> {
         match self {
-            CondBehavior::PathCorrelated { length, .. } => Some(*length),
+            CondBehavior::PathCorrelated { length, .. }
+            | CondBehavior::PhaseSwitching { length, .. } => Some(*length),
             _ => None,
         }
+    }
+}
+
+/// Flips `clean` with probability `noise_milli / 1000`.
+fn noisy_flip(clean: bool, noise_milli: u32, rng: &mut SplitMix64) -> bool {
+    if noise_milli > 0 && rng.chance_milli(noise_milli) {
+        !clean
+    } else {
+        clean
     }
 }
 
@@ -176,7 +234,8 @@ mod tests {
         let b = CondBehavior::Loop { trip: 4 };
         let mut rng = SplitMix64::new(0);
         let mut counter = 0;
-        let outcomes: Vec<bool> = (0..8).map(|_| b.decide(&[], &mut counter, &mut rng)).collect();
+        let outcomes: Vec<bool> =
+            (0..8).map(|_| b.decide(&[], 0, &mut counter, &mut rng)).collect();
         assert_eq!(outcomes, vec![true, true, true, false, true, true, true, false]);
     }
 
@@ -185,7 +244,7 @@ mod tests {
         let b = CondBehavior::Biased { taken_milli: 900 };
         let mut rng = SplitMix64::new(1);
         let mut counter = 0;
-        let taken = (0..10_000).filter(|_| b.decide(&[], &mut counter, &mut rng)).count();
+        let taken = (0..10_000).filter(|_| b.decide(&[], 0, &mut counter, &mut rng)).count();
         assert!((8700..9300).contains(&taken), "got {taken} taken of 10000");
     }
 
@@ -195,9 +254,9 @@ mod tests {
         let mut rng = SplitMix64::new(2);
         let mut counter = 0;
         let path = [0x10u64, 0x20, 0x30, 0x40];
-        let first = b.decide(&path, &mut counter, &mut rng);
+        let first = b.decide(&path, 0, &mut counter, &mut rng);
         for _ in 0..10 {
-            assert_eq!(b.decide(&path, &mut counter, &mut rng), first);
+            assert_eq!(b.decide(&path, 0, &mut counter, &mut rng), first);
         }
     }
 
@@ -206,8 +265,8 @@ mod tests {
         let b = CondBehavior::PathCorrelated { length: 2, key: 9, noise_milli: 0 };
         let mut rng = SplitMix64::new(3);
         let mut counter = 0;
-        let a = b.decide(&[0x10, 0x20, 0x99], &mut counter, &mut rng);
-        let c = b.decide(&[0x10, 0x20, 0x77], &mut counter, &mut rng);
+        let a = b.decide(&[0x10, 0x20, 0x99], 0, &mut counter, &mut rng);
+        let c = b.decide(&[0x10, 0x20, 0x77], 0, &mut counter, &mut rng);
         assert_eq!(a, c, "entry 3 is beyond the correlation length");
     }
 
@@ -222,7 +281,7 @@ mod tests {
         let mut path_rng = SplitMix64::new(5);
         for _ in 0..64 {
             let path: Vec<u64> = (0..8).map(|_| path_rng.below(1 << 20)).collect();
-            seen[b.decide(&path, &mut counter, &mut rng) as usize] = true;
+            seen[b.decide(&path, 0, &mut counter, &mut rng) as usize] = true;
         }
         assert_eq!(seen, [true, true]);
     }
@@ -239,10 +298,11 @@ mod tests {
         let path = [0x123u64];
         let mut counter = 0;
         let mut rng_clean = SplitMix64::new(6);
-        let baseline = clean.decide(&path, &mut counter, &mut rng_clean);
+        let baseline = clean.decide(&path, 0, &mut counter, &mut rng_clean);
         let mut rng = SplitMix64::new(6);
-        let flips =
-            (0..10_000).filter(|_| noisy.decide(&path, &mut counter, &mut rng) != baseline).count();
+        let flips = (0..10_000)
+            .filter(|_| noisy.decide(&path, 0, &mut counter, &mut rng) != baseline)
+            .count();
         assert!((1600..2400).contains(&flips), "got {flips} flips of 10000");
     }
 
@@ -293,6 +353,63 @@ mod tests {
         let mut counter = 0;
         let picks: Vec<usize> = (0..7).map(|_| b.decide(&[], 3, &mut counter, &mut rng)).collect();
         assert_eq!(picks, vec![0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn phase_switching_alternates_functions() {
+        let b = CondBehavior::PhaseSwitching {
+            period: 4,
+            length: 2,
+            key_a: 11,
+            key_b: 22,
+            noise_milli: 0,
+        };
+        let a = CondBehavior::PathCorrelated { length: 2, key: 11, noise_milli: 0 };
+        let c = CondBehavior::PathCorrelated { length: 2, key: 22, noise_milli: 0 };
+        let path = [0x40u64, 0x80];
+        let mut rng = SplitMix64::new(10);
+        let mut counter = 0;
+        let mut scratch = 0;
+        let expect_a = a.decide(&path, 0, &mut scratch, &mut rng);
+        let expect_c = c.decide(&path, 0, &mut scratch, &mut rng);
+        // First period matches key_a's function, second matches key_b's,
+        // then back again.
+        for i in 0..12 {
+            let got = b.decide(&path, 0, &mut counter, &mut rng);
+            let want = if (i / 4) % 2 == 0 { expect_a } else { expect_c };
+            assert_eq!(got, want, "execution {i}");
+        }
+    }
+
+    #[test]
+    fn phase_switching_reports_length() {
+        let b = CondBehavior::PhaseSwitching {
+            period: 100,
+            length: 7,
+            key_a: 1,
+            key_b: 2,
+            noise_milli: 0,
+        };
+        assert_eq!(b.correlation_length(), Some(7));
+    }
+
+    #[test]
+    fn load_dependent_is_a_function_of_the_load() {
+        let b = CondBehavior::LoadDependent { key: 33, noise_milli: 0 };
+        let mut rng = SplitMix64::new(11);
+        let mut counter = 0;
+        // Same load → same outcome, regardless of path.
+        let first = b.decide(&[0x10], 5, &mut counter, &mut rng);
+        for _ in 0..10 {
+            assert_eq!(b.decide(&[0x99, 0x77], 5, &mut counter, &mut rng), first);
+        }
+        // Over many loads both outcomes appear.
+        let mut seen = [false; 2];
+        for load in 0..64 {
+            seen[b.decide(&[], load, &mut counter, &mut rng) as usize] = true;
+        }
+        assert_eq!(seen, [true, true]);
+        assert_eq!(b.correlation_length(), None);
     }
 
     #[test]

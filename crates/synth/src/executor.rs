@@ -13,7 +13,7 @@ use std::collections::{HashMap, VecDeque};
 use vlpp_trace::{BranchRecord, Trace};
 
 use crate::cfg::{BlockId, FuncId, Program, Terminator};
-use crate::rng::SplitMix64;
+use crate::rng::{mix, SplitMix64};
 
 /// Which input the program runs on. The paper profiles on one input set
 /// and tests on another; here the program (the "binary") is fixed and
@@ -54,6 +54,17 @@ impl Default for ExecutionLimits {
 /// path).
 const SHADOW_PATH_DEPTH: usize = 32;
 
+/// Salt separating the load-channel RNG stream from the branch-noise
+/// stream. The two must never share a stream: the load channel was added
+/// after traces were already golden-pinned, and drawing loads from the
+/// main `rng` would perturb every existing behavior decision.
+const LOAD_SALT: u64 = 0x4c4f_4144_4348_414e; // "LOADCHAN"
+
+/// The number of distinct values the synthetic load channel produces.
+/// Small enough that a value-indexed table can learn the mapping, the way
+/// LDBP's tracking table learns real load values.
+const LOAD_DOMAIN: u64 = 64;
+
 /// A running execution of a [`Program`]; yields one [`BranchRecord`] per
 /// control transfer, forever (synthetic programs restart at the entry
 /// when the driver returns). Bound it with [`Iterator::take`] or use
@@ -74,6 +85,10 @@ const SHADOW_PATH_DEPTH: usize = 32;
 pub struct Executor<'a> {
     program: &'a Program,
     rng: SplitMix64,
+    /// The synthetic load-value stream (independent of `rng`).
+    load_rng: SplitMix64,
+    /// The value "loaded" just before the current branch retires.
+    load_value: u64,
     /// Newest-first full-width word addresses of recent cond/ind targets.
     shadow_path: VecDeque<u64>,
     /// Per-site loop counters, keyed by branch pc.
@@ -91,6 +106,8 @@ impl<'a> Executor<'a> {
         Executor {
             program,
             rng: SplitMix64::new(program.run_seed() ^ input.salt()),
+            load_rng: SplitMix64::new(mix(program.run_seed() ^ input.salt() ^ LOAD_SALT)),
+            load_value: 0,
             shadow_path: VecDeque::with_capacity(SHADOW_PATH_DEPTH),
             loop_counters: HashMap::new(),
             stack: Vec::new(),
@@ -111,6 +128,20 @@ impl<'a> Executor<'a> {
     fn shadow(&self) -> Vec<u64> {
         self.shadow_path.iter().copied().collect()
     }
+
+    /// The value on the synthetic load channel for the record most
+    /// recently yielded by [`Iterator::next`] (0 before the first).
+    ///
+    /// This is the ground-truth side channel [`CondBehavior::LoadDependent`]
+    /// sites read; an LDBP-style predictor gets the same stream via
+    /// [`Program::execute_conditionals_with_loads`] — mimicking hardware
+    /// that snoops retired load values — while history-only predictors
+    /// never see it.
+    ///
+    /// [`CondBehavior::LoadDependent`]: crate::CondBehavior::LoadDependent
+    pub fn load_value(&self) -> u64 {
+        self.load_value
+    }
 }
 
 impl Iterator for Executor<'_> {
@@ -119,11 +150,15 @@ impl Iterator for Executor<'_> {
     fn next(&mut self) -> Option<BranchRecord> {
         let block = self.program.block(self.function, self.block).clone();
         let pc = block.branch_pc;
+        // One load retires per control transfer, whatever the branch kind,
+        // so the channel stays aligned with record indices.
+        self.load_value = self.load_rng.below(LOAD_DOMAIN);
         let record = match &block.terminator {
             Terminator::Cond { behavior, taken, fall } => {
                 let path = self.shadow();
+                let load = self.load_value;
                 let counter = self.loop_counters.entry(pc.raw()).or_insert(0);
-                let outcome = behavior.decide(&path, counter, &mut self.rng);
+                let outcome = behavior.decide(&path, load, counter, &mut self.rng);
                 let destination = if outcome { *taken } else { *fall };
                 let target = self.program.block(self.function, destination).start;
                 self.block = destination;
@@ -190,18 +225,44 @@ impl Program {
     /// Runs until `conditionals` conditional-branch records have been
     /// emitted (the paper sizes workloads by dynamic conditional count).
     pub fn execute_conditionals(&self, input: InputSet, conditionals: u64) -> Trace {
+        self.execute_conditionals_with_loads(input, conditionals).0
+    }
+
+    /// Like [`execute`](Self::execute), additionally returning the
+    /// synthetic load-value channel: `loads[i]` is the load value visible
+    /// when record `i` retires.
+    pub fn execute_with_loads(&self, input: InputSet, records: usize) -> (Trace, Vec<u64>) {
         let mut trace = Trace::new();
+        let mut loads = Vec::with_capacity(records);
+        let mut exec = Executor::new(self, input, ExecutionLimits::default());
+        while trace.len() < records {
+            let record = exec.next().expect("executor is infinite");
+            loads.push(exec.load_value());
+            trace.push(record);
+        }
+        (trace, loads)
+    }
+
+    /// Like [`execute_conditionals`](Self::execute_conditionals),
+    /// additionally returning the load channel aligned with the trace.
+    pub fn execute_conditionals_with_loads(
+        &self,
+        input: InputSet,
+        conditionals: u64,
+    ) -> (Trace, Vec<u64>) {
+        let mut trace = Trace::new();
+        let mut loads = Vec::new();
         let mut seen = 0u64;
-        for record in Executor::new(self, input, ExecutionLimits::default()) {
+        let mut exec = Executor::new(self, input, ExecutionLimits::default());
+        while seen < conditionals {
+            let record = exec.next().expect("executor is infinite");
             if record.is_conditional() {
                 seen += 1;
             }
+            loads.push(exec.load_value());
             trace.push(record);
-            if seen >= conditionals {
-                break;
-            }
         }
-        trace
+        (trace, loads)
     }
 }
 
@@ -343,6 +404,57 @@ mod tests {
         let trace = program.execute_conditionals(InputSet::Test, 50);
         assert_eq!(trace.conditionals().count(), 50);
         assert!(trace.records().last().unwrap().is_conditional());
+    }
+
+    #[test]
+    fn load_channel_aligns_with_records() {
+        let program = looping_program();
+        let (trace, loads) = program.execute_with_loads(InputSet::Test, 300);
+        assert_eq!(loads.len(), trace.len());
+        assert!(loads.iter().all(|&v| v < LOAD_DOMAIN));
+        // The channel is its own stream: the trace matches a plain run.
+        assert_eq!(trace, program.execute(InputSet::Test, 300));
+        // Conditional-bounded collection agrees on the shared prefix.
+        let (ctrace, cloads) = program.execute_conditionals_with_loads(InputSet::Test, 10);
+        assert_eq!(cloads.len(), ctrace.len());
+        assert_eq!(&loads[..cloads.len()], &cloads[..]);
+    }
+
+    #[test]
+    fn load_dependent_sites_follow_the_channel() {
+        // A single load-dependent conditional: its outcomes must equal
+        // the behavior function applied to the recorded load channel.
+        let f0 = FuncId(0);
+        let behavior = CondBehavior::LoadDependent { key: 77, noise_milli: 0 };
+        let program = Program::new(
+            "load-test",
+            vec![Function {
+                id: f0,
+                blocks: vec![
+                    block(
+                        f0,
+                        0,
+                        Terminator::Cond {
+                            behavior: behavior.clone(),
+                            taken: BlockId(1),
+                            fall: BlockId(1),
+                        },
+                    ),
+                    block(f0, 1, Terminator::Jump { to: BlockId(0) }),
+                ],
+            }],
+            f0,
+            3,
+        );
+        let (trace, loads) = program.execute_with_loads(InputSet::Test, 200);
+        let mut rng = SplitMix64::new(0);
+        let mut counter = 0;
+        for (record, &load) in trace.iter().zip(&loads) {
+            if record.is_conditional() {
+                let want = behavior.decide(&[], load, &mut counter, &mut rng);
+                assert_eq!(record.taken(), want);
+            }
+        }
     }
 
     #[test]

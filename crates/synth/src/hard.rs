@@ -1,0 +1,295 @@
+//! The hard-branch workload family: programs built to be difficult.
+//!
+//! The 16-benchmark [`suite`](crate::suite) models the paper's Table 1
+//! mixtures, where most branches are learnable. The tournament needs the
+//! opposite — workloads dominated by exactly the branch classes modern
+//! predictors fight over ("wild branches" in the Bullseye paper's
+//! terms): long-path correlation under heavy noise, data-dependent
+//! branches keyed to load values, and phase-switching functions that go
+//! stale mid-run. Each workload here is a small hand-shaped program
+//! (deterministic in its seed) whose conditional sites are drawn almost
+//! entirely from one hard class, so a league table over this family
+//! separates predictors that merely track bias from predictors that
+//! exploit path depth, load values, or fast re-learning.
+//!
+//! Unlike the suite these programs are *not* generated from a
+//! [`BehaviorMix`](crate::BehaviorMix): the generator budgets hard sites
+//! as a minority, which is right for SPEC-like realism and wrong for a
+//! stress matrix. Here every leaf function is a straight ladder of
+//! conditional sites with a switch (or return) tail, and the driver
+//! calls each leaf in turn.
+
+use crate::behavior::{CondBehavior, IndBehavior};
+use crate::cfg::{Block, BlockId, FuncId, Function, Program, Terminator};
+use crate::rng::SplitMix64;
+
+/// Names of the hard workloads, in canonical (report) order.
+pub const NAMES: [&str; 6] = [
+    "hard-noise",
+    "hard-noise-long",
+    "hard-data",
+    "hard-load-path",
+    "hard-phase",
+    "hard-phase-fast",
+];
+
+/// Dynamic conditional count for a full-scale (`--scale 1`) run of every
+/// hard workload. Matches the smaller suite benchmarks; the harness
+/// divides it by the scale factor.
+pub const DEFAULT_DYNAMIC_CONDITIONAL: u64 = 2_000_000;
+
+/// One member of the hard-branch family.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HardWorkload {
+    /// Workload name (one of [`NAMES`]).
+    pub name: &'static str,
+    /// One-line description of what makes it hard.
+    pub description: &'static str,
+    /// Dynamic conditional count at full scale.
+    pub default_dynamic_conditional: u64,
+    seed: u64,
+}
+
+impl HardWorkload {
+    /// Builds the workload's program (deterministic: same name → same
+    /// program, byte for byte).
+    pub fn build_program(&self) -> Program {
+        let mut rng = SplitMix64::new(self.seed);
+        let make_cond = |rng: &mut SplitMix64| -> CondBehavior {
+            match self.name {
+                "hard-noise" => CondBehavior::PathCorrelated {
+                    length: rng.range(6, 16) as u8,
+                    key: rng.next_u64(),
+                    noise_milli: rng.range(150, 250) as u32,
+                },
+                "hard-noise-long" => CondBehavior::PathCorrelated {
+                    length: rng.range(18, 28) as u8,
+                    key: rng.next_u64(),
+                    noise_milli: rng.range(80, 150) as u32,
+                },
+                "hard-data" => {
+                    // 3 of 4 sites follow the load channel; the rest are
+                    // coin flips, the floor every predictor shares.
+                    if rng.below(4) < 3 {
+                        CondBehavior::LoadDependent {
+                            key: rng.next_u64(),
+                            noise_milli: rng.range(30, 80) as u32,
+                        }
+                    } else {
+                        CondBehavior::Biased { taken_milli: 500 }
+                    }
+                }
+                "hard-load-path" => {
+                    if rng.below(2) == 0 {
+                        CondBehavior::LoadDependent {
+                            key: rng.next_u64(),
+                            noise_milli: rng.range(30, 80) as u32,
+                        }
+                    } else {
+                        CondBehavior::PathCorrelated {
+                            length: rng.range(2, 6) as u8,
+                            key: rng.next_u64(),
+                            noise_milli: rng.range(20, 60) as u32,
+                        }
+                    }
+                }
+                "hard-phase" => CondBehavior::PhaseSwitching {
+                    period: rng.range(4_000, 7_000) as u32,
+                    length: rng.range(4, 10) as u8,
+                    key_a: rng.next_u64(),
+                    key_b: rng.next_u64(),
+                    noise_milli: rng.range(20, 80) as u32,
+                },
+                "hard-phase-fast" => {
+                    if rng.below(5) == 0 {
+                        CondBehavior::Biased { taken_milli: rng.range(850, 990) as u32 }
+                    } else {
+                        CondBehavior::PhaseSwitching {
+                            period: rng.range(300, 600) as u32,
+                            length: rng.range(3, 8) as u8,
+                            key_a: rng.next_u64(),
+                            key_b: rng.next_u64(),
+                            noise_milli: rng.range(20, 80) as u32,
+                        }
+                    }
+                }
+                other => unreachable!("unknown hard workload {other}"),
+            }
+        };
+        let make_ind = |rng: &mut SplitMix64| -> IndBehavior {
+            match self.name {
+                // Data-dependent workloads get data-dependent dispatch.
+                "hard-data" => IndBehavior::Random,
+                _ => IndBehavior::PathCorrelated {
+                    length: rng.range(4, 9) as u8,
+                    key: rng.next_u64(),
+                    noise_milli: rng.range(60, 120) as u32,
+                },
+            }
+        };
+
+        const LEAVES: usize = 4;
+        const SITES_PER_LEAF: usize = 12;
+        const SWITCH_ARITY: usize = 8;
+
+        let mut functions = Vec::with_capacity(LEAVES + 1);
+        // Driver: call each leaf in turn, then return (which restarts).
+        let f0 = FuncId(0);
+        let mut driver_blocks = Vec::with_capacity(LEAVES + 1);
+        for j in 0..LEAVES {
+            driver_blocks.push(block(
+                f0,
+                j,
+                Terminator::Call { callee: FuncId(j + 1), ret_to: BlockId(j + 1) },
+            ));
+        }
+        driver_blocks.push(block(f0, LEAVES, Terminator::Return));
+        functions.push(Function { id: f0, blocks: driver_blocks });
+
+        for leaf in 0..LEAVES {
+            let f = FuncId(leaf + 1);
+            let mut blocks = Vec::new();
+            // A ladder of conditional sites: taken and fall-through
+            // targets differ (the jump block re-converges), so the shadow
+            // path encodes every outcome.
+            for i in 0..SITES_PER_LEAF {
+                blocks.push(block(
+                    f,
+                    2 * i,
+                    Terminator::Cond {
+                        behavior: make_cond(&mut rng),
+                        taken: BlockId(2 * i + 1),
+                        fall: BlockId(2 * i + 2),
+                    },
+                ));
+                blocks.push(block(f, 2 * i + 1, Terminator::Jump { to: BlockId(2 * i + 2) }));
+            }
+            // Tail: a dispatch switch over `SWITCH_ARITY` return blocks.
+            let tail = 2 * SITES_PER_LEAF;
+            blocks.push(block(
+                f,
+                tail,
+                Terminator::Switch {
+                    behavior: make_ind(&mut rng),
+                    targets: (1..=SWITCH_ARITY).map(|k| BlockId(tail + k)).collect(),
+                },
+            ));
+            for k in 1..=SWITCH_ARITY {
+                blocks.push(block(f, tail + k, Terminator::Return));
+            }
+            functions.push(Function { id: f, blocks });
+        }
+
+        Program::new(self.name, functions, f0, self.seed)
+    }
+}
+
+fn block(f: FuncId, b: usize, terminator: Terminator) -> Block {
+    Block {
+        start: Function::block_start(f, BlockId(b)),
+        branch_pc: Function::block_branch_pc(f, BlockId(b)),
+        terminator,
+    }
+}
+
+/// The hard workload with the given name, or `None` if unknown.
+pub fn workload(name: &str) -> Option<HardWorkload> {
+    all().into_iter().find(|w| w.name == name)
+}
+
+/// All hard workloads, in [`NAMES`] order.
+pub fn all() -> Vec<HardWorkload> {
+    let make = |name: &'static str, description: &'static str, seed: u64| HardWorkload {
+        name,
+        description,
+        default_dynamic_conditional: DEFAULT_DYNAMIC_CONDITIONAL,
+        seed,
+    };
+    vec![
+        make(
+            "hard-noise",
+            "medium-length path correlation under 15-25% flip noise",
+            0x6861_7264_0001,
+        ),
+        make(
+            "hard-noise-long",
+            "18-28-target path correlation, beyond most history registers",
+            0x6861_7264_0002,
+        ),
+        make(
+            "hard-data",
+            "load-value-dependent branches plus coin flips; random dispatch",
+            0x6861_7264_0003,
+        ),
+        make(
+            "hard-load-path",
+            "half load-dependent, half short-path sites in one ladder",
+            0x6861_7264_0004,
+        ),
+        make(
+            "hard-phase",
+            "path functions swap keys every ~5000 executions per site",
+            0x6861_7264_0005,
+        ),
+        make(
+            "hard-phase-fast",
+            "key swaps every ~400 executions, with biased filler sites",
+            0x6861_7264_0006,
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::InputSet;
+
+    #[test]
+    fn every_name_builds_and_is_deterministic() {
+        for name in NAMES {
+            let w = workload(name).unwrap();
+            assert_eq!(w.name, name);
+            let a = w.build_program().execute(InputSet::Test, 2_000);
+            let b = workload(name).unwrap().build_program().execute(InputSet::Test, 2_000);
+            assert_eq!(a, b, "{name} must be reproducible");
+        }
+    }
+
+    #[test]
+    fn workloads_differ_from_each_other() {
+        let traces: Vec<_> =
+            all().iter().map(|w| w.build_program().execute(InputSet::Test, 1_000)).collect();
+        for i in 0..traces.len() {
+            for j in i + 1..traces.len() {
+                assert_ne!(traces[i], traces[j], "{} vs {}", NAMES[i], NAMES[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_name_is_none() {
+        assert!(workload("hard-nope").is_none());
+    }
+
+    #[test]
+    fn traces_exercise_both_branch_kinds() {
+        use vlpp_trace::BranchKind;
+        for w in all() {
+            let trace = w.build_program().execute(InputSet::Test, 5_000);
+            assert!(trace.count_kind(BranchKind::Conditional) > 1_000, "{}", w.name);
+            assert!(trace.count_kind(BranchKind::Indirect) > 50, "{}", w.name);
+        }
+    }
+
+    #[test]
+    fn hard_noise_is_actually_hard_for_short_history() {
+        // The mispredict floor of hard-noise for an oracle with the full
+        // path is its noise rate (15-25%); any outcome stream that were
+        // trivially biased would betray a bug in the ladder layout.
+        let w = workload("hard-noise").unwrap();
+        let trace = w.build_program().execute(InputSet::Test, 20_000);
+        let outcomes: Vec<bool> = trace.conditionals().map(|r| r.taken()).collect();
+        let taken = outcomes.iter().filter(|&&t| t).count() as f64 / outcomes.len() as f64;
+        assert!((0.25..=0.75).contains(&taken), "taken ratio {taken}");
+    }
+}

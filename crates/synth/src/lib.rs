@@ -43,6 +43,7 @@ pub mod behavior;
 pub mod cfg;
 pub mod executor;
 pub mod generator;
+pub mod hard;
 pub mod micro;
 pub mod rng;
 pub mod spec;

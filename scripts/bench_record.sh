@@ -16,6 +16,9 @@
 # ingested trace instead of the synthetic suite; the record's "trace"
 # field then carries the file path instead of "synth", so trend tooling
 # never compares synthetic and ingested-trace runs against each other.
+#
+# Set VLPP_SKIP_BUILD=1 when ./target/release already holds the binaries
+# (CI downloads them from the shared build-release artifact).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -24,7 +27,9 @@ scale="${1:-16}"
 trace="${VLPP_BENCH_TRACE:-synth}"
 history="BENCH_history.jsonl"
 
-cargo build --release --offline >&2
+if [ "${VLPP_SKIP_BUILD:-0}" != "1" ]; then
+    cargo build --release --offline >&2
+fi
 
 start=$(date +%s%N)
 if [ "$trace" = "synth" ]; then
@@ -45,7 +50,25 @@ fi
 # The snapshot must parse with the in-tree parser before it is recorded.
 printf 'METRICS %s\n' "$metrics" | ./target/release/vlpp-metrics-check >&2
 
-record="{\"ts\":$(date +%s),\"scale\":$scale,\"trace\":\"$trace\",\"wall_ns\":$wall_ns,\"metrics\":$metrics}"
+# The tournament league at the same scale, recorded under "tourney" so
+# the history tracks accuracy trends next to wall-clock trends. The
+# synthetic suite is the only workload the league is defined over, so a
+# trace-replay record carries no tourney key.
+tourney=""
+if [ "$trace" = "synth" ]; then
+    tourney=$(VLPP_THREADS="${VLPP_THREADS:-}" ./target/release/vlpp tournament \
+        --json --scale "$scale" 2>/dev/null | sed -n 's/^TOURNEY //p')
+    if [ -z "$tourney" ]; then
+        echo "error: no TOURNEY line in vlpp tournament output" >&2
+        exit 1
+    fi
+fi
+
+if [ -n "$tourney" ]; then
+    record="{\"ts\":$(date +%s),\"scale\":$scale,\"trace\":\"$trace\",\"wall_ns\":$wall_ns,\"metrics\":$metrics,\"tourney\":$tourney}"
+else
+    record="{\"ts\":$(date +%s),\"scale\":$scale,\"trace\":\"$trace\",\"wall_ns\":$wall_ns,\"metrics\":$metrics}"
+fi
 
 # Crash-safe append: build the new history in a temp sibling and rename
 # it into place. A plain `>>` cut short by a crash or full disk leaves a

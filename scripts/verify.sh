@@ -13,7 +13,7 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-EXPECTED_STEPS=12
+EXPECTED_STEPS=13
 steps_run=0
 step() {
     steps_run=$((steps_run + 1))
@@ -329,6 +329,22 @@ start=$(date +%s%N)
 end=$(date +%s%N)
 elapsed=$((end - start))
 echo "BENCH {\"bench\":\"vlpp_all_default_scale\",\"iters\":1,\"median_ns\":$elapsed,\"mad_ns\":0,\"min_ns\":$elapsed,\"max_ns\":$elapsed}"
+
+# 13. Tournament determinism + baseline gate: the predictor-zoo league
+#    must be byte-identical at 1 and 8 worker threads and must hold the
+#    committed accuracy baseline (every cell present, no miss rate above
+#    its TOURNEY_baseline.json ceiling — the same gate CI's
+#    tournament-smoke job applies).
+step "predictor tournament determinism + accuracy baseline"
+VLPP_THREADS=1 "$VLPP" tournament --json --scale 1000000 >"$scratch/tourney1.out" 2>/dev/null
+VLPP_THREADS=8 "$VLPP" tournament --json --scale 1000000 >"$scratch/tourney8.out" 2>/dev/null
+if ! cmp -s "$scratch/tourney1.out" "$scratch/tourney8.out"; then
+    echo "error: vlpp tournament --json differs between VLPP_THREADS=1 and 8" >&2
+    exit 1
+fi
+./target/release/vlpp-metrics-check --tourney --baseline TOURNEY_baseline.json \
+    <"$scratch/tourney1.out"
+echo "ok: the league is thread-deterministic and holds the accuracy baseline"
 
 # The skipped-step backstop: if control flow ever bypasses a step (an
 # early return, a refactor gone wrong), this fails the run even though
